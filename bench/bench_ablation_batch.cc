@@ -1,0 +1,92 @@
+/// bench_ablation_batch — §6 future work: "evaluate the algorithms with
+/// respect to the gains obtained when several beacons are added at once
+/// (instead of just one beacon)".
+///
+/// Compares, for the Grid algorithm at low density, placing k beacons
+///  * sequentially (re-survey between placements; k robot tours), vs
+///  * one-shot (single survey, suppress each pick's neighbourhood).
+/// Reported: total improvement in mean LE after k placements, averaged
+/// over random fields, with 95% CIs.
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "eval/config.h"
+#include "field/generators.h"
+#include "placement/batch.h"
+#include "placement/grid_placement.h"
+#include "radio/noise_model.h"
+
+namespace {
+
+struct Cell {
+  abp::RunningStats sequential, oneshot;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const abp::Flags flags(argc, argv);
+  const int trials = flags.get_int("trials", 25);
+  const std::uint64_t seed = flags.get_u64("seed", 20010421);
+  const double noise = flags.get_double("noise", 0.0);
+  flags.check_unused();
+
+  const abp::PaperParams params;
+  const std::size_t counts[] = {20, 40};
+  const std::size_t ks[] = {1, 2, 4, 8};
+
+  std::cout << "=== Ablation: multi-beacon batch placement (Grid, Noise="
+            << noise << ", " << trials << " fields/cell) ===\n\n";
+
+  const abp::GridPlacement grid;
+  abp::TextTable table({"beacons", "k", "sequential gain (m)",
+                        "one-shot gain (m)", "seq advantage"});
+  for (const std::size_t n : counts) {
+    for (const std::size_t k : ks) {
+      Cell cell;
+      for (int t = 0; t < trials; ++t) {
+        const std::uint64_t trial_seed =
+            abp::derive_seed(seed, n, k, static_cast<std::uint64_t>(t));
+        const abp::PerBeaconNoiseModel model(params.range, noise,
+                                             abp::derive_seed(trial_seed, 2));
+        abp::BeaconField proto(params.bounds(), model.max_range());
+        abp::Rng field_rng(abp::derive_seed(trial_seed, 1));
+        scatter_uniform(proto, n, field_rng);
+        abp::ErrorMap proto_map(params.lattice());
+        proto_map.compute(proto, model);
+
+        for (const auto mode :
+             {abp::BatchMode::kSequential, abp::BatchMode::kOneShot}) {
+          abp::BeaconField field = proto;   // identical starting field
+          abp::ErrorMap map = proto_map;
+          abp::Rng rng(abp::derive_seed(trial_seed, 3));
+          const abp::BatchResult r =
+              place_batch(field, model, map, grid, k, mode, rng);
+          const double gain = r.mean_before - r.mean_after;
+          (mode == abp::BatchMode::kSequential ? cell.sequential
+                                               : cell.oneshot)
+              .add(gain);
+        }
+      }
+      table.add_row(
+          {std::to_string(n), std::to_string(k),
+           abp::TextTable::fmt(cell.sequential.mean(), 3) + " ±" +
+               abp::TextTable::fmt(cell.sequential.ci95(), 3),
+           abp::TextTable::fmt(cell.oneshot.mean(), 3) + " ±" +
+               abp::TextTable::fmt(cell.oneshot.ci95(), 3),
+           abp::TextTable::fmt(
+               cell.sequential.mean() - cell.oneshot.mean(), 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nAt k=1 the modes coincide by construction. Sequential "
+         "re-measurement helps mildly at moderate k,\nbut at larger k "
+         "one-shot can WIN: its suppression forces spatial diversity, "
+         "while sequential Grid may\nrevisit the same saturated grid "
+         "center (the algorithm can only propose the NG fixed centers). "
+         "Per-beacon\nreturns diminish in k for both modes.\n";
+  return 0;
+}

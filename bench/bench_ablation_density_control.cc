@@ -1,0 +1,73 @@
+/// bench_ablation_density_control — the §5/§6 self-scheduling discussion
+/// (AFECA-style): beyond the saturation density extra *active* beacons buy
+/// almost nothing, so beacons should "decide whether to turn themselves
+/// on". The greedy controller deactivates beacons while mean LE stays
+/// within a tolerance of the all-active baseline; the remaining active
+/// density should land near the saturation density of Figure 4,
+/// independent of how over-provisioned the deployment was.
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "eval/config.h"
+#include "field/generators.h"
+#include "placement/density_control.h"
+#include "radio/noise_model.h"
+
+int main(int argc, char** argv) {
+  const abp::Flags flags(argc, argv);
+  const int trials = flags.get_int("trials", 5);
+  const double tolerance = flags.get_double("tolerance", 1.10);
+  const std::uint64_t seed = flags.get_u64("seed", 20010421);
+  flags.check_unused();
+
+  abp::PaperParams params;
+  params.step = 2.0;  // coarser evaluation lattice keeps the greedy cheap
+  std::cout << "=== Ablation: density control (greedy beacon deactivation, "
+               "tolerance " << tolerance << ", " << trials
+            << " fields/cell) ===\n\n";
+
+  abp::TextTable table({"deployed", "deployed dens.", "active after",
+                        "active dens.", "mean LE before (m)",
+                        "mean LE after (m)"});
+  for (const std::size_t n : {100u, 140u, 200u, 240u}) {
+    abp::RunningStats active_after, before_le, after_le;
+    for (int t = 0; t < trials; ++t) {
+      const std::uint64_t trial_seed = abp::derive_seed(seed, n, t);
+      const abp::PerBeaconNoiseModel model(params.range, 0.0,
+                                           abp::derive_seed(trial_seed, 2));
+      abp::BeaconField field(params.bounds(), model.max_range());
+      abp::Rng rng(abp::derive_seed(trial_seed, 1));
+      scatter_uniform(field, n, rng);
+      abp::ErrorMap map(params.lattice());
+      map.compute(field, model);
+
+      abp::DensityControlConfig config;
+      config.tolerance_factor = tolerance;
+      config.candidate_sample = 24;
+      abp::Rng ctrl_rng(abp::derive_seed(trial_seed, 3));
+      const auto r =
+          greedy_density_control(field, model, map, config, ctrl_rng);
+      active_after.add(static_cast<double>(r.final_active));
+      before_le.add(r.baseline_mean);
+      after_le.add(r.final_mean);
+    }
+    table.add_row(
+        {std::to_string(n), abp::TextTable::fmt(n / 1e4, 4),
+         abp::TextTable::fmt(active_after.mean(), 1),
+         abp::TextTable::fmt(active_after.mean() / 1e4, 4),
+         abp::TextTable::fmt(before_le.mean(), 2),
+         abp::TextTable::fmt(after_le.mean(), 2)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpect 'active dens.' to collapse far below the deployed "
+         "density while mean LE stays within the\ntolerance. The selected "
+         "subset typically lands at 0.004-0.005 /m^2 — BELOW the ~0.010 "
+         "/m^2 Fig 4\nsaturation density of *random* deployments — because "
+         "greedy selection keeps only well-placed\nbeacons: good placement "
+         "is worth a 2-3x density saving, the paper's core thesis from the "
+         "energy\nside.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// bench_ablation_deployment — the §1 "terrain commonality" motivation,
+/// quantified: "if the number of air-dropped beacons were doubled, the
+/// same situation would persist … the beacon placement needs to adapt".
+///
+/// For three deployment distributions (uniform §4.1, clustered, airdrop
+/// over a hill) we report the baseline mean LE and each algorithm's
+/// improvement. Biased deployments localize much worse at equal density,
+/// and the measured algorithms' absolute advantage over Random grows
+/// several-fold — adaptivity matters most when deployment is
+/// systematically skewed (see the printed observations for the full
+/// reading).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "placement/grid_placement.h"
+#include "placement/max_placement.h"
+#include "placement/random_placement.h"
+
+int main(int argc, char** argv) {
+  auto opt = abp::bench::parse(argc, argv, /*default_trials=*/30);
+  abp::bench::banner("Ablation: deployment distribution (Ideal, 40 beacons)",
+                     opt);
+
+  static const abp::RandomPlacement random;
+  static const abp::MaxPlacement max;
+  static const abp::GridPlacement grid;
+  const abp::PlacementAlgorithm* algs[] = {&random, &max, &grid};
+
+  const struct {
+    const char* label;
+    abp::Deployment deployment;
+  } rows[] = {
+      {"uniform (paper §4.1)", abp::Deployment::kUniform},
+      {"clustered (4 clusters)", abp::Deployment::kClustered},
+      {"airdrop over hill (§1)", abp::Deployment::kAirdropHill},
+  };
+
+  abp::TextTable table({"deployment", "mean LE (m)", "uncovered (%)",
+                        "random gain", "max gain", "grid gain",
+                        "grid / random"});
+  for (const auto& row : rows) {
+    abp::SweepConfig config = make_sweep_config(opt.fig, {0.0});
+    config.beacon_counts = {40};
+    config.deployment = row.deployment;
+    const abp::SweepOutcome out = run_sweep(config, {algs, 3});
+    const abp::CellResult& cell = out.cells[0][0];
+    const double rg = cell.improvement_mean[0].mean;
+    const double gg = cell.improvement_mean[2].mean;
+    table.add_row({row.label,
+                   abp::TextTable::fmt(cell.mean_error.mean, 2),
+                   abp::TextTable::fmt(100.0 * cell.uncovered.mean, 1),
+                   abp::TextTable::fmt(rg, 3),
+                   abp::TextTable::fmt(cell.improvement_mean[1].mean, 3),
+                   abp::TextTable::fmt(gg, 3),
+                   abp::TextTable::fmt(rg > 0 ? gg / rg : 0.0, 1)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nObservations: at equal density, biased deployments localize "
+         "far worse (the §1 point — uniform\ndensification cannot fix a "
+         "systematic bias), and Grid's ABSOLUTE advantage over Random "
+         "grows\nseveral-fold. Random's own gain also rises on biased "
+         "fields (a blind drop more often lands in\nempty space), so the "
+         "grid/random RATIO narrows even as the absolute gap widens.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// bench_ablation_distributed — centralized vs distributed density control
+/// (§6: "the beacon nodes themselves … decide whether to turn themselves
+/// on"). The greedy controller uses a global error map; the distributed
+/// protocol uses only local neighbour counts. How much localization
+/// quality does decentralization cost, and how many beacons does each
+/// leave active?
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "eval/config.h"
+#include "field/generators.h"
+#include "placement/density_control.h"
+#include "placement/distributed_scheduler.h"
+#include "radio/noise_model.h"
+
+int main(int argc, char** argv) {
+  const abp::Flags flags(argc, argv);
+  const int trials = flags.get_int("trials", 5);
+  const std::uint64_t seed = flags.get_u64("seed", 20010421);
+  flags.check_unused();
+
+  abp::PaperParams params;
+  params.step = 2.0;  // evaluation lattice (greedy path stays affordable)
+
+  std::cout << "=== Ablation: greedy (global map) vs distributed (local "
+               "neighbour counts) density control ===\n"
+            << trials << " fields/cell, ideal propagation\n\n";
+
+  abp::TextTable table({"deployed", "controller", "active after",
+                        "mean LE before (m)", "mean LE after (m)",
+                        "rounds/evals"});
+  for (const std::size_t n : {140u, 240u}) {
+    for (const bool distributed : {false, true}) {
+      abp::RunningStats active, before_le, after_le, work;
+      for (int t = 0; t < trials; ++t) {
+        const std::uint64_t trial_seed = abp::derive_seed(seed, n, t);
+        const abp::PerBeaconNoiseModel model(
+            params.range, 0.0, abp::derive_seed(trial_seed, 2));
+        abp::BeaconField field(params.bounds(), model.max_range());
+        abp::Rng rng(abp::derive_seed(trial_seed, 1));
+        scatter_uniform(field, n, rng);
+        abp::ErrorMap map(params.lattice());
+        map.compute(field, model);
+        before_le.add(map.mean());
+
+        abp::Rng ctrl_rng(abp::derive_seed(trial_seed, 3));
+        if (distributed) {
+          const auto r =
+              distributed_density_control(field, {}, ctrl_rng);
+          map.compute(field, model);
+          active.add(static_cast<double>(r.final_active));
+          work.add(static_cast<double>(r.rounds));
+        } else {
+          abp::DensityControlConfig config;
+          config.tolerance_factor = 1.10;
+          config.candidate_sample = 24;
+          const auto r = greedy_density_control(field, model, map, config,
+                                                ctrl_rng);
+          active.add(static_cast<double>(r.final_active));
+          work.add(static_cast<double>(r.deactivated.size() * 24));
+        }
+        after_le.add(map.mean());
+      }
+      table.add_row({std::to_string(n),
+                     distributed ? "distributed" : "greedy",
+                     abp::TextTable::fmt(active.mean(), 1),
+                     abp::TextTable::fmt(before_le.mean(), 2),
+                     abp::TextTable::fmt(after_le.mean(), 2),
+                     abp::TextTable::fmt(work.mean(), 0)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpect: greedy keeps fewer beacons for the same error "
+               "budget (global knowledge); distributed converges in a few "
+               "rounds with zero instrumentation of the terrain, at a "
+               "modest error premium — the trade the paper's §6 sketch "
+               "anticipates.\n";
+  return 0;
+}

@@ -1,0 +1,130 @@
+/// bench_ablation_explorer — online exploration vs fixed tours (§3.1's
+/// baseline assumption relaxed): with the SAME measurement budget, how
+/// much placement quality does each survey strategy support, and at what
+/// travel cost?
+///
+/// Strategies compared at each budget: uniform boustrophedon subsampling
+/// (coarser stride), and the two-phase adaptive explorer (coarse sketch +
+/// hot-spot refinement). Placement quality is the true improvement in mean
+/// LE achieved by Grid (and Max) proposing from the measured survey.
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "eval/config.h"
+#include "field/generators.h"
+#include "loc/error_map.h"
+#include "placement/grid_placement.h"
+#include "placement/max_placement.h"
+#include "radio/noise_model.h"
+#include "robot/adaptive_explorer.h"
+
+int main(int argc, char** argv) {
+  const abp::Flags flags(argc, argv);
+  const int trials = flags.get_int("trials", 20);
+  const std::size_t beacons =
+      static_cast<std::size_t>(flags.get_int("beacons", 30));
+  const std::uint64_t seed = flags.get_u64("seed", 20010421);
+  flags.check_unused();
+
+  const abp::PaperParams params;
+  std::cout << "=== Ablation: adaptive exploration vs uniform tours ("
+            << beacons << " beacons, Noise=0.3, " << trials
+            << " fields/cell) ===\n"
+            << "full survey = " << params.pt() << " measurements\n\n";
+
+  struct Strategy {
+    const char* label;
+    bool adaptive;
+    std::size_t stride;  // uniform stride, or coarse stride when adaptive
+    std::size_t budget;  // measurements (adaptive only)
+  };
+  const Strategy strategies[] = {
+      {"uniform stride 1 (complete)", false, 1, 0},
+      {"uniform stride 3 (~1156 pts)", false, 3, 0},
+      {"adaptive, budget 1156", true, 8, 1156},
+      {"uniform stride 5 (~441 pts)", false, 5, 0},
+      {"adaptive, budget 441", true, 10, 441},
+      {"uniform stride 8 (~169 pts)", false, 8, 0},
+      {"adaptive, budget 169", true, 16, 169},
+  };
+
+  const abp::GridPlacement grid;
+  const abp::GridPlacement grid_norm(400, 2.0, /*normalized=*/true);
+  const abp::MaxPlacement max;
+
+  abp::TextTable table({"survey strategy", "measurements", "travel (km)",
+                        "grid gain (m)", "grid-norm gain (m)",
+                        "max gain (m)"});
+  for (const Strategy& s : strategies) {
+    abp::RunningStats points, travel, grid_gain, norm_gain, max_gain;
+    for (int t = 0; t < trials; ++t) {
+      const std::uint64_t trial_seed =
+          abp::derive_seed(seed, s.adaptive, s.stride, s.budget,
+                           static_cast<std::uint64_t>(t));
+      const abp::PerBeaconNoiseModel model(params.range, 0.3,
+                                           abp::derive_seed(trial_seed, 2));
+      abp::BeaconField field(params.bounds(), model.max_range());
+      abp::Rng field_rng(abp::derive_seed(trial_seed, 1));
+      scatter_uniform(field, beacons, field_rng);
+      abp::ErrorMap truth(params.lattice());
+      truth.compute(field, model);
+
+      const abp::Surveyor surveyor(field, model);
+      abp::Rng rng(abp::derive_seed(trial_seed, 3));
+      abp::SurveyData survey{params.lattice()};
+      if (s.adaptive) {
+        const auto result = explore_adaptive(
+            surveyor, params.lattice(),
+            {.coarse_stride = s.stride, .max_measurements = s.budget,
+             .refine_radius = params.range},
+            rng);
+        survey = result.survey;
+        points.add(static_cast<double>(result.tour.size()));
+        travel.add(result.travel_distance / 1000.0);
+      } else {
+        const auto tour = boustrophedon_tour(params.lattice(), s.stride);
+        survey = surveyor.survey(params.lattice(), tour, rng);
+        points.add(static_cast<double>(tour.size()));
+        travel.add(tour_length(params.lattice(), tour) / 1000.0);
+      }
+
+      auto ctx =
+          abp::PlacementContext::basic(survey, params.bounds(), params.range);
+      abp::Rng alg_rng(abp::derive_seed(trial_seed, 4));
+      const double before = truth.mean();
+      grid_gain.add(before - truth.mean_if_added(
+                                 field, model,
+                                 params.bounds().clamp(
+                                     grid.propose(ctx, alg_rng))));
+      norm_gain.add(before - truth.mean_if_added(
+                                 field, model,
+                                 params.bounds().clamp(
+                                     grid_norm.propose(ctx, alg_rng))));
+      max_gain.add(before - truth.mean_if_added(
+                                field, model,
+                                params.bounds().clamp(
+                                    max.propose(ctx, alg_rng))));
+    }
+    table.add_row({s.label, abp::TextTable::fmt(points.mean(), 0),
+                   abp::TextTable::fmt(travel.mean(), 2),
+                   abp::TextTable::fmt(grid_gain.mean(), 3) + " ±" +
+                       abp::TextTable::fmt(grid_gain.ci95(), 3),
+                   abp::TextTable::fmt(norm_gain.mean(), 3) + " ±" +
+                       abp::TextTable::fmt(norm_gain.ci95(), 3),
+                   abp::TextTable::fmt(max_gain.mean(), 3) + " ±" +
+                       abp::TextTable::fmt(max_gain.ci95(), 3)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nKey effect: the paper's CUMULATIVE grid score assumes uniform "
+         "measurement density, so the\nadaptive survey's concentrated "
+         "sampling biases it ('grid gain' drops under 'adaptive' rows).\n"
+         "The density-normalized variant ('grid-norm') and Max are robust "
+         "to non-uniform sampling.\nUniform subsampling needs no such "
+         "correction — for Grid, a coarse uniform sketch is already\n"
+         "near-optimal; adaptive exploration pays off when the placement "
+         "rule needs point resolution (Max).\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+/// bench_ablation_localizers — the estimator study behind §2.2 footnote 3
+/// and the §6 locus discussion: the paper's centroid-of-beacons estimate
+/// "summarizes the locus"; how much accuracy does the summary give up
+/// compared to the full-locus-information estimate (centroid of the
+/// feasible region), and where does multilateration sit?
+///
+/// For each density, the same sample clients are localized with
+///  * centroid (§2.2, the paper's estimator),
+///  * region centroid (full locus information; falls back to centroid
+///    where the noisy signature admits no feasible region),
+///  * least-squares multilateration with 5% ranging noise.
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "eval/config.h"
+#include "field/generators.h"
+#include "loc/localizer.h"
+#include "loc/multilateration.h"
+#include "loc/region_localizer.h"
+#include "radio/noise_model.h"
+
+int main(int argc, char** argv) {
+  const abp::Flags flags(argc, argv);
+  const int trials = flags.get_int("trials", 8);
+  const int clients = flags.get_int("clients", 150);
+  const double noise = flags.get_double("noise", 0.0);
+  const std::uint64_t seed = flags.get_u64("seed", 20010421);
+  flags.check_unused();
+
+  const abp::PaperParams params;
+  std::cout << "=== Ablation: centroid vs full-locus-region vs "
+               "multilateration (Noise=" << noise << ", " << trials
+            << " fields x " << clients << " clients) ===\n\n";
+
+  abp::TextTable table({"beacons", "centroid LE (m)", "region LE (m)",
+                        "multilat LE (m)", "region used (%)"});
+  for (const std::size_t n : {20u, 40u, 80u, 160u}) {
+    abp::RunningStats cent, reg, multi, used;
+    for (int t = 0; t < trials; ++t) {
+      const std::uint64_t trial_seed = abp::derive_seed(seed, n, t);
+      const abp::PerBeaconNoiseModel model(params.range, noise,
+                                           abp::derive_seed(trial_seed, 2));
+      abp::BeaconField field(params.bounds(), model.max_range());
+      abp::Rng rng(abp::derive_seed(trial_seed, 1));
+      scatter_uniform(field, n, rng);
+
+      const abp::CentroidLocalizer centroid(field, model);
+      const abp::RegionLocalizer region(field, model, 1.0);
+      const abp::RangingModel ranging(model, 0.05,
+                                      abp::derive_seed(trial_seed, 5));
+      const abp::MultilaterationLocalizer lateration(field, ranging);
+
+      abp::Rng client_rng(abp::derive_seed(trial_seed, 4));
+      for (int c = 0; c < clients; ++c) {
+        const abp::Vec2 p{client_rng.uniform(0.0, 100.0),
+                          client_rng.uniform(0.0, 100.0)};
+        cent.add(centroid.error(p));
+        const auto r = region.localize(p);
+        reg.add(distance(r.estimate, p));
+        used.add(r.used_region ? 100.0 : 0.0);
+        multi.add(lateration.error(p));
+      }
+    }
+    table.add_row({std::to_string(n), abp::TextTable::fmt(cent.mean(), 2),
+                   abp::TextTable::fmt(reg.mean(), 2),
+                   abp::TextTable::fmt(multi.mean(), 2),
+                   abp::TextTable::fmt(used.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpect region <= centroid at every density under ideal "
+               "propagation (the region centroid is the uniform-prior "
+               "optimum); with --noise 0.5 the feasible region often "
+               "vanishes and the advantage narrows — the paper's warning "
+               "that locus information is unreliable under real "
+               "propagation. Multilateration wins once most clients hear "
+               ">= 3 beacons.\n";
+  return 0;
+}

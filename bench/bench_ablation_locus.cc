@@ -1,0 +1,44 @@
+/// bench_ablation_locus — §6 future work: "adding new beacons to break
+/// down the loci with the largest area into smaller loci. To some extent,
+/// the Grid algorithm incorporates this strategy."
+///
+/// Compares the locus-area algorithms (largest region overall / largest
+/// covered region) against Grid and Max across densities, and reports how
+/// much each placement reduces the largest locus area.
+#include <iostream>
+
+#include "bench_util.h"
+#include "placement/grid_placement.h"
+#include "placement/coverage_placement.h"
+#include "placement/locus_placement.h"
+#include "placement/max_placement.h"
+
+int main(int argc, char** argv) {
+  auto opt = abp::bench::parse(argc, argv, /*default_trials=*/20);
+  abp::bench::banner("Ablation: locus-area placement vs Grid/Max (Ideal)",
+                     opt);
+
+  abp::SweepConfig config = make_sweep_config(opt.fig, {0.0});
+  config.beacon_counts = {20, 30, 40, 60, 100};
+
+  static const abp::MaxPlacement max;
+  static const abp::GridPlacement grid;
+  static const abp::LocusPlacement locus(false);
+  static const abp::LocusPlacement locus_covered(true);
+  static const abp::CoveragePlacement coverage(2);
+  const abp::PlacementAlgorithm* algs[] = {&max, &grid, &locus,
+                                           &locus_covered, &coverage};
+
+  const abp::SweepOutcome out = run_sweep(config, {algs, 5}, opt.fig.progress);
+  print_improvement_tables(std::cout, out, 0);
+  std::cout
+      << "Expect 'locus' (targets the largest region, usually the uncovered "
+         "exterior at low density)\nto behave like a coverage-maximizer — "
+         "competitive with Grid at the lowest densities — while\n"
+         "'locus-covered' refines granularity and matters more near "
+         "saturation. Grid remains the best\nall-round choice, confirming "
+         "the paper's remark that it already captures much of the locus\n"
+         "strategy.\n";
+  abp::bench::emit_outputs(opt, out, "Ablation: locus placement");
+  return 0;
+}

@@ -1,0 +1,100 @@
+/// bench_ablation_terrain — §6 future work: "further simulations with a
+/// more sophisticated terrain map and propagation model … to analyze the
+/// effects of terrain commonality".
+///
+/// Fields of 40 beacons are evaluated on flat terrain and on fractal
+/// (diamond–square) terrains of growing ruggedness, with line-of-sight
+/// attenuation wrapped around the radio model. Terrain blocking shrinks
+/// effective coverage and creates correlated error regions (shadows), so
+/// baseline error rises with ruggedness — and the measured algorithms'
+/// advantage over Random grows, because shadows are exactly the
+/// predictable-but-unmeasurable-a-priori structure adaptive placement
+/// exists for ("it is virtually impossible to preconfigure to such terrain
+/// and propagation uncertainties", §1).
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "eval/config.h"
+#include "field/generators.h"
+#include "loc/error_map.h"
+#include "placement/grid_placement.h"
+#include "placement/max_placement.h"
+#include "placement/random_placement.h"
+#include "radio/noise_model.h"
+#include "radio/terrain_model.h"
+#include "terrain/heightmap.h"
+
+int main(int argc, char** argv) {
+  const abp::Flags flags(argc, argv);
+  const int trials = flags.get_int("trials", 15);
+  const std::size_t beacons =
+      static_cast<std::size_t>(flags.get_int("beacons", 40));
+  const std::uint64_t seed = flags.get_u64("seed", 20010421);
+  flags.check_unused();
+
+  const abp::PaperParams params;
+  std::cout << "=== Ablation: terrain commonality (fractal terrain + LOS "
+               "attenuation, " << beacons << " beacons, " << trials
+            << " fields/cell) ===\n\n";
+
+  const abp::RandomPlacement random;
+  const abp::MaxPlacement max;
+  const abp::GridPlacement grid;
+
+  abp::TextTable table({"terrain", "mean LE (m)", "uncovered (%)",
+                        "random gain", "max gain", "grid gain"});
+  // amplitude 0 = flat reference; larger = more rugged.
+  for (const double amplitude : {0.0, 10.0, 20.0, 35.0}) {
+    abp::RunningStats le, uncov, rg, mg, gg;
+    for (int t = 0; t < trials; ++t) {
+      const std::uint64_t trial_seed =
+          abp::derive_seed(seed, static_cast<std::uint64_t>(amplitude), t);
+      const abp::HeightmapTerrain terrain = abp::HeightmapTerrain::fractal(
+          params.bounds(), abp::derive_seed(trial_seed, 6), 6, amplitude,
+          0.55, /*obstruction_softness=*/1.5);
+      const abp::PerBeaconNoiseModel base(params.range, 0.0,
+                                          abp::derive_seed(trial_seed, 2));
+      const abp::TerrainAwareModel model(base, terrain);
+
+      abp::BeaconField field(params.bounds(), model.max_range());
+      abp::Rng rng(abp::derive_seed(trial_seed, 1));
+      scatter_uniform(field, beacons, rng);
+      abp::ErrorMap map(params.lattice());
+      map.compute(field, model);
+      le.add(map.mean());
+      uncov.add(100.0 * map.uncovered_fraction());
+
+      const abp::SurveyData survey = abp::SurveyData::from_error_map(map);
+      auto ctx = abp::PlacementContext::basic(survey, params.bounds(),
+                                              params.range);
+      ctx.field = &field;
+      ctx.model = &model;
+      ctx.truth = &map;
+      abp::Rng alg_rng(abp::derive_seed(trial_seed, 4));
+      const double before = map.mean();
+      rg.add(before - map.mean_if_added(
+                          field, model,
+                          params.bounds().clamp(random.propose(ctx, alg_rng))));
+      mg.add(before - map.mean_if_added(
+                          field, model,
+                          params.bounds().clamp(max.propose(ctx, alg_rng))));
+      gg.add(before - map.mean_if_added(
+                          field, model,
+                          params.bounds().clamp(grid.propose(ctx, alg_rng))));
+    }
+    table.add_row(
+        {amplitude == 0.0 ? "flat (reference)"
+                          : "fractal, amp " + abp::TextTable::fmt(amplitude, 0) + " m",
+         abp::TextTable::fmt(le.mean(), 2), abp::TextTable::fmt(uncov.mean(), 1),
+         abp::TextTable::fmt(rg.mean(), 3), abp::TextTable::fmt(mg.mean(), 3),
+         abp::TextTable::fmt(gg.mean(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpect baseline error and uncovered area to grow with "
+               "ruggedness, and the measured algorithms (Max, Grid) to "
+               "widen their lead over Random — terrain shadows are exactly "
+               "what empirical adaptation discovers.\n";
+  return 0;
+}

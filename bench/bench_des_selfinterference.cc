@@ -1,0 +1,90 @@
+/// bench_des_selfinterference — §1's motivation for limiting beacon
+/// density: "at very high densities, the probability of collisions among
+/// signals transmitted by the beacons increases. Therefore even if we had
+/// unlimited numbers of beacons, we would like to limit their use."
+///
+/// The packet-level DES runs the §2.2 beaconing protocol (period T,
+/// listening window t, threshold CMthresh) over an ALOHA channel and
+/// reports, per deployment density: packet loss rate, how many in-range
+/// beacons fail CMthresh because of collisions, and the resulting mean
+/// localization error at sample clients — demonstrating that beyond the
+/// saturation density, extra beacons *hurt* at the protocol level.
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "des/beaconing.h"
+#include "field/generators.h"
+#include "loc/connectivity.h"
+#include "radio/propagation.h"
+
+int main(int argc, char** argv) {
+  const abp::Flags flags(argc, argv);
+  const int clients = flags.get_int("clients", 12);
+  const int fields = flags.get_int("fields", 5);
+  const double packet_time = flags.get_double("packet-time", 0.02);
+  const std::uint64_t seed = flags.get_u64("seed", 20010421);
+  flags.check_unused();
+
+  abp::BeaconingConfig cfg;
+  cfg.period = 1.0;
+  cfg.listen_time = 25.0;
+  cfg.packet_time = packet_time;
+  cfg.cm_thresh = 0.75;
+  cfg.jitter = 0.3;
+
+  std::cout << "=== Self-interference at high beacon density (DES) ===\n"
+            << "T=" << cfg.period << " s, t=" << cfg.listen_time
+            << " s, packet=" << cfg.packet_time * 1e3
+            << " ms, CMthresh=" << cfg.cm_thresh << ", " << fields
+            << " fields x " << clients << " clients\n\n";
+
+  const abp::AABB bounds = abp::AABB::square(100.0);
+  const abp::IdealDiskModel model(15.0);
+
+  abp::TextTable table({"beacons", "density", "MAC", "loss rate", "in-range",
+                        "connected", "lost to CMthresh", "dropped",
+                        "mean LE (m)"});
+  for (const std::size_t n : {20u, 60u, 120u, 240u, 480u, 960u}) {
+    for (const abp::MacMode mac : {abp::MacMode::kAloha, abp::MacMode::kCsma}) {
+      cfg.mac = mac;
+      abp::RunningStats loss, in_range, connected, le, dropped;
+      for (int f = 0; f < fields; ++f) {
+        abp::BeaconField field(bounds);
+        abp::Rng field_rng(seed + static_cast<std::uint64_t>(f));
+        scatter_uniform(field, n, field_rng);
+        // Separate streams so both MAC rows see identical clients.
+        abp::Rng client_rng(abp::derive_seed(seed, 1, f));
+        abp::Rng rng(abp::derive_seed(seed, 2, f));
+        for (int c = 0; c < clients; ++c) {
+          const abp::Vec2 p{client_rng.uniform(10.0, 90.0),
+                            client_rng.uniform(10.0, 90.0)};
+          const auto outcome = simulate_listen(field, model, p, cfg, rng);
+          loss.add(outcome.loss_rate);
+          in_range.add(static_cast<double>(outcome.detail.size()));
+          connected.add(static_cast<double>(outcome.connected.size()));
+          dropped.add(static_cast<double>(outcome.dropped_packets));
+          le.add(distance(outcome.estimate, p));
+        }
+      }
+      table.add_row({std::to_string(n),
+                     abp::TextTable::fmt(static_cast<double>(n) / 1e4, 4),
+                     mac == abp::MacMode::kAloha ? "ALOHA" : "CSMA",
+                     abp::TextTable::fmt(loss.mean(), 3),
+                     abp::TextTable::fmt(in_range.mean(), 1),
+                     abp::TextTable::fmt(connected.mean(), 1),
+                     abp::TextTable::fmt(in_range.mean() - connected.mean(), 1),
+                     abp::TextTable::fmt(dropped.mean(), 1),
+                     abp::TextTable::fmt(le.mean(), 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpect ALOHA loss to grow with density until, past "
+               "saturation, in-range beacons fail CMthresh and mean LE "
+               "DEGRADES — the §1 self-interference argument. Carrier "
+               "sensing (CSMA) defers instead of colliding and holds "
+               "connectivity together far longer, at the cost of dropped "
+               "packets under true saturation.\n";
+  return 0;
+}

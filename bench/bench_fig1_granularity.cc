@@ -1,0 +1,50 @@
+/// bench_fig1_granularity — Figure 1: "beacon density vs granularity of
+/// localization regions". A 2×2 uniform beacon grid yields fewer and
+/// larger localization regions; a 3×3 grid yields more and smaller ones.
+/// We quantify the schematic with the locus decomposition: region count,
+/// mean region area, and the resulting mean localization error.
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "eval/config.h"
+#include "field/generators.h"
+#include "loc/error_map.h"
+#include "loc/locus.h"
+#include "radio/propagation.h"
+
+int main(int argc, char** argv) {
+  const abp::Flags flags(argc, argv);
+  const double range = flags.get_double("range", 35.0);
+  flags.check_unused();
+
+  std::cout << "=== Figure 1: beacon grid density vs localization "
+               "granularity ===\n"
+            << "uniform n x n beacon grids on 100x100 m, R=" << range
+            << " m\n\n";
+
+  const abp::AABB bounds = abp::AABB::square(100.0);
+  const abp::Lattice2D lattice(bounds, 1.0);
+  const abp::IdealDiskModel model(range);
+
+  abp::TextTable table({"beacon grid", "beacons", "regions", "mean region area (m^2)",
+                        "largest region (m^2)", "mean LE (m)"});
+  for (std::size_t n = 2; n <= 6; ++n) {
+    abp::BeaconField field(bounds);
+    abp::place_grid(field, n, n);
+    const abp::LocusAnalysis loci = analyze_loci(field, model, lattice);
+    abp::ErrorMap map(lattice);
+    map.compute(field, model);
+    table.add_row({std::to_string(n) + "x" + std::to_string(n),
+                   std::to_string(n * n), std::to_string(loci.region_count()),
+                   abp::TextTable::fmt(loci.mean_area(), 1),
+                   abp::TextTable::fmt(loci.largest()->area, 1),
+                   abp::TextTable::fmt(map.mean(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper claim (Fig 1): increasing beacon density yields more "
+               "and smaller localization regions,\nhence finer granularity "
+               "and lower localization error. Expect 'regions' to rise and\n"
+               "'mean region area' / 'mean LE' to fall down the table.\n";
+  return 0;
+}

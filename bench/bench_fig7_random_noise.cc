@@ -1,0 +1,21 @@
+/// bench_fig7_random_noise — Figure 7: improvement in mean and median
+/// error with the Random algorithm, across densities and noise levels.
+///
+/// Paper: "the gains in both metrics with the Random algorithm are
+/// somewhat unchanged with noise … because noise is not an input in the
+/// Random algorithm, which does not make any measurements."
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  auto opt = abp::bench::parse(argc, argv, /*default_trials=*/50);
+  abp::bench::banner("Figure 7: Random algorithm vs density and noise", opt);
+
+  const abp::SweepOutcome out = run_fig_alg_noise("random", opt.fig);
+  print_algorithm_noise_tables(std::cout, out, 0);
+  std::cout << "Paper: columns should be statistically indistinguishable — "
+               "Random takes no measurements.\n";
+  abp::bench::emit_outputs(opt, out, "Figure 7: Random vs density and noise");
+  return 0;
+}

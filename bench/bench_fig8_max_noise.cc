@@ -1,0 +1,18 @@
+/// bench_fig8_max_noise — Figure 8: improvement in mean and median error
+/// with the Max algorithm, across densities and noise levels.
+///
+/// Paper: noise makes moderate densities somewhat more improvable for Max
+/// (less so than Grid); median gains are mostly unchanged.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  auto opt = abp::bench::parse(argc, argv, /*default_trials=*/50);
+  abp::bench::banner("Figure 8: Max algorithm vs density and noise", opt);
+
+  const abp::SweepOutcome out = run_fig_alg_noise("max", opt.fig);
+  print_algorithm_noise_tables(std::cout, out, 0);
+  abp::bench::emit_outputs(opt, out, "Figure 8: Max vs density and noise");
+  return 0;
+}

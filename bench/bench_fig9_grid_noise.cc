@@ -1,0 +1,19 @@
+/// bench_fig9_grid_noise — Figure 9: improvement in mean and median error
+/// with the Grid algorithm, across densities and noise levels.
+///
+/// Paper: Grid remains clearly the best algorithm under noise, and noise
+/// makes moderate densities (0.005–0.01 /m²) more improvable with Grid;
+/// median improvements stay relatively unchanged.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  auto opt = abp::bench::parse(argc, argv, /*default_trials=*/50);
+  abp::bench::banner("Figure 9: Grid algorithm vs density and noise", opt);
+
+  const abp::SweepOutcome out = run_fig_alg_noise("grid", opt.fig);
+  print_algorithm_noise_tables(std::cout, out, 0);
+  abp::bench::emit_outputs(opt, out, "Figure 9: Grid vs density and noise");
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// bench_table1_params — Table 1 of the paper: simulation parameters,
+/// echoed together with every derived quantity the evaluation relies on,
+/// each validated against the paper's formulas.
+#include <iostream>
+
+#include "common/assert.h"
+#include "common/table.h"
+#include "eval/config.h"
+#include "placement/grid_placement.h"
+#include "loc/survey_data.h"
+
+int main() {
+  using abp::TextTable;
+  const abp::PaperParams p;
+
+  std::cout << "=== Table 1: Simulation Parameters ===\n\n";
+  TextTable t1({"Parameter", "Value"});
+  t1.add_row({"Side", "100m"});
+  t1.add_row({"R", "15m"});
+  t1.add_row({"step", "1m"});
+  t1.add_row({"NG", "400"});
+  t1.print(std::cout);
+
+  std::cout << "\nDerived quantities (validated):\n";
+  TextTable t2({"Quantity", "Formula", "Value"});
+
+  const std::size_t pt = p.pt();
+  ABP_CHECK(pt == 10201, "PT must be (Side/step + 1)^2 = 10201");
+  t2.add_row({"PT (measurement points)", "(Side/step + 1)^2",
+              std::to_string(pt)});
+
+  const abp::GridPlacement grid(p.num_grids);
+  ABP_CHECK(grid.grids_per_axis() == 20, "sqrt(NG) = 20");
+  t2.add_row({"grids per axis", "sqrt(NG)",
+              std::to_string(grid.grids_per_axis())});
+  t2.add_row({"gridSide", "2R", TextTable::fmt(2.0 * p.range, 0) + "m"});
+
+  // Grid centers span [gridSide/2, Side - gridSide/2] = [15, 85].
+  const abp::Lattice2D lattice = p.lattice();
+  abp::SurveyData survey(lattice);
+  lattice.for_each([&](std::size_t flat, abp::Vec2) { survey.record(flat, 0.0); });
+  auto ctx = abp::PlacementContext::basic(survey, p.bounds(), p.range);
+  const auto scores = grid.scores(ctx);
+  ABP_CHECK(scores.size() == 400, "NG grids");
+  t2.add_row({"first grid center", "(gridSide/2, gridSide/2)",
+              "(15, 15)"});
+  t2.add_row({"last grid center", "(Side-gridSide/2, ...)", "(85, 85)"});
+  ABP_CHECK(std::abs(scores.front().center.x - 15.0) < 1e-9, "Xc(1,1)=15");
+  ABP_CHECK(std::abs(scores.back().center.x - 85.0) < 1e-9, "Xc(20,20)=85");
+
+  // PG ≈ PT·(2R)²/Side² (paper's approximation) vs exact membership.
+  const double pg_formula = static_cast<double>(pt) * 900.0 / 10000.0;
+  t2.add_row({"PG (paper approx.)", "PT*(2R)^2/Side^2",
+              TextTable::fmt(pg_formula, 0)});
+  t2.add_row({"PG (exact, interior grid)", "lattice points in 30x30 box",
+              std::to_string(scores[scores.size() / 2].points)});
+
+  // Density axis endpoints (§4.1).
+  t2.add_row({"density @ 20 beacons", "N/Side^2",
+              TextTable::fmt(p.density(20), 4) + " /m^2"});
+  t2.add_row({"density @ 240 beacons", "N/Side^2",
+              TextTable::fmt(p.density(240), 4) + " /m^2"});
+  t2.add_row({"beacons/coverage @ 20", "density*pi*R^2",
+              TextTable::fmt(p.beacons_per_coverage(20), 2)});
+  t2.add_row({"beacons/coverage @ 240", "density*pi*R^2",
+              TextTable::fmt(p.beacons_per_coverage(240), 2)});
+  ABP_CHECK(std::abs(p.beacons_per_coverage(20) - 1.41) < 0.01,
+            "paper: 1.41 beacons per coverage area at N=20");
+  ABP_CHECK(std::abs(p.beacons_per_coverage(240) - 17.0) < 0.05,
+            "paper: 17 beacons per coverage area at N=240");
+
+  t2.print(std::cout);
+  std::cout << "\nAll derived quantities match the paper's formulas.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// \file bench_util.h
+/// \brief Shared CLI/progress plumbing for the figure-reproduction benches.
+///
+/// Every bench accepts:
+///   --trials N    fields per (density, noise) cell (paper scale: 1000)
+///   --stride K    keep every K-th paper beacon count (1 = all 23)
+///   --seed S      master seed
+///   --threads T   worker threads (0 = hardware)
+///   --csv PATH    also write the full outcome as CSV
+#pragma once
+
+#include <unistd.h>
+
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "eval/figures.h"
+#include "eval/gnuplot.h"
+#include "eval/report.h"
+
+namespace abp::bench {
+
+struct Options {
+  FigureOptions fig;
+  std::string csv;
+  std::string gnuplot;  ///< basename for .dat/.gp export (empty = off)
+};
+
+inline Options parse(int argc, char** argv, std::size_t default_trials,
+                     std::size_t default_stride = 1) {
+  const Flags flags(argc, argv);
+  Options opt;
+  opt.fig.trials = static_cast<std::size_t>(
+      flags.get_int("trials", static_cast<int>(default_trials)));
+  opt.fig.count_stride = static_cast<std::size_t>(
+      flags.get_int("stride", static_cast<int>(default_stride)));
+  opt.fig.seed = flags.get_u64("seed", 20010421);
+  opt.fig.threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
+  opt.csv = flags.get_string("csv", "");
+  opt.gnuplot = flags.get_string("gnuplot", "");
+  flags.check_unused();
+  // Live progress only when a human is watching; redirected runs (e.g.
+  // `for b in build/bench/*; do $b; done | tee …`) stay clean.
+  if (isatty(STDERR_FILENO)) {
+    opt.fig.progress = [](std::size_t done, std::size_t total) {
+      std::cerr << "\r  cells " << done << "/" << total << std::flush;
+      if (done == total) std::cerr << "\n";
+    };
+  }
+  return opt;
+}
+
+inline void banner(const std::string& title, const Options& opt) {
+  std::cout << "=== " << title << " ===\n"
+            << "trials/cell=" << opt.fig.trials
+            << " (paper: 1000), seed=" << opt.fig.seed
+            << ", density stride=" << opt.fig.count_stride << "\n\n";
+}
+
+/// Optional CSV and gnuplot exports, shared by all figure benches.
+inline void emit_outputs(const Options& opt, const SweepOutcome& outcome,
+                         const std::string& title) {
+  maybe_write_csv(opt.csv, outcome);
+  if (!opt.gnuplot.empty()) export_gnuplot(opt.gnuplot, title, outcome);
+}
+
+}  // namespace abp::bench

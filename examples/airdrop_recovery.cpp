@@ -1,0 +1,78 @@
+/// examples/airdrop_recovery.cpp — the paper's §1 motivating scenario.
+///
+/// Beacons are air-dropped over a terrain with a central hilltop; they roll
+/// downhill, leaving the hilltop (where the lighter sensor nodes sit)
+/// beacon-poor. Merely doubling the airdrop would repeat the same bias
+/// ("terrain commonality"); instead a robot surveys the terrain and places
+/// a few beacons adaptively with the Grid algorithm until the localization
+/// target is met.
+///
+///   ./airdrop_recovery [--beacons 60] [--budget 8] [--target 6.0] [--seed 3]
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/adaptive_session.h"
+#include "core/simulation.h"
+#include "field/generators.h"
+#include "placement/grid_placement.h"
+#include "radio/noise_model.h"
+#include "radio/terrain_model.h"
+#include "terrain/heightmap.h"
+
+int main(int argc, char** argv) {
+  const abp::Flags flags(argc, argv);
+  const auto beacons = static_cast<std::size_t>(flags.get_int("beacons", 60));
+  const auto budget = static_cast<std::size_t>(flags.get_int("budget", 8));
+  const double target = flags.get_double("target", 6.0);
+  const std::uint64_t seed = flags.get_u64("seed", 3);
+  flags.check_unused();
+
+  const abp::AABB bounds = abp::AABB::square(100.0);
+  const abp::HillTerrain hill(bounds, bounds.center(), /*height=*/30.0,
+                              /*sigma=*/18.0);
+
+  // Propagation: the paper's noise model, additionally attenuated where the
+  // hill blocks line of sight.
+  auto base = std::make_unique<abp::PerBeaconNoiseModel>(15.0, 0.3, seed);
+  auto model = std::make_unique<abp::TerrainAwareModel>(*base, hill);
+
+  abp::Simulation sim(bounds, 1.0, std::move(model), seed);
+  // Keep the inner model alive for the simulation's lifetime.
+  const auto keep_alive = std::move(base);
+
+  // Air-drop: aimed uniformly, but beacons roll off the hill.
+  abp::Rng drop_rng(seed);
+  abp::airdrop(sim.mutable_field(), beacons, hill, drop_rng,
+               /*roll_gain=*/25.0, /*jitter=*/1.5);
+  sim.refresh();
+
+  std::cout << "Airdrop over a hilltop: " << beacons << " beacons rolled "
+            << "downhill; mean LE = " << abp::TextTable::fmt(sim.mean_error(), 2)
+            << " m, uncovered = "
+            << abp::TextTable::fmt(100.0 * sim.uncovered_fraction(), 1)
+            << "% of the terrain\n\n";
+
+  const abp::GridPlacement grid;
+  const abp::SessionConfig session{.target_mean_error = target,
+                                   .max_beacons = budget};
+  const abp::SessionReport report = run_adaptive_session(sim, grid, session);
+
+  abp::TextTable table(
+      {"step", "placed at", "mean LE before", "mean LE after", "gain (m)"});
+  for (const auto& s : report.steps) {
+    table.add_row({std::to_string(s.step + 1),
+                   "(" + abp::TextTable::fmt(s.position.x, 1) + ", " +
+                       abp::TextTable::fmt(s.position.y, 1) + ")",
+                   abp::TextTable::fmt(s.mean_before, 2),
+                   abp::TextTable::fmt(s.mean_after, 2),
+                   abp::TextTable::fmt(s.improvement(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n"
+            << (report.reached_target ? "target met" : "budget exhausted")
+            << ": mean LE = " << abp::TextTable::fmt(report.final_mean_error, 2)
+            << " m after " << report.beacons_added() << " adaptive beacons ("
+            << "target " << target << " m)\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+/// examples/multilateration_comparison.cpp — the §6 future-work study.
+///
+/// Compares proximity (centroid) localization against least-squares
+/// multilateration on identical beacon fields, and shows how the right
+/// placement algorithm differs: proximity error is governed by density
+/// (Grid targets error mass), multilateration error by geometry (GDOP
+/// placement targets the worst constellation).
+///
+///   ./multilateration_comparison [--beacons 25] [--ranging-sigma 0.05]
+///                                [--noise 0.1] [--seed 17] [--points 400]
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/simulation.h"
+#include "loc/connectivity.h"
+#include "loc/localizer.h"
+#include "loc/multilateration.h"
+#include "placement/gdop_placement.h"
+#include "placement/grid_placement.h"
+
+namespace {
+
+struct Quality {
+  double proximity_mean;
+  double multilateration_mean;
+  double gdop_p90;
+  double coverage3;  ///< fraction of points hearing >= 3 beacons
+};
+
+Quality measure(const abp::Simulation& sim, const abp::RangingModel& ranging,
+                std::size_t sample_points, abp::Rng& rng) {
+  const abp::CentroidLocalizer proximity(sim.field(), sim.model());
+  const abp::MultilaterationLocalizer multi(sim.field(), ranging);
+  std::vector<double> prox_err, multi_err, gdops;
+  std::size_t covered3 = 0;
+  for (std::size_t s = 0; s < sample_points; ++s) {
+    const abp::Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    prox_err.push_back(proximity.error(p));
+    multi_err.push_back(multi.error(p));
+    const auto beacons = connected_beacons(sim.field(), sim.model(), p);
+    if (beacons.size() >= 3) ++covered3;
+    gdops.push_back(std::min(abp::gdop(p, beacons), 50.0));
+  }
+  return {abp::mean(prox_err), abp::mean(multi_err),
+          abp::quantile(gdops, 0.9),
+          static_cast<double>(covered3) / static_cast<double>(sample_points)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const abp::Flags flags(argc, argv);
+  const auto beacons = static_cast<std::size_t>(flags.get_int("beacons", 60));
+  const double ranging_sigma = flags.get_double("ranging-sigma", 0.05);
+  const double noise = flags.get_double("noise", 0.1);
+  const std::uint64_t seed = flags.get_u64("seed", 17);
+  const auto points = static_cast<std::size_t>(flags.get_int("points", 400));
+  flags.check_unused();
+
+  std::cout << "Proximity vs multilateration, " << beacons
+            << " beacons, ranging noise " << 100.0 * ranging_sigma << "%\n\n";
+
+  abp::TextTable table({"placement", "proximity mean LE (m)",
+                        "multilateration mean LE (m)", "GDOP p90",
+                        ">=3 beacons (%)"});
+
+  const abp::GridPlacement grid_alg;
+  const abp::GdopPlacement gdop_alg;
+  const struct {
+    const char* label;
+    const abp::PlacementAlgorithm* alg;
+  } rows[] = {{"none (baseline)", nullptr},
+              {"grid (+3 beacons)", &grid_alg},
+              {"gdop (+3 beacons)", &gdop_alg}};
+
+  for (const auto& row : rows) {
+    abp::Simulation sim({.noise = noise, .seed = seed});
+    sim.deploy_uniform(beacons);
+    const abp::RangingModel ranging(sim.model(), ranging_sigma, seed ^ 0x5A);
+    if (row.alg != nullptr) {
+      for (int k = 0; k < 3; ++k) sim.place_with(*row.alg);
+    }
+    abp::Rng sample_rng(seed + 99);  // same sample points for every row
+    const Quality q = measure(sim, ranging, points, sample_rng);
+    table.add_row({row.label, abp::TextTable::fmt(q.proximity_mean, 2),
+                   abp::TextTable::fmt(q.multilateration_mean, 2),
+                   abp::TextTable::fmt(q.gdop_p90, 2),
+                   abp::TextTable::fmt(100.0 * q.coverage3, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nProximity error tracks density; multilateration error "
+               "tracks ranging coverage and geometry (GDOP). See "
+               "bench_ablation_multilateration for the full sweep (§6).\n";
+  return 0;
+}

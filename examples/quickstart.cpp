@@ -1,0 +1,54 @@
+/// examples/quickstart.cpp — smallest end-to-end tour of the public API.
+///
+/// Sets up the paper's simulation (Table 1 parameters), deploys a sparse
+/// random beacon field, and lets each §3.2 algorithm place one additional
+/// beacon, printing the improvement each achieves on the same field.
+///
+///   ./quickstart [--beacons 40] [--noise 0.3] [--seed 7]
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/simulation.h"
+#include "placement/grid_placement.h"
+#include "placement/max_placement.h"
+#include "placement/random_placement.h"
+
+int main(int argc, char** argv) {
+  const abp::Flags flags(argc, argv);
+  const auto beacons = static_cast<std::size_t>(flags.get_int("beacons", 40));
+  const double noise = flags.get_double("noise", 0.0);
+  const std::uint64_t seed = flags.get_u64("seed", 7);
+  flags.check_unused();
+
+  const abp::RandomPlacement random;
+  const abp::MaxPlacement max;
+  const abp::GridPlacement grid;
+  const abp::PlacementAlgorithm* algorithms[] = {&random, &max, &grid};
+
+  std::cout << "Adaptive Beacon Placement quickstart\n"
+            << "terrain 100x100 m, R=15 m, " << beacons
+            << " random beacons, Noise=" << noise << "\n\n";
+
+  abp::TextTable table({"algorithm", "placed at", "mean LE before (m)",
+                        "mean LE after (m)", "improvement (m)"});
+  for (const auto* alg : algorithms) {
+    // A fresh identically-seeded simulation per algorithm: all three are
+    // compared on the same beacon field and noise landscape.
+    abp::Simulation sim({.noise = noise, .seed = seed});
+    sim.deploy_uniform(beacons);
+    const double before = sim.mean_error();
+    const abp::BeaconId id = sim.place_with(*alg);
+    const abp::Vec2 pos = sim.field().get(id)->pos;
+    table.add_row({alg->name(),
+                   "(" + abp::TextTable::fmt(pos.x, 1) + ", " +
+                       abp::TextTable::fmt(pos.y, 1) + ")",
+                   abp::TextTable::fmt(before, 2),
+                   abp::TextTable::fmt(sim.mean_error(), 2),
+                   abp::TextTable::fmt(before - sim.mean_error(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nGrid should achieve the largest improvement on sparse "
+               "fields (paper §4.2, Fig 5).\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// \file assert.h
+/// \brief Runtime validation macros used across the library.
+///
+/// `ABP_CHECK` validates preconditions and configuration at API boundaries in
+/// every build type and throws `abp::CheckFailure` (a `std::logic_error`) on
+/// violation, so misuse is diagnosable rather than undefined.
+/// `ABP_DCHECK` guards internal invariants on hot paths and compiles away in
+/// release builds (`NDEBUG`).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace abp {
+
+/// Exception thrown when an `ABP_CHECK` condition is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ABP_CHECK failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace abp
+
+/// Validate `cond`; on failure throw abp::CheckFailure with context `msg`.
+#define ABP_CHECK(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::abp::detail::check_failed(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                 \
+  } while (0)
+
+/// Debug-only invariant check; disappears entirely under NDEBUG.
+#ifdef NDEBUG
+#define ABP_DCHECK(cond, msg) \
+  do {                        \
+  } while (0)
+#else
+#define ABP_DCHECK(cond, msg) ABP_CHECK(cond, msg)
+#endif

@@ -1,0 +1,79 @@
+#include "common/csv.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace abp {
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  ABP_CHECK(!wrote_header_ && !wrote_data_, "header must be first");
+  wrote_header_ = true;
+  row(names);
+  wrote_data_ = false;  // row() sets it; header does not count as data
+}
+
+void CsvWriter::begin_row() {
+  ABP_CHECK(!row_open_, "previous row not ended");
+  row_open_ = true;
+  first_cell_ = true;
+}
+
+void CsvWriter::separator() {
+  if (!first_cell_) out_ << ',';
+  first_cell_ = false;
+}
+
+void CsvWriter::cell(const std::string& text) {
+  ABP_CHECK(row_open_, "cell outside a row");
+  separator();
+  out_ << escape(text);
+}
+
+void CsvWriter::number(double value) {
+  ABP_CHECK(row_open_, "cell outside a row");
+  separator();
+  char buf[64];
+  if (std::isfinite(value) && value == static_cast<double>(static_cast<long long>(value)) &&
+      std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  }
+  out_ << buf;
+}
+
+void CsvWriter::number(std::size_t value) {
+  ABP_CHECK(row_open_, "cell outside a row");
+  separator();
+  out_ << value;
+}
+
+void CsvWriter::end_row() {
+  ABP_CHECK(row_open_, "end_row without begin_row");
+  row_open_ = false;
+  wrote_data_ = true;
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  begin_row();
+  for (const auto& c : cells) cell(c);
+  end_row();
+}
+
+std::string CsvWriter::escape(const std::string& text) {
+  const bool needs_quote =
+      text.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return text;
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace abp

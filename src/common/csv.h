@@ -1,0 +1,44 @@
+/// \file csv.h
+/// \brief CSV writer for experiment output (`--csv` flag on every bench).
+///
+/// Produces RFC-4180-style CSV: fields containing commas, quotes or newlines
+/// are quoted, embedded quotes doubled. Numeric cells are emitted with enough
+/// precision to round-trip a double.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace abp {
+
+class CsvWriter {
+ public:
+  /// Writes to `out`, which must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write a header row; may be called once, before any data row.
+  void header(const std::vector<std::string>& names);
+
+  /// Begin a new row; cells are appended with `cell`/`number`.
+  void begin_row();
+  void cell(const std::string& text);
+  void number(double value);
+  void number(std::size_t value);
+  void end_row();
+
+  /// One-shot convenience.
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  void separator();
+  static std::string escape(const std::string& text);
+
+  std::ostream& out_;
+  bool row_open_ = false;
+  bool first_cell_ = true;
+  bool wrote_header_ = false;
+  bool wrote_data_ = false;
+};
+
+}  // namespace abp

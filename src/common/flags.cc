@@ -1,0 +1,110 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/assert.h"
+
+namespace abp {
+
+Flags::Flags(int argc, const char* const* argv) {
+  ABP_CHECK(argc >= 1, "argc must include the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string key = arg.substr(2);
+    std::string value;
+    const auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    ABP_CHECK(!key.empty(), "empty flag name");
+    values_[key] = value;
+  }
+}
+
+std::optional<std::string> Flags::raw(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  used_.insert(key);
+  return it->second;
+}
+
+bool Flags::has(const std::string& key) const { return raw(key).has_value(); }
+
+std::string Flags::get_string(const std::string& key, std::string def) const {
+  const auto v = raw(key);
+  return v ? *v : def;
+}
+
+int Flags::get_int(const std::string& key, int def) const {
+  const auto v = raw(key);
+  if (!v) return def;
+  try {
+    std::size_t pos = 0;
+    const int out = std::stoi(*v, &pos);
+    ABP_CHECK(pos == v->size(), "trailing characters in --" + key);
+    return out;
+  } catch (const std::invalid_argument&) {
+    ABP_CHECK(false, "flag --" + key + " expects an integer, got '" + *v + "'");
+  } catch (const std::out_of_range&) {
+    ABP_CHECK(false, "flag --" + key + " integer out of range: '" + *v + "'");
+  }
+  return def;  // unreachable
+}
+
+double Flags::get_double(const std::string& key, double def) const {
+  const auto v = raw(key);
+  if (!v) return def;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(*v, &pos);
+    ABP_CHECK(pos == v->size(), "trailing characters in --" + key);
+    return out;
+  } catch (const std::invalid_argument&) {
+    ABP_CHECK(false, "flag --" + key + " expects a number, got '" + *v + "'");
+  } catch (const std::out_of_range&) {
+    ABP_CHECK(false, "flag --" + key + " number out of range: '" + *v + "'");
+  }
+  return def;  // unreachable
+}
+
+bool Flags::get_bool(const std::string& key, bool def) const {
+  const auto v = raw(key);
+  if (!v) return def;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes") return true;
+  if (*v == "0" || *v == "false" || *v == "no") return false;
+  ABP_CHECK(false, "flag --" + key + " expects a boolean, got '" + *v + "'");
+  return def;  // unreachable
+}
+
+std::uint64_t Flags::get_u64(const std::string& key, std::uint64_t def) const {
+  const auto v = raw(key);
+  if (!v) return def;
+  try {
+    std::size_t pos = 0;
+    const unsigned long long out = std::stoull(*v, &pos);
+    ABP_CHECK(pos == v->size(), "trailing characters in --" + key);
+    return static_cast<std::uint64_t>(out);
+  } catch (const std::invalid_argument&) {
+    ABP_CHECK(false, "flag --" + key + " expects an integer, got '" + *v + "'");
+  } catch (const std::out_of_range&) {
+    ABP_CHECK(false, "flag --" + key + " integer out of range: '" + *v + "'");
+  }
+  return def;  // unreachable
+}
+
+void Flags::check_unused() const {
+  for (const auto& [key, value] : values_) {
+    ABP_CHECK(used_.count(key) != 0, "unknown flag --" + key);
+  }
+}
+
+}  // namespace abp

@@ -1,0 +1,51 @@
+/// \file flags.h
+/// \brief Minimal command-line flag parsing for the bench & example binaries.
+///
+/// Accepts `--key value` and `--key=value` forms; anything else is a
+/// positional argument. Typed getters validate and report unknown or
+/// malformed flags so every reproduction binary shares uniform UX:
+///
+///     abp::Flags flags(argc, argv);
+///     const int trials = flags.get_int("trials", 100);
+///     const std::string csv = flags.get_string("csv", "");
+///     flags.check_unused();  // typo protection
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace abp {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// True if `--key` was present (with or without a value).
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, std::string def) const;
+  int get_int(const std::string& key, int def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+  /// Throws CheckFailure naming any flag that was supplied but never read —
+  /// catches typos like `--trails 100`.
+  void check_unused() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace abp

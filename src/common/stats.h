@@ -1,0 +1,79 @@
+/// \file stats.h
+/// \brief Descriptive statistics used by the evaluation harness.
+///
+/// The paper reports per-density means of per-field metrics with 95%
+/// confidence intervals (§4.1); `Summary` and `RunningStats` provide exactly
+/// those quantities. Quantiles use linear interpolation between order
+/// statistics (type-7, the common spreadsheet/NumPy default).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace abp {
+
+/// Arithmetic mean of `xs`; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double sample_stddev(std::span<const double> xs);
+
+/// Interpolated quantile, q in [0,1]. Copies and partially sorts internally.
+double quantile(std::span<const double> xs, double q);
+
+/// Median (quantile 0.5).
+double median(std::span<const double> xs);
+
+/// Half-width of the 95% confidence interval on the mean, using the
+/// Student-t critical value for small n and the normal approximation for
+/// large n. Returns 0 for fewer than 2 samples.
+double ci95_half_width(std::span<const double> xs);
+
+/// Two-sided Student-t 97.5% critical value for `dof` degrees of freedom.
+/// Exact table for dof <= 30, asymptotic 1.96 beyond.
+double t_critical_975(std::size_t dof);
+
+/// Full descriptive summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double ci95 = 0.0;  ///< 95% CI half-width on the mean
+};
+
+/// Compute a `Summary` over `xs` (single pass + one partial sort per
+/// quantile). Empty input yields a zeroed summary.
+Summary summarize(std::span<const double> xs);
+
+/// Numerically stable streaming mean/variance (Welford). Used where storing
+/// every sample would be wasteful (e.g. per-point error accumulation).
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// 95% CI half-width on the mean.
+  double ci95() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace abp

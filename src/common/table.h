@@ -1,0 +1,38 @@
+/// \file table.h
+/// \brief ASCII table rendering for paper-style result output.
+///
+/// Every figure-reproduction bench prints its data series as an aligned
+/// table (the textual equivalent of the paper's plot), so results are
+/// readable straight from the terminal and diffable across runs.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace abp {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> columns);
+
+  /// Append a row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows rendered with `precision` decimals.
+  void add_numeric_row(const std::vector<double>& values, int precision = 4);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with a header rule and right-aligned numeric-looking cells.
+  void print(std::ostream& out) const;
+
+  /// Format a double with fixed precision (shared helper).
+  static std::string fmt(double value, int precision = 4);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace abp

@@ -1,0 +1,42 @@
+#include "core/adaptive_session.h"
+
+#include "common/assert.h"
+
+namespace abp {
+
+SessionReport run_adaptive_session(Simulation& sim,
+                                   const PlacementAlgorithm& algorithm,
+                                   const SessionConfig& config) {
+  ABP_CHECK(config.target_mean_error >= 0.0, "negative target error");
+  SessionReport report;
+
+  for (std::size_t step = 0; step < config.max_beacons; ++step) {
+    if (sim.mean_error() <= config.target_mean_error) {
+      report.reached_target = true;
+      break;
+    }
+    SessionStep entry;
+    entry.step = step;
+    entry.mean_before = sim.mean_error();
+    entry.median_before = sim.median_error();
+
+    const BeaconId id = sim.place_with(algorithm);
+    entry.position = sim.field().get(id)->pos;
+    entry.mean_after = sim.mean_error();
+    entry.median_after = sim.median_error();
+    report.steps.push_back(entry);
+
+    if (config.min_step_improvement >= 0.0 &&
+        entry.improvement() < config.min_step_improvement) {
+      break;
+    }
+  }
+  if (sim.mean_error() <= config.target_mean_error) {
+    report.reached_target = true;
+  }
+  report.final_mean_error = sim.mean_error();
+  report.final_median_error = sim.median_error();
+  return report;
+}
+
+}  // namespace abp

@@ -1,0 +1,51 @@
+/// \file adaptive_session.h
+/// \brief Iterative adaptive beacon placement: the §3 field procedure as a
+/// loop — survey, place, re-measure — until the localization quality target
+/// is met or the beacon budget is spent.
+#pragma once
+
+#include <vector>
+
+#include "core/simulation.h"
+
+namespace abp {
+
+struct SessionConfig {
+  /// Stop once mean LE drops to this level (meters).
+  double target_mean_error = 0.0;
+  /// Hard budget of additional beacons the agent can carry (§3: the robot
+  /// "has a capability to carry a certain number of beacons").
+  std::size_t max_beacons = 10;
+  /// Stop early if a step improves mean LE by less than this (meters);
+  /// negative disables the check.
+  double min_step_improvement = -1.0;
+};
+
+/// Log entry for one placement step.
+struct SessionStep {
+  std::size_t step = 0;
+  Vec2 position;
+  double mean_before = 0.0;
+  double mean_after = 0.0;
+  double median_before = 0.0;
+  double median_after = 0.0;
+
+  double improvement() const { return mean_before - mean_after; }
+};
+
+struct SessionReport {
+  std::vector<SessionStep> steps;
+  bool reached_target = false;
+  double final_mean_error = 0.0;
+  double final_median_error = 0.0;
+  std::size_t beacons_added() const { return steps.size(); }
+};
+
+/// Run the adaptive loop on `sim` with `algorithm`. Each iteration performs
+/// a complete survey, one placement, and a re-measure; the loop stops at
+/// the target error, the beacon budget, or a too-small improvement.
+SessionReport run_adaptive_session(Simulation& sim,
+                                   const PlacementAlgorithm& algorithm,
+                                   const SessionConfig& config);
+
+}  // namespace abp

@@ -1,0 +1,66 @@
+#include "core/simulation.h"
+
+#include "common/assert.h"
+#include "field/generators.h"
+#include "radio/noise_model.h"
+
+namespace abp {
+
+namespace {
+constexpr std::uint64_t kPurposeField = 1;
+constexpr std::uint64_t kPurposeNoise = 2;
+constexpr std::uint64_t kPurposeAlgorithms = 3;
+}  // namespace
+
+Simulation::Simulation(const SimulationConfig& config)
+    : Simulation(AABB::square(config.side), config.step,
+                 std::make_unique<PerBeaconNoiseModel>(
+                     config.range, config.noise,
+                     derive_seed(config.seed, kPurposeNoise)),
+                 config.seed) {}
+
+Simulation::Simulation(AABB bounds, double step,
+                       std::unique_ptr<PropagationModel> model,
+                       std::uint64_t seed)
+    : lattice_(bounds, step),
+      model_(std::move(model)),
+      field_(bounds, model_ ? model_->max_range() : 20.0),
+      map_(lattice_),
+      rng_(derive_seed(seed, kPurposeAlgorithms)) {
+  ABP_CHECK(model_ != nullptr, "propagation model required");
+  field_rng_seed_ = derive_seed(seed, kPurposeField);
+  map_.compute(field_, *model_);
+}
+
+void Simulation::deploy_uniform(std::size_t count) {
+  Rng rng(field_rng_seed_);
+  field_rng_seed_ = rng.next_u64();  // fresh stream per deployment call
+  scatter_uniform(field_, count, rng);
+  refresh();
+}
+
+void Simulation::refresh() { map_.compute(field_, *model_); }
+
+BeaconId Simulation::place_with(const PlacementAlgorithm& algorithm) {
+  const SurveyData data = survey();
+  return place_from_survey(data, algorithm);
+}
+
+BeaconId Simulation::place_from_survey(const SurveyData& survey,
+                                       const PlacementAlgorithm& algorithm) {
+  PlacementContext ctx = PlacementContext::basic(survey, bounds(),
+                                                 model_->nominal_range());
+  ctx.field = &field_;
+  ctx.model = model_.get();
+  ctx.truth = &map_;
+  const Vec2 pos = bounds().clamp(algorithm.propose(ctx, rng_));
+  return place_at(pos);
+}
+
+BeaconId Simulation::place_at(Vec2 pos) {
+  const BeaconId id = field_.add(bounds().clamp(pos));
+  map_.apply_addition(field_, *model_, *field_.get(id));
+  return id;
+}
+
+}  // namespace abp

@@ -1,0 +1,100 @@
+/// \file simulation.h
+/// \brief High-level facade: one object owning terrain bounds, propagation
+/// model, beacon field, survey lattice and the live error map.
+///
+/// This is the entry point a downstream user starts with (see
+/// examples/quickstart.cpp):
+///
+///     abp::Simulation sim({.noise = 0.3, .seed = 7});
+///     sim.deploy_uniform(40);
+///     abp::GridPlacement grid;
+///     sim.place_with(grid);             // survey → propose → deploy
+///     std::cout << sim.mean_error();    // localization quality now
+///
+/// The error map is kept current incrementally across placements; direct
+/// field edits are possible through `field()` followed by `refresh()`.
+#pragma once
+
+#include <memory>
+
+#include "eval/config.h"
+#include "field/beacon_field.h"
+#include "loc/error_map.h"
+#include "loc/survey_data.h"
+#include "placement/placement.h"
+#include "radio/propagation.h"
+#include "rng/rng.h"
+
+namespace abp {
+
+struct SimulationConfig {
+  double side = 100.0;   ///< terrain side (m) — Table 1
+  double range = 15.0;   ///< nominal radio range R (m) — Table 1
+  double step = 1.0;     ///< survey lattice spacing (m) — Table 1
+  double noise = 0.0;    ///< paper Noise parameter (0 = ideal propagation)
+  std::uint64_t seed = 20010421;  ///< master seed (field + noise + agents)
+};
+
+class Simulation {
+ public:
+  /// Standard setup: square terrain, the paper's noise model.
+  explicit Simulation(const SimulationConfig& config = {});
+
+  /// Advanced setup: caller-supplied propagation model over `bounds`.
+  Simulation(AABB bounds, double step, std::unique_ptr<PropagationModel> model,
+             std::uint64_t seed);
+
+  // Not copyable (owns the model and internal RNG stream); movable.
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  Simulation(Simulation&&) = default;
+
+  const AABB& bounds() const { return field_.bounds(); }
+  const Lattice2D& lattice() const { return lattice_; }
+  const PropagationModel& model() const { return *model_; }
+  const BeaconField& field() const { return field_; }
+  /// Mutable field access for custom deployments; call `refresh()` after
+  /// editing it directly.
+  BeaconField& mutable_field() { return field_; }
+
+  /// Deploy `count` uniform-random beacons (the §4.1 field distribution).
+  void deploy_uniform(std::size_t count);
+
+  /// Recompute the error map from scratch (after external field edits).
+  void refresh();
+
+  const ErrorMap& error_map() const { return map_; }
+  double mean_error() const { return map_.mean(); }
+  double median_error() const { return map_.median(); }
+  double uncovered_fraction() const { return map_.uncovered_fraction(); }
+
+  /// Complete, noise-free survey of the current state (§3.1 baseline).
+  SurveyData survey() const { return SurveyData::from_error_map(map_); }
+
+  /// One adaptive-placement step with the built-in exact survey:
+  /// survey → algorithm proposes → beacon deployed → map updated.
+  /// Returns the new beacon's id.
+  BeaconId place_with(const PlacementAlgorithm& algorithm);
+
+  /// Same, but the algorithm sees caller-provided survey data (e.g. from a
+  /// partial or noisy robot tour).
+  BeaconId place_from_survey(const SurveyData& survey,
+                             const PlacementAlgorithm& algorithm);
+
+  /// Deploy a beacon at an explicit position (clamped to bounds) and update
+  /// the map incrementally.
+  BeaconId place_at(Vec2 pos);
+
+  /// The simulation's RNG stream (used for algorithm randomness).
+  Rng& rng() { return rng_; }
+
+ private:
+  Lattice2D lattice_;
+  std::unique_ptr<PropagationModel> model_;
+  BeaconField field_;
+  ErrorMap map_;
+  Rng rng_;
+  std::uint64_t field_rng_seed_ = 0;
+};
+
+}  // namespace abp

@@ -1,0 +1,123 @@
+#include "des/beaconing.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "loc/connectivity.h"
+
+namespace abp {
+
+ListenOutcome simulate_listen(const BeaconField& field,
+                              const PropagationModel& model, Vec2 point,
+                              const BeaconingConfig& cfg, Rng& rng) {
+  ABP_CHECK(cfg.period > 0.0, "beacon period must be positive");
+  ABP_CHECK(cfg.listen_time >= cfg.period,
+            "listen window must cover at least one period");
+  ABP_CHECK(cfg.packet_time > 0.0 && cfg.packet_time < cfg.period,
+            "packet must be shorter than the period");
+  ABP_CHECK(cfg.cm_thresh > 0.0 && cfg.cm_thresh <= 1.0,
+            "CMthresh must be in (0, 1]");
+  ABP_CHECK(cfg.jitter >= 0.0 && cfg.jitter < 1.0, "jitter must be in [0,1)");
+
+  // Beacons whose packets reach this client. Out-of-range transmissions are
+  // below sensitivity: they neither deliver nor collide here.
+  std::vector<Beacon> in_range = connected_beacons(field, model, point);
+
+  struct Packet {
+    std::size_t beacon_idx;
+    bool collided = false;
+    bool transmitted = false;
+    bool dropped = false;
+    std::size_t retries_left = 0;
+  };
+  std::vector<Packet> packets;
+
+  Simulator sim;
+  std::vector<std::size_t> active;  // indices into `packets`
+
+  const auto begin_transmission = [&](std::size_t pkt) {
+    if (!active.empty()) {
+      packets[pkt].collided = true;
+      for (std::size_t other : active) packets[other].collided = true;
+    }
+    packets[pkt].transmitted = true;
+    active.push_back(pkt);
+    sim.schedule_in(cfg.packet_time, [&, pkt] {
+      active.erase(std::find(active.begin(), active.end(), pkt));
+    });
+  };
+
+  // Recursive-ish attempt handler for CSMA (plain transmission for ALOHA).
+  std::function<void(std::size_t)> attempt = [&](std::size_t pkt) {
+    if (cfg.mac == MacMode::kAloha || active.empty()) {
+      begin_transmission(pkt);
+      return;
+    }
+    if (packets[pkt].retries_left == 0) {
+      packets[pkt].dropped = true;
+      return;
+    }
+    --packets[pkt].retries_left;
+    // Random backoff, bounded so the retransmission stays near its slot.
+    const double backoff = rng.uniform(cfg.packet_time, 4.0 * cfg.packet_time);
+    sim.schedule_in(backoff, [&, pkt] { attempt(pkt); });
+  };
+
+  // Schedule every packet of every in-range beacon in the window.
+  // Deterministic order: beacons ascending id (in_range is sorted), then
+  // packet index.
+  for (std::size_t bi = 0; bi < in_range.size(); ++bi) {
+    const double phase = rng.uniform(0.0, cfg.period);
+    for (double base = phase; base + cfg.packet_time <= cfg.listen_time;
+         base += cfg.period) {
+      const double start =
+          base + (cfg.jitter > 0.0
+                      ? rng.uniform(0.0, cfg.jitter * cfg.period)
+                      : 0.0);
+      if (start + cfg.packet_time > cfg.listen_time) continue;
+      const std::size_t pkt = packets.size();
+      packets.push_back({bi, false, false, false, cfg.csma_retries});
+      sim.schedule_at(start, [&, pkt] { attempt(pkt); });
+    }
+  }
+  sim.run_until(cfg.listen_time);
+
+  // Aggregate per-beacon outcomes.
+  ListenOutcome out;
+  std::vector<ListenOutcome::PerBeacon> detail(in_range.size());
+  for (std::size_t bi = 0; bi < in_range.size(); ++bi) {
+    detail[bi].id = in_range[bi].id;
+  }
+  std::size_t lost = 0;
+  for (const Packet& p : packets) {
+    ++detail[p.beacon_idx].sent;
+    const bool received = p.transmitted && !p.collided;
+    if (received) {
+      ++detail[p.beacon_idx].received;
+    } else {
+      ++lost;
+    }
+    if (p.dropped) ++out.dropped_packets;
+  }
+  out.loss_rate = packets.empty()
+                      ? 0.0
+                      : static_cast<double>(lost) /
+                            static_cast<double>(packets.size());
+
+  Vec2 sum;
+  for (std::size_t bi = 0; bi < in_range.size(); ++bi) {
+    const auto& d = detail[bi];
+    if (d.sent > 0 && static_cast<double>(d.received) >=
+                          cfg.cm_thresh * static_cast<double>(d.sent)) {
+      out.connected.push_back(d.id);
+      sum += in_range[bi].pos;
+    }
+  }
+  out.estimate = out.connected.empty()
+                     ? field.active_centroid()
+                     : sum / static_cast<double>(out.connected.size());
+  out.detail = std::move(detail);
+  return out;
+}
+
+}  // namespace abp

@@ -1,0 +1,77 @@
+/// \file beaconing.h
+/// \brief Packet-level simulation of the beaconing protocol (§2.2).
+///
+/// Beacons transmit a packet of duration `packet_time` every `period` T,
+/// with a random initial phase and optional per-packet jitter (real
+/// 802.11-era beacons jitter to avoid lockstep collisions). A client listens
+/// for a window `listen_time` t >> T and counts, per beacon, the fraction of
+/// that beacon's packets it received; a beacon is *connected* if the
+/// fraction meets `cm_thresh` (§2.2: "if the percentage of messages received
+/// exceeds a threshold CMthresh, that beacon is considered connected").
+///
+/// The channel is ALOHA-like: a packet is lost at the client when another
+/// packet from any other in-range beacon overlaps it in time (§1:
+/// "at very high densities, the probability of collisions among signals
+/// transmitted by the beacons increases").
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "des/simulator.h"
+#include "field/beacon_field.h"
+#include "loc/localizer.h"
+#include "radio/propagation.h"
+#include "rng/rng.h"
+
+namespace abp {
+
+/// Channel access discipline for beacon transmissions.
+enum class MacMode {
+  kAloha,  ///< transmit blindly; overlaps collide (§1's worst case)
+  kCsma,   ///< carrier-sense: defer with random backoff while the channel
+           ///< is busy (bounded retries), the standard mitigation
+};
+
+struct BeaconingConfig {
+  double period = 1.0;        ///< T: beacon transmit period (s)
+  double listen_time = 20.0;  ///< t: client listening window (s); t >> T
+  double packet_time = 0.005; ///< on-air duration of one packet (s)
+  double cm_thresh = 0.5;     ///< CMthresh: reception-rate threshold
+  double jitter = 0.1;        ///< per-packet uniform phase jitter, ×period
+  MacMode mac = MacMode::kAloha;
+  std::size_t csma_retries = 3;  ///< max deferrals per packet (CSMA only)
+};
+
+/// Outcome of one client's listening window.
+struct ListenOutcome {
+  /// Beacons deemed connected by the protocol (ascending id).
+  std::vector<BeaconId> connected;
+  /// Per-beacon reception statistics for in-range beacons. `sent` counts
+  /// the packets the beacon was due to transmit in the window (the
+  /// CMthresh denominator); under CSMA a packet that exhausts its retries
+  /// is counted in `sent` but never received.
+  struct PerBeacon {
+    BeaconId id;
+    std::size_t sent = 0;
+    std::size_t received = 0;
+  };
+  std::vector<PerBeacon> detail;
+  /// Fraction of in-range packets lost (collided or dropped after CSMA
+  /// retries).
+  double loss_rate = 0.0;
+  /// Packets abandoned because the channel never went idle (CSMA only).
+  std::size_t dropped_packets = 0;
+  /// Centroid position estimate from `connected` (field centroid if empty).
+  Vec2 estimate;
+};
+
+/// Simulate one client at `point` listening for `cfg.listen_time` seconds.
+/// Packet receptions are evaluated against the in-range beacon set under
+/// `model` (a packet from an out-of-range beacon is never received and does
+/// not collide). Deterministic given `rng`'s seed.
+ListenOutcome simulate_listen(const BeaconField& field,
+                              const PropagationModel& model, Vec2 point,
+                              const BeaconingConfig& cfg, Rng& rng);
+
+}  // namespace abp

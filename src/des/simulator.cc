@@ -1,0 +1,26 @@
+#include "des/simulator.h"
+
+#include <utility>
+
+namespace abp {
+
+void Simulator::schedule_at(double when, Handler handler) {
+  ABP_CHECK(when >= now_, "cannot schedule into the past");
+  ABP_CHECK(handler != nullptr, "null event handler");
+  queue_.push(Event{when, next_seq_++, std::move(handler)});
+}
+
+void Simulator::run_until(double until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    // priority_queue::top is const; move out via const_cast is UB — copy the
+    // handler instead (events are small).
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.handler();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace abp

@@ -1,0 +1,67 @@
+/// \file simulator.h
+/// \brief Minimal discrete-event simulator core.
+///
+/// The localization substrate of §2.2 is a *timed* protocol: beacons
+/// transmit every T seconds, clients integrate over a window t >> T and
+/// threshold the per-beacon reception rate (CMthresh). The evaluation uses
+/// the analytic connectivity predicate, but this simulator executes the
+/// actual protocol so we can (a) validate the reduction and (b) reproduce
+/// the §1 self-interference motivation — collision probability rising with
+/// beacon density.
+///
+/// Events are (time, sequence) ordered; ties break by insertion order so
+/// runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace abp {
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  double now() const { return now_; }
+
+  /// Schedule `handler` to run at absolute time `when` (>= now).
+  void schedule_at(double when, Handler handler);
+
+  /// Schedule `handler` after a delay (>= 0).
+  void schedule_in(double delay, Handler handler) {
+    schedule_at(now_ + delay, std::move(handler));
+  }
+
+  /// Run events until the queue empties or the clock passes `until`.
+  /// Events scheduled exactly at `until` are executed.
+  void run_until(double until);
+
+  /// Number of events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace abp

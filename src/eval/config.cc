@@ -1,0 +1,21 @@
+#include "eval/config.h"
+
+#include <numbers>
+
+namespace abp {
+
+double PaperParams::beacons_per_coverage(std::size_t count) const {
+  return density(count) * std::numbers::pi * range * range;
+}
+
+std::vector<std::size_t> SweepConfig::paper_beacon_counts() {
+  std::vector<std::size_t> counts;
+  for (std::size_t n = 20; n <= 240; n += 10) counts.push_back(n);
+  return counts;
+}
+
+std::vector<double> SweepConfig::paper_noise_levels() {
+  return {0.0, 0.1, 0.3, 0.5};
+}
+
+}  // namespace abp

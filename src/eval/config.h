@@ -1,0 +1,69 @@
+/// \file config.h
+/// \brief Experiment configuration: the paper's Table 1 parameters and the
+/// §4.1 sweep definition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/lattice.h"
+
+namespace abp {
+
+/// Table 1 — simulation parameters.
+struct PaperParams {
+  double side = 100.0;        ///< terrain side (m)
+  double range = 15.0;        ///< nominal radio range R (m)
+  double step = 1.0;          ///< survey lattice spacing (m)
+  std::size_t num_grids = 400;  ///< NG for the Grid algorithm
+
+  AABB bounds() const { return AABB::square(side); }
+  Lattice2D lattice() const { return Lattice2D(bounds(), step); }
+
+  /// PT: number of lattice measurement points, (Side/step + 1)².
+  std::size_t pt() const { return lattice().size(); }
+
+  /// Beacons-per-nominal-radio-coverage-area for a given count
+  /// (count/Side² · πR², the paper's secondary x-axis).
+  double beacons_per_coverage(std::size_t count) const;
+
+  /// Deployment density (beacons per m²) for a given count.
+  double density(std::size_t count) const {
+    return static_cast<double>(count) / (side * side);
+  }
+};
+
+/// How each trial's beacon field is deployed. The paper evaluates uniform
+/// random fields (§4.1); the alternatives model the §1 motivating
+/// scenarios (air drops perturbed by terrain, lumpy drops) for the
+/// deployment-distribution ablation.
+enum class Deployment {
+  kUniform,      ///< i.i.d. uniform (§4.1)
+  kClustered,    ///< 4 Gaussian clusters, sigma Side/16
+  kAirdropHill,  ///< aimed uniform, rolled off a central hill (§1)
+};
+
+/// §4.1 sweep: which densities, noise levels and how many random fields.
+struct SweepConfig {
+  PaperParams params;
+  Deployment deployment = Deployment::kUniform;
+  /// Beacon counts; the paper sweeps 20..240 in steps of 10.
+  std::vector<std::size_t> beacon_counts = paper_beacon_counts();
+  /// Maximum noise factors; the paper uses {0, 0.1, 0.3, 0.5}.
+  std::vector<double> noise_levels{0.0};
+  /// Random beacon fields per (count, noise) cell; the paper uses 1000.
+  std::size_t trials = 100;
+  /// Master seed; every trial derives its own stream from it.
+  std::uint64_t seed = 20010421;  // ICDCS 2001 — April 2001, Phoenix AZ
+  /// Worker threads (0 = hardware concurrency).
+  std::size_t threads = 0;
+
+  /// The paper's density axis: 20, 30, …, 240 beacons.
+  static std::vector<std::size_t> paper_beacon_counts();
+
+  /// The paper's noise axis: 0, 0.1, 0.3, 0.5.
+  static std::vector<double> paper_noise_levels();
+};
+
+}  // namespace abp

@@ -1,0 +1,71 @@
+#include "eval/figures.h"
+
+#include "common/assert.h"
+#include "placement/grid_placement.h"
+#include "placement/max_placement.h"
+#include "placement/random_placement.h"
+
+namespace abp {
+
+SweepConfig make_sweep_config(const FigureOptions& opt,
+                              std::vector<double> noise_levels) {
+  ABP_CHECK(opt.count_stride >= 1, "count stride must be >= 1");
+  SweepConfig config;
+  config.trials = opt.trials;
+  config.seed = opt.seed;
+  config.threads = opt.threads;
+  config.noise_levels = std::move(noise_levels);
+  if (opt.count_stride > 1) {
+    const auto all = SweepConfig::paper_beacon_counts();
+    config.beacon_counts.clear();
+    for (std::size_t i = 0; i < all.size(); i += opt.count_stride) {
+      config.beacon_counts.push_back(all[i]);
+    }
+  }
+  return config;
+}
+
+namespace {
+const PlacementAlgorithm* const* paper_algorithms(std::size_t* count) {
+  static const RandomPlacement random;
+  static const MaxPlacement max;
+  static const GridPlacement grid;  // NG = 400 (Table 1)
+  static const PlacementAlgorithm* const algs[] = {&random, &max, &grid};
+  *count = 3;
+  return algs;
+}
+}  // namespace
+
+SweepOutcome run_fig4(const FigureOptions& opt) {
+  return run_sweep(make_sweep_config(opt, {0.0}), {}, opt.progress);
+}
+
+SweepOutcome run_fig5(const FigureOptions& opt) {
+  std::size_t n = 0;
+  const auto* algs = paper_algorithms(&n);
+  return run_sweep(make_sweep_config(opt, {0.0}), {algs, n}, opt.progress);
+}
+
+SweepOutcome run_fig6(const FigureOptions& opt) {
+  return run_sweep(
+      make_sweep_config(opt, SweepConfig::paper_noise_levels()), {},
+      opt.progress);
+}
+
+SweepOutcome run_fig_alg_noise(const std::string& algorithm,
+                               const FigureOptions& opt) {
+  static const RandomPlacement random;
+  static const MaxPlacement max;
+  static const GridPlacement grid;
+  const PlacementAlgorithm* alg = nullptr;
+  if (algorithm == "random") alg = &random;
+  else if (algorithm == "max") alg = &max;
+  else if (algorithm == "grid") alg = &grid;
+  ABP_CHECK(alg != nullptr, "unknown algorithm: " + algorithm);
+  const PlacementAlgorithm* const algs[] = {alg};
+  return run_sweep(
+      make_sweep_config(opt, SweepConfig::paper_noise_levels()), {algs, 1},
+      opt.progress);
+}
+
+}  // namespace abp

@@ -1,0 +1,41 @@
+/// \file figures.h
+/// \brief One driver per paper figure, shared by the bench binaries and the
+/// integration tests (same code path ⇒ what the tests validate is what the
+/// benches print).
+#pragma once
+
+#include <string>
+
+#include "eval/runner.h"
+
+namespace abp {
+
+struct FigureOptions {
+  std::size_t trials = 100;   ///< fields per cell (paper: 1000)
+  std::uint64_t seed = 20010421;
+  std::size_t threads = 0;    ///< 0 = hardware concurrency
+  /// Optional coarser density axis (every k-th paper count); 1 = all 23.
+  std::size_t count_stride = 1;
+  ProgressFn progress = {};
+};
+
+/// Build the §4.1 sweep config from options.
+SweepConfig make_sweep_config(const FigureOptions& opt,
+                              std::vector<double> noise_levels);
+
+/// Fig 4 — mean LE vs density, ideal propagation, no placement.
+SweepOutcome run_fig4(const FigureOptions& opt);
+
+/// Fig 5 — improvement in mean/median error vs density, ideal, for
+/// Random, Max and Grid.
+SweepOutcome run_fig5(const FigureOptions& opt);
+
+/// Fig 6 — mean LE vs density for Noise ∈ {0, 0.1, 0.3, 0.5}.
+SweepOutcome run_fig6(const FigureOptions& opt);
+
+/// Figs 7/8/9 — one algorithm ("random" / "max" / "grid") across all four
+/// noise levels.
+SweepOutcome run_fig_alg_noise(const std::string& algorithm,
+                               const FigureOptions& opt);
+
+}  // namespace abp

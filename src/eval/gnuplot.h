@@ -1,0 +1,33 @@
+/// \file gnuplot.h
+/// \brief Gnuplot export: regenerate the paper's plots graphically.
+///
+/// For a sweep outcome, writes `<basename>.dat` (whitespace table with one
+/// block per figure series, gnuplot `index`-addressable) and
+/// `<basename>.gp` (a ready-to-run script with errorbars on the paper's
+/// axes: density on x, a secondary beacons-per-coverage axis, meters on y).
+/// Running `gnuplot <basename>.gp` produces `<basename>.png`.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "eval/runner.h"
+
+namespace abp {
+
+/// Write the .dat series blocks. Block order: for each noise level, the
+/// mean-error series; then for each (algorithm × noise), the
+/// improvement-in-mean series; then improvement-in-median likewise. Each
+/// block is preceded by a `# name` comment and separated by blank lines.
+void write_gnuplot_data(std::ostream& out, const SweepOutcome& outcome);
+
+/// Write the .gp plotting script referencing `<basename>.dat`.
+void write_gnuplot_script(std::ostream& out, const SweepOutcome& outcome,
+                          const std::string& basename,
+                          const std::string& title);
+
+/// Convenience: write both files (`basename + ".dat"/".gp"`).
+void export_gnuplot(const std::string& basename, const std::string& title,
+                    const SweepOutcome& outcome);
+
+}  // namespace abp

@@ -1,0 +1,158 @@
+#include "eval/report.h"
+
+#include <fstream>
+#include <iostream>
+
+#include "common/assert.h"
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace abp {
+
+namespace {
+std::string pm(const Summary& s, int precision = 3) {
+  return TextTable::fmt(s.mean, precision) + " ±" +
+         TextTable::fmt(s.ci95, precision);
+}
+}  // namespace
+
+void print_mean_error_table(std::ostream& out, const SweepOutcome& outcome) {
+  std::vector<std::string> cols{"beacons", "density", "b/cov"};
+  for (double n : outcome.config.noise_levels) {
+    cols.push_back(n == 0.0 ? "Ideal (m)"
+                            : "Noise=" + TextTable::fmt(n, 1) + " (m)");
+  }
+  cols.push_back("frac-of-R (ideal col)");
+  TextTable table(cols);
+
+  const double r = outcome.config.params.range;
+  const std::size_t n_counts = outcome.config.beacon_counts.size();
+  for (std::size_t ci = 0; ci < n_counts; ++ci) {
+    std::vector<std::string> row;
+    const CellResult& first = outcome.cells[0][ci];
+    row.push_back(std::to_string(first.beacons));
+    row.push_back(TextTable::fmt(first.density, 4));
+    row.push_back(TextTable::fmt(first.beacons_per_coverage, 2));
+    for (std::size_t ni = 0; ni < outcome.cells.size(); ++ni) {
+      row.push_back(pm(outcome.cells[ni][ci].mean_error, 2));
+    }
+    row.push_back(TextTable::fmt(first.mean_error.mean / r, 3));
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+}
+
+void print_improvement_tables(std::ostream& out, const SweepOutcome& outcome,
+                              std::size_t noise_idx) {
+  ABP_CHECK(noise_idx < outcome.cells.size(), "noise index out of range");
+  ABP_CHECK(!outcome.algorithm_names.empty(), "sweep ran no algorithms");
+
+  for (const bool median : {false, true}) {
+    out << (median ? "Improvement in MEDIAN error (m), Noise="
+                   : "Improvement in MEAN error (m), Noise=")
+        << TextTable::fmt(outcome.config.noise_levels[noise_idx], 1) << "\n";
+    std::vector<std::string> cols{"beacons", "density", "b/cov"};
+    for (const auto& name : outcome.algorithm_names) cols.push_back(name);
+    TextTable table(cols);
+    for (std::size_t ci = 0; ci < outcome.config.beacon_counts.size(); ++ci) {
+      const CellResult& cell = outcome.cells[noise_idx][ci];
+      std::vector<std::string> row{
+          std::to_string(cell.beacons), TextTable::fmt(cell.density, 4),
+          TextTable::fmt(cell.beacons_per_coverage, 2)};
+      for (std::size_t a = 0; a < outcome.algorithm_names.size(); ++a) {
+        row.push_back(pm(median ? cell.improvement_median[a]
+                                : cell.improvement_mean[a]));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(out);
+    out << "\n";
+  }
+}
+
+void print_algorithm_noise_tables(std::ostream& out,
+                                  const SweepOutcome& outcome,
+                                  std::size_t alg_idx) {
+  ABP_CHECK(alg_idx < outcome.algorithm_names.size(),
+            "algorithm index out of range");
+  for (const bool median : {false, true}) {
+    out << "Algorithm '" << outcome.algorithm_names[alg_idx]
+        << "': improvement in " << (median ? "MEDIAN" : "MEAN")
+        << " error (m) vs density and noise\n";
+    std::vector<std::string> cols{"beacons", "density", "b/cov"};
+    for (double n : outcome.config.noise_levels) {
+      cols.push_back(n == 0.0 ? "Ideal" : "Noise=" + TextTable::fmt(n, 1));
+    }
+    TextTable table(cols);
+    for (std::size_t ci = 0; ci < outcome.config.beacon_counts.size(); ++ci) {
+      const CellResult& first = outcome.cells[0][ci];
+      std::vector<std::string> row{
+          std::to_string(first.beacons), TextTable::fmt(first.density, 4),
+          TextTable::fmt(first.beacons_per_coverage, 2)};
+      for (std::size_t ni = 0; ni < outcome.cells.size(); ++ni) {
+        const CellResult& cell = outcome.cells[ni][ci];
+        row.push_back(pm(median ? cell.improvement_median[alg_idx]
+                                : cell.improvement_mean[alg_idx]));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(out);
+    out << "\n";
+  }
+}
+
+void print_saturation(std::ostream& out, const SweepOutcome& outcome,
+                      std::size_t noise_idx) {
+  const Saturation sat = find_saturation(outcome, noise_idx);
+  out << "Noise=" << TextTable::fmt(outcome.config.noise_levels[noise_idx], 1)
+      << ": saturation density ≈ " << TextTable::fmt(sat.density, 4)
+      << " beacons/m² (" << TextTable::fmt(sat.beacons_per_coverage, 1)
+      << " per coverage area), floor mean LE ≈ "
+      << TextTable::fmt(sat.error, 2) << " m ("
+      << TextTable::fmt(sat.error / outcome.config.params.range, 2)
+      << " R)\n";
+}
+
+void write_sweep_csv(std::ostream& out, const SweepOutcome& outcome) {
+  CsvWriter csv(out);
+  csv.header({"noise", "beacons", "density", "beacons_per_coverage", "metric",
+              "algorithm", "mean", "ci95", "median_of_trials", "trials"});
+  const auto emit = [&](const CellResult& cell, const std::string& metric,
+                        const std::string& alg, const Summary& s) {
+    csv.begin_row();
+    csv.number(cell.noise);
+    csv.number(cell.beacons);
+    csv.number(cell.density);
+    csv.number(cell.beacons_per_coverage);
+    csv.cell(metric);
+    csv.cell(alg);
+    csv.number(s.mean);
+    csv.number(s.ci95);
+    csv.number(s.median);
+    csv.number(s.count);
+    csv.end_row();
+  };
+  for (const auto& row : outcome.cells) {
+    for (const CellResult& cell : row) {
+      emit(cell, "mean_error", "", cell.mean_error);
+      emit(cell, "median_error", "", cell.median_error);
+      emit(cell, "uncovered", "", cell.uncovered);
+      for (std::size_t a = 0; a < outcome.algorithm_names.size(); ++a) {
+        emit(cell, "improvement_mean", outcome.algorithm_names[a],
+             cell.improvement_mean[a]);
+        emit(cell, "improvement_median", outcome.algorithm_names[a],
+             cell.improvement_median[a]);
+      }
+    }
+  }
+}
+
+void maybe_write_csv(const std::string& path, const SweepOutcome& outcome) {
+  if (path.empty()) return;
+  std::ofstream file(path);
+  ABP_CHECK(file.good(), "cannot open CSV output path: " + path);
+  write_sweep_csv(file, outcome);
+  std::cerr << "wrote " << path << "\n";
+}
+
+}  // namespace abp

@@ -1,0 +1,43 @@
+/// \file report.h
+/// \brief Paper-style rendering of sweep outcomes: aligned text tables for
+/// the terminal (one per figure) and a long-format CSV for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "eval/runner.h"
+
+namespace abp {
+
+/// Figs 4/6: mean localization error vs density, one column per noise
+/// level, each "mean ± ci95". Also prints the fraction-of-range (LE / R)
+/// for the ideal column, matching the figures' right-hand axis.
+void print_mean_error_table(std::ostream& out, const SweepOutcome& outcome);
+
+/// Fig 5 style: improvements vs density for every algorithm at one noise
+/// level — two tables (Δmean, Δmedian).
+void print_improvement_tables(std::ostream& out, const SweepOutcome& outcome,
+                              std::size_t noise_idx);
+
+/// Figs 7/8/9 style: one algorithm across all noise levels — two tables
+/// (Δmean, Δmedian) with one column per noise level.
+void print_algorithm_noise_tables(std::ostream& out,
+                                  const SweepOutcome& outcome,
+                                  std::size_t alg_idx);
+
+/// Saturation summary line for a noise level (§4.2 headline numbers).
+void print_saturation(std::ostream& out, const SweepOutcome& outcome,
+                      std::size_t noise_idx);
+
+/// Long-format CSV with every aggregated number in the outcome:
+/// noise,beacons,density,beacons_per_coverage,metric,algorithm,mean,ci95,
+/// median_of_trials,trials. `metric` ∈ {mean_error, median_error,
+/// uncovered, improvement_mean, improvement_median}.
+void write_sweep_csv(std::ostream& out, const SweepOutcome& outcome);
+
+/// Open `path` and write the CSV (no-op when `path` is empty); prints a
+/// confirmation line to stderr.
+void maybe_write_csv(const std::string& path, const SweepOutcome& outcome);
+
+}  // namespace abp

@@ -1,0 +1,132 @@
+#include "eval/runner.h"
+
+#include <atomic>
+#include <limits>
+
+#include "common/assert.h"
+#include "common/thread_pool.h"
+#include "rng/rng.h"
+
+namespace abp {
+
+SweepOutcome run_sweep(const SweepConfig& config,
+                       std::span<const PlacementAlgorithm* const> algorithms,
+                       const ProgressFn& progress) {
+  ABP_CHECK(config.trials >= 1, "need at least one trial");
+  ABP_CHECK(!config.beacon_counts.empty(), "empty beacon-count axis");
+  ABP_CHECK(!config.noise_levels.empty(), "empty noise axis");
+
+  const std::size_t n_noise = config.noise_levels.size();
+  const std::size_t n_counts = config.beacon_counts.size();
+  const std::size_t n_algs = algorithms.size();
+  const std::size_t n_cells = n_noise * n_counts;
+  const std::size_t total_trials = n_cells * config.trials;
+
+  // Per-trial metric storage, preallocated so workers never contend.
+  // Layout: [cell][trial].
+  struct TrialMetrics {
+    double mean_before, median_before, uncovered;
+    // Per algorithm improvements (fixed small count).
+    std::vector<double> imp_mean, imp_median;
+  };
+  std::vector<TrialMetrics> metrics(total_trials);
+
+  ThreadPool pool(config.threads);
+  std::atomic<std::size_t> cells_done{0};
+  std::atomic<std::size_t> trials_done{0};
+
+  pool.parallel_for(total_trials, [&](std::size_t k) {
+    const std::size_t cell = k / config.trials;
+    const std::size_t trial = k % config.trials;
+    const std::size_t noise_idx = cell / n_counts;
+    const std::size_t count_idx = cell % n_counts;
+
+    const std::uint64_t trial_seed =
+        derive_seed(config.seed, noise_idx, count_idx, trial);
+    const TrialResult r =
+        run_trial(config.params, config.beacon_counts[count_idx],
+                  config.noise_levels[noise_idx], algorithms, trial_seed,
+                  config.deployment);
+
+    TrialMetrics& m = metrics[k];
+    m.mean_before = r.mean_before;
+    m.median_before = r.median_before;
+    m.uncovered = r.uncovered_before;
+    m.imp_mean.resize(n_algs);
+    m.imp_median.resize(n_algs);
+    for (std::size_t a = 0; a < n_algs; ++a) {
+      m.imp_mean[a] = r.improvement_mean(a);
+      m.imp_median[a] = r.improvement_median(a);
+    }
+
+    if (progress) {
+      const std::size_t done = trials_done.fetch_add(1) + 1;
+      if (done % config.trials == 0) {
+        progress(cells_done.fetch_add(1) + 1, n_cells);
+      }
+    }
+  });
+
+  // Aggregate.
+  SweepOutcome outcome;
+  outcome.config = config;
+  for (const auto* alg : algorithms) {
+    outcome.algorithm_names.push_back(alg->name());
+  }
+  outcome.cells.resize(n_noise);
+  std::vector<double> buf(config.trials);
+  for (std::size_t ni = 0; ni < n_noise; ++ni) {
+    outcome.cells[ni].resize(n_counts);
+    for (std::size_t ci = 0; ci < n_counts; ++ci) {
+      CellResult& cell = outcome.cells[ni][ci];
+      cell.beacons = config.beacon_counts[ci];
+      cell.noise = config.noise_levels[ni];
+      cell.density = config.params.density(cell.beacons);
+      cell.beacons_per_coverage =
+          config.params.beacons_per_coverage(cell.beacons);
+
+      const std::size_t base = (ni * n_counts + ci) * config.trials;
+      auto collect = [&](auto&& get) {
+        for (std::size_t t = 0; t < config.trials; ++t) {
+          buf[t] = get(metrics[base + t]);
+        }
+        return summarize(buf);
+      };
+      cell.mean_error = collect([](const TrialMetrics& m) { return m.mean_before; });
+      cell.median_error =
+          collect([](const TrialMetrics& m) { return m.median_before; });
+      cell.uncovered = collect([](const TrialMetrics& m) { return m.uncovered; });
+      cell.improvement_mean.resize(n_algs);
+      cell.improvement_median.resize(n_algs);
+      for (std::size_t a = 0; a < n_algs; ++a) {
+        cell.improvement_mean[a] =
+            collect([a](const TrialMetrics& m) { return m.imp_mean[a]; });
+        cell.improvement_median[a] =
+            collect([a](const TrialMetrics& m) { return m.imp_median[a]; });
+      }
+    }
+  }
+  return outcome;
+}
+
+Saturation find_saturation(const SweepOutcome& outcome, std::size_t noise_idx,
+                           double tolerance) {
+  ABP_CHECK(noise_idx < outcome.cells.size(), "noise index out of range");
+  ABP_CHECK(tolerance >= 1.0, "tolerance must be >= 1");
+  const auto& row = outcome.cells[noise_idx];
+  ABP_CHECK(!row.empty(), "empty sweep row");
+
+  double floor = std::numeric_limits<double>::infinity();
+  for (const CellResult& c : row) {
+    floor = std::min(floor, c.mean_error.mean);
+  }
+  for (const CellResult& c : row) {
+    if (c.mean_error.mean <= tolerance * floor) {
+      return {c.density, c.beacons_per_coverage, floor};
+    }
+  }
+  const CellResult& last = row.back();
+  return {last.density, last.beacons_per_coverage, floor};
+}
+
+}  // namespace abp

@@ -1,0 +1,70 @@
+/// \file runner.h
+/// \brief The sweep runner: §4.1's full experimental protocol.
+///
+/// For every (noise level × beacon count) cell, run `trials` independent
+/// random fields (the paper: 1000) and aggregate each metric across trials
+/// with mean and 95% confidence interval — the error bars in every paper
+/// figure. Trials are distributed over a thread pool; per-trial seeds are
+/// derived from (master seed, noise index, count index, trial index), so
+/// the result is bit-identical regardless of thread count or scheduling.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "eval/config.h"
+#include "eval/trial.h"
+
+namespace abp {
+
+/// Aggregated metrics for one (noise, count) cell.
+struct CellResult {
+  std::size_t beacons = 0;
+  double noise = 0.0;
+  double density = 0.0;
+  double beacons_per_coverage = 0.0;
+
+  Summary mean_error;      ///< per-trial mean LE (before placement)
+  Summary median_error;    ///< per-trial median LE (before placement)
+  Summary uncovered;       ///< per-trial uncovered fraction
+
+  /// Per algorithm (same order as passed to run): improvement summaries.
+  std::vector<Summary> improvement_mean;
+  std::vector<Summary> improvement_median;
+};
+
+struct SweepOutcome {
+  SweepConfig config;
+  std::vector<std::string> algorithm_names;
+  /// cells[noise_idx][count_idx]
+  std::vector<std::vector<CellResult>> cells;
+
+  const CellResult& cell(std::size_t noise_idx, std::size_t count_idx) const {
+    return cells[noise_idx][count_idx];
+  }
+};
+
+/// Progress callback: (completed cells, total cells).
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+/// Run the sweep. `algorithms` may be empty for measurement-only sweeps
+/// (Figs 4/6). Deterministic in `config.seed`.
+SweepOutcome run_sweep(const SweepConfig& config,
+                       std::span<const PlacementAlgorithm* const> algorithms,
+                       const ProgressFn& progress = {});
+
+/// Saturation analysis of a mean-LE-vs-density series (§4.2): the smallest
+/// density whose mean LE is within `tolerance` (default 10%) of the
+/// eventual floor (the minimum across the series).
+struct Saturation {
+  double density = 0.0;                ///< saturation beacon density (per m²)
+  double beacons_per_coverage = 0.0;
+  double error = 0.0;                  ///< mean LE at the floor (m)
+};
+Saturation find_saturation(const SweepOutcome& outcome, std::size_t noise_idx,
+                           double tolerance = 1.10);
+
+}  // namespace abp

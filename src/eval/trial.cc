@@ -1,0 +1,91 @@
+#include "eval/trial.h"
+
+#include "common/assert.h"
+#include "field/generators.h"
+#include "loc/error_map.h"
+#include "loc/survey_data.h"
+#include "radio/noise_model.h"
+#include "rng/rng.h"
+#include "terrain/heightmap.h"
+
+namespace abp {
+
+namespace {
+// Seed-derivation purpose tags (any distinct constants work; named for
+// greppability).
+constexpr std::uint64_t kPurposeField = 1;
+constexpr std::uint64_t kPurposeNoise = 2;
+constexpr std::uint64_t kPurposeAlgorithm = 3;
+}  // namespace
+
+TrialResult run_trial(const PaperParams& params, std::size_t beacon_count,
+                      double noise,
+                      std::span<const PlacementAlgorithm* const> algorithms,
+                      std::uint64_t trial_seed, Deployment deployment) {
+  ABP_CHECK(beacon_count >= 1, "need at least one beacon");
+
+  const AABB bounds = params.bounds();
+  const Lattice2D lattice = params.lattice();
+  const PerBeaconNoiseModel model(params.range, noise,
+                                  derive_seed(trial_seed, kPurposeNoise));
+
+  BeaconField field(bounds, model.max_range());
+  Rng field_rng(derive_seed(trial_seed, kPurposeField));
+  switch (deployment) {
+    case Deployment::kUniform:
+      scatter_uniform(field, beacon_count, field_rng);
+      break;
+    case Deployment::kClustered:
+      scatter_clustered(field, beacon_count, 4, params.side / 16.0,
+                        field_rng);
+      break;
+    case Deployment::kAirdropHill: {
+      const HillTerrain hill(bounds, bounds.center(), 30.0,
+                             params.side / 6.0);
+      airdrop(field, beacon_count, hill, field_rng);
+      break;
+    }
+  }
+
+  ErrorMap map(lattice);
+  map.compute(field, model);
+
+  TrialResult result;
+  result.mean_before = map.mean();
+  result.median_before = map.median();
+  result.uncovered_before = map.uncovered_fraction();
+  if (algorithms.empty()) return result;
+
+  // All algorithms see the same complete, noise-free survey (§3.1).
+  const SurveyData survey = SurveyData::from_error_map(map);
+  const ErrorMap before = map;  // snapshot for exact rollback
+
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    const PlacementAlgorithm& alg = *algorithms[a];
+    PlacementContext ctx =
+        PlacementContext::basic(survey, bounds, params.range);
+    ctx.field = &field;
+    ctx.model = &model;
+    ctx.truth = &map;
+
+    Rng alg_rng(derive_seed(trial_seed, kPurposeAlgorithm, a));
+    const Vec2 pos = bounds.clamp(alg.propose(ctx, alg_rng));
+
+    const BeaconId id = field.add(pos);
+    map.apply_addition(field, model, *field.get(id));
+
+    AlgorithmOutcome outcome;
+    outcome.name = alg.name();
+    outcome.position = pos;
+    outcome.mean_after = map.mean();
+    outcome.median_after = map.median();
+    result.outcomes.push_back(std::move(outcome));
+
+    // Roll back: remove the beacon and restore the snapshot (bit-exact).
+    ABP_CHECK(field.remove(id), "rollback failed");
+    map = before;
+  }
+  return result;
+}
+
+}  // namespace abp

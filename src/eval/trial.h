@@ -1,0 +1,58 @@
+/// \file trial.h
+/// \brief One experimental trial: one random beacon field, measured before
+/// and after each algorithm's proposed placement (§4.1).
+///
+/// Per trial: generate a field of `beacon_count` uniform-random beacons,
+/// compute the ground-truth error map, then for EACH algorithm
+/// independently add its proposed beacon, re-measure, and roll the field
+/// back — so all algorithms are compared on the identical field, exactly as
+/// the paper's per-field metrics require. The error map is snapshotted and
+/// restored rather than recomputed, and additions use the exact incremental
+/// update; a trial is O(PT · K̄) instead of O(algorithms · PT · K̄).
+///
+/// Determinism: everything derives from `trial_seed`; field generation,
+/// the propagation noise landscape, and each algorithm's RNG stream use
+/// disjoint derived seeds, so results are independent of scheduling.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eval/config.h"
+#include "placement/placement.h"
+
+namespace abp {
+
+/// Outcome of one algorithm on one trial field.
+struct AlgorithmOutcome {
+  std::string name;
+  Vec2 position;              ///< where the beacon was placed
+  double mean_after = 0.0;    ///< mean LE after the placement
+  double median_after = 0.0;  ///< median LE after the placement
+};
+
+struct TrialResult {
+  double mean_before = 0.0;
+  double median_before = 0.0;
+  double uncovered_before = 0.0;  ///< fraction of lattice hearing 0 beacons
+  std::vector<AlgorithmOutcome> outcomes;  ///< one per algorithm, in order
+
+  double improvement_mean(std::size_t alg) const {
+    return mean_before - outcomes[alg].mean_after;
+  }
+  double improvement_median(std::size_t alg) const {
+    return median_before - outcomes[alg].median_after;
+  }
+};
+
+/// Run one trial. `noise` is the paper's Noise parameter (0 = ideal
+/// propagation). `algorithms` may be empty (measurement-only trials for
+/// Figs 4/6). `deployment` selects the field distribution (paper: uniform).
+TrialResult run_trial(const PaperParams& params, std::size_t beacon_count,
+                      double noise,
+                      std::span<const PlacementAlgorithm* const> algorithms,
+                      std::uint64_t trial_seed,
+                      Deployment deployment = Deployment::kUniform);
+
+}  // namespace abp

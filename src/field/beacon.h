@@ -1,0 +1,24 @@
+/// \file beacon.h
+/// \brief A beacon node: a reference radio at a known position (§2.2).
+#pragma once
+
+#include <cstdint>
+
+#include "geom/vec2.h"
+
+namespace abp {
+
+/// Stable identifier of a beacon within one `BeaconField`. Ids are never
+/// reused after removal, so hash-derived per-beacon randomness (noise
+/// factors, `u` draws) stays stable as the field evolves.
+using BeaconId = std::uint32_t;
+
+struct Beacon {
+  BeaconId id = 0;
+  Vec2 pos;
+  /// Active beacons transmit; passive ones exist but are silent — the
+  /// density-control extension (§5/AFECA discussion) toggles this.
+  bool active = true;
+};
+
+}  // namespace abp

@@ -1,0 +1,69 @@
+#include "field/generators.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace abp {
+
+void scatter_uniform(BeaconField& field, std::size_t count, Rng& rng) {
+  const AABB& b = field.bounds();
+  for (std::size_t i = 0; i < count; ++i) {
+    field.add({rng.uniform(b.lo.x, b.hi.x), rng.uniform(b.lo.y, b.hi.y)});
+  }
+}
+
+void place_grid(BeaconField& field, std::size_t nx, std::size_t ny) {
+  ABP_CHECK(nx >= 1 && ny >= 1, "grid dimensions must be positive");
+  const AABB& b = field.bounds();
+  const double dx = b.width() / static_cast<double>(nx);
+  const double dy = b.height() / static_cast<double>(ny);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      field.add({b.lo.x + (static_cast<double>(i) + 0.5) * dx,
+                 b.lo.y + (static_cast<double>(j) + 0.5) * dy});
+    }
+  }
+}
+
+void airdrop(BeaconField& field, std::size_t count, const Terrain& terrain,
+             Rng& rng, double roll_gain, double jitter) {
+  ABP_CHECK(roll_gain >= 0.0 && jitter >= 0.0, "negative airdrop parameter");
+  const AABB& b = field.bounds();
+  for (std::size_t i = 0; i < count; ++i) {
+    Vec2 p{rng.uniform(b.lo.x, b.hi.x), rng.uniform(b.lo.y, b.hi.y)};
+    // Roll downhill: displacement scales with local slope magnitude.
+    const double h = 0.5;
+    const double e0 = terrain.elevation(p);
+    const Vec2 dir = terrain.downhill(p);
+    if (dir.norm_sq() > 0.0) {
+      const Vec2 ahead = b.clamp(p + dir * h);
+      const double slope = std::max(0.0, (e0 - terrain.elevation(ahead)) / h);
+      p += dir * (roll_gain * slope);
+    }
+    if (jitter > 0.0) {
+      p += Vec2{rng.normal(0.0, jitter), rng.normal(0.0, jitter)};
+    }
+    field.add(b.clamp(p));
+  }
+}
+
+void scatter_clustered(BeaconField& field, std::size_t count,
+                       std::size_t clusters, double spread, Rng& rng) {
+  ABP_CHECK(clusters >= 1, "need at least one cluster");
+  ABP_CHECK(spread >= 0.0, "negative cluster spread");
+  const AABB& b = field.bounds();
+  std::vector<Vec2> centers;
+  centers.reserve(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    centers.push_back(
+        {rng.uniform(b.lo.x, b.hi.x), rng.uniform(b.lo.y, b.hi.y)});
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const Vec2 center = centers[static_cast<std::size_t>(rng.below(clusters))];
+    const Vec2 p = center + Vec2{rng.normal(0.0, spread), rng.normal(0.0, spread)};
+    field.add(b.clamp(p));
+  }
+}
+
+}  // namespace abp

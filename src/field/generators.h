@@ -1,0 +1,40 @@
+/// \file generators.h
+/// \brief Beacon-field deployment generators.
+///
+/// The paper's evaluation draws each field by "randomly placing the beacons
+/// in the 100m × 100m square terrain" (§4.1) — `scatter_uniform`. The other
+/// generators back the motivating scenarios of §1: engineered uniform grids,
+/// air drops perturbed by terrain (beacons rolling off a hilltop), and
+/// clustered drops.
+#pragma once
+
+#include <cstddef>
+
+#include "field/beacon_field.h"
+#include "rng/rng.h"
+#include "terrain/terrain.h"
+
+namespace abp {
+
+/// Place `count` beacons i.i.d. uniformly in the field's bounds.
+void scatter_uniform(BeaconField& field, std::size_t count, Rng& rng);
+
+/// Place an `nx × ny` uniform grid of beacons with equal margins, i.e. the
+/// idealized engineered deployment of Figure 1. Spacing d between adjacent
+/// beacons is width/nx (margin d/2), so `nx=ny=10` on a 100 m side gives
+/// d = 10 m.
+void place_grid(BeaconField& field, std::size_t nx, std::size_t ny);
+
+/// Air-drop model (§1): aim `count` beacons at uniform positions, then let
+/// each roll downhill on `terrain` for a distance proportional to the local
+/// slope (steeper → farther), with small random scatter. On flat terrain
+/// this reduces to `scatter_uniform`.
+void airdrop(BeaconField& field, std::size_t count, const Terrain& terrain,
+             Rng& rng, double roll_gain = 20.0, double jitter = 1.0);
+
+/// Drop `count` beacons in `clusters` Gaussian clusters (sigma `spread`)
+/// whose centers are uniform in bounds — a lumpy, poorly-covered deployment.
+void scatter_clustered(BeaconField& field, std::size_t count,
+                       std::size_t clusters, double spread, Rng& rng);
+
+}  // namespace abp

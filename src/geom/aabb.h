@@ -1,0 +1,50 @@
+/// \file aabb.h
+/// \brief Axis-aligned bounding box (the terrain is one, §4.1).
+#pragma once
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "geom/vec2.h"
+
+namespace abp {
+
+struct AABB {
+  Vec2 lo;  ///< minimum corner
+  Vec2 hi;  ///< maximum corner
+
+  constexpr AABB() = default;
+  AABB(Vec2 lo_, Vec2 hi_) : lo(lo_), hi(hi_) {
+    ABP_CHECK(lo.x <= hi.x && lo.y <= hi.y, "inverted AABB corners");
+  }
+
+  /// Square box anchored at the origin — the paper's Side×Side terrain.
+  static AABB square(double side) {
+    ABP_CHECK(side > 0.0, "terrain side must be positive");
+    return AABB({0.0, 0.0}, {side, side});
+  }
+
+  static AABB centered(Vec2 center, double half_w, double half_h) {
+    return AABB(center - Vec2{half_w, half_h}, center + Vec2{half_w, half_h});
+  }
+
+  double width() const { return hi.x - lo.x; }
+  double height() const { return hi.y - lo.y; }
+  double area() const { return width() * height(); }
+  Vec2 center() const { return (lo + hi) * 0.5; }
+
+  bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  bool intersects(const AABB& o) const {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y && o.lo.y <= hi.y;
+  }
+
+  /// Nearest point inside the box to `p`.
+  Vec2 clamp(Vec2 p) const {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+  }
+};
+
+}  // namespace abp

@@ -1,0 +1,42 @@
+#include "geom/circle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+
+namespace abp {
+
+double Circle::area() const {
+  return std::numbers::pi * radius * radius;
+}
+
+bool circles_overlap(const Circle& a, const Circle& b) {
+  const double rsum = a.radius + b.radius;
+  return distance_sq(a.center, b.center) <= rsum * rsum;
+}
+
+double circle_intersection_area(const Circle& a, const Circle& b) {
+  ABP_DCHECK(a.radius >= 0.0 && b.radius >= 0.0, "negative radius");
+  const double d = distance(a.center, b.center);
+  const double r1 = a.radius;
+  const double r2 = b.radius;
+  if (d >= r1 + r2) return 0.0;                      // disjoint
+  if (d <= std::fabs(r1 - r2)) {                     // nested
+    const double r = std::min(r1, r2);
+    return std::numbers::pi * r * r;
+  }
+  // Standard two-circle lens area.
+  const double alpha =
+      2.0 * std::acos(std::clamp((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1),
+                                 -1.0, 1.0));
+  const double beta =
+      2.0 * std::acos(std::clamp((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2),
+                                 -1.0, 1.0));
+  const double seg1 = 0.5 * r1 * r1 * (alpha - std::sin(alpha));
+  const double seg2 = 0.5 * r2 * r2 * (beta - std::sin(beta));
+  return seg1 + seg2;
+}
+
+}  // namespace abp

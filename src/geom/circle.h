@@ -1,0 +1,34 @@
+/// \file circle.h
+/// \brief Circles/disks: radio coverage under the idealized model (§2.1).
+///
+/// The locus of positions consistent with a connectivity observation is an
+/// intersection of disks (§2.2 footnote 3); the lens-area formula here backs
+/// the locus-analysis module and the overlap-ratio error-bound bench.
+#pragma once
+
+#include "geom/vec2.h"
+
+namespace abp {
+
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  constexpr Circle() = default;
+  constexpr Circle(Vec2 c, double r) : center(c), radius(r) {}
+
+  bool contains(Vec2 p) const {
+    return distance_sq(center, p) <= radius * radius;
+  }
+
+  double area() const;
+};
+
+/// Area of the intersection ("lens") of two disks; 0 when disjoint, the
+/// smaller disk's area when nested.
+double circle_intersection_area(const Circle& a, const Circle& b);
+
+/// True if the two circles' boundaries or interiors share any point.
+bool circles_overlap(const Circle& a, const Circle& b);
+
+}  // namespace abp

@@ -1,0 +1,55 @@
+/// \file grid2d.h
+/// \brief Dense row-major 2-D array (error maps, height maps, masks).
+#pragma once
+
+#include <vector>
+
+#include "common/assert.h"
+
+namespace abp {
+
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+
+  Grid2D(std::size_t nx, std::size_t ny, T fill = T{})
+      : nx_(nx), ny_(ny), data_(nx * ny, fill) {
+    ABP_CHECK(nx > 0 && ny > 0, "grid dimensions must be positive");
+  }
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& at(std::size_t i, std::size_t j) {
+    ABP_DCHECK(i < nx_ && j < ny_, "grid index out of range");
+    return data_[j * nx_ + i];
+  }
+  const T& at(std::size_t i, std::size_t j) const {
+    ABP_DCHECK(i < nx_ && j < ny_, "grid index out of range");
+    return data_[j * nx_ + i];
+  }
+
+  T& operator[](std::size_t flat) {
+    ABP_DCHECK(flat < data_.size(), "flat index out of range");
+    return data_[flat];
+  }
+  const T& operator[](std::size_t flat) const {
+    ABP_DCHECK(flat < data_.size(), "flat index out of range");
+    return data_[flat];
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  const std::vector<T>& data() const { return data_; }
+  std::vector<T>& data() { return data_; }
+
+ private:
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace abp

@@ -1,0 +1,54 @@
+#include "geom/lattice.h"
+
+#include <algorithm>
+
+namespace abp {
+
+namespace {
+// Convert a world coordinate to the lowest lattice ordinate >= it (floor /
+// ceil pair clamped to the axis range).
+std::size_t floor_ord(double world, double origin, double step,
+                      std::size_t n) {
+  const double t = (world - origin) / step;
+  const long long v = static_cast<long long>(std::ceil(t - 1e-9));
+  return static_cast<std::size_t>(std::clamp<long long>(v, 0, static_cast<long long>(n) - 1));
+}
+std::size_t ceil_ord(double world, double origin, double step, std::size_t n) {
+  const double t = (world - origin) / step;
+  const long long v = static_cast<long long>(std::floor(t + 1e-9));
+  return static_cast<std::size_t>(std::clamp<long long>(v, 0, static_cast<long long>(n) - 1));
+}
+}  // namespace
+
+void Lattice2D::for_each_in_disk(
+    Vec2 center, double radius,
+    const std::function<void(std::size_t, Vec2)>& fn) const {
+  ABP_CHECK(radius >= 0.0, "negative disk radius");
+  const double r2 = radius * radius;
+  const std::size_t i0 = floor_ord(center.x - radius, bounds_.lo.x, step_, nx_);
+  const std::size_t i1 = ceil_ord(center.x + radius, bounds_.lo.x, step_, nx_);
+  const std::size_t j0 = floor_ord(center.y - radius, bounds_.lo.y, step_, ny_);
+  const std::size_t j1 = ceil_ord(center.y + radius, bounds_.lo.y, step_, ny_);
+  for (std::size_t j = j0; j <= j1; ++j) {
+    for (std::size_t i = i0; i <= i1; ++i) {
+      const Vec2 p = point(i, j);
+      if (distance_sq(p, center) <= r2) fn(index(i, j), p);
+    }
+  }
+}
+
+void Lattice2D::for_each_in_box(
+    const AABB& box, const std::function<void(std::size_t, Vec2)>& fn) const {
+  const std::size_t i0 = floor_ord(box.lo.x, bounds_.lo.x, step_, nx_);
+  const std::size_t i1 = ceil_ord(box.hi.x, bounds_.lo.x, step_, nx_);
+  const std::size_t j0 = floor_ord(box.lo.y, bounds_.lo.y, step_, ny_);
+  const std::size_t j1 = ceil_ord(box.hi.y, bounds_.lo.y, step_, ny_);
+  for (std::size_t j = j0; j <= j1; ++j) {
+    for (std::size_t i = i0; i <= i1; ++i) {
+      const Vec2 p = point(i, j);
+      if (box.contains(p)) fn(index(i, j), p);
+    }
+  }
+}
+
+}  // namespace abp

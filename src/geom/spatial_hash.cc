@@ -1,0 +1,77 @@
+#include "geom/spatial_hash.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace abp {
+
+SpatialHash::SpatialHash(double cell_size) : cell_size_(cell_size) {
+  ABP_CHECK(cell_size > 0.0, "cell size must be positive");
+}
+
+std::int64_t SpatialHash::cell_of(double v) const {
+  return static_cast<std::int64_t>(std::floor(v / cell_size_));
+}
+
+std::uint64_t SpatialHash::key(std::int64_t cx, std::int64_t cy) {
+  // Interleave the two 32-bit (wrapped) cell ordinates into one key.
+  const auto ux = static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx));
+  const auto uy = static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  return (ux << 32) | uy;
+}
+
+void SpatialHash::insert(std::uint32_t id, Vec2 pos) {
+  buckets_[key(cell_of(pos.x), cell_of(pos.y))].push_back({id, pos});
+  ++count_;
+}
+
+bool SpatialHash::remove(std::uint32_t id, Vec2 pos) {
+  const auto it = buckets_.find(key(cell_of(pos.x), cell_of(pos.y)));
+  if (it == buckets_.end()) return false;
+  auto& entries = it->second;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].id == id) {
+      entries[i] = entries.back();
+      entries.pop_back();
+      if (entries.empty()) buckets_.erase(it);
+      --count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SpatialHash::query_disk(
+    Vec2 center, double radius,
+    const std::function<void(std::uint32_t, Vec2)>& fn) const {
+  ABP_CHECK(radius >= 0.0, "negative query radius");
+  const double r2 = radius * radius;
+  const std::int64_t cx0 = cell_of(center.x - radius);
+  const std::int64_t cx1 = cell_of(center.x + radius);
+  const std::int64_t cy0 = cell_of(center.y - radius);
+  const std::int64_t cy1 = cell_of(center.y + radius);
+  for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+    for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+      const auto it = buckets_.find(key(cx, cy));
+      if (it == buckets_.end()) continue;
+      for (const Entry& e : it->second) {
+        if (distance_sq(e.pos, center) <= r2) fn(e.id, e.pos);
+      }
+    }
+  }
+}
+
+void SpatialHash::for_each(
+    const std::function<void(std::uint32_t, Vec2)>& fn) const {
+  for (const auto& [k, entries] : buckets_) {
+    for (const Entry& e : entries) fn(e.id, e.pos);
+  }
+}
+
+void SpatialHash::clear() {
+  buckets_.clear();
+  count_ = 0;
+}
+
+}  // namespace abp

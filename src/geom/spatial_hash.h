@@ -1,0 +1,60 @@
+/// \file spatial_hash.h
+/// \brief Uniform-cell spatial index over points.
+///
+/// Connectivity evaluation asks "which beacons are within range of P?" for
+/// every lattice point × every trial; a uniform-grid bucket index turns that
+/// from O(#beacons) into O(#beacons within ~range). Cell size should be the
+/// maximum query radius (the radio model's `max_range()`), so a disk query
+/// touches at most a 3×3 block of cells.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/vec2.h"
+
+namespace abp {
+
+class SpatialHash {
+ public:
+  /// `cell_size` is the bucket edge length (meters).
+  explicit SpatialHash(double cell_size);
+
+  double cell_size() const { return cell_size_; }
+  std::size_t size() const { return count_; }
+
+  /// Insert an item with external id at `pos`. Ids need not be unique, but
+  /// `remove` erases only one matching (id, pos) entry.
+  void insert(std::uint32_t id, Vec2 pos);
+
+  /// Remove one entry with this id from the bucket containing `pos`.
+  /// Returns false if no such entry exists.
+  bool remove(std::uint32_t id, Vec2 pos);
+
+  /// Invoke `fn(id, pos)` for every item within `radius` of `center`.
+  void query_disk(Vec2 center, double radius,
+                  const std::function<void(std::uint32_t, Vec2)>& fn) const;
+
+  /// Invoke `fn(id, pos)` for every item (arbitrary order).
+  void for_each(const std::function<void(std::uint32_t, Vec2)>& fn) const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint32_t id;
+    Vec2 pos;
+  };
+
+  std::int64_t cell_of(double v) const;
+  static std::uint64_t key(std::int64_t cx, std::int64_t cy);
+
+  double cell_size_;
+  std::size_t count_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+};
+
+}  // namespace abp

@@ -1,0 +1,176 @@
+#include "io/field_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace abp {
+
+namespace {
+
+void write_double(std::ostream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out << buf;
+}
+
+std::string next_line(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    // Skip blank lines and comments.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return line;
+  }
+  return {};
+}
+
+AABB parse_bounds(const std::string& line) {
+  std::istringstream is(line);
+  std::string tag;
+  double x0, y0, x1, y1;
+  is >> tag >> x0 >> y0 >> x1 >> y1;
+  ABP_CHECK(!is.fail() && tag == "bounds", "expected 'bounds x0 y0 x1 y1'");
+  return AABB({x0, y0}, {x1, y1});
+}
+
+}  // namespace
+
+void write_field(std::ostream& out, const BeaconField& field) {
+  out << "abp-field 1\n";
+  out << "bounds ";
+  write_double(out, field.bounds().lo.x);
+  out << ' ';
+  write_double(out, field.bounds().lo.y);
+  out << ' ';
+  write_double(out, field.bounds().hi.x);
+  out << ' ';
+  write_double(out, field.bounds().hi.y);
+  out << '\n';
+  out << "next-id " << field.next_id() << '\n';
+  // Live beacons (including passive ones), ascending id. `get` is the only
+  // way to see passive beacons, so scan ids until all live ones are found;
+  // ids are dense up to the allocation high-water mark.
+  std::vector<Beacon> live;
+  for (BeaconId id = 0; live.size() < field.size(); ++id) {
+    ABP_CHECK(id < 100000000u, "runaway id scan");
+    if (const auto b = field.get(id)) live.push_back(*b);
+  }
+  for (const Beacon& b : live) {
+    out << "beacon " << b.id << ' ';
+    write_double(out, b.pos.x);
+    out << ' ';
+    write_double(out, b.pos.y);
+    out << ' ' << (b.active ? 1 : 0) << '\n';
+  }
+}
+
+BeaconField read_field(std::istream& in) {
+  const std::string header = next_line(in);
+  ABP_CHECK(header.rfind("abp-field 1", 0) == 0,
+            "not an abp-field version-1 stream");
+  BeaconField field(parse_bounds(next_line(in)));
+  BeaconId next_id = 0;
+  bool saw_next_id = false;
+  std::string line;
+  while (!(line = next_line(in)).empty()) {
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    if (tag == "next-id") {
+      is >> next_id;
+      ABP_CHECK(!is.fail(), "malformed next-id record: " + line);
+      saw_next_id = true;
+      continue;
+    }
+    ABP_CHECK(tag == "beacon", "unexpected record: " + line);
+    BeaconId id;
+    double x, y;
+    int active;
+    is >> id >> x >> y >> active;
+    ABP_CHECK(!is.fail(), "malformed beacon record: " + line);
+    field.add_with_id(id, {x, y}, active != 0);
+  }
+  if (saw_next_id) field.reserve_ids(next_id);
+  return field;
+}
+
+void write_survey(std::ostream& out, const SurveyData& survey) {
+  const Lattice2D& lattice = survey.lattice();
+  out << "abp-survey 1\n";
+  out << "bounds ";
+  write_double(out, lattice.bounds().lo.x);
+  out << ' ';
+  write_double(out, lattice.bounds().lo.y);
+  out << ' ';
+  write_double(out, lattice.bounds().hi.x);
+  out << ' ';
+  write_double(out, lattice.bounds().hi.y);
+  out << '\n';
+  out << "step ";
+  write_double(out, lattice.step());
+  out << '\n';
+  for (std::size_t flat = 0; flat < lattice.size(); ++flat) {
+    if (!survey.measured(flat)) continue;
+    out << "point " << flat << ' ';
+    write_double(out, survey.value(flat));
+    out << '\n';
+  }
+}
+
+SurveyData read_survey(std::istream& in) {
+  const std::string header = next_line(in);
+  ABP_CHECK(header.rfind("abp-survey 1", 0) == 0,
+            "not an abp-survey version-1 stream");
+  const AABB bounds = parse_bounds(next_line(in));
+  const std::string step_line = next_line(in);
+  std::istringstream step_is(step_line);
+  std::string tag;
+  double step;
+  step_is >> tag >> step;
+  ABP_CHECK(!step_is.fail() && tag == "step", "expected 'step <meters>'");
+  SurveyData survey{Lattice2D(bounds, step)};
+  std::string line;
+  while (!(line = next_line(in)).empty()) {
+    std::istringstream is(line);
+    std::size_t flat;
+    double value;
+    is >> tag >> flat >> value;
+    ABP_CHECK(!is.fail() && tag == "point", "malformed point record: " + line);
+    ABP_CHECK(flat < survey.lattice().size(), "point index out of range");
+    survey.record(flat, value);
+  }
+  return survey;
+}
+
+void save_field(const std::string& path, const BeaconField& field) {
+  std::ofstream out(path);
+  ABP_CHECK(out.good(), "cannot open for writing: " + path);
+  write_field(out, field);
+  ABP_CHECK(out.good(), "write failed: " + path);
+}
+
+BeaconField load_field(const std::string& path) {
+  std::ifstream in(path);
+  ABP_CHECK(in.good(), "cannot open for reading: " + path);
+  return read_field(in);
+}
+
+void save_survey(const std::string& path, const SurveyData& survey) {
+  std::ofstream out(path);
+  ABP_CHECK(out.good(), "cannot open for writing: " + path);
+  write_survey(out, survey);
+  ABP_CHECK(out.good(), "write failed: " + path);
+}
+
+SurveyData load_survey(const std::string& path) {
+  std::ifstream in(path);
+  ABP_CHECK(in.good(), "cannot open for reading: " + path);
+  return read_survey(in);
+}
+
+}  // namespace abp

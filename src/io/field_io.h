@@ -1,0 +1,53 @@
+/// \file field_io.h
+/// \brief Text serialization of beacon fields and survey data.
+///
+/// A deployment tool needs to persist what was placed and what was
+/// measured: the robot surveys today, the analyst re-runs placement
+/// tomorrow. The format is a small line-oriented text format — stable,
+/// diffable, and readable in a terminal:
+///
+///     abp-field 1
+///     bounds 0 0 100 100
+///     beacon <id> <x> <y> <active>
+///     ...
+///
+///     abp-survey 1
+///     bounds 0 0 100 100
+///     step 1
+///     point <flat-index> <measured-error>
+///     ...
+///
+/// Round-trips preserve ids, positions (17 significant digits), active
+/// flags, and measurement masks exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "field/beacon_field.h"
+#include "loc/survey_data.h"
+
+namespace abp {
+
+/// Write `field` (live beacons only, ascending id) to `out`.
+void write_field(std::ostream& out, const BeaconField& field);
+
+/// Parse a field written by `write_field`. Ids are preserved: the returned
+/// field allocates the same ids to the same beacons (gaps from removed
+/// beacons become permanently unused ids). Throws CheckFailure on
+/// malformed input.
+BeaconField read_field(std::istream& in);
+
+/// Write survey data (measured points only) to `out`.
+void write_survey(std::ostream& out, const SurveyData& survey);
+
+/// Parse survey data written by `write_survey`.
+SurveyData read_survey(std::istream& in);
+
+/// File-path conveniences (throw CheckFailure on I/O failure).
+void save_field(const std::string& path, const BeaconField& field);
+BeaconField load_field(const std::string& path);
+void save_survey(const std::string& path, const SurveyData& survey);
+SurveyData load_survey(const std::string& path);
+
+}  // namespace abp

@@ -1,0 +1,39 @@
+/// \file connectivity.h
+/// \brief Connectivity evaluation: which beacons does a client hear? (§2.2)
+///
+/// The localization algorithm's observable is the *connected set*: beacons
+/// whose messages arrive above the CMthresh reception threshold. In the
+/// analytic model that reduces to the propagation predicate; the DES
+/// substrate (`src/des/`) validates the reduction packet-by-packet.
+#pragma once
+
+#include <vector>
+
+#include "field/beacon_field.h"
+#include "radio/propagation.h"
+
+namespace abp {
+
+/// All live, active beacons connected to a client at `point`, in ascending
+/// id order (deterministic regardless of index iteration order).
+std::vector<Beacon> connected_beacons(const BeaconField& field,
+                                      const PropagationModel& model,
+                                      Vec2 point);
+
+/// Number of connected beacons at `point` (no allocation).
+std::size_t connected_count(const BeaconField& field,
+                            const PropagationModel& model, Vec2 point);
+
+/// Position sum and count of the connected set, accumulated in ascending
+/// beacon-id order. The canonical order makes the floating-point sum — and
+/// therefore every centroid estimate and error map — independent of spatial
+/// index iteration order, so incremental updates are bit-identical to full
+/// recomputation.
+struct ConnectedSum {
+  Vec2 sum;
+  std::size_t count = 0;
+};
+ConnectedSum connected_sum(const BeaconField& field,
+                           const PropagationModel& model, Vec2 point);
+
+}  // namespace abp

@@ -1,0 +1,50 @@
+/// \file coverage.h
+/// \brief Coverage and connectivity analysis of a beacon field.
+///
+/// §1 suggests the placement algorithms "may generalize to other problem
+/// domains where node placement is rather critical: global coverage or
+/// universal connectivity in wireless sensor networks". This module
+/// provides the metrics those domains optimize:
+///  * k-coverage — the fraction of the terrain hearing at least k beacons
+///    (k=1 is plain coverage; localization quality needs k ≥ 3-ish);
+///  * the beacon communication graph — which beacons can hear each other —
+///    and its connected components (a partitioned field cannot flood-
+///    disseminate calibration data; "universal connectivity" means one
+///    component).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "field/beacon_field.h"
+#include "geom/lattice.h"
+#include "radio/propagation.h"
+
+namespace abp {
+
+struct CoverageStats {
+  /// covered_fraction[k-1] = fraction of lattice points hearing ≥ k
+  /// beacons, for k = 1..k_max.
+  std::vector<double> covered_fraction;
+  /// Connected components of the beacon communication graph (0 for an
+  /// empty field).
+  std::size_t components = 0;
+  /// Beacons hearing no other beacon.
+  std::size_t isolated_beacons = 0;
+  /// Size of the largest component (beacons).
+  std::size_t largest_component = 0;
+
+  /// Convenience: fraction hearing at least k beacons.
+  double at_least(std::size_t k) const {
+    return k == 0 || k > covered_fraction.size() ? (k == 0 ? 1.0 : 0.0)
+                                                 : covered_fraction[k - 1];
+  }
+};
+
+/// Analyze `field` under `model` over the survey lattice.
+CoverageStats analyze_coverage(const BeaconField& field,
+                               const PropagationModel& model,
+                               const Lattice2D& lattice,
+                               std::size_t k_max = 3);
+
+}  // namespace abp

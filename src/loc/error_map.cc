@@ -1,0 +1,141 @@
+#include "loc/error_map.h"
+
+#include <limits>
+
+#include "common/assert.h"
+#include "loc/connectivity.h"
+
+namespace abp {
+
+ErrorMap::ErrorMap(const Lattice2D& lattice)
+    : lattice_(lattice),
+      err_(lattice.nx(), lattice.ny(), 0.0),
+      conn_(lattice.nx(), lattice.ny(), 0) {}
+
+double ErrorMap::point_error(const BeaconField& field,
+                             const PropagationModel& model, Vec2 p,
+                             std::size_t* count_out) const {
+  const ConnectedSum cs = connected_sum(field, model, p);
+  if (count_out) *count_out = cs.count;
+  const Vec2 est = cs.count == 0 ? field.active_centroid()
+                                 : cs.sum / static_cast<double>(cs.count);
+  return distance(est, p);
+}
+
+void ErrorMap::set_value(std::size_t flat, double v) {
+  sum_ += v - err_[flat];
+  err_[flat] = v;
+}
+
+void ErrorMap::compute(const BeaconField& field,
+                       const PropagationModel& model) {
+  sum_ = 0.0;
+  lattice_.for_each([&](std::size_t flat, Vec2 p) {
+    std::size_t n = 0;
+    const double e = point_error(field, model, p, &n);
+    err_[flat] = e;
+    conn_[flat] = static_cast<std::uint16_t>(n);
+    sum_ += e;
+  });
+}
+
+void ErrorMap::apply_addition(const BeaconField& field,
+                              const PropagationModel& model,
+                              const Beacon& beacon) {
+  ABP_DCHECK(field.get(beacon.id).has_value(),
+             "beacon must already be in the field");
+  // 1. Points within reach of the new beacon: full recompute.
+  lattice_.for_each_in_disk(
+      beacon.pos, model.max_range(), [&](std::size_t flat, Vec2 p) {
+        std::size_t n = 0;
+        set_value(flat, point_error(field, model, p, &n));
+        conn_[flat] = static_cast<std::uint16_t>(n);
+      });
+  // 2. Still-uncovered points elsewhere: fallback estimate moved with the
+  // field centroid; no connectivity can have changed for them.
+  const Vec2 centroid = field.active_centroid();
+  const double reach = model.max_range();
+  const double reach2 = reach * reach;
+  lattice_.for_each([&](std::size_t flat, Vec2 p) {
+    if (conn_[flat] != 0) return;
+    if (distance_sq(p, beacon.pos) <= reach2) return;  // handled above
+    set_value(flat, distance(centroid, p));
+  });
+}
+
+void ErrorMap::apply_removal(const BeaconField& field,
+                             const PropagationModel& model, Vec2 removed_pos) {
+  lattice_.for_each_in_disk(
+      removed_pos, model.max_range(), [&](std::size_t flat, Vec2 p) {
+        std::size_t n = 0;
+        set_value(flat, point_error(field, model, p, &n));
+        conn_[flat] = static_cast<std::uint16_t>(n);
+      });
+  const Vec2 centroid = field.active_centroid();
+  const double reach = model.max_range();
+  const double reach2 = reach * reach;
+  lattice_.for_each([&](std::size_t flat, Vec2 p) {
+    if (conn_[flat] != 0) return;
+    if (distance_sq(p, removed_pos) <= reach2) return;
+    set_value(flat, distance(centroid, p));
+  });
+}
+
+double ErrorMap::mean_if_added(const BeaconField& field,
+                               const PropagationModel& model, Vec2 pos) const {
+  // Hypothetical beacon: id is irrelevant to propagation (noise draws are
+  // keyed by position), so any placeholder works.
+  const Beacon hypothetical{std::numeric_limits<BeaconId>::max(), pos, true};
+  const std::size_t active_n = field.active_count();
+  const Vec2 new_centroid =
+      active_n + 1 == 0
+          ? field.bounds().center()
+          : (field.active_centroid() * static_cast<double>(active_n) + pos) /
+                static_cast<double>(active_n + 1);
+
+  double delta = 0.0;
+  const double reach = model.max_range();
+  const double reach2 = reach * reach;
+
+  // Points the new beacon might reach: recompute with the extra candidate.
+  // The candidate is summed last, matching the canonical id order of
+  // `connected_sum` once the beacon is actually added (new ids are always
+  // the highest in the field), so the prediction is bit-exact.
+  lattice_.for_each_in_disk(pos, reach, [&](std::size_t flat, Vec2 p) {
+    ConnectedSum cs = connected_sum(field, model, p);
+    if (model.connected(hypothetical, p)) {
+      cs.sum += pos;
+      ++cs.count;
+    }
+    const Vec2 est = cs.count == 0 ? new_centroid
+                                   : cs.sum / static_cast<double>(cs.count);
+    delta += distance(est, p) - err_[flat];
+  });
+
+  // Uncovered points out of reach: fallback moves to the new centroid.
+  lattice_.for_each([&](std::size_t flat, Vec2 p) {
+    if (conn_[flat] != 0) return;
+    if (distance_sq(p, pos) <= reach2) return;
+    delta += distance(new_centroid, p) - err_[flat];
+  });
+
+  return (sum_ + delta) / static_cast<double>(lattice_.size());
+}
+
+double ErrorMap::mean() const {
+  return sum_ / static_cast<double>(lattice_.size());
+}
+
+double ErrorMap::median() const { return abp::median(err_.data()); }
+
+Summary ErrorMap::summary() const { return summarize(err_.data()); }
+
+double ErrorMap::uncovered_fraction() const {
+  std::size_t n = 0;
+  for (std::uint16_t c : conn_.data()) {
+    if (c == 0) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(conn_.size());
+}
+
+}  // namespace abp

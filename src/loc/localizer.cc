@@ -1,0 +1,15 @@
+#include "loc/localizer.h"
+
+#include "loc/connectivity.h"
+
+namespace abp {
+
+LocalizationResult CentroidLocalizer::localize(Vec2 point) const {
+  const ConnectedSum cs = connected_sum(*field_, *model_, point);
+  if (cs.count == 0) {
+    return {field_->active_centroid(), 0};
+  }
+  return {cs.sum / static_cast<double>(cs.count), cs.count};
+}
+
+}  // namespace abp

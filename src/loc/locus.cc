@@ -1,0 +1,72 @@
+#include "loc/locus.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "loc/connectivity.h"
+#include "rng/hash.h"
+
+namespace abp {
+
+double LocusAnalysis::mean_area() const {
+  if (regions.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : regions) total += r.area;
+  return total / static_cast<double>(regions.size());
+}
+
+const LocusRegion* LocusAnalysis::largest_covered() const {
+  for (const auto& r : regions) {
+    if (r.beacons_heard > 0) return &r;  // regions sorted by area desc
+  }
+  return nullptr;
+}
+
+const LocusRegion* LocusAnalysis::largest() const {
+  return regions.empty() ? nullptr : &regions.front();
+}
+
+LocusAnalysis analyze_loci(const BeaconField& field,
+                           const PropagationModel& model,
+                           const Lattice2D& lattice) {
+  struct Accum {
+    std::size_t count = 0;
+    Vec2 sum;
+    std::size_t heard = 0;
+  };
+  std::unordered_map<std::uint64_t, Accum> groups;
+
+  lattice.for_each([&](std::size_t, Vec2 p) {
+    const auto connected = connected_beacons(field, model, p);
+    // Order-independent (ids already sorted) signature of the set.
+    std::uint64_t sig = 0x517CC1B727220A95ULL;
+    for (const Beacon& b : connected) {
+      sig = stable_hash64(sig, std::uint64_t{b.id});
+    }
+    Accum& a = groups[sig];
+    ++a.count;
+    a.sum += p;
+    a.heard = connected.size();
+  });
+
+  const double cell_area = lattice.step() * lattice.step();
+  LocusAnalysis out;
+  out.regions.reserve(groups.size());
+  for (const auto& [sig, a] : groups) {
+    LocusRegion r;
+    r.signature = sig;
+    r.point_count = a.count;
+    r.area = static_cast<double>(a.count) * cell_area;
+    r.centroid = a.sum / static_cast<double>(a.count);
+    r.beacons_heard = a.heard;
+    out.regions.push_back(r);
+  }
+  std::sort(out.regions.begin(), out.regions.end(),
+            [](const LocusRegion& a, const LocusRegion& b) {
+              if (a.area != b.area) return a.area > b.area;
+              return a.signature < b.signature;  // deterministic tie-break
+            });
+  return out;
+}
+
+}  // namespace abp

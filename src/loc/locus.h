@@ -1,0 +1,53 @@
+/// \file locus.h
+/// \brief Localization-region (locus) analysis (§2.2 footnote 3, Fig 1, §6).
+///
+/// Under connectivity-based localization, all points that hear exactly the
+/// same set of beacons are indistinguishable — they share one *localization
+/// region* (the intersection of the connected disks minus the others). The
+/// paper's Figure 1 illustrates how beacon density controls the granularity
+/// of these regions, and §6 proposes placing beacons "to break down the loci
+/// with the largest area into smaller loci". This module computes the
+/// region decomposition over the survey lattice: each lattice point is
+/// labeled by a hash of its sorted connected-beacon id set, and regions are
+/// the label equivalence classes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "field/beacon_field.h"
+#include "geom/lattice.h"
+#include "radio/propagation.h"
+
+namespace abp {
+
+/// One localization region: a maximal set of lattice points with identical
+/// beacon connectivity.
+struct LocusRegion {
+  std::uint64_t signature = 0;   ///< hash of the sorted connected id set
+  std::size_t point_count = 0;   ///< lattice points in the region
+  double area = 0.0;             ///< point_count · step² (m²)
+  Vec2 centroid;                 ///< mean of member lattice points
+  std::size_t beacons_heard = 0; ///< |connected set| (0 = uncovered region)
+};
+
+/// Decomposition of the whole lattice into localization regions.
+struct LocusAnalysis {
+  std::vector<LocusRegion> regions;  ///< sorted by descending area
+  std::size_t region_count() const { return regions.size(); }
+  /// Mean region area (m²).
+  double mean_area() const;
+  /// The largest region that hears at least one beacon; regions.end() (i.e.
+  /// nullptr) if every region is uncovered. Placement targets covered-but-
+  /// coarse regions; the uncovered exterior is handled by coverage itself.
+  const LocusRegion* largest_covered() const;
+  /// The largest region overall (may be the uncovered exterior).
+  const LocusRegion* largest() const;
+};
+
+/// Compute the locus decomposition of `lattice` under `field` + `model`.
+LocusAnalysis analyze_loci(const BeaconField& field,
+                           const PropagationModel& model,
+                           const Lattice2D& lattice);
+
+}  // namespace abp

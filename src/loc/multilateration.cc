@@ -1,0 +1,141 @@
+#include "loc/multilateration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+#include "loc/connectivity.h"
+#include "rng/hash.h"
+
+namespace abp {
+
+namespace {
+constexpr std::uint64_t kTagRange = 0x726EULL;  // "rn"
+
+// Hash-derived standard normal via Box–Muller (clamped to ±4σ).
+double hash_normal(std::uint64_t seed, const Beacon& b, Vec2 p) {
+  const auto bx = static_cast<std::uint64_t>(quantize_cm(b.pos.x));
+  const auto by = static_cast<std::uint64_t>(quantize_cm(b.pos.y));
+  const auto px = static_cast<std::uint64_t>(quantize_cm(p.x));
+  const auto py = static_cast<std::uint64_t>(quantize_cm(p.y));
+  double u1 = hash_to_unit(stable_hash64(seed, kTagRange, bx, by, px, py,
+                                         std::uint64_t{1}));
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = hash_to_unit(stable_hash64(seed, kTagRange, bx, by, px, py,
+                                               std::uint64_t{2}));
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * std::numbers::pi * u2);
+  return std::clamp(z, -4.0, 4.0);
+}
+}  // namespace
+
+RangingModel::RangingModel(const PropagationModel& connectivity,
+                           double sigma_rel, std::uint64_t seed)
+    : connectivity_(&connectivity), sigma_rel_(sigma_rel), seed_(seed) {
+  ABP_CHECK(sigma_rel >= 0.0 && sigma_rel < 0.25,
+            "relative ranging noise must be in [0, 0.25)");
+}
+
+std::vector<RangeMeasurement> RangingModel::measure(const BeaconField& field,
+                                                    Vec2 point) const {
+  std::vector<RangeMeasurement> out;
+  for (const Beacon& b : connected_beacons(field, *connectivity_, point)) {
+    const double true_dist = distance(b.pos, point);
+    const double noisy =
+        true_dist * (1.0 + sigma_rel_ * hash_normal(seed_, b, point));
+    out.push_back({b, std::max(0.0, noisy)});
+  }
+  return out;
+}
+
+MultilaterationResult MultilaterationLocalizer::localize(Vec2 point) const {
+  const auto ranges = ranging_->measure(*field_, point);
+  MultilaterationResult result;
+  result.beacons_used = ranges.size();
+
+  // Centroid seed (and fallback).
+  Vec2 centroid;
+  if (ranges.empty()) {
+    centroid = field_->active_centroid();
+  } else {
+    for (const auto& m : ranges) centroid += m.beacon.pos;
+    centroid = centroid / static_cast<double>(ranges.size());
+  }
+  result.estimate = centroid;
+  if (ranges.size() < 3) return result;
+
+  // Gauss–Newton on  f_i(x) = ||x - b_i|| - r_i. Ill-conditioned (near
+  // collinear) constellations can make raw Gauss–Newton diverge, so steps
+  // are length-capped and the cost-minimizing iterate is returned — never
+  // anything worse than the centroid seed.
+  const auto cost = [&](Vec2 x) {
+    double c = 0.0;
+    for (const auto& m : ranges) {
+      const double res = distance(x, m.beacon.pos) - m.range;
+      c += res * res;
+    }
+    return c;
+  };
+  Vec2 x = centroid;
+  Vec2 best = centroid;
+  double best_cost = cost(centroid);
+  const double seed_cost = best_cost;
+  constexpr double kMaxStep = 30.0;  // meters per iteration
+
+  for (int iter = 0; iter < 25; ++iter) {
+    double jtj00 = 0, jtj01 = 0, jtj11 = 0, jtr0 = 0, jtr1 = 0;
+    for (const auto& m : ranges) {
+      const Vec2 d = x - m.beacon.pos;
+      const double dist = std::max(d.norm(), 1e-9);
+      const double jx = d.x / dist;
+      const double jy = d.y / dist;
+      const double res = dist - m.range;
+      jtj00 += jx * jx;
+      jtj01 += jx * jy;
+      jtj11 += jy * jy;
+      jtr0 += jx * res;
+      jtr1 += jy * res;
+    }
+    const double det = jtj00 * jtj11 - jtj01 * jtj01;
+    if (std::fabs(det) < 1e-9) break;  // degenerate (collinear) geometry
+    Vec2 step{(-jtr0 * jtj11 + jtr1 * jtj01) / det,
+              (jtr0 * jtj01 - jtr1 * jtj00) / det};
+    const double len = step.norm();
+    if (!std::isfinite(len)) break;
+    if (len > kMaxStep) step = step * (kMaxStep / len);
+    x += step;
+    const double c = cost(x);
+    if (c < best_cost) {
+      best_cost = c;
+      best = x;
+    }
+    if (len < 1e-7) break;
+  }
+  if (best_cost < seed_cost) {
+    result.estimate = best;
+    result.converged = true;
+  }
+  return result;
+}
+
+double gdop(Vec2 point, const std::vector<Beacon>& beacons) {
+  if (beacons.size() < 3) return kGdopSingular;
+  double h00 = 0, h01 = 0, h11 = 0;
+  for (const Beacon& b : beacons) {
+    const Vec2 d = point - b.pos;
+    const double dist = std::max(d.norm(), 1e-9);
+    const double ux = d.x / dist;
+    const double uy = d.y / dist;
+    h00 += ux * ux;
+    h01 += ux * uy;
+    h11 += uy * uy;
+  }
+  const double det = h00 * h11 - h01 * h01;
+  if (det < 1e-9) return kGdopSingular;
+  // trace of inverse(HᵀH) = (h00 + h11) / det.
+  const double trace_inv = (h00 + h11) / det;
+  return std::sqrt(trace_inv);
+}
+
+}  // namespace abp

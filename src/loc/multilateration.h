@@ -1,0 +1,86 @@
+/// \file multilateration.h
+/// \brief Multilateration localization + GDOP (§6 future work).
+///
+/// The paper contrasts proximity localization (error governed by beacon
+/// placement/density) with multilateration (error governed by beacon
+/// *geometry*) and proposes recasting the placement algorithms for it. This
+/// module provides the substrate for that comparison:
+///  * `RangingModel` — range estimates to in-range beacons with
+///    multiplicative noise, hash-derived so they are static per
+///    (beacon, point) pair (like the connectivity noise);
+///  * `MultilaterationLocalizer` — nonlinear least squares (Gauss–Newton)
+///    position fit from three or more ranges, centroid-seeded;
+///  * `gdop` — geometric dilution of precision, the classical measure of
+///    how beacon geometry amplifies ranging error (collinear beacons ⇒
+///    unbounded GDOP), which drives the GDOP-based placement extension.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "field/beacon_field.h"
+#include "radio/propagation.h"
+
+namespace abp {
+
+/// A range (distance) measurement to one beacon.
+struct RangeMeasurement {
+  Beacon beacon;
+  double range = 0.0;  ///< estimated distance (meters)
+};
+
+/// Produces distance estimates to every connected beacon. Multiplicative
+/// Gaussian noise with relative std-dev `sigma_rel` (e.g. 0.05 = 5%),
+/// deterministic per (beacon position, point).
+class RangingModel {
+ public:
+  RangingModel(const PropagationModel& connectivity, double sigma_rel,
+               std::uint64_t seed);
+
+  /// Measurements to all connected beacons, ascending beacon id.
+  std::vector<RangeMeasurement> measure(const BeaconField& field,
+                                        Vec2 point) const;
+
+  double sigma_rel() const { return sigma_rel_; }
+
+ private:
+  const PropagationModel* connectivity_;
+  double sigma_rel_;
+  std::uint64_t seed_;
+};
+
+/// Result of a multilateration fit.
+struct MultilaterationResult {
+  Vec2 estimate;
+  std::size_t beacons_used = 0;
+  bool converged = false;  ///< false ⇒ centroid fallback was returned
+};
+
+class MultilaterationLocalizer {
+ public:
+  MultilaterationLocalizer(const BeaconField& field,
+                           const RangingModel& ranging)
+      : field_(&field), ranging_(&ranging) {}
+
+  /// Least-squares position estimate at `point`. With fewer than 3 ranges
+  /// (or a degenerate geometry) falls back to the centroid of the ranged
+  /// beacons and reports converged = false.
+  MultilaterationResult localize(Vec2 point) const;
+
+  double error(Vec2 point) const {
+    return distance(localize(point).estimate, point);
+  }
+
+ private:
+  const BeaconField* field_;
+  const RangingModel* ranging_;
+};
+
+/// Geometric dilution of precision of the beacon geometry seen from `point`:
+/// sqrt(trace((HᵀH)⁻¹)) with H the unit-vector Jacobian. Returns
+/// `kGdopSingular` for fewer than 3 beacons or (near-)collinear geometry.
+double gdop(Vec2 point, const std::vector<Beacon>& beacons);
+
+inline constexpr double kGdopSingular = 1e9;
+
+}  // namespace abp

@@ -1,0 +1,83 @@
+#include "loc/region_localizer.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "loc/connectivity.h"
+
+namespace abp {
+
+RegionLocalizer::RegionLocalizer(const BeaconField& field,
+                                 const PropagationModel& model,
+                                 double sample_step)
+    : field_(&field), model_(&model), sample_step_(sample_step) {
+  ABP_CHECK(sample_step > 0.0, "sample step must be positive");
+}
+
+RegionLocalizationResult RegionLocalizer::localize(Vec2 point) const {
+  const auto heard = connected_beacons(*field_, *model_, point);
+  RegionLocalizationResult result;
+  result.connected = heard.size();
+
+  if (heard.empty()) {
+    result.estimate = field_->active_centroid();
+    return result;
+  }
+
+  // Centroid fallback (also the default if the sampled region is empty).
+  Vec2 centroid;
+  for (const Beacon& b : heard) centroid += b.pos;
+  centroid = centroid / static_cast<double>(heard.size());
+  result.estimate = centroid;
+
+  // Candidate region: inside every heard beacon's maximum range. Intersect
+  // the bounding boxes, clipped to the field bounds.
+  const double reach = model_->max_range();
+  AABB box = field_->bounds();
+  for (const Beacon& b : heard) {
+    box = AABB({std::max(box.lo.x, b.pos.x - reach),
+                std::max(box.lo.y, b.pos.y - reach)},
+               {std::min(box.hi.x, b.pos.x + reach),
+                std::min(box.hi.y, b.pos.y + reach)});
+    if (box.lo.x > box.hi.x || box.lo.y > box.hi.y) {
+      return result;  // inconsistent observation (possible under noise)
+    }
+  }
+
+  // Sample the box; a sample q is feasible iff its full connectivity
+  // signature equals the observation.
+  Vec2 sum;
+  std::size_t count = 0;
+  for (double y = box.lo.y; y <= box.hi.y; y += sample_step_) {
+    for (double x = box.lo.x; x <= box.hi.x; x += sample_step_) {
+      const Vec2 q{x, y};
+      // Quick reject: every heard beacon must be heard at q.
+      bool feasible = true;
+      for (const Beacon& b : heard) {
+        if (!model_->connected(b, q)) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      // Full signature: no beacon outside the heard set may be heard at q.
+      std::size_t heard_at_q = 0;
+      field_->query_disk(q, reach, [&](const Beacon& b) {
+        if (model_->connected(b, q)) ++heard_at_q;
+      });
+      if (heard_at_q != heard.size()) continue;  // extra beacon heard
+      sum += q;
+      ++count;
+    }
+  }
+
+  if (count > 0) {
+    result.estimate = sum / static_cast<double>(count);
+    result.used_region = true;
+    result.region_area =
+        static_cast<double>(count) * sample_step_ * sample_step_;
+  }
+  return result;
+}
+
+}  // namespace abp

@@ -1,0 +1,53 @@
+/// \file region_localizer.h
+/// \brief Full-locus-information localization (§2.2 footnote 3 and §6).
+///
+/// The centroid-of-beacons estimate "summarizes the locus"; the paper notes
+/// that "an alternative representation of the localization estimate is the
+/// full locus information" and suggests (§6) pursuing locus-based methods
+/// "from a theoretical standpoint". This localizer computes that estimate:
+/// the centroid of the *feasible region* — all positions whose connectivity
+/// signature (which beacons are heard AND which nearby beacons are not)
+/// matches the client's observation. Under the idealized disk model this is
+/// the centroid of an intersection of disks minus the in-range non-heard
+/// disks, i.e. the optimal estimate under a uniform position prior.
+///
+/// The region is integrated numerically on a sampling grid clipped to the
+/// bounding box of the connected disks. As the paper warns, "the locus
+/// information is not reliable under non ideal radio propagation": with a
+/// noisy model the signature match is evaluated through the same noisy
+/// predicate, and the region may come out empty — the estimator then falls
+/// back to the plain beacon centroid (reported via `used_region = false`).
+#pragma once
+
+#include "field/beacon_field.h"
+#include "loc/localizer.h"
+#include "radio/propagation.h"
+
+namespace abp {
+
+struct RegionLocalizationResult {
+  Vec2 estimate;
+  std::size_t connected = 0;   ///< beacons heard
+  bool used_region = false;    ///< false ⇒ centroid fallback was returned
+  double region_area = 0.0;    ///< sampled feasible-region area (m²)
+};
+
+class RegionLocalizer {
+ public:
+  /// `sample_step`: spacing of the numeric integration grid (meters).
+  RegionLocalizer(const BeaconField& field, const PropagationModel& model,
+                  double sample_step = 1.0);
+
+  RegionLocalizationResult localize(Vec2 point) const;
+
+  double error(Vec2 point) const {
+    return distance(localize(point).estimate, point);
+  }
+
+ private:
+  const BeaconField* field_;
+  const PropagationModel* model_;
+  double sample_step_;
+};
+
+}  // namespace abp

@@ -1,0 +1,75 @@
+#include "loc/render.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace abp {
+
+namespace {
+constexpr const char* kShades = " .:-=+*#%@";
+constexpr std::size_t kShadeCount = 10;
+}  // namespace
+
+void render_error_map(std::ostream& out, const ErrorMap& map,
+                      const BeaconField* field,
+                      const RenderOptions& options) {
+  ABP_CHECK(options.cell >= 1, "cell must be at least 1");
+  ABP_CHECK(options.meters_per_shade > 0.0,
+            "meters_per_shade must be positive");
+  const Lattice2D& lattice = map.lattice();
+
+  // Character raster dimensions.
+  const std::size_t cols = (lattice.nx() + options.cell - 1) / options.cell;
+  const std::size_t rows = (lattice.ny() + options.cell - 1) / options.cell;
+  std::vector<std::string> raster(rows, std::string(cols, ' '));
+
+  for (std::size_t j = 0; j < lattice.ny(); j += options.cell) {
+    for (std::size_t i = 0; i < lattice.nx(); i += options.cell) {
+      const double e = map.value(lattice.index(i, j));
+      const auto shade = std::min<std::size_t>(
+          kShadeCount - 1,
+          static_cast<std::size_t>(e / options.meters_per_shade));
+      raster[j / options.cell][i / options.cell] = kShades[shade];
+    }
+  }
+
+  if (options.show_beacons && field != nullptr) {
+    BeaconId newest = 0;
+    bool any = false;
+    field->for_each_active([&](const Beacon& b) {
+      newest = std::max(newest, b.id);
+      any = true;
+    });
+    field->for_each_active([&](const Beacon& b) {
+      const auto [i, j] = lattice.coords(lattice.nearest(b.pos));
+      const std::size_t ci = std::min(i / options.cell, cols - 1);
+      const std::size_t cj = std::min(j / options.cell, rows - 1);
+      raster[cj][ci] = (any && b.id == newest) ? 'O' : 'o';
+    });
+  }
+
+  for (std::size_t r = rows; r-- > 0;) {
+    out << raster[r] << '\n';
+  }
+}
+
+std::string render_legend(const RenderOptions& options) {
+  std::string legend = "shade:";
+  for (std::size_t s = 0; s < kShadeCount; ++s) {
+    legend += " '";
+    legend += kShades[s];
+    legend += "'<";
+    const double hi = options.meters_per_shade * static_cast<double>(s + 1);
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%g", hi);
+    legend += buf;
+    legend += "m";
+  }
+  legend += " | beacons: o (newest O)";
+  return legend;
+}
+
+}  // namespace abp

@@ -1,0 +1,38 @@
+/// \file render.h
+/// \brief ASCII rendering of error maps and beacon fields.
+///
+/// The paper's figures are heat-map-style plots; for a terminal-first
+/// library the equivalent is a character raster. Each output character
+/// covers `cell` lattice points; error magnitude maps to a shade ramp, and
+/// beacons can be overlaid. Used by the examples and handy in tests when a
+/// property fails ("show me the field").
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "field/beacon_field.h"
+#include "loc/error_map.h"
+
+namespace abp {
+
+struct RenderOptions {
+  /// Lattice points per output character (both axes).
+  std::size_t cell = 4;
+  /// Error (meters) covered by each shade step; the 10-step ramp tops out
+  /// at 10 × meters_per_shade.
+  double meters_per_shade = 2.5;
+  /// Overlay live active beacons as 'o' (and the newest as 'O').
+  bool show_beacons = false;
+};
+
+/// Render `map` (optionally overlaying `field`'s beacons) to `out`,
+/// top row = maximum y, matching the usual map orientation.
+void render_error_map(std::ostream& out, const ErrorMap& map,
+                      const BeaconField* field = nullptr,
+                      const RenderOptions& options = {});
+
+/// Single-line shade legend for the given options.
+std::string render_legend(const RenderOptions& options = {});
+
+}  // namespace abp

@@ -1,0 +1,70 @@
+#include "loc/survey_data.h"
+
+#include "common/assert.h"
+#include "common/stats.h"
+
+namespace abp {
+
+SurveyData::SurveyData(const Lattice2D& lattice)
+    : lattice_(lattice),
+      values_(lattice.nx(), lattice.ny(), 0.0),
+      mask_(lattice.nx(), lattice.ny(), 0) {}
+
+void SurveyData::record(std::size_t flat, double measured_error) {
+  ABP_CHECK(measured_error >= 0.0, "negative measured error");
+  if (mask_[flat]) {
+    sum_ -= values_[flat];
+  } else {
+    mask_[flat] = 1;
+    ++measured_count_;
+  }
+  values_[flat] = measured_error;
+  sum_ += measured_error;
+}
+
+double SurveyData::coverage() const {
+  return static_cast<double>(measured_count_) /
+         static_cast<double>(lattice_.size());
+}
+
+double SurveyData::mean() const {
+  return measured_count_ ? sum_ / static_cast<double>(measured_count_) : 0.0;
+}
+
+double SurveyData::median() const {
+  if (measured_count_ == 0) return 0.0;
+  std::vector<double> vals;
+  vals.reserve(measured_count_);
+  for (std::size_t i = 0; i < mask_.size(); ++i) {
+    if (mask_[i]) vals.push_back(values_[i]);
+  }
+  return abp::median(vals);
+}
+
+void SurveyData::merge(const SurveyData& other) {
+  ABP_CHECK(lattice_.nx() == other.lattice_.nx() &&
+                lattice_.ny() == other.lattice_.ny() &&
+                lattice_.step() == other.lattice_.step(),
+            "cannot merge surveys over different lattices");
+  for (std::size_t flat = 0; flat < lattice_.size(); ++flat) {
+    if (other.measured(flat)) record(flat, other.value(flat));
+  }
+}
+
+void SurveyData::suppress_disk(Vec2 center, double radius) {
+  lattice_.for_each_in_disk(center, radius, [&](std::size_t flat, Vec2) {
+    if (!mask_[flat]) return;
+    sum_ -= values_[flat];
+    values_[flat] = 0.0;
+  });
+}
+
+SurveyData SurveyData::from_error_map(const ErrorMap& map) {
+  SurveyData data(map.lattice());
+  for (std::size_t i = 0; i < map.lattice().size(); ++i) {
+    data.record(i, map.value(i));
+  }
+  return data;
+}
+
+}  // namespace abp

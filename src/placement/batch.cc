@@ -1,0 +1,57 @@
+#include "placement/batch.h"
+
+#include "common/assert.h"
+#include "loc/survey_data.h"
+
+namespace abp {
+
+BatchResult place_batch(BeaconField& field, const PropagationModel& model,
+                        ErrorMap& map, const PlacementAlgorithm& algorithm,
+                        std::size_t k, BatchMode mode, Rng& rng) {
+  ABP_CHECK(k >= 1, "batch size must be at least 1");
+  BatchResult result;
+  result.mean_before = map.mean();
+  result.median_before = map.median();
+
+  auto make_ctx = [&](const SurveyData& survey) {
+    PlacementContext ctx = PlacementContext::basic(survey, field.bounds(),
+                                                   model.nominal_range());
+    ctx.field = &field;
+    ctx.model = &model;
+    ctx.truth = &map;
+    return ctx;
+  };
+
+  if (mode == BatchMode::kSequential) {
+    for (std::size_t step = 0; step < k; ++step) {
+      const SurveyData survey = SurveyData::from_error_map(map);
+      const Vec2 pos =
+          field.bounds().clamp(algorithm.propose(make_ctx(survey), rng));
+      const BeaconId id = field.add(pos);
+      map.apply_addition(field, model, *field.get(id));
+      result.positions.push_back(pos);
+      result.ids.push_back(id);
+    }
+  } else {
+    SurveyData survey = SurveyData::from_error_map(map);
+    std::vector<Vec2> picks;
+    for (std::size_t step = 0; step < k; ++step) {
+      const Vec2 pos =
+          field.bounds().clamp(algorithm.propose(make_ctx(survey), rng));
+      picks.push_back(pos);
+      survey.suppress_disk(pos, model.nominal_range());
+    }
+    for (const Vec2 pos : picks) {
+      const BeaconId id = field.add(pos);
+      map.apply_addition(field, model, *field.get(id));
+      result.positions.push_back(pos);
+      result.ids.push_back(id);
+    }
+  }
+
+  result.mean_after = map.mean();
+  result.median_after = map.median();
+  return result;
+}
+
+}  // namespace abp

@@ -1,0 +1,46 @@
+/// \file batch.h
+/// \brief Multi-beacon batch placement (§6 future work: "evaluate the
+/// algorithms with respect to the gains obtained when several beacons are
+/// added at once (instead of just one beacon)").
+///
+/// Two strategies:
+///  * **Sequential** — after each placement the terrain is re-surveyed and
+///    the algorithm re-run: k tours, k placements, maximal information.
+///  * **One-shot** — a single survey; after each proposal the neighbourhood
+///    (radius R) of the chosen point is suppressed in the survey copy so
+///    the next proposal targets a different hot spot. One tour, k
+///    placements, stale information.
+/// The ablation bench compares the two against k× the single-beacon gain.
+#pragma once
+
+#include <vector>
+
+#include "loc/error_map.h"
+#include "placement/placement.h"
+
+namespace abp {
+
+enum class BatchMode {
+  kSequential,  ///< re-survey between placements
+  kOneShot,     ///< one survey, suppress around each pick
+};
+
+struct BatchResult {
+  std::vector<Vec2> positions;   ///< where the k beacons were placed
+  std::vector<BeaconId> ids;     ///< their ids in the field
+  double mean_before = 0.0;      ///< mean LE before any placement
+  double mean_after = 0.0;       ///< mean LE after all k placements
+  double median_before = 0.0;
+  double median_after = 0.0;
+};
+
+/// Place `k` additional beacons into `field` using `algorithm`. `map` must
+/// be the current ground-truth error map for `field` + `model`; it is kept
+/// up to date incrementally and reflects the final state on return.
+/// The survey given to the algorithm is derived from `map` (complete,
+/// noise-free — the §3.1 baseline).
+BatchResult place_batch(BeaconField& field, const PropagationModel& model,
+                        ErrorMap& map, const PlacementAlgorithm& algorithm,
+                        std::size_t k, BatchMode mode, Rng& rng);
+
+}  // namespace abp

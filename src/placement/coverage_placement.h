@@ -1,0 +1,30 @@
+/// \file coverage_placement.h
+/// \brief Coverage-maximizing placement — the §1 generalization ("global
+/// coverage … in wireless sensor networks") expressed as a placement rule.
+///
+/// Scores each candidate lattice point (subsampled by `stride`) by how
+/// many currently-uncovered lattice points a beacon there would cover
+/// (points within the nominal range R that hear no beacon today), and
+/// proposes the argmax. Ignores error magnitudes entirely, so it contrasts
+/// cleanly with Max (pointwise error) and Grid (area error mass) in the
+/// coverage-vs-accuracy ablation.
+#pragma once
+
+#include "placement/placement.h"
+
+namespace abp {
+
+class CoveragePlacement final : public PlacementAlgorithm {
+ public:
+  explicit CoveragePlacement(std::size_t stride = 2);
+
+  std::string name() const override { return "coverage"; }
+
+  /// Requires ctx.field and ctx.model (needs connectivity, not errors).
+  Vec2 propose(const PlacementContext& ctx, Rng& rng) const override;
+
+ private:
+  std::size_t stride_;
+};
+
+}  // namespace abp

@@ -1,0 +1,74 @@
+#include "placement/density_control.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace abp {
+
+namespace {
+
+/// Mean LE after hypothetically deactivating `beacon`, leaving no trace.
+double mean_if_deactivated(BeaconField& field, const PropagationModel& model,
+                           ErrorMap& map, const Beacon& beacon) {
+  field.set_active(beacon.id, false);
+  map.apply_removal(field, model, beacon.pos);
+  const double mean = map.mean();
+  field.set_active(beacon.id, true);
+  map.apply_addition(field, model, beacon);
+  return mean;
+}
+
+}  // namespace
+
+DensityControlResult greedy_density_control(BeaconField& field,
+                                            const PropagationModel& model,
+                                            ErrorMap& map,
+                                            const DensityControlConfig& config,
+                                            Rng& rng) {
+  ABP_CHECK(config.tolerance_factor >= 1.0,
+            "tolerance factor must be at least 1");
+  DensityControlResult result;
+  result.initial_active = field.active_count();
+  result.baseline_mean = map.mean();
+  const double budget = config.tolerance_factor * result.baseline_mean;
+
+  for (;;) {
+    if (config.max_deactivations != 0 &&
+        result.deactivated.size() >= config.max_deactivations) {
+      break;
+    }
+    std::vector<BeaconId> candidates = field.active_ids();
+    if (candidates.size() <= 1) break;
+    if (config.candidate_sample != 0 &&
+        candidates.size() > config.candidate_sample) {
+      rng.shuffle(candidates);
+      candidates.resize(config.candidate_sample);
+      std::sort(candidates.begin(), candidates.end());
+    }
+
+    double best_mean = std::numeric_limits<double>::infinity();
+    BeaconId best_id = 0;
+    for (BeaconId id : candidates) {
+      const Beacon beacon = *field.get(id);
+      const double mean = mean_if_deactivated(field, model, map, beacon);
+      if (mean < best_mean) {
+        best_mean = mean;
+        best_id = id;
+      }
+    }
+    if (best_mean > budget) break;  // every deactivation would overshoot
+
+    const Beacon victim = *field.get(best_id);
+    field.set_active(best_id, false);
+    map.apply_removal(field, model, victim.pos);
+    result.deactivated.push_back(best_id);
+  }
+
+  result.final_active = field.active_count();
+  result.final_mean = map.mean();
+  return result;
+}
+
+}  // namespace abp

@@ -1,0 +1,48 @@
+/// \file density_control.h
+/// \brief Beacon self-scheduling by density (the §5/§6 discussion: beacons
+/// "decide whether to turn themselves on i.e., be active or be passive",
+/// in the spirit of AFECA's density-adaptive duty cycling).
+///
+/// Beyond the saturation density (~0.01 beacons/m² ideal, §4.2) extra
+/// active beacons buy almost no localization accuracy while costing power
+/// and increasing self-interference (§1). The greedy controller repeatedly
+/// deactivates the active beacon whose silencing costs the least mean
+/// localization error, as long as the resulting mean stays within
+/// `tolerance_factor` of the all-active baseline. The result is the active
+/// subset a self-scheduling deployment should converge to.
+#pragma once
+
+#include <vector>
+
+#include "loc/error_map.h"
+#include "placement/placement.h"
+
+namespace abp {
+
+struct DensityControlConfig {
+  /// Stop when no deactivation keeps mean LE ≤ tolerance_factor × baseline.
+  double tolerance_factor = 1.05;
+  /// Evaluate at most this many candidate beacons per round (random subset
+  /// when the active count is larger); 0 = evaluate all.
+  std::size_t candidate_sample = 0;
+  /// Hard cap on deactivations (0 = no cap).
+  std::size_t max_deactivations = 0;
+};
+
+struct DensityControlResult {
+  std::size_t initial_active = 0;
+  std::size_t final_active = 0;
+  double baseline_mean = 0.0;  ///< mean LE with all beacons active
+  double final_mean = 0.0;     ///< mean LE with the chosen active subset
+  std::vector<BeaconId> deactivated;  ///< in deactivation order
+};
+
+/// Run the greedy controller. `map` must be current for `field` + `model`;
+/// it is updated in place and reflects the final active subset on return.
+DensityControlResult greedy_density_control(BeaconField& field,
+                                            const PropagationModel& model,
+                                            ErrorMap& map,
+                                            const DensityControlConfig& config,
+                                            Rng& rng);
+
+}  // namespace abp

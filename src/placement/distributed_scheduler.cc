@@ -1,0 +1,68 @@
+#include "placement/distributed_scheduler.h"
+
+#include "common/assert.h"
+
+namespace abp {
+
+namespace {
+
+/// Active beacons within radius of `b`, excluding `b` itself.
+std::size_t active_neighbors(const BeaconField& field, const Beacon& b,
+                             double radius) {
+  std::size_t n = 0;
+  field.query_disk(b.pos, radius, [&](const Beacon& other) {
+    if (other.id != b.id) ++n;
+  });
+  return n;
+}
+
+}  // namespace
+
+DistributedSchedulerResult distributed_density_control(
+    BeaconField& field, const DistributedSchedulerConfig& config, Rng& rng) {
+  ABP_CHECK(config.neighbor_radius > 0.0, "neighbor radius must be positive");
+  ABP_CHECK(config.min_active_neighbors <= config.max_active_neighbors,
+            "min_active_neighbors must not exceed max_active_neighbors");
+  ABP_CHECK(config.backoff_probability > 0.0 &&
+                config.backoff_probability <= 1.0,
+            "backoff probability must be in (0, 1]");
+
+  DistributedSchedulerResult result;
+  result.initial_active = field.active_count();
+
+  // All deployed beacons (live, whatever their current state).
+  std::vector<BeaconId> everyone;
+  for (BeaconId id = 0; everyone.size() < field.size(); ++id) {
+    ABP_CHECK(id < 100000000u, "runaway id scan");
+    if (field.get(id)) everyone.push_back(id);
+  }
+
+  for (std::size_t round = 0; round < config.max_rounds; ++round) {
+    ++result.rounds;
+    bool changed = false;
+    // Random decision order each round models unsynchronized nodes.
+    rng.shuffle(everyone);
+    for (BeaconId id : everyone) {
+      const Beacon b = *field.get(id);
+      const std::size_t heard =
+          active_neighbors(field, b, config.neighbor_radius);
+      if (b.active && heard > config.max_active_neighbors) {
+        if (rng.bernoulli(config.backoff_probability)) {
+          field.set_active(id, false);
+          changed = true;
+        }
+      } else if (!b.active && heard < config.min_active_neighbors) {
+        field.set_active(id, true);
+        changed = true;
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.final_active = field.active_count();
+  return result;
+}
+
+}  // namespace abp

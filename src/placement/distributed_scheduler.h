@@ -1,0 +1,54 @@
+/// \file distributed_scheduler.h
+/// \brief Beacon-based distributed self-scheduling — the §6 "alternative
+/// approach … wherein a reasonably dense beacon deployment is assumed, and
+/// the beacon nodes themselves instrument the terrain conditions based on
+/// interactions with other (beacon) nodes, and decide whether to turn
+/// themselves on i.e., be active or be passive."
+///
+/// Unlike the greedy controller (density_control.h), which needs a global
+/// error map, every decision here uses only information a beacon can learn
+/// locally by listening to its neighbours (AFECA-style):
+///
+///  * an ACTIVE beacon hearing more than `max_active_neighbors` other
+///    active beacons is redundant and deactivates with probability
+///    `backoff_probability` per round (randomized so that mutually
+///    redundant neighbours don't all switch off simultaneously);
+///  * a PASSIVE beacon hearing fewer than `min_active_neighbors` active
+///    beacons reactivates (coverage repair).
+///
+/// Rounds iterate in random order until no beacon changes state.
+#pragma once
+
+#include <cstddef>
+
+#include "field/beacon_field.h"
+#include "rng/rng.h"
+
+namespace abp {
+
+struct DistributedSchedulerConfig {
+  /// Radius within which beacons hear each other (the radio range R).
+  double neighbor_radius = 15.0;
+  /// Deactivate (probabilistically) above this many active neighbours.
+  std::size_t max_active_neighbors = 4;
+  /// Reactivate below this many active neighbours.
+  std::size_t min_active_neighbors = 2;
+  /// Per-round deactivation probability for redundant beacons.
+  double backoff_probability = 0.5;
+  /// Safety cap on protocol rounds.
+  std::size_t max_rounds = 50;
+};
+
+struct DistributedSchedulerResult {
+  std::size_t initial_active = 0;
+  std::size_t final_active = 0;
+  std::size_t rounds = 0;     ///< rounds executed
+  bool converged = false;     ///< a full round ran with no state change
+};
+
+/// Run the protocol on `field` (mutates active flags). Deterministic given
+/// `rng`'s seed.
+DistributedSchedulerResult distributed_density_control(
+    BeaconField& field, const DistributedSchedulerConfig& config, Rng& rng);
+
+}  // namespace abp

@@ -1,0 +1,101 @@
+#include "placement/facility_location.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace abp {
+
+namespace {
+
+std::vector<Vec2> demand_points(const Lattice2D& lattice,
+                                std::size_t stride) {
+  std::vector<Vec2> out;
+  for (std::size_t j = 0; j < lattice.ny(); j += stride) {
+    for (std::size_t i = 0; i < lattice.nx(); i += stride) {
+      out.push_back(lattice.point(i, j));
+    }
+  }
+  return out;
+}
+
+double capped(double d, double cap) {
+  return cap > 0.0 ? std::min(d, cap) : d;
+}
+
+}  // namespace
+
+std::vector<Vec2> greedy_kmedian_deployment(const Lattice2D& lattice,
+                                            std::size_t k,
+                                            const KMedianConfig& config) {
+  ABP_CHECK(k >= 1, "need at least one facility");
+  ABP_CHECK(config.site_stride >= 1 && config.demand_stride >= 1,
+            "strides must be at least 1");
+  ABP_CHECK(config.distance_cap >= 0.0, "negative distance cap");
+
+  const std::vector<Vec2> sites = demand_points(lattice, config.site_stride);
+  const std::vector<Vec2> demand =
+      demand_points(lattice, config.demand_stride);
+  ABP_CHECK(k <= sites.size(), "more facilities than candidate sites");
+
+  // Current capped distance of each demand point to its nearest chosen
+  // facility. The unserved sentinel must be finite and modest — gains are
+  // summed over all demand points, and an astronomical sentinel would
+  // overflow the sum and erase the differences between sites. The lattice
+  // diagonal bounds every real distance.
+  const double diagonal =
+      distance(lattice.bounds().lo, lattice.bounds().hi);
+  const double init =
+      config.distance_cap > 0.0 ? config.distance_cap : diagonal;
+  std::vector<double> nearest(demand.size(), init);
+
+  std::vector<Vec2> chosen;
+  std::vector<bool> used(sites.size(), false);
+  chosen.reserve(k);
+  for (std::size_t round = 0; round < k; ++round) {
+    double best_gain = -1.0;
+    std::size_t best_site = sites.size();
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      if (used[s]) continue;
+      double gain = 0.0;
+      for (std::size_t d = 0; d < demand.size(); ++d) {
+        const double dist =
+            capped(distance(sites[s], demand[d]), config.distance_cap);
+        if (dist < nearest[d]) gain += nearest[d] - dist;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_site = s;
+      }
+    }
+    ABP_DCHECK(best_site < sites.size(), "no site found");
+    used[best_site] = true;
+    chosen.push_back(sites[best_site]);
+    for (std::size_t d = 0; d < demand.size(); ++d) {
+      const double dist =
+          capped(distance(sites[best_site], demand[d]), config.distance_cap);
+      nearest[d] = std::min(nearest[d], dist);
+    }
+  }
+  return chosen;
+}
+
+double kmedian_objective(const Lattice2D& lattice,
+                         const std::vector<Vec2>& positions,
+                         const KMedianConfig& config) {
+  ABP_CHECK(!positions.empty(), "empty deployment");
+  const std::vector<Vec2> demand =
+      demand_points(lattice, config.demand_stride);
+  double total = 0.0;
+  for (const Vec2& d : demand) {
+    double best = std::numeric_limits<double>::max();
+    for (const Vec2& p : positions) {
+      best = std::min(best, distance(p, d));
+    }
+    total += capped(best, config.distance_cap);
+  }
+  return total / static_cast<double>(demand.size());
+}
+
+}  // namespace abp

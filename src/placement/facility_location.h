@@ -1,0 +1,49 @@
+/// \file facility_location.h
+/// \brief Engineered deployment via greedy k-median — the §5 connection.
+///
+/// The paper situates beacon placement next to the facility-location
+/// literature ("determine a set of locations at which to open facilities,
+/// so as to minimize the total … assignment costs"; NP-hard, approached
+/// with approximation algorithms). For centroid localization the natural
+/// assignment cost of a client is its distance to the nearest beacon, so
+/// the classic greedy k-median (repeatedly open the facility that most
+/// reduces total assignment cost) is the "engineered deployment" an
+/// operator with full terrain control would compute offline — the
+/// counterpoint to §4.1's random fields and the adaptive algorithms that
+/// repair them. Greedy enjoys the standard (1 − 1/e) submodular
+/// approximation guarantee for the coverage-style objective.
+#pragma once
+
+#include <vector>
+
+#include "geom/lattice.h"
+#include "geom/vec2.h"
+
+namespace abp {
+
+struct KMedianConfig {
+  /// Candidate sites: every `site_stride`-th lattice point per axis.
+  std::size_t site_stride = 4;
+  /// Demand points: every `demand_stride`-th lattice point per axis.
+  std::size_t demand_stride = 2;
+  /// Distances are capped at this value in the objective (beyond a cap the
+  /// client is "unserved" either way); 0 disables the cap. Capping makes
+  /// the objective coverage-like and the greedy near-optimal in practice.
+  double distance_cap = 0.0;
+};
+
+/// Greedily choose `k` beacon positions minimizing the (capped) mean
+/// distance from every demand point to its nearest chosen position.
+/// Deterministic; O(k · |sites| · |demand|) with incremental min-distance
+/// maintenance.
+std::vector<Vec2> greedy_kmedian_deployment(const Lattice2D& lattice,
+                                            std::size_t k,
+                                            const KMedianConfig& config = {});
+
+/// The objective value (capped mean distance to nearest position) of an
+/// arbitrary deployment over the same demand set.
+double kmedian_objective(const Lattice2D& lattice,
+                         const std::vector<Vec2>& positions,
+                         const KMedianConfig& config = {});
+
+}  // namespace abp

@@ -1,0 +1,35 @@
+#include "placement/gdop_placement.h"
+
+#include "common/assert.h"
+#include "loc/connectivity.h"
+#include "loc/multilateration.h"
+
+namespace abp {
+
+GdopPlacement::GdopPlacement(std::size_t stride) : stride_(stride) {
+  ABP_CHECK(stride >= 1, "stride must be at least 1");
+}
+
+Vec2 GdopPlacement::propose(const PlacementContext& ctx, Rng&) const {
+  ABP_CHECK(ctx.field != nullptr && ctx.model != nullptr,
+            "GDOP placement requires field and model");
+  ABP_CHECK(ctx.survey != nullptr, "GDOP placement requires the lattice");
+  const Lattice2D& lattice = ctx.survey->lattice();
+
+  double worst = -1.0;
+  Vec2 worst_pos = lattice.point(0);
+  for (std::size_t j = 0; j < lattice.ny(); j += stride_) {
+    for (std::size_t i = 0; i < lattice.nx(); i += stride_) {
+      const Vec2 p = lattice.point(i, j);
+      const auto beacons = connected_beacons(*ctx.field, *ctx.model, p);
+      const double g = gdop(p, beacons);
+      if (g > worst) {
+        worst = g;
+        worst_pos = p;
+      }
+    }
+  }
+  return worst_pos;
+}
+
+}  // namespace abp

@@ -1,0 +1,33 @@
+/// \file gdop_placement.h
+/// \brief GDOP-driven placement for multilateration (§6 future work:
+/// "recast our existing beacon placement algorithms for multilateration
+/// based localization approaches").
+///
+/// For multilateration the error at a point is governed by the *geometry*
+/// of the beacons heard there, summarized by the geometric dilution of
+/// precision. This algorithm scores every lattice point (subsampled by
+/// `stride`) by its GDOP — points hearing fewer than three beacons or a
+/// near-collinear constellation score `kGdopSingular` — and places the new
+/// beacon at the worst-scoring point, directly repairing the locally worst
+/// geometry (a new anchor at the client's own position contributes an
+/// independent bearing there).
+#pragma once
+
+#include "placement/placement.h"
+
+namespace abp {
+
+class GdopPlacement final : public PlacementAlgorithm {
+ public:
+  explicit GdopPlacement(std::size_t stride = 2);
+
+  std::string name() const override { return "gdop"; }
+
+  /// Requires ctx.field and ctx.model.
+  Vec2 propose(const PlacementContext& ctx, Rng& rng) const override;
+
+ private:
+  std::size_t stride_;
+};
+
+}  // namespace abp

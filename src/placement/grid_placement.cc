@@ -1,0 +1,73 @@
+#include "placement/grid_placement.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace abp {
+
+GridPlacement::GridPlacement(std::size_t num_grids, double grid_side_factor,
+                             bool normalized)
+    : num_grids_(num_grids), grid_side_factor_(grid_side_factor),
+      normalized_(normalized) {
+  per_axis_ = static_cast<std::size_t>(std::llround(
+      std::sqrt(static_cast<double>(num_grids))));
+  ABP_CHECK(per_axis_ * per_axis_ == num_grids_,
+            "NG must be a perfect square");
+  ABP_CHECK(per_axis_ >= 2, "need at least 2 grids per axis");
+  ABP_CHECK(grid_side_factor > 0.0, "grid side factor must be positive");
+}
+
+std::vector<GridPlacement::GridScore> GridPlacement::scores(
+    const PlacementContext& ctx) const {
+  ABP_CHECK(ctx.survey != nullptr, "Grid requires survey data");
+  ABP_CHECK(ctx.nominal_range > 0.0, "Grid requires the nominal range R");
+  const SurveyData& survey = *ctx.survey;
+  const Lattice2D& lattice = survey.lattice();
+  const AABB& bounds = ctx.bounds;
+
+  const double grid_side = grid_side_factor_ * ctx.nominal_range;
+  ABP_CHECK(grid_side <= bounds.width() && grid_side <= bounds.height(),
+            "gridSide = 2R exceeds the terrain — Grid is undefined");
+
+  const double m = static_cast<double>(per_axis_);
+  const double span_x = bounds.width() - grid_side;
+  const double span_y = bounds.height() - grid_side;
+
+  std::vector<GridScore> out;
+  out.reserve(num_grids_);
+  for (std::size_t j = 1; j <= per_axis_; ++j) {
+    for (std::size_t i = 1; i <= per_axis_; ++i) {
+      // Paper §3.2.3 step 3.2 (generalized to rectangle bounds):
+      //   Xc = gridSide/2 + (i-1)(Side - gridSide)/(sqrt(NG) - 1).
+      const Vec2 center{
+          bounds.lo.x + grid_side / 2.0 +
+              (static_cast<double>(i) - 1.0) * span_x / (m - 1.0),
+          bounds.lo.y + grid_side / 2.0 +
+              (static_cast<double>(j) - 1.0) * span_y / (m - 1.0)};
+      GridScore score;
+      score.center = center;
+      const AABB cell = AABB::centered(center, grid_side / 2.0,
+                                       grid_side / 2.0);
+      lattice.for_each_in_box(cell, [&](std::size_t flat, Vec2) {
+        if (!survey.measured(flat)) return;
+        score.cumulative_error += survey.value(flat);
+        ++score.points;
+      });
+      out.push_back(score);
+    }
+  }
+  return out;
+}
+
+Vec2 GridPlacement::propose(const PlacementContext& ctx, Rng&) const {
+  const auto all = scores(ctx);
+  ABP_CHECK(!all.empty(), "no candidate grids");
+  const GridScore* best = &all.front();
+  for (const auto& s : all) {
+    if (s.score(normalized_) > best->score(normalized_)) best = &s;
+  }
+  return best->center;
+}
+
+}  // namespace abp

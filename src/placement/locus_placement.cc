@@ -1,0 +1,21 @@
+#include "placement/locus_placement.h"
+
+#include "common/assert.h"
+#include "loc/locus.h"
+
+namespace abp {
+
+Vec2 LocusPlacement::propose(const PlacementContext& ctx, Rng&) const {
+  ABP_CHECK(ctx.field != nullptr && ctx.model != nullptr,
+            "locus placement requires field and model");
+  ABP_CHECK(ctx.survey != nullptr, "locus placement requires the lattice");
+  const LocusAnalysis analysis =
+      analyze_loci(*ctx.field, *ctx.model, ctx.survey->lattice());
+  const LocusRegion* target =
+      covered_only_ ? analysis.largest_covered() : analysis.largest();
+  if (target == nullptr) target = analysis.largest();
+  ABP_CHECK(target != nullptr, "empty locus analysis");
+  return ctx.bounds.clamp(target->centroid);
+}
+
+}  // namespace abp

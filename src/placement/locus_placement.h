@@ -1,0 +1,39 @@
+/// \file locus_placement.h
+/// \brief Locus-area placement (§6 future work): "adding new beacons to
+/// break down the loci with the largest area into smaller loci".
+///
+/// Uses the locus decomposition (loc/locus.h): every maximal set of points
+/// with identical beacon connectivity is one localization region; a large
+/// region means coarse localization everywhere inside it. The algorithm
+/// places the new beacon at the centroid of the largest region, splitting
+/// it into (up to) two smaller loci along the new beacon's range boundary.
+/// "To some extent, the Grid algorithm incorporates this strategy" — the
+/// ablation bench quantifies how much.
+#pragma once
+
+#include "placement/placement.h"
+
+namespace abp {
+
+class LocusPlacement final : public PlacementAlgorithm {
+ public:
+  /// If `covered_only` is true, target the largest region that already
+  /// hears ≥1 beacon (refining granularity); otherwise target the largest
+  /// region overall, which at low density is usually the uncovered
+  /// exterior (extending coverage).
+  explicit LocusPlacement(bool covered_only = false)
+      : covered_only_(covered_only) {}
+
+  std::string name() const override {
+    return covered_only_ ? "locus-covered" : "locus";
+  }
+
+  /// Requires ctx.field and ctx.model (the locus decomposition needs
+  /// connectivity signatures, not just scalar error readings).
+  Vec2 propose(const PlacementContext& ctx, Rng& rng) const override;
+
+ private:
+  bool covered_only_;
+};
+
+}  // namespace abp

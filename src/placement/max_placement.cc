@@ -1,0 +1,26 @@
+#include "placement/max_placement.h"
+
+#include "common/assert.h"
+
+namespace abp {
+
+Vec2 MaxPlacement::propose(const PlacementContext& ctx, Rng&) const {
+  ABP_CHECK(ctx.survey != nullptr, "Max requires survey data");
+  const SurveyData& survey = *ctx.survey;
+  ABP_CHECK(survey.measured_count() > 0, "Max requires measurements");
+
+  double best = -1.0;
+  std::size_t best_flat = 0;
+  const std::size_t n = survey.lattice().size();
+  for (std::size_t flat = 0; flat < n; ++flat) {
+    if (!survey.measured(flat)) continue;
+    const double v = survey.value(flat);
+    if (v > best) {
+      best = v;
+      best_flat = flat;
+    }
+  }
+  return survey.lattice().point(best_flat);
+}
+
+}  // namespace abp

@@ -1,0 +1,22 @@
+/// \file max_placement.h
+/// \brief The Max algorithm (§3.2.2): place the new beacon at the measured
+/// point with the highest localization error.
+///
+/// "Predicated on the assumption that points with high localization error
+/// are spatially correlated … it is sensitive to local maxima." Complexity
+/// is linear in PT, the number of measured points. Ties break to the lowest
+/// flat lattice index (row-major scan order) for determinism; ties have
+/// measure zero under noise.
+#pragma once
+
+#include "placement/placement.h"
+
+namespace abp {
+
+class MaxPlacement final : public PlacementAlgorithm {
+ public:
+  std::string name() const override { return "max"; }
+  Vec2 propose(const PlacementContext& ctx, Rng& rng) const override;
+};
+
+}  // namespace abp

@@ -1,0 +1,34 @@
+#include "placement/oracle_placement.h"
+
+#include "common/assert.h"
+
+namespace abp {
+
+OraclePlacement::OraclePlacement(std::size_t stride) : stride_(stride) {
+  ABP_CHECK(stride >= 1, "stride must be at least 1");
+}
+
+Vec2 OraclePlacement::propose(const PlacementContext& ctx, Rng&) const {
+  ABP_CHECK(ctx.field != nullptr && ctx.model != nullptr &&
+                ctx.truth != nullptr,
+            "oracle requires field, model and ground-truth error map");
+  const ErrorMap& truth = *ctx.truth;
+  const Lattice2D& lattice = truth.lattice();
+
+  double best_mean = std::numeric_limits<double>::infinity();
+  Vec2 best_pos = lattice.point(0);
+  for (std::size_t j = 0; j < lattice.ny(); j += stride_) {
+    for (std::size_t i = 0; i < lattice.nx(); i += stride_) {
+      const Vec2 candidate = lattice.point(i, j);
+      const double after =
+          truth.mean_if_added(*ctx.field, *ctx.model, candidate);
+      if (after < best_mean) {
+        best_mean = after;
+        best_pos = candidate;
+      }
+    }
+  }
+  return best_pos;
+}
+
+}  // namespace abp

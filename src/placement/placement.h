@@ -1,0 +1,62 @@
+/// \file placement.h
+/// \brief The adaptive beacon placement problem and algorithm interface
+/// (§3: "given an existing field of beacons, how should additional beacons
+/// be placed for best advantage").
+///
+/// An algorithm receives the agent's survey of measured localization error
+/// and proposes ONE position for an additional beacon. The three paper
+/// algorithms (Random / Max / Grid, §3.2) need only the survey and the
+/// terrain bounds; extension algorithms (oracle, locus, GDOP) additionally
+/// inspect the live field and propagation model through the optional
+/// context pointers — they model richer instrumentation, not the paper's
+/// baseline setting.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "field/beacon_field.h"
+#include "geom/aabb.h"
+#include "loc/survey_data.h"
+#include "radio/propagation.h"
+#include "rng/rng.h"
+
+namespace abp {
+
+struct PlacementContext {
+  /// Measured localization error over the lattice (never null).
+  const SurveyData* survey = nullptr;
+  /// Deployment region (the terrain square).
+  AABB bounds;
+  /// Nominal transmission range R (drives the Grid algorithm's grid side).
+  double nominal_range = 0.0;
+
+  /// Optional richer instrumentation for extension algorithms; the paper's
+  /// three algorithms ignore these.
+  const BeaconField* field = nullptr;
+  const PropagationModel* model = nullptr;
+  const ErrorMap* truth = nullptr;
+
+  /// Convenience factory for the common case.
+  static PlacementContext basic(const SurveyData& survey, AABB bounds,
+                                double nominal_range) {
+    PlacementContext ctx;
+    ctx.survey = &survey;
+    ctx.bounds = bounds;
+    ctx.nominal_range = nominal_range;
+    return ctx;
+  }
+};
+
+class PlacementAlgorithm {
+ public:
+  virtual ~PlacementAlgorithm() = default;
+
+  /// Short identifier used in result tables ("random", "max", "grid", …).
+  virtual std::string name() const = 0;
+
+  /// Propose the position for one additional beacon.
+  virtual Vec2 propose(const PlacementContext& ctx, Rng& rng) const = 0;
+};
+
+}  // namespace abp

@@ -1,0 +1,10 @@
+#include "placement/random_placement.h"
+
+namespace abp {
+
+Vec2 RandomPlacement::propose(const PlacementContext& ctx, Rng& rng) const {
+  return {rng.uniform(ctx.bounds.lo.x, ctx.bounds.hi.x),
+          rng.uniform(ctx.bounds.lo.y, ctx.bounds.hi.y)};
+}
+
+}  // namespace abp

@@ -1,0 +1,21 @@
+/// \file random_placement.h
+/// \brief The Random algorithm (§3.2.1): "select a random point in the
+/// terrain as a candidate point for adding an additional beacon".
+///
+/// O(1); takes no measurements. Investigated "primarily for comparison with
+/// the other algorithms, but also because it is similar in character to
+/// uncontrolled airdrop of additional nodes". Its gains are expected to be
+/// (and measured to be, Fig 7) independent of the noise level.
+#pragma once
+
+#include "placement/placement.h"
+
+namespace abp {
+
+class RandomPlacement final : public PlacementAlgorithm {
+ public:
+  std::string name() const override { return "random"; }
+  Vec2 propose(const PlacementContext& ctx, Rng& rng) const override;
+};
+
+}  // namespace abp

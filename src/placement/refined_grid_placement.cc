@@ -1,0 +1,53 @@
+#include "placement/refined_grid_placement.h"
+
+#include <limits>
+
+#include "common/assert.h"
+#include "loc/error_map.h"
+
+namespace abp {
+
+RefinedGridPlacement::RefinedGridPlacement(std::size_t num_grids,
+                                           double grid_side_factor,
+                                           std::size_t refine_stride)
+    : coarse_(num_grids, grid_side_factor),
+      grid_side_factor_(grid_side_factor),
+      refine_stride_(refine_stride) {
+  ABP_CHECK(refine_stride >= 1, "refine stride must be at least 1");
+}
+
+Vec2 RefinedGridPlacement::propose(const PlacementContext& ctx,
+                                   Rng& rng) const {
+  ABP_CHECK(ctx.field != nullptr && ctx.model != nullptr &&
+                ctx.truth != nullptr,
+            "refined grid requires field, model and ground truth");
+  // Stage 1: Grid's cheap area scoring picks the winning grid center.
+  const Vec2 center = coarse_.propose(ctx, rng);
+
+  // Stage 2: true-improvement search over the winning grid's box.
+  const double half = grid_side_factor_ * ctx.nominal_range / 2.0;
+  const AABB box = AABB::centered(center, half, half);
+  const Lattice2D& lattice = ctx.truth->lattice();
+
+  double best_mean = std::numeric_limits<double>::infinity();
+  Vec2 best_pos = center;
+  std::size_t visited = 0;
+  lattice.for_each_in_box(box, [&](std::size_t flat, Vec2 p) {
+    const auto [i, j] = lattice.coords(flat);
+    if (i % refine_stride_ != 0 || j % refine_stride_ != 0) return;
+    ++visited;
+    const double after = ctx.truth->mean_if_added(*ctx.field, *ctx.model, p);
+    if (after < best_mean) {
+      best_mean = after;
+      best_pos = p;
+    }
+  });
+  ABP_DCHECK(visited > 0, "empty refinement box");
+  // Never do worse than the plain grid center.
+  if (ctx.truth->mean_if_added(*ctx.field, *ctx.model, center) < best_mean) {
+    best_pos = center;
+  }
+  return best_pos;
+}
+
+}  // namespace abp

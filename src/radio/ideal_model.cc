@@ -1,0 +1,11 @@
+#include "radio/propagation.h"
+
+#include "common/assert.h"
+
+namespace abp {
+
+IdealDiskModel::IdealDiskModel(double range) : range_(range) {
+  ABP_CHECK(range > 0.0, "range must be positive");
+}
+
+}  // namespace abp

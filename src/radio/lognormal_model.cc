@@ -1,0 +1,65 @@
+#include "radio/lognormal_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+#include "rng/hash.h"
+
+namespace abp {
+
+namespace {
+constexpr std::uint64_t kTagShadow = 0x7368ULL;  // "sh"
+constexpr double kClampSigmas = 3.5;
+}  // namespace
+
+LogNormalShadowingModel::LogNormalShadowingModel(double nominal_range,
+                                                 double path_loss_exponent,
+                                                 double sigma_db,
+                                                 std::uint64_t field_seed)
+    : range_(nominal_range), exponent_(path_loss_exponent),
+      sigma_db_(sigma_db), seed_(field_seed) {
+  ABP_CHECK(nominal_range > 0.0, "nominal range must be positive");
+  ABP_CHECK(path_loss_exponent >= 1.0, "path-loss exponent must be >= 1");
+  ABP_CHECK(sigma_db >= 0.0, "shadowing sigma must be non-negative");
+  max_range_ =
+      range_ * std::pow(10.0, kClampSigmas * sigma_db_ / (10.0 * exponent_));
+}
+
+double LogNormalShadowingModel::shadowing_db(const Beacon& beacon,
+                                             Vec2 point) const {
+  // Box–Muller from two hash-derived uniforms; clamp to keep max_range a
+  // true bound.
+  const auto bx = static_cast<std::uint64_t>(quantize_cm(beacon.pos.x));
+  const auto by = static_cast<std::uint64_t>(quantize_cm(beacon.pos.y));
+  const std::uint64_t h1 = stable_hash64(
+      seed_, kTagShadow, bx, by, std::uint64_t{1},
+      static_cast<std::uint64_t>(quantize_cm(point.x)),
+      static_cast<std::uint64_t>(quantize_cm(point.y)));
+  const std::uint64_t h2 = stable_hash64(
+      seed_, kTagShadow, bx, by, std::uint64_t{2},
+      static_cast<std::uint64_t>(quantize_cm(point.x)),
+      static_cast<std::uint64_t>(quantize_cm(point.y)));
+  double u1 = hash_to_unit(h1);
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = hash_to_unit(h2);
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * std::numbers::pi * u2);
+  const double x = sigma_db_ * z;
+  return std::clamp(x, -kClampSigmas * sigma_db_, kClampSigmas * sigma_db_);
+}
+
+double LogNormalShadowingModel::effective_range(const Beacon& beacon,
+                                                Vec2 point) const {
+  if (sigma_db_ == 0.0) return range_;
+  const double x = shadowing_db(beacon, point);
+  return range_ * std::pow(10.0, x / (10.0 * exponent_));
+}
+
+std::string LogNormalShadowingModel::name() const {
+  return "log-normal(n=" + std::to_string(exponent_) +
+         ",sigma=" + std::to_string(sigma_db_) + "dB)";
+}
+
+}  // namespace abp

@@ -1,0 +1,45 @@
+/// \file lognormal_model.h
+/// \brief Log-normal shadowing propagation (Rappaport 1996, the paper's
+/// [15]) — the "more sophisticated propagation model" of §6.
+///
+/// Received margin at distance d from a beacon whose threshold range is R:
+///     M(d) = 10·n·log10(R/d) + X   [dB],
+/// with path-loss exponent n and shadowing X ~ N(0, σ²) per (point, beacon),
+/// static in time (hash-derived). Connectivity means M >= 0, equivalently
+///     d <= R · 10^(X / (10 n)),
+/// which is the effective-range form used by the library. X is clamped to
+/// ±3.5σ so `max_range()` is a true bound for incremental updates.
+#pragma once
+
+#include <cstdint>
+
+#include "radio/propagation.h"
+
+namespace abp {
+
+class LogNormalShadowingModel final : public PropagationModel {
+ public:
+  LogNormalShadowingModel(double nominal_range, double path_loss_exponent,
+                          double sigma_db, std::uint64_t field_seed);
+
+  double effective_range(const Beacon& beacon, Vec2 point) const override;
+  double nominal_range() const override { return range_; }
+  double max_range() const override { return max_range_; }
+  std::string name() const override;
+
+  double sigma_db() const { return sigma_db_; }
+  double path_loss_exponent() const { return exponent_; }
+
+  /// The shadowing draw X (dB), clamped to ±3.5σ. Keyed by the beacon's
+  /// quantized position so re-deployment at the same spot is consistent.
+  double shadowing_db(const Beacon& beacon, Vec2 point) const;
+
+ private:
+  double range_;
+  double exponent_;
+  double sigma_db_;
+  std::uint64_t seed_;
+  double max_range_;
+};
+
+}  // namespace abp

@@ -1,0 +1,61 @@
+#include "radio/noise_model.h"
+
+#include "common/assert.h"
+#include "rng/hash.h"
+
+namespace abp {
+
+namespace {
+// Domain-separation tags so nf and u never reuse hash inputs.
+constexpr std::uint64_t kTagNoiseFactor = 0x6E66ULL;  // "nf"
+constexpr std::uint64_t kTagUDraw = 0x75ULL;          // "u"
+}  // namespace
+
+PerBeaconNoiseModel::PerBeaconNoiseModel(double nominal_range,
+                                         double noise_max,
+                                         std::uint64_t field_seed)
+    : range_(nominal_range), noise_max_(noise_max), seed_(field_seed) {
+  ABP_CHECK(nominal_range > 0.0, "nominal range must be positive");
+  ABP_CHECK(noise_max >= 0.0 && noise_max < 1.0,
+            "Noise must be in [0, 1) so effective range stays positive");
+}
+
+double PerBeaconNoiseModel::noise_factor(const Beacon& beacon) const {
+  const std::uint64_t h = stable_hash64(
+      seed_, kTagNoiseFactor,
+      static_cast<std::uint64_t>(quantize_cm(beacon.pos.x)),
+      static_cast<std::uint64_t>(quantize_cm(beacon.pos.y)));
+  return noise_max_ * hash_to_unit(h);
+}
+
+double PerBeaconNoiseModel::u_draw(const Beacon& beacon, Vec2 point) const {
+  const std::uint64_t h = stable_hash64(
+      seed_, kTagUDraw,
+      static_cast<std::uint64_t>(quantize_cm(beacon.pos.x)),
+      static_cast<std::uint64_t>(quantize_cm(beacon.pos.y)),
+      static_cast<std::uint64_t>(quantize_cm(point.x)),
+      static_cast<std::uint64_t>(quantize_cm(point.y)));
+  return hash_to_symmetric(h);
+}
+
+double PerBeaconNoiseModel::effective_range(const Beacon& beacon,
+                                            Vec2 point) const {
+  if (noise_max_ == 0.0) return range_;
+  return range_ * (1.0 + u_draw(beacon, point) * noise_factor(beacon));
+}
+
+bool PerBeaconNoiseModel::connected(const Beacon& beacon, Vec2 point) const {
+  const double d2 = distance_sq(beacon.pos, point);
+  const double certain_in = range_ * (1.0 - noise_max_);
+  if (d2 <= certain_in * certain_in) return true;
+  const double certain_out = range_ * (1.0 + noise_max_);
+  if (d2 > certain_out * certain_out) return false;
+  const double r = effective_range(beacon, point);
+  return d2 <= r * r;
+}
+
+std::string PerBeaconNoiseModel::name() const {
+  return "per-beacon-noise(" + std::to_string(noise_max_) + ")";
+}
+
+}  // namespace abp

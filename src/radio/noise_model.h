@@ -1,0 +1,52 @@
+/// \file noise_model.h
+/// \brief The paper's propagation-noise model (§4.2.1).
+///
+/// Connectivity to beacon B at point P exists iff
+///     distance(P, B) <= R · (1 + u(P,B) · nf(B)),
+/// where nf(B) ~ U[0, Noise] is a fixed per-beacon noise factor ("random
+/// regions with higher propagation noise") and u(P,B) ~ U[-1, 1] is drawn
+/// per (point, beacon) pair, static in time. Both draws are realized as
+/// stable hashes keyed by (field seed, quantized beacon position[, quantized
+/// point]), so queries are pure functions, fields are reproducible from a
+/// single seed, and a beacon removed and re-deployed at the same position
+/// sees the identical propagation landscape — which is what makes oracle
+/// evaluation and undo/redo in the trial loop exact.
+#pragma once
+
+#include <cstdint>
+
+#include "radio/propagation.h"
+
+namespace abp {
+
+class PerBeaconNoiseModel final : public PropagationModel {
+ public:
+  /// `noise_max` is the paper's `Noise` parameter ∈ {0, 0.1, 0.3, 0.5};
+  /// `field_seed` individualizes the noise landscape per trial field.
+  PerBeaconNoiseModel(double nominal_range, double noise_max,
+                      std::uint64_t field_seed);
+
+  double effective_range(const Beacon& beacon, Vec2 point) const override;
+  /// Equivalent to the base predicate but skips both hash evaluations when
+  /// the distance is outside [R(1−Noise), R(1+Noise)] — connectivity there
+  /// is certain regardless of the draws.
+  bool connected(const Beacon& beacon, Vec2 point) const override;
+  double nominal_range() const override { return range_; }
+  double max_range() const override { return range_ * (1.0 + noise_max_); }
+  std::string name() const override;
+
+  double noise_max() const { return noise_max_; }
+
+  /// The per-beacon noise factor nf(B) ∈ [0, noise_max].
+  double noise_factor(const Beacon& beacon) const;
+
+  /// The per-(point,beacon) draw u ∈ [-1, 1).
+  double u_draw(const Beacon& beacon, Vec2 point) const;
+
+ private:
+  double range_;
+  double noise_max_;
+  std::uint64_t seed_;
+};
+
+}  // namespace abp

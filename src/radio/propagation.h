@@ -1,0 +1,69 @@
+/// \file propagation.h
+/// \brief Radio propagation models (§2.1 idealized model, §4.2.1 noise).
+///
+/// Every model is expressed as a deterministic *effective range* function
+/// `range(beacon, point)`: the client at `point` hears `beacon` iff their
+/// distance does not exceed it. This formulation
+///  * reproduces the paper's predicate exactly (ideal: range ≡ R; noisy:
+///    range = R(1 + u·nf(B)));
+///  * is static in time and identical on every query ("location based and
+///    static with respect to time", §4.2.1) because randomness is
+///    hash-derived, never sampled;
+///  * exposes `max_range()`, the upper bound that makes *exact* incremental
+///    error-map updates possible (a new beacon cannot affect points farther
+///    than `max_range()` from it).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "field/beacon.h"
+#include "geom/vec2.h"
+
+namespace abp {
+
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+
+  /// Effective communication range of `beacon` observed at `point`
+  /// (meters, >= 0). Deterministic: same inputs, same answer.
+  virtual double effective_range(const Beacon& beacon, Vec2 point) const = 0;
+
+  /// Nominal transmission range R (§2.1: identical, fixed-power radios).
+  virtual double nominal_range() const = 0;
+
+  /// Upper bound on `effective_range` over all beacons and points.
+  virtual double max_range() const = 0;
+
+  /// Human-readable model name for reports.
+  virtual std::string name() const = 0;
+
+  /// Connectivity predicate: client at `point` hears `beacon`. Must equal
+  /// `distance <= effective_range(beacon, point)`; models may override with
+  /// a faster equivalent (e.g. skipping hash evaluation outside the
+  /// uncertainty band).
+  virtual bool connected(const Beacon& beacon, Vec2 point) const {
+    return distance_sq(beacon.pos, point) <=
+           square(effective_range(beacon, point));
+  }
+
+ protected:
+  static double square(double v) { return v * v; }
+};
+
+/// §2.1 idealized model: perfect spherical propagation, identical range R.
+class IdealDiskModel final : public PropagationModel {
+ public:
+  explicit IdealDiskModel(double range);
+
+  double effective_range(const Beacon&, Vec2) const override { return range_; }
+  double nominal_range() const override { return range_; }
+  double max_range() const override { return range_; }
+  std::string name() const override { return "ideal"; }
+
+ private:
+  double range_;
+};
+
+}  // namespace abp

@@ -1,0 +1,19 @@
+#include "radio/terrain_model.h"
+
+namespace abp {
+
+TerrainAwareModel::TerrainAwareModel(const PropagationModel& inner,
+                                     const Terrain& terrain)
+    : inner_(&inner), terrain_(&terrain) {}
+
+double TerrainAwareModel::effective_range(const Beacon& beacon,
+                                          Vec2 point) const {
+  const double base = inner_->effective_range(beacon, point);
+  return base * terrain_->link_factor(beacon.pos, point);
+}
+
+std::string TerrainAwareModel::name() const {
+  return "terrain(" + inner_->name() + ")";
+}
+
+}  // namespace abp

@@ -1,0 +1,29 @@
+/// \file terrain_model.h
+/// \brief Terrain-aware propagation: wraps any model and scales its
+/// effective range by the terrain's line-of-sight link factor (§6 future
+/// work: "analyze the effects of terrain commonality").
+#pragma once
+
+#include <memory>
+
+#include "radio/propagation.h"
+#include "terrain/terrain.h"
+
+namespace abp {
+
+class TerrainAwareModel final : public PropagationModel {
+ public:
+  /// Both `inner` and `terrain` must outlive this model.
+  TerrainAwareModel(const PropagationModel& inner, const Terrain& terrain);
+
+  double effective_range(const Beacon& beacon, Vec2 point) const override;
+  double nominal_range() const override { return inner_->nominal_range(); }
+  double max_range() const override { return inner_->max_range(); }
+  std::string name() const override;
+
+ private:
+  const PropagationModel* inner_;
+  const Terrain* terrain_;
+};
+
+}  // namespace abp

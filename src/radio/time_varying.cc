@@ -1,0 +1,45 @@
+#include "radio/time_varying.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+#include "rng/hash.h"
+
+namespace abp {
+
+namespace {
+constexpr std::uint64_t kTagPhase = 0x7068ULL;  // "ph"
+}  // namespace
+
+TimeVaryingModel::TimeVaryingModel(const PropagationModel& base,
+                                   double amplitude, double period,
+                                   std::uint64_t seed)
+    : base_(&base), amplitude_(amplitude), period_(period), seed_(seed) {
+  ABP_CHECK(amplitude >= 0.0 && amplitude < 1.0,
+            "amplitude must be in [0, 1)");
+  ABP_CHECK(period > 0.0, "period must be positive");
+}
+
+double TimeVaryingModel::drift(const Beacon& beacon) const {
+  if (amplitude_ == 0.0) return 1.0;
+  const std::uint64_t h = stable_hash64(
+      seed_, kTagPhase,
+      static_cast<std::uint64_t>(quantize_cm(beacon.pos.x)),
+      static_cast<std::uint64_t>(quantize_cm(beacon.pos.y)));
+  const double phase = 2.0 * std::numbers::pi * hash_to_unit(h);
+  return 1.0 + amplitude_ * std::sin(2.0 * std::numbers::pi * time_ / period_ +
+                                     phase);
+}
+
+double TimeVaryingModel::effective_range(const Beacon& beacon,
+                                         Vec2 point) const {
+  return base_->effective_range(beacon, point) * drift(beacon);
+}
+
+std::string TimeVaryingModel::name() const {
+  return "time-varying(" + base_->name() + ", a=" +
+         std::to_string(amplitude_) + ")";
+}
+
+}  // namespace abp

@@ -1,0 +1,52 @@
+/// \file time_varying.h
+/// \brief Time-varying propagation (§6 future work: "a more sophisticated
+/// … propagation model (incorporating time varying propagation loss)").
+///
+/// Wraps any base model and modulates each beacon's effective range with a
+/// slow multiplicative drift
+///     m_B(t) = 1 + amplitude · sin(2π t / period + φ(B)),
+/// with a hash-derived per-beacon phase φ(B) — beacons drift out of sync,
+/// the way independent fading processes do. At fixed `time` the model is
+/// still a deterministic pure function (the evaluation machinery keeps
+/// working); advancing `set_time` moves the whole connectivity landscape,
+/// which is what the placement-robustness ablation exercises: a survey
+/// taken at time t0 is stale by t0+Δ, and placement decisions inherit that
+/// staleness.
+#pragma once
+
+#include <cstdint>
+
+#include "radio/propagation.h"
+
+namespace abp {
+
+class TimeVaryingModel final : public PropagationModel {
+ public:
+  /// `amplitude` ∈ [0, 1): peak relative range drift. `period` in the same
+  /// time unit used with `set_time` (conventionally seconds).
+  TimeVaryingModel(const PropagationModel& base, double amplitude,
+                   double period, std::uint64_t seed);
+
+  /// Advance the model clock; affects all subsequent queries.
+  void set_time(double t) { time_ = t; }
+  double time() const { return time_; }
+
+  double effective_range(const Beacon& beacon, Vec2 point) const override;
+  double nominal_range() const override { return base_->nominal_range(); }
+  double max_range() const override {
+    return base_->max_range() * (1.0 + amplitude_);
+  }
+  std::string name() const override;
+
+  /// The per-beacon drift multiplier at the current time.
+  double drift(const Beacon& beacon) const;
+
+ private:
+  const PropagationModel* base_;
+  double amplitude_;
+  double period_;
+  std::uint64_t seed_;
+  double time_ = 0.0;
+};
+
+}  // namespace abp

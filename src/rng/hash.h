@@ -1,0 +1,41 @@
+/// \file hash.h
+/// \brief Stable 64-bit hashing used for location-indexed randomness.
+///
+/// The paper's propagation noise is "location based and static with respect
+/// to time" (§4.2.1): the draw `u ∈ [-1, 1]` for a (point, beacon) pair must
+/// be random across pairs yet identical every time the same pair is queried.
+/// We realize that as a pure function: hash the field seed, beacon id, and
+/// the point quantized to 1 cm, then map to the target interval. The result
+/// is reproducible, thread-safe, and needs no storage proportional to the
+/// terrain size.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rng/splitmix64.h"
+
+namespace abp {
+
+/// Mix an arbitrary list of 64-bit words into one hash value.
+std::uint64_t stable_hash64(std::span<const std::uint64_t> words);
+
+/// Variadic convenience.
+template <typename... Words>
+std::uint64_t stable_hash64(Words... words) {
+  const std::uint64_t arr[] = {static_cast<std::uint64_t>(words)...};
+  return stable_hash64(std::span<const std::uint64_t>(arr, sizeof...(words)));
+}
+
+/// Map a hash value to a uniform double in [0, 1).
+double hash_to_unit(std::uint64_t h);
+
+/// Map a hash value to a uniform double in [-1, 1).
+double hash_to_symmetric(std::uint64_t h);
+
+/// Quantize a coordinate (meters) to an integer key at 1 cm resolution.
+/// Two coordinates that differ by less than 5 mm map to the same key, which
+/// implements the "static per location" property for continuous queries.
+std::int64_t quantize_cm(double meters);
+
+}  // namespace abp

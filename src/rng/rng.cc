@@ -1,0 +1,79 @@
+#include "rng/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+#include "rng/splitmix64.h"
+
+namespace abp {
+
+double Rng::uniform(double lo, double hi) {
+  ABP_DCHECK(lo <= hi, "uniform bounds inverted");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  ABP_DCHECK(n > 0, "below(0)");
+  // Lemire 2019: unbiased bounded generation without division in the
+  // common case.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ABP_DCHECK(lo <= hi, "uniform_int bounds inverted");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool Rng::bernoulli(double p) {
+  ABP_DCHECK(p >= 0.0 && p <= 1.0, "bernoulli probability out of range");
+  return uniform01() < p;
+}
+
+double Rng::normal() {
+  // Box–Muller; draw u1 in (0,1] to avoid log(0).
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  ABP_DCHECK(stddev >= 0.0, "negative stddev");
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double rate) {
+  ABP_DCHECK(rate > 0.0, "exponential rate must be positive");
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+std::uint64_t derive_seed(std::uint64_t parent,
+                          std::span<const std::uint64_t> tags) {
+  // Sponge-style absorption: each tag perturbs the state through the
+  // SplitMix64 bijection, with a distinct round constant to break symmetry.
+  std::uint64_t state = splitmix64_mix(parent ^ 0x6A09E667F3BCC908ULL);
+  std::uint64_t round = 0;
+  for (std::uint64_t tag : tags) {
+    state = splitmix64_mix(state ^ splitmix64_mix(tag + (++round) * 0x9E3779B97F4A7C15ULL));
+  }
+  return state;
+}
+
+}  // namespace abp

@@ -1,0 +1,29 @@
+/// \file splitmix64.h
+/// \brief SplitMix64 step/finalizer (Steele, Lea & Flood 2014).
+///
+/// Used in two roles: (1) seeding xoshiro256++ state from a single 64-bit
+/// seed, and (2) as the mixing core of the stable hash in `rng/hash.h`.
+/// The function is a bijection on 64-bit integers with excellent avalanche
+/// behaviour, which is exactly what seed derivation needs.
+#pragma once
+
+#include <cstdint>
+
+namespace abp {
+
+/// Advance `state` and return the next SplitMix64 output.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless finalizer: mix a single value (bijective).
+constexpr std::uint64_t splitmix64_mix(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64_next(s);
+}
+
+}  // namespace abp

@@ -1,0 +1,68 @@
+/// \file xoshiro256pp.h
+/// \brief xoshiro256++ engine (Blackman & Vigna 2019).
+///
+/// A small, fast, high-quality 64-bit generator. Implemented from the public
+/// reference algorithm so the library is dependency-free and every platform
+/// produces identical streams (std:: engines are implementation-defined for
+/// some distributions; we avoid them entirely). Satisfies
+/// `std::uniform_random_bit_generator`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rng/splitmix64.h"
+
+namespace abp {
+
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed the 256-bit state via SplitMix64 (never all-zero).
+  explicit Xoshiro256pp(std::uint64_t seed = 0xABCDEF1234567890ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// 2^128-step jump: produces a stream independent of the original.
+  void jump() {
+    static constexpr std::uint64_t kJump[] = {
+        0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL,
+        0xA9582618E03FC9AAULL, 0x39ABDC4529B1661CULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (std::uint64_t{1} << bit)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace abp

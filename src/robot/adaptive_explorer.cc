@@ -1,0 +1,74 @@
+#include "robot/adaptive_explorer.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "robot/tour.h"
+
+namespace abp {
+
+ExplorationResult explore_adaptive(const Surveyor& surveyor,
+                                   const Lattice2D& lattice,
+                                   const ExplorerConfig& config, Rng& rng) {
+  ABP_CHECK(config.coarse_stride >= 1, "coarse stride must be >= 1");
+  ABP_CHECK(config.refine_radius > 0.0, "refine radius must be positive");
+
+  ExplorationResult result{SurveyData(lattice), {}, 0.0};
+  std::vector<std::uint8_t> refined(lattice.size(), 0);
+
+  const auto measure = [&](std::size_t flat) {
+    result.survey.record(flat,
+                         surveyor.measure_point(lattice, flat, rng));
+    result.tour.push_back(flat);
+  };
+
+  // Phase 1: coarse serpentine sketch.
+  for (std::size_t flat : boustrophedon_tour(lattice, config.coarse_stride)) {
+    if (config.max_measurements != 0 &&
+        result.tour.size() >= config.max_measurements) {
+      break;
+    }
+    measure(flat);
+  }
+
+  // Phase 2: refine the hottest unexplored neighbourhoods.
+  while (config.max_measurements != 0 &&
+         result.tour.size() < config.max_measurements) {
+    // Select the highest measured reading whose neighbourhood has not been
+    // refined yet.
+    double best = -1.0;
+    std::size_t hot = lattice.size();
+    for (std::size_t flat = 0; flat < lattice.size(); ++flat) {
+      if (!result.survey.measured(flat) || refined[flat]) continue;
+      if (result.survey.value(flat) > best) {
+        best = result.survey.value(flat);
+        hot = flat;
+      }
+    }
+    if (hot == lattice.size()) break;  // everything measured is refined
+    refined[hot] = 1;
+
+    // Visit unmeasured points in the hot spot's neighbourhood, nearest
+    // first (greedy short hops).
+    const Vec2 center = lattice.point(hot);
+    std::vector<std::pair<double, std::size_t>> todo;
+    lattice.for_each_in_disk(center, config.refine_radius,
+                             [&](std::size_t flat, Vec2 p) {
+                               if (result.survey.measured(flat)) return;
+                               todo.emplace_back(distance_sq(p, center), flat);
+                             });
+    std::sort(todo.begin(), todo.end());
+    for (const auto& [d2, flat] : todo) {
+      if (result.tour.size() >= config.max_measurements) break;
+      measure(flat);
+      // Refining a whole disk marks its interior as explored too, so the
+      // selection loop does not immediately re-target a neighbour.
+      refined[flat] = 1;
+    }
+  }
+
+  result.travel_distance = tour_length(lattice, result.tour);
+  return result;
+}
+
+}  // namespace abp

@@ -1,0 +1,55 @@
+/// \file adaptive_explorer.h
+/// \brief Online, measurement-driven exploration — the generalization of
+/// §3.1's "off-line algorithm with complete terrain exploration" that the
+/// authors say they are "currently working on ways to generalize".
+///
+/// Complete exploration costs PT measurements and ~10 km of driving at the
+/// paper's parameters. The adaptive explorer spends a fixed measurement
+/// budget in two phases:
+///
+///  1. a coarse serpentine pass (stride `coarse_stride`) to sketch the
+///     error landscape, then
+///  2. iterative refinement: repeatedly take the measured point with the
+///     highest reading whose neighbourhood is still unexplored, and
+///     measure the unmeasured lattice points within `refine_radius` of it
+///     (nearest first) — exactly where a subsequent Max/Grid placement
+///     decision needs resolution, because high-error areas attract the
+///     beacon.
+///
+/// The result is a partial `SurveyData` plus the tour actually driven, so
+/// callers can trade placement quality against survey cost (see
+/// bench_ablation_explorer).
+#pragma once
+
+#include <vector>
+
+#include "loc/survey_data.h"
+#include "robot/surveyor.h"
+
+namespace abp {
+
+struct ExplorerConfig {
+  /// Stride of the coarse serpentine pass (lattice steps).
+  std::size_t coarse_stride = 8;
+  /// Total measurement budget, coarse pass included. 0 means "coarse pass
+  /// only".
+  std::size_t max_measurements = 1500;
+  /// Neighbourhood radius refined around each selected hot spot (meters);
+  /// the natural value is the radio range R.
+  double refine_radius = 15.0;
+};
+
+struct ExplorationResult {
+  SurveyData survey;
+  /// Lattice points in visit order (coarse pass, then refinements).
+  std::vector<std::size_t> tour;
+  /// Greedy travel distance of `tour` (meters).
+  double travel_distance = 0.0;
+};
+
+/// Run the two-phase exploration with `surveyor`'s instruments.
+ExplorationResult explore_adaptive(const Surveyor& surveyor,
+                                   const Lattice2D& lattice,
+                                   const ExplorerConfig& config, Rng& rng);
+
+}  // namespace abp

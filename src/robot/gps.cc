@@ -1,0 +1,16 @@
+#include "robot/gps.h"
+
+#include "common/assert.h"
+
+namespace abp {
+
+GpsModel::GpsModel(double sigma) : sigma_(sigma) {
+  ABP_CHECK(sigma >= 0.0, "GPS sigma must be non-negative");
+}
+
+Vec2 GpsModel::fix(Vec2 true_pos, Rng& rng) const {
+  if (sigma_ == 0.0) return true_pos;
+  return true_pos + Vec2{rng.normal(0.0, sigma_), rng.normal(0.0, sigma_)};
+}
+
+}  // namespace abp

@@ -1,0 +1,32 @@
+/// \file gps.h
+/// \brief GPS receiver model for the exploring agent (§3: "a high precision
+/// differential GPS receiver").
+///
+/// The paper's baseline assumes the agent knows its position exactly; the
+/// survey-realism extension perturbs each fix with isotropic Gaussian error
+/// to study how placement quality degrades when the instrumenting agent is
+/// less precise than differential GPS.
+#pragma once
+
+#include "geom/vec2.h"
+#include "rng/rng.h"
+
+namespace abp {
+
+class GpsModel {
+ public:
+  /// `sigma` is the per-axis standard deviation of the fix error (meters);
+  /// 0 models the paper's differential-GPS assumption.
+  explicit GpsModel(double sigma = 0.0);
+
+  /// A position fix for an agent truly located at `true_pos`.
+  Vec2 fix(Vec2 true_pos, Rng& rng) const;
+
+  double sigma() const { return sigma_; }
+  bool ideal() const { return sigma_ == 0.0; }
+
+ private:
+  double sigma_;
+};
+
+}  // namespace abp

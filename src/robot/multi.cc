@@ -1,0 +1,63 @@
+#include "robot/multi.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "robot/tour.h"
+
+namespace abp {
+
+double MultiSurveyResult::makespan(const SurveyCostModel& cost) const {
+  double worst = 0.0;
+  for (std::size_t r = 0; r < travel_distance.size(); ++r) {
+    worst = std::max(worst, cost.time(travel_distance[r], points[r]));
+  }
+  return worst;
+}
+
+double MultiSurveyResult::total_time(const SurveyCostModel& cost) const {
+  double total = 0.0;
+  for (std::size_t r = 0; r < travel_distance.size(); ++r) {
+    total += cost.time(travel_distance[r], points[r]);
+  }
+  return total;
+}
+
+MultiSurveyResult multi_robot_survey(const Surveyor& surveyor,
+                                     const Lattice2D& lattice,
+                                     std::size_t robots, std::size_t stride,
+                                     Rng& rng) {
+  ABP_CHECK(robots >= 1, "need at least one robot");
+  ABP_CHECK(stride >= 1, "stride must be at least 1");
+
+  MultiSurveyResult result{SurveyData(lattice), {}, {}};
+
+  // Equal column strips: robot r gets columns [r*W, (r+1)*W).
+  const std::size_t columns = lattice.nx();
+  ABP_CHECK(robots <= columns, "more robots than lattice columns");
+  for (std::size_t r = 0; r < robots; ++r) {
+    const std::size_t lo = r * columns / robots;
+    const std::size_t hi = (r + 1) * columns / robots;
+    // Boustrophedon within the strip.
+    std::vector<std::size_t> tour;
+    bool reverse = false;
+    for (std::size_t j = 0; j < lattice.ny(); j += stride) {
+      std::vector<std::size_t> row;
+      for (std::size_t i = lo; i < hi; i += stride) {
+        row.push_back(lattice.index(i, j));
+      }
+      if (reverse) std::reverse(row.begin(), row.end());
+      tour.insert(tour.end(), row.begin(), row.end());
+      reverse = !reverse;
+    }
+    for (std::size_t flat : tour) {
+      result.survey.record(flat,
+                           surveyor.measure_point(lattice, flat, rng));
+    }
+    result.travel_distance.push_back(tour_length(lattice, tour));
+    result.points.push_back(tour.size());
+  }
+  return result;
+}
+
+}  // namespace abp

@@ -1,0 +1,50 @@
+/// \file multi.h
+/// \brief Multi-robot surveying: partition the terrain among k agents.
+///
+/// The paper's procedure uses one mobile agent; a complete survey of the
+/// Table-1 terrain is a ~10 km drive. With k robots each sweeping one
+/// vertical strip in parallel, wall-clock survey time divides by ~k while
+/// the merged survey is identical to a single complete pass. The cost
+/// model (driving speed + per-measurement dwell) turns tours into hours,
+/// so deployments can budget agents against staleness (see the
+/// time-varying ablation for why staleness matters).
+#pragma once
+
+#include <vector>
+
+#include "loc/survey_data.h"
+#include "robot/surveyor.h"
+
+namespace abp {
+
+struct SurveyCostModel {
+  double speed = 1.0;             ///< driving speed (m/s)
+  double measurement_time = 2.0;  ///< dwell per measured point (s)
+
+  /// Total time (s) to drive `distance` meters and take `points` readings.
+  double time(double distance, std::size_t points) const {
+    return distance / speed +
+           measurement_time * static_cast<double>(points);
+  }
+};
+
+struct MultiSurveyResult {
+  SurveyData survey;                    ///< merged measurements
+  std::vector<double> travel_distance;  ///< per robot (meters)
+  std::vector<std::size_t> points;      ///< per robot (measurements)
+
+  /// Wall-clock time: the slowest robot (they work in parallel).
+  double makespan(const SurveyCostModel& cost) const;
+  /// Total robot-time: sum over robots (energy/labour).
+  double total_time(const SurveyCostModel& cost) const;
+};
+
+/// Survey the lattice with `robots` agents, each sweeping an equal strip
+/// of lattice columns in a boustrophedon pattern at `stride`. The merged
+/// survey covers exactly the union of the strips' lattice points.
+MultiSurveyResult multi_robot_survey(const Surveyor& surveyor,
+                                     const Lattice2D& lattice,
+                                     std::size_t robots, std::size_t stride,
+                                     Rng& rng);
+
+}  // namespace abp

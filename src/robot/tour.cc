@@ -1,0 +1,71 @@
+#include "robot/tour.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace abp {
+
+std::vector<std::size_t> boustrophedon_tour(const Lattice2D& lattice,
+                                            std::size_t stride) {
+  ABP_CHECK(stride >= 1, "stride must be at least 1");
+  std::vector<std::size_t> tour;
+  bool reverse = false;
+  for (std::size_t j = 0; j < lattice.ny(); j += stride) {
+    std::vector<std::size_t> row;
+    for (std::size_t i = 0; i < lattice.nx(); i += stride) {
+      row.push_back(lattice.index(i, j));
+    }
+    if (reverse) std::reverse(row.begin(), row.end());
+    tour.insert(tour.end(), row.begin(), row.end());
+    reverse = !reverse;
+  }
+  return tour;
+}
+
+std::vector<std::size_t> random_walk_tour(const Lattice2D& lattice,
+                                          Vec2 start, std::size_t steps,
+                                          Rng& rng) {
+  std::vector<std::size_t> tour;
+  tour.reserve(steps + 1);
+  std::size_t flat = lattice.nearest(start);
+  tour.push_back(flat);
+  for (std::size_t s = 0; s < steps; ++s) {
+    auto [i, j] = lattice.coords(flat);
+    // Candidate 4-neighbourhood moves that stay on the lattice.
+    std::size_t candidates[4];
+    std::size_t n = 0;
+    if (i + 1 < lattice.nx()) candidates[n++] = lattice.index(i + 1, j);
+    if (i > 0) candidates[n++] = lattice.index(i - 1, j);
+    if (j + 1 < lattice.ny()) candidates[n++] = lattice.index(i, j + 1);
+    if (j > 0) candidates[n++] = lattice.index(i, j - 1);
+    flat = candidates[rng.below(n)];
+    tour.push_back(flat);
+  }
+  return tour;
+}
+
+std::vector<std::size_t> subsample_tour(const Lattice2D& lattice,
+                                        double fraction, Rng& rng) {
+  ABP_CHECK(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+  std::vector<std::size_t> all(lattice.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  rng.shuffle(all);
+  const auto keep = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(all.size())));
+  all.resize(std::max<std::size_t>(1, keep));
+  return all;
+}
+
+double tour_length(const Lattice2D& lattice,
+                   const std::vector<std::size_t>& tour) {
+  double total = 0.0;
+  for (std::size_t k = 1; k < tour.size(); ++k) {
+    total += distance(lattice.point(tour[k - 1]), lattice.point(tour[k]));
+  }
+  return total;
+}
+
+}  // namespace abp

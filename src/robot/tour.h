@@ -1,0 +1,43 @@
+/// \file tour.h
+/// \brief Tour planners: the path the exploring agent walks while
+/// instrumenting the terrain (§3).
+///
+/// A tour is the ordered list of lattice points the agent visits and
+/// measures. The paper's baseline is complete exploration (§3.1) —
+/// `boustrophedon_tour` with stride 1 visits every lattice point in a
+/// serpentine sweep, the standard complete-coverage path for a ground
+/// robot. Coarser strides, random walks and uniform subsampling model the
+/// partial exploration the authors list as future generalization.
+#pragma once
+
+#include <vector>
+
+#include "geom/lattice.h"
+#include "rng/rng.h"
+
+namespace abp {
+
+/// Serpentine (lawnmower) sweep over the lattice: row 0 left→right, row
+/// `stride` right→left, … Visits every `stride`-th row and every
+/// `stride`-th point within a row; stride 1 is complete coverage. Returned
+/// values are flat lattice indices in visit order.
+std::vector<std::size_t> boustrophedon_tour(const Lattice2D& lattice,
+                                            std::size_t stride = 1);
+
+/// Random walk of `steps` lattice moves starting at the lattice point
+/// nearest `start`; each move goes to a uniformly-chosen 4-neighbour
+/// (staying in bounds). Revisited points appear once per visit.
+std::vector<std::size_t> random_walk_tour(const Lattice2D& lattice,
+                                          Vec2 start, std::size_t steps,
+                                          Rng& rng);
+
+/// A uniformly-random subset containing ceil(fraction · PT) distinct
+/// lattice points, in randomized order.
+std::vector<std::size_t> subsample_tour(const Lattice2D& lattice,
+                                        double fraction, Rng& rng);
+
+/// Total travel distance (meters) of a tour over the lattice.
+double tour_length(const Lattice2D& lattice,
+                   const std::vector<std::size_t>& tour);
+
+}  // namespace abp

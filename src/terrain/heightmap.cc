@@ -1,0 +1,135 @@
+#include "terrain/heightmap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "rng/rng.h"
+
+namespace abp {
+
+HeightmapTerrain::HeightmapTerrain(AABB bounds, Grid2D<double> heights,
+                                   double obstruction_softness)
+    : bounds_(bounds), heights_(std::move(heights)),
+      softness_(obstruction_softness) {
+  ABP_CHECK(heights_.nx() >= 2 && heights_.ny() >= 2,
+            "heightmap needs at least 2x2 samples");
+  ABP_CHECK(softness_ > 0.0, "obstruction softness must be positive");
+  min_h_ = *std::min_element(heights_.data().begin(), heights_.data().end());
+  max_h_ = *std::max_element(heights_.data().begin(), heights_.data().end());
+}
+
+double HeightmapTerrain::elevation(Vec2 p) const {
+  const Vec2 q = bounds_.clamp(p);
+  const double fx = (q.x - bounds_.lo.x) / bounds_.width() *
+                    static_cast<double>(heights_.nx() - 1);
+  const double fy = (q.y - bounds_.lo.y) / bounds_.height() *
+                    static_cast<double>(heights_.ny() - 1);
+  const std::size_t i0 = std::min(static_cast<std::size_t>(fx), heights_.nx() - 2);
+  const std::size_t j0 = std::min(static_cast<std::size_t>(fy), heights_.ny() - 2);
+  const double tx = fx - static_cast<double>(i0);
+  const double ty = fy - static_cast<double>(j0);
+  const double h00 = heights_.at(i0, j0);
+  const double h10 = heights_.at(i0 + 1, j0);
+  const double h01 = heights_.at(i0, j0 + 1);
+  const double h11 = heights_.at(i0 + 1, j0 + 1);
+  return h00 * (1 - tx) * (1 - ty) + h10 * tx * (1 - ty) +
+         h01 * (1 - tx) * ty + h11 * tx * ty;
+}
+
+double HeightmapTerrain::link_factor(Vec2 a, Vec2 b) const {
+  const double length = distance(a, b);
+  if (length < 1e-9) return 1.0;
+  // Antennas sit ~1 m above ground; the chord between them must clear the
+  // surface. Sample at ~1 m intervals and integrate the intrusion.
+  constexpr double kAntenna = 1.0;
+  const double ha = elevation(a) + kAntenna;
+  const double hb = elevation(b) + kAntenna;
+  const int samples = std::max(2, static_cast<int>(length));
+  double blockage = 0.0;
+  for (int s = 1; s < samples; ++s) {
+    const double t = static_cast<double>(s) / samples;
+    const Vec2 p = lerp(a, b, t);
+    const double los = ha + (hb - ha) * t;
+    const double intrusion = elevation(p) - los;
+    if (intrusion > 0.0) blockage += intrusion * (length / samples);
+  }
+  return std::exp(-blockage / (softness_ * length));
+}
+
+HeightmapTerrain HeightmapTerrain::fractal(AABB bounds, std::uint64_t seed,
+                                           unsigned detail, double amplitude,
+                                           double roughness,
+                                           double obstruction_softness) {
+  ABP_CHECK(detail >= 1 && detail <= 12, "fractal detail out of [1,12]");
+  ABP_CHECK(roughness > 0.0 && roughness < 1.0, "roughness must be in (0,1)");
+  const std::size_t n = (std::size_t{1} << detail) + 1;
+  Grid2D<double> h(n, n, 0.0);
+  Rng rng(seed);
+
+  // Seed the corners.
+  h.at(0, 0) = rng.uniform(-amplitude, amplitude);
+  h.at(n - 1, 0) = rng.uniform(-amplitude, amplitude);
+  h.at(0, n - 1) = rng.uniform(-amplitude, amplitude);
+  h.at(n - 1, n - 1) = rng.uniform(-amplitude, amplitude);
+
+  double scale = amplitude;
+  for (std::size_t side = n - 1; side >= 2; side /= 2) {
+    const std::size_t half = side / 2;
+    // Diamond step: centers of squares.
+    for (std::size_t j = half; j < n; j += side) {
+      for (std::size_t i = half; i < n; i += side) {
+        const double avg = (h.at(i - half, j - half) + h.at(i + half, j - half) +
+                            h.at(i - half, j + half) + h.at(i + half, j + half)) /
+                           4.0;
+        h.at(i, j) = avg + rng.uniform(-scale, scale);
+      }
+    }
+    // Square step: edge midpoints.
+    for (std::size_t j = 0; j < n; j += half) {
+      for (std::size_t i = (j / half) % 2 == 0 ? half : 0; i < n; i += side) {
+        double sum = 0.0;
+        int cnt = 0;
+        if (i >= half) { sum += h.at(i - half, j); ++cnt; }
+        if (i + half < n) { sum += h.at(i + half, j); ++cnt; }
+        if (j >= half) { sum += h.at(i, j - half); ++cnt; }
+        if (j + half < n) { sum += h.at(i, j + half); ++cnt; }
+        h.at(i, j) = sum / cnt + rng.uniform(-scale, scale);
+      }
+    }
+    scale *= roughness;
+  }
+  return HeightmapTerrain(bounds, std::move(h), obstruction_softness);
+}
+
+HillTerrain::HillTerrain(AABB bounds, Vec2 peak, double height, double sigma)
+    : bounds_(bounds), peak_(peak), height_(height), sigma_(sigma) {
+  ABP_CHECK(height >= 0.0, "hill height must be non-negative");
+  ABP_CHECK(sigma > 0.0, "hill sigma must be positive");
+}
+
+double HillTerrain::elevation(Vec2 p) const {
+  const double d2 = distance_sq(p, peak_);
+  return height_ * std::exp(-d2 / (2.0 * sigma_ * sigma_));
+}
+
+double HillTerrain::link_factor(Vec2 a, Vec2 b) const {
+  // The hill blocks links whose chord passes below the surface: reuse the
+  // same sampled line-of-sight logic as the heightmap, analytically.
+  const double length = distance(a, b);
+  if (length < 1e-9) return 1.0;
+  constexpr double kAntenna = 1.0;
+  const double ha = elevation(a) + kAntenna;
+  const double hb = elevation(b) + kAntenna;
+  const int samples = std::max(2, static_cast<int>(length));
+  double blockage = 0.0;
+  for (int s = 1; s < samples; ++s) {
+    const double t = static_cast<double>(s) / samples;
+    const double los = ha + (hb - ha) * t;
+    const double intrusion = elevation(lerp(a, b, t)) - los;
+    if (intrusion > 0.0) blockage += intrusion * (length / samples);
+  }
+  return std::exp(-blockage / (5.0 * length));
+}
+
+}  // namespace abp

@@ -1,0 +1,75 @@
+/// \file heightmap.h
+/// \brief Grid-sampled terrain with bilinear interpolation and
+/// line-of-sight-based link attenuation.
+///
+/// Backs the future-work experiments (§6: "more sophisticated terrain map
+/// and propagation model"). Heights come either from an explicit grid or
+/// from the fractal diamond–square generator, which produces the kind of
+/// correlated "random regions with higher propagation noise" the paper's
+/// noise model emulates statistically.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/aabb.h"
+#include "geom/grid2d.h"
+#include "terrain/terrain.h"
+
+namespace abp {
+
+class HeightmapTerrain final : public Terrain {
+ public:
+  /// Wrap an explicit height grid over `bounds`. The grid must be at least
+  /// 2×2; heights are bilinearly interpolated between samples.
+  HeightmapTerrain(AABB bounds, Grid2D<double> heights,
+                   double obstruction_softness = 5.0);
+
+  /// Generate fractal terrain with the diamond–square algorithm.
+  /// `detail` sets the grid to (2^detail + 1)²; `amplitude` is the initial
+  /// corner displacement scale (meters); `roughness` in (0,1) controls how
+  /// quickly displacement decays per octave (higher = rougher).
+  static HeightmapTerrain fractal(AABB bounds, std::uint64_t seed,
+                                  unsigned detail = 6, double amplitude = 20.0,
+                                  double roughness = 0.55,
+                                  double obstruction_softness = 5.0);
+
+  double elevation(Vec2 p) const override;
+
+  /// Attenuation from terrain blocking: sample the a→b chord; where the
+  /// ground rises above the line of sight, accumulate the blockage and map
+  /// it through exp(-blockage / softness) so factor ∈ (0, 1].
+  double link_factor(Vec2 a, Vec2 b) const override;
+
+  AABB bounds() const override { return bounds_; }
+
+  double min_height() const { return min_h_; }
+  double max_height() const { return max_h_; }
+
+ private:
+  AABB bounds_;
+  Grid2D<double> heights_;
+  double softness_;
+  double min_h_ = 0.0;
+  double max_h_ = 0.0;
+};
+
+/// Smooth Gaussian hill — the §1 airdrop motivation ("beacons roll over the
+/// hill, lighter sensor nodes stay atop").
+class HillTerrain final : public Terrain {
+ public:
+  HillTerrain(AABB bounds, Vec2 peak, double height, double sigma);
+
+  double elevation(Vec2 p) const override;
+  double link_factor(Vec2 a, Vec2 b) const override;
+  AABB bounds() const override { return bounds_; }
+
+  Vec2 peak() const { return peak_; }
+
+ private:
+  AABB bounds_;
+  Vec2 peak_;
+  double height_;
+  double sigma_;
+};
+
+}  // namespace abp

@@ -1,0 +1,19 @@
+#include "terrain/terrain.h"
+
+namespace abp {
+
+Vec2 Terrain::downhill(Vec2 p) const {
+  const double h = 0.25;  // finite-difference step (meters)
+  const AABB box = bounds();
+  const Vec2 px0 = box.clamp({p.x - h, p.y});
+  const Vec2 px1 = box.clamp({p.x + h, p.y});
+  const Vec2 py0 = box.clamp({p.x, p.y - h});
+  const Vec2 py1 = box.clamp({p.x, p.y + h});
+  const double dx = (elevation(px1) - elevation(px0)) / (px1.x - px0.x);
+  const double dy = (elevation(py1) - elevation(py0)) / (py1.y - py0.y);
+  const Vec2 grad{dx, dy};
+  if (grad.norm_sq() < 1e-12) return {};
+  return (grad * -1.0).normalized();
+}
+
+}  // namespace abp

@@ -1,0 +1,55 @@
+/// \file terrain.h
+/// \brief Terrain abstraction (§1: "uneven terrains and obstacles bring in
+/// an additional dimension of uncertainty"; §6: "a more sophisticated
+/// terrain map").
+///
+/// A terrain contributes two things to the simulation:
+///  * an elevation surface, which beacon deployment can interact with
+///    (air-dropped beacons roll downhill — the paper's hilltop motivation);
+///  * a propagation attenuation factor for a link, which terrain-aware radio
+///    models fold into the effective range.
+#pragma once
+
+#include <memory>
+
+#include "geom/aabb.h"
+#include "geom/vec2.h"
+
+namespace abp {
+
+class Terrain {
+ public:
+  virtual ~Terrain() = default;
+
+  /// Ground elevation (meters) at `p`.
+  virtual double elevation(Vec2 p) const = 0;
+
+  /// Link quality multiplier in (0, 1] for the path a→b; 1 means
+  /// unobstructed. Radio models multiply effective range by this factor.
+  virtual double link_factor(Vec2 a, Vec2 b) const = 0;
+
+  /// Downhill gradient direction (negative elevation gradient, normalized);
+  /// the zero vector on flat ground. Default: central differences.
+  virtual Vec2 downhill(Vec2 p) const;
+
+  /// Horizontal extent of the terrain.
+  virtual AABB bounds() const = 0;
+};
+
+/// Flat, obstruction-free terrain — the paper's evaluation setting (§4).
+class FlatTerrain final : public Terrain {
+ public:
+  explicit FlatTerrain(AABB bounds, double elevation = 0.0)
+      : bounds_(bounds), elevation_(elevation) {}
+
+  double elevation(Vec2) const override { return elevation_; }
+  double link_factor(Vec2, Vec2) const override { return 1.0; }
+  Vec2 downhill(Vec2) const override { return {}; }
+  AABB bounds() const override { return bounds_; }
+
+ private:
+  AABB bounds_;
+  double elevation_;
+};
+
+}  // namespace abp

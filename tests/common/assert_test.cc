@@ -1,0 +1,51 @@
+#include "common/assert.h"
+
+#include <gtest/gtest.h>
+#include <string>
+
+namespace abp {
+namespace {
+
+TEST(Assert, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(ABP_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(Assert, FailingCheckThrowsCheckFailure) {
+  EXPECT_THROW(ABP_CHECK(false, "expected"), CheckFailure);
+}
+
+TEST(Assert, MessageContainsConditionFileAndContext) {
+  try {
+    ABP_CHECK(2 > 3, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("assert_test.cc"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+  }
+}
+
+TEST(Assert, CheckFailureIsALogicError) {
+  EXPECT_THROW(ABP_CHECK(false, ""), std::logic_error);
+}
+
+TEST(Assert, DcheckActiveMatchesBuildType) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(ABP_DCHECK(false, "compiled out in release"));
+#else
+  EXPECT_THROW(ABP_DCHECK(false, "active in debug"), CheckFailure);
+#endif
+}
+
+TEST(Assert, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  ABP_CHECK([&] {
+    ++evaluations;
+    return true;
+  }(), "side-effect probe");
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace abp

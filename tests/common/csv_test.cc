@@ -1,0 +1,76 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace abp {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.row({"1", "2"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Csv, QuotesCommasAndNewlines) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"x,y", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"x,y\",\"line\nbreak\"\n");
+}
+
+TEST(Csv, DoublesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"say \"hi\""});
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, IntegersRenderWithoutDecimalPoint) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.begin_row();
+  csv.number(42.0);
+  csv.number(std::size_t{7});
+  csv.end_row();
+  EXPECT_EQ(out.str(), "42,7\n");
+}
+
+TEST(Csv, DoublesRoundTripPrecision) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.begin_row();
+  csv.number(0.1);
+  csv.end_row();
+  double parsed = 0.0;
+  std::istringstream in(out.str());
+  in >> parsed;
+  EXPECT_DOUBLE_EQ(parsed, 0.1);
+}
+
+TEST(Csv, HeaderAfterDataThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"data"});
+  EXPECT_THROW(csv.header({"late"}), CheckFailure);
+}
+
+TEST(Csv, CellOutsideRowThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  EXPECT_THROW(csv.cell("loose"), CheckFailure);
+}
+
+TEST(Csv, NestedBeginRowThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.begin_row();
+  EXPECT_THROW(csv.begin_row(), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,87 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace abp {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, SpaceSeparatedValue) {
+  const auto f = make({"--trials", "250"});
+  EXPECT_EQ(f.get_int("trials", 0), 250);
+}
+
+TEST(Flags, EqualsSeparatedValue) {
+  const auto f = make({"--noise=0.3"});
+  EXPECT_DOUBLE_EQ(f.get_double("noise", 0.0), 0.3);
+}
+
+TEST(Flags, DefaultWhenAbsent) {
+  const auto f = make({});
+  EXPECT_EQ(f.get_int("trials", 77), 77);
+  EXPECT_EQ(f.get_string("csv", "fallback"), "fallback");
+}
+
+TEST(Flags, BoolForms) {
+  EXPECT_TRUE(make({"--verbose"}).get_bool("verbose", false));
+  EXPECT_TRUE(make({"--verbose", "true"}).get_bool("verbose", false));
+  EXPECT_FALSE(make({"--verbose=false"}).get_bool("verbose", true));
+  EXPECT_FALSE(make({"--verbose=0"}).get_bool("verbose", true));
+}
+
+TEST(Flags, PositionalArguments) {
+  const auto f = make({"alpha", "--k", "1", "beta"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "alpha");
+  EXPECT_EQ(f.positional()[1], "beta");
+}
+
+TEST(Flags, U64RoundTrip) {
+  const auto f = make({"--seed", "18446744073709551615"});
+  EXPECT_EQ(f.get_u64("seed", 0), 18446744073709551615ULL);
+}
+
+TEST(Flags, MalformedIntegerThrows) {
+  const auto f = make({"--trials", "12x"});
+  EXPECT_THROW(f.get_int("trials", 0), CheckFailure);
+}
+
+TEST(Flags, MalformedDoubleThrows) {
+  const auto f = make({"--noise", "abc"});
+  EXPECT_THROW(f.get_double("noise", 0.0), CheckFailure);
+}
+
+TEST(Flags, CheckUnusedCatchesTypos) {
+  const auto f = make({"--trails", "100"});  // typo for --trials
+  EXPECT_EQ(f.get_int("trials", 5), 5);
+  EXPECT_THROW(f.check_unused(), CheckFailure);
+}
+
+TEST(Flags, CheckUnusedPassesWhenAllRead) {
+  const auto f = make({"--trials", "100", "--seed=1"});
+  f.get_int("trials", 0);
+  f.get_u64("seed", 0);
+  EXPECT_NO_THROW(f.check_unused());
+}
+
+TEST(Flags, HasDetectsValuelessFlag) {
+  const auto f = make({"--quick"});
+  EXPECT_TRUE(f.has("quick"));
+  EXPECT_FALSE(f.has("slow"));
+}
+
+TEST(Flags, NegativeNumberAsValue) {
+  // A negative value must not be mistaken for the next flag.
+  const auto f = make({"--offset", "-3.5"});
+  EXPECT_DOUBLE_EQ(f.get_double("offset", 0.0), -3.5);
+}
+
+}  // namespace
+}  // namespace abp

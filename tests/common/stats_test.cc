@@ -1,0 +1,144 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "rng/rng.h"
+
+namespace abp {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, SampleStddevMatchesHandComputation) {
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Known dataset: population sd 2, sample sd = sqrt(32/7).
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, StddevOfSingletonIsZero) {
+  const double xs[] = {42.0};
+  EXPECT_EQ(sample_stddev(xs), 0.0);
+}
+
+TEST(Stats, MedianOddCount) {
+  const double xs[] = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Stats, MedianEvenCountInterpolates) {
+  const double xs[] = {1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const double xs[] = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 3.0);
+}
+
+TEST(Stats, QuantileInterpolatesLinearly) {
+  const double xs[] = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Stats, QuantileRejectsOutOfRange) {
+  const double xs[] = {1.0};
+  EXPECT_THROW(quantile(xs, 1.5), CheckFailure);
+}
+
+TEST(Stats, TCriticalValuesMatchTables) {
+  EXPECT_NEAR(t_critical_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical_975(10), 2.228, 1e-3);
+  EXPECT_NEAR(t_critical_975(30), 2.042, 1e-3);
+  EXPECT_NEAR(t_critical_975(1000), 1.960, 1e-3);
+}
+
+TEST(Stats, Ci95ShrinksWithSampleSize) {
+  std::vector<double> small, large;
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) small.push_back(rng.normal());
+  for (int i = 0; i < 1000; ++i) large.push_back(rng.normal());
+  EXPECT_GT(ci95_half_width(small), ci95_half_width(large));
+}
+
+TEST(Stats, Ci95CoversTrueMeanUsually) {
+  // Statistical property test: the CI over samples of N(5,1) should cover
+  // the true mean ~95% of the time. With 200 repetitions, far more than
+  // 80% coverage is virtually certain.
+  Rng rng(7);
+  int covered = 0;
+  const int reps = 200;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<double> xs;
+    for (int i = 0; i < 30; ++i) xs.push_back(rng.normal(5.0, 1.0));
+    const double m = mean(xs);
+    const double hw = ci95_half_width(xs);
+    if (std::fabs(m - 5.0) <= hw) ++covered;
+  }
+  EXPECT_GE(covered, static_cast<int>(0.80 * reps));
+}
+
+TEST(Stats, SummarizeAgreesWithPieces) {
+  const double xs[] = {4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_DOUBLE_EQ(s.mean, mean(xs));
+  EXPECT_DOUBLE_EQ(s.median, median(xs));
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.ci95, ci95_half_width(xs));
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+  Rng rng(3);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(rs.stddev(), sample_stddev(xs), 1e-10);
+  EXPECT_NEAR(rs.ci95(), ci95_half_width(xs), 1e-10);
+  EXPECT_EQ(rs.count(), xs.size());
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(4);
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double m = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), m);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), m);
+}
+
+}  // namespace
+}  // namespace abp

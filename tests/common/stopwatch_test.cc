@@ -1,0 +1,34 @@
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+#include <thread>
+
+namespace abp {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(sw.elapsed_ms(), 15.0);
+  EXPECT_LT(sw.elapsed_seconds(), 5.0);
+}
+
+TEST(Stopwatch, ResetRestartsFromZero) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.reset();
+  EXPECT_LT(sw.elapsed_ms(), 15.0);
+}
+
+TEST(Stopwatch, MonotoneNonNegative) {
+  Stopwatch sw;
+  double prev = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const double t = sw.elapsed_seconds();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace abp

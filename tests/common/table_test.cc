@@ -1,0 +1,65 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace abp {
+namespace {
+
+TEST(Table, PrintsHeaderRuleAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(Table, EmptyColumnListThrows) {
+  EXPECT_THROW(TextTable({}), CheckFailure);
+}
+
+TEST(Table, NumericRowFormatting) {
+  TextTable t({"x", "y"});
+  t.add_numeric_row({1.23456, 2.0}, 2);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("1.23"), std::string::npos);
+  EXPECT_NE(out.str().find("2.00"), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(Table, ColumnsWidenToFitCells) {
+  TextTable t({"c"});
+  t.add_row({"wide-cell-content"});
+  std::ostringstream out;
+  t.print(out);
+  // Header line must be padded to the widest cell.
+  const std::string first_line = out.str().substr(0, out.str().find('\n'));
+  EXPECT_EQ(first_line.size(), std::string("wide-cell-content").size());
+}
+
+TEST(Table, RowCount) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,104 @@
+#include "core/adaptive_session.h"
+
+#include <gtest/gtest.h>
+
+#include "placement/grid_placement.h"
+#include "placement/max_placement.h"
+#include "placement/random_placement.h"
+
+namespace abp {
+namespace {
+
+SimulationConfig small_config() {
+  return {.side = 50.0, .range = 15.0, .step = 1.0, .noise = 0.1, .seed = 31};
+}
+
+TEST(Session, StopsAtTargetError) {
+  Simulation sim(small_config());
+  sim.deploy_uniform(5);
+  // Max can target any lattice point, so it reaches tight targets on small
+  // terrains (see GridCenterRestriction below for Grid's limitation).
+  const MaxPlacement max;
+  const SessionConfig config{.target_mean_error = 6.0, .max_beacons = 30};
+  const SessionReport report = run_adaptive_session(sim, max, config);
+  EXPECT_TRUE(report.reached_target);
+  EXPECT_LE(report.final_mean_error, 6.0);
+  EXPECT_LE(report.beacons_added(), 30u);
+  EXPECT_GT(report.beacons_added(), 0u);
+}
+
+TEST(Session, GridCenterRestrictionLimitsSmallTerrains) {
+  // A structural property of the §3.2.3 Grid algorithm: it only ever
+  // proposes grid centers, which lie at least R from the terrain edge, so
+  // corner regions farther than R from every center can never be repaired
+  // and the session plateaus above the target.
+  Simulation sim(small_config());
+  sim.deploy_uniform(5);
+  const GridPlacement grid(100);
+  const SessionConfig config{.target_mean_error = 6.0, .max_beacons = 30};
+  const SessionReport report = run_adaptive_session(sim, grid, config);
+  EXPECT_FALSE(report.reached_target);
+  EXPECT_GT(report.final_mean_error, 6.0);
+}
+
+TEST(Session, RespectsBeaconBudget) {
+  Simulation sim(small_config());
+  sim.deploy_uniform(3);
+  const GridPlacement grid(100);
+  const SessionConfig config{.target_mean_error = 0.01, .max_beacons = 4};
+  const SessionReport report = run_adaptive_session(sim, grid, config);
+  EXPECT_FALSE(report.reached_target);
+  EXPECT_EQ(report.beacons_added(), 4u);
+  EXPECT_EQ(sim.field().size(), 7u);
+}
+
+TEST(Session, StepLogIsConsistent) {
+  Simulation sim(small_config());
+  sim.deploy_uniform(5);
+  const GridPlacement grid(100);
+  const SessionConfig config{.target_mean_error = 5.0, .max_beacons = 8};
+  const SessionReport report = run_adaptive_session(sim, grid, config);
+  for (std::size_t i = 0; i < report.steps.size(); ++i) {
+    const SessionStep& s = report.steps[i];
+    EXPECT_EQ(s.step, i);
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(s.mean_before, report.steps[i - 1].mean_after);
+    }
+  }
+  if (!report.steps.empty()) {
+    EXPECT_DOUBLE_EQ(report.steps.back().mean_after,
+                     report.final_mean_error);
+  }
+}
+
+TEST(Session, AlreadyAtTargetPlacesNothing) {
+  Simulation sim(small_config());
+  sim.deploy_uniform(40);  // dense field, tiny error
+  const GridPlacement grid(100);
+  const SessionConfig config{.target_mean_error = 100.0, .max_beacons = 5};
+  const SessionReport report = run_adaptive_session(sim, grid, config);
+  EXPECT_TRUE(report.reached_target);
+  EXPECT_EQ(report.beacons_added(), 0u);
+}
+
+TEST(Session, MinImprovementCutoffStopsEarly) {
+  Simulation sim(small_config());
+  sim.deploy_uniform(45);  // saturated: single placements gain ~nothing
+  const RandomPlacement random;
+  const SessionConfig config{.target_mean_error = 0.0,
+                             .max_beacons = 20,
+                             .min_step_improvement = 0.5};
+  const SessionReport report = run_adaptive_session(sim, random, config);
+  EXPECT_LT(report.beacons_added(), 20u);  // stopped by the cutoff
+}
+
+TEST(Session, NegativeTargetRejected) {
+  Simulation sim(small_config());
+  sim.deploy_uniform(5);
+  const GridPlacement grid(100);
+  const SessionConfig config{.target_mean_error = -1.0};
+  EXPECT_THROW(run_adaptive_session(sim, grid, config), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,108 @@
+#include "core/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "placement/grid_placement.h"
+#include "placement/max_placement.h"
+#include "radio/propagation.h"
+#include "robot/surveyor.h"
+
+namespace abp {
+namespace {
+
+SimulationConfig small_config(double noise = 0.0) {
+  return {.side = 50.0, .range = 15.0, .step = 1.0, .noise = noise,
+          .seed = 99};
+}
+
+TEST(Simulation, StartsEmptyWithFullError) {
+  Simulation sim(small_config());
+  EXPECT_EQ(sim.field().size(), 0u);
+  EXPECT_DOUBLE_EQ(sim.uncovered_fraction(), 1.0);
+  EXPECT_GT(sim.mean_error(), 0.0);  // fallback error to terrain center
+}
+
+TEST(Simulation, DeployUniformPopulatesAndRefreshes) {
+  Simulation sim(small_config());
+  sim.deploy_uniform(20);
+  EXPECT_EQ(sim.field().size(), 20u);
+  EXPECT_LT(sim.uncovered_fraction(), 0.5);
+  EXPECT_GT(sim.mean_error(), 0.0);
+}
+
+TEST(Simulation, SameSeedSameDeployment) {
+  Simulation a(small_config()), b(small_config());
+  a.deploy_uniform(10);
+  b.deploy_uniform(10);
+  EXPECT_DOUBLE_EQ(a.mean_error(), b.mean_error());
+}
+
+TEST(Simulation, PlaceAtUpdatesIncrementally) {
+  Simulation sim(small_config());
+  sim.deploy_uniform(10);
+  const double before = sim.mean_error();
+  sim.place_at({25.0, 25.0});
+  EXPECT_EQ(sim.field().size(), 11u);
+  EXPECT_NE(sim.mean_error(), before);
+
+  // The incremental map must equal a full refresh.
+  const double incremental = sim.mean_error();
+  sim.refresh();
+  EXPECT_NEAR(sim.mean_error(), incremental, 1e-9);
+}
+
+TEST(Simulation, PlaceAtClampsOutOfBounds) {
+  Simulation sim(small_config());
+  sim.deploy_uniform(5);
+  const BeaconId id = sim.place_at({500.0, -3.0});
+  EXPECT_EQ(sim.field().get(id)->pos, (Vec2{50.0, 0.0}));
+}
+
+TEST(Simulation, PlaceWithImprovesSparseField) {
+  Simulation sim(small_config());
+  sim.deploy_uniform(6);
+  const double before = sim.mean_error();
+  const GridPlacement grid(100);
+  sim.place_with(grid);
+  EXPECT_LT(sim.mean_error(), before);
+}
+
+TEST(Simulation, PlaceFromSurveyUsesProvidedData) {
+  Simulation sim(small_config());
+  sim.deploy_uniform(6);
+  // A fabricated survey with a single loud point steers Max there.
+  SurveyData survey(sim.lattice());
+  const std::size_t hot = sim.lattice().index(5, 45);
+  sim.lattice().for_each(
+      [&](std::size_t flat, Vec2) { survey.record(flat, 0.0); });
+  survey.record(hot, 99.0);
+  const MaxPlacement max;
+  const BeaconId id = sim.place_from_survey(survey, max);
+  EXPECT_EQ(sim.field().get(id)->pos, sim.lattice().point(hot));
+}
+
+TEST(Simulation, AdvancedConstructorWithCustomModel) {
+  Simulation sim(AABB::square(40.0), 1.0,
+                 std::make_unique<IdealDiskModel>(10.0), 7);
+  sim.deploy_uniform(8);
+  EXPECT_DOUBLE_EQ(sim.model().nominal_range(), 10.0);
+  EXPECT_GT(sim.mean_error(), 0.0);
+}
+
+TEST(Simulation, MutableFieldPlusRefresh) {
+  Simulation sim(small_config());
+  sim.mutable_field().add({25.0, 25.0});
+  sim.refresh();
+  EXPECT_LT(sim.uncovered_fraction(), 1.0);
+}
+
+TEST(Simulation, SurveyEqualsErrorMap) {
+  Simulation sim(small_config(0.3));
+  sim.deploy_uniform(12);
+  const SurveyData survey = sim.survey();
+  EXPECT_DOUBLE_EQ(survey.coverage(), 1.0);
+  EXPECT_NEAR(survey.mean(), sim.mean_error(), 1e-9);
+}
+
+}  // namespace
+}  // namespace abp

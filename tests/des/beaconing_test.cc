@@ -1,0 +1,203 @@
+#include "des/beaconing.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "field/generators.h"
+#include "loc/connectivity.h"
+#include "radio/propagation.h"
+
+namespace abp {
+namespace {
+
+BeaconingConfig quiet_config() {
+  BeaconingConfig cfg;
+  cfg.period = 1.0;
+  cfg.listen_time = 30.0;
+  cfg.packet_time = 1e-4;  // nearly collision-free
+  cfg.cm_thresh = 0.5;
+  cfg.jitter = 0.2;
+  return cfg;
+}
+
+TEST(Beaconing, SparseFieldMatchesAnalyticConnectivity) {
+  // With tiny packets and few beacons, the protocol outcome must equal the
+  // analytic predicate (the reduction the evaluation relies on, §2.2).
+  BeaconField field(AABB::square(100.0));
+  Rng gen(1);
+  scatter_uniform(field, 15, gen);
+  const IdealDiskModel model(15.0);
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    const auto outcome = simulate_listen(field, model, p, quiet_config(), rng);
+    std::vector<BeaconId> analytic;
+    for (const Beacon& b : connected_beacons(field, model, p)) {
+      analytic.push_back(b.id);
+    }
+    EXPECT_EQ(outcome.connected, analytic);
+    EXPECT_LT(outcome.loss_rate, 0.05);
+  }
+}
+
+TEST(Beaconing, EstimateMatchesCentroidOfConnected) {
+  BeaconField field(AABB::square(100.0));
+  field.add({40.0, 50.0});
+  field.add({60.0, 50.0});
+  const IdealDiskModel model(15.0);
+  Rng rng(3);
+  const auto outcome =
+      simulate_listen(field, model, {50.0, 50.0}, quiet_config(), rng);
+  ASSERT_EQ(outcome.connected.size(), 2u);
+  EXPECT_NEAR(outcome.estimate.x, 50.0, 1e-9);
+  EXPECT_NEAR(outcome.estimate.y, 50.0, 1e-9);
+}
+
+TEST(Beaconing, NoBeaconsInRangeFallsBackToFieldCentroid) {
+  BeaconField field(AABB::square(100.0));
+  field.add({0.0, 0.0});
+  const IdealDiskModel model(10.0);
+  Rng rng(4);
+  const auto outcome =
+      simulate_listen(field, model, {90.0, 90.0}, quiet_config(), rng);
+  EXPECT_TRUE(outcome.connected.empty());
+  EXPECT_EQ(outcome.estimate, (Vec2{0.0, 0.0}));
+}
+
+TEST(Beaconing, PerBeaconCountsAreConsistent) {
+  BeaconField field(AABB::square(100.0));
+  Rng gen(5);
+  scatter_uniform(field, 10, gen);
+  const IdealDiskModel model(20.0);
+  Rng rng(6);
+  const auto cfg = quiet_config();
+  const auto outcome =
+      simulate_listen(field, model, {50.0, 50.0}, cfg, rng);
+  for (const auto& d : outcome.detail) {
+    EXPECT_LE(d.received, d.sent);
+    // ~30 periods in the window: each in-range beacon sends 29-31 packets.
+    EXPECT_GE(d.sent, 28u);
+    EXPECT_LE(d.sent, 31u);
+  }
+}
+
+TEST(Beaconing, CollisionLossGrowsWithDensity) {
+  // §1 self-interference: with long packets, more in-range beacons ⇒ more
+  // overlapping transmissions ⇒ higher loss.
+  const IdealDiskModel model(50.0);
+  BeaconingConfig cfg = quiet_config();
+  cfg.packet_time = 0.03;  // 3% duty cycle per beacon
+
+  auto loss_at = [&](std::size_t beacons) {
+    BeaconField field(AABB::square(100.0));
+    Rng gen(7);
+    // Cluster everything near the client so all are in range.
+    scatter_clustered(field, beacons, 1, 10.0, gen);
+    Rng rng(8);
+    double total = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      total += simulate_listen(field, model, {50.0, 50.0}, cfg, rng).loss_rate;
+    }
+    return total / 5.0;
+  };
+
+  const double sparse = loss_at(4);
+  const double dense = loss_at(60);
+  EXPECT_GT(dense, sparse);
+  EXPECT_GT(dense, 0.3);  // heavily congested channel
+}
+
+TEST(Beaconing, HighLossBreaksConnectivityDespiteProximity) {
+  // A beacon inside radio range can still fail CMthresh under congestion —
+  // the protocol-level effect the analytic model cannot capture.
+  BeaconField field(AABB::square(100.0));
+  for (int i = 0; i < 80; ++i) {
+    field.add({50.0 + 0.1 * i, 50.0});
+  }
+  const IdealDiskModel model(40.0);
+  BeaconingConfig cfg = quiet_config();
+  cfg.packet_time = 0.04;
+  cfg.cm_thresh = 0.9;  // strict threshold
+  Rng rng(9);
+  const auto outcome = simulate_listen(field, model, {50.0, 50.0}, cfg, rng);
+  EXPECT_LT(outcome.connected.size(), 80u);
+}
+
+TEST(Beaconing, CsmaReducesCollisionLossUnderCongestion) {
+  // The §1 self-interference mitigation: carrier sensing defers instead of
+  // colliding, so the loss rate drops sharply at high density.
+  BeaconField field(AABB::square(100.0));
+  Rng gen(21);
+  scatter_clustered(field, 50, 1, 10.0, gen);
+  const IdealDiskModel model(50.0);
+  BeaconingConfig cfg = quiet_config();
+  cfg.packet_time = 0.03;
+
+  Rng r_aloha(22), r_csma(22);
+  cfg.mac = MacMode::kAloha;
+  const auto aloha = simulate_listen(field, model, {50.0, 50.0}, cfg, r_aloha);
+  cfg.mac = MacMode::kCsma;
+  const auto csma = simulate_listen(field, model, {50.0, 50.0}, cfg, r_csma);
+
+  EXPECT_LT(csma.loss_rate, 0.5 * aloha.loss_rate);
+  EXPECT_GE(csma.connected.size(), aloha.connected.size());
+  EXPECT_EQ(aloha.dropped_packets, 0u);  // ALOHA never defers
+}
+
+TEST(Beaconing, CsmaOnQuietChannelBehavesLikeAloha) {
+  BeaconField field(AABB::square(100.0));
+  field.add({45.0, 50.0});
+  field.add({55.0, 50.0});
+  const IdealDiskModel model(15.0);
+  BeaconingConfig cfg = quiet_config();  // tiny packets: no contention
+  cfg.mac = MacMode::kCsma;
+  Rng rng(23);
+  const auto outcome = simulate_listen(field, model, {50.0, 50.0}, cfg, rng);
+  EXPECT_EQ(outcome.connected.size(), 2u);
+  EXPECT_EQ(outcome.dropped_packets, 0u);
+  EXPECT_LT(outcome.loss_rate, 0.05);
+}
+
+TEST(Beaconing, CsmaDropsWhenChannelNeverIdles) {
+  // Saturate the channel so retries run out: drops must be reported.
+  BeaconField field(AABB::square(100.0));
+  for (int i = 0; i < 120; ++i) field.add({50.0 + 0.05 * i, 50.0});
+  const IdealDiskModel model(40.0);
+  BeaconingConfig cfg = quiet_config();
+  cfg.packet_time = 0.2;  // 120 beacons × 20% duty: hopeless congestion
+  cfg.mac = MacMode::kCsma;
+  cfg.csma_retries = 2;
+  Rng rng(24);
+  const auto outcome = simulate_listen(field, model, {50.0, 50.0}, cfg, rng);
+  EXPECT_GT(outcome.dropped_packets, 0u);
+}
+
+TEST(Beaconing, DeterministicGivenSeed) {
+  BeaconField field(AABB::square(100.0));
+  Rng gen(10);
+  scatter_uniform(field, 20, gen);
+  const IdealDiskModel model(20.0);
+  Rng r1(42), r2(42);
+  const auto a = simulate_listen(field, model, {30.0, 30.0}, quiet_config(), r1);
+  const auto b = simulate_listen(field, model, {30.0, 30.0}, quiet_config(), r2);
+  EXPECT_EQ(a.connected, b.connected);
+  EXPECT_DOUBLE_EQ(a.loss_rate, b.loss_rate);
+}
+
+TEST(Beaconing, ConfigValidation) {
+  BeaconField field(AABB::square(100.0));
+  const IdealDiskModel model(15.0);
+  Rng rng(1);
+  BeaconingConfig bad = quiet_config();
+  bad.packet_time = 2.0;  // longer than the period
+  EXPECT_THROW(simulate_listen(field, model, {1, 1}, bad, rng), CheckFailure);
+  bad = quiet_config();
+  bad.listen_time = 0.5;  // shorter than one period
+  EXPECT_THROW(simulate_listen(field, model, {1, 1}, bad, rng), CheckFailure);
+  bad = quiet_config();
+  bad.cm_thresh = 0.0;
+  EXPECT_THROW(simulate_listen(field, model, {1, 1}, bad, rng), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

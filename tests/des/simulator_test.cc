@@ -1,0 +1,85 @@
+#include "des/simulator.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace abp {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(5.5, [&] { seen = sim.now(); });
+  sim.run_until(100.0);
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);  // clock settles at the horizon
+}
+
+TEST(Simulator, EventsBeyondHorizonStayQueued) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(10.0, [&] { ran = true; });
+  sim.run_until(5.0);
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(sim.empty());
+  sim.run_until(10.0);  // inclusive boundary
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 5) sim.schedule_in(1.0, tick);
+  };
+  sim.schedule_at(0.0, tick);
+  sim.run_until(100.0);
+  EXPECT_EQ(ticks, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), CheckFailure);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double when = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(3.0, [&] { when = sim.now(); });
+  });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(when, 5.0);
+}
+
+TEST(Simulator, NullHandlerRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1.0, nullptr), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,56 @@
+#include "eval/config.h"
+
+#include <gtest/gtest.h>
+
+namespace abp {
+namespace {
+
+TEST(PaperParams, Table1Defaults) {
+  const PaperParams p;
+  EXPECT_DOUBLE_EQ(p.side, 100.0);
+  EXPECT_DOUBLE_EQ(p.range, 15.0);
+  EXPECT_DOUBLE_EQ(p.step, 1.0);
+  EXPECT_EQ(p.num_grids, 400u);
+}
+
+TEST(PaperParams, PtMatchesPaperFormula) {
+  // PT = (Side/step + 1)² = 101² = 10201.
+  EXPECT_EQ(PaperParams{}.pt(), 10201u);
+}
+
+TEST(PaperParams, DensityAxisEndpoints) {
+  const PaperParams p;
+  // §4.1: 20 beacons ⇒ 0.002 /m², 240 ⇒ 0.024 /m².
+  EXPECT_DOUBLE_EQ(p.density(20), 0.002);
+  EXPECT_DOUBLE_EQ(p.density(240), 0.024);
+}
+
+TEST(PaperParams, BeaconsPerCoverageMatchesPaper) {
+  const PaperParams p;
+  // §4.1: "the corresponding number of beacons per nominal radio coverage
+  // area varies from 1.41 to 17".
+  EXPECT_NEAR(p.beacons_per_coverage(20), 1.41, 0.01);
+  EXPECT_NEAR(p.beacons_per_coverage(240), 17.0, 0.05);
+}
+
+TEST(SweepConfig, PaperAxes) {
+  const auto counts = SweepConfig::paper_beacon_counts();
+  ASSERT_EQ(counts.size(), 23u);  // 20..240 step 10
+  EXPECT_EQ(counts.front(), 20u);
+  EXPECT_EQ(counts.back(), 240u);
+  EXPECT_EQ(counts[1] - counts[0], 10u);
+
+  const auto noises = SweepConfig::paper_noise_levels();
+  EXPECT_EQ(noises, (std::vector<double>{0.0, 0.1, 0.3, 0.5}));
+}
+
+TEST(PaperParams, LatticeMatchesBounds) {
+  const PaperParams p;
+  const Lattice2D l = p.lattice();
+  EXPECT_EQ(l.nx(), 101u);
+  EXPECT_EQ(l.size(), p.pt());
+  EXPECT_TRUE(p.bounds().contains(l.point(l.size() - 1)));
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,55 @@
+#include "eval/figures.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace abp {
+namespace {
+
+TEST(Figures, MakeSweepConfigDefaultsToPaperAxes) {
+  FigureOptions opt;
+  const SweepConfig config = make_sweep_config(opt, {0.0, 0.5});
+  EXPECT_EQ(config.beacon_counts.size(), 23u);
+  EXPECT_EQ(config.noise_levels, (std::vector<double>{0.0, 0.5}));
+  EXPECT_EQ(config.trials, opt.trials);
+  EXPECT_EQ(config.seed, opt.seed);
+}
+
+TEST(Figures, CountStrideSubsamplesTheDensityAxis) {
+  FigureOptions opt;
+  opt.count_stride = 4;
+  const SweepConfig config = make_sweep_config(opt, {0.0});
+  // 23 counts at stride 4 → indices 0,4,8,12,16,20 → 6 counts.
+  ASSERT_EQ(config.beacon_counts.size(), 6u);
+  EXPECT_EQ(config.beacon_counts.front(), 20u);
+  EXPECT_EQ(config.beacon_counts[1], 60u);
+  EXPECT_EQ(config.beacon_counts.back(), 220u);
+}
+
+TEST(Figures, ZeroStrideRejected) {
+  FigureOptions opt;
+  opt.count_stride = 0;
+  EXPECT_THROW(make_sweep_config(opt, {0.0}), CheckFailure);
+}
+
+TEST(Figures, UnknownAlgorithmRejected) {
+  FigureOptions opt;
+  opt.trials = 1;
+  opt.count_stride = 23;
+  EXPECT_THROW(run_fig_alg_noise("simulated-annealing", opt), CheckFailure);
+}
+
+TEST(Figures, Fig5RunsThePaperAlgorithmsInOrder) {
+  FigureOptions opt;
+  opt.trials = 1;
+  opt.count_stride = 23;  // single density — fast
+  const SweepOutcome out = run_fig5(opt);
+  EXPECT_EQ(out.algorithm_names,
+            (std::vector<std::string>{"random", "max", "grid"}));
+  EXPECT_EQ(out.cells.size(), 1u);
+  EXPECT_EQ(out.cells[0].size(), 1u);
+}
+
+}  // namespace
+}  // namespace abp

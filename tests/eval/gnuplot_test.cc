@@ -1,0 +1,104 @@
+#include "eval/gnuplot.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "placement/grid_placement.h"
+#include "placement/random_placement.h"
+
+namespace abp {
+namespace {
+
+SweepOutcome tiny_outcome(bool with_algs) {
+  SweepConfig config;
+  config.params.side = 50.0;
+  config.params.num_grids = 100;
+  config.beacon_counts = {6, 14};
+  config.noise_levels = {0.0, 0.3};
+  config.trials = 3;
+  config.seed = 9;
+  config.threads = 2;
+  static const RandomPlacement random;
+  static const GridPlacement grid(100);
+  static const PlacementAlgorithm* algs[] = {&random, &grid};
+  return run_sweep(config, with_algs
+                               ? std::span<const PlacementAlgorithm* const>(
+                                     algs, 2)
+                               : std::span<const PlacementAlgorithm* const>{});
+}
+
+std::size_t count_blocks(const std::string& dat) {
+  std::size_t blocks = 0;
+  std::istringstream in(dat);
+  std::string line;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    const bool content = !line.empty() && line[0] != '#';
+    if (content && !in_block) {
+      ++blocks;
+      in_block = true;
+    } else if (!content && line.empty()) {
+      in_block = false;
+    }
+  }
+  return blocks;
+}
+
+TEST(Gnuplot, DataHasOneBlockPerSeries) {
+  const SweepOutcome out = tiny_outcome(true);
+  std::ostringstream dat;
+  write_gnuplot_data(dat, out);
+  // 2 noise mean-error + 2 algs × 2 noises × (mean + median) = 2 + 8.
+  EXPECT_EQ(count_blocks(dat.str()), 10u);
+}
+
+TEST(Gnuplot, DataRowsMatchDensityAxis) {
+  const SweepOutcome out = tiny_outcome(false);
+  std::ostringstream dat;
+  write_gnuplot_data(dat, out);
+  // Each of the 2 blocks has 2 rows (two beacon counts).
+  std::size_t rows = 0;
+  std::istringstream in(dat.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') ++rows;
+  }
+  EXPECT_EQ(rows, 4u);
+  EXPECT_NE(dat.str().find("# mean_error Ideal"), std::string::npos);
+  EXPECT_NE(dat.str().find("# mean_error Noise=0.3"), std::string::npos);
+}
+
+TEST(Gnuplot, ScriptReferencesCorrectIndices) {
+  const SweepOutcome out = tiny_outcome(true);
+  std::ostringstream gp;
+  write_gnuplot_script(gp, out, "fig5", "Figure 5");
+  const std::string s = gp.str();
+  EXPECT_NE(s.find("set output 'fig5.png'"), std::string::npos);
+  // Improvement blocks start at index 2 (after two mean-error blocks).
+  EXPECT_NE(s.find("'fig5.dat' index 2"), std::string::npos);
+  EXPECT_NE(s.find("yerrorlines"), std::string::npos);
+  EXPECT_NE(s.find("random"), std::string::npos);
+  EXPECT_NE(s.find("grid"), std::string::npos);
+}
+
+TEST(Gnuplot, MeasurementOnlyScriptPlotsMeanError) {
+  const SweepOutcome out = tiny_outcome(false);
+  std::ostringstream gp;
+  write_gnuplot_script(gp, out, "fig4", "Figure 4");
+  EXPECT_NE(gp.str().find("Mean localization error"), std::string::npos);
+  EXPECT_NE(gp.str().find("index 0"), std::string::npos);
+  EXPECT_NE(gp.str().find("index 1"), std::string::npos);
+}
+
+TEST(Gnuplot, ExportWritesBothFiles) {
+  const SweepOutcome out = tiny_outcome(false);
+  const std::string base = ::testing::TempDir() + "/abp_gnuplot_test";
+  export_gnuplot(base, "test", out);
+  std::ifstream dat(base + ".dat"), gp(base + ".gp");
+  EXPECT_TRUE(dat.good());
+  EXPECT_TRUE(gp.good());
+}
+
+}  // namespace
+}  // namespace abp

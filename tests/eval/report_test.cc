@@ -1,0 +1,114 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "placement/grid_placement.h"
+#include "placement/max_placement.h"
+#include "placement/random_placement.h"
+
+namespace abp {
+namespace {
+
+SweepOutcome tiny_outcome() {
+  SweepConfig config;
+  config.params.side = 50.0;
+  config.params.num_grids = 100;
+  config.beacon_counts = {6, 20};
+  config.noise_levels = {0.0, 0.3};
+  config.trials = 4;
+  config.seed = 5;
+  config.threads = 2;
+  static const RandomPlacement random;
+  static const MaxPlacement max;
+  static const GridPlacement grid(100);
+  static const PlacementAlgorithm* algs[] = {&random, &max, &grid};
+  return run_sweep(config, {algs, 3});
+}
+
+TEST(Report, MeanErrorTableHasAllDensityRowsAndNoiseColumns) {
+  const SweepOutcome out = tiny_outcome();
+  std::ostringstream os;
+  print_mean_error_table(os, out);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Ideal"), std::string::npos);
+  EXPECT_NE(s.find("Noise=0.3"), std::string::npos);
+  EXPECT_NE(s.find("frac-of-R"), std::string::npos);
+  // One row per beacon count, identified by its density cell
+  // (6/2500 = 0.0024, 20/2500 = 0.0080).
+  EXPECT_NE(s.find("0.0024"), std::string::npos);
+  EXPECT_NE(s.find("0.0080"), std::string::npos);
+}
+
+TEST(Report, ImprovementTablesListAllAlgorithms) {
+  const SweepOutcome out = tiny_outcome();
+  std::ostringstream os;
+  print_improvement_tables(os, out, 0);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("random"), std::string::npos);
+  EXPECT_NE(s.find("max"), std::string::npos);
+  EXPECT_NE(s.find("grid"), std::string::npos);
+  EXPECT_NE(s.find("MEAN"), std::string::npos);
+  EXPECT_NE(s.find("MEDIAN"), std::string::npos);
+}
+
+TEST(Report, AlgorithmNoiseTablesCoverAllNoiseLevels) {
+  const SweepOutcome out = tiny_outcome();
+  std::ostringstream os;
+  print_algorithm_noise_tables(os, out, 2);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("'grid'"), std::string::npos);
+  EXPECT_NE(s.find("Ideal"), std::string::npos);
+  EXPECT_NE(s.find("Noise=0.3"), std::string::npos);
+}
+
+TEST(Report, SaturationLinePrints) {
+  const SweepOutcome out = tiny_outcome();
+  std::ostringstream os;
+  print_saturation(os, out, 0);
+  EXPECT_NE(os.str().find("saturation density"), std::string::npos);
+}
+
+TEST(Report, CsvIsCompleteAndParsable) {
+  const SweepOutcome out = tiny_outcome();
+  std::ostringstream os;
+  write_sweep_csv(os, out);
+  const std::string s = os.str();
+
+  // Header + (2 noises × 2 counts) × (3 base metrics + 3 algs × 2) rows.
+  std::size_t lines = 0;
+  for (char c : s) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1u + 4u * (3u + 6u));
+
+  // Every line has the same number of commas as the header.
+  std::istringstream in(s);
+  std::string line, header;
+  std::getline(in, header);
+  const auto commas = [](const std::string& l) {
+    return std::count(l.begin(), l.end(), ',');
+  };
+  while (std::getline(in, line)) {
+    EXPECT_EQ(commas(line), commas(header));
+  }
+}
+
+TEST(Report, CsvContainsAlgorithmImprovements) {
+  const SweepOutcome out = tiny_outcome();
+  std::ostringstream os;
+  write_sweep_csv(os, out);
+  EXPECT_NE(os.str().find("improvement_mean,grid"), std::string::npos);
+  EXPECT_NE(os.str().find("improvement_median,random"), std::string::npos);
+  EXPECT_NE(os.str().find("mean_error"), std::string::npos);
+}
+
+TEST(Report, IndexValidation) {
+  const SweepOutcome out = tiny_outcome();
+  std::ostringstream os;
+  EXPECT_THROW(print_improvement_tables(os, out, 9), CheckFailure);
+  EXPECT_THROW(print_algorithm_noise_tables(os, out, 9), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

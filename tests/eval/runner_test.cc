@@ -1,0 +1,155 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "placement/grid_placement.h"
+#include "placement/random_placement.h"
+
+namespace abp {
+namespace {
+
+SweepConfig small_config() {
+  SweepConfig config;
+  config.params.side = 50.0;
+  config.params.num_grids = 100;
+  config.beacon_counts = {5, 15, 40};
+  config.noise_levels = {0.0, 0.3};
+  config.trials = 8;
+  config.seed = 123;
+  config.threads = 2;
+  return config;
+}
+
+TEST(Runner, OutcomeShapeMatchesConfig) {
+  const RandomPlacement random;
+  const GridPlacement grid(100);
+  const PlacementAlgorithm* algs[] = {&random, &grid};
+  const SweepOutcome out = run_sweep(small_config(), {algs, 2});
+
+  ASSERT_EQ(out.cells.size(), 2u);           // noise levels
+  ASSERT_EQ(out.cells[0].size(), 3u);        // beacon counts
+  EXPECT_EQ(out.algorithm_names,
+            (std::vector<std::string>{"random", "grid"}));
+  for (const auto& row : out.cells) {
+    for (const CellResult& cell : row) {
+      EXPECT_EQ(cell.mean_error.count, 8u);
+      ASSERT_EQ(cell.improvement_mean.size(), 2u);
+      EXPECT_EQ(cell.improvement_mean[0].count, 8u);
+    }
+  }
+}
+
+TEST(Runner, CellMetadataConsistent) {
+  const SweepOutcome out = run_sweep(small_config(), {});
+  EXPECT_DOUBLE_EQ(out.cells[0][0].density, 5.0 / 2500.0);
+  EXPECT_DOUBLE_EQ(out.cells[1][2].noise, 0.3);
+  EXPECT_EQ(out.cells[0][1].beacons, 15u);
+}
+
+TEST(Runner, DeterministicAcrossThreadCounts) {
+  // The core determinism contract: scheduling must not affect results.
+  const GridPlacement grid(100);
+  const PlacementAlgorithm* algs[] = {&grid};
+  SweepConfig c1 = small_config();
+  c1.threads = 1;
+  SweepConfig c4 = small_config();
+  c4.threads = 4;
+  const SweepOutcome a = run_sweep(c1, {algs, 1});
+  const SweepOutcome b = run_sweep(c4, {algs, 1});
+  for (std::size_t ni = 0; ni < a.cells.size(); ++ni) {
+    for (std::size_t ci = 0; ci < a.cells[ni].size(); ++ci) {
+      EXPECT_DOUBLE_EQ(a.cells[ni][ci].mean_error.mean,
+                       b.cells[ni][ci].mean_error.mean);
+      EXPECT_DOUBLE_EQ(a.cells[ni][ci].improvement_mean[0].mean,
+                       b.cells[ni][ci].improvement_mean[0].mean);
+    }
+  }
+}
+
+TEST(Runner, MeanErrorDecreasesWithDensity) {
+  const SweepOutcome out = run_sweep(small_config(), {});
+  const auto& ideal = out.cells[0];
+  EXPECT_GT(ideal[0].mean_error.mean, ideal[1].mean_error.mean);
+  EXPECT_GT(ideal[1].mean_error.mean, ideal[2].mean_error.mean);
+}
+
+TEST(Runner, ProgressCallbackCoversAllCells) {
+  std::size_t last_done = 0, total = 0;
+  const SweepOutcome out =
+      run_sweep(small_config(), {}, [&](std::size_t done, std::size_t t) {
+        last_done = std::max(last_done, done);
+        total = t;
+      });
+  EXPECT_EQ(total, 6u);
+  EXPECT_EQ(last_done, 6u);
+}
+
+TEST(Runner, CiShrinksWithMoreTrials) {
+  SweepConfig few = small_config();
+  few.beacon_counts = {15};
+  few.noise_levels = {0.0};
+  few.trials = 5;
+  SweepConfig many = few;
+  many.trials = 40;
+  const double ci_few = run_sweep(few, {}).cells[0][0].mean_error.ci95;
+  const double ci_many = run_sweep(many, {}).cells[0][0].mean_error.ci95;
+  EXPECT_LT(ci_many, ci_few);
+}
+
+TEST(Saturation, FindsTheKneeOfASyntheticCurve) {
+  SweepOutcome out;
+  out.config = small_config();
+  out.cells.resize(1);
+  // Synthetic mean-error curve: 20, 9, 4.2, 4.0, 4.05 — floor 4.0; the
+  // first density within 10% of the floor is the third one.
+  const double means[] = {20.0, 9.0, 4.2, 4.0, 4.05};
+  for (std::size_t i = 0; i < 5; ++i) {
+    CellResult cell;
+    cell.beacons = 10 * (i + 1);
+    cell.density = 0.001 * static_cast<double>(i + 1);
+    cell.beacons_per_coverage = cell.density * 706.86;
+    cell.mean_error.mean = means[i];
+    out.cells[0].push_back(cell);
+  }
+  const Saturation sat = find_saturation(out, 0);
+  EXPECT_DOUBLE_EQ(sat.density, 0.003);
+  EXPECT_DOUBLE_EQ(sat.error, 4.0);
+}
+
+TEST(Saturation, MonotoneCurveSaturatesAtEnd) {
+  SweepOutcome out;
+  out.config = small_config();
+  out.cells.resize(1);
+  for (std::size_t i = 0; i < 4; ++i) {
+    CellResult cell;
+    cell.density = 0.001 * static_cast<double>(i + 1);
+    cell.mean_error.mean = 10.0 / static_cast<double>(i + 1);
+    out.cells[0].push_back(cell);
+  }
+  const Saturation sat = find_saturation(out, 0, 1.05);
+  EXPECT_DOUBLE_EQ(sat.density, 0.004);  // only the last point qualifies
+}
+
+TEST(Runner, DeploymentConfigPropagatesToTrials) {
+  SweepConfig uniform = small_config();
+  uniform.beacon_counts = {12};
+  uniform.noise_levels = {0.0};
+  SweepConfig clustered = uniform;
+  clustered.deployment = Deployment::kClustered;
+  const double u = run_sweep(uniform, {}).cells[0][0].mean_error.mean;
+  const double c = run_sweep(clustered, {}).cells[0][0].mean_error.mean;
+  EXPECT_NE(u, c);
+  EXPECT_GT(c, u);  // clustering hurts localization at equal density
+}
+
+TEST(Runner, RejectsEmptyAxes) {
+  SweepConfig bad = small_config();
+  bad.beacon_counts.clear();
+  EXPECT_THROW(run_sweep(bad, {}), CheckFailure);
+  bad = small_config();
+  bad.trials = 0;
+  EXPECT_THROW(run_sweep(bad, {}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,134 @@
+#include "eval/trial.h"
+
+#include <gtest/gtest.h>
+
+#include "placement/grid_placement.h"
+#include "placement/max_placement.h"
+#include "placement/oracle_placement.h"
+#include "placement/random_placement.h"
+
+namespace abp {
+namespace {
+
+// Small parameters keep each trial ~1 ms.
+PaperParams small_params() {
+  PaperParams p;
+  p.side = 50.0;
+  p.step = 1.0;
+  p.num_grids = 100;
+  return p;
+}
+
+TEST(Trial, MeasurementOnlyTrialHasNoOutcomes) {
+  const TrialResult r = run_trial(small_params(), 10, 0.0, {}, 42);
+  EXPECT_TRUE(r.outcomes.empty());
+  EXPECT_GT(r.mean_before, 0.0);
+  EXPECT_GT(r.median_before, 0.0);
+  EXPECT_GE(r.uncovered_before, 0.0);
+  EXPECT_LE(r.uncovered_before, 1.0);
+}
+
+TEST(Trial, DeterministicInSeed) {
+  const RandomPlacement random;
+  const GridPlacement grid(100);
+  const PlacementAlgorithm* algs[] = {&random, &grid};
+  const TrialResult a = run_trial(small_params(), 12, 0.3, {algs, 2}, 7);
+  const TrialResult b = run_trial(small_params(), 12, 0.3, {algs, 2}, 7);
+  EXPECT_DOUBLE_EQ(a.mean_before, b.mean_before);
+  ASSERT_EQ(a.outcomes.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(a.outcomes[i].position, b.outcomes[i].position);
+    EXPECT_DOUBLE_EQ(a.outcomes[i].mean_after, b.outcomes[i].mean_after);
+  }
+}
+
+TEST(Trial, DifferentSeedsGiveDifferentFields) {
+  const TrialResult a = run_trial(small_params(), 12, 0.0, {}, 1);
+  const TrialResult b = run_trial(small_params(), 12, 0.0, {}, 2);
+  EXPECT_NE(a.mean_before, b.mean_before);
+}
+
+TEST(Trial, AllAlgorithmsSeeTheSameField) {
+  // Rollback between algorithms: outcome order must not matter for the
+  // "before" metrics, and each algorithm's improvement is measured from
+  // the identical starting state. We verify by permuting the list.
+  const RandomPlacement random;
+  const MaxPlacement max;
+  const PlacementAlgorithm* ab[] = {&random, &max};
+  const PlacementAlgorithm* ba[] = {&max, &random};
+  const TrialResult r1 = run_trial(small_params(), 10, 0.1, {ab, 2}, 77);
+  const TrialResult r2 = run_trial(small_params(), 10, 0.1, {ba, 2}, 77);
+  // max's outcome must be identical in both orders (same field, own seed
+  // stream is positional — compare by matching name).
+  const auto find = [](const TrialResult& r, const std::string& name) {
+    for (const auto& o : r.outcomes) {
+      if (o.name == name) return o;
+    }
+    ABP_CHECK(false, "missing outcome");
+    return r.outcomes[0];
+  };
+  EXPECT_EQ(find(r1, "max").position, find(r2, "max").position);
+  EXPECT_DOUBLE_EQ(find(r1, "max").mean_after, find(r2, "max").mean_after);
+}
+
+TEST(Trial, ImprovementAccessorsMatchDefinition) {
+  const GridPlacement grid(100);
+  const PlacementAlgorithm* algs[] = {&grid};
+  const TrialResult r = run_trial(small_params(), 8, 0.0, {algs, 1}, 5);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.improvement_mean(0),
+                   r.mean_before - r.outcomes[0].mean_after);
+  EXPECT_DOUBLE_EQ(r.improvement_median(0),
+                   r.median_before - r.outcomes[0].median_after);
+}
+
+TEST(Trial, OracleImprovementIsNonNegativeAndDominant) {
+  const OraclePlacement oracle(4);
+  const GridPlacement grid(100);
+  const PlacementAlgorithm* algs[] = {&oracle, &grid};
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    const TrialResult r = run_trial(small_params(), 8, 0.2, {algs, 2}, seed);
+    EXPECT_GE(r.improvement_mean(0), -1e-9);
+    EXPECT_GE(r.improvement_mean(0), r.improvement_mean(1) - 1e-9);
+  }
+}
+
+TEST(Trial, UncoveredFractionDecreasesWithDensity) {
+  const TrialResult sparse = run_trial(small_params(), 4, 0.0, {}, 3);
+  const TrialResult dense = run_trial(small_params(), 60, 0.0, {}, 3);
+  EXPECT_GT(sparse.uncovered_before, dense.uncovered_before);
+}
+
+TEST(Trial, NoiseChangesTheOutcome) {
+  const TrialResult ideal = run_trial(small_params(), 15, 0.0, {}, 9);
+  const TrialResult noisy = run_trial(small_params(), 15, 0.5, {}, 9);
+  EXPECT_NE(ideal.mean_before, noisy.mean_before);
+}
+
+TEST(Trial, RejectsZeroBeacons) {
+  EXPECT_THROW(run_trial(small_params(), 0, 0.0, {}, 1), CheckFailure);
+}
+
+TEST(Trial, DeploymentModesChangeTheField) {
+  const TrialResult uniform =
+      run_trial(small_params(), 20, 0.0, {}, 4, Deployment::kUniform);
+  const TrialResult clustered =
+      run_trial(small_params(), 20, 0.0, {}, 4, Deployment::kClustered);
+  const TrialResult airdrop =
+      run_trial(small_params(), 20, 0.0, {}, 4, Deployment::kAirdropHill);
+  EXPECT_NE(uniform.mean_before, clustered.mean_before);
+  EXPECT_NE(uniform.mean_before, airdrop.mean_before);
+  // Clustering leaves more of the terrain uncovered at equal density.
+  EXPECT_GT(clustered.uncovered_before, uniform.uncovered_before);
+}
+
+TEST(Trial, DeploymentIsDeterministicToo) {
+  const TrialResult a =
+      run_trial(small_params(), 15, 0.1, {}, 9, Deployment::kClustered);
+  const TrialResult b =
+      run_trial(small_params(), 15, 0.1, {}, 9, Deployment::kClustered);
+  EXPECT_DOUBLE_EQ(a.mean_before, b.mean_before);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "field/beacon_field.h"
+
+namespace abp {
+namespace {
+
+TEST(AddWithId, GapsBecomePermanentlyUnusedIds) {
+  BeaconField field(AABB::square(10.0));
+  field.add_with_id(5, {1.0, 1.0});
+  EXPECT_EQ(field.size(), 1u);
+  EXPECT_FALSE(field.get(0).has_value());
+  EXPECT_TRUE(field.get(5).has_value());
+  EXPECT_EQ(field.add({2.0, 2.0}), 6u);  // allocation continues past 5
+}
+
+TEST(AddWithId, RejectsReusedIds) {
+  BeaconField field(AABB::square(10.0));
+  field.add({1.0, 1.0});  // id 0
+  EXPECT_THROW(field.add_with_id(0, {2.0, 2.0}), CheckFailure);
+}
+
+TEST(AddWithId, PassiveInsertionSkipsIndex) {
+  BeaconField field(AABB::square(10.0));
+  field.add_with_id(0, {5.0, 5.0}, /*active=*/false);
+  EXPECT_EQ(field.size(), 1u);
+  EXPECT_EQ(field.active_count(), 0u);
+  int hits = 0;
+  field.query_disk({5.0, 5.0}, 2.0, [&](const Beacon&) { ++hits; });
+  EXPECT_EQ(hits, 0);
+  field.set_active(0, true);
+  field.query_disk({5.0, 5.0}, 2.0, [&](const Beacon&) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ReserveIds, AdvancesAllocationMark) {
+  BeaconField field(AABB::square(10.0));
+  field.reserve_ids(10);
+  EXPECT_EQ(field.next_id(), 10u);
+  EXPECT_EQ(field.add({1.0, 1.0}), 10u);
+  field.reserve_ids(5);  // never moves backwards
+  EXPECT_EQ(field.next_id(), 11u);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,149 @@
+#include "field/beacon_field.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "common/assert.h"
+
+namespace abp {
+namespace {
+
+BeaconField make_field() { return BeaconField(AABB::square(100.0)); }
+
+TEST(BeaconField, AddAssignsSequentialIds) {
+  auto field = make_field();
+  EXPECT_EQ(field.add({1.0, 1.0}), 0u);
+  EXPECT_EQ(field.add({2.0, 2.0}), 1u);
+  EXPECT_EQ(field.size(), 2u);
+}
+
+TEST(BeaconField, AddOutsideBoundsThrows) {
+  auto field = make_field();
+  EXPECT_THROW(field.add({-1.0, 5.0}), CheckFailure);
+  EXPECT_THROW(field.add({5.0, 101.0}), CheckFailure);
+}
+
+TEST(BeaconField, GetReturnsBeacon) {
+  auto field = make_field();
+  const BeaconId id = field.add({3.0, 4.0});
+  const auto b = field.get(id);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->pos, (Vec2{3.0, 4.0}));
+  EXPECT_TRUE(b->active);
+}
+
+TEST(BeaconField, GetUnknownIdIsEmpty) {
+  auto field = make_field();
+  EXPECT_FALSE(field.get(99).has_value());
+}
+
+TEST(BeaconField, RemoveDeletesAndIdsAreNeverReused) {
+  auto field = make_field();
+  const BeaconId a = field.add({1.0, 1.0});
+  EXPECT_TRUE(field.remove(a));
+  EXPECT_FALSE(field.get(a).has_value());
+  EXPECT_FALSE(field.remove(a));  // double remove
+  const BeaconId b = field.add({2.0, 2.0});
+  EXPECT_NE(a, b);
+}
+
+TEST(BeaconField, QueryDiskFindsOnlyNearbyActive) {
+  auto field = make_field();
+  field.add({10.0, 10.0});
+  field.add({90.0, 90.0});
+  std::set<BeaconId> found;
+  field.query_disk({12.0, 10.0}, 5.0,
+                   [&](const Beacon& b) { found.insert(b.id); });
+  EXPECT_EQ(found, (std::set<BeaconId>{0}));
+}
+
+TEST(BeaconField, DeactivatedBeaconInvisibleToQueries) {
+  auto field = make_field();
+  const BeaconId id = field.add({10.0, 10.0});
+  EXPECT_TRUE(field.set_active(id, false));
+  int hits = 0;
+  field.query_disk({10.0, 10.0}, 5.0, [&](const Beacon&) { ++hits; });
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(field.size(), 1u);          // still deployed
+  EXPECT_EQ(field.active_count(), 0u);  // but silent
+}
+
+TEST(BeaconField, ReactivationRestoresVisibility) {
+  auto field = make_field();
+  const BeaconId id = field.add({10.0, 10.0});
+  field.set_active(id, false);
+  field.set_active(id, true);
+  int hits = 0;
+  field.query_disk({10.0, 10.0}, 5.0, [&](const Beacon&) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(BeaconField, SetActiveIsIdempotent) {
+  auto field = make_field();
+  const BeaconId id = field.add({10.0, 10.0});
+  EXPECT_TRUE(field.set_active(id, true));  // already active
+  EXPECT_EQ(field.active_count(), 1u);
+  field.set_active(id, false);
+  EXPECT_TRUE(field.set_active(id, false));
+  EXPECT_EQ(field.active_count(), 0u);
+}
+
+TEST(BeaconField, SetActiveUnknownIdFails) {
+  auto field = make_field();
+  EXPECT_FALSE(field.set_active(5, false));
+}
+
+TEST(BeaconField, ActiveCentroid) {
+  auto field = make_field();
+  field.add({0.0, 0.0});
+  field.add({10.0, 0.0});
+  field.add({5.0, 30.0});
+  const Vec2 c = field.active_centroid();
+  EXPECT_NEAR(c.x, 5.0, 1e-9);
+  EXPECT_NEAR(c.y, 10.0, 1e-9);
+}
+
+TEST(BeaconField, CentroidOfEmptyFieldIsBoundsCenter) {
+  auto field = make_field();
+  EXPECT_EQ(field.active_centroid(), (Vec2{50.0, 50.0}));
+}
+
+TEST(BeaconField, CentroidIgnoresPassiveBeacons) {
+  auto field = make_field();
+  field.add({0.0, 0.0});
+  const BeaconId far = field.add({100.0, 100.0});
+  field.set_active(far, false);
+  EXPECT_NEAR(field.active_centroid().x, 0.0, 1e-9);
+}
+
+TEST(BeaconField, DensityCountsActiveOnly) {
+  auto field = make_field();
+  for (int i = 0; i < 10; ++i) {
+    field.add({static_cast<double>(i * 10), 50.0});
+  }
+  EXPECT_DOUBLE_EQ(field.density(), 10.0 / 10000.0);
+  field.set_active(0, false);
+  EXPECT_DOUBLE_EQ(field.density(), 9.0 / 10000.0);
+}
+
+TEST(BeaconField, ActiveIdsSortedAndFiltered) {
+  auto field = make_field();
+  field.add({1.0, 1.0});
+  field.add({2.0, 2.0});
+  field.add({3.0, 3.0});
+  field.set_active(1, false);
+  EXPECT_EQ(field.active_ids(), (std::vector<BeaconId>{0, 2}));
+}
+
+TEST(BeaconField, ForEachActiveVisitsExactlyActive) {
+  auto field = make_field();
+  field.add({1.0, 1.0});
+  field.add({2.0, 2.0});
+  field.remove(0);
+  std::set<BeaconId> seen;
+  field.for_each_active([&](const Beacon& b) { seen.insert(b.id); });
+  EXPECT_EQ(seen, (std::set<BeaconId>{1}));
+}
+
+}  // namespace
+}  // namespace abp

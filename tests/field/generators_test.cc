@@ -1,0 +1,137 @@
+#include "field/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "terrain/heightmap.h"
+
+namespace abp {
+namespace {
+
+TEST(ScatterUniform, CountAndBounds) {
+  BeaconField field(AABB::square(100.0));
+  Rng rng(1);
+  scatter_uniform(field, 50, rng);
+  EXPECT_EQ(field.size(), 50u);
+  field.for_each_active([&](const Beacon& b) {
+    EXPECT_TRUE(field.bounds().contains(b.pos));
+  });
+}
+
+TEST(ScatterUniform, DeterministicInSeed) {
+  BeaconField a(AABB::square(100.0)), b(AABB::square(100.0));
+  Rng ra(7), rb(7);
+  scatter_uniform(a, 20, ra);
+  scatter_uniform(b, 20, rb);
+  for (BeaconId id = 0; id < 20; ++id) {
+    EXPECT_EQ(a.get(id)->pos, b.get(id)->pos);
+  }
+}
+
+TEST(ScatterUniform, RoughlyUniformMarginals) {
+  BeaconField field(AABB::square(100.0));
+  Rng rng(3);
+  scatter_uniform(field, 5000, rng);
+  RunningStats xs, ys;
+  field.for_each_active([&](const Beacon& b) {
+    xs.add(b.pos.x);
+    ys.add(b.pos.y);
+  });
+  EXPECT_NEAR(xs.mean(), 50.0, 2.0);
+  EXPECT_NEAR(ys.mean(), 50.0, 2.0);
+  EXPECT_NEAR(xs.stddev(), 100.0 / std::sqrt(12.0), 2.0);
+}
+
+TEST(PlaceGrid, GeometryMatchesFigure1) {
+  // 2x2 grid on a 100 m square: beacons at 25/75 crossings (Fig 1 left).
+  BeaconField field(AABB::square(100.0));
+  place_grid(field, 2, 2);
+  EXPECT_EQ(field.size(), 4u);
+  EXPECT_EQ(field.get(0)->pos, (Vec2{25.0, 25.0}));
+  EXPECT_EQ(field.get(3)->pos, (Vec2{75.0, 75.0}));
+}
+
+TEST(PlaceGrid, SpacingIsWidthOverN) {
+  BeaconField field(AABB::square(100.0));
+  place_grid(field, 10, 10);
+  // Adjacent beacons in a row are d = 10 m apart, first at d/2.
+  EXPECT_EQ(field.get(0)->pos, (Vec2{5.0, 5.0}));
+  EXPECT_EQ(field.get(1)->pos, (Vec2{15.0, 5.0}));
+}
+
+TEST(Airdrop, OnFlatTerrainStaysNearAim) {
+  const FlatTerrain flat(AABB::square(100.0));
+  BeaconField field(AABB::square(100.0));
+  Rng rng(5);
+  airdrop(field, 100, flat, rng, 25.0, 0.0);  // no jitter either
+  // With zero slope and zero jitter the drop is exactly uniform random —
+  // same stream as scatter_uniform.
+  BeaconField reference(AABB::square(100.0));
+  Rng rng2(5);
+  scatter_uniform(reference, 100, rng2);
+  for (BeaconId id = 0; id < 100; ++id) {
+    EXPECT_NEAR(field.get(id)->pos.x, reference.get(id)->pos.x, 1e-9);
+    EXPECT_NEAR(field.get(id)->pos.y, reference.get(id)->pos.y, 1e-9);
+  }
+}
+
+TEST(Airdrop, BeaconsRollAwayFromHilltop) {
+  // The §1 scenario: beacons dropped on a hill end up farther from the
+  // peak than their aim points; the hilltop becomes beacon-poor.
+  const AABB bounds = AABB::square(100.0);
+  const HillTerrain hill(bounds, {50.0, 50.0}, 40.0, 12.0);
+  BeaconField dropped(bounds);
+  Rng rng(9);
+  airdrop(dropped, 400, hill, rng, 30.0, 0.5);
+
+  BeaconField aimed(bounds);
+  Rng rng2(9);
+  airdrop(aimed, 400, FlatTerrain(bounds), rng2, 30.0, 0.5);
+
+  std::size_t near_peak_dropped = 0, near_peak_aimed = 0;
+  dropped.query_disk({50.0, 50.0}, 15.0,
+                     [&](const Beacon&) { ++near_peak_dropped; });
+  aimed.query_disk({50.0, 50.0}, 15.0,
+                   [&](const Beacon&) { ++near_peak_aimed; });
+  EXPECT_LT(near_peak_dropped, near_peak_aimed);
+}
+
+TEST(Airdrop, ResultsStayInBounds) {
+  const AABB bounds = AABB::square(100.0);
+  const HillTerrain hill(bounds, {5.0, 5.0}, 50.0, 10.0);  // peak near edge
+  BeaconField field(bounds);
+  Rng rng(11);
+  airdrop(field, 200, hill, rng, 50.0, 3.0);
+  field.for_each_active(
+      [&](const Beacon& b) { EXPECT_TRUE(bounds.contains(b.pos)); });
+}
+
+TEST(Clustered, AllInBoundsAndCount) {
+  BeaconField field(AABB::square(100.0));
+  Rng rng(13);
+  scatter_clustered(field, 120, 4, 6.0, rng);
+  EXPECT_EQ(field.size(), 120u);
+  field.for_each_active([&](const Beacon& b) {
+    EXPECT_TRUE(field.bounds().contains(b.pos));
+  });
+}
+
+TEST(Clustered, IsLumpierThanUniform) {
+  // Variance of per-quadrant counts should exceed uniform's.
+  const auto quadrant_variance = [](const BeaconField& field) {
+    double counts[4] = {0, 0, 0, 0};
+    field.for_each_active([&](const Beacon& b) {
+      const int q = (b.pos.x >= 50.0 ? 1 : 0) + (b.pos.y >= 50.0 ? 2 : 0);
+      counts[q] += 1.0;
+    });
+    return sample_stddev(counts);
+  };
+  BeaconField clustered(AABB::square(100.0)), uniform(AABB::square(100.0));
+  Rng rc(17), ru(17);
+  scatter_clustered(clustered, 200, 3, 5.0, rc);
+  scatter_uniform(uniform, 200, ru);
+  EXPECT_GT(quadrant_variance(clustered), quadrant_variance(uniform));
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,59 @@
+#include "geom/aabb.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace abp {
+namespace {
+
+TEST(AABB, SquareFactory) {
+  const AABB b = AABB::square(100.0);
+  EXPECT_EQ(b.lo, (Vec2{0.0, 0.0}));
+  EXPECT_EQ(b.hi, (Vec2{100.0, 100.0}));
+  EXPECT_DOUBLE_EQ(b.area(), 10000.0);
+  EXPECT_EQ(b.center(), (Vec2{50.0, 50.0}));
+}
+
+TEST(AABB, SquareRejectsNonPositiveSide) {
+  EXPECT_THROW(AABB::square(0.0), CheckFailure);
+  EXPECT_THROW(AABB::square(-5.0), CheckFailure);
+}
+
+TEST(AABB, InvertedCornersRejected) {
+  EXPECT_THROW(AABB({1.0, 0.0}, {0.0, 1.0}), CheckFailure);
+}
+
+TEST(AABB, ContainsIncludesBoundary) {
+  const AABB b = AABB::square(10.0);
+  EXPECT_TRUE(b.contains({0.0, 0.0}));
+  EXPECT_TRUE(b.contains({10.0, 10.0}));
+  EXPECT_TRUE(b.contains({5.0, 5.0}));
+  EXPECT_FALSE(b.contains({10.0001, 5.0}));
+  EXPECT_FALSE(b.contains({5.0, -0.0001}));
+}
+
+TEST(AABB, ClampProjectsOutsidePoints) {
+  const AABB b = AABB::square(10.0);
+  EXPECT_EQ(b.clamp({-5.0, 5.0}), (Vec2{0.0, 5.0}));
+  EXPECT_EQ(b.clamp({15.0, 12.0}), (Vec2{10.0, 10.0}));
+  EXPECT_EQ(b.clamp({3.0, 4.0}), (Vec2{3.0, 4.0}));  // inside unchanged
+}
+
+TEST(AABB, CenteredFactory) {
+  const AABB b = AABB::centered({5.0, 5.0}, 2.0, 3.0);
+  EXPECT_EQ(b.lo, (Vec2{3.0, 2.0}));
+  EXPECT_EQ(b.hi, (Vec2{7.0, 8.0}));
+  EXPECT_DOUBLE_EQ(b.width(), 4.0);
+  EXPECT_DOUBLE_EQ(b.height(), 6.0);
+}
+
+TEST(AABB, IntersectsOverlapTouchDisjoint) {
+  const AABB a({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_TRUE(a.intersects(AABB({1.0, 1.0}, {3.0, 3.0})));   // overlap
+  EXPECT_TRUE(a.intersects(AABB({2.0, 0.0}, {4.0, 2.0})));   // touching edge
+  EXPECT_FALSE(a.intersects(AABB({2.1, 0.0}, {4.0, 2.0})));  // disjoint
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,65 @@
+// Property tests: the analytic lens-area formula cross-checked against
+// Monte Carlo integration over random circle pairs.
+#include <gtest/gtest.h>
+
+#include "geom/circle.h"
+#include "rng/rng.h"
+
+namespace abp {
+namespace {
+
+class LensAreaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LensAreaProperty, AnalyticMatchesMonteCarlo) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const Circle a({rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)},
+                   rng.uniform(0.5, 4.0));
+    const Circle b({rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)},
+                   rng.uniform(0.5, 4.0));
+    const double analytic = circle_intersection_area(a, b);
+
+    // Monte Carlo over circle a's bounding box.
+    const int samples = 20000;
+    int hits = 0;
+    for (int s = 0; s < samples; ++s) {
+      const Vec2 p{rng.uniform(a.center.x - a.radius, a.center.x + a.radius),
+                   rng.uniform(a.center.y - a.radius, a.center.y + a.radius)};
+      if (a.contains(p) && b.contains(p)) ++hits;
+    }
+    const double box_area = 4.0 * a.radius * a.radius;
+    const double estimate =
+        box_area * static_cast<double>(hits) / static_cast<double>(samples);
+    // MC standard error ~ box_area * sqrt(p(1-p)/n); allow 5 sigma + eps.
+    const double p_hat = static_cast<double>(hits) / samples;
+    const double tolerance =
+        5.0 * box_area * std::sqrt(p_hat * (1 - p_hat) / samples) + 0.02;
+    EXPECT_NEAR(analytic, estimate, tolerance)
+        << "a=(" << a.center << ", r=" << a.radius << ") b=(" << b.center
+        << ", r=" << b.radius << ")";
+  }
+}
+
+TEST_P(LensAreaProperty, SymmetryAndBounds) {
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int round = 0; round < 50; ++round) {
+    const Circle a({rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)},
+                   rng.uniform(0.1, 4.0));
+    const Circle b({rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)},
+                   rng.uniform(0.1, 4.0));
+    const double ab = circle_intersection_area(a, b);
+    EXPECT_DOUBLE_EQ(ab, circle_intersection_area(b, a));
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, std::min(a.area(), b.area()) + 1e-12);
+    // Consistency with the overlap predicate.
+    if (ab > 1e-9) {
+      EXPECT_TRUE(circles_overlap(a, b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LensAreaProperty,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace abp

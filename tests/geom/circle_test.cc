@@ -1,0 +1,65 @@
+#include "geom/circle.h"
+
+#include <gtest/gtest.h>
+#include <numbers>
+
+namespace abp {
+namespace {
+
+TEST(Circle, ContainsIncludesBoundary) {
+  const Circle c({0.0, 0.0}, 5.0);
+  EXPECT_TRUE(c.contains({3.0, 4.0}));   // exactly on boundary
+  EXPECT_TRUE(c.contains({1.0, 1.0}));
+  EXPECT_FALSE(c.contains({3.1, 4.0}));
+}
+
+TEST(Circle, Area) {
+  EXPECT_NEAR(Circle({0, 0}, 2.0).area(), 4.0 * std::numbers::pi, 1e-12);
+}
+
+TEST(CircleIntersection, DisjointIsZero) {
+  const Circle a({0.0, 0.0}, 1.0), b({10.0, 0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(circle_intersection_area(a, b), 0.0);
+  EXPECT_FALSE(circles_overlap(a, b));
+}
+
+TEST(CircleIntersection, TouchingExternallyIsZeroButOverlaps) {
+  const Circle a({0.0, 0.0}, 1.0), b({2.0, 0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(circle_intersection_area(a, b), 0.0);
+  EXPECT_TRUE(circles_overlap(a, b));  // boundaries share one point
+}
+
+TEST(CircleIntersection, NestedGivesSmallerDiskArea) {
+  const Circle big({0.0, 0.0}, 5.0), small({1.0, 0.0}, 1.0);
+  EXPECT_NEAR(circle_intersection_area(big, small), small.area(), 1e-12);
+  EXPECT_NEAR(circle_intersection_area(small, big), small.area(), 1e-12);
+}
+
+TEST(CircleIntersection, IdenticalCirclesGiveFullArea) {
+  const Circle c({3.0, 3.0}, 2.0);
+  EXPECT_NEAR(circle_intersection_area(c, c), c.area(), 1e-12);
+}
+
+TEST(CircleIntersection, HalfOverlapKnownValue) {
+  // Two unit circles at distance 1: lens area = 2π/3 − √3/2.
+  const Circle a({0.0, 0.0}, 1.0), b({1.0, 0.0}, 1.0);
+  const double expected = 2.0 * std::numbers::pi / 3.0 - std::sqrt(3.0) / 2.0;
+  EXPECT_NEAR(circle_intersection_area(a, b), expected, 1e-12);
+}
+
+TEST(CircleIntersection, Symmetric) {
+  const Circle a({0.0, 0.0}, 2.0), b({1.5, 1.0}, 3.0);
+  EXPECT_DOUBLE_EQ(circle_intersection_area(a, b),
+                   circle_intersection_area(b, a));
+}
+
+TEST(CircleIntersection, BoundedByEitherArea) {
+  const Circle a({0.0, 0.0}, 2.0), b({2.5, 0.0}, 1.5);
+  const double lens = circle_intersection_area(a, b);
+  EXPECT_GT(lens, 0.0);
+  EXPECT_LE(lens, a.area());
+  EXPECT_LE(lens, b.area());
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,60 @@
+#include "geom/grid2d.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace abp {
+namespace {
+
+TEST(Grid2D, FillValueOnConstruction) {
+  const Grid2D<double> g(3, 4, 7.5);
+  EXPECT_EQ(g.nx(), 3u);
+  EXPECT_EQ(g.ny(), 4u);
+  EXPECT_EQ(g.size(), 12u);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_DOUBLE_EQ(g[i], 7.5);
+}
+
+TEST(Grid2D, RowMajorLayout) {
+  Grid2D<int> g(3, 2, 0);
+  g.at(2, 1) = 42;
+  EXPECT_EQ(g[1 * 3 + 2], 42);
+}
+
+TEST(Grid2D, WriteReadRoundTrip) {
+  Grid2D<int> g(5, 5, 0);
+  for (std::size_t j = 0; j < 5; ++j) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      g.at(i, j) = static_cast<int>(i * 10 + j);
+    }
+  }
+  EXPECT_EQ(g.at(3, 4), 34);
+  EXPECT_EQ(g.at(0, 0), 0);
+}
+
+TEST(Grid2D, FillOverwrites) {
+  Grid2D<int> g(2, 2, 1);
+  g.fill(9);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_EQ(g[i], 9);
+}
+
+TEST(Grid2D, DefaultConstructedIsEmpty) {
+  const Grid2D<double> g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(Grid2D, ZeroDimensionRejected) {
+  EXPECT_THROW((Grid2D<int>(0, 5)), CheckFailure);
+  EXPECT_THROW((Grid2D<int>(5, 0)), CheckFailure);
+}
+
+TEST(Grid2D, CopyIsDeep) {
+  Grid2D<int> a(2, 2, 1);
+  Grid2D<int> b = a;
+  b.at(0, 0) = 99;
+  EXPECT_EQ(a.at(0, 0), 1);
+}
+
+}  // namespace
+}  // namespace abp

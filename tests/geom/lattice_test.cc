@@ -1,0 +1,129 @@
+#include "geom/lattice.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "common/assert.h"
+
+namespace abp {
+namespace {
+
+Lattice2D paper_lattice() { return Lattice2D(AABB::square(100.0), 1.0); }
+
+TEST(Lattice, PaperDimensions) {
+  const Lattice2D l = paper_lattice();
+  EXPECT_EQ(l.nx(), 101u);
+  EXPECT_EQ(l.ny(), 101u);
+  EXPECT_EQ(l.size(), 10201u);  // the paper's PT for Side=100, step=1
+}
+
+TEST(Lattice, PointIndexRoundTrip) {
+  const Lattice2D l = paper_lattice();
+  for (std::size_t flat : {0u, 1u, 100u, 101u, 5050u, 10200u}) {
+    const auto [i, j] = l.coords(flat);
+    EXPECT_EQ(l.index(i, j), flat);
+    const Vec2 p = l.point(flat);
+    EXPECT_EQ(p, l.point(i, j));
+  }
+}
+
+TEST(Lattice, CornerPositions) {
+  const Lattice2D l = paper_lattice();
+  EXPECT_EQ(l.point(0, 0), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(l.point(100, 100), (Vec2{100.0, 100.0}));
+  EXPECT_EQ(l.point(3, 7), (Vec2{3.0, 7.0}));
+}
+
+TEST(Lattice, NonUnitStepAndOffsetOrigin) {
+  const Lattice2D l(AABB({10.0, 20.0}, {20.0, 30.0}), 2.5);
+  EXPECT_EQ(l.nx(), 5u);
+  EXPECT_EQ(l.point(1, 2), (Vec2{12.5, 25.0}));
+}
+
+TEST(Lattice, NearestRoundsAndClamps) {
+  const Lattice2D l = paper_lattice();
+  EXPECT_EQ(l.nearest({3.4, 7.6}), l.index(3, 8));
+  EXPECT_EQ(l.nearest({-5.0, 50.0}), l.index(0, 50));
+  EXPECT_EQ(l.nearest({150.0, 150.0}), l.index(100, 100));
+}
+
+TEST(Lattice, ForEachVisitsAllOnce) {
+  const Lattice2D l(AABB::square(10.0), 1.0);
+  std::set<std::size_t> seen;
+  l.for_each([&](std::size_t flat, Vec2 p) {
+    EXPECT_TRUE(l.bounds().contains(p));
+    seen.insert(flat);
+  });
+  EXPECT_EQ(seen.size(), l.size());
+}
+
+TEST(Lattice, DiskEnumerationMatchesBruteForce) {
+  const Lattice2D l(AABB::square(50.0), 1.0);
+  const Vec2 center{17.3, 24.8};
+  const double radius = 9.7;
+  std::set<std::size_t> fast;
+  l.for_each_in_disk(center, radius, [&](std::size_t flat, Vec2) {
+    fast.insert(flat);
+  });
+  std::set<std::size_t> brute;
+  l.for_each([&](std::size_t flat, Vec2 p) {
+    if (distance(p, center) <= radius) brute.insert(flat);
+  });
+  EXPECT_EQ(fast, brute);
+}
+
+TEST(Lattice, DiskAtBoundaryStaysInBounds) {
+  const Lattice2D l(AABB::square(20.0), 1.0);
+  std::size_t count = 0;
+  l.for_each_in_disk({0.0, 0.0}, 5.0, [&](std::size_t, Vec2 p) {
+    EXPECT_TRUE(l.bounds().contains(p));
+    ++count;
+  });
+  EXPECT_GT(count, 0u);
+}
+
+TEST(Lattice, DiskIncludesBoundaryPoints) {
+  const Lattice2D l(AABB::square(20.0), 1.0);
+  // Radius exactly 3: the point at distance 3 must be included.
+  std::set<std::size_t> pts;
+  l.for_each_in_disk({10.0, 10.0}, 3.0, [&](std::size_t flat, Vec2) {
+    pts.insert(flat);
+  });
+  EXPECT_TRUE(pts.count(l.index(13, 10)) == 1);
+  EXPECT_TRUE(pts.count(l.index(10, 7)) == 1);
+  EXPECT_FALSE(pts.count(l.index(13, 11)));  // distance sqrt(10) > 3
+}
+
+TEST(Lattice, BoxEnumerationMatchesBruteForce) {
+  const Lattice2D l(AABB::square(50.0), 1.0);
+  const AABB box({12.5, 3.0}, {30.0, 18.2});
+  std::set<std::size_t> fast;
+  l.for_each_in_box(box, [&](std::size_t flat, Vec2) { fast.insert(flat); });
+  std::set<std::size_t> brute;
+  l.for_each([&](std::size_t flat, Vec2 p) {
+    if (box.contains(p)) brute.insert(flat);
+  });
+  EXPECT_EQ(fast, brute);
+}
+
+TEST(Lattice, BoxLargerThanBoundsGivesWholeLattice) {
+  const Lattice2D l(AABB::square(10.0), 1.0);
+  std::size_t count = 0;
+  l.for_each_in_box(AABB({-100.0, -100.0}, {100.0, 100.0}),
+                    [&](std::size_t, Vec2) { ++count; });
+  EXPECT_EQ(count, l.size());
+}
+
+TEST(Lattice, RejectsBadConstruction) {
+  EXPECT_THROW(Lattice2D(AABB::square(10.0), 0.0), CheckFailure);
+  EXPECT_THROW(Lattice2D(AABB::square(10.0), -1.0), CheckFailure);
+}
+
+TEST(Lattice, FractionalStepGeometry) {
+  const Lattice2D l(AABB::square(1.0), 0.25);
+  EXPECT_EQ(l.nx(), 5u);
+  EXPECT_EQ(l.point(2, 2), (Vec2{0.5, 0.5}));
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,119 @@
+#include "geom/spatial_hash.h"
+
+#include <gtest/gtest.h>
+#include <set>
+#include <vector>
+
+#include "common/assert.h"
+#include "rng/rng.h"
+
+namespace abp {
+namespace {
+
+TEST(SpatialHash, InsertAndQueryBasic) {
+  SpatialHash index(10.0);
+  index.insert(1, {5.0, 5.0});
+  index.insert(2, {50.0, 50.0});
+  std::set<std::uint32_t> found;
+  index.query_disk({6.0, 6.0}, 5.0,
+                   [&](std::uint32_t id, Vec2) { found.insert(id); });
+  EXPECT_EQ(found, (std::set<std::uint32_t>{1}));
+}
+
+TEST(SpatialHash, QueryIncludesExactBoundary) {
+  SpatialHash index(10.0);
+  index.insert(7, {3.0, 4.0});
+  int hits = 0;
+  index.query_disk({0.0, 0.0}, 5.0, [&](std::uint32_t, Vec2) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SpatialHash, RemoveErasesOneEntry) {
+  SpatialHash index(10.0);
+  index.insert(1, {5.0, 5.0});
+  EXPECT_TRUE(index.remove(1, {5.0, 5.0}));
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_FALSE(index.remove(1, {5.0, 5.0}));  // already gone
+}
+
+TEST(SpatialHash, RemoveMissingReturnsFalse) {
+  SpatialHash index(10.0);
+  index.insert(1, {5.0, 5.0});
+  EXPECT_FALSE(index.remove(2, {5.0, 5.0}));
+  EXPECT_FALSE(index.remove(1, {95.0, 95.0}));  // wrong bucket
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(SpatialHash, NegativeCoordinatesWork) {
+  SpatialHash index(10.0);
+  index.insert(3, {-15.0, -25.0});
+  int hits = 0;
+  index.query_disk({-14.0, -24.0}, 2.0, [&](std::uint32_t id, Vec2) {
+    EXPECT_EQ(id, 3u);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SpatialHash, ClearEmptiesIndex) {
+  SpatialHash index(10.0);
+  for (std::uint32_t i = 0; i < 10; ++i) index.insert(i, {1.0 * i, 0.0});
+  index.clear();
+  EXPECT_EQ(index.size(), 0u);
+  int hits = 0;
+  index.query_disk({5.0, 0.0}, 100.0, [&](std::uint32_t, Vec2) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(SpatialHash, ForEachVisitsAll) {
+  SpatialHash index(5.0);
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    index.insert(i, {static_cast<double>(i), static_cast<double>(i) * 3.0});
+  }
+  std::set<std::uint32_t> seen;
+  index.for_each([&](std::uint32_t id, Vec2) { seen.insert(id); });
+  EXPECT_EQ(seen.size(), 25u);
+}
+
+TEST(SpatialHash, RejectsNonPositiveCell) {
+  EXPECT_THROW(SpatialHash(0.0), CheckFailure);
+}
+
+TEST(SpatialHash, RejectsNegativeQueryRadius) {
+  SpatialHash index(10.0);
+  EXPECT_THROW(index.query_disk({0, 0}, -1.0, [](std::uint32_t, Vec2) {}),
+               CheckFailure);
+}
+
+// Property test: disk queries must exactly match brute force over many
+// random configurations and cell sizes.
+class SpatialHashProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpatialHashProperty, QueryMatchesBruteForce) {
+  const double cell = GetParam();
+  Rng rng(static_cast<std::uint64_t>(cell * 1000.0) + 17);
+  SpatialHash index(cell);
+  std::vector<std::pair<std::uint32_t, Vec2>> points;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    const Vec2 p{rng.uniform(-50.0, 150.0), rng.uniform(-50.0, 150.0)};
+    points.emplace_back(i, p);
+    index.insert(i, p);
+  }
+  for (int q = 0; q < 50; ++q) {
+    const Vec2 c{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    const double r = rng.uniform(0.0, 40.0);
+    std::multiset<std::uint32_t> fast;
+    index.query_disk(c, r, [&](std::uint32_t id, Vec2) { fast.insert(id); });
+    std::multiset<std::uint32_t> brute;
+    for (const auto& [id, p] : points) {
+      if (distance(p, c) <= r) brute.insert(id);
+    }
+    ASSERT_EQ(fast, brute) << "cell=" << cell << " query#" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CellSizes, SpatialHashProperty,
+                         ::testing::Values(1.0, 5.0, 15.0, 20.0, 100.0));
+
+}  // namespace
+}  // namespace abp

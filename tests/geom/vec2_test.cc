@@ -1,0 +1,66 @@
+#include "geom/vec2.h"
+
+#include <gtest/gtest.h>
+
+namespace abp {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, (Vec2{3.0, 4.0}));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, (Vec2{2.0, 3.0}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec2{6.0, 9.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{2.0, 3.0}, b{4.0, -1.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -14.0);
+  EXPECT_DOUBLE_EQ(a.cross(a), 0.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({1.0, 1.0}, {2.0, 2.0}), 2.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 n = Vec2{10.0, 0.0}.normalized();
+  EXPECT_DOUBLE_EQ(n.x, 1.0);
+  EXPECT_DOUBLE_EQ(n.y, 0.0);
+  EXPECT_NEAR((Vec2{3.0, -7.0}).normalized().norm(), 1.0, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroIsZero) {
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, LerpEndpointsAndMidpoint) {
+  const Vec2 a{0.0, 0.0}, b{10.0, 20.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Vec2{5.0, 10.0}));
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream os;
+  os << Vec2{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+}  // namespace
+}  // namespace abp

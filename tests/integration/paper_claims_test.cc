@@ -1,0 +1,186 @@
+// Integration tests: the paper's §4 headline claims, verified end-to-end
+// through the same sweep machinery the bench binaries use (reduced trial
+// counts; the benches run the full-scale versions).
+#include <gtest/gtest.h>
+
+#include "eval/figures.h"
+#include "placement/grid_placement.h"
+#include "placement/max_placement.h"
+#include "placement/random_placement.h"
+
+namespace abp {
+namespace {
+
+SweepConfig base_config(std::vector<std::size_t> counts,
+                        std::vector<double> noises, std::size_t trials) {
+  SweepConfig config;  // full Table 1 geometry: Side=100, R=15, step=1
+  config.beacon_counts = std::move(counts);
+  config.noise_levels = std::move(noises);
+  config.trials = trials;
+  config.seed = 424242;
+  return config;
+}
+
+const PlacementAlgorithm* const* paper_algs() {
+  static const RandomPlacement random;
+  static const MaxPlacement max;
+  static const GridPlacement grid;
+  static const PlacementAlgorithm* const algs[] = {&random, &max, &grid};
+  return algs;
+}
+
+// ---- Fig 4: mean LE falls sharply with density, then saturates. ----
+TEST(PaperClaims, Fig4_MeanErrorFallsAndSaturates) {
+  const SweepOutcome out =
+      run_sweep(base_config({20, 60, 100, 180, 240}, {0.0}, 15), {});
+  const auto& row = out.cells[0];
+  // Sharp fall: 20 beacons ≈ 20 m (paper Fig 4), 100 beacons ≈ 4 m.
+  EXPECT_GT(row[0].mean_error.mean, 15.0);
+  EXPECT_LT(row[0].mean_error.mean, 26.0);
+  EXPECT_LT(row[2].mean_error.mean, 6.0);
+  // Saturation: beyond ~0.01 /m² the curve flattens (within 15%).
+  EXPECT_NEAR(row[3].mean_error.mean, row[4].mean_error.mean,
+              0.15 * row[3].mean_error.mean);
+  // Floor is ~0.3 R (paper: "saturates at around 4m (0.3R)").
+  EXPECT_LT(row[4].mean_error.mean, 0.40 * 15.0);
+  EXPECT_GT(row[4].mean_error.mean, 0.15 * 15.0);
+}
+
+TEST(PaperClaims, Fig4_MostOfTheFallHappensBeforeSaturationDensity) {
+  // Paper: the curve "falls sharply … until it reaches a density of 0.01
+  // beacons per square m and saturates". Our curve keeps declining gently
+  // past 0.01 rather than going perfectly flat, so we assert the shape:
+  // ≥70% of the total fall is complete by 0.01 /m², and the tail past
+  // 0.014 /m² moves by <25%.
+  const SweepOutcome out = run_sweep(
+      base_config({20, 60, 100, 140, 240}, {0.0}, 12), {});
+  const auto& row = out.cells[0];
+  const double at20 = row[0].mean_error.mean;
+  const double at100 = row[2].mean_error.mean;   // density 0.01
+  const double at140 = row[3].mean_error.mean;
+  const double at240 = row[4].mean_error.mean;   // density 0.024 (floor)
+  EXPECT_GT((at20 - at100) / (at20 - at240), 0.70);
+  EXPECT_LT((at140 - at240) / at140, 0.25);
+}
+
+// ---- Fig 5: at low density Grid >> Max ≥ Random; at high density all ≈ 0.
+TEST(PaperClaims, Fig5_GridDominatesAtLowDensity) {
+  const SweepOutcome out =
+      run_sweep(base_config({20, 30, 40}, {0.0}, 25), {paper_algs(), 3});
+  for (std::size_t ci = 0; ci < 3; ++ci) {
+    const CellResult& cell = out.cells[0][ci];
+    const double random_gain = cell.improvement_mean[0].mean;
+    const double max_gain = cell.improvement_mean[1].mean;
+    const double grid_gain = cell.improvement_mean[2].mean;
+    EXPECT_GT(grid_gain, max_gain) << "count=" << cell.beacons;
+    EXPECT_GT(grid_gain, random_gain) << "count=" << cell.beacons;
+    // Paper: "improvements in mean localization error at least twice that
+    // of the Max algorithm" — allow sampling slack at 25 trials.
+    EXPECT_GT(grid_gain, 1.5 * max_gain) << "count=" << cell.beacons;
+  }
+}
+
+TEST(PaperClaims, Fig5_AllAlgorithmsConvergeAtHighDensity) {
+  const SweepOutcome out =
+      run_sweep(base_config({220, 240}, {0.0}, 12), {paper_algs(), 3});
+  for (const CellResult& cell : out.cells[0]) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      EXPECT_LT(std::fabs(cell.improvement_mean[a].mean), 0.25)
+          << "alg " << out.algorithm_names[a];
+    }
+  }
+}
+
+TEST(PaperClaims, Fig5_MedianImprovementsAreModest) {
+  // "improvements in median localization error are relatively more modest
+  // (roughly 25% of the improvements in the average…)".
+  const SweepOutcome out =
+      run_sweep(base_config({20, 30}, {0.0}, 25), {paper_algs(), 3});
+  for (const CellResult& cell : out.cells[0]) {
+    const double grid_mean_gain = cell.improvement_mean[2].mean;
+    const double grid_median_gain = cell.improvement_median[2].mean;
+    EXPECT_LT(grid_median_gain, grid_mean_gain);
+  }
+}
+
+// ---- Fig 6: noise raises mean error and saturation density. ----
+TEST(PaperClaims, Fig6_NoiseRaisesMeanError) {
+  // Direction of the paper's claim. Under the literal §4.2.1 model the
+  // symmetric per-(point,beacon) noise largely averages out in the
+  // centroid, so the measured increase is a few percent, well short of the
+  // paper's 33% headline (see EXPERIMENTS.md); the sign is still robust
+  // when aggregated across densities.
+  const SweepOutcome out =
+      run_sweep(base_config({20, 60, 120, 200}, {0.0, 0.5}, 30), {});
+  double ideal_total = 0.0, noisy_total = 0.0;
+  for (std::size_t ci = 0; ci < 4; ++ci) {
+    ideal_total += out.cells[0][ci].mean_error.mean;
+    noisy_total += out.cells[1][ci].mean_error.mean;
+  }
+  EXPECT_GT(noisy_total, ideal_total);
+  EXPECT_LT(noisy_total, 1.5 * ideal_total);
+}
+
+// ---- Fig 7: Random's gains are insensitive to noise. ----
+TEST(PaperClaims, Fig7_RandomUnchangedByNoise) {
+  static const RandomPlacement random;
+  const PlacementAlgorithm* const algs[] = {&random};
+  const SweepOutcome out =
+      run_sweep(base_config({30, 60}, {0.0, 0.5}, 30), {algs, 1});
+  for (std::size_t ci = 0; ci < 2; ++ci) {
+    const Summary& ideal = out.cells[0][ci].improvement_mean[0];
+    const Summary& noisy = out.cells[1][ci].improvement_mean[0];
+    // Difference within the combined confidence intervals.
+    EXPECT_LT(std::fabs(ideal.mean - noisy.mean),
+              ideal.ci95 + noisy.ci95 + 0.05);
+  }
+}
+
+// ---- Figs 8/9: Grid stays the best algorithm under noise. ----
+TEST(PaperClaims, Fig9_GridStillBestUnderNoise) {
+  const SweepOutcome out =
+      run_sweep(base_config({20, 40}, {0.5}, 25), {paper_algs(), 3});
+  for (const CellResult& cell : out.cells[0]) {
+    const double random_gain = cell.improvement_mean[0].mean;
+    const double max_gain = cell.improvement_mean[1].mean;
+    const double grid_gain = cell.improvement_mean[2].mean;
+    EXPECT_GT(grid_gain, max_gain) << "count=" << cell.beacons;
+    EXPECT_GT(grid_gain, random_gain) << "count=" << cell.beacons;
+  }
+}
+
+// ---- Reproducibility: the figure drivers are deterministic. ----
+TEST(PaperClaims, FigureDriversAreDeterministic) {
+  FigureOptions opt;
+  opt.trials = 3;
+  opt.count_stride = 8;  // counts {20, 100, 180}
+  opt.seed = 7;
+  const SweepOutcome a = run_fig5(opt);
+  const SweepOutcome b = run_fig5(opt);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t ci = 0; ci < a.cells[0].size(); ++ci) {
+    for (std::size_t alg = 0; alg < 3; ++alg) {
+      EXPECT_DOUBLE_EQ(a.cells[0][ci].improvement_mean[alg].mean,
+                       b.cells[0][ci].improvement_mean[alg].mean);
+    }
+  }
+}
+
+TEST(PaperClaims, FigureDriversUseTheRightAxes) {
+  FigureOptions opt;
+  opt.trials = 2;
+  opt.count_stride = 11;  // counts {20, 130}
+  const SweepOutcome f4 = run_fig4(opt);
+  EXPECT_EQ(f4.cells.size(), 1u);
+  EXPECT_TRUE(f4.algorithm_names.empty());
+
+  const SweepOutcome f6 = run_fig6(opt);
+  EXPECT_EQ(f6.cells.size(), 4u);  // four noise levels
+
+  const SweepOutcome f8 = run_fig_alg_noise("max", opt);
+  EXPECT_EQ(f8.algorithm_names, (std::vector<std::string>{"max"}));
+  EXPECT_EQ(f8.cells.size(), 4u);
+}
+
+}  // namespace
+}  // namespace abp

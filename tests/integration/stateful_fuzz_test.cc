@@ -1,0 +1,136 @@
+// Stateful fuzzing: random operation sequences against the Simulation
+// facade, checking after every step that the incrementally-maintained
+// error map is bit-identical to a from-scratch recomputation and that the
+// field's bookkeeping is self-consistent. This is the integration-level
+// guarantee behind every benchmark number: no sequence of placements,
+// removals and (de)activations may ever desynchronize the fast path from
+// the ground truth.
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "field/generators.h"
+#include "loc/error_map.h"
+#include "placement/coverage_placement.h"
+#include "placement/grid_placement.h"
+#include "placement/max_placement.h"
+#include "placement/random_placement.h"
+#include "radio/noise_model.h"
+
+namespace abp {
+namespace {
+
+class StatefulFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatefulFuzz, IncrementalMapNeverDesynchronizes) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  const AABB bounds = AABB::square(50.0);
+  const double noise = (seed % 3) * 0.2;  // 0, 0.2, 0.4 across instances
+  const PerBeaconNoiseModel model(15.0, noise, derive_seed(seed, 2));
+  const Lattice2D lattice(bounds, 1.0);
+  BeaconField field(bounds, model.max_range());
+  scatter_uniform(field, 8 + rng.below(12), rng);
+
+  ErrorMap map(lattice);
+  map.compute(field, model);
+
+  std::vector<BeaconId> live = field.active_ids();
+  std::vector<BeaconId> passive;
+
+  const auto verify = [&](const char* op, int step) {
+    ErrorMap fresh(lattice);
+    fresh.compute(field, model);
+    lattice.for_each([&](std::size_t flat, Vec2) {
+      ASSERT_DOUBLE_EQ(map.value(flat), fresh.value(flat))
+          << "op=" << op << " step=" << step << " seed=" << seed;
+      ASSERT_EQ(map.connected(flat), fresh.connected(flat));
+    });
+    ASSERT_NEAR(map.mean(), fresh.mean(), 1e-9);
+    ASSERT_EQ(field.active_count(), live.size());
+  };
+
+  for (int step = 0; step < 25; ++step) {
+    switch (rng.below(4)) {
+      case 0: {  // add a beacon at a random position
+        const Vec2 pos{rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)};
+        const BeaconId id = field.add(pos);
+        map.apply_addition(field, model, *field.get(id));
+        live.push_back(id);
+        verify("add", step);
+        break;
+      }
+      case 1: {  // remove a random live beacon
+        if (live.size() <= 1) break;
+        const std::size_t pick = rng.below(live.size());
+        const BeaconId id = live[pick];
+        const Vec2 pos = field.get(id)->pos;
+        ASSERT_TRUE(field.remove(id));
+        map.apply_removal(field, model, pos);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        verify("remove", step);
+        break;
+      }
+      case 2: {  // deactivate
+        if (live.size() <= 1) break;
+        const std::size_t pick = rng.below(live.size());
+        const BeaconId id = live[pick];
+        const Vec2 pos = field.get(id)->pos;
+        ASSERT_TRUE(field.set_active(id, false));
+        map.apply_removal(field, model, pos);
+        passive.push_back(id);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        verify("deactivate", step);
+        break;
+      }
+      case 3: {  // reactivate
+        if (passive.empty()) break;
+        const std::size_t pick = rng.below(passive.size());
+        const BeaconId id = passive[pick];
+        ASSERT_TRUE(field.set_active(id, true));
+        map.apply_addition(field, model, *field.get(id));
+        live.push_back(id);
+        passive.erase(passive.begin() + static_cast<std::ptrdiff_t>(pick));
+        verify("reactivate", step);
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatefulFuzz,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{9}));
+
+class FacadeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FacadeFuzz, SimulationStaysConsistentUnderMixedPlacement) {
+  const std::uint64_t seed = GetParam();
+  Simulation sim({.side = 50.0, .noise = 0.2, .seed = seed});
+  sim.deploy_uniform(10);
+
+  const RandomPlacement random;
+  const MaxPlacement max;
+  const GridPlacement grid(100);
+  const CoveragePlacement coverage(2);
+  const PlacementAlgorithm* algs[] = {&random, &max, &grid, &coverage};
+
+  Rng rng(seed ^ 0xF00);
+  double prev_uncovered = sim.uncovered_fraction();
+  for (int step = 0; step < 6; ++step) {
+    sim.place_with(*algs[rng.below(4)]);
+    // Coverage can only grow when beacons are added.
+    EXPECT_LE(sim.uncovered_fraction(), prev_uncovered + 1e-12);
+    prev_uncovered = sim.uncovered_fraction();
+  }
+  // Incremental state equals a full refresh.
+  const double incremental_mean = sim.mean_error();
+  sim.refresh();
+  EXPECT_NEAR(sim.mean_error(), incremental_mean, 1e-9);
+  EXPECT_EQ(sim.field().size(), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FacadeFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,147 @@
+#include "io/field_io.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "common/assert.h"
+#include "field/generators.h"
+#include "radio/noise_model.h"
+#include "rng/rng.h"
+
+namespace abp {
+namespace {
+
+TEST(FieldIo, RoundTripPreservesEverything) {
+  BeaconField field(AABB::square(100.0));
+  Rng rng(7);
+  scatter_uniform(field, 25, rng);
+  field.remove(3);             // create an id gap
+  field.set_active(5, false);  // a passive beacon
+
+  std::stringstream stream;
+  write_field(stream, field);
+  const BeaconField copy = read_field(stream);
+
+  EXPECT_EQ(copy.size(), field.size());
+  EXPECT_EQ(copy.active_count(), field.active_count());
+  EXPECT_EQ(copy.bounds().lo, field.bounds().lo);
+  EXPECT_EQ(copy.bounds().hi, field.bounds().hi);
+  for (BeaconId id = 0; id < 25; ++id) {
+    const auto a = field.get(id);
+    const auto b = copy.get(id);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "id " << id;
+    if (a) {
+      EXPECT_EQ(a->pos, b->pos) << "id " << id;  // bit-exact doubles
+      EXPECT_EQ(a->active, b->active) << "id " << id;
+    }
+  }
+}
+
+TEST(FieldIo, RoundTripPreservesIdAllocation) {
+  BeaconField field(AABB::square(50.0));
+  field.add({1.0, 1.0});
+  field.add({2.0, 2.0});
+  field.remove(1);
+
+  std::stringstream stream;
+  write_field(stream, field);
+  BeaconField copy = read_field(stream);
+  // The next allocated id must not collide with the removed id 1.
+  EXPECT_EQ(copy.add({3.0, 3.0}), 2u);
+}
+
+TEST(FieldIo, RoundTripPreservesPropagationLandscape) {
+  // Position-keyed noise means a deserialized field sees the identical
+  // connectivity world.
+  BeaconField field(AABB::square(100.0));
+  Rng rng(9);
+  scatter_uniform(field, 10, rng);
+  std::stringstream stream;
+  write_field(stream, field);
+  const BeaconField copy = read_field(stream);
+
+  const PerBeaconNoiseModel model(15.0, 0.5, 42);
+  for (BeaconId id = 0; id < 10; ++id) {
+    const Vec2 probe{37.2, 61.9};
+    EXPECT_DOUBLE_EQ(model.effective_range(*field.get(id), probe),
+                     model.effective_range(*copy.get(id), probe));
+  }
+}
+
+TEST(FieldIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream stream;
+  stream << "# a comment\n\nabp-field 1\n# more\nbounds 0 0 10 10\n"
+         << "beacon 0 1.5 2.5 1\n\n# trailing\n";
+  const BeaconField field = read_field(stream);
+  EXPECT_EQ(field.size(), 1u);
+  EXPECT_EQ(field.get(0)->pos, (Vec2{1.5, 2.5}));
+}
+
+TEST(FieldIo, RejectsWrongHeader) {
+  std::stringstream stream;
+  stream << "abp-survey 1\nbounds 0 0 10 10\n";
+  EXPECT_THROW(read_field(stream), CheckFailure);
+}
+
+TEST(FieldIo, RejectsMalformedBeacon) {
+  std::stringstream stream;
+  stream << "abp-field 1\nbounds 0 0 10 10\nbeacon 0 oops 2 1\n";
+  EXPECT_THROW(read_field(stream), CheckFailure);
+}
+
+TEST(SurveyIo, RoundTripPreservesMaskAndValues) {
+  const Lattice2D lattice(AABB::square(30.0), 1.5);
+  SurveyData survey(lattice);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    survey.record(rng.below(lattice.size()), rng.uniform(0.0, 20.0));
+  }
+  std::stringstream stream;
+  write_survey(stream, survey);
+  const SurveyData copy = read_survey(stream);
+
+  EXPECT_EQ(copy.measured_count(), survey.measured_count());
+  EXPECT_DOUBLE_EQ(copy.mean(), survey.mean());
+  for (std::size_t flat = 0; flat < lattice.size(); ++flat) {
+    ASSERT_EQ(copy.measured(flat), survey.measured(flat));
+    if (survey.measured(flat)) {
+      ASSERT_DOUBLE_EQ(copy.value(flat), survey.value(flat));
+    }
+  }
+}
+
+TEST(SurveyIo, LatticeGeometryRestored) {
+  const Lattice2D lattice(AABB({5.0, 5.0}, {25.0, 45.0}), 2.0);
+  SurveyData survey(lattice);
+  survey.record(0, 1.0);
+  std::stringstream stream;
+  write_survey(stream, survey);
+  const SurveyData copy = read_survey(stream);
+  EXPECT_EQ(copy.lattice().nx(), lattice.nx());
+  EXPECT_EQ(copy.lattice().ny(), lattice.ny());
+  EXPECT_DOUBLE_EQ(copy.lattice().step(), 2.0);
+  EXPECT_EQ(copy.lattice().point(0), lattice.point(0));
+}
+
+TEST(SurveyIo, RejectsOutOfRangePoint) {
+  std::stringstream stream;
+  stream << "abp-survey 1\nbounds 0 0 10 10\nstep 1\npoint 999999 1.0\n";
+  EXPECT_THROW(read_survey(stream), CheckFailure);
+}
+
+TEST(FileIo, SaveLoadThroughFilesystem) {
+  BeaconField field(AABB::square(20.0));
+  field.add({3.0, 4.0});
+  const std::string path = ::testing::TempDir() + "/abp_field_test.txt";
+  save_field(path, field);
+  const BeaconField copy = load_field(path);
+  EXPECT_EQ(copy.size(), 1u);
+  EXPECT_EQ(copy.get(0)->pos, (Vec2{3.0, 4.0}));
+}
+
+TEST(FileIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_field("/nonexistent/abp/field.txt"), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,106 @@
+#include "loc/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "field/generators.h"
+#include "radio/propagation.h"
+#include "rng/rng.h"
+
+namespace abp {
+namespace {
+
+const Lattice2D kLattice(AABB::square(100.0), 2.0);
+const IdealDiskModel kModel(15.0);
+
+TEST(Coverage, EmptyFieldIsUncoveredAndComponentFree) {
+  BeaconField field(AABB::square(100.0));
+  const auto stats = analyze_coverage(field, kModel, kLattice);
+  EXPECT_DOUBLE_EQ(stats.at_least(1), 0.0);
+  EXPECT_EQ(stats.components, 0u);
+  EXPECT_EQ(stats.isolated_beacons, 0u);
+}
+
+TEST(Coverage, SingleBeaconCoversItsDisk) {
+  BeaconField field(AABB::square(100.0));
+  field.add({50.0, 50.0});
+  const auto stats = analyze_coverage(field, kModel, kLattice);
+  // πR²/Side² ≈ 7.07%.
+  EXPECT_NEAR(stats.at_least(1), 0.0707, 0.01);
+  EXPECT_DOUBLE_EQ(stats.at_least(2), 0.0);
+  EXPECT_EQ(stats.components, 1u);
+  EXPECT_EQ(stats.isolated_beacons, 1u);
+  EXPECT_EQ(stats.largest_component, 1u);
+}
+
+TEST(Coverage, KCoverageIsMonotoneInK) {
+  BeaconField field(AABB::square(100.0));
+  Rng rng(1);
+  scatter_uniform(field, 80, rng);
+  const auto stats = analyze_coverage(field, kModel, kLattice, 5);
+  for (std::size_t k = 2; k <= 5; ++k) {
+    EXPECT_LE(stats.at_least(k), stats.at_least(k - 1));
+  }
+  EXPECT_GT(stats.at_least(1), 0.9);
+}
+
+TEST(Coverage, AtLeastBoundaryBehaviour) {
+  BeaconField field(AABB::square(100.0));
+  field.add({50.0, 50.0});
+  const auto stats = analyze_coverage(field, kModel, kLattice, 2);
+  EXPECT_DOUBLE_EQ(stats.at_least(0), 1.0);  // trivially covered
+  EXPECT_DOUBLE_EQ(stats.at_least(9), 0.0);  // beyond k_max
+}
+
+TEST(Coverage, TwoClustersAreTwoComponents) {
+  BeaconField field(AABB::square(100.0));
+  // Cluster A: chain of beacons 10 m apart (each hears the next).
+  field.add({10.0, 10.0});
+  field.add({20.0, 10.0});
+  field.add({30.0, 10.0});
+  // Cluster B: far corner pair.
+  field.add({85.0, 85.0});
+  field.add({92.0, 85.0});
+  const auto stats = analyze_coverage(field, kModel, kLattice);
+  EXPECT_EQ(stats.components, 2u);
+  EXPECT_EQ(stats.largest_component, 3u);
+  EXPECT_EQ(stats.isolated_beacons, 0u);
+}
+
+TEST(Coverage, ChainConnectivityIsTransitive) {
+  // a—b in range, b—c in range, a—c NOT in range: still one component.
+  BeaconField field(AABB::square(100.0));
+  field.add({10.0, 50.0});
+  field.add({22.0, 50.0});
+  field.add({34.0, 50.0});
+  const auto stats = analyze_coverage(field, kModel, kLattice);
+  EXPECT_EQ(stats.components, 1u);
+  EXPECT_EQ(stats.largest_component, 3u);
+}
+
+TEST(Coverage, PassiveBeaconsExcluded) {
+  BeaconField field(AABB::square(100.0));
+  field.add({50.0, 50.0});
+  const BeaconId other = field.add({58.0, 50.0});
+  field.set_active(other, false);
+  const auto stats = analyze_coverage(field, kModel, kLattice);
+  EXPECT_EQ(stats.components, 1u);
+  EXPECT_EQ(stats.isolated_beacons, 1u);  // the active one hears nobody
+}
+
+TEST(Coverage, DensityDrivesConnectivityToOneComponent) {
+  BeaconField field(AABB::square(100.0));
+  Rng rng(3);
+  scatter_uniform(field, 150, rng);  // ≈ 10 neighbours each
+  const auto stats = analyze_coverage(field, kModel, kLattice);
+  EXPECT_EQ(stats.components, 1u);
+  EXPECT_EQ(stats.largest_component, 150u);
+}
+
+TEST(Coverage, RejectsZeroKMax) {
+  BeaconField field(AABB::square(100.0));
+  EXPECT_THROW(analyze_coverage(field, kModel, kLattice, 0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

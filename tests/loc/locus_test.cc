@@ -1,0 +1,110 @@
+#include "loc/locus.h"
+
+#include <gtest/gtest.h>
+
+#include "field/generators.h"
+#include "radio/noise_model.h"
+#include "radio/propagation.h"
+#include "rng/rng.h"
+
+namespace abp {
+namespace {
+
+TEST(Locus, RegionsPartitionTheLattice) {
+  BeaconField field(AABB::square(100.0));
+  Rng rng(5);
+  scatter_uniform(field, 30, rng);
+  const PerBeaconNoiseModel model(15.0, 0.3, 6);
+  const Lattice2D lattice(AABB::square(100.0), 2.0);
+
+  const LocusAnalysis analysis = analyze_loci(field, model, lattice);
+  std::size_t total = 0;
+  for (const auto& r : analysis.regions) total += r.point_count;
+  EXPECT_EQ(total, lattice.size());
+}
+
+TEST(Locus, RegionsSortedByAreaDescending) {
+  BeaconField field(AABB::square(100.0));
+  Rng rng(6);
+  scatter_uniform(field, 20, rng);
+  const PerBeaconNoiseModel model(15.0, 0.0, 0);
+  const Lattice2D lattice(AABB::square(100.0), 2.0);
+  const LocusAnalysis analysis = analyze_loci(field, model, lattice);
+  for (std::size_t i = 1; i < analysis.regions.size(); ++i) {
+    EXPECT_GE(analysis.regions[i - 1].area, analysis.regions[i].area);
+  }
+}
+
+TEST(Locus, EmptyFieldIsOneUncoveredRegion) {
+  BeaconField field(AABB::square(100.0));
+  const PerBeaconNoiseModel model(15.0, 0.0, 0);
+  const Lattice2D lattice(AABB::square(100.0), 5.0);
+  const LocusAnalysis analysis = analyze_loci(field, model, lattice);
+  ASSERT_EQ(analysis.region_count(), 1u);
+  EXPECT_EQ(analysis.regions[0].beacons_heard, 0u);
+  EXPECT_EQ(analysis.largest_covered(), nullptr);
+  ASSERT_NE(analysis.largest(), nullptr);
+  EXPECT_EQ(analysis.largest()->point_count, lattice.size());
+}
+
+TEST(Locus, SingleBeaconSplitsInsideOutside) {
+  BeaconField field(AABB::square(100.0));
+  field.add({50.0, 50.0});
+  const PerBeaconNoiseModel model(15.0, 0.0, 0);
+  const Lattice2D lattice(AABB::square(100.0), 1.0);
+  const LocusAnalysis analysis = analyze_loci(field, model, lattice);
+  ASSERT_EQ(analysis.region_count(), 2u);
+  const LocusRegion* covered = analysis.largest_covered();
+  ASSERT_NE(covered, nullptr);
+  EXPECT_EQ(covered->beacons_heard, 1u);
+  // Covered region ~ disk area πR² ≈ 707 m²; centroid ~ beacon position.
+  EXPECT_NEAR(covered->area, 707.0, 40.0);
+  EXPECT_NEAR(covered->centroid.x, 50.0, 0.5);
+  EXPECT_NEAR(covered->centroid.y, 50.0, 0.5);
+}
+
+TEST(Locus, DenserGridGivesMoreSmallerRegions) {
+  // Figure 1's claim: 3×3 beacons ⇒ more and smaller localization regions
+  // than 2×2.
+  const Lattice2D lattice(AABB::square(100.0), 1.0);
+  const IdealDiskModel model(30.0);
+
+  BeaconField coarse(AABB::square(100.0));
+  place_grid(coarse, 2, 2);
+  const LocusAnalysis a2 = analyze_loci(coarse, model, lattice);
+
+  BeaconField fine(AABB::square(100.0));
+  place_grid(fine, 3, 3);
+  const LocusAnalysis a3 = analyze_loci(fine, model, lattice);
+
+  EXPECT_GT(a3.region_count(), a2.region_count());
+  EXPECT_LT(a3.mean_area(), a2.mean_area());
+}
+
+TEST(Locus, MeanAreaTimesCountIsTerrainArea) {
+  BeaconField field(AABB::square(100.0));
+  Rng rng(8);
+  scatter_uniform(field, 40, rng);
+  const PerBeaconNoiseModel model(15.0, 0.1, 3);
+  const Lattice2D lattice(AABB::square(100.0), 1.0);
+  const LocusAnalysis analysis = analyze_loci(field, model, lattice);
+  const double reconstructed =
+      analysis.mean_area() * static_cast<double>(analysis.region_count());
+  // Lattice cell area × PT ≈ (Side+step)² due to boundary cells.
+  EXPECT_NEAR(reconstructed, 101.0 * 101.0, 1.0);
+}
+
+TEST(Locus, AddingABeaconRefinesRegions) {
+  BeaconField field(AABB::square(100.0));
+  Rng rng(9);
+  scatter_uniform(field, 10, rng);
+  const PerBeaconNoiseModel model(15.0, 0.0, 0);
+  const Lattice2D lattice(AABB::square(100.0), 2.0);
+  const auto before = analyze_loci(field, model, lattice);
+  field.add({50.0, 50.0});
+  const auto after = analyze_loci(field, model, lattice);
+  EXPECT_GE(after.region_count(), before.region_count());
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,162 @@
+#include "loc/multilateration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "common/stats.h"
+#include "field/generators.h"
+#include "loc/connectivity.h"
+#include "radio/propagation.h"
+#include "rng/rng.h"
+
+namespace abp {
+namespace {
+
+TEST(Ranging, NoiseFreeRangesAreExact) {
+  BeaconField field(AABB::square(100.0));
+  field.add({40.0, 50.0});
+  field.add({60.0, 50.0});
+  const IdealDiskModel conn(20.0);
+  const RangingModel ranging(conn, 0.0, 1);
+  const auto ms = ranging.measure(field, {50.0, 50.0});
+  ASSERT_EQ(ms.size(), 2u);
+  EXPECT_DOUBLE_EQ(ms[0].range, 10.0);
+  EXPECT_DOUBLE_EQ(ms[1].range, 10.0);
+}
+
+TEST(Ranging, StaticPerPair) {
+  BeaconField field(AABB::square(100.0));
+  field.add({40.0, 50.0});
+  const IdealDiskModel conn(20.0);
+  const RangingModel ranging(conn, 0.05, 2);
+  const auto a = ranging.measure(field, {50.0, 50.0});
+  const auto b = ranging.measure(field, {50.0, 50.0});
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_DOUBLE_EQ(a[0].range, b[0].range);
+}
+
+TEST(Ranging, NoiseIsProportional) {
+  BeaconField field(AABB::square(100.0));
+  Rng rng(3);
+  scatter_uniform(field, 200, rng);
+  const IdealDiskModel conn(25.0);
+  const double sigma = 0.05;
+  const RangingModel ranging(conn, sigma, 3);
+  RunningStats rel_err;
+  for (int i = 0; i < 100; ++i) {
+    const Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    for (const auto& m : ranging.measure(field, p)) {
+      const double true_d = distance(m.beacon.pos, p);
+      if (true_d > 1.0) rel_err.add((m.range - true_d) / true_d);
+    }
+  }
+  EXPECT_NEAR(rel_err.mean(), 0.0, 0.01);
+  EXPECT_NEAR(rel_err.stddev(), sigma, 0.01);
+}
+
+TEST(Ranging, RejectsExcessiveSigma) {
+  const IdealDiskModel conn(20.0);
+  EXPECT_THROW(RangingModel(conn, 0.5, 1), CheckFailure);
+}
+
+TEST(Multilateration, ExactRecoveryWithThreeCleanRanges) {
+  BeaconField field(AABB::square(100.0));
+  field.add({30.0, 30.0});
+  field.add({70.0, 30.0});
+  field.add({50.0, 80.0});
+  const IdealDiskModel conn(60.0);
+  const RangingModel ranging(conn, 0.0, 4);
+  const MultilaterationLocalizer loc(field, ranging);
+  const Vec2 truth{47.0, 44.0};
+  const auto r = loc.localize(truth);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.beacons_used, 3u);
+  EXPECT_NEAR(r.estimate.x, truth.x, 1e-5);
+  EXPECT_NEAR(r.estimate.y, truth.y, 1e-5);
+}
+
+TEST(Multilateration, FewerThanThreeFallsBackToCentroid) {
+  BeaconField field(AABB::square(100.0));
+  field.add({40.0, 50.0});
+  field.add({60.0, 50.0});
+  const IdealDiskModel conn(20.0);
+  const RangingModel ranging(conn, 0.0, 5);
+  const MultilaterationLocalizer loc(field, ranging);
+  const auto r = loc.localize({50.0, 50.0});
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.beacons_used, 2u);
+  EXPECT_EQ(r.estimate, (Vec2{50.0, 50.0}));  // centroid of the two
+}
+
+TEST(Multilateration, NoisyRangesStillCloserThanCentroid) {
+  BeaconField field(AABB::square(100.0));
+  Rng rng(6);
+  scatter_uniform(field, 100, rng);
+  const IdealDiskModel conn(25.0);
+  const RangingModel ranging(conn, 0.05, 6);
+  const MultilaterationLocalizer multi(field, ranging);
+
+  RunningStats multi_err, centroid_err;
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 p{rng.uniform(20.0, 80.0), rng.uniform(20.0, 80.0)};
+    const auto beacons = connected_beacons(field, conn, p);
+    if (beacons.size() < 3) continue;
+    Vec2 centroid;
+    for (const auto& b : beacons) centroid += b.pos;
+    centroid = centroid / static_cast<double>(beacons.size());
+    multi_err.add(multi.error(p));
+    centroid_err.add(distance(centroid, p));
+  }
+  EXPECT_LT(multi_err.mean(), centroid_err.mean());
+}
+
+TEST(Gdop, EquilateralTriangleIsWellConditioned) {
+  std::vector<Beacon> beacons{
+      {0, {50.0 + 20.0, 50.0}, true},
+      {1, {50.0 - 10.0, 50.0 + 17.32}, true},
+      {2, {50.0 - 10.0, 50.0 - 17.32}, true},
+  };
+  const double g = gdop({50.0, 50.0}, beacons);
+  // Ideal planar GDOP for 3 symmetric bearings is ~ sqrt(4/3)·... ≈ 1.15–1.7.
+  EXPECT_GT(g, 0.5);
+  EXPECT_LT(g, 2.0);
+}
+
+TEST(Gdop, CollinearBeaconsAreSingular) {
+  std::vector<Beacon> beacons{
+      {0, {10.0, 50.0}, true},
+      {1, {50.0, 50.0}, true},
+      {2, {90.0, 50.0}, true},
+  };
+  EXPECT_EQ(gdop({50.0, 20.0}, beacons) < kGdopSingular, true);
+  // The client on the line itself: unit vectors all collinear ⇒ singular.
+  EXPECT_DOUBLE_EQ(gdop({70.0, 50.0}, beacons), kGdopSingular);
+}
+
+TEST(Gdop, TooFewBeaconsIsSingular) {
+  std::vector<Beacon> two{{0, {0.0, 0.0}, true}, {1, {10.0, 0.0}, true}};
+  EXPECT_DOUBLE_EQ(gdop({5.0, 5.0}, two), kGdopSingular);
+}
+
+TEST(Gdop, MoreBeaconsNeverWorse) {
+  Rng rng(7);
+  std::vector<Beacon> beacons;
+  for (BeaconId i = 0; i < 3; ++i) {
+    beacons.push_back({i,
+                       {rng.uniform(20.0, 80.0), rng.uniform(20.0, 80.0)},
+                       true});
+  }
+  const Vec2 p{50.0, 50.0};
+  double prev = gdop(p, beacons);
+  for (BeaconId i = 3; i < 10; ++i) {
+    beacons.push_back({i,
+                       {rng.uniform(20.0, 80.0), rng.uniform(20.0, 80.0)},
+                       true});
+    const double g = gdop(p, beacons);
+    EXPECT_LE(g, prev + 1e-9);  // adding rows to HᵀH cannot hurt
+    prev = g;
+  }
+}
+
+}  // namespace
+}  // namespace abp

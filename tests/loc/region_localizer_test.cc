@@ -1,0 +1,126 @@
+#include "loc/region_localizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "common/stats.h"
+#include "field/generators.h"
+#include "radio/noise_model.h"
+#include "radio/propagation.h"
+#include "rng/rng.h"
+
+namespace abp {
+namespace {
+
+TEST(RegionLocalizer, SingleBeaconRegionIsItsDisk) {
+  BeaconField field(AABB::square(100.0));
+  field.add({50.0, 50.0});
+  const IdealDiskModel model(15.0);
+  const RegionLocalizer loc(field, model, 1.0);
+  const auto r = loc.localize({55.0, 50.0});
+  EXPECT_TRUE(r.used_region);
+  EXPECT_EQ(r.connected, 1u);
+  // The feasible region is the full disk: centroid ≈ beacon position, area
+  // ≈ πR² ≈ 707 m².
+  EXPECT_NEAR(r.estimate.x, 50.0, 0.6);
+  EXPECT_NEAR(r.estimate.y, 50.0, 0.6);
+  EXPECT_NEAR(r.region_area, 707.0, 40.0);
+}
+
+TEST(RegionLocalizer, TwoBeaconLensCentroid) {
+  BeaconField field(AABB::square(100.0));
+  field.add({40.0, 50.0});
+  field.add({60.0, 50.0});
+  const IdealDiskModel model(15.0);
+  const RegionLocalizer loc(field, model, 0.5);
+  const auto r = loc.localize({50.0, 50.0});
+  EXPECT_TRUE(r.used_region);
+  EXPECT_EQ(r.connected, 2u);
+  // The lens of the two disks is symmetric about (50, 50).
+  EXPECT_NEAR(r.estimate.x, 50.0, 0.3);
+  EXPECT_NEAR(r.estimate.y, 50.0, 0.3);
+  // Lens area for R=15, d=20: 2 R² cos⁻¹(d/2R) − (d/2)·√(4R²−d²) ≈ 151 m².
+  EXPECT_NEAR(r.region_area, 151.0, 15.0);
+}
+
+TEST(RegionLocalizer, ExclusionShrinksTheRegion) {
+  // A third, unheard beacon nearby carves its disk OUT of the region —
+  // the information the plain centroid throws away.
+  BeaconField with_extra(AABB::square(100.0));
+  with_extra.add({40.0, 50.0});
+  BeaconField without(AABB::square(100.0));
+  without.add({40.0, 50.0});
+  // The extra beacon at (60,50): a client at (47,50) does not hear it.
+  with_extra.add({66.0, 50.0});
+
+  const IdealDiskModel model(15.0);
+  const RegionLocalizer loc_with(with_extra, model, 0.5);
+  const RegionLocalizer loc_without(without, model, 0.5);
+  const Vec2 client{47.0, 50.0};
+  const auto r_with = loc_with.localize(client);
+  const auto r_without = loc_without.localize(client);
+  ASSERT_TRUE(r_with.used_region);
+  ASSERT_TRUE(r_without.used_region);
+  EXPECT_EQ(r_with.connected, 1u);
+  EXPECT_LT(r_with.region_area, r_without.region_area);
+  // The exclusion pushes the estimate away from the unheard beacon.
+  EXPECT_LT(r_with.estimate.x, r_without.estimate.x);
+}
+
+TEST(RegionLocalizer, NoConnectivityFallsBackToFieldCentroid) {
+  BeaconField field(AABB::square(100.0));
+  field.add({10.0, 10.0});
+  const IdealDiskModel model(15.0);
+  const RegionLocalizer loc(field, model, 1.0);
+  const auto r = loc.localize({90.0, 90.0});
+  EXPECT_FALSE(r.used_region);
+  EXPECT_EQ(r.connected, 0u);
+  EXPECT_EQ(r.estimate, (Vec2{10.0, 10.0}));
+}
+
+TEST(RegionLocalizer, BeatsPlainCentroidOnAverageIdeal) {
+  // The theoretical appeal (§6): the region centroid is the uniform-prior
+  // optimal estimate; over many clients it must beat centroid-of-beacons.
+  BeaconField field(AABB::square(100.0));
+  Rng gen(5);
+  scatter_uniform(field, 40, gen);
+  const IdealDiskModel model(15.0);
+  const RegionLocalizer region(field, model, 1.0);
+  const CentroidLocalizer centroid(field, model);
+
+  RunningStats region_err, centroid_err;
+  Rng rng(6);
+  for (int i = 0; i < 150; ++i) {
+    const Vec2 p{rng.uniform(10.0, 90.0), rng.uniform(10.0, 90.0)};
+    region_err.add(region.error(p));
+    centroid_err.add(centroid.error(p));
+  }
+  EXPECT_LT(region_err.mean(), centroid_err.mean());
+}
+
+TEST(RegionLocalizer, NoiseDegradesToFallbackGracefully) {
+  // "The locus information is not reliable under non ideal radio
+  // propagation": with noise the estimator must still return sane results
+  // (region or fallback), never throw.
+  BeaconField field(AABB::square(100.0));
+  Rng gen(7);
+  scatter_uniform(field, 30, gen);
+  const PerBeaconNoiseModel model(15.0, 0.5, 3);
+  const RegionLocalizer loc(field, model, 1.5);
+  Rng rng(8);
+  for (int i = 0; i < 40; ++i) {
+    const Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    const auto r = loc.localize(p);
+    EXPECT_TRUE(field.bounds().contains(field.bounds().clamp(r.estimate)));
+    EXPECT_GE(r.region_area, 0.0);
+  }
+}
+
+TEST(RegionLocalizer, RejectsBadSampleStep) {
+  BeaconField field(AABB::square(10.0));
+  const IdealDiskModel model(5.0);
+  EXPECT_THROW(RegionLocalizer(field, model, 0.0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

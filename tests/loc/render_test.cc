@@ -1,0 +1,113 @@
+#include "loc/render.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "common/assert.h"
+#include "radio/noise_model.h"
+
+namespace abp {
+namespace {
+
+struct Scene {
+  BeaconField field{AABB::square(40.0)};
+  PerBeaconNoiseModel model{15.0, 0.0, 1};
+  Lattice2D lattice{AABB::square(40.0), 1.0};
+  ErrorMap map{lattice};
+
+  Scene() {
+    field.add({20.0, 20.0});
+    map.compute(field, model);
+  }
+};
+
+std::vector<std::string> lines(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(Render, RasterDimensionsMatchCellSize) {
+  Scene scene;
+  std::ostringstream out;
+  render_error_map(out, scene.map, nullptr, {.cell = 4});
+  const auto rows = lines(out.str());
+  // 41 lattice points / 4 per char → 11 rows of 11 chars.
+  EXPECT_EQ(rows.size(), 11u);
+  for (const auto& row : rows) EXPECT_EQ(row.size(), 11u);
+}
+
+TEST(Render, LowErrorNearBeaconDarkFar) {
+  Scene scene;
+  std::ostringstream out;
+  render_error_map(out, scene.map, nullptr, {.cell = 4});
+  const auto rows = lines(out.str());
+  // Near the beacon (center) error < 2.5 m ⇒ lightest shades; far corner
+  // (uncovered, fallback ~ distance to beacon) ⇒ dark.
+  const char center = rows[5][5];
+  const char corner = rows[0][10];
+  EXPECT_TRUE(center == ' ' || center == '.' || center == ':')
+      << "center shade: '" << center << "'";
+  EXPECT_TRUE(corner == '#' || corner == '%' || corner == '@')
+      << "corner shade: '" << corner << "'";
+}
+
+TEST(Render, BeaconOverlayUsesMarkers) {
+  Scene scene;
+  std::ostringstream out;
+  render_error_map(out, scene.map, &scene.field,
+                   {.cell = 4, .show_beacons = true});
+  // The single (and thus newest) beacon renders as 'O'.
+  EXPECT_NE(out.str().find('O'), std::string::npos);
+}
+
+TEST(Render, NewestBeaconDistinguished) {
+  Scene scene;
+  scene.field.add({5.0, 5.0});
+  scene.map.compute(scene.field, scene.model);
+  std::ostringstream out;
+  render_error_map(out, scene.map, &scene.field,
+                   {.cell = 4, .show_beacons = true});
+  const std::string s = out.str();
+  EXPECT_NE(s.find('O'), std::string::npos);  // newest
+  EXPECT_NE(s.find('o'), std::string::npos);  // the older one
+}
+
+TEST(Render, TopRowIsMaxY) {
+  // Put a beacon at the top edge: its low-error cell must appear in the
+  // first output rows, not the last.
+  BeaconField field(AABB::square(40.0));
+  field.add({20.0, 40.0});
+  PerBeaconNoiseModel model(15.0, 0.0, 1);
+  Lattice2D lattice(AABB::square(40.0), 1.0);
+  ErrorMap map(lattice);
+  map.compute(field, model);
+  std::ostringstream out;
+  render_error_map(out, map, nullptr, {.cell = 4});
+  const auto rows = lines(out.str());
+  EXPECT_TRUE(rows.front()[5] == ' ' || rows.front()[5] == '.');
+  EXPECT_TRUE(rows.back()[5] == '#' || rows.back()[5] == '%' ||
+              rows.back()[5] == '@');
+}
+
+TEST(Render, LegendListsShadesAndMarkers) {
+  const std::string legend = render_legend({.meters_per_shade = 2.0});
+  EXPECT_NE(legend.find("'@'"), std::string::npos);
+  EXPECT_NE(legend.find("2m"), std::string::npos);
+  EXPECT_NE(legend.find("beacons"), std::string::npos);
+}
+
+TEST(Render, RejectsBadOptions) {
+  Scene scene;
+  std::ostringstream out;
+  EXPECT_THROW(render_error_map(out, scene.map, nullptr, {.cell = 0}),
+               CheckFailure);
+  EXPECT_THROW(render_error_map(out, scene.map, nullptr,
+                                {.meters_per_shade = 0.0}),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

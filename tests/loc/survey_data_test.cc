@@ -1,0 +1,114 @@
+#include "loc/survey_data.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "field/generators.h"
+#include "radio/noise_model.h"
+#include "rng/rng.h"
+
+namespace abp {
+namespace {
+
+Lattice2D small_lattice() { return Lattice2D(AABB::square(20.0), 1.0); }
+
+TEST(SurveyData, StartsEmpty) {
+  const SurveyData data(small_lattice());
+  EXPECT_EQ(data.measured_count(), 0u);
+  EXPECT_DOUBLE_EQ(data.coverage(), 0.0);
+  EXPECT_DOUBLE_EQ(data.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(data.median(), 0.0);
+}
+
+TEST(SurveyData, RecordAndRead) {
+  SurveyData data(small_lattice());
+  data.record(5, 3.5);
+  EXPECT_TRUE(data.measured(5));
+  EXPECT_FALSE(data.measured(6));
+  EXPECT_DOUBLE_EQ(data.value(5), 3.5);
+  EXPECT_EQ(data.measured_count(), 1u);
+}
+
+TEST(SurveyData, OverwriteUpdatesMeanNotCount) {
+  SurveyData data(small_lattice());
+  data.record(0, 2.0);
+  data.record(1, 4.0);
+  EXPECT_DOUBLE_EQ(data.mean(), 3.0);
+  data.record(1, 8.0);  // revisit
+  EXPECT_EQ(data.measured_count(), 2u);
+  EXPECT_DOUBLE_EQ(data.mean(), 5.0);
+}
+
+TEST(SurveyData, MedianOverMeasuredOnly) {
+  SurveyData data(small_lattice());
+  data.record(0, 1.0);
+  data.record(10, 9.0);
+  data.record(20, 5.0);
+  EXPECT_DOUBLE_EQ(data.median(), 5.0);
+}
+
+TEST(SurveyData, NegativeMeasurementRejected) {
+  SurveyData data(small_lattice());
+  EXPECT_THROW(data.record(0, -1.0), CheckFailure);
+}
+
+TEST(SurveyData, FromErrorMapIsCompleteAndExact) {
+  BeaconField field(AABB::square(20.0));
+  Rng rng(1);
+  scatter_uniform(field, 5, rng);
+  const PerBeaconNoiseModel model(8.0, 0.2, 2);
+  const Lattice2D lattice = small_lattice();
+  ErrorMap map(lattice);
+  map.compute(field, model);
+
+  const SurveyData data = SurveyData::from_error_map(map);
+  EXPECT_DOUBLE_EQ(data.coverage(), 1.0);
+  EXPECT_NEAR(data.mean(), map.mean(), 1e-9);
+  EXPECT_NEAR(data.median(), map.median(), 1e-9);
+  lattice.for_each([&](std::size_t flat, Vec2) {
+    ASSERT_DOUBLE_EQ(data.value(flat), map.value(flat));
+  });
+}
+
+TEST(SurveyData, SuppressDiskZeroesValuesKeepsMask) {
+  SurveyData data(small_lattice());
+  const auto& lattice = data.lattice();
+  lattice.for_each([&](std::size_t flat, Vec2) { data.record(flat, 2.0); });
+  data.suppress_disk({10.0, 10.0}, 3.0);
+  EXPECT_DOUBLE_EQ(data.value(lattice.nearest({10.0, 10.0})), 0.0);
+  EXPECT_TRUE(data.measured(lattice.nearest({10.0, 10.0})));
+  EXPECT_DOUBLE_EQ(data.value(lattice.nearest({0.0, 0.0})), 2.0);
+  EXPECT_EQ(data.measured_count(), lattice.size());
+  EXPECT_LT(data.mean(), 2.0);
+}
+
+TEST(SurveyData, MergeCombinesAndOverwrites) {
+  const Lattice2D lattice = small_lattice();
+  SurveyData a(lattice), b(lattice);
+  a.record(0, 1.0);
+  a.record(1, 2.0);
+  b.record(1, 9.0);  // overlaps a
+  b.record(2, 3.0);
+  a.merge(b);
+  EXPECT_EQ(a.measured_count(), 3u);
+  EXPECT_DOUBLE_EQ(a.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(a.value(1), 9.0);  // later data wins
+  EXPECT_DOUBLE_EQ(a.value(2), 3.0);
+  EXPECT_DOUBLE_EQ(a.mean(), (1.0 + 9.0 + 3.0) / 3.0);
+}
+
+TEST(SurveyData, MergeRejectsMismatchedLattices) {
+  SurveyData a(small_lattice());
+  SurveyData b{Lattice2D(AABB::square(20.0), 2.0)};
+  EXPECT_THROW(a.merge(b), CheckFailure);
+}
+
+TEST(SurveyData, SuppressUnmeasuredIsNoop) {
+  SurveyData data(small_lattice());
+  data.record(0, 5.0);
+  data.suppress_disk({20.0, 20.0}, 2.0);  // far corner, unmeasured
+  EXPECT_DOUBLE_EQ(data.mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,135 @@
+#include "placement/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "field/generators.h"
+#include "placement/grid_placement.h"
+#include "placement/max_placement.h"
+#include "placement/random_placement.h"
+#include "radio/noise_model.h"
+
+namespace abp {
+namespace {
+
+struct Scenario {
+  AABB bounds = AABB::square(60.0);
+  BeaconField field{bounds, 20.0};
+  PerBeaconNoiseModel model{15.0, 0.1, 3};
+  Lattice2D lattice{bounds, 1.0};
+  ErrorMap map{lattice};
+
+  explicit Scenario(std::size_t beacons, std::uint64_t seed = 9) {
+    Rng rng(seed);
+    scatter_uniform(field, beacons, rng);
+    map.compute(field, model);
+  }
+};
+
+TEST(Batch, PlacesExactlyKBeacons) {
+  Scenario s(6);
+  const std::size_t before = s.field.size();
+  const GridPlacement grid;
+  Rng rng(1);
+  const BatchResult r = place_batch(s.field, s.model, s.map, grid, 4,
+                                    BatchMode::kSequential, rng);
+  EXPECT_EQ(r.positions.size(), 4u);
+  EXPECT_EQ(r.ids.size(), 4u);
+  EXPECT_EQ(s.field.size(), before + 4);
+}
+
+TEST(Batch, MapStaysConsistentWithField) {
+  Scenario s(6);
+  const MaxPlacement max;
+  Rng rng(2);
+  place_batch(s.field, s.model, s.map, max, 3, BatchMode::kSequential, rng);
+  ErrorMap fresh(s.lattice);
+  fresh.compute(s.field, s.model);
+  s.lattice.for_each([&](std::size_t flat, Vec2) {
+    ASSERT_DOUBLE_EQ(s.map.value(flat), fresh.value(flat));
+  });
+}
+
+TEST(Batch, SequentialGridImprovesMeanAtLowDensity) {
+  Scenario s(5);
+  const GridPlacement grid;
+  Rng rng(3);
+  const BatchResult r = place_batch(s.field, s.model, s.map, grid, 5,
+                                    BatchMode::kSequential, rng);
+  EXPECT_LT(r.mean_after, r.mean_before);
+  EXPECT_DOUBLE_EQ(r.mean_after, s.map.mean());
+}
+
+TEST(Batch, OneShotAlsoPlacesKDistinctPositions) {
+  Scenario s(5);
+  const GridPlacement grid;
+  Rng rng(4);
+  const BatchResult r = place_batch(s.field, s.model, s.map, grid, 3,
+                                    BatchMode::kOneShot, rng);
+  EXPECT_EQ(r.positions.size(), 3u);
+  // Suppression must prevent k identical picks.
+  EXPECT_FALSE(r.positions[0] == r.positions[1] &&
+               r.positions[1] == r.positions[2]);
+}
+
+TEST(Batch, SequentialAtLeastAsGoodAsOneShotForGrid) {
+  // Re-surveying between placements can only add information. Averaged
+  // over several fields, sequential ≥ one-shot (allow tiny slack for luck).
+  double seq_total = 0.0, shot_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const GridPlacement grid;
+    {
+      Scenario s(5, seed);
+      Rng rng(seed);
+      seq_total += place_batch(s.field, s.model, s.map, grid, 4,
+                               BatchMode::kSequential, rng)
+                       .mean_before -
+                   s.map.mean();
+    }
+    {
+      Scenario s(5, seed);
+      Rng rng(seed);
+      shot_total += place_batch(s.field, s.model, s.map, grid, 4,
+                                BatchMode::kOneShot, rng)
+                        .mean_before -
+                    s.map.mean();
+    }
+  }
+  EXPECT_GE(seq_total, shot_total - 0.5);
+}
+
+TEST(Batch, RandomModeIndifferent) {
+  // For Random the two modes draw the same stream ⇒ identical placements.
+  const RandomPlacement random;
+  Scenario a(5), b(5);
+  Rng ra(7), rb(7);
+  const auto ra_result = place_batch(a.field, a.model, a.map, random, 3,
+                                     BatchMode::kSequential, ra);
+  const auto rb_result = place_batch(b.field, b.model, b.map, random, 3,
+                                     BatchMode::kOneShot, rb);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ra_result.positions[i], rb_result.positions[i]);
+  }
+}
+
+TEST(Batch, ZeroKRejected) {
+  Scenario s(5);
+  const RandomPlacement random;
+  Rng rng(8);
+  EXPECT_THROW(place_batch(s.field, s.model, s.map, random, 0,
+                           BatchMode::kSequential, rng),
+               CheckFailure);
+}
+
+TEST(Batch, MediansReportedConsistently) {
+  Scenario s(6);
+  const GridPlacement grid;
+  Rng rng(9);
+  const BatchResult r = place_batch(s.field, s.model, s.map, grid, 2,
+                                    BatchMode::kSequential, rng);
+  EXPECT_DOUBLE_EQ(r.median_after, s.map.median());
+  EXPECT_GE(r.median_before, 0.0);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,117 @@
+// Contract tests: invariants every placement algorithm must satisfy,
+// enforced uniformly across the whole registry (paper algorithms and
+// extensions alike) and across random scenarios.
+#include <gtest/gtest.h>
+#include <memory>
+
+#include "field/generators.h"
+#include "loc/error_map.h"
+#include "placement/coverage_placement.h"
+#include "placement/gdop_placement.h"
+#include "placement/grid_placement.h"
+#include "placement/locus_placement.h"
+#include "placement/max_placement.h"
+#include "placement/oracle_placement.h"
+#include "placement/random_placement.h"
+#include "placement/refined_grid_placement.h"
+#include "radio/noise_model.h"
+
+namespace abp {
+namespace {
+
+struct Registry {
+  RandomPlacement random;
+  MaxPlacement max;
+  GridPlacement grid{100};
+  GridPlacement grid_norm{100, 2.0, true};
+  RefinedGridPlacement refined{100, 2.0, 4};
+  OraclePlacement oracle{6};
+  LocusPlacement locus{false};
+  LocusPlacement locus_covered{true};
+  GdopPlacement gdop{4};
+  CoveragePlacement coverage{4};
+
+  std::vector<const PlacementAlgorithm*> all() const {
+    return {&random, &max,   &grid, &grid_norm,     &refined,
+            &oracle, &locus, &gdop, &locus_covered, &coverage};
+  }
+};
+
+struct Scenario {
+  AABB bounds = AABB::square(60.0);
+  BeaconField field{bounds, 20.0};
+  PerBeaconNoiseModel model{15.0, 0.2, 0};
+  Lattice2D lattice{bounds, 1.0};
+  ErrorMap map{lattice};
+  SurveyData survey{lattice};
+
+  explicit Scenario(std::uint64_t seed)
+      : model(15.0, 0.2, derive_seed(seed, 2)) {
+    Rng rng(derive_seed(seed, 1));
+    scatter_uniform(field, 6 + rng.below(20), rng);
+    map.compute(field, model);
+    survey = SurveyData::from_error_map(map);
+  }
+
+  PlacementContext ctx() {
+    PlacementContext c = PlacementContext::basic(survey, bounds, 15.0);
+    c.field = &field;
+    c.model = &model;
+    c.truth = &map;
+    return c;
+  }
+};
+
+class AlgorithmContract : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlgorithmContract, ProposalsInBoundsForEveryAlgorithm) {
+  Scenario s(GetParam());
+  const Registry registry;
+  for (const auto* alg : registry.all()) {
+    Rng rng(GetParam() ^ 0xA11);
+    const Vec2 pick = alg->propose(s.ctx(), rng);
+    EXPECT_TRUE(s.bounds.contains(pick))
+        << alg->name() << " proposed out-of-bounds " << pick;
+  }
+}
+
+TEST_P(AlgorithmContract, ProposalsAreDeterministicGivenRngState) {
+  Scenario s(GetParam());
+  const Registry registry;
+  for (const auto* alg : registry.all()) {
+    Rng r1(77), r2(77);
+    EXPECT_EQ(alg->propose(s.ctx(), r1), alg->propose(s.ctx(), r2))
+        << alg->name();
+  }
+}
+
+TEST_P(AlgorithmContract, ProposeDoesNotMutateTheWorld) {
+  Scenario s(GetParam());
+  const Registry registry;
+  const std::size_t beacons_before = s.field.size();
+  const double mean_before = s.map.mean();
+  const double survey_mean_before = s.survey.mean();
+  for (const auto* alg : registry.all()) {
+    Rng rng(5);
+    (void)alg->propose(s.ctx(), rng);
+    ASSERT_EQ(s.field.size(), beacons_before) << alg->name();
+    ASSERT_DOUBLE_EQ(s.map.mean(), mean_before) << alg->name();
+    ASSERT_DOUBLE_EQ(s.survey.mean(), survey_mean_before) << alg->name();
+  }
+}
+
+TEST_P(AlgorithmContract, NamesAreUniqueAndStable) {
+  const Registry registry;
+  std::set<std::string> names;
+  for (const auto* alg : registry.all()) {
+    EXPECT_TRUE(names.insert(alg->name()).second)
+        << "duplicate name " << alg->name();
+    EXPECT_FALSE(alg->name().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgorithmContract,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,120 @@
+#include "placement/density_control.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "field/generators.h"
+#include "radio/noise_model.h"
+
+namespace abp {
+namespace {
+
+struct Scenario {
+  AABB bounds = AABB::square(60.0);
+  BeaconField field{bounds, 20.0};
+  PerBeaconNoiseModel model{15.0, 0.0, 1};
+  Lattice2D lattice{bounds, 2.0};
+  ErrorMap map{lattice};
+
+  explicit Scenario(std::size_t beacons, std::uint64_t seed = 4) {
+    Rng rng(seed);
+    scatter_uniform(field, beacons, rng);
+    map.compute(field, model);
+  }
+};
+
+TEST(DensityControl, DeactivatesRedundantBeaconsAboveSaturation) {
+  // 90 beacons on 3600 m² = 0.025/m², far above saturation (~0.01): the
+  // controller must find a substantial number of redundant beacons.
+  Scenario s(90);
+  DensityControlConfig config;
+  config.tolerance_factor = 1.10;
+  Rng rng(1);
+  const auto r = greedy_density_control(s.field, s.model, s.map, config, rng);
+  EXPECT_EQ(r.initial_active, 90u);
+  EXPECT_LT(r.final_active, 60u);
+  EXPECT_LE(r.final_mean, 1.10 * r.baseline_mean + 1e-9);
+  EXPECT_EQ(r.final_active + r.deactivated.size(), 90u);
+}
+
+TEST(DensityControl, RespectsToleranceBudget) {
+  Scenario s(50);
+  DensityControlConfig config;
+  config.tolerance_factor = 1.02;  // very tight
+  Rng rng(2);
+  const auto r = greedy_density_control(s.field, s.model, s.map, config, rng);
+  EXPECT_LE(r.final_mean, 1.02 * r.baseline_mean + 1e-9);
+}
+
+TEST(DensityControl, MapMatchesFieldAfterwards) {
+  Scenario s(60);
+  DensityControlConfig config;
+  config.tolerance_factor = 1.08;
+  Rng rng(3);
+  greedy_density_control(s.field, s.model, s.map, config, rng);
+  ErrorMap fresh(s.lattice);
+  fresh.compute(s.field, s.model);
+  s.lattice.for_each([&](std::size_t flat, Vec2) {
+    ASSERT_NEAR(s.map.value(flat), fresh.value(flat), 1e-9);
+  });
+}
+
+TEST(DensityControl, DeactivatedBeaconsRemainDeployed) {
+  Scenario s(40);
+  DensityControlConfig config;
+  config.tolerance_factor = 1.15;
+  Rng rng(4);
+  const auto r = greedy_density_control(s.field, s.model, s.map, config, rng);
+  for (BeaconId id : r.deactivated) {
+    const auto b = s.field.get(id);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_FALSE(b->active);
+  }
+}
+
+TEST(DensityControl, MaxDeactivationsCapHonoured) {
+  Scenario s(70);
+  DensityControlConfig config;
+  config.tolerance_factor = 1.5;
+  config.max_deactivations = 5;
+  Rng rng(5);
+  const auto r = greedy_density_control(s.field, s.model, s.map, config, rng);
+  EXPECT_EQ(r.deactivated.size(), 5u);
+  EXPECT_EQ(r.final_active, 65u);
+}
+
+TEST(DensityControl, CandidateSamplingStillRespectsBudget) {
+  Scenario s(60);
+  DensityControlConfig config;
+  config.tolerance_factor = 1.10;
+  config.candidate_sample = 8;
+  Rng rng(6);
+  const auto r = greedy_density_control(s.field, s.model, s.map, config, rng);
+  EXPECT_LE(r.final_mean, 1.10 * r.baseline_mean + 1e-9);
+  EXPECT_GT(r.deactivated.size(), 0u);
+}
+
+TEST(DensityControl, SparseFieldKeepsMostBeacons) {
+  // At well-below-saturation density most beacons matter: with a tight
+  // budget the controller must keep the clear majority (it may still find
+  // an overlapping pair whose member is redundant).
+  Scenario s(6);
+  DensityControlConfig config;
+  config.tolerance_factor = 1.01;
+  Rng rng(7);
+  const auto r = greedy_density_control(s.field, s.model, s.map, config, rng);
+  EXPECT_LE(r.deactivated.size(), 2u);
+  EXPECT_LE(r.final_mean, 1.01 * r.baseline_mean + 1e-9);
+}
+
+TEST(DensityControl, InvalidToleranceRejected) {
+  Scenario s(10);
+  DensityControlConfig config;
+  config.tolerance_factor = 0.9;
+  Rng rng(8);
+  EXPECT_THROW(greedy_density_control(s.field, s.model, s.map, config, rng),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

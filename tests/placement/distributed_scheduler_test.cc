@@ -1,0 +1,128 @@
+#include "placement/distributed_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "field/generators.h"
+#include "loc/error_map.h"
+#include "radio/noise_model.h"
+
+namespace abp {
+namespace {
+
+BeaconField dense_field(std::size_t n, std::uint64_t seed) {
+  BeaconField field(AABB::square(100.0), 15.0);
+  Rng rng(seed);
+  scatter_uniform(field, n, rng);
+  return field;
+}
+
+std::size_t active_neighbors_of(const BeaconField& field, const Beacon& b,
+                                double radius) {
+  std::size_t n = 0;
+  field.query_disk(b.pos, radius, [&](const Beacon& other) {
+    if (other.id != b.id) ++n;
+  });
+  return n;
+}
+
+TEST(Distributed, ThinsOverProvisionedDeployments) {
+  BeaconField field = dense_field(240, 1);
+  Rng rng(2);
+  const auto r = distributed_density_control(field, {}, rng);
+  EXPECT_EQ(r.initial_active, 240u);
+  EXPECT_LT(r.final_active, 160u);
+  EXPECT_GT(r.final_active, 40u);  // must not collapse coverage
+  EXPECT_EQ(field.active_count(), r.final_active);
+  EXPECT_EQ(field.size(), 240u);  // nothing removed, only silenced
+}
+
+TEST(Distributed, ConvergesAndInvariantsHold) {
+  BeaconField field = dense_field(200, 3);
+  const DistributedSchedulerConfig config;
+  Rng rng(4);
+  const auto r = distributed_density_control(field, config, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.rounds, config.max_rounds);
+
+  // At convergence: no active beacon is strictly redundant-and-required to
+  // backoff forever (hearing > max is possible only if every deactivation
+  // attempt failed, impossible at convergence with p>0), and no passive
+  // beacon is starved.
+  field.for_each_active([&](const Beacon& b) {
+    EXPECT_LE(active_neighbors_of(field, b, config.neighbor_radius),
+              config.max_active_neighbors)
+        << "active beacon " << b.id << " still redundant";
+  });
+  for (BeaconId id = 0; id < 200; ++id) {
+    const auto b = field.get(id);
+    if (b && !b->active) {
+      EXPECT_GE(active_neighbors_of(field, *b, config.neighbor_radius),
+                config.min_active_neighbors)
+          << "passive beacon " << id << " starved";
+    }
+  }
+}
+
+TEST(Distributed, SparseFieldStaysFullyActive) {
+  BeaconField field = dense_field(15, 5);  // ~1 neighbor on average
+  Rng rng(6);
+  const auto r = distributed_density_control(field, {}, rng);
+  EXPECT_EQ(r.final_active, 15u);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Distributed, LocalizationSurvivesThinning) {
+  // The protocol uses no error map, yet the thinned subset must keep mean
+  // LE close to the all-active value on an over-provisioned field.
+  BeaconField field = dense_field(240, 7);
+  const PerBeaconNoiseModel model(15.0, 0.0, 1);
+  const Lattice2D lattice(AABB::square(100.0), 2.0);
+  ErrorMap map(lattice);
+  map.compute(field, model);
+  const double before = map.mean();
+
+  Rng rng(8);
+  distributed_density_control(field, {}, rng);
+  map.compute(field, model);
+  EXPECT_LT(map.mean(), 2.0 * before);
+  EXPECT_LT(map.mean(), 8.0);  // still good absolute localization
+}
+
+TEST(Distributed, DeterministicGivenSeed) {
+  BeaconField a = dense_field(150, 9);
+  BeaconField b = dense_field(150, 9);
+  Rng ra(10), rb(10);
+  const auto r1 = distributed_density_control(a, {}, ra);
+  const auto r2 = distributed_density_control(b, {}, rb);
+  EXPECT_EQ(r1.final_active, r2.final_active);
+  EXPECT_EQ(a.active_ids(), b.active_ids());
+}
+
+TEST(Distributed, ReactivationRepairsCoverageHoles) {
+  // Deactivate everything manually; the protocol must wake beacons up.
+  BeaconField field = dense_field(100, 11);
+  for (BeaconId id : field.active_ids()) field.set_active(id, false);
+  ASSERT_EQ(field.active_count(), 0u);
+  Rng rng(12);
+  const auto r = distributed_density_control(field, {}, rng);
+  EXPECT_GT(r.final_active, 20u);
+}
+
+TEST(Distributed, ConfigValidation) {
+  BeaconField field = dense_field(10, 13);
+  Rng rng(14);
+  DistributedSchedulerConfig bad;
+  bad.neighbor_radius = 0.0;
+  EXPECT_THROW(distributed_density_control(field, bad, rng), CheckFailure);
+  bad = {};
+  bad.min_active_neighbors = 5;
+  bad.max_active_neighbors = 3;
+  EXPECT_THROW(distributed_density_control(field, bad, rng), CheckFailure);
+  bad = {};
+  bad.backoff_probability = 0.0;
+  EXPECT_THROW(distributed_density_control(field, bad, rng), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,185 @@
+// Tests for the extension algorithms: oracle, locus, GDOP.
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "field/generators.h"
+#include "loc/connectivity.h"
+#include "loc/error_map.h"
+#include "loc/locus.h"
+#include "loc/multilateration.h"
+#include "placement/gdop_placement.h"
+#include "placement/grid_placement.h"
+#include "placement/locus_placement.h"
+#include "placement/max_placement.h"
+#include "placement/oracle_placement.h"
+#include "placement/random_placement.h"
+#include "radio/noise_model.h"
+
+namespace abp {
+namespace {
+
+constexpr double kSide = 60.0;
+
+struct Scenario {
+  AABB bounds = AABB::square(kSide);
+  BeaconField field{bounds, 20.0};
+  PerBeaconNoiseModel model{15.0, 0.2, 13};
+  Lattice2D lattice{bounds, 1.0};
+  ErrorMap map{lattice};
+  SurveyData survey{lattice};
+
+  explicit Scenario(std::size_t beacons, std::uint64_t seed = 5) {
+    Rng rng(seed);
+    scatter_uniform(field, beacons, rng);
+    map.compute(field, model);
+    survey = SurveyData::from_error_map(map);
+  }
+
+  PlacementContext ctx() {
+    PlacementContext c = PlacementContext::basic(survey, bounds, 15.0);
+    c.field = &field;
+    c.model = &model;
+    c.truth = &map;
+    return c;
+  }
+
+  double improvement_at(Vec2 pos) {
+    const double before = map.mean();
+    return before - map.mean_if_added(field, model, pos);
+  }
+};
+
+TEST(Oracle, BeatsEveryPaperAlgorithmByConstruction) {
+  Scenario s(8);
+  Rng rng(1);
+  const OraclePlacement oracle(2);
+  const double oracle_gain = s.improvement_at(oracle.propose(s.ctx(), rng));
+
+  const RandomPlacement random;
+  const MaxPlacement max;
+  const GridPlacement grid;
+  for (const PlacementAlgorithm* alg :
+       std::initializer_list<const PlacementAlgorithm*>{&random, &max, &grid}) {
+    Rng r(2);
+    const double gain = s.improvement_at(alg->propose(s.ctx(), r));
+    EXPECT_GE(oracle_gain, gain - 1e-9) << "beaten by " << alg->name();
+  }
+}
+
+TEST(Oracle, GainIsNonNegative) {
+  // The oracle can always place far away from everything (zero effect), so
+  // its chosen gain is never negative.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Scenario s(10, seed);
+    Rng rng(seed);
+    const OraclePlacement oracle(3);
+    EXPECT_GE(s.improvement_at(oracle.propose(s.ctx(), rng)), -1e-12);
+  }
+}
+
+TEST(Oracle, MatchesExhaustiveSearchAtStride) {
+  Scenario s(6);
+  const OraclePlacement oracle(4);
+  Rng rng(3);
+  const Vec2 pick = oracle.propose(s.ctx(), rng);
+
+  double best = -1e18;
+  Vec2 best_pos;
+  for (std::size_t j = 0; j < s.lattice.ny(); j += 4) {
+    for (std::size_t i = 0; i < s.lattice.nx(); i += 4) {
+      const double gain = s.improvement_at(s.lattice.point(i, j));
+      if (gain > best) {
+        best = gain;
+        best_pos = s.lattice.point(i, j);
+      }
+    }
+  }
+  EXPECT_EQ(pick, best_pos);
+}
+
+TEST(Oracle, RequiresFullContext) {
+  Scenario s(5);
+  PlacementContext ctx = PlacementContext::basic(s.survey, s.bounds, 15.0);
+  const OraclePlacement oracle;
+  Rng rng(4);
+  EXPECT_THROW(oracle.propose(ctx, rng), CheckFailure);
+}
+
+TEST(Locus, TargetsTheUncoveredExteriorAtLowDensity) {
+  // With 3 beacons in one corner, the largest locus is the uncovered rest
+  // of the terrain; the proposal must land outside current coverage.
+  Scenario s(0);
+  s.field.add({5.0, 5.0});
+  s.field.add({10.0, 5.0});
+  s.field.add({5.0, 10.0});
+  s.map.compute(s.field, s.model);
+  s.survey = SurveyData::from_error_map(s.map);
+
+  const LocusPlacement locus;  // covered_only = false
+  Rng rng(5);
+  const Vec2 pick = locus.propose(s.ctx(), rng);
+  EXPECT_EQ(connected_count(s.field, s.model, pick), 0u);
+}
+
+TEST(Locus, CoveredOnlyRefinesGranularity) {
+  Scenario s(0);
+  s.field.add({30.0, 30.0});
+  s.map.compute(s.field, s.model);
+  s.survey = SurveyData::from_error_map(s.map);
+
+  const LocusPlacement locus(/*covered_only=*/true);
+  Rng rng(6);
+  const Vec2 pick = locus.propose(s.ctx(), rng);
+  // The only covered locus is the single beacon's disk; its centroid is
+  // (about) the beacon position.
+  EXPECT_LT(distance(pick, {30.0, 30.0}), 2.0);
+}
+
+TEST(Locus, SplitsTheTargetedRegion) {
+  Scenario s(12, 21);
+  const auto before =
+      analyze_loci(s.field, s.model, s.lattice).region_count();
+  const LocusPlacement locus;
+  Rng rng(7);
+  const Vec2 pick = locus.propose(s.ctx(), rng);
+  s.field.add(pick);
+  const auto after =
+      analyze_loci(s.field, s.model, s.lattice).region_count();
+  EXPECT_GT(after, before);
+}
+
+TEST(Gdop, PlacesWhereGeometryIsWorst) {
+  // Beacons arranged along a line: everywhere on/near that line GDOP is
+  // singular. The proposal must be a point that currently has bad geometry.
+  Scenario s(0);
+  for (double x = 5.0; x <= 55.0; x += 5.0) s.field.add({x, 30.0});
+  s.map.compute(s.field, s.model);
+  s.survey = SurveyData::from_error_map(s.map);
+
+  const GdopPlacement alg(2);
+  Rng rng(8);
+  const Vec2 pick = alg.propose(s.ctx(), rng);
+  const auto beacons = connected_beacons(s.field, s.model, pick);
+  EXPECT_DOUBLE_EQ(gdop(pick, beacons), kGdopSingular);
+}
+
+TEST(Gdop, RequiresFieldAndModel) {
+  Scenario s(5);
+  PlacementContext ctx = PlacementContext::basic(s.survey, s.bounds, 15.0);
+  const GdopPlacement alg;
+  Rng rng(9);
+  EXPECT_THROW(alg.propose(ctx, rng), CheckFailure);
+}
+
+TEST(AlgorithmNames, AreStable) {
+  EXPECT_EQ(RandomPlacement().name(), "random");
+  EXPECT_EQ(MaxPlacement().name(), "max");
+  EXPECT_EQ(GridPlacement().name(), "grid");
+  EXPECT_EQ(OraclePlacement().name(), "oracle");
+  EXPECT_EQ(LocusPlacement().name(), "locus");
+  EXPECT_EQ(LocusPlacement(true).name(), "locus-covered");
+  EXPECT_EQ(GdopPlacement().name(), "gdop");
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,101 @@
+#include "placement/facility_location.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "field/beacon_field.h"
+#include "field/generators.h"
+#include "rng/rng.h"
+
+namespace abp {
+namespace {
+
+const Lattice2D kLattice(AABB::square(100.0), 1.0);
+
+TEST(KMedian, SingleFacilityGoesToTheCenter) {
+  const auto chosen = greedy_kmedian_deployment(kLattice, 1, {});
+  ASSERT_EQ(chosen.size(), 1u);
+  EXPECT_NEAR(chosen[0].x, 50.0, 3.0);
+  EXPECT_NEAR(chosen[0].y, 50.0, 3.0);
+}
+
+TEST(KMedian, FacilitiesAreDistinctAndInBounds) {
+  const auto chosen = greedy_kmedian_deployment(kLattice, 9, {});
+  ASSERT_EQ(chosen.size(), 9u);
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    EXPECT_TRUE(kLattice.bounds().contains(chosen[i]));
+    for (std::size_t j = i + 1; j < chosen.size(); ++j) {
+      EXPECT_NE(chosen[i], chosen[j]);
+    }
+  }
+}
+
+TEST(KMedian, ObjectiveDecreasesMonotonicallyInK) {
+  double prev = std::numeric_limits<double>::max();
+  for (std::size_t k : {1u, 2u, 4u, 9u, 16u}) {
+    const auto chosen = greedy_kmedian_deployment(kLattice, k, {});
+    const double obj = kmedian_objective(kLattice, chosen, {});
+    EXPECT_LT(obj, prev) << "k=" << k;
+    prev = obj;
+  }
+}
+
+TEST(KMedian, BeatsRandomDeploymentOfEqualSize) {
+  const std::size_t k = 16;
+  const auto engineered = greedy_kmedian_deployment(kLattice, k, {});
+  const double engineered_obj = kmedian_objective(kLattice, engineered, {});
+
+  Rng rng(3);
+  double random_total = 0.0;
+  const int reps = 5;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<Vec2> random_positions;
+    for (std::size_t i = 0; i < k; ++i) {
+      random_positions.push_back(
+          {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    }
+    random_total += kmedian_objective(kLattice, random_positions, {});
+  }
+  EXPECT_LT(engineered_obj, 0.8 * random_total / reps);
+}
+
+TEST(KMedian, NearUniformGridQualityAtSquareK) {
+  // For k=16 the greedy solution should approach the quality of the ideal
+  // 4x4 grid (mean distance ≈ 0.3826 * cell side ≈ 9.57 m for 25 m cells).
+  const auto chosen = greedy_kmedian_deployment(kLattice, 16, {});
+  const double obj = kmedian_objective(kLattice, chosen, {});
+  BeaconField grid_field(AABB::square(100.0));
+  place_grid(grid_field, 4, 4);
+  std::vector<Vec2> grid_positions;
+  grid_field.for_each_active(
+      [&](const Beacon& b) { grid_positions.push_back(b.pos); });
+  const double grid_obj = kmedian_objective(kLattice, grid_positions, {});
+  EXPECT_LT(obj, 1.15 * grid_obj);
+}
+
+TEST(KMedian, DistanceCapMakesObjectiveCoverageLike) {
+  const KMedianConfig capped{.site_stride = 4, .demand_stride = 2,
+                             .distance_cap = 15.0};
+  const auto chosen = greedy_kmedian_deployment(kLattice, 4, capped);
+  const double obj = kmedian_objective(kLattice, chosen, capped);
+  EXPECT_LE(obj, 15.0);
+  EXPECT_GT(obj, 0.0);
+}
+
+TEST(KMedian, Deterministic) {
+  const auto a = greedy_kmedian_deployment(kLattice, 6, {});
+  const auto b = greedy_kmedian_deployment(kLattice, 6, {});
+  EXPECT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(KMedian, Validation) {
+  EXPECT_THROW(greedy_kmedian_deployment(kLattice, 0, {}), CheckFailure);
+  KMedianConfig bad;
+  bad.site_stride = 0;
+  EXPECT_THROW(greedy_kmedian_deployment(kLattice, 1, bad), CheckFailure);
+  EXPECT_THROW(kmedian_objective(kLattice, {}, {}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,101 @@
+#include "placement/refined_grid_placement.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "field/generators.h"
+#include "placement/grid_placement.h"
+#include "radio/noise_model.h"
+
+namespace abp {
+namespace {
+
+struct Scenario {
+  AABB bounds = AABB::square(100.0);
+  BeaconField field{bounds, 20.0};
+  PerBeaconNoiseModel model{15.0, 0.1, 17};
+  Lattice2D lattice{bounds, 1.0};
+  ErrorMap map{lattice};
+  SurveyData survey{lattice};
+
+  explicit Scenario(std::size_t beacons, std::uint64_t seed = 6) {
+    Rng rng(seed);
+    scatter_uniform(field, beacons, rng);
+    map.compute(field, model);
+    survey = SurveyData::from_error_map(map);
+  }
+
+  PlacementContext ctx() {
+    PlacementContext c = PlacementContext::basic(survey, bounds, 15.0);
+    c.field = &field;
+    c.model = &model;
+    c.truth = &map;
+    return c;
+  }
+
+  double gain_at(Vec2 pos) {
+    return map.mean() - map.mean_if_added(field, model, pos);
+  }
+};
+
+TEST(RefinedGrid, NeverWorseThanPlainGrid) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Scenario s(25, seed);
+    const GridPlacement plain;
+    const RefinedGridPlacement refined;
+    Rng r1(seed), r2(seed);
+    const double plain_gain = s.gain_at(plain.propose(s.ctx(), r1));
+    const double refined_gain = s.gain_at(refined.propose(s.ctx(), r2));
+    EXPECT_GE(refined_gain, plain_gain - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(RefinedGrid, StaysInsideTheWinningGridBox) {
+  Scenario s(25);
+  const GridPlacement plain;
+  const RefinedGridPlacement refined;
+  Rng r1(9), r2(9);
+  const Vec2 center = plain.propose(s.ctx(), r1);
+  const Vec2 pick = refined.propose(s.ctx(), r2);
+  EXPECT_LE(std::fabs(pick.x - center.x), 15.0 + 1e-9);
+  EXPECT_LE(std::fabs(pick.y - center.y), 15.0 + 1e-9);
+}
+
+TEST(RefinedGrid, CanRepairCornersGridCannotReach) {
+  // A field covering everything except the (0,0) corner: Grid's nearest
+  // center is (15,15), whose beacon (R=15) cannot cover the corner. The
+  // refined search inside that grid's box [0,30]² can move toward the
+  // corner enough to cover it.
+  Scenario s(0);
+  for (double x = 10.0; x <= 90.0; x += 11.0) {
+    for (double y = 10.0; y <= 90.0; y += 11.0) {
+      if (x < 30.0 && y < 30.0) continue;  // leave the corner bare
+      s.field.add({x, y});
+    }
+  }
+  s.map.compute(s.field, s.model);
+  s.survey = SurveyData::from_error_map(s.map);
+
+  const RefinedGridPlacement refined(400, 2.0, 2);
+  Rng rng(3);
+  const Vec2 pick = refined.propose(s.ctx(), rng);
+  // The refinement must move off the grid-center lattice toward the bare
+  // corner.
+  EXPECT_LT(pick.x + pick.y, 30.0);
+}
+
+TEST(RefinedGrid, RequiresFullContext) {
+  Scenario s(10);
+  PlacementContext bare = PlacementContext::basic(s.survey, s.bounds, 15.0);
+  const RefinedGridPlacement refined;
+  Rng rng(4);
+  EXPECT_THROW(refined.propose(bare, rng), CheckFailure);
+}
+
+TEST(RefinedGrid, NameAndValidation) {
+  EXPECT_EQ(RefinedGridPlacement().name(), "grid-refined");
+  EXPECT_THROW(RefinedGridPlacement(400, 2.0, 0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,88 @@
+#include "radio/lognormal_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "common/stats.h"
+#include "rng/rng.h"
+
+namespace abp {
+namespace {
+
+TEST(LogNormal, ZeroSigmaIsDeterministicDisk) {
+  const LogNormalShadowingModel model(15.0, 3.0, 0.0, 1);
+  const Beacon b{0, {50.0, 50.0}, true};
+  EXPECT_DOUBLE_EQ(model.effective_range(b, {0.0, 0.0}), 15.0);
+  EXPECT_DOUBLE_EQ(model.max_range(), 15.0);
+}
+
+TEST(LogNormal, StaticPerPair) {
+  const LogNormalShadowingModel model(15.0, 3.0, 6.0, 2);
+  const Beacon b{1, {10.0, 20.0}, true};
+  const Vec2 p{22.0, 20.0};
+  const double r = model.effective_range(b, p);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(model.effective_range(b, p), r);
+  }
+}
+
+TEST(LogNormal, MaxRangeIsATrueBound) {
+  const LogNormalShadowingModel model(15.0, 3.0, 8.0, 3);
+  Rng rng(1);
+  for (int i = 0; i < 3000; ++i) {
+    const Beacon b{0, {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+                   true};
+    const Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    EXPECT_LE(model.effective_range(b, p), model.max_range());
+    EXPECT_GT(model.effective_range(b, p), 0.0);
+  }
+}
+
+TEST(LogNormal, ShadowingIsZeroMeanGaussianish) {
+  const double sigma = 6.0;
+  const LogNormalShadowingModel model(15.0, 3.0, sigma, 4);
+  Rng rng(2);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    const Beacon b{0, {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+                   true};
+    const Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    s.add(model.shadowing_db(b, p));
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.15);
+  EXPECT_NEAR(s.stddev(), sigma, 0.15);
+  EXPECT_LE(s.max(), 3.5 * sigma);
+  EXPECT_GE(s.min(), -3.5 * sigma);
+}
+
+TEST(LogNormal, HigherExponentShrinksRangeSpread) {
+  // d = R·10^(X/10n): a larger path-loss exponent compresses the range
+  // variation for the same shadowing.
+  const LogNormalShadowingModel urban(15.0, 4.0, 8.0, 5);
+  const LogNormalShadowingModel open(15.0, 2.0, 8.0, 5);
+  EXPECT_LT(urban.max_range(), open.max_range());
+}
+
+TEST(LogNormal, MedianRangeIsNominal) {
+  // X has median 0 ⇒ effective range has median R.
+  const LogNormalShadowingModel model(15.0, 3.0, 6.0, 6);
+  Rng rng(3);
+  int above = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const Beacon b{0, {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+                   true};
+    const Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    if (model.effective_range(b, p) > 15.0) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / n, 0.5, 0.02);
+}
+
+TEST(LogNormal, RejectsInvalidParameters) {
+  EXPECT_THROW(LogNormalShadowingModel(0.0, 3.0, 6.0, 1), CheckFailure);
+  EXPECT_THROW(LogNormalShadowingModel(15.0, 0.5, 6.0, 1), CheckFailure);
+  EXPECT_THROW(LogNormalShadowingModel(15.0, 3.0, -1.0, 1), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

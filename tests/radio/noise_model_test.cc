@@ -1,0 +1,178 @@
+#include "radio/noise_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "common/stats.h"
+#include "rng/rng.h"
+
+namespace abp {
+namespace {
+
+constexpr double kR = 15.0;
+
+TEST(NoiseModel, ZeroNoiseEqualsIdealDisk) {
+  const PerBeaconNoiseModel model(kR, 0.0, 42);
+  const Beacon b{0, {50.0, 50.0}, true};
+  EXPECT_DOUBLE_EQ(model.effective_range(b, {0.0, 0.0}), kR);
+  EXPECT_TRUE(model.connected(b, {65.0, 50.0}));
+  EXPECT_FALSE(model.connected(b, {65.01, 50.0}));
+  EXPECT_DOUBLE_EQ(model.max_range(), kR);
+}
+
+TEST(NoiseModel, StaticWithRespectToTime) {
+  // §4.2.1: the same (point, beacon) pair must always answer identically.
+  const PerBeaconNoiseModel model(kR, 0.5, 7);
+  const Beacon b{2, {30.0, 40.0}, true};
+  const Vec2 p{41.0, 44.0};
+  const bool first = model.connected(b, p);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(model.connected(b, p), first);
+  EXPECT_DOUBLE_EQ(model.effective_range(b, p), model.effective_range(b, p));
+}
+
+TEST(NoiseModel, EffectiveRangeWithinPaperBounds) {
+  // range = R(1 + u·nf) with u∈[-1,1), nf∈[0,Noise] ⇒ within R(1±Noise).
+  const double noise = 0.5;
+  const PerBeaconNoiseModel model(kR, noise, 99);
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const Beacon b{static_cast<BeaconId>(i % 10),
+                   {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+                   true};
+    const Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    const double r = model.effective_range(b, p);
+    EXPECT_GE(r, kR * (1.0 - noise));
+    EXPECT_LE(r, kR * (1.0 + noise));
+    EXPECT_LE(r, model.max_range());
+  }
+}
+
+TEST(NoiseModel, NoiseFactorPerBeaconInRange) {
+  const double noise = 0.3;
+  const PerBeaconNoiseModel model(kR, noise, 5);
+  Rng rng(2);
+  RunningStats nf_stats;
+  for (int i = 0; i < 1000; ++i) {
+    const Beacon b{0, {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+                   true};
+    const double nf = model.noise_factor(b);
+    EXPECT_GE(nf, 0.0);
+    EXPECT_LE(nf, noise);
+    nf_stats.add(nf);
+  }
+  // nf ~ U[0, Noise]: mean ≈ Noise/2.
+  EXPECT_NEAR(nf_stats.mean(), noise / 2.0, 0.02);
+}
+
+TEST(NoiseModel, UDrawSymmetricAndPerPair) {
+  const PerBeaconNoiseModel model(kR, 0.5, 5);
+  Rng rng(3);
+  RunningStats u_stats;
+  for (int i = 0; i < 5000; ++i) {
+    const Beacon b{0, {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+                   true};
+    const Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    const double u = model.u_draw(b, p);
+    EXPECT_GE(u, -1.0);
+    EXPECT_LT(u, 1.0);
+    u_stats.add(u);
+  }
+  EXPECT_NEAR(u_stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(u_stats.variance(), 1.0 / 3.0, 0.02);
+}
+
+TEST(NoiseModel, DifferentBeaconsDifferentNoiseFactors) {
+  // "non-uniform propagation noise for the beacons": two beacons at
+  // different positions get different nf.
+  const PerBeaconNoiseModel model(kR, 0.5, 5);
+  const Beacon a{0, {10.0, 10.0}, true};
+  const Beacon b{1, {80.0, 20.0}, true};
+  EXPECT_NE(model.noise_factor(a), model.noise_factor(b));
+}
+
+TEST(NoiseModel, DifferentFieldSeedsDifferentLandscapes) {
+  const PerBeaconNoiseModel m1(kR, 0.5, 1);
+  const PerBeaconNoiseModel m2(kR, 0.5, 2);
+  const Beacon b{0, {10.0, 10.0}, true};
+  EXPECT_NE(m1.noise_factor(b), m2.noise_factor(b));
+}
+
+TEST(NoiseModel, PositionKeyedSoRedeploymentIsConsistent) {
+  // A beacon removed and re-added at the same position (different id) must
+  // see the identical propagation landscape — the property that makes
+  // oracle evaluation exact.
+  const PerBeaconNoiseModel model(kR, 0.5, 11);
+  const Beacon first{3, {25.0, 75.0}, true};
+  const Beacon readded{999, {25.0, 75.0}, true};
+  const Vec2 p{30.0, 70.0};
+  EXPECT_DOUBLE_EQ(model.effective_range(first, p),
+                   model.effective_range(readded, p));
+  EXPECT_DOUBLE_EQ(model.noise_factor(first), model.noise_factor(readded));
+}
+
+TEST(NoiseModel, FastPredicateMatchesDefinition) {
+  // connected() (with its certain-in/certain-out shortcuts) must agree
+  // with the plain effective_range comparison everywhere.
+  const PerBeaconNoiseModel model(kR, 0.3, 21);
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const Beacon b{1, {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+                   true};
+    const Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    const bool by_range =
+        distance(b.pos, p) <= model.effective_range(b, p);
+    ASSERT_EQ(model.connected(b, p), by_range);
+  }
+}
+
+TEST(NoiseModel, ConnectivityPerturbedOnlyInAnnulus) {
+  // Noise never disconnects points within R(1-Noise) nor connects points
+  // beyond R(1+Noise).
+  const double noise = 0.5;
+  const PerBeaconNoiseModel model(kR, noise, 31);
+  const Beacon b{0, {50.0, 50.0}, true};
+  EXPECT_TRUE(model.connected(b, {50.0 + kR * (1 - noise) - 0.01, 50.0}));
+  EXPECT_FALSE(model.connected(b, {50.0 + kR * (1 + noise) + 0.01, 50.0}));
+}
+
+TEST(NoiseModel, RejectsInvalidNoise) {
+  EXPECT_THROW(PerBeaconNoiseModel(kR, -0.1, 1), CheckFailure);
+  EXPECT_THROW(PerBeaconNoiseModel(kR, 1.0, 1), CheckFailure);
+  EXPECT_THROW(PerBeaconNoiseModel(0.0, 0.3, 1), CheckFailure);
+}
+
+// Property sweep over the paper's noise levels: the fraction of the
+// nominal-disk boundary that flips connectivity grows with Noise.
+class NoiseLevelSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseLevelSweep, FlippedFractionScalesWithNoise) {
+  const double noise = GetParam();
+  const PerBeaconNoiseModel model(kR, noise, 77);
+  Rng rng(5);
+  int flipped = 0;
+  const int samples = 4000;
+  for (int i = 0; i < samples; ++i) {
+    const Beacon b{0, {rng.uniform(20.0, 80.0), rng.uniform(20.0, 80.0)},
+                   true};
+    // Sample points uniformly in the annulus R(1±max noise possible).
+    const double ang = rng.uniform(0.0, 6.283185307);
+    const double rad = rng.uniform(kR * 0.5, kR * 1.5);
+    const Vec2 p = b.pos + Vec2{rad * std::cos(ang), rad * std::sin(ang)};
+    const bool ideal = rad <= kR;
+    if (model.connected(b, p) != ideal) ++flipped;
+  }
+  const double frac = static_cast<double>(flipped) / samples;
+  if (noise == 0.0) {
+    EXPECT_EQ(flipped, 0);
+  } else {
+    // More noise ⇒ more flips; loose monotone envelope checks.
+    EXPECT_GT(frac, 0.05 * noise);
+    EXPECT_LT(frac, 0.8 * noise);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperNoiseLevels, NoiseLevelSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5));
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,46 @@
+#include "radio/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace abp {
+namespace {
+
+TEST(IdealDisk, ConnectivityIsSharpDisk) {
+  const IdealDiskModel model(15.0);
+  const Beacon b{0, {50.0, 50.0}, true};
+  EXPECT_TRUE(model.connected(b, {50.0, 50.0}));
+  EXPECT_TRUE(model.connected(b, {65.0, 50.0}));   // exactly R
+  EXPECT_FALSE(model.connected(b, {65.01, 50.0}));
+  EXPECT_TRUE(model.connected(b, {59.0, 59.0}));   // sqrt(162) < 15
+}
+
+TEST(IdealDisk, RangesAllEqualR) {
+  const IdealDiskModel model(15.0);
+  const Beacon b{3, {10.0, 10.0}, true};
+  EXPECT_DOUBLE_EQ(model.effective_range(b, {0.0, 0.0}), 15.0);
+  EXPECT_DOUBLE_EQ(model.nominal_range(), 15.0);
+  EXPECT_DOUBLE_EQ(model.max_range(), 15.0);
+}
+
+TEST(IdealDisk, RejectsNonPositiveRange) {
+  EXPECT_THROW(IdealDiskModel(0.0), CheckFailure);
+  EXPECT_THROW(IdealDiskModel(-3.0), CheckFailure);
+}
+
+TEST(IdealDisk, SymmetricPredicate) {
+  // Identical radios: A hears B iff B hears A (reciprocity under the
+  // idealized model, §2.1).
+  const IdealDiskModel model(10.0);
+  const Beacon at_a{0, {0.0, 0.0}, true};
+  const Beacon at_b{1, {7.0, 7.0}, true};
+  EXPECT_EQ(model.connected(at_a, at_b.pos), model.connected(at_b, at_a.pos));
+}
+
+TEST(IdealDisk, Name) {
+  EXPECT_EQ(IdealDiskModel(15.0).name(), "ideal");
+}
+
+}  // namespace
+}  // namespace abp

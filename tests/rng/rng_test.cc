@@ -1,0 +1,162 @@
+#include "rng/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numeric>
+#include <set>
+
+#include "common/stats.h"
+
+namespace abp {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MomentsMatch) {
+  Rng rng(6);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform01());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-4.0, 9.0);
+    EXPECT_GE(x, -4.0);
+    EXPECT_LT(x, 9.0);
+  }
+}
+
+TEST(Rng, SymmetricUnitCoversBothSigns) {
+  Rng rng(8);
+  int neg = 0, pos = 0;
+  for (int i = 0; i < 1000; ++i) {
+    (rng.symmetric_unit() < 0 ? neg : pos)++;
+  }
+  EXPECT_GT(neg, 400);
+  EXPECT_GT(pos, 400);
+}
+
+TEST(Rng, BelowIsUnbiasedOverSmallModulus) {
+  Rng rng(9);
+  const std::uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.below(n)];
+  for (std::uint64_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(counts[v], draws / static_cast<int>(n), 500);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits, 3000, 200);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(12);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(14);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(15);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is ~1/50!
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(16);
+  Rng child = parent.split();
+  // Child stream must differ from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(DeriveSeed, DeterministicAndTagSensitive) {
+  EXPECT_EQ(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+  EXPECT_NE(derive_seed(1, 2, 3), derive_seed(1, 3, 2));  // order matters
+  EXPECT_NE(derive_seed(1, 2, 3), derive_seed(2, 2, 3));  // parent matters
+  EXPECT_NE(derive_seed(1, 2), derive_seed(1, 2, 0));     // arity matters
+}
+
+TEST(DeriveSeed, NoObviousCollisionsOverTrialGrid) {
+  // The runner derives seeds from (master, noise_idx, count_idx, trial):
+  // all must be distinct over a realistic grid.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t n = 0; n < 4; ++n) {
+    for (std::uint64_t c = 0; c < 23; ++c) {
+      for (std::uint64_t t = 0; t < 100; ++t) {
+        seeds.insert(derive_seed(42, n, c, t));
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), 4u * 23u * 100u);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,41 @@
+#include "rng/xoshiro256pp.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+namespace abp {
+namespace {
+
+TEST(Xoshiro, DeterministicFromSeed) {
+  Xoshiro256pp a(5), b(5);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256pp>);
+  EXPECT_EQ(Xoshiro256pp::min(), 0u);
+  EXPECT_EQ(Xoshiro256pp::max(), ~std::uint64_t{0});
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Xoshiro256pp base(7);
+  Xoshiro256pp jumped(7);
+  jumped.jump();
+  // The jumped stream is 2^128 steps ahead: no short-window overlap with
+  // the base stream.
+  std::set<std::uint64_t> base_window;
+  for (int i = 0; i < 1000; ++i) base_window.insert(base());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(base_window.count(jumped()), 0u) << "overlap at step " << i;
+  }
+}
+
+TEST(Xoshiro, JumpIsDeterministic) {
+  Xoshiro256pp a(9), b(9);
+  a.jump();
+  b.jump();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,138 @@
+#include "robot/adaptive_explorer.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "common/assert.h"
+#include "field/generators.h"
+#include "loc/error_map.h"
+#include "radio/noise_model.h"
+
+namespace abp {
+namespace {
+
+struct Scene {
+  AABB bounds = AABB::square(60.0);
+  BeaconField field{bounds, 20.0};
+  PerBeaconNoiseModel model{15.0, 0.1, 5};
+  Lattice2D lattice{bounds, 1.0};
+
+  explicit Scene(std::size_t beacons, std::uint64_t seed = 4) {
+    Rng rng(seed);
+    scatter_uniform(field, beacons, rng);
+  }
+};
+
+TEST(Explorer, RespectsMeasurementBudget) {
+  Scene scene(8);
+  const Surveyor surveyor(scene.field, scene.model);
+  Rng rng(1);
+  const ExplorerConfig config{.coarse_stride = 8, .max_measurements = 300};
+  const auto result = explore_adaptive(surveyor, scene.lattice, config, rng);
+  EXPECT_LE(result.tour.size(), 300u);
+  EXPECT_EQ(result.survey.measured_count(), result.tour.size());
+  EXPECT_GT(result.travel_distance, 0.0);
+}
+
+TEST(Explorer, CoarsePassAloneWhenBudgetIsZero) {
+  Scene scene(8);
+  const Surveyor surveyor(scene.field, scene.model);
+  Rng rng(2);
+  const ExplorerConfig config{.coarse_stride = 10, .max_measurements = 0};
+  const auto result = explore_adaptive(surveyor, scene.lattice, config, rng);
+  // 61-point lattice at stride 10 → 7×7 coarse grid, no refinement.
+  EXPECT_EQ(result.tour.size(), 49u);
+}
+
+TEST(Explorer, RefinementTargetsHighErrorNeighbourhoods) {
+  // Beacons only in the south half: the north is uncovered (high error).
+  Scene scene(0);
+  Rng gen(3);
+  for (int i = 0; i < 8; ++i) {
+    scene.field.add({gen.uniform(0.0, 60.0), gen.uniform(0.0, 25.0)});
+  }
+  const Surveyor surveyor(scene.field, scene.model);
+  Rng rng(3);
+  const ExplorerConfig config{.coarse_stride = 10, .max_measurements = 400};
+  const auto result = explore_adaptive(surveyor, scene.lattice, config, rng);
+
+  // Refinement measurements (beyond the 49 coarse ones) should be mostly
+  // in the badly-localized north half.
+  std::size_t north = 0, total_refined = 0;
+  for (std::size_t k = 49; k < result.tour.size(); ++k) {
+    ++total_refined;
+    if (scene.lattice.point(result.tour[k]).y > 30.0) ++north;
+  }
+  ASSERT_GT(total_refined, 100u);
+  EXPECT_GT(static_cast<double>(north) / static_cast<double>(total_refined),
+            0.7);
+}
+
+TEST(Explorer, NoDuplicateMeasurements) {
+  Scene scene(10);
+  const Surveyor surveyor(scene.field, scene.model);
+  Rng rng(4);
+  const ExplorerConfig config{.coarse_stride = 6, .max_measurements = 500};
+  const auto result = explore_adaptive(surveyor, scene.lattice, config, rng);
+  const std::set<std::size_t> unique(result.tour.begin(), result.tour.end());
+  EXPECT_EQ(unique.size(), result.tour.size());
+}
+
+TEST(Explorer, BudgetedSurveyBeatsUniformStrideForMax) {
+  // The point of adaptive exploration: with the same measurement budget, a
+  // survey concentrated on hot areas supports placement at least as well
+  // as a uniform coarse survey. Compare the *true* value of the points the
+  // two surveys would nominate as worst.
+  Scene scene(6, 11);
+  ErrorMap truth(scene.lattice);
+  truth.compute(scene.field, scene.model);
+
+  const Surveyor surveyor(scene.field, scene.model);
+  Rng rng_a(5), rng_b(5);
+  const ExplorerConfig config{.coarse_stride = 8, .max_measurements = 500};
+  const auto adaptive =
+      explore_adaptive(surveyor, scene.lattice, config, rng_a);
+  // Uniform comparison survey with a similar budget: stride 3 → 441 points.
+  const SurveyData uniform = surveyor.survey(
+      scene.lattice, boustrophedon_tour(scene.lattice, 3), rng_b);
+
+  const auto best_true_error = [&](const SurveyData& survey) {
+    double best_measured = -1.0;
+    std::size_t arg = 0;
+    for (std::size_t flat = 0; flat < scene.lattice.size(); ++flat) {
+      if (survey.measured(flat) && survey.value(flat) > best_measured) {
+        best_measured = survey.value(flat);
+        arg = flat;
+      }
+    }
+    return truth.value(arg);
+  };
+  EXPECT_GE(best_true_error(adaptive.survey) + 1.0,
+            best_true_error(uniform));
+}
+
+TEST(Explorer, DeterministicGivenSeed) {
+  Scene scene(9);
+  const Surveyor surveyor(scene.field, scene.model);
+  Rng r1(7), r2(7);
+  const ExplorerConfig config{.coarse_stride = 8, .max_measurements = 200};
+  const auto a = explore_adaptive(surveyor, scene.lattice, config, r1);
+  const auto b = explore_adaptive(surveyor, scene.lattice, config, r2);
+  EXPECT_EQ(a.tour, b.tour);
+  EXPECT_DOUBLE_EQ(a.travel_distance, b.travel_distance);
+}
+
+TEST(Explorer, RejectsBadConfig) {
+  Scene scene(5);
+  const Surveyor surveyor(scene.field, scene.model);
+  Rng rng(8);
+  EXPECT_THROW(explore_adaptive(surveyor, scene.lattice,
+                                {.coarse_stride = 0}, rng),
+               CheckFailure);
+  EXPECT_THROW(explore_adaptive(surveyor, scene.lattice,
+                                {.refine_radius = 0.0}, rng),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,114 @@
+#include "robot/multi.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "field/generators.h"
+#include "loc/error_map.h"
+#include "radio/noise_model.h"
+
+namespace abp {
+namespace {
+
+struct Scene {
+  AABB bounds = AABB::square(60.0);
+  BeaconField field{bounds, 20.0};
+  PerBeaconNoiseModel model{15.0, 0.0, 3};
+  Lattice2D lattice{bounds, 1.0};
+
+  Scene() {
+    Rng rng(2);
+    scatter_uniform(field, 12, rng);
+  }
+};
+
+TEST(MultiRobot, MergedSurveyIsComplete) {
+  Scene scene;
+  const Surveyor surveyor(scene.field, scene.model);
+  Rng rng(1);
+  const auto result =
+      multi_robot_survey(surveyor, scene.lattice, 4, 1, rng);
+  EXPECT_DOUBLE_EQ(result.survey.coverage(), 1.0);
+  EXPECT_EQ(result.points.size(), 4u);
+  EXPECT_EQ(result.travel_distance.size(), 4u);
+}
+
+TEST(MultiRobot, MergedEqualsGroundTruthWithIdealInstruments) {
+  Scene scene;
+  ErrorMap truth(scene.lattice);
+  truth.compute(scene.field, scene.model);
+  const Surveyor surveyor(scene.field, scene.model);
+  Rng rng(2);
+  const auto result =
+      multi_robot_survey(surveyor, scene.lattice, 3, 1, rng);
+  scene.lattice.for_each([&](std::size_t flat, Vec2) {
+    ASSERT_DOUBLE_EQ(result.survey.value(flat), truth.value(flat));
+  });
+}
+
+TEST(MultiRobot, StripsPartitionThePoints) {
+  Scene scene;
+  const Surveyor surveyor(scene.field, scene.model);
+  Rng rng(3);
+  const auto result =
+      multi_robot_survey(surveyor, scene.lattice, 5, 1, rng);
+  std::size_t total = 0;
+  for (std::size_t p : result.points) total += p;
+  EXPECT_EQ(total, scene.lattice.size());  // no overlap, no gap
+}
+
+TEST(MultiRobot, MoreRobotsShrinkMakespan) {
+  Scene scene;
+  const Surveyor surveyor(scene.field, scene.model);
+  const SurveyCostModel cost;
+  Rng r1(4), r4(4);
+  const double t1 =
+      multi_robot_survey(surveyor, scene.lattice, 1, 1, r1).makespan(cost);
+  const double t4 =
+      multi_robot_survey(surveyor, scene.lattice, 4, 1, r4).makespan(cost);
+  EXPECT_LT(t4, t1 / 2.5);  // near-linear speedup
+}
+
+TEST(MultiRobot, TotalTimeRoughlyConserved) {
+  // Parallelism shrinks the makespan, not the total robot-time.
+  Scene scene;
+  const Surveyor surveyor(scene.field, scene.model);
+  const SurveyCostModel cost;
+  Rng r1(5), r4(5);
+  const double total1 =
+      multi_robot_survey(surveyor, scene.lattice, 1, 1, r1).total_time(cost);
+  const double total4 =
+      multi_robot_survey(surveyor, scene.lattice, 4, 1, r4).total_time(cost);
+  EXPECT_NEAR(total4, total1, 0.1 * total1);
+}
+
+TEST(MultiRobot, StrideSubsamples) {
+  Scene scene;
+  const Surveyor surveyor(scene.field, scene.model);
+  Rng rng(6);
+  const auto result =
+      multi_robot_survey(surveyor, scene.lattice, 2, 3, rng);
+  EXPECT_LT(result.survey.coverage(), 0.2);
+  EXPECT_GT(result.survey.coverage(), 0.05);
+}
+
+TEST(CostModel, TimeArithmetic) {
+  const SurveyCostModel cost{.speed = 2.0, .measurement_time = 3.0};
+  EXPECT_DOUBLE_EQ(cost.time(100.0, 10), 50.0 + 30.0);
+}
+
+TEST(MultiRobot, Validation) {
+  Scene scene;
+  const Surveyor surveyor(scene.field, scene.model);
+  Rng rng(7);
+  EXPECT_THROW(multi_robot_survey(surveyor, scene.lattice, 0, 1, rng),
+               CheckFailure);
+  EXPECT_THROW(multi_robot_survey(surveyor, scene.lattice, 2, 0, rng),
+               CheckFailure);
+  EXPECT_THROW(
+      multi_robot_survey(surveyor, scene.lattice, 10000, 1, rng),
+      CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

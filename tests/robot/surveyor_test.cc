@@ -1,0 +1,131 @@
+#include "robot/surveyor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "field/generators.h"
+#include "loc/error_map.h"
+#include "radio/noise_model.h"
+
+namespace abp {
+namespace {
+
+struct Scenario {
+  AABB bounds = AABB::square(40.0);
+  BeaconField field{bounds, 20.0};
+  PerBeaconNoiseModel model{15.0, 0.2, 7};
+  Lattice2D lattice{bounds, 1.0};
+
+  Scenario() {
+    Rng rng(3);
+    scatter_uniform(field, 12, rng);
+  }
+};
+
+TEST(Surveyor, IdealCompleteSurveyEqualsGroundTruth) {
+  // §3.1 baseline: complete exploration, perfect GPS, no measurement noise
+  // ⇒ the survey IS the error map.
+  Scenario s;
+  ErrorMap truth(s.lattice);
+  truth.compute(s.field, s.model);
+
+  const Surveyor surveyor(s.field, s.model);
+  Rng rng(1);
+  const SurveyData survey = surveyor.survey_complete(s.lattice, rng);
+
+  EXPECT_DOUBLE_EQ(survey.coverage(), 1.0);
+  s.lattice.for_each([&](std::size_t flat, Vec2) {
+    ASSERT_DOUBLE_EQ(survey.value(flat), truth.value(flat));
+  });
+}
+
+TEST(Surveyor, PartialTourMeasuresOnlyVisitedPoints) {
+  Scenario s;
+  const Surveyor surveyor(s.field, s.model);
+  Rng rng(2);
+  const auto tour = boustrophedon_tour(s.lattice, 4);
+  const SurveyData survey = surveyor.survey(s.lattice, tour, rng);
+  EXPECT_EQ(survey.measured_count(), tour.size());
+  EXPECT_LT(survey.coverage(), 0.1);
+  // Unvisited points are unmeasured.
+  EXPECT_FALSE(survey.measured(s.lattice.index(1, 0)));
+  EXPECT_TRUE(survey.measured(s.lattice.index(0, 0)));
+}
+
+TEST(Surveyor, GpsErrorPerturbsReadings) {
+  Scenario s;
+  ErrorMap truth(s.lattice);
+  truth.compute(s.field, s.model);
+
+  SurveyorConfig config;
+  config.gps = GpsModel(2.0);
+  const Surveyor surveyor(s.field, s.model, config);
+  Rng rng(4);
+  const SurveyData survey = surveyor.survey_complete(s.lattice, rng);
+
+  // Readings differ from truth, but remain unbiased-ish in aggregate:
+  // |estimate - fix| >= |estimate - true| - |gps error|.
+  std::size_t differing = 0;
+  s.lattice.for_each([&](std::size_t flat, Vec2) {
+    if (survey.value(flat) != truth.value(flat)) ++differing;
+  });
+  EXPECT_GT(differing, s.lattice.size() / 2);
+  // GPS noise of 2 m cannot move the mean reading by more than ~2·E|N|.
+  EXPECT_NEAR(survey.mean(), truth.mean(), 2.5);
+}
+
+TEST(Surveyor, MeasurementNoiseClampsAtZero) {
+  Scenario s;
+  SurveyorConfig config;
+  config.measurement_noise = 50.0;  // absurdly noisy instrument
+  const Surveyor surveyor(s.field, s.model, config);
+  Rng rng(5);
+  const SurveyData survey = surveyor.survey_complete(s.lattice, rng);
+  s.lattice.for_each([&](std::size_t flat, Vec2) {
+    ASSERT_GE(survey.value(flat), 0.0);
+  });
+}
+
+TEST(Surveyor, RevisitedPointsKeepLatestReading) {
+  Scenario s;
+  SurveyorConfig config;
+  config.measurement_noise = 1.0;
+  const Surveyor surveyor(s.field, s.model, config);
+  Rng rng(6);
+  // Visit the same point twice: the second (different-noise) reading wins.
+  const std::vector<std::size_t> tour{5, 5};
+  const SurveyData survey = surveyor.survey(s.lattice, tour, rng);
+  EXPECT_EQ(survey.measured_count(), 1u);
+
+  Rng rng2(6);
+  const SurveyData first_only =
+      surveyor.survey(s.lattice, {5}, rng2);
+  // With the same stream, the single-visit reading equals the first
+  // reading, which the revisit then overwrote.
+  EXPECT_NE(survey.value(5), first_only.value(5));
+}
+
+TEST(Gps, IdealFixIsExact) {
+  const GpsModel gps(0.0);
+  Rng rng(7);
+  EXPECT_EQ(gps.fix({12.0, 34.0}, rng), (Vec2{12.0, 34.0}));
+  EXPECT_TRUE(gps.ideal());
+}
+
+TEST(Gps, ErrorStatisticsMatchSigma) {
+  const GpsModel gps(3.0);
+  Rng rng(8);
+  RunningStats dx;
+  for (int i = 0; i < 20000; ++i) {
+    dx.add(gps.fix({0.0, 0.0}, rng).x);
+  }
+  EXPECT_NEAR(dx.mean(), 0.0, 0.1);
+  EXPECT_NEAR(dx.stddev(), 3.0, 0.1);
+}
+
+TEST(Gps, NegativeSigmaRejected) {
+  EXPECT_THROW(GpsModel(-1.0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,112 @@
+#include "robot/tour.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "common/assert.h"
+
+namespace abp {
+namespace {
+
+Lattice2D lattice() { return Lattice2D(AABB::square(20.0), 1.0); }
+
+TEST(Boustrophedon, Stride1CoversEveryPointExactlyOnce) {
+  const Lattice2D l = lattice();
+  const auto tour = boustrophedon_tour(l, 1);
+  EXPECT_EQ(tour.size(), l.size());
+  const std::set<std::size_t> unique(tour.begin(), tour.end());
+  EXPECT_EQ(unique.size(), l.size());
+}
+
+TEST(Boustrophedon, SerpentineRowOrder) {
+  const Lattice2D l(AABB::square(2.0), 1.0);  // 3x3
+  const auto tour = boustrophedon_tour(l, 1);
+  // Row 0 L→R: (0,0)(1,0)(2,0); row 1 R→L: (2,1)(1,1)(0,1); row 2 L→R.
+  const std::vector<std::size_t> expected{
+      l.index(0, 0), l.index(1, 0), l.index(2, 0),
+      l.index(2, 1), l.index(1, 1), l.index(0, 1),
+      l.index(0, 2), l.index(1, 2), l.index(2, 2)};
+  EXPECT_EQ(tour, expected);
+}
+
+TEST(Boustrophedon, SerpentineMinimizesTravel) {
+  // Consecutive waypoints are adjacent: total length = (#points - 1) * step.
+  const Lattice2D l = lattice();
+  const auto tour = boustrophedon_tour(l, 1);
+  EXPECT_DOUBLE_EQ(tour_length(l, tour),
+                   static_cast<double>(tour.size() - 1) * l.step());
+}
+
+TEST(Boustrophedon, StrideSubsamples) {
+  const Lattice2D l = lattice();  // 21x21
+  const auto tour = boustrophedon_tour(l, 2);
+  EXPECT_EQ(tour.size(), 11u * 11u);
+  for (std::size_t flat : tour) {
+    const auto [i, j] = l.coords(flat);
+    EXPECT_EQ(i % 2, 0u);
+    EXPECT_EQ(j % 2, 0u);
+  }
+}
+
+TEST(Boustrophedon, RejectsZeroStride) {
+  EXPECT_THROW(boustrophedon_tour(lattice(), 0), CheckFailure);
+}
+
+TEST(RandomWalk, StepsAreLatticeNeighbours) {
+  const Lattice2D l = lattice();
+  Rng rng(1);
+  const auto tour = random_walk_tour(l, {10.0, 10.0}, 500, rng);
+  EXPECT_EQ(tour.size(), 501u);
+  for (std::size_t k = 1; k < tour.size(); ++k) {
+    EXPECT_DOUBLE_EQ(distance(l.point(tour[k - 1]), l.point(tour[k])),
+                     l.step());
+  }
+}
+
+TEST(RandomWalk, StartsNearestToStart) {
+  const Lattice2D l = lattice();
+  Rng rng(2);
+  const auto tour = random_walk_tour(l, {10.3, 9.8}, 5, rng);
+  EXPECT_EQ(tour.front(), l.index(10, 10));
+}
+
+TEST(RandomWalk, StaysInBounds) {
+  const Lattice2D l = lattice();
+  Rng rng(3);
+  // Start in a corner and walk long enough to hit every wall.
+  const auto tour = random_walk_tour(l, {0.0, 0.0}, 2000, rng);
+  for (std::size_t flat : tour) {
+    EXPECT_LT(flat, l.size());
+  }
+}
+
+TEST(Subsample, FractionControlsSize) {
+  const Lattice2D l = lattice();  // 441 points
+  Rng rng(4);
+  const auto tour = subsample_tour(l, 0.25, rng);
+  EXPECT_EQ(tour.size(), 111u);  // ceil(0.25 * 441)
+  const std::set<std::size_t> unique(tour.begin(), tour.end());
+  EXPECT_EQ(unique.size(), tour.size());  // distinct points
+}
+
+TEST(Subsample, FullFractionIsPermutation) {
+  const Lattice2D l = lattice();
+  Rng rng(5);
+  const auto tour = subsample_tour(l, 1.0, rng);
+  EXPECT_EQ(tour.size(), l.size());
+}
+
+TEST(Subsample, RejectsBadFraction) {
+  Rng rng(6);
+  EXPECT_THROW(subsample_tour(lattice(), 0.0, rng), CheckFailure);
+  EXPECT_THROW(subsample_tour(lattice(), 1.5, rng), CheckFailure);
+}
+
+TEST(TourLength, EmptyAndSingleton) {
+  const Lattice2D l = lattice();
+  EXPECT_DOUBLE_EQ(tour_length(l, {}), 0.0);
+  EXPECT_DOUBLE_EQ(tour_length(l, {5}), 0.0);
+}
+
+}  // namespace
+}  // namespace abp

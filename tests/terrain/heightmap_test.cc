@@ -1,0 +1,109 @@
+#include "terrain/heightmap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace abp {
+namespace {
+
+Grid2D<double> ramp_heights() {
+  // Height = x ordinate: a plane rising to the east, 3x3 samples.
+  Grid2D<double> h(3, 3, 0.0);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      h.at(i, j) = static_cast<double>(i) * 10.0;
+    }
+  }
+  return h;
+}
+
+TEST(Heightmap, BilinearInterpolatesExactlyOnAPlane) {
+  const HeightmapTerrain t(AABB::square(100.0), ramp_heights());
+  // The surface is planar, so interpolation is exact everywhere.
+  EXPECT_NEAR(t.elevation({0.0, 50.0}), 0.0, 1e-12);
+  EXPECT_NEAR(t.elevation({50.0, 0.0}), 10.0, 1e-12);
+  EXPECT_NEAR(t.elevation({100.0, 100.0}), 20.0, 1e-12);
+  EXPECT_NEAR(t.elevation({25.0, 70.0}), 5.0, 1e-12);
+}
+
+TEST(Heightmap, ClampsOutsideQueries) {
+  const HeightmapTerrain t(AABB::square(100.0), ramp_heights());
+  EXPECT_NEAR(t.elevation({-10.0, 50.0}), 0.0, 1e-12);
+  EXPECT_NEAR(t.elevation({500.0, 50.0}), 20.0, 1e-12);
+}
+
+TEST(Heightmap, MinMaxTrackSamples) {
+  const HeightmapTerrain t(AABB::square(100.0), ramp_heights());
+  EXPECT_DOUBLE_EQ(t.min_height(), 0.0);
+  EXPECT_DOUBLE_EQ(t.max_height(), 20.0);
+}
+
+TEST(Heightmap, DownhillOnRampPointsWest) {
+  const HeightmapTerrain t(AABB::square(100.0), ramp_heights());
+  const Vec2 d = t.downhill({50.0, 50.0});
+  EXPECT_LT(d.x, -0.99);
+  EXPECT_NEAR(d.y, 0.0, 1e-6);
+}
+
+TEST(Heightmap, RejectsTinyGrids) {
+  EXPECT_THROW(HeightmapTerrain(AABB::square(10.0), Grid2D<double>(1, 5)),
+               CheckFailure);
+}
+
+TEST(Heightmap, UnobstructedLinkOnGentleSlopeIsClear) {
+  const HeightmapTerrain t(AABB::square(100.0), ramp_heights());
+  // Straight chord over a plane never dips below the surface.
+  EXPECT_NEAR(t.link_factor({10.0, 10.0}, {90.0, 90.0}), 1.0, 1e-9);
+}
+
+TEST(Fractal, DeterministicInSeed) {
+  const auto a = HeightmapTerrain::fractal(AABB::square(100.0), 99, 5);
+  const auto b = HeightmapTerrain::fractal(AABB::square(100.0), 99, 5);
+  for (double x : {0.0, 13.7, 52.1, 99.0}) {
+    for (double y : {5.0, 47.3, 88.8}) {
+      EXPECT_DOUBLE_EQ(a.elevation({x, y}), b.elevation({x, y}));
+    }
+  }
+}
+
+TEST(Fractal, DifferentSeedsDiffer) {
+  const auto a = HeightmapTerrain::fractal(AABB::square(100.0), 1, 5);
+  const auto b = HeightmapTerrain::fractal(AABB::square(100.0), 2, 5);
+  bool any_diff = false;
+  for (double x : {10.0, 50.0, 90.0}) {
+    if (a.elevation({x, x}) != b.elevation({x, x})) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Fractal, AmplitudeBoundsRoughly) {
+  // Displacements are bounded by the geometric series of the amplitude:
+  // sum a·r^k = a/(1-r). With a=10, r=0.5 heights stay well within ±40.
+  const auto t =
+      HeightmapTerrain::fractal(AABB::square(100.0), 7, 6, 10.0, 0.5);
+  EXPECT_GT(t.min_height(), -40.0);
+  EXPECT_LT(t.max_height(), 40.0);
+  EXPECT_NE(t.min_height(), t.max_height());  // actually rough
+}
+
+TEST(Fractal, RejectsBadParameters) {
+  EXPECT_THROW(HeightmapTerrain::fractal(AABB::square(10.0), 1, 0),
+               CheckFailure);
+  EXPECT_THROW(HeightmapTerrain::fractal(AABB::square(10.0), 1, 5, 10.0, 1.5),
+               CheckFailure);
+}
+
+TEST(Fractal, RidgeBlocksLineOfSight) {
+  // Build an explicit ridge down the middle and confirm attenuation.
+  Grid2D<double> h(5, 5, 0.0);
+  for (std::size_t j = 0; j < 5; ++j) h.at(2, j) = 50.0;  // tall wall
+  const HeightmapTerrain t(AABB::square(100.0), std::move(h));
+  const double across = t.link_factor({10.0, 50.0}, {90.0, 50.0});
+  const double along = t.link_factor({10.0, 10.0}, {10.0, 90.0});
+  EXPECT_LT(across, 0.5);
+  EXPECT_NEAR(along, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,60 @@
+#include "terrain/terrain.h"
+
+#include <gtest/gtest.h>
+
+#include "terrain/heightmap.h"
+
+namespace abp {
+namespace {
+
+TEST(FlatTerrain, ConstantElevationAndClearLinks) {
+  const FlatTerrain t(AABB::square(100.0), 3.0);
+  EXPECT_DOUBLE_EQ(t.elevation({0.0, 0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(t.elevation({99.0, 42.0}), 3.0);
+  EXPECT_DOUBLE_EQ(t.link_factor({0.0, 0.0}, {100.0, 100.0}), 1.0);
+  EXPECT_EQ(t.downhill({50.0, 50.0}), Vec2{});
+}
+
+TEST(HillTerrain, PeakIsHighest) {
+  const HillTerrain hill(AABB::square(100.0), {50.0, 50.0}, 30.0, 15.0);
+  const double peak = hill.elevation({50.0, 50.0});
+  EXPECT_DOUBLE_EQ(peak, 30.0);
+  EXPECT_LT(hill.elevation({40.0, 50.0}), peak);
+  EXPECT_LT(hill.elevation({0.0, 0.0}), 1.0);  // far tail ~ 0
+}
+
+TEST(HillTerrain, DownhillPointsAwayFromPeak) {
+  const HillTerrain hill(AABB::square(100.0), {50.0, 50.0}, 30.0, 15.0);
+  const Vec2 d = hill.downhill({60.0, 50.0});
+  EXPECT_GT(d.x, 0.9);  // mostly +x, away from the peak
+  EXPECT_NEAR(d.norm(), 1.0, 1e-9);
+}
+
+TEST(HillTerrain, DownhillAtPeakIsZero) {
+  const HillTerrain hill(AABB::square(100.0), {50.0, 50.0}, 30.0, 15.0);
+  EXPECT_LT(hill.downhill({50.0, 50.0}).norm(), 1e-6);
+}
+
+TEST(HillTerrain, HillBlocksCrossLinks) {
+  const HillTerrain hill(AABB::square(100.0), {50.0, 50.0}, 40.0, 10.0);
+  // Link across the hill vs link of equal length in the flat corner.
+  const double blocked = hill.link_factor({30.0, 50.0}, {70.0, 50.0});
+  const double clear = hill.link_factor({0.0, 0.0}, {40.0, 0.0});
+  EXPECT_LT(blocked, clear);
+  EXPECT_GT(blocked, 0.0);
+  EXPECT_NEAR(clear, 1.0, 1e-6);
+}
+
+TEST(HillTerrain, LinkFactorSymmetric) {
+  const HillTerrain hill(AABB::square(100.0), {50.0, 50.0}, 40.0, 10.0);
+  EXPECT_NEAR(hill.link_factor({20.0, 50.0}, {80.0, 50.0}),
+              hill.link_factor({80.0, 50.0}, {20.0, 50.0}), 1e-9);
+}
+
+TEST(HillTerrain, ZeroLengthLinkIsClear) {
+  const HillTerrain hill(AABB::square(100.0), {50.0, 50.0}, 40.0, 10.0);
+  EXPECT_DOUBLE_EQ(hill.link_factor({50.0, 50.0}, {50.0, 50.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,299 @@
+/// tools/abp_cli.cc — the `abp` command-line workbench.
+///
+/// Drives the complete adaptive-beacon-placement lifecycle from a shell,
+/// with beacon fields and surveys persisted in the library's text format:
+///
+///   abp generate --beacons 40 --out field.txt [--mode uniform|airdrop|
+///                clustered|grid] [--seed S] [--side 100]
+///   abp report   --field field.txt [--noise 0.3] [--render]
+///   abp survey   --field field.txt --out survey.txt [--stride 2]
+///                [--gps-sigma 1.0] [--noise 0.3]
+///   abp place    --field field.txt --survey survey.txt --out field2.txt
+///                [--algorithm grid|grid-norm|max|random|coverage|locus]
+///                [--count 3] [--noise 0.3]
+///   abp schedule --field field.txt --out field2.txt  (distributed on/off)
+///   abp sweep    --figure 4|5|6|7|8|9 [--trials N] [--csv PATH]
+///
+/// Exit status 0 on success; CheckFailure messages go to stderr with
+/// status 1.
+#include <iostream>
+#include <memory>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "eval/figures.h"
+#include "eval/report.h"
+#include "field/generators.h"
+#include "io/field_io.h"
+#include "loc/coverage.h"
+#include "loc/error_map.h"
+#include "loc/render.h"
+#include "placement/coverage_placement.h"
+#include "placement/distributed_scheduler.h"
+#include "placement/grid_placement.h"
+#include "placement/locus_placement.h"
+#include "placement/max_placement.h"
+#include "placement/random_placement.h"
+#include "radio/noise_model.h"
+#include "robot/surveyor.h"
+#include "terrain/heightmap.h"
+
+namespace abp::cli {
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: abp <command> [flags]\n"
+         "  generate --beacons N --out FILE [--mode uniform|airdrop|"
+         "clustered|grid] [--seed S] [--side M]\n"
+         "  report   --field FILE [--noise X] [--render]\n"
+         "  survey   --field FILE --out FILE [--stride K] [--gps-sigma S] "
+         "[--noise X] [--seed S]\n"
+         "  place    --field FILE --survey FILE --out FILE [--algorithm A] "
+         "[--count K] [--noise X] [--seed S]\n"
+         "  schedule --field FILE --out FILE [--seed S]\n"
+         "  sweep    --figure 4|5|6|7|8|9 [--trials N] [--csv PATH] "
+         "[--stride K] [--seed S]\n";
+  return 2;
+}
+
+PerBeaconNoiseModel make_model(const BeaconField& field, double noise,
+                               std::uint64_t seed) {
+  (void)field;
+  return PerBeaconNoiseModel(15.0, noise, derive_seed(seed, 2));
+}
+
+int cmd_generate(const Flags& flags) {
+  const auto beacons =
+      static_cast<std::size_t>(flags.get_int("beacons", 40));
+  const std::string out = flags.get_string("out", "");
+  const std::string mode = flags.get_string("mode", "uniform");
+  const double side = flags.get_double("side", 100.0);
+  const std::uint64_t seed = flags.get_u64("seed", 1);
+  flags.check_unused();
+  ABP_CHECK(!out.empty(), "generate requires --out");
+
+  BeaconField field(AABB::square(side));
+  Rng rng(seed);
+  if (mode == "uniform") {
+    scatter_uniform(field, beacons, rng);
+  } else if (mode == "airdrop") {
+    const HillTerrain hill(field.bounds(), field.bounds().center(),
+                           30.0, side / 6.0);
+    airdrop(field, beacons, hill, rng);
+  } else if (mode == "clustered") {
+    scatter_clustered(field, beacons, 4, side / 16.0, rng);
+  } else if (mode == "grid") {
+    const auto per_axis = static_cast<std::size_t>(
+        std::llround(std::sqrt(static_cast<double>(beacons))));
+    ABP_CHECK(per_axis * per_axis == beacons,
+              "--mode grid needs a square --beacons count");
+    place_grid(field, per_axis, per_axis);
+  } else {
+    ABP_CHECK(false, "unknown --mode: " + mode);
+  }
+  save_field(out, field);
+  std::cout << "wrote " << field.size() << " beacons to " << out << "\n";
+  return 0;
+}
+
+int cmd_report(const Flags& flags) {
+  const std::string path = flags.get_string("field", "");
+  const double noise = flags.get_double("noise", 0.0);
+  const bool render = flags.get_bool("render", false);
+  const std::uint64_t seed = flags.get_u64("seed", 1);
+  flags.check_unused();
+  ABP_CHECK(!path.empty(), "report requires --field");
+
+  const BeaconField field = load_field(path);
+  const PerBeaconNoiseModel model = make_model(field, noise, seed);
+  const Lattice2D lattice(field.bounds(), 1.0);
+  ErrorMap map(lattice);
+  map.compute(field, model);
+  const CoverageStats coverage = analyze_coverage(field, model, lattice);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"beacons (active/total)",
+                 std::to_string(field.active_count()) + "/" +
+                     std::to_string(field.size())});
+  table.add_row({"density (/m^2)", TextTable::fmt(field.density(), 4)});
+  table.add_row({"mean LE (m)", TextTable::fmt(map.mean(), 2)});
+  table.add_row({"median LE (m)", TextTable::fmt(map.median(), 2)});
+  table.add_row({"uncovered (%)",
+                 TextTable::fmt(100.0 * map.uncovered_fraction(), 1)});
+  table.add_row({"3-covered (%)",
+                 TextTable::fmt(100.0 * coverage.at_least(3), 1)});
+  table.add_row({"beacon-graph components",
+                 std::to_string(coverage.components)});
+  table.add_row({"isolated beacons",
+                 std::to_string(coverage.isolated_beacons)});
+  table.print(std::cout);
+  if (render) {
+    std::cout << '\n';
+    render_error_map(std::cout, map, &field, {.show_beacons = true});
+    std::cout << render_legend() << '\n';
+  }
+  return 0;
+}
+
+int cmd_survey(const Flags& flags) {
+  const std::string field_path = flags.get_string("field", "");
+  const std::string out = flags.get_string("out", "");
+  const auto stride = static_cast<std::size_t>(flags.get_int("stride", 1));
+  const double gps_sigma = flags.get_double("gps-sigma", 0.0);
+  const double noise = flags.get_double("noise", 0.0);
+  const std::uint64_t seed = flags.get_u64("seed", 1);
+  flags.check_unused();
+  ABP_CHECK(!field_path.empty() && !out.empty(),
+            "survey requires --field and --out");
+
+  const BeaconField field = load_field(field_path);
+  const PerBeaconNoiseModel model = make_model(field, noise, seed);
+  const Lattice2D lattice(field.bounds(), 1.0);
+  const Surveyor surveyor(field, model, {.gps = GpsModel(gps_sigma)});
+  Rng rng(derive_seed(seed, 7));
+  const SurveyData survey =
+      surveyor.survey(lattice, boustrophedon_tour(lattice, stride), rng);
+  save_survey(out, survey);
+  std::cout << "surveyed " << survey.measured_count() << " points ("
+            << TextTable::fmt(100.0 * survey.coverage(), 1)
+            << "% of the lattice), mean reading "
+            << TextTable::fmt(survey.mean(), 2) << " m → " << out << "\n";
+  return 0;
+}
+
+const PlacementAlgorithm& algorithm_by_name(const std::string& name) {
+  static const RandomPlacement random;
+  static const MaxPlacement max;
+  static const GridPlacement grid;
+  static const GridPlacement grid_norm(400, 2.0, true);
+  static const CoveragePlacement coverage;
+  static const LocusPlacement locus;
+  if (name == "random") return random;
+  if (name == "max") return max;
+  if (name == "grid") return grid;
+  if (name == "grid-norm") return grid_norm;
+  if (name == "coverage") return coverage;
+  if (name == "locus") return locus;
+  ABP_CHECK(false, "unknown --algorithm: " + name);
+  return grid;  // unreachable
+}
+
+int cmd_place(const Flags& flags) {
+  const std::string field_path = flags.get_string("field", "");
+  const std::string survey_path = flags.get_string("survey", "");
+  const std::string out = flags.get_string("out", "");
+  const std::string algorithm = flags.get_string("algorithm", "grid");
+  const auto count = static_cast<std::size_t>(flags.get_int("count", 1));
+  const double noise = flags.get_double("noise", 0.0);
+  const std::uint64_t seed = flags.get_u64("seed", 1);
+  flags.check_unused();
+  ABP_CHECK(!field_path.empty() && !out.empty(),
+            "place requires --field and --out");
+
+  BeaconField field = load_field(field_path);
+  const PerBeaconNoiseModel model = make_model(field, noise, seed);
+  const Lattice2D lattice(field.bounds(), 1.0);
+  ErrorMap map(lattice);
+  map.compute(field, model);
+  const double before = map.mean();
+
+  const PlacementAlgorithm& alg = algorithm_by_name(algorithm);
+  Rng rng(derive_seed(seed, 9));
+  for (std::size_t k = 0; k < count; ++k) {
+    // Use the provided survey for the first placement; re-measure (exact)
+    // for subsequent ones.
+    SurveyData survey = (k == 0 && !survey_path.empty())
+                            ? load_survey(survey_path)
+                            : SurveyData::from_error_map(map);
+    PlacementContext ctx =
+        PlacementContext::basic(survey, field.bounds(), 15.0);
+    ctx.field = &field;
+    ctx.model = &model;
+    ctx.truth = &map;
+    const Vec2 pos = field.bounds().clamp(alg.propose(ctx, rng));
+    const BeaconId id = field.add(pos);
+    map.apply_addition(field, model, *field.get(id));
+    std::cout << "placed beacon " << id << " at (" << TextTable::fmt(pos.x, 1)
+              << ", " << TextTable::fmt(pos.y, 1) << ")\n";
+  }
+  save_field(out, field);
+  std::cout << "mean LE " << TextTable::fmt(before, 2) << " m → "
+            << TextTable::fmt(map.mean(), 2) << " m; wrote " << out << "\n";
+  return 0;
+}
+
+int cmd_schedule(const Flags& flags) {
+  const std::string field_path = flags.get_string("field", "");
+  const std::string out = flags.get_string("out", "");
+  const std::uint64_t seed = flags.get_u64("seed", 1);
+  flags.check_unused();
+  ABP_CHECK(!field_path.empty() && !out.empty(),
+            "schedule requires --field and --out");
+
+  BeaconField field = load_field(field_path);
+  Rng rng(derive_seed(seed, 11));
+  const auto result = distributed_density_control(field, {}, rng);
+  save_field(out, field);
+  std::cout << "self-scheduling: " << result.initial_active << " → "
+            << result.final_active << " active in " << result.rounds
+            << " rounds (" << (result.converged ? "converged" : "capped")
+            << "); wrote " << out << "\n";
+  return 0;
+}
+
+int cmd_sweep(const Flags& flags) {
+  const int figure = flags.get_int("figure", 4);
+  FigureOptions opt;
+  opt.trials = static_cast<std::size_t>(flags.get_int("trials", 30));
+  opt.count_stride = static_cast<std::size_t>(flags.get_int("stride", 2));
+  opt.seed = flags.get_u64("seed", 20010421);
+  const std::string csv = flags.get_string("csv", "");
+  flags.check_unused();
+
+  SweepOutcome out;
+  switch (figure) {
+    case 4: out = run_fig4(opt); break;
+    case 5: out = run_fig5(opt); break;
+    case 6: out = run_fig6(opt); break;
+    case 7: out = run_fig_alg_noise("random", opt); break;
+    case 8: out = run_fig_alg_noise("max", opt); break;
+    case 9: out = run_fig_alg_noise("grid", opt); break;
+    default: ABP_CHECK(false, "--figure must be 4..9");
+  }
+  if (out.algorithm_names.empty()) {
+    print_mean_error_table(std::cout, out);
+  } else if (out.cells.size() == 1) {
+    print_improvement_tables(std::cout, out, 0);
+  } else {
+    print_algorithm_noise_tables(std::cout, out, 0);
+  }
+  maybe_write_csv(csv, out);
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  if (command == "generate") return cmd_generate(flags);
+  if (command == "report") return cmd_report(flags);
+  if (command == "survey") return cmd_survey(flags);
+  if (command == "place") return cmd_place(flags);
+  if (command == "schedule") return cmd_schedule(flags);
+  if (command == "sweep") return cmd_sweep(flags);
+  std::cerr << "unknown command: " << command << "\n";
+  return usage();
+}
+
+}  // namespace
+}  // namespace abp::cli
+
+int main(int argc, char** argv) {
+  try {
+    return abp::cli::run(argc, argv);
+  } catch (const abp::CheckFailure& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
