@@ -1,0 +1,112 @@
+/// bench_serve_throughput — queries/second of the localization query
+/// service across the two knobs that matter for serving: the coalescing
+/// batch size B and the worker count.
+///
+/// Each iteration pushes a window of pipelined localize requests through
+/// the loopback transport (full wire codec: format → frame → decode →
+/// parse → dispatch → format → frame), so the numbers include codec cost,
+/// not just the localization pass. `items_processed` is requests, so
+/// benchmark output reports queries/sec directly — the batched
+/// configurations must beat batch=1 because B queued queries share one
+/// deployment-lock acquisition and one spatial-index walk.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "field/generators.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+
+namespace abp::serve {
+namespace {
+
+constexpr std::size_t kBeacons = 60;
+constexpr std::size_t kWindow = 256;  ///< pipelined requests per iteration
+
+BeaconField make_field() {
+  BeaconField field(AABB::square(100.0), 15.0);
+  Rng rng(42);
+  scatter_uniform(field, kBeacons, rng);
+  return field;
+}
+
+ServiceConfig bench_config() {
+  ServiceConfig config;
+  config.lattice_step = 2.0;
+  return config;
+}
+
+Request localize_request(std::uint64_t seq) {
+  Request request;
+  request.seq = seq;
+  request.endpoint = Endpoint::kLocalize;
+  // Spread probes deterministically over the terrain.
+  const double t = static_cast<double>(seq % kWindow) / kWindow;
+  request.points = {{100.0 * t, 100.0 * (1.0 - t)}};
+  return request;
+}
+
+/// Pipelined load through the loopback transport. With workers == 0 the
+/// queue is drained by pump() after the window is submitted (pure batching
+/// effect, no thread handoff); with workers > 0 the pool drains it
+/// concurrently and we block until every reply lands.
+void BM_ServeThroughput(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+
+  LocalizationService service(bench_config());
+  service.add_field("default", make_field());
+  Server server(service, {.workers = workers, .max_batch = batch});
+  LoopbackTransport transport(server);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t outstanding = 0;
+  std::uint64_t seq = 0;
+
+  for (auto _ : state) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      outstanding = kWindow;
+    }
+    for (std::size_t i = 0; i < kWindow; ++i) {
+      transport.send_async(localize_request(seq++), [&](std::string) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--outstanding == 0) cv.notify_one();
+      });
+    }
+    if (workers == 0) server.pump();
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outstanding == 0; });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWindow));
+  state.counters["batches"] = static_cast<double>(server.batches_executed());
+  state.counters["reqs_per_batch"] =
+      server.batches_executed() == 0
+          ? 0.0
+          : static_cast<double>(server.requests_served()) /
+                static_cast<double>(server.batches_executed());
+}
+
+// The grid the issue asks for: batch size 1, 8, 64 × workers 1, 4 — plus
+// the manual-mode row (workers 0) that isolates batching from threading.
+BENCHMARK(BM_ServeThroughput)
+    ->ArgNames({"batch", "workers"})
+    ->Args({1, 0})
+    ->Args({8, 0})
+    ->Args({64, 0})
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Args({64, 1})
+    ->Args({1, 4})
+    ->Args({8, 4})
+    ->Args({64, 4})
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace abp::serve
+
+BENCHMARK_MAIN();

@@ -78,6 +78,85 @@ Summary summarize(std::span<const double> xs) {
   return s;
 }
 
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi) {
+  ABP_CHECK(lo > 0.0 && hi > lo, "histogram needs 0 < lo < hi");
+  ABP_CHECK(buckets >= 1, "histogram needs at least one bucket");
+  log_lo_ = std::log(lo_);
+  log_span_ = std::log(hi_) - log_lo_;
+  counts_.assign(buckets, 0);
+}
+
+std::size_t Histogram::bucket_index(double x) const {
+  if (!(x > lo_)) return 0;  // also catches NaN
+  if (x >= hi_) return counts_.size() - 1;
+  const double frac = (std::log(x) - log_lo_) / log_span_;
+  const auto idx = static_cast<std::size_t>(
+      frac * static_cast<double>(counts_.size()));
+  return std::min(idx, counts_.size() - 1);
+}
+
+double Histogram::bucket_lower(std::size_t i) const {
+  ABP_CHECK(i <= counts_.size(), "bucket index out of range");
+  const double frac =
+      static_cast<double>(i) / static_cast<double>(counts_.size());
+  return std::exp(log_lo_ + frac * log_span_);
+}
+
+void Histogram::add(double x) {
+  if (total_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++counts_[bucket_index(x)];
+  ++total_;
+  sum_ += x;
+}
+
+void Histogram::merge(const Histogram& other) {
+  ABP_CHECK(same_layout(other), "histogram layouts differ");
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double Histogram::mean() const {
+  return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+double Histogram::percentile(double q) const {
+  ABP_CHECK(q >= 0.0 && q <= 1.0, "percentile fraction out of [0,1]");
+  if (total_ == 0) return 0.0;
+  // Target rank among n samples (type-7 style: 0 → min, 1 → max).
+  const double rank = q * static_cast<double>(total_ - 1);
+  double below = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto n = static_cast<double>(counts_[i]);
+    if (n == 0.0) continue;
+    if (rank < below + n) {
+      // Geometric interpolation inside the bucket matches the log-spaced
+      // layout; clamp to the observed extremes so sparse tails stay exact.
+      const double frac = n > 1.0 ? (rank - below) / (n - 1.0) : 0.0;
+      const double a = std::max(bucket_lower(i), min_);
+      const double b = std::min(bucket_upper(i), max_);
+      const double v = b > a ? a * std::pow(b / a, frac) : a;
+      return std::clamp(v, min_, max_);
+    }
+    below += n;
+  }
+  return max_;
+}
+
 void RunningStats::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

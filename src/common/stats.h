@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -49,6 +50,67 @@ struct Summary {
 /// Compute a `Summary` over `xs` (single pass + one partial sort per
 /// quantile). Empty input yields a zeroed summary.
 Summary summarize(std::span<const double> xs);
+
+/// Fixed-layout histogram with log-spaced bucket boundaries.
+///
+/// Built for latency/throughput tracking in long-running processes: adding a
+/// sample is O(log buckets) with no allocation, quantiles are approximate
+/// (geometric interpolation inside a bucket, exact at the observed min/max),
+/// and two histograms with the same layout merge bucket-wise — the same
+/// contract a parallel reduction over `RunningStats` relies on. Values at or
+/// below `lo` land in the first bucket and values at or above `hi` in the
+/// last, so no sample is ever dropped.
+class Histogram {
+ public:
+  /// Buckets span [lo, hi) with geometrically growing widths; requires
+  /// 0 < lo < hi and at least one bucket.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  /// Canonical layout for request latencies in microseconds: 1 µs .. 10 s,
+  /// ten buckets per decade.
+  static Histogram latency_us() { return Histogram(1.0, 1e7, 70); }
+
+  void add(double x);
+  /// Merge another histogram; layouts (lo, hi, bucket count) must match.
+  void merge(const Histogram& other);
+
+  std::size_t count() const { return total_; }
+  double min() const { return total_ ? min_ : 0.0; }
+  double max() const { return total_ ? max_ : 0.0; }
+  double mean() const;
+
+  /// Approximate quantile, q in [0,1]: geometric interpolation within the
+  /// bucket containing the target rank, clamped to the observed [min, max].
+  /// 0 for an empty histogram.
+  double percentile(double q) const;
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+  double p99() const { return percentile(0.99); }
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket_value(std::size_t i) const { return counts_[i]; }
+  /// Lower/upper bound of bucket `i` (upper bound of the last bucket is hi).
+  double bucket_lower(std::size_t i) const;
+  double bucket_upper(std::size_t i) const { return bucket_lower(i + 1); }
+
+  bool same_layout(const Histogram& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_ &&
+           counts_.size() == other.counts_.size();
+  }
+
+ private:
+  std::size_t bucket_index(double x) const;
+
+  double lo_ = 1.0;
+  double hi_ = 2.0;
+  double log_lo_ = 0.0;
+  double log_span_ = 1.0;
+  std::vector<std::uint64_t> counts_;
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
 
 /// Numerically stable streaming mean/variance (Welford). Used where storing
 /// every sample would be wasteful (e.g. per-point error accumulation).

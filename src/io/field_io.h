@@ -19,32 +19,48 @@
 ///
 /// Round-trips preserve ids, positions (17 significant digits), active
 /// flags, and measurement masks exactly.
+///
+/// The read paths treat their input as untrusted (files cross machines;
+/// the serve layer ships snapshots over the network): every malformed,
+/// truncated, or hostile input — non-finite numbers, inverted bounds,
+/// out-of-bounds positions, duplicate or absurd ids, lattice sizes that
+/// would exhaust memory — is reported as a clean `IoError` carrying the
+/// offending record, never as a tripped internal invariant.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "common/assert.h"
 #include "field/beacon_field.h"
 #include "loc/survey_data.h"
 
 namespace abp {
+
+/// Malformed or unreadable input/output. Derives from CheckFailure so
+/// existing catch sites keep working, but read paths throw only this.
+class IoError : public CheckFailure {
+ public:
+  explicit IoError(const std::string& what) : CheckFailure(what) {}
+};
 
 /// Write `field` (live beacons only, ascending id) to `out`.
 void write_field(std::ostream& out, const BeaconField& field);
 
 /// Parse a field written by `write_field`. Ids are preserved: the returned
 /// field allocates the same ids to the same beacons (gaps from removed
-/// beacons become permanently unused ids). Throws CheckFailure on
-/// malformed input.
+/// beacons become permanently unused ids). Throws IoError on malformed
+/// input.
 BeaconField read_field(std::istream& in);
 
 /// Write survey data (measured points only) to `out`.
 void write_survey(std::ostream& out, const SurveyData& survey);
 
-/// Parse survey data written by `write_survey`.
+/// Parse survey data written by `write_survey`. Throws IoError on
+/// malformed input.
 SurveyData read_survey(std::istream& in);
 
-/// File-path conveniences (throw CheckFailure on I/O failure).
+/// File-path conveniences (throw IoError on I/O or parse failure).
 void save_field(const std::string& path, const BeaconField& field);
 BeaconField load_field(const std::string& path);
 void save_survey(const std::string& path, const SurveyData& survey);

@@ -1,0 +1,50 @@
+#include "serve/transport.h"
+
+#include <utility>
+
+namespace abp::serve {
+
+std::string LoopbackTransport::roundtrip_frame(const std::string& frame) {
+  // Decode exactly as a remote transport would: corrupt framing yields the
+  // canonical bad-request response instead of reaching the server.
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  std::optional<std::string> payload = decoder.next();
+  if (!payload) {
+    server_->service().metrics().record_bad_frame(frame.size());
+    Response response;
+    response.status = Status::kBadRequest;
+    response.message = decoder.corrupt() ? decoder.error() : "truncated frame";
+    return encode_frame(format_response(response));
+  }
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  server_->submit(std::move(*payload), [&promise](std::string reply) {
+    promise.set_value(std::move(reply));
+  });
+  if (server_->options().workers == 0) server_->pump();
+  return encode_frame(future.get());
+}
+
+Response LoopbackTransport::roundtrip(const Request& request) {
+  const std::string reply_frame =
+      roundtrip_frame(encode_frame(format_request(request)));
+  FrameDecoder decoder;
+  decoder.feed(reply_frame);
+  const std::optional<std::string> payload = decoder.next();
+  if (!payload) throw ServeError("loopback: bad response frame");
+  std::string error;
+  const std::optional<Response> response = parse_response(*payload, &error);
+  if (!response) throw ServeError("loopback: bad response payload: " + error);
+  return *response;
+}
+
+void LoopbackTransport::send_async(
+    const Request& request, std::function<void(std::string)> on_reply_frame) {
+  server_->submit(format_request(request),
+                  [cb = std::move(on_reply_frame)](std::string reply) {
+                    cb(encode_frame(reply));
+                  });
+}
+
+}  // namespace abp::serve

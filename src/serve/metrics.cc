@@ -1,0 +1,123 @@
+#include "serve/metrics.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace abp::serve {
+
+namespace {
+
+std::size_t endpoint_slot(Endpoint endpoint) {
+  for (std::size_t i = 0; i < std::size(kAllEndpoints); ++i) {
+    if (kAllEndpoints[i] == endpoint) return i;
+  }
+  return 0;
+}
+
+std::string fmt_us(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", us);
+  return buf;
+}
+
+}  // namespace
+
+ServiceMetrics::ServiceMetrics() = default;
+
+void ServiceMetrics::record(Endpoint endpoint, Status status,
+                            std::size_t bytes_in, std::size_t bytes_out,
+                            double latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PerEndpoint& pe = per_endpoint_[endpoint_slot(endpoint)];
+  ++pe.requests;
+  if (status != Status::kOk) ++pe.errors;
+  pe.bytes_in += bytes_in;
+  pe.bytes_out += bytes_out;
+  pe.latency_us.add(latency_us);
+}
+
+void ServiceMetrics::record_bad_frame(std::size_t bytes_in) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++bad_frames_;
+  bad_frame_bytes_ += bytes_in;
+}
+
+void ServiceMetrics::record_batch(std::size_t coalesced) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  coalesced_ += coalesced;
+}
+
+EndpointSnapshot ServiceMetrics::endpoint_snapshot(Endpoint endpoint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const PerEndpoint& pe = per_endpoint_[endpoint_slot(endpoint)];
+  EndpointSnapshot snap;
+  snap.requests = pe.requests;
+  snap.errors = pe.errors;
+  snap.bytes_in = pe.bytes_in;
+  snap.bytes_out = pe.bytes_out;
+  snap.latency_samples = pe.latency_us.count();
+  snap.p50_us = pe.latency_us.p50();
+  snap.p95_us = pe.latency_us.p95();
+  snap.p99_us = pe.latency_us.p99();
+  return snap;
+}
+
+std::uint64_t ServiceMetrics::total_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const PerEndpoint& pe : per_endpoint_) total += pe.requests;
+  return total;
+}
+
+std::uint64_t ServiceMetrics::total_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const PerEndpoint& pe : per_endpoint_) total += pe.errors;
+  return total;
+}
+
+std::uint64_t ServiceMetrics::bad_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bad_frames_;
+}
+
+std::uint64_t ServiceMetrics::batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+std::uint64_t ServiceMetrics::coalesced_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesced_;
+}
+
+void ServiceMetrics::render(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "abp-serve-stats 1\n";
+  std::uint64_t total_requests = 0;
+  std::uint64_t total_errors = 0;
+  for (std::size_t i = 0; i < kEndpointCount; ++i) {
+    const PerEndpoint& pe = per_endpoint_[i];
+    total_requests += pe.requests;
+    total_errors += pe.errors;
+    out << "endpoint " << endpoint_name(kAllEndpoints[i]) << " requests "
+        << pe.requests << " errors " << pe.errors << " bytes-in "
+        << pe.bytes_in << " bytes-out " << pe.bytes_out << " p50us "
+        << fmt_us(pe.latency_us.p50()) << " p95us "
+        << fmt_us(pe.latency_us.p95()) << " p99us "
+        << fmt_us(pe.latency_us.p99()) << '\n';
+  }
+  out << "total requests " << total_requests << " errors " << total_errors
+      << " bad-frames " << bad_frames_ << " batches " << batches_
+      << " coalesced " << coalesced_ << '\n';
+}
+
+std::string ServiceMetrics::render_text() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+}  // namespace abp::serve

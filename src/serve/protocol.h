@@ -1,0 +1,159 @@
+/// \file protocol.h
+/// \brief Request/response model and wire codec of the localization query
+/// service.
+///
+/// The service speaks a versioned, length-prefixed frame protocol designed
+/// to be byte-exact round-trippable (like `src/io/`) yet safe against
+/// untrusted input — every parse path returns a diagnostic instead of
+/// tripping an internal invariant. A frame is
+///
+///     abps1 <payload-bytes>\n<payload>
+///
+/// where `abps1` pins the protocol version and `<payload-bytes>` is the
+/// decimal length of the payload that follows. The payload itself is a
+/// line-oriented text message:
+///
+///     abp-request 1 <seq> <endpoint>
+///     field <name>
+///     point <x> <y>            (repeated; localize / error-at / add-beacon)
+///     algorithm <name>         (propose)
+///     count <k>                (propose)
+///
+///     abp-response 1 <seq> <status>
+///     message <text>           (single line; set when status != ok)
+///     estimate <x> <y> <connected>
+///     error <value>
+///     position <x> <y>
+///     beacon-id <id>
+///     text <bytes>\n<raw bytes>\n   (snapshot / stats body, length-prefixed)
+///
+/// Doubles are written with 17 significant digits so positions and errors
+/// survive the wire bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace abp::serve {
+
+/// Transport-level failure (connect/send/receive/framing on the client
+/// side). Server-side parse failures never throw — they become
+/// `Status::kBadRequest` responses.
+class ServeError : public std::runtime_error {
+ public:
+  explicit ServeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class Endpoint {
+  kLocalize,   ///< centroid position estimates for a batch of points
+  kErrorAt,    ///< localization error LE for a batch of points
+  kPropose,    ///< run a placement algorithm on the current survey
+  kAddBeacon,  ///< deploy beacons at explicit positions
+  kSnapshot,   ///< serialized field (abp-field text format)
+  kStats,      ///< service metrics dump
+  kListFields, ///< names of loaded deployments
+};
+
+/// All endpoints, for iteration (metrics tables, fuzzing).
+inline constexpr Endpoint kAllEndpoints[] = {
+    Endpoint::kLocalize,  Endpoint::kErrorAt,  Endpoint::kPropose,
+    Endpoint::kAddBeacon, Endpoint::kSnapshot, Endpoint::kStats,
+    Endpoint::kListFields};
+
+enum class Status {
+  kOk,
+  kBadRequest,   ///< malformed frame/payload or invalid arguments
+  kNotFound,     ///< unknown field or algorithm
+  kUnavailable,  ///< server shutting down; retry elsewhere
+  kInternal,     ///< handler failure
+};
+
+const char* endpoint_name(Endpoint endpoint);
+std::optional<Endpoint> endpoint_from_name(std::string_view name);
+const char* status_name(Status status);
+std::optional<Status> status_from_name(std::string_view name);
+
+struct Request {
+  std::uint64_t seq = 0;
+  Endpoint endpoint = Endpoint::kLocalize;
+  /// Target deployment; must match [A-Za-z0-9_.-]{1,64}.
+  std::string field = "default";
+  std::vector<Vec2> points;
+  std::string algorithm;      ///< propose only
+  std::uint32_t count = 1;    ///< propose only: beacons to suggest
+
+  bool operator==(const Request&) const = default;
+};
+
+/// One position estimate (localize).
+struct PointEstimate {
+  Vec2 estimate;
+  std::uint32_t connected = 0;  ///< beacons heard at the query point
+
+  bool operator==(const PointEstimate&) const = default;
+};
+
+struct Response {
+  std::uint64_t seq = 0;
+  Status status = Status::kOk;
+  std::string message;                   ///< diagnostic when status != ok
+  std::vector<PointEstimate> estimates;  ///< localize
+  std::vector<double> errors;            ///< error-at
+  std::vector<Vec2> positions;           ///< propose / add-beacon echo
+  std::vector<std::uint32_t> beacon_ids; ///< add-beacon
+  std::string text;                      ///< snapshot / stats / list-fields
+
+  bool operator==(const Response&) const = default;
+};
+
+/// Serialize to payload text (the bytes inside a frame).
+std::string format_request(const Request& request);
+std::string format_response(const Response& response);
+
+/// Parse payload text. On failure returns nullopt and, if `error` is
+/// non-null, stores a one-line diagnostic. Never throws on untrusted bytes.
+std::optional<Request> parse_request(std::string_view payload,
+                                     std::string* error = nullptr);
+std::optional<Response> parse_response(std::string_view payload,
+                                       std::string* error = nullptr);
+
+/// Frames larger than this are rejected by the decoder (memory safety
+/// against hostile length prefixes).
+inline constexpr std::size_t kMaxFramePayload = 4u << 20;
+
+/// Wrap a payload in a length-prefixed frame.
+std::string encode_frame(std::string_view payload);
+
+/// Incremental frame decoder: feed arbitrary byte chunks, pull complete
+/// payloads. Once the stream is corrupt (bad magic, oversized or malformed
+/// length) the decoder stays corrupt — framing cannot be resynchronized.
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes);
+  /// Next complete payload, or nullopt if more bytes are needed (or the
+  /// stream is corrupt).
+  std::optional<std::string> next();
+
+  bool corrupt() const { return corrupt_; }
+  const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed by `next()`.
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  void mark_corrupt(const std::string& why);
+
+  std::string buffer_;
+  bool corrupt_ = false;
+  std::string error_;
+};
+
+/// True iff `name` is a valid deployment name on the wire.
+bool valid_field_name(std::string_view name);
+
+}  // namespace abp::serve

@@ -1,0 +1,178 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace abp::serve {
+
+namespace {
+
+std::string rejection_payload(std::uint64_t seq, Status status,
+                              const std::string& message) {
+  Response response;
+  response.seq = seq;
+  response.status = status;
+  response.message = message;
+  return format_response(response);
+}
+
+}  // namespace
+
+Server::Server(LocalizationService& service, Options options)
+    : service_(service), options_(options) {
+  ABP_CHECK(options_.max_batch >= 1, "max_batch must be at least 1");
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::submit(std::string payload,
+                    std::function<void(std::string)> reply) {
+  const std::size_t bytes_in = payload.size();
+  std::string parse_error;
+  std::optional<Request> request = parse_request(payload, &parse_error);
+  if (!request) {
+    service_.metrics().record_bad_frame(bytes_in);
+    reply(rejection_payload(0, Status::kBadRequest, parse_error));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      Pending pending;
+      pending.request = std::move(*request);
+      pending.reply = std::move(reply);
+      pending.bytes_in = bytes_in;
+      queue_.push_back(std::move(pending));
+      cv_work_.notify_one();
+      return;
+    }
+  }
+  // Shutting down: answer immediately without entering the queue.
+  const std::string rejection =
+      rejection_payload(request->seq, Status::kUnavailable, "shutting down");
+  service_.metrics().record(request->endpoint, Status::kUnavailable, bytes_in,
+                            rejection.size(), 0.0);
+  reply(rejection);
+}
+
+std::vector<Server::Pending> Server::take_batch_locked() {
+  std::vector<Pending> batch;
+  if (queue_.empty()) return batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  if (!LocalizationService::batchable(batch.front().request.endpoint)) {
+    return batch;
+  }
+  // Coalesce further point queries against the same deployment from
+  // anywhere in the queue; non-matching requests keep their positions.
+  // (Copy the key: growing `batch` invalidates references into it.)
+  const std::string field = batch.front().request.field;
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < options_.max_batch;) {
+    if (LocalizationService::batchable(it->request.endpoint) &&
+        it->request.field == field) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+void Server::run_batch(std::vector<Pending> batch) {
+  std::vector<Request> requests;
+  requests.reserve(batch.size());
+  for (const Pending& pending : batch) requests.push_back(pending.request);
+  std::vector<Response> responses = service_.handle_batch(requests);
+  service_.metrics().record_batch(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::string payload = format_response(responses[i]);
+    service_.metrics().record(requests[i].endpoint, responses[i].status,
+                              batch[i].bytes_in, payload.size(),
+                              batch[i].timer.elapsed_ms() * 1e3);
+    batch[i].reply(std::move(payload));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_ -= batch.size();
+    batches_ += 1;
+    served_ += batch.size();
+  }
+  cv_drain_.notify_all();
+}
+
+void Server::pump() {
+  ABP_CHECK(options_.workers == 0, "pump() is for manual-mode servers");
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch = take_batch_locked();
+      in_flight_ += batch.size();
+    }
+    if (batch.empty()) return;
+    run_batch(std::move(batch));
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return quit_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // quit_ and drained
+      batch = take_batch_locked();
+      in_flight_ += batch.size();
+    }
+    run_batch(std::move(batch));
+  }
+}
+
+void Server::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && quit_) return;
+    stopping_ = true;
+  }
+  if (options_.workers == 0) {
+    pump();  // drain on this thread
+    std::lock_guard<std::mutex> lock(mu_);
+    quit_ = true;
+    return;
+  }
+  {
+    // Wait until everything accepted has been answered.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_drain_.wait(lock,
+                   [this] { return queue_.empty() && in_flight_ == 0; });
+    quit_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+bool Server::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stopping_;
+}
+
+std::uint64_t Server::batches_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+std::uint64_t Server::requests_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_;
+}
+
+}  // namespace abp::serve

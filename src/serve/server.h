@@ -1,0 +1,104 @@
+/// \file server.h
+/// \brief Batching request server over `LocalizationService`.
+///
+/// Transports hand the server raw frame payloads; the server parses,
+/// queues, coalesces and executes them, then hands encoded response
+/// payloads back through a per-request callback. Batching is the core
+/// throughput mechanism: up to `max_batch` queued point queries against the
+/// same deployment execute under one lock acquisition in one pass over the
+/// spatial index (see `LocalizationService::handle_batch`).
+///
+/// Two execution modes share the same queue and batching logic:
+///  * `workers == 0` — manual mode: requests queue until `pump()` drains
+///    them on the calling thread. Deterministic; what the loopback
+///    transport and all unit tests use.
+///  * `workers > 0` — threaded mode: a worker pool drains the queue;
+///    callbacks fire on worker threads.
+///
+/// Graceful shutdown (`shutdown()`): new submissions are rejected with
+/// `Status::kUnavailable` while every request already accepted is drained
+/// and answered. The metrics dump survives shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "serve/service.h"
+
+namespace abp::serve {
+
+class Server {
+ public:
+  struct Options {
+    std::size_t workers = 0;    ///< 0 = manual mode (drain via pump())
+    std::size_t max_batch = 16; ///< B: point-query requests per batch
+  };
+
+  explicit Server(LocalizationService& service) : Server(service, Options()) {}
+  Server(LocalizationService& service, Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submit one frame payload. `reply` is invoked exactly once with the
+  /// encoded response payload — immediately (unparseable input or
+  /// shutdown rejection), from `pump()` in manual mode, or from a worker
+  /// thread in threaded mode.
+  void submit(std::string payload, std::function<void(std::string)> reply);
+
+  /// Manual mode: drain the queue on the calling thread, batching as it
+  /// goes. No-op when the queue is empty. Must not be called in threaded
+  /// mode.
+  void pump();
+
+  /// Reject new requests, drain everything already accepted, stop workers.
+  /// Idempotent.
+  void shutdown();
+  bool shutting_down() const;
+
+  LocalizationService& service() { return service_; }
+  const Options& options() const { return options_; }
+
+  /// Observability for tests and the shutdown dump.
+  std::uint64_t batches_executed() const;
+  std::uint64_t requests_served() const;
+
+ private:
+  struct Pending {
+    Request request;
+    std::function<void(std::string)> reply;
+    Stopwatch timer;
+    std::size_t bytes_in = 0;
+  };
+
+  /// Pop the next batch off the queue (caller holds `mu_`): the front
+  /// request plus, if it is a point query, up to `max_batch - 1` more
+  /// point queries against the same deployment from anywhere in the queue.
+  std::vector<Pending> take_batch_locked();
+  void run_batch(std::vector<Pending> batch);
+  void worker_loop();
+
+  LocalizationService& service_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_drain_;
+  std::deque<Pending> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;  ///< reject new submissions
+  bool quit_ = false;      ///< workers exit once the queue is empty
+  std::vector<std::thread> workers_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace abp::serve

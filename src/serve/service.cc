@@ -1,0 +1,258 @@
+#include "serve/service.h"
+
+#include <sstream>
+#include <utility>
+
+#include "io/field_io.h"
+#include "loc/localizer.h"
+#include "loc/survey_data.h"
+#include "placement/coverage_placement.h"
+#include "placement/grid_placement.h"
+#include "placement/locus_placement.h"
+#include "placement/max_placement.h"
+#include "placement/random_placement.h"
+#include "rng/hash.h"
+
+namespace abp::serve {
+
+namespace {
+
+Response error_response(const Request& request, Status status,
+                        std::string message) {
+  Response response;
+  response.seq = request.seq;
+  response.status = status;
+  response.message = std::move(message);
+  return response;
+}
+
+const PlacementAlgorithm* algorithm_by_name(const std::string& name) {
+  static const RandomPlacement random;
+  static const MaxPlacement max;
+  static const GridPlacement grid;
+  static const GridPlacement grid_norm(400, 2.0, true);
+  static const CoveragePlacement coverage;
+  static const LocusPlacement locus;
+  if (name == "random") return &random;
+  if (name == "max") return &max;
+  if (name == "grid") return &grid;
+  if (name == "grid-norm") return &grid_norm;
+  if (name == "coverage") return &coverage;
+  if (name == "locus") return &locus;
+  return nullptr;
+}
+
+constexpr std::size_t kMaxPointsPerRequest = 65536;
+constexpr std::uint32_t kMaxProposalsPerRequest = 64;
+
+/// Stable 64-bit digest of a deployment name, so each named field gets an
+/// independent noise landscape and RNG stream from one service seed.
+std::uint64_t name_seed(const std::string& name) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  for (const unsigned char c : name) h = stable_hash64(h, c);
+  return h;
+}
+
+}  // namespace
+
+struct LocalizationService::Deployment {
+  Deployment(BeaconField f, const ServiceConfig& config, std::uint64_t seed)
+      : field(std::move(f)),
+        model(config.nominal_range, config.noise, derive_seed(seed, 2)),
+        lattice(field.bounds(), config.lattice_step),
+        map(lattice),
+        rng(derive_seed(seed, 9)) {
+    map.compute(field, model);
+  }
+
+  std::mutex mu;
+  BeaconField field;
+  PerBeaconNoiseModel model;
+  Lattice2D lattice;
+  ErrorMap map;
+  Rng rng;
+};
+
+LocalizationService::LocalizationService(ServiceConfig config)
+    : config_(config) {}
+
+LocalizationService::~LocalizationService() = default;
+
+void LocalizationService::add_field(const std::string& name,
+                                    BeaconField field) {
+  ABP_CHECK(valid_field_name(name), "invalid deployment name: " + name);
+  auto deployment = std::make_unique<Deployment>(
+      std::move(field), config_, derive_seed(config_.seed, name_seed(name)));
+  std::lock_guard<std::mutex> lock(mu_);
+  deployments_[name] = std::move(deployment);
+}
+
+std::vector<std::string> LocalizationService::field_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(deployments_.size());
+  for (const auto& [name, unused] : deployments_) names.push_back(name);
+  return names;
+}
+
+LocalizationService::Deployment* LocalizationService::find_deployment(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = deployments_.find(name);
+  return it == deployments_.end() ? nullptr : it->second.get();
+}
+
+Response LocalizationService::handle(const Request& request) {
+  switch (request.endpoint) {
+    case Endpoint::kStats: {
+      Response response;
+      response.seq = request.seq;
+      response.text = metrics_.render_text();
+      return response;
+    }
+    case Endpoint::kListFields: {
+      Response response;
+      response.seq = request.seq;
+      for (const std::string& name : field_names()) {
+        response.text += name;
+        response.text += '\n';
+      }
+      return response;
+    }
+    default:
+      break;
+  }
+  Deployment* deployment = find_deployment(request.field);
+  if (deployment == nullptr) {
+    return error_response(request, Status::kNotFound,
+                          "unknown field: " + request.field);
+  }
+  return handle_field_request(*deployment, request);
+}
+
+Response LocalizationService::handle_field_request(Deployment& deployment,
+                                                   const Request& request) {
+  std::lock_guard<std::mutex> lock(deployment.mu);
+  return handle_locked(deployment, request);
+}
+
+Response LocalizationService::handle_locked(Deployment& deployment,
+                                            const Request& request) {
+  if (request.points.size() > kMaxPointsPerRequest) {
+    return error_response(request, Status::kBadRequest,
+                          "too many points in one request");
+  }
+  Response response;
+  response.seq = request.seq;
+  try {
+    switch (request.endpoint) {
+      case Endpoint::kLocalize: {
+        const CentroidLocalizer localizer(deployment.field, deployment.model);
+        response.estimates.reserve(request.points.size());
+        for (const Vec2 p : request.points) {
+          const LocalizationResult r = localizer.localize(p);
+          response.estimates.push_back(
+              {r.estimate, static_cast<std::uint32_t>(r.connected)});
+        }
+        break;
+      }
+      case Endpoint::kErrorAt: {
+        const CentroidLocalizer localizer(deployment.field, deployment.model);
+        response.errors.reserve(request.points.size());
+        for (const Vec2 p : request.points) {
+          response.errors.push_back(localizer.error(p));
+        }
+        break;
+      }
+      case Endpoint::kPropose: {
+        const std::string name =
+            request.algorithm.empty() ? "grid" : request.algorithm;
+        const PlacementAlgorithm* algorithm = algorithm_by_name(name);
+        if (algorithm == nullptr) {
+          return error_response(request, Status::kNotFound,
+                                "unknown algorithm: " + name);
+        }
+        if (request.count > kMaxProposalsPerRequest) {
+          return error_response(request, Status::kBadRequest,
+                                "too many proposals in one request");
+        }
+        // Propose against the current survey; successive proposals suppress
+        // the previous pick's neighbourhood (one-shot batch idiom) so k
+        // proposals target k distinct hot spots without mutating the field.
+        SurveyData survey = SurveyData::from_error_map(deployment.map);
+        PlacementContext ctx = PlacementContext::basic(
+            survey, deployment.field.bounds(), config_.nominal_range);
+        ctx.field = &deployment.field;
+        ctx.model = &deployment.model;
+        ctx.truth = &deployment.map;
+        for (std::uint32_t k = 0; k < request.count; ++k) {
+          const Vec2 pos = deployment.field.bounds().clamp(
+              algorithm->propose(ctx, deployment.rng));
+          response.positions.push_back(pos);
+          survey.suppress_disk(pos, config_.nominal_range);
+        }
+        break;
+      }
+      case Endpoint::kAddBeacon: {
+        if (request.points.empty()) {
+          return error_response(request, Status::kBadRequest,
+                                "add-beacon needs at least one point");
+        }
+        for (const Vec2 p : request.points) {
+          const Vec2 pos = deployment.field.bounds().clamp(p);
+          const BeaconId id = deployment.field.add(pos);
+          deployment.map.apply_addition(deployment.field, deployment.model,
+                                        *deployment.field.get(id));
+          response.positions.push_back(pos);
+          response.beacon_ids.push_back(id);
+        }
+        break;
+      }
+      case Endpoint::kSnapshot: {
+        std::ostringstream os;
+        write_field(os, deployment.field);
+        response.text = os.str();
+        break;
+      }
+      case Endpoint::kStats:
+      case Endpoint::kListFields:
+        // Handled before deployment lookup; unreachable here.
+        return error_response(request, Status::kInternal,
+                              "endpoint misrouted to a deployment");
+    }
+  } catch (const CheckFailure& e) {
+    return error_response(request, Status::kInternal, e.what());
+  }
+  return response;
+}
+
+std::vector<Response> LocalizationService::handle_batch(
+    std::span<const Request> requests) {
+  std::vector<Response> responses(requests.size());
+  // Fast path: all requests are point queries against one known deployment —
+  // lock once, resolve every point in a single pass.
+  bool coalescable = !requests.empty();
+  for (const Request& request : requests) {
+    if (!batchable(request.endpoint) ||
+        request.field != requests.front().field) {
+      coalescable = false;
+      break;
+    }
+  }
+  if (coalescable) {
+    Deployment* deployment = find_deployment(requests.front().field);
+    if (deployment != nullptr) {
+      std::lock_guard<std::mutex> lock(deployment->mu);
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        responses[i] = handle_locked(*deployment, requests[i]);
+      }
+      return responses;
+    }
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    responses[i] = handle(requests[i]);
+  }
+  return responses;
+}
+
+}  // namespace abp::serve

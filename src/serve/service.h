@@ -1,0 +1,85 @@
+/// \file service.h
+/// \brief The localization query service: named `BeaconField` deployments
+/// answering localization/placement requests.
+///
+/// This is the serving-side counterpart of the batch reproduction: the same
+/// substrate (centroid localization over a spatially indexed field, the
+/// incremental error map, the §3.2 placement algorithms) behind a
+/// request/response API. Each named deployment owns its field, propagation
+/// model, lattice and error map under one mutex; point queries
+/// (localize / error-at) against the same deployment can be executed as one
+/// batch that takes the lock once and walks the spatial index in a single
+/// pass — the amortization `Server` exploits for throughput.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "field/beacon_field.h"
+#include "geom/lattice.h"
+#include "loc/error_map.h"
+#include "radio/noise_model.h"
+#include "rng/rng.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+
+namespace abp::serve {
+
+struct ServiceConfig {
+  double nominal_range = 15.0;  ///< radio range R (Table 1)
+  double noise = 0.0;           ///< paper Noise parameter
+  double lattice_step = 1.0;    ///< survey lattice spacing (m)
+  std::uint64_t seed = 20010421;
+};
+
+class LocalizationService {
+ public:
+  explicit LocalizationService(ServiceConfig config = {});
+  ~LocalizationService();
+
+  LocalizationService(const LocalizationService&) = delete;
+  LocalizationService& operator=(const LocalizationService&) = delete;
+
+  /// Install (or replace) a deployment under `name`. Computes the initial
+  /// error map — O(lattice · beacons-in-range) once per install.
+  void add_field(const std::string& name, BeaconField field);
+
+  std::vector<std::string> field_names() const;
+
+  /// Handle one request; never throws on untrusted request content.
+  Response handle(const Request& request);
+
+  /// Handle point-query requests (localize / error-at) that all target the
+  /// same deployment: the deployment lock is taken once and all points are
+  /// resolved in a single pass over the spatial index. Responses are
+  /// returned in request order. Non-point-query requests fall back to
+  /// `handle` individually.
+  std::vector<Response> handle_batch(std::span<const Request> requests);
+
+  ServiceMetrics& metrics() { return metrics_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// True for endpoints eligible for cross-request batching.
+  static bool batchable(Endpoint endpoint) {
+    return endpoint == Endpoint::kLocalize || endpoint == Endpoint::kErrorAt;
+  }
+
+ private:
+  struct Deployment;
+
+  Deployment* find_deployment(const std::string& name) const;
+  Response handle_field_request(Deployment& deployment, const Request& request);
+  Response handle_locked(Deployment& deployment, const Request& request);
+
+  ServiceConfig config_;
+  ServiceMetrics metrics_;
+  mutable std::mutex mu_;  ///< guards the deployment map structure
+  std::map<std::string, std::unique_ptr<Deployment>> deployments_;
+};
+
+}  // namespace abp::serve

@@ -1,0 +1,253 @@
+#include "serve/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace abp::serve {
+
+namespace {
+
+/// Poll interval: how often blocked reads re-check the stop flag.
+constexpr int kPollMs = 50;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw ServeError(what + ": " + std::strerror(errno));
+}
+
+void send_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+TcpServerTransport::TcpServerTransport(Server& server, Options options)
+    : server_(&server), options_(options), pool_(options.conn_workers) {}
+
+TcpServerTransport::~TcpServerTransport() { stop(); }
+
+void TcpServerTransport::start() {
+  ABP_CHECK(listen_fd_ < 0, "transport already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) throw_errno("listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void TcpServerTransport::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (stopping_.load()) {
+        ::close(fd);
+        continue;
+      }
+      conn_fds_.insert(fd);
+    }
+    pool_.submit([this, fd] { handle_connection(fd); });
+  }
+}
+
+void TcpServerTransport::handle_connection(int fd) {
+  FrameDecoder decoder;
+  char buf[4096];
+  const int idle_budget_ms =
+      std::max(kPollMs, static_cast<int>(options_.read_timeout_s * 1e3));
+  int idle_ms = 0;
+  bool open = true;
+  while (open && !decoder.corrupt()) {
+    // Reads re-check the stop flag every kPollMs so stop() is prompt, while
+    // the per-connection idle timeout accumulates across short polls.
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (stopping_.load()) break;
+    if (ready == 0) {
+      idle_ms += kPollMs;
+      if (idle_ms >= idle_budget_ms) break;  // read timeout: drop the client
+      continue;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;  // peer closed (0) or hard error (<0)
+    idle_ms = 0;
+    decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    while (std::optional<std::string> payload = decoder.next()) {
+      // One request at a time per connection keeps response ordering
+      // trivial; cross-connection batching happens inside the Server.
+      std::promise<std::string> promise;
+      std::future<std::string> future = promise.get_future();
+      server_->submit(std::move(*payload), [&promise](std::string reply) {
+        promise.set_value(std::move(reply));
+      });
+      if (server_->options().workers == 0) server_->pump();
+      try {
+        send_all(fd, encode_frame(future.get()));
+      } catch (const ServeError&) {
+        open = false;
+        break;
+      }
+    }
+  }
+  if (decoder.corrupt()) {
+    // Framing cannot resync; tell the client why, then hang up.
+    server_->service().metrics().record_bad_frame(decoder.buffered());
+    Response response;
+    response.status = Status::kBadRequest;
+    response.message = decoder.error();
+    try {
+      send_all(fd, encode_frame(format_response(response)));
+    } catch (const ServeError&) {
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+void TcpServerTransport::stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Wake blocked readers; SHUT_RD lets in-flight responses finish writing.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  pool_.wait_idle();
+}
+
+TcpClientTransport::TcpClientTransport(const std::string& host,
+                                       std::uint16_t port, double timeout_s)
+    : timeout_s_(timeout_s) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw ServeError("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("connect to " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+TcpClientTransport::~TcpClientTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpClientTransport::send_raw(const std::string& bytes) {
+  send_all(fd_, bytes);
+}
+
+std::string TcpClientTransport::read_payload() {
+  char buf[4096];
+  int waited_ms = 0;
+  const int budget_ms = static_cast<int>(timeout_s_ * 1e3);
+  for (;;) {
+    if (std::optional<std::string> payload = decoder_.next()) return *payload;
+    if (decoder_.corrupt()) {
+      throw ServeError("response framing corrupt: " + decoder_.error());
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready == 0) {
+      waited_ms += kPollMs;
+      if (waited_ms >= budget_ms) throw ServeError("response timed out");
+      continue;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n == 0) throw ServeError("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+bool TcpClientTransport::closed_by_peer() {
+  char byte = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, &byte, 1, MSG_DONTWAIT);
+    if (n == 0) return true;
+    if (n < 0) return false;  // EWOULDBLOCK: still open, nothing to read
+    decoder_.feed(std::string_view(&byte, 1));
+  }
+}
+
+Response TcpClientTransport::roundtrip(const Request& request) {
+  send_raw(encode_frame(format_request(request)));
+  const std::string payload = read_payload();
+  std::string error;
+  const std::optional<Response> response = parse_response(payload, &error);
+  if (!response) throw ServeError("bad response payload: " + error);
+  return *response;
+}
+
+}  // namespace abp::serve

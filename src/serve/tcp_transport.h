@@ -1,0 +1,96 @@
+/// \file tcp_transport.h
+/// \brief POSIX TCP transport for the localization query service.
+///
+/// `TcpServerTransport` listens on a loopback/ANY address, accepts
+/// connections on a dedicated thread, and handles each connection on the
+/// shared `abp::ThreadPool`: frames are read with a per-connection idle
+/// timeout, submitted to the `Server` (which batches across connections),
+/// and the responses written back in request order. Graceful stop: the
+/// listener closes first (no new connections), open connections are woken
+/// and finish writing what they have accepted, then the pool drains.
+///
+/// `TcpClientTransport` is the matching blocking client used by `abp query
+/// --connect` and the smoke tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "serve/transport.h"
+
+namespace abp::serve {
+
+class TcpServerTransport {
+ public:
+  struct Options {
+    std::uint16_t port = 0;        ///< 0 = ephemeral (read back via port())
+    double read_timeout_s = 5.0;   ///< idle read timeout per connection
+    std::size_t conn_workers = 4;  ///< thread-pool size for connections
+  };
+
+  explicit TcpServerTransport(Server& server)
+      : TcpServerTransport(server, Options()) {}
+  TcpServerTransport(Server& server, Options options);
+  ~TcpServerTransport();
+
+  TcpServerTransport(const TcpServerTransport&) = delete;
+  TcpServerTransport& operator=(const TcpServerTransport&) = delete;
+
+  /// Bind, listen on 127.0.0.1, start the accept thread. Throws ServeError
+  /// on socket failure.
+  void start();
+
+  /// Graceful stop: stop accepting, wake idle connections, drain handlers.
+  /// Idempotent.
+  void stop();
+
+  /// Bound port (valid after start()).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  Server* server_;
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  ThreadPool pool_;
+  std::mutex conn_mu_;
+  std::set<int> conn_fds_;
+};
+
+class TcpClientTransport final : public ClientTransport {
+ public:
+  /// Connect to `host:port`; `timeout_s` bounds each response wait.
+  TcpClientTransport(const std::string& host, std::uint16_t port,
+                     double timeout_s = 5.0);
+  ~TcpClientTransport() override;
+
+  TcpClientTransport(const TcpClientTransport&) = delete;
+  TcpClientTransport& operator=(const TcpClientTransport&) = delete;
+
+  Response roundtrip(const Request& request) override;
+  std::string name() const override { return "tcp"; }
+
+  /// Raw byte access for protocol-abuse tests.
+  void send_raw(const std::string& bytes);
+  /// Next response frame payload; throws ServeError on timeout/close.
+  std::string read_payload();
+  /// True once the server has closed the connection.
+  bool closed_by_peer();
+
+ private:
+  int fd_ = -1;
+  double timeout_s_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace abp::serve

@@ -1,0 +1,56 @@
+/// \file transport.h
+/// \brief Client-side transport abstraction and the in-process loopback.
+///
+/// A `ClientTransport` carries one request/response exchange through the
+/// full wire codec. Two implementations exist: `LoopbackTransport` here
+/// (deterministic, in-process — what every unit test and `abp serve
+/// --oneshot` use) and `TcpClientTransport` in tcp_transport.h (POSIX
+/// sockets). Both speak byte-identical frames, so anything validated over
+/// the loopback holds over TCP.
+#pragma once
+
+#include <future>
+#include <string>
+
+#include "serve/server.h"
+
+namespace abp::serve {
+
+class ClientTransport {
+ public:
+  virtual ~ClientTransport() = default;
+
+  /// One request/response exchange through the wire codec. Throws
+  /// `ServeError` on transport or codec failure (never on an error
+  /// *status* — those come back in the response).
+  virtual Response roundtrip(const Request& request) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// In-process transport: encodes the request into a frame, decodes it the
+/// way a remote peer would, submits to the server, and frames the response
+/// back. With a manual-mode server the exchange is fully synchronous and
+/// deterministic; with a threaded server it blocks on the worker's reply.
+class LoopbackTransport final : public ClientTransport {
+ public:
+  explicit LoopbackTransport(Server& server) : server_(&server) {}
+
+  Response roundtrip(const Request& request) override;
+  std::string name() const override { return "loopback"; }
+
+  /// Raw frame exchange (malformed-input testing): returns the encoded
+  /// response frame, mirroring what a server-side transport emits for the
+  /// given bytes — including the bad-request frame for corrupt framing.
+  std::string roundtrip_frame(const std::string& frame);
+
+  /// Submit without waiting; the reply callback receives the encoded
+  /// response frame. Used for pipelined throughput measurement.
+  void send_async(const Request& request,
+                  std::function<void(std::string)> on_reply_frame);
+
+ private:
+  Server* server_;
+};
+
+}  // namespace abp::serve

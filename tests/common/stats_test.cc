@@ -140,5 +140,138 @@ TEST(RunningStats, MergeWithEmptyIsIdentity) {
   EXPECT_DOUBLE_EQ(empty.mean(), m);
 }
 
+TEST(Histogram, EmptyReportsZeroes) {
+  const Histogram h(1.0, 1000.0, 30);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, RejectsInvalidLayout) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 4), CheckFailure);
+  EXPECT_THROW(Histogram(10.0, 10.0, 4), CheckFailure);
+  EXPECT_THROW(Histogram(-1.0, 10.0, 4), CheckFailure);
+  EXPECT_THROW(Histogram(1.0, 10.0, 0), CheckFailure);
+}
+
+TEST(Histogram, TracksCountMinMaxMean) {
+  Histogram h(1.0, 1e6, 60);
+  h.add(10.0);
+  h.add(100.0);
+  h.add(1000.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 370.0);
+}
+
+TEST(Histogram, OutOfRangeSamplesClampToEdgeBuckets) {
+  Histogram h(1.0, 100.0, 10);
+  h.add(0.001);   // below lo
+  h.add(1e9);     // above hi
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_value(0), 1u);
+  EXPECT_EQ(h.bucket_value(h.bucket_count() - 1), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+}
+
+TEST(Histogram, BucketBoundariesAreLogSpacedAndCover) {
+  const Histogram h(1.0, 1000.0, 3);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(0), 1.0);
+  EXPECT_NEAR(h.bucket_lower(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.bucket_lower(2), 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(2), 1000.0);
+}
+
+TEST(Histogram, SingleSamplePercentilesCollapseToIt) {
+  Histogram h = Histogram::latency_us();
+  h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 42.0);
+}
+
+TEST(Histogram, PercentilesAreMonotoneAndClampedToObservedRange) {
+  Histogram h = Histogram::latency_us();
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    h.add(std::exp(rng.uniform(0.0, 10.0)));  // log-uniform in [1, e^10]
+  }
+  const double p50 = h.p50();
+  const double p95 = h.p95();
+  const double p99 = h.p99();
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), h.max());
+}
+
+TEST(Histogram, PercentileApproximatesExactQuantile) {
+  // Bucket resolution bounds the error: with 10 buckets per decade a
+  // bucket spans a ×10^0.1 ≈ ×1.26 ratio, so the approximate quantile is
+  // within ~26% of the exact one.
+  Histogram h = Histogram::latency_us();
+  std::vector<double> xs;
+  Rng rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::exp(rng.uniform(std::log(5.0), std::log(50000.0)));
+    h.add(x);
+    xs.push_back(x);
+  }
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double exact = quantile(xs, q);
+    EXPECT_NEAR(h.percentile(q), exact, 0.3 * exact) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeEqualsSequential) {
+  Histogram all = Histogram::latency_us();
+  Histogram a = Histogram::latency_us();
+  Histogram b = Histogram::latency_us();
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = std::exp(rng.uniform(0.0, 12.0));
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(a.p95(), all.p95());
+  for (std::size_t i = 0; i < a.bucket_count(); ++i) {
+    EXPECT_EQ(a.bucket_value(i), all.bucket_value(i)) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a = Histogram::latency_us();
+  Histogram empty = Histogram::latency_us();
+  a.add(7.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.p50(), 7.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.min(), 7.0);
+}
+
+TEST(Histogram, MergeRejectsLayoutMismatch) {
+  Histogram a(1.0, 100.0, 10);
+  Histogram b(1.0, 100.0, 20);
+  Histogram c(1.0, 200.0, 10);
+  EXPECT_FALSE(a.same_layout(b));
+  EXPECT_FALSE(a.same_layout(c));
+  EXPECT_THROW(a.merge(b), CheckFailure);
+  EXPECT_THROW(a.merge(c), CheckFailure);
+}
+
 }  // namespace
 }  // namespace abp

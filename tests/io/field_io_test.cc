@@ -89,6 +89,126 @@ TEST(FieldIo, RejectsMalformedBeacon) {
   EXPECT_THROW(read_field(stream), CheckFailure);
 }
 
+// Hostile-input hardening: every malformed stream must surface as a clean
+// IoError (never a deep invariant trip or a huge allocation). Each case
+// below was writable by a hostile or corrupted peer before validation.
+
+void expect_field_io_error(const std::string& body,
+                           const std::string& needle) {
+  std::istringstream in(body);
+  try {
+    read_field(in);
+    FAIL() << "expected IoError for: " << body;
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+void expect_survey_io_error(const std::string& body,
+                            const std::string& needle) {
+  std::istringstream in(body);
+  try {
+    read_survey(in);
+    FAIL() << "expected IoError for: " << body;
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(FieldIo, RejectsTruncatedStream) {
+  expect_field_io_error("", "abp-field");
+  expect_field_io_error("abp-field 1\n", "bounds");
+}
+
+TEST(FieldIo, RejectsNonFiniteBounds) {
+  // "inf"/"nan" fail stream extraction outright; either rejection path
+  // echoes the offending record in the message.
+  expect_field_io_error("abp-field 1\nbounds 0 0 inf 10\n", "bounds");
+  expect_field_io_error("abp-field 1\nbounds nan 0 10 10\n", "bounds");
+}
+
+TEST(FieldIo, RejectsInvertedBounds) {
+  expect_field_io_error("abp-field 1\nbounds 10 0 0 10\n", "inverted");
+}
+
+TEST(FieldIo, RejectsTrailingJunkOnRecords) {
+  expect_field_io_error("abp-field 1\nbounds 0 0 10 10 extra\n", "bounds");
+  expect_field_io_error(
+      "abp-field 1\nbounds 0 0 10 10\nbeacon 0 1 2 1 junk\n", "beacon");
+}
+
+TEST(FieldIo, RejectsNonFiniteBeaconPosition) {
+  expect_field_io_error("abp-field 1\nbounds 0 0 10 10\nbeacon 0 inf 2 1\n",
+                        "beacon");
+}
+
+TEST(FieldIo, RejectsOutOfBoundsBeacon) {
+  expect_field_io_error("abp-field 1\nbounds 0 0 10 10\nbeacon 0 50 2 1\n",
+                        "outside bounds");
+}
+
+TEST(FieldIo, RejectsDuplicateOrRetrogradeIds) {
+  expect_field_io_error(
+      "abp-field 1\nbounds 0 0 10 10\nbeacon 1 1 1 1\nbeacon 1 2 2 1\n",
+      "out-of-order");
+  expect_field_io_error(
+      "abp-field 1\nbounds 0 0 10 10\nbeacon 5 1 1 1\nbeacon 2 2 2 1\n",
+      "out-of-order");
+}
+
+TEST(FieldIo, RejectsHugeBeaconIdBeforeAllocating) {
+  // A hostile id would drive a multi-gigabyte slot-vector resize; the
+  // ceiling must trip before any allocation happens.
+  expect_field_io_error(
+      "abp-field 1\nbounds 0 0 10 10\nbeacon 4000000000 1 1 1\n", "ceiling");
+  expect_field_io_error(
+      "abp-field 1\nbounds 0 0 10 10\nnext-id 4000000000\n", "ceiling");
+}
+
+TEST(FieldIo, RejectsBadActiveFlag) {
+  expect_field_io_error("abp-field 1\nbounds 0 0 10 10\nbeacon 0 1 1 7\n",
+                        "active flag");
+}
+
+TEST(FieldIo, RejectsUnknownRecord) {
+  expect_field_io_error("abp-field 1\nbounds 0 0 10 10\nwibble 1 2 3\n",
+                        "unexpected record");
+}
+
+TEST(SurveyIo, RejectsTruncatedStream) {
+  expect_survey_io_error("abp-survey 1\n", "bounds");
+  expect_survey_io_error("abp-survey 1\nbounds 0 0 10 10\n", "step");
+}
+
+TEST(SurveyIo, RejectsBadStep) {
+  expect_survey_io_error("abp-survey 1\nbounds 0 0 10 10\nstep 0\n",
+                         "positive");
+  expect_survey_io_error("abp-survey 1\nbounds 0 0 10 10\nstep -2\n",
+                         "positive");
+  expect_survey_io_error("abp-survey 1\nbounds 0 0 10 10\nstep inf\n", "step");
+}
+
+TEST(SurveyIo, RejectsMemoryExhaustingLattice) {
+  // Tiny step over huge bounds would allocate two multi-gigabyte grids;
+  // the size cap must trip before the Lattice2D is built.
+  expect_survey_io_error(
+      "abp-survey 1\nbounds 0 0 1000000 1000000\nstep 0.001\n", "too large");
+}
+
+TEST(SurveyIo, RejectsNonFiniteValue) {
+  expect_survey_io_error(
+      "abp-survey 1\nbounds 0 0 10 10\nstep 1\npoint 0 nan\n", "point");
+}
+
+TEST(SurveyIo, RejectsMalformedPointRecord) {
+  expect_survey_io_error("abp-survey 1\nbounds 0 0 10 10\nstep 1\npoint 0\n",
+                         "point");
+  expect_survey_io_error(
+      "abp-survey 1\nbounds 0 0 10 10\nstep 1\npoint 0 1.0 junk\n", "point");
+}
+
 TEST(SurveyIo, RoundTripPreservesMaskAndValues) {
   const Lattice2D lattice(AABB::square(30.0), 1.5);
   SurveyData survey(lattice);

@@ -1,0 +1,199 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace abp::serve {
+namespace {
+
+Request full_request() {
+  Request request;
+  request.seq = 42;
+  request.endpoint = Endpoint::kLocalize;
+  request.field = "west-ridge_2";
+  request.points = {{0.1234567890123456, 99.9}, {-3.5, 7.0}};
+  return request;
+}
+
+TEST(Protocol, RequestRoundTripExact) {
+  const Request request = full_request();
+  std::string error;
+  const auto copy = parse_request(format_request(request), &error);
+  ASSERT_TRUE(copy.has_value()) << error;
+  EXPECT_EQ(*copy, request);
+}
+
+TEST(Protocol, RequestRoundTripAllEndpoints) {
+  for (const Endpoint endpoint : kAllEndpoints) {
+    Request request;
+    request.seq = 7;
+    request.endpoint = endpoint;
+    request.algorithm = endpoint == Endpoint::kPropose ? "max" : "";
+    request.count = endpoint == Endpoint::kPropose ? 3 : 1;
+    const auto copy = parse_request(format_request(request));
+    ASSERT_TRUE(copy.has_value()) << endpoint_name(endpoint);
+    EXPECT_EQ(*copy, request) << endpoint_name(endpoint);
+  }
+}
+
+TEST(Protocol, ResponseRoundTripExact) {
+  Response response;
+  response.seq = 91;
+  response.status = Status::kOk;
+  response.estimates = {{{1.5, 2.5}, 4}, {{-0.25, 1e-17}, 0}};
+  response.errors = {0.0, 12.75};
+  response.positions = {{33.3, 44.4}};
+  response.beacon_ids = {17, 2};
+  response.text = "abp-field 1\nbounds 0 0 10 10\nwith\nnewlines\n";
+  std::string error;
+  const auto copy = parse_response(format_response(response), &error);
+  ASSERT_TRUE(copy.has_value()) << error;
+  EXPECT_EQ(*copy, response);
+}
+
+TEST(Protocol, ErrorResponseCarriesMessage) {
+  Response response;
+  response.seq = 3;
+  response.status = Status::kNotFound;
+  response.message = "unknown field: nowhere";
+  const auto copy = parse_response(format_response(response));
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(copy->status, Status::kNotFound);
+  EXPECT_EQ(copy->message, "unknown field: nowhere");
+}
+
+TEST(Protocol, NewlinesInMessageAreFlattened) {
+  Response response;
+  response.message = "line1\nline2";
+  response.status = Status::kInternal;
+  const auto copy = parse_response(format_response(response));
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(copy->message, "line1 line2");
+}
+
+TEST(Protocol, ParseRejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(parse_request("", &error).has_value());
+  EXPECT_FALSE(parse_request("hello world\n", &error).has_value());
+  EXPECT_FALSE(parse_request("abp-request 2 1 localize\n", &error));
+  EXPECT_FALSE(parse_request("abp-request 1 x localize\n", &error));
+  EXPECT_FALSE(parse_request("abp-request 1 1 teleport\n", &error));
+  EXPECT_FALSE(parse_response("abp-request 1 1 localize\n", &error));
+}
+
+TEST(Protocol, ParseRejectsMalformedRecords) {
+  const std::string head = "abp-request 1 1 localize\n";
+  EXPECT_FALSE(parse_request(head + "point 1\n").has_value());
+  EXPECT_FALSE(parse_request(head + "point a b\n").has_value());
+  EXPECT_FALSE(parse_request(head + "point 1 2 3\n").has_value());
+  EXPECT_FALSE(parse_request(head + "point inf 2\n").has_value());
+  EXPECT_FALSE(parse_request(head + "point nan 2\n").has_value());
+  EXPECT_FALSE(parse_request(head + "field bad name\n").has_value());
+  EXPECT_FALSE(parse_request(head + "field ..$$..\n").has_value());
+  EXPECT_FALSE(parse_request(head + "count 0\n").has_value());
+  EXPECT_FALSE(parse_request(head + "count -3\n").has_value());
+  EXPECT_FALSE(parse_request(head + "wibble 1\n").has_value());
+}
+
+TEST(Protocol, ParseReportsDiagnostic) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_request("abp-request 1 1 teleport\n", &error).has_value());
+  EXPECT_NE(error.find("teleport"), std::string::npos);
+}
+
+TEST(Protocol, FieldNameValidation) {
+  EXPECT_TRUE(valid_field_name("default"));
+  EXPECT_TRUE(valid_field_name("a-b_c.9"));
+  EXPECT_FALSE(valid_field_name(""));
+  EXPECT_FALSE(valid_field_name("has space"));
+  EXPECT_FALSE(valid_field_name("semi;colon"));
+  EXPECT_FALSE(valid_field_name(std::string(65, 'a')));
+}
+
+TEST(Protocol, FrameRoundTrip) {
+  const std::string payload = format_request(full_request());
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(payload));
+  const auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.corrupt());
+}
+
+TEST(Protocol, FrameDecoderHandlesBytewiseFeeding) {
+  const std::string payload = "abp-request 1 5 stats\n";
+  const std::string frame = encode_frame(payload);
+  FrameDecoder decoder;
+  for (const char c : frame) {
+    decoder.feed(std::string_view(&c, 1));
+  }
+  const auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+}
+
+TEST(Protocol, FrameDecoderHandlesPipelinedFrames) {
+  const std::string a = "abp-request 1 1 stats\n";
+  const std::string b = "abp-request 1 2 list-fields\n";
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(a) + encode_frame(b));
+  EXPECT_EQ(decoder.next().value_or(""), a);
+  EXPECT_EQ(decoder.next().value_or(""), b);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Protocol, FrameDecoderNeedsFullPayload) {
+  const std::string frame = encode_frame("abp-request 1 1 stats\n");
+  FrameDecoder decoder;
+  decoder.feed(frame.substr(0, frame.size() - 5));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.corrupt());
+  decoder.feed(frame.substr(frame.size() - 5));
+  EXPECT_TRUE(decoder.next().has_value());
+}
+
+TEST(Protocol, FrameDecoderRejectsBadMagic) {
+  FrameDecoder decoder;
+  decoder.feed("nonsense 22\nabp-request 1 1 stats\n");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.corrupt());
+  // Corrupt is sticky: further feeds are ignored.
+  decoder.feed(encode_frame("abp-request 1 1 stats\n"));
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Protocol, FrameDecoderRejectsOversizedLength) {
+  FrameDecoder decoder;
+  decoder.feed("abps1 99999999999\n");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.corrupt());
+}
+
+TEST(Protocol, FrameDecoderRejectsNonNumericLength) {
+  FrameDecoder decoder;
+  decoder.feed("abps1 12x\npayload");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.corrupt());
+}
+
+TEST(Protocol, FrameDecoderRejectsRunawayHeader) {
+  FrameDecoder decoder;
+  decoder.feed(std::string(100, 'a'));  // no newline, far past a header
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.corrupt());
+}
+
+TEST(Protocol, TextBlockLengthIsValidated) {
+  // Claimed text length larger than the remaining payload must fail
+  // cleanly, not read out of range.
+  const std::string payload = "abp-response 1 1 ok\ntext 9999\nshort\n";
+  std::string error;
+  EXPECT_FALSE(parse_response(payload, &error).has_value());
+  EXPECT_NE(error.find("text"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace abp::serve

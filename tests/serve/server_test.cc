@@ -1,0 +1,284 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/transport.h"
+
+namespace abp::serve {
+namespace {
+
+BeaconField make_field() {
+  BeaconField field(AABB({0, 0}, {60, 60}));
+  field.add({10, 10});
+  field.add({30, 10});
+  field.add({10, 30});
+  return field;
+}
+
+ServiceConfig test_config() {
+  ServiceConfig config;
+  config.lattice_step = 2.0;
+  return config;
+}
+
+Request localize_request(std::uint64_t seq, Vec2 point) {
+  Request request;
+  request.seq = seq;
+  request.endpoint = Endpoint::kLocalize;
+  request.points = {point};
+  return request;
+}
+
+TEST(Server, LoopbackRoundTrip) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server server(service);
+  LoopbackTransport transport(server);
+
+  const Response response = transport.roundtrip(localize_request(5, {12, 12}));
+  EXPECT_EQ(response.seq, 5u);
+  ASSERT_EQ(response.status, Status::kOk) << response.message;
+  ASSERT_EQ(response.estimates.size(), 1u);
+  EXPECT_GT(response.estimates[0].connected, 0u);
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(Server, UnparseablePayloadGetsBadRequestReply) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server server(service);
+
+  std::vector<std::string> replies;
+  server.submit("this is not a request\n",
+                [&](std::string payload) { replies.push_back(payload); });
+  // The reply is immediate — no pump needed for a parse failure.
+  ASSERT_EQ(replies.size(), 1u);
+  const auto response = parse_response(replies[0]);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, Status::kBadRequest);
+  EXPECT_EQ(service.metrics().bad_frames(), 1u);
+  EXPECT_EQ(server.requests_served(), 0u);
+}
+
+TEST(Server, ManualModeCoalescesPointQueries) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server::Options options;
+  options.workers = 0;
+  options.max_batch = 4;
+  Server server(service, options);
+
+  std::atomic<int> replies{0};
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    server.submit(format_request(localize_request(seq, {12, 12})),
+                  [&](std::string) { ++replies; });
+  }
+  EXPECT_EQ(replies.load(), 0);  // nothing runs before pump()
+  server.pump();
+  EXPECT_EQ(replies.load(), 10);
+  // 10 queued point queries at max_batch=4 → batches of 4, 4, 2.
+  EXPECT_EQ(server.batches_executed(), 3u);
+  EXPECT_EQ(server.requests_served(), 10u);
+  EXPECT_EQ(service.metrics().batches(), 3u);
+  EXPECT_EQ(service.metrics().coalesced_requests(), 10u);
+}
+
+TEST(Server, NonBatchableRequestsRunIndividually) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server::Options options;
+  options.max_batch = 8;
+  Server server(service, options);
+
+  Request stats;
+  stats.endpoint = Endpoint::kStats;
+  stats.seq = 1;
+  std::atomic<int> replies{0};
+  server.submit(format_request(stats), [&](std::string) { ++replies; });
+  server.submit(format_request(stats), [&](std::string) { ++replies; });
+  server.pump();
+  EXPECT_EQ(replies.load(), 2);
+  EXPECT_EQ(server.batches_executed(), 2u);
+}
+
+TEST(Server, MixedFieldsDoNotCoalesceAcrossDeployments) {
+  LocalizationService service(test_config());
+  service.add_field("alpha", make_field());
+  service.add_field("beta", make_field());
+  Server::Options options;
+  options.max_batch = 8;
+  Server server(service, options);
+
+  std::atomic<int> replies{0};
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    Request request = localize_request(seq, {12, 12});
+    request.field = seq % 2 == 0 ? "alpha" : "beta";
+    server.submit(format_request(request), [&](std::string) { ++replies; });
+  }
+  server.pump();
+  EXPECT_EQ(replies.load(), 4);
+  // Two batches: the two alpha queries coalesce, the two beta queries
+  // coalesce (take_batch_locked pulls same-field queries from anywhere in
+  // the queue).
+  EXPECT_EQ(server.batches_executed(), 2u);
+}
+
+TEST(Server, RepliesPreserveSequenceNumbers) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server::Options options;
+  options.max_batch = 16;
+  Server server(service, options);
+
+  std::vector<std::uint64_t> seqs;
+  for (std::uint64_t seq = 100; seq < 105; ++seq) {
+    server.submit(format_request(localize_request(seq, {12, 12})),
+                  [&](std::string payload) {
+                    const auto response = parse_response(payload);
+                    ASSERT_TRUE(response.has_value());
+                    seqs.push_back(response->seq);
+                  });
+  }
+  server.pump();
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{100, 101, 102, 103, 104}));
+}
+
+TEST(Server, ThreadedModeServesConcurrentClients) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server::Options options;
+  options.workers = 4;
+  options.max_batch = 8;
+  Server server(service, options);
+  LoopbackTransport transport(server);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 25;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const Response response = transport.roundtrip(
+            localize_request(static_cast<std::uint64_t>(c * 1000 + i),
+                             {12.0 + c, 12.0 + i % 10}));
+        if (response.status == Status::kOk) ++ok;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+  EXPECT_EQ(server.requests_served(),
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  server.shutdown();
+}
+
+TEST(Server, ShutdownDrainsAcceptedThenRejectsNew) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server::Options options;
+  options.workers = 2;
+  options.max_batch = 4;
+  Server server(service, options);
+
+  // Flood the queue, then shut down immediately: every accepted request
+  // must still be answered (drain), no reply may be dropped.
+  constexpr int kAccepted = 200;
+  std::atomic<int> answered{0};
+  std::atomic<int> ok{0};
+  for (std::uint64_t seq = 1; seq <= kAccepted; ++seq) {
+    server.submit(format_request(localize_request(seq, {12, 12})),
+                  [&](std::string payload) {
+                    const auto response = parse_response(payload);
+                    if (response && response->status == Status::kOk) ++ok;
+                    ++answered;
+                  });
+  }
+  server.shutdown();
+  EXPECT_EQ(answered.load(), kAccepted);
+  EXPECT_EQ(ok.load(), kAccepted);
+
+  // Post-shutdown submissions are rejected immediately with kUnavailable.
+  std::vector<Response> rejected;
+  server.submit(format_request(localize_request(999, {12, 12})),
+                [&](std::string payload) {
+                  const auto response = parse_response(payload);
+                  ASSERT_TRUE(response.has_value());
+                  rejected.push_back(*response);
+                });
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected[0].status, Status::kUnavailable);
+  EXPECT_EQ(rejected[0].seq, 999u);
+  EXPECT_TRUE(server.shutting_down());
+}
+
+TEST(Server, ManualModeShutdownDrains) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server server(service);
+
+  std::atomic<int> answered{0};
+  server.submit(format_request(localize_request(1, {12, 12})),
+                [&](std::string) { ++answered; });
+  server.shutdown();  // must pump the queued request, not drop it
+  EXPECT_EQ(answered.load(), 1);
+}
+
+TEST(Server, ShutdownIsIdempotent) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server::Options options;
+  options.workers = 2;
+  Server server(service, options);
+  server.shutdown();
+  server.shutdown();
+  EXPECT_TRUE(server.shutting_down());
+}
+
+TEST(Server, MetricsRecordLatencyAndBytes) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server server(service);
+  LoopbackTransport transport(server);
+
+  for (int i = 0; i < 5; ++i) {
+    transport.roundtrip(localize_request(static_cast<std::uint64_t>(i),
+                                         {12, 12}));
+  }
+  const EndpointSnapshot snap =
+      service.metrics().endpoint_snapshot(Endpoint::kLocalize);
+  EXPECT_EQ(snap.requests, 5u);
+  EXPECT_EQ(snap.errors, 0u);
+  EXPECT_EQ(snap.latency_samples, 5u);
+  EXPECT_GT(snap.bytes_in, 0u);
+  EXPECT_GT(snap.bytes_out, 0u);
+  EXPECT_GE(snap.p99_us, snap.p50_us);
+}
+
+TEST(Server, LoopbackFrameExchangeRejectsCorruptFrames) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server server(service);
+  LoopbackTransport transport(server);
+
+  std::string frame = encode_frame(format_request(localize_request(1, {1, 1})));
+  frame[0] = 'X';
+  const std::string reply_frame = transport.roundtrip_frame(frame);
+  FrameDecoder decoder;
+  decoder.feed(reply_frame);
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  const auto response = parse_response(*payload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, Status::kBadRequest);
+  EXPECT_EQ(service.metrics().bad_frames(), 1u);
+}
+
+}  // namespace
+}  // namespace abp::serve

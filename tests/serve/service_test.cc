@@ -1,0 +1,277 @@
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/field_io.h"
+#include "loc/localizer.h"
+#include "radio/noise_model.h"
+
+namespace abp::serve {
+namespace {
+
+constexpr double kRange = 15.0;
+
+BeaconField make_field() {
+  BeaconField field(AABB({0, 0}, {60, 60}));
+  field.add({10, 10});
+  field.add({30, 10});
+  field.add({10, 30});
+  field.add({45, 45});
+  return field;
+}
+
+ServiceConfig test_config() {
+  ServiceConfig config;
+  config.nominal_range = kRange;
+  config.noise = 0.0;
+  config.lattice_step = 2.0;
+  return config;
+}
+
+Request point_request(Endpoint endpoint, std::vector<Vec2> points) {
+  Request request;
+  request.seq = 1;
+  request.endpoint = endpoint;
+  request.points = std::move(points);
+  return request;
+}
+
+TEST(Service, LocalizeMatchesCentroidLocalizer) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  const std::vector<Vec2> points = {{12, 12}, {50, 50}, {0, 0}, {20, 15}};
+  const Response response =
+      service.handle(point_request(Endpoint::kLocalize, points));
+  ASSERT_EQ(response.status, Status::kOk) << response.message;
+  ASSERT_EQ(response.estimates.size(), points.size());
+
+  // Noise = 0 makes connectivity a pure range test, independent of the
+  // service's internal seed — so a locally built localizer must agree.
+  const BeaconField field = make_field();
+  const PerBeaconNoiseModel model(kRange, 0.0, 1);
+  const CentroidLocalizer localizer(field, model);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const LocalizationResult expect = localizer.localize(points[i]);
+    EXPECT_DOUBLE_EQ(response.estimates[i].estimate.x, expect.estimate.x);
+    EXPECT_DOUBLE_EQ(response.estimates[i].estimate.y, expect.estimate.y);
+    EXPECT_EQ(response.estimates[i].connected, expect.connected);
+  }
+}
+
+TEST(Service, ErrorAtMatchesCentroidLocalizer) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  const std::vector<Vec2> points = {{12, 12}, {50, 50}};
+  const Response response =
+      service.handle(point_request(Endpoint::kErrorAt, points));
+  ASSERT_EQ(response.status, Status::kOk);
+  ASSERT_EQ(response.errors.size(), points.size());
+
+  const BeaconField field = make_field();
+  const PerBeaconNoiseModel model(kRange, 0.0, 1);
+  const CentroidLocalizer localizer(field, model);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(response.errors[i], localizer.error(points[i]));
+  }
+}
+
+TEST(Service, UnknownFieldIsNotFound) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Request request = point_request(Endpoint::kLocalize, {{1, 1}});
+  request.field = "nowhere";
+  const Response response = service.handle(request);
+  EXPECT_EQ(response.status, Status::kNotFound);
+  EXPECT_NE(response.message.find("nowhere"), std::string::npos);
+}
+
+TEST(Service, UnknownAlgorithmIsNotFound) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Request request;
+  request.endpoint = Endpoint::kPropose;
+  request.algorithm = "teleport";
+  const Response response = service.handle(request);
+  EXPECT_EQ(response.status, Status::kNotFound);
+  EXPECT_NE(response.message.find("teleport"), std::string::npos);
+}
+
+TEST(Service, ProposeStaysInBounds) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  for (const char* algorithm :
+       {"random", "max", "grid", "grid-norm", "coverage", "locus"}) {
+    Request request;
+    request.endpoint = Endpoint::kPropose;
+    request.algorithm = algorithm;
+    request.count = 3;
+    const Response response = service.handle(request);
+    ASSERT_EQ(response.status, Status::kOk)
+        << algorithm << ": " << response.message;
+    ASSERT_EQ(response.positions.size(), 3u) << algorithm;
+    const AABB bounds = make_field().bounds();
+    for (const Vec2 p : response.positions) {
+      EXPECT_TRUE(bounds.contains(p)) << algorithm;
+    }
+  }
+}
+
+TEST(Service, ProposeIsDeterministicPerServiceSeed) {
+  const auto run = [] {
+    LocalizationService service(test_config());
+    service.add_field("default", make_field());
+    Request request;
+    request.endpoint = Endpoint::kPropose;
+    request.algorithm = "random";
+    request.count = 4;
+    return service.handle(request).positions;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+  }
+}
+
+TEST(Service, AddBeaconShowsUpInSnapshot) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Request add = point_request(Endpoint::kAddBeacon, {{55, 5}});
+  const Response added = service.handle(add);
+  ASSERT_EQ(added.status, Status::kOk) << added.message;
+  ASSERT_EQ(added.beacon_ids.size(), 1u);
+  const std::uint64_t id = added.beacon_ids[0];
+
+  Request snapshot;
+  snapshot.endpoint = Endpoint::kSnapshot;
+  const Response snap = service.handle(snapshot);
+  ASSERT_EQ(snap.status, Status::kOk);
+  std::istringstream in(snap.text);
+  const BeaconField restored = read_field(in);
+  EXPECT_EQ(restored.size(), make_field().size() + 1);
+  const auto beacon = restored.get(static_cast<BeaconId>(id));
+  ASSERT_TRUE(beacon.has_value());
+  EXPECT_DOUBLE_EQ(beacon->pos.x, 55.0);
+  EXPECT_DOUBLE_EQ(beacon->pos.y, 5.0);
+}
+
+TEST(Service, AddBeaconClampsOutOfBoundsPosition) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  const Response response =
+      service.handle(point_request(Endpoint::kAddBeacon, {{-10, 500}}));
+  ASSERT_EQ(response.status, Status::kOk) << response.message;
+  ASSERT_EQ(response.positions.size(), 1u);
+  EXPECT_TRUE(make_field().bounds().contains(response.positions[0]));
+}
+
+TEST(Service, AddBeaconChangesLocalization) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  const Vec2 probe{45, 45};
+  // Beacon 3 sits at (45,45); add another in range of the probe and the
+  // centroid must move.
+  const Response before =
+      service.handle(point_request(Endpoint::kLocalize, {probe}));
+  service.handle(point_request(Endpoint::kAddBeacon, {{50, 50}}));
+  const Response after =
+      service.handle(point_request(Endpoint::kLocalize, {probe}));
+  ASSERT_EQ(before.estimates.size(), 1u);
+  ASSERT_EQ(after.estimates.size(), 1u);
+  EXPECT_EQ(after.estimates[0].connected, before.estimates[0].connected + 1);
+}
+
+TEST(Service, ListFieldsAndStats) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  service.add_field("second", make_field());
+
+  Request list;
+  list.endpoint = Endpoint::kListFields;
+  const Response names = service.handle(list);
+  ASSERT_EQ(names.status, Status::kOk);
+  EXPECT_NE(names.text.find("default\n"), std::string::npos);
+  EXPECT_NE(names.text.find("second\n"), std::string::npos);
+
+  Request stats;
+  stats.endpoint = Endpoint::kStats;
+  const Response report = service.handle(stats);
+  ASSERT_EQ(report.status, Status::kOk);
+  EXPECT_EQ(report.text.rfind("abp-serve-stats 1", 0), 0u);
+}
+
+TEST(Service, ReplacingAFieldTakesEffect) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  BeaconField empty(AABB({0, 0}, {60, 60}));
+  service.add_field("default", std::move(empty));
+  const Response response =
+      service.handle(point_request(Endpoint::kLocalize, {{12, 12}}));
+  ASSERT_EQ(response.estimates.size(), 1u);
+  EXPECT_EQ(response.estimates[0].connected, 0u);
+}
+
+TEST(Service, HandleBatchMatchesIndividualHandles) {
+  const std::vector<Vec2> probes = {{12, 12}, {50, 50}, {20, 15}, {0, 0}};
+  std::vector<Request> requests;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    Request request = point_request(
+        i % 2 == 0 ? Endpoint::kLocalize : Endpoint::kErrorAt, {probes[i]});
+    request.seq = i + 1;
+    requests.push_back(std::move(request));
+  }
+
+  LocalizationService batched(test_config());
+  batched.add_field("default", make_field());
+  const std::vector<Response> batch = batched.handle_batch(requests);
+
+  LocalizationService solo(test_config());
+  solo.add_field("default", make_field());
+  ASSERT_EQ(batch.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(batch[i], solo.handle(requests[i])) << "request " << i;
+  }
+}
+
+TEST(Service, HandleBatchMixedFieldsFallsBackCorrectly) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  service.add_field("second", make_field());
+  std::vector<Request> requests;
+  Request a = point_request(Endpoint::kLocalize, {{12, 12}});
+  a.field = "default";
+  Request b = point_request(Endpoint::kLocalize, {{12, 12}});
+  b.field = "second";
+  Request c;
+  c.endpoint = Endpoint::kListFields;
+  requests = {a, b, c};
+  const std::vector<Response> out = service.handle_batch(requests);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].status, Status::kOk);
+  EXPECT_EQ(out[1].status, Status::kOk);
+  EXPECT_EQ(out[0].estimates.size(), 1u);
+  EXPECT_NE(out[2].text.find("second"), std::string::npos);
+}
+
+TEST(Service, TooManyProposalsIsBadRequest) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Request request;
+  request.endpoint = Endpoint::kPropose;
+  request.algorithm = "grid";
+  request.count = 1000;
+  EXPECT_EQ(service.handle(request).status, Status::kBadRequest);
+}
+
+TEST(Service, RejectsInvalidDeploymentName) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  EXPECT_THROW(service.add_field("bad name", make_field()), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp::serve

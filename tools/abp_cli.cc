@@ -13,11 +13,25 @@
 ///                [--count 3] [--noise 0.3]
 ///   abp schedule --field field.txt --out field2.txt  (distributed on/off)
 ///   abp sweep    --figure 4|5|6|7|8|9 [--trials N] [--csv PATH]
+///   abp serve    --field field.txt [--name default] [--noise X]
+///                [--port P | --oneshot --in req.bin [--out resp.bin]]
+///                [--workers N] [--batch B]
+///   abp query    --type localize|error-at|propose|add-beacon|snapshot|
+///                stats|list-fields [--points "x,y;x,y"] [--algorithm A]
+///                [--name default] [--count K]
+///                (--field FILE | --connect HOST:PORT |
+///                 --encode-to FILE [--append] | --decode FILE)
 ///
 /// Exit status 0 on success; CheckFailure messages go to stderr with
 /// status 1.
+#include <poll.h>
+
+#include <algorithm>
+#include <csignal>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "common/flags.h"
 #include "common/table.h"
@@ -36,6 +50,9 @@
 #include "placement/random_placement.h"
 #include "radio/noise_model.h"
 #include "robot/surveyor.h"
+#include "serve/server.h"
+#include "serve/tcp_transport.h"
+#include "serve/transport.h"
 #include "terrain/heightmap.h"
 
 namespace abp::cli {
@@ -53,7 +70,14 @@ int usage() {
          "[--count K] [--noise X] [--seed S]\n"
          "  schedule --field FILE --out FILE [--seed S]\n"
          "  sweep    --figure 4|5|6|7|8|9 [--trials N] [--csv PATH] "
-         "[--stride K] [--seed S]\n";
+         "[--stride K] [--seed S]\n"
+         "  serve    --field FILE [--name N] [--noise X] [--seed S] "
+         "[--workers W] [--batch B]\n"
+         "           [--port P | --oneshot --in REQ [--out RESP]]\n"
+         "  query    --type T [--points \"x,y;x,y\"] [--algorithm A] "
+         "[--name N] [--count K]\n"
+         "           (--field FILE | --connect HOST:PORT | "
+         "--encode-to FILE [--append] | --decode FILE)\n";
   return 2;
 }
 
@@ -272,6 +296,237 @@ int cmd_sweep(const Flags& flags) {
   return 0;
 }
 
+// ---- serving -----------------------------------------------------------
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+/// Parse "x,y;x,y;…" into points (query --points).
+std::vector<Vec2> parse_point_list(const std::string& text) {
+  std::vector<Vec2> points;
+  std::istringstream groups(text);
+  std::string group;
+  while (std::getline(groups, group, ';')) {
+    if (group.empty()) continue;
+    std::istringstream is(group);
+    double x, y;
+    char comma = '\0';
+    is >> x >> comma >> y;
+    ABP_CHECK(!is.fail() && comma == ',',
+              "bad --points entry (want x,y): " + group);
+    points.push_back({x, y});
+  }
+  return points;
+}
+
+serve::Request request_from_flags(const Flags& flags) {
+  const std::string type = flags.get_string("type", "localize");
+  const auto endpoint = serve::endpoint_from_name(type);
+  ABP_CHECK(endpoint.has_value(), "unknown --type: " + type);
+  serve::Request request;
+  request.endpoint = *endpoint;
+  request.seq = flags.get_u64("seq", 1);
+  request.field = flags.get_string("name", "default");
+  request.points = parse_point_list(flags.get_string("points", ""));
+  request.algorithm = flags.get_string("algorithm", "");
+  request.count = static_cast<std::uint32_t>(flags.get_int("count", 1));
+  return request;
+}
+
+void print_response(const serve::Response& response) {
+  std::cout << "seq " << response.seq << " status "
+            << serve::status_name(response.status) << "\n";
+  if (!response.message.empty()) {
+    std::cout << "message " << response.message << "\n";
+  }
+  for (const serve::PointEstimate& e : response.estimates) {
+    std::cout << "estimate (" << TextTable::fmt(e.estimate.x, 2) << ", "
+              << TextTable::fmt(e.estimate.y, 2) << ") connected "
+              << e.connected << "\n";
+  }
+  for (const double v : response.errors) {
+    std::cout << "error " << TextTable::fmt(v, 2) << "\n";
+  }
+  for (const Vec2 p : response.positions) {
+    std::cout << "position (" << TextTable::fmt(p.x, 2) << ", "
+              << TextTable::fmt(p.y, 2) << ")\n";
+  }
+  for (const std::uint32_t id : response.beacon_ids) {
+    std::cout << "beacon-id " << id << "\n";
+  }
+  if (!response.text.empty()) std::cout << response.text;
+}
+
+serve::ServiceConfig service_config_from_flags(const Flags& flags) {
+  serve::ServiceConfig config;
+  config.noise = flags.get_double("noise", 0.0);
+  config.seed = flags.get_u64("seed", 1);
+  return config;
+}
+
+/// One-shot mode: feed every frame in `in` through the loopback transport,
+/// append each response frame to `out`. Malformed framing yields one
+/// bad-request response frame for the rest of the stream (framing cannot
+/// resync). Returns the number of requests answered.
+std::size_t serve_oneshot(serve::Server& server, std::istream& in,
+                          std::ostream& out) {
+  serve::LoopbackTransport loopback(server);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  serve::FrameDecoder decoder;
+  decoder.feed(bytes);
+  std::size_t served = 0;
+  for (;;) {
+    std::optional<std::string> payload = decoder.next();
+    if (!payload) break;
+    // Re-frame so the loopback path exercises the full codec.
+    out << loopback.roundtrip_frame(serve::encode_frame(*payload));
+    ++served;
+  }
+  if (decoder.corrupt() || decoder.buffered() > 0) {
+    server.service().metrics().record_bad_frame(decoder.buffered());
+    serve::Response rejection;
+    rejection.status = serve::Status::kBadRequest;
+    rejection.message =
+        decoder.corrupt() ? decoder.error() : "truncated trailing frame";
+    out << serve::encode_frame(serve::format_response(rejection));
+    ++served;
+  }
+  return served;
+}
+
+int cmd_serve(const Flags& flags) {
+  const std::string field_path = flags.get_string("field", "");
+  const std::string name = flags.get_string("name", "default");
+  const bool oneshot = flags.get_bool("oneshot", false);
+  const std::string in_path = flags.get_string("in", "");
+  const std::string out_path = flags.get_string("out", "");
+  const auto port =
+      static_cast<std::uint16_t>(flags.get_int("port", 0));
+  const auto workers = static_cast<std::size_t>(flags.get_int("workers", 0));
+  const auto batch = static_cast<std::size_t>(flags.get_int("batch", 16));
+  serve::ServiceConfig config = service_config_from_flags(flags);
+  flags.check_unused();
+  ABP_CHECK(!field_path.empty(), "serve requires --field");
+
+  serve::LocalizationService service(config);
+  service.add_field(name, load_field(field_path));
+  serve::Server server(service,
+                       {.workers = oneshot ? 0 : workers, .max_batch = batch});
+
+  if (oneshot) {
+    ABP_CHECK(!in_path.empty(), "serve --oneshot requires --in");
+    std::ifstream in(in_path, std::ios::binary);
+    ABP_CHECK(in.good(), "cannot open for reading: " + in_path);
+    std::size_t served = 0;
+    if (out_path.empty()) {
+      served = serve_oneshot(server, in, std::cout);
+    } else {
+      std::ofstream out(out_path, std::ios::binary);
+      ABP_CHECK(out.good(), "cannot open for writing: " + out_path);
+      served = serve_oneshot(server, in, out);
+    }
+    server.shutdown();
+    std::cerr << "served " << served << " request(s) from " << in_path
+              << "\n"
+              << service.metrics().render_text();
+    return 0;
+  }
+
+  serve::TcpServerTransport transport(
+      server, {.port = port, .read_timeout_s = 30.0,
+               .conn_workers = std::max<std::size_t>(workers, 2)});
+  transport.start();
+  std::cout << "serving field '" << name << "' on 127.0.0.1:"
+            << transport.port() << " (workers " << workers << ", batch "
+            << batch << "); Ctrl-C to stop\n";
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_requested == 0) {
+    pollfd none{-1, 0, 0};
+    ::poll(&none, 0, 200);  // sleep, interruptible by signals
+  }
+  std::cout << "\nshutting down: draining in-flight requests\n";
+  transport.stop();
+  server.shutdown();
+  std::cout << service.metrics().render_text();
+  return 0;
+}
+
+int cmd_query(const Flags& flags) {
+  const std::string decode_path = flags.get_string("decode", "");
+  if (!decode_path.empty()) {
+    flags.check_unused();
+    std::ifstream in(decode_path, std::ios::binary);
+    ABP_CHECK(in.good(), "cannot open for reading: " + decode_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    serve::FrameDecoder decoder;
+    decoder.feed(buffer.str());
+    std::size_t frames = 0;
+    while (const auto payload = decoder.next()) {
+      std::string error;
+      const auto response = serve::parse_response(*payload, &error);
+      ABP_CHECK(response.has_value(), "bad response payload: " + error);
+      print_response(*response);
+      ++frames;
+    }
+    ABP_CHECK(!decoder.corrupt(), "corrupt frame: " + decoder.error());
+    std::cout << "decoded " << frames << " response frame(s)\n";
+    return 0;
+  }
+
+  const serve::Request request = request_from_flags(flags);
+  const std::string encode_path = flags.get_string("encode-to", "");
+  if (!encode_path.empty()) {
+    const bool append = flags.get_bool("append", false);
+    const bool corrupt = flags.get_bool("corrupt", false);
+    flags.check_unused();
+    std::ofstream out(encode_path,
+                      std::ios::binary |
+                          (append ? std::ios::app : std::ios::trunc));
+    ABP_CHECK(out.good(), "cannot open for writing: " + encode_path);
+    std::string frame = serve::encode_frame(serve::format_request(request));
+    // --corrupt: deliberately break the magic for rejection tests.
+    if (corrupt) frame[0] = 'X';
+    out << frame;
+    std::cout << "wrote " << frame.size() << " byte frame to " << encode_path
+              << "\n";
+    return 0;
+  }
+
+  const std::string connect = flags.get_string("connect", "");
+  if (!connect.empty()) {
+    flags.check_unused();
+    const auto colon = connect.rfind(':');
+    ABP_CHECK(colon != std::string::npos, "--connect wants HOST:PORT");
+    const std::string host = connect.substr(0, colon);
+    std::istringstream port_is(connect.substr(colon + 1));
+    int port = 0;
+    port_is >> port;
+    ABP_CHECK(!port_is.fail() && port > 0 && port <= 65535,
+              "bad --connect port");
+    serve::TcpClientTransport transport(
+        host, static_cast<std::uint16_t>(port));
+    print_response(transport.roundtrip(request));
+    return 0;
+  }
+
+  const std::string field_path = flags.get_string("field", "");
+  serve::ServiceConfig config = service_config_from_flags(flags);
+  const auto batch = static_cast<std::size_t>(flags.get_int("batch", 16));
+  flags.check_unused();
+  ABP_CHECK(!field_path.empty(),
+            "query needs one of --field, --connect, --encode-to, --decode");
+  serve::LocalizationService service(config);
+  service.add_field(request.field, load_field(field_path));
+  serve::Server server(service, {.workers = 0, .max_batch = batch});
+  serve::LoopbackTransport loopback(server);
+  print_response(loopback.roundtrip(request));
+  return 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
@@ -282,6 +537,8 @@ int run(int argc, char** argv) {
   if (command == "place") return cmd_place(flags);
   if (command == "schedule") return cmd_schedule(flags);
   if (command == "sweep") return cmd_sweep(flags);
+  if (command == "serve") return cmd_serve(flags);
+  if (command == "query") return cmd_query(flags);
   std::cerr << "unknown command: " << command << "\n";
   return usage();
 }
@@ -294,6 +551,9 @@ int main(int argc, char** argv) {
     return abp::cli::run(argc, argv);
   } catch (const abp::CheckFailure& e) {
     std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const abp::serve::ServeError& e) {
+    std::cerr << "transport error: " << e.what() << "\n";
     return 1;
   }
 }
