@@ -58,7 +58,10 @@ void BM_ServeThroughput(benchmark::State& state) {
 
   LocalizationService service(bench_config());
   service.add_field("default", make_field());
-  Server server(service, {.workers = workers, .max_batch = batch});
+  Server::Options options;
+  options.workers = workers;
+  options.max_batch = batch;
+  Server server(service, options);
   LoopbackTransport transport(server);
 
   std::mutex mu;

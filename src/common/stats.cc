@@ -146,9 +146,14 @@ double Histogram::percentile(double q) const {
     if (rank < below + n) {
       // Geometric interpolation inside the bucket matches the log-spaced
       // layout; clamp to the observed extremes so sparse tails stay exact.
+      // The edge buckets absorb out-of-range samples, so their nominal
+      // bounds can understate the data — widen them to the observed
+      // extremes or a saturated tail would cap every percentile at `hi`.
       const double frac = n > 1.0 ? (rank - below) / (n - 1.0) : 0.0;
-      const double a = std::max(bucket_lower(i), min_);
-      const double b = std::min(bucket_upper(i), max_);
+      const double lower = i == 0 ? min_ : bucket_lower(i);
+      const double upper = i + 1 == counts_.size() ? max_ : bucket_upper(i);
+      const double a = std::max(lower, min_);
+      const double b = std::min(upper, max_);
       const double v = b > a ? a * std::pow(b / a, frac) : a;
       return std::clamp(v, min_, max_);
     }

@@ -1,0 +1,141 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace abp::serve {
+
+namespace {
+
+double steady_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class BorrowedTransport final : public ClientTransport {
+ public:
+  explicit BorrowedTransport(ClientTransport& inner) : inner_(&inner) {}
+  Response roundtrip(const Request& request) override {
+    return inner_->roundtrip(request);
+  }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  ClientTransport* inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<ClientTransport> borrow_transport(ClientTransport& inner) {
+  return std::make_unique<BorrowedTransport>(inner);
+}
+
+RetryingClient::RetryingClient(TransportFactory factory, RetryPolicy policy)
+    : factory_(std::move(factory)),
+      policy_(policy),
+      rng_(derive_seed(policy.seed, 0xC11E57)) {
+  ABP_CHECK(factory_ != nullptr, "RetryingClient needs a transport factory");
+  ABP_CHECK(policy_.max_attempts >= 1, "max_attempts must be at least 1");
+  ABP_CHECK(policy_.base_backoff_ms > 0.0 &&
+                policy_.max_backoff_ms >= policy_.base_backoff_ms,
+            "backoff bounds must satisfy 0 < base <= max");
+}
+
+void RetryingClient::set_sleeper(std::function<void(double)> sleeper) {
+  sleeper_ = std::move(sleeper);
+}
+
+void RetryingClient::set_clock(std::function<double()> clock_ms) {
+  clock_ms_ = std::move(clock_ms);
+}
+
+double RetryingClient::now_ms() const {
+  return clock_ms_ ? clock_ms_() : steady_now_ms();
+}
+
+double RetryingClient::next_backoff_ms() {
+  // Decorrelated jitter: each sleep is drawn from [base, 3·prev], capped.
+  // Spreads synchronized retry storms while still growing exponentially in
+  // expectation.
+  const double prev = prev_backoff_ms_ > 0.0 ? prev_backoff_ms_
+                                             : policy_.base_backoff_ms;
+  const double hi = std::min(policy_.max_backoff_ms, 3.0 * prev);
+  const double sleep =
+      hi <= policy_.base_backoff_ms
+          ? policy_.base_backoff_ms
+          : rng_.uniform(policy_.base_backoff_ms, hi);
+  prev_backoff_ms_ = sleep;
+  return sleep;
+}
+
+CallResult RetryingClient::call(Request request) {
+  CallResult result;
+  const double start = now_ms();
+  const bool budgeted = policy_.deadline_budget_ms > 0.0;
+  bool have_retryable_response = false;
+
+  for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    double remaining = 0.0;
+    if (budgeted) {
+      remaining = policy_.deadline_budget_ms - (now_ms() - start);
+      if (remaining <= 0.0) {
+        if (have_retryable_response) return result;  // last shed response
+        result.ok = false;
+        result.error = "deadline budget of " +
+                       std::to_string(policy_.deadline_budget_ms) +
+                       " ms exhausted after " +
+                       std::to_string(result.attempts) + " attempt(s)";
+        return result;
+      }
+      // Propagate the remaining budget so the server sheds instead of
+      // computing an answer this client will never wait for.
+      const auto remaining_ms = static_cast<std::uint32_t>(
+          std::max(1.0, std::floor(remaining)));
+      request.deadline_ms = request.deadline_ms == 0
+                                ? remaining_ms
+                                : std::min(request.deadline_ms, remaining_ms);
+    }
+
+    ++result.attempts;
+    try {
+      if (!transport_) transport_ = factory_();
+      result.response = transport_->roundtrip(request);
+      result.ok = true;
+      if (!status_retryable(result.response.status)) return result;
+      have_retryable_response = true;
+    } catch (const ServeError& e) {
+      // Transport-level failure: the connection state is unknown; drop it
+      // so the next attempt reconnects.
+      transport_.reset();
+      ++result.transport_errors;
+      result.error = e.what();
+      if (!have_retryable_response) result.ok = false;
+    }
+
+    if (attempt == policy_.max_attempts) break;
+    double backoff = next_backoff_ms();
+    if (budgeted) {
+      remaining = policy_.deadline_budget_ms - (now_ms() - start);
+      if (remaining <= 0.0) break;
+      backoff = std::min(backoff, remaining);
+    }
+    result.backoff_ms += backoff;
+    if (sleeper_) {
+      sleeper_(backoff);
+    } else {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          backoff));
+    }
+  }
+  // Retries exhausted: either the last shed response (ok, retryable
+  // status) or the last transport error.
+  return result;
+}
+
+}  // namespace abp::serve

@@ -1,0 +1,94 @@
+/// \file client.h
+/// \brief Retrying client over any `ClientTransport`.
+///
+/// Production peers of the query service live on lossy links (the paper's
+/// noisy-radio world at the transport layer): connections reset, servers
+/// shed load, deadlines expire. `RetryingClient` wraps a transport factory
+/// with the standard recovery loop:
+///
+///  * **Classification** — shed statuses (`overloaded`, `unavailable`,
+///    `deadline-exceeded`) and transport failures (connection reset,
+///    timeout, corrupt framing) are retryable; terminal statuses
+///    (`bad-request`, `not-found`, `internal`) are returned immediately
+///    and never re-sent.
+///  * **Backoff** — capped exponential with decorrelated jitter
+///    (`sleep = min(cap, uniform(base, 3·prev))`), seeded through
+///    `abp::Rng` so a fixed policy seed reproduces the exact schedule.
+///  * **Deadline budget** — `deadline_budget_ms` bounds the whole call
+///    (attempts + backoff). The remaining budget is propagated as each
+///    attempt's request `deadline_ms`, so the server never works on an
+///    attempt the client has already given up on.
+///
+/// The clock and sleeper are injectable: fault-injection tests drive the
+/// loop on a manual clock with zero real sleeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "rng/rng.h"
+#include "serve/transport.h"
+
+namespace abp::serve {
+
+struct RetryPolicy {
+  std::size_t max_attempts = 4;      ///< total tries, including the first
+  double base_backoff_ms = 10.0;     ///< first/minimum backoff
+  double max_backoff_ms = 2000.0;    ///< backoff cap
+  double deadline_budget_ms = 0.0;   ///< whole-call budget; 0 = unbounded
+  std::uint64_t seed = 1;            ///< jitter stream seed
+};
+
+/// Outcome of one `call()`: either a final response (any status — a
+/// retryable status here means retries were exhausted) or a transport-level
+/// failure diagnostic. `attempts`/`backoff_ms` expose the schedule for
+/// tests and logs.
+struct CallResult {
+  bool ok = false;             ///< `response` holds the final answer
+  Response response;
+  std::string error;           ///< diagnostic when !ok
+  std::size_t attempts = 0;
+  std::size_t transport_errors = 0;
+  double backoff_ms = 0.0;     ///< total backoff slept
+};
+
+class RetryingClient {
+ public:
+  /// Creates a fresh transport per (re)connection. The factory may throw
+  /// `ServeError` (e.g. connection refused) — that counts as a retryable
+  /// transport failure.
+  using TransportFactory = std::function<std::unique_ptr<ClientTransport>()>;
+
+  RetryingClient(TransportFactory factory, RetryPolicy policy = {});
+
+  /// Run the retry loop for one request. Never throws on transport
+  /// failure — failures land in `CallResult::error`.
+  CallResult call(Request request);
+
+  /// Test hooks: replace real sleeping / steady_clock with virtual time.
+  void set_sleeper(std::function<void(double ms)> sleeper);
+  void set_clock(std::function<double()> clock_ms);
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  double next_backoff_ms();
+  double now_ms() const;
+
+  TransportFactory factory_;
+  RetryPolicy policy_;
+  std::unique_ptr<ClientTransport> transport_;
+  Rng rng_;
+  double prev_backoff_ms_ = 0.0;
+  std::function<void(double)> sleeper_;
+  std::function<double()> clock_ms_;
+};
+
+/// Non-owning adapter so an externally owned transport (loopback, fault
+/// injector) can back a `RetryingClient` while the test keeps direct access
+/// to it across "reconnections".
+std::unique_ptr<ClientTransport> borrow_transport(ClientTransport& inner);
+
+}  // namespace abp::serve

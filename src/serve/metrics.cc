@@ -49,6 +49,26 @@ void ServiceMetrics::record_batch(std::size_t coalesced) {
   coalesced_ += coalesced;
 }
 
+void ServiceMetrics::record_submitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+}
+
+void ServiceMetrics::record_completed(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  completed_ += n;
+}
+
+void ServiceMetrics::record_shed(Status cause) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (cause) {
+    case Status::kOverloaded: ++shed_overloaded_; break;
+    case Status::kUnavailable: ++shed_unavailable_; break;
+    case Status::kDeadlineExceeded: ++shed_deadline_; break;
+    default: ++shed_unavailable_; break;  // unreachable by contract
+  }
+}
+
 EndpointSnapshot ServiceMetrics::endpoint_snapshot(Endpoint endpoint) const {
   std::lock_guard<std::mutex> lock(mu_);
   const PerEndpoint& pe = per_endpoint_[endpoint_slot(endpoint)];
@@ -93,6 +113,31 @@ std::uint64_t ServiceMetrics::coalesced_requests() const {
   return coalesced_;
 }
 
+std::uint64_t ServiceMetrics::submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+std::uint64_t ServiceMetrics::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+std::uint64_t ServiceMetrics::shed(Status cause) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (cause) {
+    case Status::kOverloaded: return shed_overloaded_;
+    case Status::kUnavailable: return shed_unavailable_;
+    case Status::kDeadlineExceeded: return shed_deadline_;
+    default: return 0;
+  }
+}
+
+std::uint64_t ServiceMetrics::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_overloaded_ + shed_unavailable_ + shed_deadline_;
+}
+
 void ServiceMetrics::render(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
   out << "abp-serve-stats 1\n";
@@ -112,6 +157,9 @@ void ServiceMetrics::render(std::ostream& out) const {
   out << "total requests " << total_requests << " errors " << total_errors
       << " bad-frames " << bad_frames_ << " batches " << batches_
       << " coalesced " << coalesced_ << '\n';
+  out << "admission submitted " << submitted_ << " completed " << completed_
+      << " shed-overloaded " << shed_overloaded_ << " shed-unavailable "
+      << shed_unavailable_ << " shed-deadline " << shed_deadline_ << '\n';
 }
 
 std::string ServiceMetrics::render_text() const {

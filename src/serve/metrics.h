@@ -12,6 +12,13 @@
 ///         bytes-out 9216 p50us 14.2 p95us 41.7 p99us 55.0   (one line)
 ///     ...
 ///     total requests 130 errors 1 bad-frames 1 batches 17 coalesced 96
+///     admission submitted 130 completed 120 shed-overloaded 6
+///         shed-unavailable 2 shed-deadline 2                (one line)
+///
+/// The admission line is the drain-aware reconciliation the chaos suite
+/// asserts: after every accepted request has been answered,
+/// `submitted == completed + shed-overloaded + shed-unavailable +
+/// shed-deadline` — no request is ever dropped without an accounted reply.
 #pragma once
 
 #include <cstdint>
@@ -52,12 +59,25 @@ class ServiceMetrics {
   /// Record one executed batch of `coalesced` point-query requests.
   void record_batch(std::size_t coalesced);
 
+  /// Admission accounting. Every parse-ok submission is recorded once via
+  /// `record_submitted`, then exactly once more as either completed
+  /// (handler executed, any status) or shed (rejected or expired before
+  /// execution, by cause).
+  void record_submitted();
+  void record_completed(std::size_t n = 1);
+  /// `cause` must be kOverloaded, kUnavailable or kDeadlineExceeded.
+  void record_shed(Status cause);
+
   EndpointSnapshot endpoint_snapshot(Endpoint endpoint) const;
   std::uint64_t total_requests() const;
   std::uint64_t total_errors() const;
   std::uint64_t bad_frames() const;
   std::uint64_t batches() const;
   std::uint64_t coalesced_requests() const;
+  std::uint64_t submitted() const;
+  std::uint64_t completed() const;
+  std::uint64_t shed(Status cause) const;
+  std::uint64_t shed_total() const;
 
   /// Render the stats text (the `stats` endpoint body / shutdown dump).
   void render(std::ostream& out) const;
@@ -80,6 +100,11 @@ class ServiceMetrics {
   std::uint64_t bad_frame_bytes_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t coalesced_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t shed_overloaded_ = 0;
+  std::uint64_t shed_unavailable_ = 0;
+  std::uint64_t shed_deadline_ = 0;
 };
 
 }  // namespace abp::serve

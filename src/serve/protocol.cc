@@ -141,6 +141,8 @@ const char* status_name(Status status) {
     case Status::kNotFound: return "not-found";
     case Status::kUnavailable: return "unavailable";
     case Status::kInternal: return "internal";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }
@@ -148,10 +150,16 @@ const char* status_name(Status status) {
 std::optional<Status> status_from_name(std::string_view name) {
   for (const Status status :
        {Status::kOk, Status::kBadRequest, Status::kNotFound,
-        Status::kUnavailable, Status::kInternal}) {
+        Status::kUnavailable, Status::kInternal, Status::kOverloaded,
+        Status::kDeadlineExceeded}) {
     if (name == status_name(status)) return status;
   }
   return std::nullopt;
+}
+
+bool status_retryable(Status status) {
+  return status == Status::kOverloaded || status == Status::kUnavailable ||
+         status == Status::kDeadlineExceeded;
 }
 
 bool valid_field_name(std::string_view name) {
@@ -190,6 +198,11 @@ std::string format_request(const Request& request) {
   if (request.count != 1) {
     out += "count ";
     out += std::to_string(request.count);
+    out += '\n';
+  }
+  if (request.deadline_ms != 0) {
+    out += "deadline ";
+    out += std::to_string(request.deadline_ms);
     out += '\n';
   }
   return out;
@@ -237,6 +250,12 @@ std::optional<Request> parse_request(std::string_view payload,
     } else if (tokens[0] == "count" && tokens.size() == 2) {
       if (!parse_u32_token(tokens[1], &request.count) || request.count == 0) {
         fail(error, "malformed count record: " + std::string(line));
+        return std::nullopt;
+      }
+    } else if (tokens[0] == "deadline" && tokens.size() == 2) {
+      // Zero is a valid "no deadline"; negative or non-numeric is malformed.
+      if (!parse_u32_token(tokens[1], &request.deadline_ms)) {
+        fail(error, "malformed deadline record: " + std::string(line));
         return std::nullopt;
       }
     } else {
@@ -365,7 +384,26 @@ std::optional<Response> parse_response(std::string_view payload,
   return response;
 }
 
+std::string format_response_capped(const Response& response) {
+  std::string payload = format_response(response);
+  if (payload.size() > kMaxFramePayload) {
+    Response error;
+    error.seq = response.seq;
+    error.status = Status::kInternal;
+    error.message = "response payload exceeds the " +
+                    std::to_string(kMaxFramePayload) + "-byte frame cap";
+    payload = format_response(error);
+  }
+  return payload;
+}
+
 std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw ServeError("refusing to emit frame: payload of " +
+                     std::to_string(payload.size()) +
+                     " bytes exceeds the " +
+                     std::to_string(kMaxFramePayload) + "-byte cap");
+  }
   std::string frame;
   frame.reserve(kFrameMagic.size() + 12 + payload.size());
   frame += kFrameMagic;

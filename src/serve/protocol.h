@@ -18,6 +18,7 @@
 ///     point <x> <y>            (repeated; localize / error-at / add-beacon)
 ///     algorithm <name>         (propose)
 ///     count <k>                (propose)
+///     deadline <ms>            (optional; 0 or absent = no deadline)
 ///
 ///     abp-response 1 <seq> <status>
 ///     message <text>           (single line; set when status != ok)
@@ -68,11 +69,19 @@ inline constexpr Endpoint kAllEndpoints[] = {
 
 enum class Status {
   kOk,
-  kBadRequest,   ///< malformed frame/payload or invalid arguments
-  kNotFound,     ///< unknown field or algorithm
-  kUnavailable,  ///< server shutting down; retry elsewhere
-  kInternal,     ///< handler failure
+  kBadRequest,        ///< malformed frame/payload or invalid arguments
+  kNotFound,          ///< unknown field or algorithm
+  kUnavailable,       ///< server shutting down; retry elsewhere
+  kInternal,          ///< handler failure
+  kOverloaded,        ///< admission control shed the request; retryable
+  kDeadlineExceeded,  ///< request deadline passed before execution
 };
+
+/// True for statuses a client may safely retry: the request was shed before
+/// (or instead of) execution, so a later attempt can succeed. Terminal
+/// statuses (`bad-request`, `not-found`, `internal`) will fail identically
+/// on every retry and must not be re-sent.
+bool status_retryable(Status status);
 
 const char* endpoint_name(Endpoint endpoint);
 std::optional<Endpoint> endpoint_from_name(std::string_view name);
@@ -87,6 +96,10 @@ struct Request {
   std::vector<Vec2> points;
   std::string algorithm;      ///< propose only
   std::uint32_t count = 1;    ///< propose only: beacons to suggest
+  /// Execution budget in milliseconds from server-side arrival; 0 means no
+  /// deadline. A request still queued when its deadline passes is shed with
+  /// `Status::kDeadlineExceeded` instead of being computed.
+  std::uint32_t deadline_ms = 0;
 
   bool operator==(const Request&) const = default;
 };
@@ -116,6 +129,11 @@ struct Response {
 std::string format_request(const Request& request);
 std::string format_response(const Response& response);
 
+/// Serialize a response, enforcing the frame cap on the write side: an
+/// oversized payload is replaced by a `kInternal` error response (same seq)
+/// so a peer never receives a frame its decoder is guaranteed to reject.
+std::string format_response_capped(const Response& response);
+
 /// Parse payload text. On failure returns nullopt and, if `error` is
 /// non-null, stores a one-line diagnostic. Never throws on untrusted bytes.
 std::optional<Request> parse_request(std::string_view payload,
@@ -127,7 +145,9 @@ std::optional<Response> parse_response(std::string_view payload,
 /// against hostile length prefixes).
 inline constexpr std::size_t kMaxFramePayload = 4u << 20;
 
-/// Wrap a payload in a length-prefixed frame.
+/// Wrap a payload in a length-prefixed frame. The cap applies on the write
+/// side too: a payload larger than `kMaxFramePayload` throws `ServeError`
+/// instead of emitting a frame every conforming decoder rejects.
 std::string encode_frame(std::string_view payload);
 
 /// Incremental frame decoder: feed arbitrary byte chunks, pull complete

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/assert.h"
@@ -18,6 +19,12 @@ std::string rejection_payload(std::uint64_t seq, Status status,
   return format_response(response);
 }
 
+double steady_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 Server::Server(LocalizationService& service, Options options)
@@ -31,6 +38,20 @@ Server::Server(LocalizationService& service, Options options)
 
 Server::~Server() { shutdown(); }
 
+double Server::now_ms() const {
+  return options_.clock_ms ? options_.clock_ms() : steady_now_ms();
+}
+
+void Server::reject(const Request& request, Status status,
+                    const std::string& why, std::size_t bytes_in,
+                    const std::function<void(std::string)>& reply) {
+  const std::string rejection = rejection_payload(request.seq, status, why);
+  service_.metrics().record(request.endpoint, status, bytes_in,
+                            rejection.size(), 0.0);
+  service_.metrics().record_shed(status);
+  reply(rejection);
+}
+
 void Server::submit(std::string payload,
                     std::function<void(std::string)> reply) {
   const std::size_t bytes_in = payload.size();
@@ -41,24 +62,45 @@ void Server::submit(std::string payload,
     reply(rejection_payload(0, Status::kBadRequest, parse_error));
     return;
   }
+  service_.metrics().record_submitted();
+  Status shed_status = Status::kUnavailable;
+  std::string shed_why = "shutting down";
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!stopping_) {
+    if (!stopping_ &&
+        (options_.max_queue == 0 || queue_.size() < options_.max_queue)) {
       Pending pending;
       pending.request = std::move(*request);
       pending.reply = std::move(reply);
       pending.bytes_in = bytes_in;
+      pending.arrival_ms = now_ms();
       queue_.push_back(std::move(pending));
       cv_work_.notify_one();
       return;
     }
+    if (!stopping_) {
+      shed_status = Status::kOverloaded;
+      shed_why = "queue depth limit (" + std::to_string(options_.max_queue) +
+                 ") reached; retry with backoff";
+    }
   }
-  // Shutting down: answer immediately without entering the queue.
-  const std::string rejection =
-      rejection_payload(request->seq, Status::kUnavailable, "shutting down");
-  service_.metrics().record(request->endpoint, Status::kUnavailable, bytes_in,
-                            rejection.size(), 0.0);
-  reply(rejection);
+  // Shed: answer immediately without entering the queue.
+  reject(*request, shed_status, shed_why, bytes_in, reply);
+}
+
+void Server::shed_overloaded(std::string payload,
+                             std::function<void(std::string)> reply,
+                             const std::string& why) {
+  const std::size_t bytes_in = payload.size();
+  std::string parse_error;
+  const std::optional<Request> request = parse_request(payload, &parse_error);
+  if (!request) {
+    service_.metrics().record_bad_frame(bytes_in);
+    reply(rejection_payload(0, Status::kBadRequest, parse_error));
+    return;
+  }
+  service_.metrics().record_submitted();
+  reject(*request, Status::kOverloaded, why, bytes_in, reply);
 }
 
 std::vector<Server::Pending> Server::take_batch_locked() {
@@ -87,22 +129,50 @@ std::vector<Server::Pending> Server::take_batch_locked() {
 }
 
 void Server::run_batch(std::vector<Pending> batch) {
-  std::vector<Request> requests;
-  requests.reserve(batch.size());
-  for (const Pending& pending : batch) requests.push_back(pending.request);
-  std::vector<Response> responses = service_.handle_batch(requests);
-  service_.metrics().record_batch(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    std::string payload = format_response(responses[i]);
-    service_.metrics().record(requests[i].endpoint, responses[i].status,
-                              batch[i].bytes_in, payload.size(),
-                              batch[i].timer.elapsed_ms() * 1e3);
-    batch[i].reply(std::move(payload));
+  // Deadline propagation through coalescing: shed every request whose
+  // budget expired while it sat in the queue — its slot is released and no
+  // handler work happens on its behalf.
+  const double now = now_ms();
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (Pending& pending : batch) {
+    const std::uint32_t deadline = pending.request.deadline_ms;
+    if (deadline != 0 &&
+        now - pending.arrival_ms >= static_cast<double>(deadline)) {
+      Response shed;
+      shed.seq = pending.request.seq;
+      shed.status = Status::kDeadlineExceeded;
+      shed.message = "deadline of " + std::to_string(deadline) +
+                     " ms expired before execution";
+      std::string payload = format_response(shed);
+      service_.metrics().record(pending.request.endpoint, shed.status,
+                                pending.bytes_in, payload.size(),
+                                pending.timer.elapsed_ms() * 1e3);
+      service_.metrics().record_shed(Status::kDeadlineExceeded);
+      pending.reply(std::move(payload));
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (!live.empty()) {
+    std::vector<Request> requests;
+    requests.reserve(live.size());
+    for (const Pending& pending : live) requests.push_back(pending.request);
+    std::vector<Response> responses = service_.handle_batch(requests);
+    service_.metrics().record_batch(live.size());
+    service_.metrics().record_completed(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      std::string payload = format_response_capped(responses[i]);
+      service_.metrics().record(requests[i].endpoint, responses[i].status,
+                                live[i].bytes_in, payload.size(),
+                                live[i].timer.elapsed_ms() * 1e3);
+      live[i].reply(std::move(payload));
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     in_flight_ -= batch.size();
-    batches_ += 1;
+    if (!live.empty()) batches_ += 1;
     served_ += batch.size();
   }
   cv_drain_.notify_all();
@@ -173,6 +243,16 @@ std::uint64_t Server::batches_executed() const {
 std::uint64_t Server::requests_served() const {
   std::lock_guard<std::mutex> lock(mu_);
   return served_;
+}
+
+std::size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t Server::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
 }
 
 }  // namespace abp::serve

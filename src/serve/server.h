@@ -15,6 +15,20 @@
 ///  * `workers > 0` — threaded mode: a worker pool drains the queue;
 ///    callbacks fire on worker threads.
 ///
+/// Resilience (the overload/deadline contract the chaos suite asserts):
+///  * Admission control — with `max_queue > 0`, a submission that would
+///    push the queue past the limit is answered immediately with the
+///    retryable `Status::kOverloaded` instead of being enqueued; transports
+///    enforcing per-connection in-flight caps shed through
+///    `shed_overloaded()` so the accounting stays centralized.
+///  * Deadlines — a request carrying `deadline_ms` that is still queued
+///    when its budget expires is shed with `Status::kDeadlineExceeded` at
+///    drain time, before any handler work. Time comes from
+///    `Options::clock_ms`, injectable so fault-injection tests advance a
+///    manual clock deterministically.
+///  * Every parse-ok submission is answered exactly once and accounted in
+///    `ServiceMetrics`: submitted = completed + shed (by cause).
+///
 /// Graceful shutdown (`shutdown()`): new submissions are rejected with
 /// `Status::kUnavailable` while every request already accepted is drained
 /// and answered. The metrics dump survives shutdown.
@@ -39,6 +53,13 @@ class Server {
   struct Options {
     std::size_t workers = 0;    ///< 0 = manual mode (drain via pump())
     std::size_t max_batch = 16; ///< B: point-query requests per batch
+    /// Queue-depth admission limit; 0 = unbounded. Submissions that would
+    /// exceed it are answered `kOverloaded` without being enqueued.
+    std::size_t max_queue = 0;
+    /// Monotonic clock in milliseconds used for deadline accounting.
+    /// Defaults to `std::chrono::steady_clock`; tests inject a manual
+    /// clock for deterministic expiry.
+    std::function<double()> clock_ms;
   };
 
   explicit Server(LocalizationService& service) : Server(service, Options()) {}
@@ -53,6 +74,14 @@ class Server {
   /// shutdown rejection), from `pump()` in manual mode, or from a worker
   /// thread in threaded mode.
   void submit(std::string payload, std::function<void(std::string)> reply);
+
+  /// Transport-level admission rejection: answer `payload`'s request with
+  /// the retryable `kOverloaded` status (diagnosed with `why`) without
+  /// enqueueing it, keeping shed accounting centralized here. Used by
+  /// transports enforcing per-connection in-flight limits.
+  void shed_overloaded(std::string payload,
+                       std::function<void(std::string)> reply,
+                       const std::string& why);
 
   /// Manual mode: drain the queue on the calling thread, batching as it
   /// goes. No-op when the queue is empty. Must not be called in threaded
@@ -70,6 +99,13 @@ class Server {
   /// Observability for tests and the shutdown dump.
   std::uint64_t batches_executed() const;
   std::uint64_t requests_served() const;
+  /// Slot accounting for the chaos suite: both must be 0 once every
+  /// submission has been answered — a leak here is a stuck request.
+  std::size_t queue_depth() const;
+  std::size_t in_flight() const;
+
+  /// Current reading of `Options::clock_ms` (or the steady-clock default).
+  double now_ms() const;
 
  private:
   struct Pending {
@@ -77,6 +113,7 @@ class Server {
     std::function<void(std::string)> reply;
     Stopwatch timer;
     std::size_t bytes_in = 0;
+    double arrival_ms = 0.0;  ///< clock reading at admission
   };
 
   /// Pop the next batch off the queue (caller holds `mu_`): the front
@@ -85,6 +122,11 @@ class Server {
   std::vector<Pending> take_batch_locked();
   void run_batch(std::vector<Pending> batch);
   void worker_loop();
+  /// Answer a parsed request with a shed status (never enqueued) and
+  /// record both endpoint and admission metrics.
+  void reject(const Request& request, Status status, const std::string& why,
+              std::size_t bytes_in,
+              const std::function<void(std::string)>& reply);
 
   LocalizationService& service_;
   Options options_;

@@ -11,7 +11,9 @@
 #include <cerrno>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/assert.h"
 
@@ -26,15 +28,32 @@ constexpr int kPollMs = 50;
   throw ServeError(what + ": " + std::strerror(errno));
 }
 
-void send_all(int fd, std::string_view bytes) {
+/// Write the whole buffer, looping over partial sends. `EINTR` restarts the
+/// send; `EAGAIN`/`EWOULDBLOCK` (a send timeout is armed on server-side
+/// sockets) polls for writability and counts against `budget_ms`, so a
+/// peer that stops reading ("slow loris") costs at most the write timeout
+/// instead of wedging the handler thread.
+void send_all(int fd, std::string_view bytes, int budget_ms) {
   std::size_t sent = 0;
+  int stalled_ms = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (stalled_ms >= budget_ms) {
+          throw ServeError("send timed out: peer not reading");
+        }
+        pollfd pfd{fd, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, kPollMs);
+        if (ready < 0 && errno != EINTR) throw_errno("poll(POLLOUT)");
+        stalled_ms += kPollMs;
+        continue;
+      }
       throw_errno("send");
     }
+    stalled_ms = 0;  // progress resets the stall budget
     sent += static_cast<std::size_t>(n);
   }
 }
@@ -76,7 +95,14 @@ void TcpServerTransport::accept_loop() {
     const int ready = ::poll(&pfd, 1, kPollMs);
     if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    // EINTR (and transient errors like ECONNABORTED) retry the accept
+    // rather than abandoning the listener.
     if (fd < 0) continue;
+    // Arm a short send timeout so writes surface EAGAIN periodically and
+    // send_all() can enforce the write budget against slow readers.
+    timeval send_timeout{0, kPollMs * 1000};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof send_timeout);
     {
       std::lock_guard<std::mutex> lock(conn_mu_);
       if (stopping_.load()) {
@@ -94,6 +120,8 @@ void TcpServerTransport::handle_connection(int fd) {
   char buf[4096];
   const int idle_budget_ms =
       std::max(kPollMs, static_cast<int>(options_.read_timeout_s * 1e3));
+  const int write_budget_ms =
+      std::max(kPollMs, static_cast<int>(options_.write_timeout_s * 1e3));
   int idle_ms = 0;
   bool open = true;
   while (open && !decoder.corrupt()) {
@@ -112,23 +140,54 @@ void TcpServerTransport::handle_connection(int fd) {
       break;
     }
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) break;  // peer closed (0) or hard error (<0)
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      // Interrupted reads are not connection errors — retry them.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;
+    }
     idle_ms = 0;
     decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    // Drain the whole pipelined burst: every complete frame is submitted
+    // concurrently (so cross-connection batching sees them all) up to the
+    // per-connection in-flight cap; frames beyond the cap are shed with
+    // `overloaded` before touching the queue. Responses are then written
+    // back in request order.
+    std::vector<std::string> payloads;
     while (std::optional<std::string> payload = decoder.next()) {
-      // One request at a time per connection keeps response ordering
-      // trivial; cross-connection batching happens inside the Server.
-      std::promise<std::string> promise;
-      std::future<std::string> future = promise.get_future();
-      server_->submit(std::move(*payload), [&promise](std::string reply) {
-        promise.set_value(std::move(reply));
-      });
-      if (server_->options().workers == 0) server_->pump();
+      payloads.push_back(std::move(*payload));
+    }
+    if (payloads.empty()) continue;
+    const std::size_t cap =
+        options_.max_inflight == 0 ? payloads.size() : options_.max_inflight;
+    std::vector<std::future<std::string>> replies;
+    replies.reserve(payloads.size());
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      auto promise = std::make_shared<std::promise<std::string>>();
+      replies.push_back(promise->get_future());
+      auto resolve = [promise](std::string reply) {
+        promise->set_value(std::move(reply));
+      };
+      if (i < cap) {
+        server_->submit(std::move(payloads[i]), std::move(resolve));
+      } else {
+        server_->shed_overloaded(
+            std::move(payloads[i]), std::move(resolve),
+            "connection in-flight limit (" +
+                std::to_string(options_.max_inflight) +
+                ") reached; retry with backoff");
+      }
+    }
+    if (server_->options().workers == 0) server_->pump();
+    for (std::future<std::string>& reply : replies) {
+      // Even after a write failure every future is consumed, so no reply
+      // callback is left resolving into a dead promise.
+      std::string payload = reply.get();
+      if (!open) continue;
       try {
-        send_all(fd, encode_frame(future.get()));
+        send_all(fd, encode_frame(std::move(payload)), write_budget_ms);
       } catch (const ServeError&) {
         open = false;
-        break;
       }
     }
   }
@@ -139,7 +198,7 @@ void TcpServerTransport::handle_connection(int fd) {
     response.status = Status::kBadRequest;
     response.message = decoder.error();
     try {
-      send_all(fd, encode_frame(format_response(response)));
+      send_all(fd, encode_frame(format_response(response)), write_budget_ms);
     } catch (const ServeError&) {
     }
   }
@@ -198,7 +257,8 @@ TcpClientTransport::~TcpClientTransport() {
 }
 
 void TcpClientTransport::send_raw(const std::string& bytes) {
-  send_all(fd_, bytes);
+  send_all(fd_, bytes,
+           std::max(kPollMs, static_cast<int>(timeout_s_ * 1e3)));
 }
 
 std::string TcpClientTransport::read_payload() {

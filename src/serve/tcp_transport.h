@@ -5,9 +5,18 @@
 /// connections on a dedicated thread, and handles each connection on the
 /// shared `abp::ThreadPool`: frames are read with a per-connection idle
 /// timeout, submitted to the `Server` (which batches across connections),
-/// and the responses written back in request order. Graceful stop: the
-/// listener closes first (no new connections), open connections are woken
-/// and finish writing what they have accepted, then the pool drains.
+/// and the responses written back in request order. Pipelined clients may
+/// put up to `max_inflight` requests in flight per connection; frames
+/// beyond the cap are shed with the retryable `overloaded` status before
+/// they reach the queue. Graceful stop: the listener closes first (no new
+/// connections), open connections are woken and finish writing what they
+/// have accepted, then the pool drains.
+///
+/// Robust I/O: reads and accepts retry `EINTR` instead of dropping the
+/// connection, writes loop over partial sends and `EAGAIN` (a send timeout
+/// is armed on every accepted socket so a slow-loris reader cannot park a
+/// handler in `send()` forever), and `write_timeout_s` bounds the total
+/// stall any single peer can impose on the write path.
 ///
 /// `TcpClientTransport` is the matching blocking client used by `abp query
 /// --connect` and the smoke tests.
@@ -30,7 +39,11 @@ class TcpServerTransport {
   struct Options {
     std::uint16_t port = 0;        ///< 0 = ephemeral (read back via port())
     double read_timeout_s = 5.0;   ///< idle read timeout per connection
+    double write_timeout_s = 5.0;  ///< max stall writing to a slow peer
     std::size_t conn_workers = 4;  ///< thread-pool size for connections
+    /// Per-connection in-flight request cap for pipelined clients;
+    /// 0 = unbounded. Excess frames in a burst are shed `overloaded`.
+    std::size_t max_inflight = 0;
   };
 
   explicit TcpServerTransport(Server& server)

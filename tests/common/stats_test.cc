@@ -179,6 +179,49 @@ TEST(Histogram, OutOfRangeSamplesClampToEdgeBuckets) {
   EXPECT_DOUBLE_EQ(h.max(), 1e9);
 }
 
+TEST(Histogram, SaturatedTailKeepsExactExtremes) {
+  // Samples far past `hi` saturate the last bucket, but the exact min/max
+  // (and the percentile clamp to them) must survive: a latency spike of
+  // minutes against a 10 s layout still reports truthfully.
+  Histogram h = Histogram::latency_us();
+  h.add(5.0);
+  h.add(1e9);    // 1000 s in a 10 s layout
+  h.add(1e300);  // absurd, still must not overflow or distort
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bucket_value(h.bucket_count() - 1), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e300);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1e300);
+  // Percentiles stay within the observed range even with a saturated tail.
+  EXPECT_GE(h.p50(), h.min());
+  EXPECT_LE(h.p99(), h.max());
+}
+
+TEST(Histogram, FullySaturatedSingleBucketPercentiles) {
+  // Every sample below `lo`: the whole distribution collapses into the
+  // first bucket and every percentile must stay inside [min, max] instead
+  // of extrapolating past the observed data.
+  Histogram h(1.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(1e-6);
+  EXPECT_EQ(h.bucket_value(0), 100u);
+  EXPECT_DOUBLE_EQ(h.p50(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.p99(), 1e-6);
+}
+
+TEST(Histogram, MergePreservesSaturatedCounts) {
+  Histogram a(1.0, 100.0, 10);
+  Histogram b(1.0, 100.0, 10);
+  a.add(1e9);
+  b.add(1e12);
+  b.add(0.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket_value(a.bucket_count() - 1), 2u);  // both overflows
+  EXPECT_EQ(a.bucket_value(0), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 1e12);
+}
+
 TEST(Histogram, BucketBoundariesAreLogSpacedAndCover) {
   const Histogram h(1.0, 1000.0, 3);
   EXPECT_DOUBLE_EQ(h.bucket_lower(0), 1.0);

@@ -96,6 +96,111 @@ TEST(Protocol, ParseRejectsMalformedRecords) {
   EXPECT_FALSE(parse_request(head + "wibble 1\n").has_value());
 }
 
+TEST(Protocol, ParseRejectsEmptyPayload) {
+  std::string error;
+  EXPECT_FALSE(parse_request("", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_response("", &error).has_value());
+  EXPECT_FALSE(parse_request("\n\n\n", &error).has_value());
+}
+
+TEST(Protocol, ParseAcceptsCrlfLineEndings) {
+  const std::string payload =
+      "abp-request 1 5 localize\r\nfield default\r\npoint 1 2\r\n";
+  const auto request = parse_request(payload);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->seq, 5u);
+  ASSERT_EQ(request->points.size(), 1u);
+  EXPECT_EQ(request->points[0], (Vec2{1, 2}));
+}
+
+TEST(Protocol, DuplicateScalarRecordsLastWins) {
+  // Scalar records (field, count, deadline) overwrite; repeatable records
+  // (point) accumulate. Duplicates must never crash or corrupt.
+  const std::string head = "abp-request 1 1 propose\n";
+  const auto request = parse_request(head +
+                                     "field first\nfield second\n"
+                                     "count 2\ncount 5\n"
+                                     "deadline 10\ndeadline 90\n"
+                                     "point 1 1\npoint 2 2\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->field, "second");
+  EXPECT_EQ(request->count, 5u);
+  EXPECT_EQ(request->deadline_ms, 90u);
+  EXPECT_EQ(request->points.size(), 2u);
+}
+
+TEST(Protocol, DeadlineRecordParsing) {
+  const std::string head = "abp-request 1 1 localize\npoint 1 2\n";
+  // Absent: no deadline.
+  EXPECT_EQ(parse_request(head)->deadline_ms, 0u);
+  // Explicit zero is valid and means "no deadline".
+  EXPECT_EQ(parse_request(head + "deadline 0\n")->deadline_ms, 0u);
+  EXPECT_EQ(parse_request(head + "deadline 250\n")->deadline_ms, 250u);
+  // Negative, non-numeric and >u32 values are malformed, not clamped.
+  std::string error;
+  EXPECT_FALSE(parse_request(head + "deadline -5\n", &error).has_value());
+  EXPECT_NE(error.find("deadline"), std::string::npos);
+  EXPECT_FALSE(parse_request(head + "deadline soon\n").has_value());
+  EXPECT_FALSE(parse_request(head + "deadline 4294967296\n").has_value());
+  EXPECT_FALSE(parse_request(head + "deadline\n").has_value());
+}
+
+TEST(Protocol, DeadlineRoundTrips) {
+  Request request = full_request();
+  request.deadline_ms = 1500;
+  const auto copy = parse_request(format_request(request));
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(*copy, request);
+}
+
+TEST(Protocol, ResilienceStatusesRoundTrip) {
+  for (const Status status :
+       {Status::kOverloaded, Status::kDeadlineExceeded}) {
+    EXPECT_TRUE(status_retryable(status));
+    EXPECT_EQ(status_from_name(status_name(status)), status);
+    Response response;
+    response.seq = 11;
+    response.status = status;
+    response.message = "shed";
+    const auto copy = parse_response(format_response(response));
+    ASSERT_TRUE(copy.has_value()) << status_name(status);
+    EXPECT_EQ(copy->status, status);
+  }
+  EXPECT_FALSE(status_retryable(Status::kOk));
+  EXPECT_FALSE(status_retryable(Status::kBadRequest));
+  EXPECT_FALSE(status_retryable(Status::kNotFound));
+  EXPECT_FALSE(status_retryable(Status::kInternal));
+  EXPECT_TRUE(status_retryable(Status::kUnavailable));
+}
+
+TEST(Protocol, FormatResponseCappedReplacesOversizedPayload) {
+  Response response;
+  response.seq = 77;
+  response.status = Status::kOk;
+  response.text = std::string(kMaxFramePayload + 1024, 'x');
+  const std::string payload = format_response_capped(response);
+  EXPECT_LE(payload.size(), kMaxFramePayload);
+  const auto parsed = parse_response(payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seq, 77u);  // the peer can still correlate the reply
+  EXPECT_EQ(parsed->status, Status::kInternal);
+  EXPECT_NE(parsed->message.find("4194304"), std::string::npos);
+  // The capped payload always frames cleanly.
+  EXPECT_NO_THROW(encode_frame(payload));
+  // A payload under the cap passes through byte-identical.
+  Response small;
+  small.seq = 78;
+  small.status = Status::kOk;
+  EXPECT_EQ(format_response_capped(small), format_response(small));
+}
+
+TEST(Protocol, EncodeFrameRejectsOversizedPayload) {
+  EXPECT_NO_THROW(encode_frame(std::string(kMaxFramePayload, 'x')));
+  EXPECT_THROW(encode_frame(std::string(kMaxFramePayload + 1, 'x')),
+               ServeError);
+}
+
 TEST(Protocol, ParseReportsDiagnostic) {
   std::string error;
   EXPECT_FALSE(

@@ -50,6 +50,7 @@
 #include "placement/random_placement.h"
 #include "radio/noise_model.h"
 #include "robot/surveyor.h"
+#include "serve/client.h"
 #include "serve/server.h"
 #include "serve/tcp_transport.h"
 #include "serve/transport.h"
@@ -73,9 +74,11 @@ int usage() {
          "[--stride K] [--seed S]\n"
          "  serve    --field FILE [--name N] [--noise X] [--seed S] "
          "[--workers W] [--batch B]\n"
+         "           [--max-queue Q] [--max-inflight I]\n"
          "           [--port P | --oneshot --in REQ [--out RESP]]\n"
          "  query    --type T [--points \"x,y;x,y\"] [--algorithm A] "
          "[--name N] [--count K]\n"
+         "           [--deadline-ms D] [--retries R] [--budget-ms B]\n"
          "           (--field FILE | --connect HOST:PORT | "
          "--encode-to FILE [--append] | --decode FILE)\n";
   return 2;
@@ -330,6 +333,8 @@ serve::Request request_from_flags(const Flags& flags) {
   request.points = parse_point_list(flags.get_string("points", ""));
   request.algorithm = flags.get_string("algorithm", "");
   request.count = static_cast<std::uint32_t>(flags.get_int("count", 1));
+  request.deadline_ms =
+      static_cast<std::uint32_t>(flags.get_int("deadline-ms", 0));
   return request;
 }
 
@@ -406,14 +411,21 @@ int cmd_serve(const Flags& flags) {
       static_cast<std::uint16_t>(flags.get_int("port", 0));
   const auto workers = static_cast<std::size_t>(flags.get_int("workers", 0));
   const auto batch = static_cast<std::size_t>(flags.get_int("batch", 16));
+  const auto max_queue =
+      static_cast<std::size_t>(flags.get_int("max-queue", 0));
+  const auto max_inflight =
+      static_cast<std::size_t>(flags.get_int("max-inflight", 0));
   serve::ServiceConfig config = service_config_from_flags(flags);
   flags.check_unused();
   ABP_CHECK(!field_path.empty(), "serve requires --field");
 
   serve::LocalizationService service(config);
   service.add_field(name, load_field(field_path));
-  serve::Server server(service,
-                       {.workers = oneshot ? 0 : workers, .max_batch = batch});
+  serve::Server::Options server_options;
+  server_options.workers = oneshot ? 0 : workers;
+  server_options.max_batch = batch;
+  server_options.max_queue = max_queue;
+  serve::Server server(service, server_options);
 
   if (oneshot) {
     ABP_CHECK(!in_path.empty(), "serve --oneshot requires --in");
@@ -434,13 +446,17 @@ int cmd_serve(const Flags& flags) {
     return 0;
   }
 
-  serve::TcpServerTransport transport(
-      server, {.port = port, .read_timeout_s = 30.0,
-               .conn_workers = std::max<std::size_t>(workers, 2)});
+  serve::TcpServerTransport::Options transport_options;
+  transport_options.port = port;
+  transport_options.read_timeout_s = 30.0;
+  transport_options.conn_workers = std::max<std::size_t>(workers, 2);
+  transport_options.max_inflight = max_inflight;
+  serve::TcpServerTransport transport(server, transport_options);
   transport.start();
   std::cout << "serving field '" << name << "' on 127.0.0.1:"
             << transport.port() << " (workers " << workers << ", batch "
-            << batch << "); Ctrl-C to stop\n";
+            << batch << ", max-queue " << max_queue << ", max-inflight "
+            << max_inflight << "); Ctrl-C to stop\n";
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
   while (g_stop_requested == 0) {
@@ -498,6 +514,12 @@ int cmd_query(const Flags& flags) {
 
   const std::string connect = flags.get_string("connect", "");
   if (!connect.empty()) {
+    serve::RetryPolicy policy;
+    policy.max_attempts =
+        static_cast<std::size_t>(flags.get_int("retries", 4));
+    policy.base_backoff_ms = flags.get_double("backoff-ms", 25.0);
+    policy.deadline_budget_ms = flags.get_double("budget-ms", 0.0);
+    policy.seed = flags.get_u64("retry-seed", 1);
     flags.check_unused();
     const auto colon = connect.rfind(':');
     ABP_CHECK(colon != std::string::npos, "--connect wants HOST:PORT");
@@ -507,9 +529,27 @@ int cmd_query(const Flags& flags) {
     port_is >> port;
     ABP_CHECK(!port_is.fail() && port > 0 && port <= 65535,
               "bad --connect port");
-    serve::TcpClientTransport transport(
-        host, static_cast<std::uint16_t>(port));
-    print_response(transport.roundtrip(request));
+    // Reconnect-per-attempt factory: overloaded/unavailable responses,
+    // resets and timeouts retry with decorrelated-jitter backoff; terminal
+    // statuses print immediately.
+    serve::RetryingClient client(
+        [host, port] {
+          return std::make_unique<serve::TcpClientTransport>(
+              host, static_cast<std::uint16_t>(port));
+        },
+        policy);
+    const serve::CallResult result = client.call(request);
+    if (!result.ok) {
+      throw serve::ServeError(result.error + " (after " +
+                              std::to_string(result.attempts) +
+                              " attempt(s))");
+    }
+    if (result.attempts > 1) {
+      std::cerr << "note: succeeded after " << result.attempts
+                << " attempts (" << TextTable::fmt(result.backoff_ms, 1)
+                << " ms backoff)\n";
+    }
+    print_response(result.response);
     return 0;
   }
 
@@ -521,7 +561,10 @@ int cmd_query(const Flags& flags) {
             "query needs one of --field, --connect, --encode-to, --decode");
   serve::LocalizationService service(config);
   service.add_field(request.field, load_field(field_path));
-  serve::Server server(service, {.workers = 0, .max_batch = batch});
+  serve::Server::Options server_options;
+  server_options.workers = 0;
+  server_options.max_batch = batch;
+  serve::Server server(service, server_options);
   serve::LoopbackTransport loopback(server);
   print_response(loopback.roundtrip(request));
   return 0;
