@@ -15,10 +15,25 @@
 /// and keeps growing with the window length. With a bounded queue the
 /// excess is shed immediately as `overloaded` (cheap, retryable), goodput
 /// stays at capacity and p99 stays near the 1× value.
+/// A second section sweeps concurrent-connection counts (64/256/1024 by
+/// default) over real TCP through both server transports: thread-per-
+/// connection (bounded by its worker pool) and the epoll event loop. Each
+/// cell drives closed-loop windowed pipelining per connection, reports
+/// goodput and client latency, and reconciles the admission ledger
+/// (`submitted == completed + shed`) plus the transport's open-connection
+/// gauge (must be 0 after stop) — the same invariants the chaos suite
+/// asserts, here checked at scale. The process fd limit is raised to the
+/// hard limit up front; sweep points that still do not fit are skipped
+/// with a note, never silently clamped.
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +43,8 @@
 #include "common/table.h"
 #include "field/generators.h"
 #include "serve/server.h"
+#include "serve/server_transport.h"
+#include "serve/tcp_transport.h"
 #include "serve/transport.h"
 
 namespace abp::serve {
@@ -194,6 +211,192 @@ CellResult run_cell(double rate_qps, double duration_s,
   return result;
 }
 
+// ---- connection-scaling sweep ------------------------------------------
+
+/// Raise RLIMIT_NOFILE to the hard limit; returns the resulting soft limit.
+std::size_t raise_fd_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 1024;
+  if (lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+    ::getrlimit(RLIMIT_NOFILE, &lim);
+  }
+  return static_cast<std::size_t>(lim.rlim_cur);
+}
+
+std::vector<std::size_t> parse_conn_list(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(static_cast<std::size_t>(std::stoul(item)));
+  }
+  return out;
+}
+
+struct ScaleResult {
+  std::uint64_t ok = 0;
+  std::uint64_t non_ok = 0;
+  std::uint64_t dead_conns = 0;
+  double elapsed_s = 0.0;
+  Histogram latency_us = Histogram::latency_us();
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  bool reconciled = false;
+  std::size_t open_after_stop = 0;
+};
+
+struct WorkerStats {
+  std::uint64_t ok = 0;
+  std::uint64_t non_ok = 0;
+  std::uint64_t dead_conns = 0;
+  Histogram latency_us = Histogram::latency_us();
+};
+
+/// Start barrier: the measurement window opens only after every client
+/// thread has finished connecting, so the 1024-connection storm is not
+/// billed against goodput.
+struct StartGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t ready = 0;
+  bool go = false;
+};
+
+/// One client thread: owns `conns` pipelined connections and round-robins
+/// windows of 4 requests over them (closed loop: every window is flushed
+/// before the connection's next one). A connection whose flush fails is
+/// marked dead and skipped from then on.
+void scale_client_worker(std::uint16_t port, std::size_t conns,
+                         double duration_s, StartGate& gate,
+                         WorkerStats& stats) {
+  constexpr std::size_t kConnWindow = 4;
+  std::vector<std::unique_ptr<TcpClientTransport>> clients;
+  clients.reserve(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    try {
+      clients.push_back(
+          std::make_unique<TcpClientTransport>("127.0.0.1", port, 5.0));
+    } catch (const ServeError&) {
+      ++stats.dead_conns;
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(gate.mu);
+    ++gate.ready;
+    gate.cv.notify_all();
+    gate.cv.wait(lock, [&gate] { return gate.go; });
+  }
+  std::vector<bool> dead(clients.size(), false);
+  std::size_t alive = clients.size();
+  std::uint64_t seq = 0;
+  const double start = steady_now_s();
+  // Each round puts a window in flight on EVERY owned connection before
+  // collecting any replies, so total concurrency scales with the
+  // connection count — the point of the sweep — instead of being fixed at
+  // one window per client thread.
+  while (alive > 0 && steady_now_s() - start < duration_s) {
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      if (dead[c]) continue;
+      try {
+        for (std::size_t k = 0; k < kConnWindow; ++k) {
+          const double sent_at = steady_now_s();
+          clients[c]->send_async(
+              localize_request(seq++, 0), [&stats, sent_at](std::string frame) {
+                stats.latency_us.add((steady_now_s() - sent_at) * 1e6);
+                FrameDecoder decoder;
+                decoder.feed(frame);
+                const std::optional<std::string> payload = decoder.next();
+                const std::optional<Response> response =
+                    payload ? parse_response(*payload) : std::nullopt;
+                if (response && response->status == Status::kOk) {
+                  ++stats.ok;
+                } else {
+                  ++stats.non_ok;
+                }
+              });
+        }
+      } catch (const ServeError&) {
+        dead[c] = true;
+        ++stats.dead_conns;
+        --alive;
+      }
+    }
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      if (dead[c]) continue;
+      try {
+        clients[c]->flush();
+      } catch (const ServeError&) {
+        dead[c] = true;
+        ++stats.dead_conns;
+        --alive;
+      }
+    }
+  }
+}
+
+ScaleResult run_conn_scaling(TransportKind kind, std::size_t conns,
+                             double duration_s, const RunConfig& config) {
+  LocalizationService service(bench_config());
+  service.add_field("default", make_field());
+  Server::Options options;
+  options.workers = config.workers;
+  options.max_batch = config.max_batch;
+  Server server(service, options);
+  TransportOptions transport_options;
+  transport_options.read_timeout_s = 10.0;
+  transport_options.write_timeout_s = 10.0;
+  transport_options.conn_workers = conns;  // threaded: one thread per conn
+  transport_options.event_shards = 2;
+  const std::unique_ptr<ServerTransport> transport =
+      make_server_transport(kind, server, transport_options);
+  transport->start();
+
+  const std::size_t threads_n = std::min<std::size_t>(8, conns);
+  StartGate gate;
+  std::vector<WorkerStats> stats(threads_n);
+  std::vector<std::thread> threads;
+  threads.reserve(threads_n);
+  for (std::size_t t = 0; t < threads_n; ++t) {
+    const std::size_t share =
+        conns / threads_n + (t < conns % threads_n ? 1 : 0);
+    threads.emplace_back([port = transport->port(), share, duration_s, &gate,
+                          &stat = stats[t]] {
+      scale_client_worker(port, share, duration_s, gate, stat);
+    });
+  }
+  double start = 0.0;
+  {
+    std::unique_lock<std::mutex> lock(gate.mu);
+    gate.cv.wait(lock, [&gate, threads_n] { return gate.ready == threads_n; });
+    start = steady_now_s();
+    gate.go = true;
+    gate.cv.notify_all();
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  ScaleResult result;
+  result.elapsed_s = steady_now_s() - start;
+  transport->stop();
+  server.shutdown();
+  for (const WorkerStats& s : stats) {
+    result.ok += s.ok;
+    result.non_ok += s.non_ok;
+    result.dead_conns += s.dead_conns;
+    result.latency_us.merge(s.latency_us);
+  }
+  const ServiceMetrics& metrics = service.metrics();
+  result.submitted = metrics.submitted();
+  result.completed = metrics.completed();
+  result.shed = metrics.shed_total();
+  result.reconciled = result.submitted == result.completed + result.shed;
+  result.open_after_stop = transport->open_connections();
+  return result;
+}
+
 }  // namespace
 }  // namespace abp::serve
 
@@ -210,6 +413,13 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(flags.get_int("deadline-ms", 0));
   const double probe_s = flags.get_double("probe-s", 1.0);
   const double load_s = flags.get_double("load-s", 2.0);
+  const std::string sweep_conns_flag =
+      flags.get_string("sweep-conns", "64,256,1024");
+  const double sweep_s = flags.get_double("sweep-s", 2.0);
+  // Thread-per-connection does not scale past its pool: run the threaded
+  // transport only up to this many connections (the epoll rows keep going).
+  const auto threaded_cap = static_cast<std::size_t>(
+      flags.get_int("threaded-conn-cap", 64));
   flags.check_unused();
 
   std::cout << "=== Overload: goodput and tail latency vs admission control"
@@ -247,5 +457,83 @@ int main(int argc, char** argv) {
                " into unbounded queueing delay (p99 grows with the window);"
                " with admission control the excess is shed as retryable"
                " `overloaded` and p99 stays near the 1x value.\n";
-  return 0;
+
+  const std::vector<std::size_t> sweep = parse_conn_list(sweep_conns_flag);
+  if (sweep.empty()) return 0;
+
+  const std::size_t fd_limit = raise_fd_limit();
+  std::cout << "\n=== Connection scaling: threaded vs epoll over TCP ===\n"
+            << "fd limit " << fd_limit << ", per-conn window 4, workers "
+            << config.workers << ", batch " << config.max_batch
+            << ", sweep-s " << sweep_s << "\n\n";
+
+  bool healthy = true;
+  double threaded_best_goodput = 0.0;
+  double epoll_last_goodput = 0.0;  ///< at the largest epoll conn count run
+  std::size_t epoll_last_conns = 0;
+  abp::TextTable scale_table({"transport", "conns", "goodput q/s", "p50 ms",
+                              "p99 ms", "dead", "submitted", "completed",
+                              "shed", "reconciled"});
+  for (const TransportKind kind :
+       {TransportKind::kThreaded, TransportKind::kEpoll}) {
+    for (const std::size_t conns : sweep) {
+      if (kind == TransportKind::kThreaded && conns > threaded_cap) {
+        std::cout << "note: skipping threaded @ " << conns
+                  << " connections (thread-per-connection capped at "
+                  << threaded_cap << "; raise --threaded-conn-cap to force)\n";
+        continue;
+      }
+      // Server+client fds live in this one process: ~2 per connection plus
+      // listener/epoll/eventfd overhead.
+      if (conns * 2 + 64 > fd_limit) {
+        std::cout << "note: skipping " << transport_kind_name(kind) << " @ "
+                  << conns << " connections (needs ~" << conns * 2 + 64
+                  << " fds, limit " << fd_limit << ")\n";
+        continue;
+      }
+      const ScaleResult r = run_conn_scaling(kind, conns, sweep_s, config);
+      const double goodput = static_cast<double>(r.ok) / r.elapsed_s;
+      if (kind == TransportKind::kThreaded) {
+        threaded_best_goodput = std::max(threaded_best_goodput, goodput);
+      } else {
+        epoll_last_goodput = goodput;
+        epoll_last_conns = conns;
+      }
+      scale_table.add_row(
+          {transport_kind_name(kind), std::to_string(conns),
+           std::to_string(static_cast<std::uint64_t>(goodput)),
+           abp::TextTable::fmt(r.latency_us.p50() / 1e3, 2),
+           abp::TextTable::fmt(r.latency_us.p99() / 1e3, 2),
+           std::to_string(r.dead_conns), std::to_string(r.submitted),
+           std::to_string(r.completed), std::to_string(r.shed),
+           r.reconciled ? "yes" : "NO"});
+      if (!r.reconciled) {
+        healthy = false;
+        std::cout << "RECONCILIATION FAILURE: " << transport_kind_name(kind)
+                  << " @ " << conns << ": submitted " << r.submitted
+                  << " != completed " << r.completed << " + shed " << r.shed
+                  << "\n";
+      }
+      if (r.open_after_stop != 0) {
+        healthy = false;
+        std::cout << "LEAK: " << transport_kind_name(kind) << " @ " << conns
+                  << " still reports " << r.open_after_stop
+                  << " open connections after stop()\n";
+      }
+    }
+  }
+  scale_table.print(std::cout);
+  std::cout << "\nReading: the threaded transport's goodput is capped by its"
+               " connection pool, while the epoll rows hold goodput as"
+               " connections grow past the pool size — the event loop"
+               " multiplexes every socket onto a few loop threads, so the"
+               " concurrent-connection ceiling is the fd limit, not a thread"
+               " count.\n";
+  if (threaded_best_goodput > 0.0 && epoll_last_goodput > 0.0) {
+    std::cout << "epoll @ " << epoll_last_conns << " conns vs threaded best: "
+              << abp::TextTable::fmt(
+                     epoll_last_goodput / threaded_best_goodput, 2)
+              << "x goodput\n";
+  }
+  return healthy ? 0 : 1;
 }

@@ -9,14 +9,20 @@
 /// benchmark output reports queries/sec directly — the batched
 /// configurations must beat batch=1 because B queued queries share one
 /// deployment-lock acquisition and one spatial-index walk.
+/// `BM_TcpConnectionScaling` extends the grid over real TCP: N pipelined
+/// connections (window 4 each) against both server transports, showing
+/// where thread-per-connection saturates its pool and the epoll event loop
+/// keeps scaling. All load generation goes through the `ClientTransport`
+/// interface (`send_async`/`flush`) — no transport-specific casts.
 #include <benchmark/benchmark.h>
 
-#include <atomic>
-#include <condition_variable>
-#include <mutex>
+#include <memory>
+#include <vector>
 
 #include "field/generators.h"
 #include "serve/server.h"
+#include "serve/server_transport.h"
+#include "serve/tcp_transport.h"
 #include "serve/transport.h"
 
 namespace abp::serve {
@@ -62,27 +68,17 @@ void BM_ServeThroughput(benchmark::State& state) {
   options.workers = workers;
   options.max_batch = batch;
   Server server(service, options);
-  LoopbackTransport transport(server);
+  LoopbackTransport loopback(server);
+  // Drive through the interface: flush() blocks until every pipelined
+  // reply has landed (and pumps first when the server is manual-mode).
+  ClientTransport& transport = loopback;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t outstanding = 0;
   std::uint64_t seq = 0;
-
   for (auto _ : state) {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      outstanding = kWindow;
-    }
     for (std::size_t i = 0; i < kWindow; ++i) {
-      transport.send_async(localize_request(seq++), [&](std::string) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (--outstanding == 0) cv.notify_one();
-      });
+      transport.send_async(localize_request(seq++), [](std::string) {});
     }
-    if (workers == 0) server.pump();
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return outstanding == 0; });
+    transport.flush();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kWindow));
@@ -107,6 +103,64 @@ BENCHMARK(BM_ServeThroughput)
     ->Args({1, 4})
     ->Args({8, 4})
     ->Args({64, 4})
+    ->UseRealTime();
+
+/// Real-TCP scaling: `conns` pipelined client connections, window 4 each,
+/// against the threaded (arg 0) or epoll (arg 1) server transport. Goodput
+/// per iteration is conns × 4 requests, all flushed through the
+/// `ClientTransport` interface.
+void BM_TcpConnectionScaling(benchmark::State& state) {
+  const TransportKind kind =
+      state.range(0) == 0 ? TransportKind::kThreaded : TransportKind::kEpoll;
+  const auto conns = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kConnWindow = 4;
+
+  LocalizationService service(bench_config());
+  service.add_field("default", make_field());
+  Server::Options options;
+  options.workers = 4;
+  options.max_batch = 16;
+  Server server(service, options);
+  TransportOptions transport_options;
+  transport_options.conn_workers = conns;  // threaded: one thread per conn
+  transport_options.event_shards = 2;
+  const std::unique_ptr<ServerTransport> transport =
+      make_server_transport(kind, server, transport_options);
+  transport->start();
+
+  std::vector<std::unique_ptr<TcpClientTransport>> clients;
+  clients.reserve(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    clients.push_back(std::make_unique<TcpClientTransport>(
+        "127.0.0.1", transport->port(), 10.0));
+  }
+
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    for (const std::unique_ptr<TcpClientTransport>& client : clients) {
+      for (std::size_t k = 0; k < kConnWindow; ++k) {
+        client->send_async(localize_request(seq++), [](std::string) {});
+      }
+    }
+    for (const std::unique_ptr<TcpClientTransport>& client : clients) {
+      client->flush();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(conns * kConnWindow));
+  state.counters["accepted"] =
+      static_cast<double>(transport->connections_accepted());
+  clients.clear();
+  transport->stop();
+  server.shutdown();
+}
+
+BENCHMARK(BM_TcpConnectionScaling)
+    ->ArgNames({"epoll", "conns"})
+    ->Args({0, 8})
+    ->Args({0, 64})
+    ->Args({1, 8})
+    ->Args({1, 64})
     ->UseRealTime();
 
 }  // namespace

@@ -24,6 +24,11 @@ class BorrowedTransport final : public ClientTransport {
   Response roundtrip(const Request& request) override {
     return inner_->roundtrip(request);
   }
+  void send_async(const Request& request,
+                  std::function<void(std::string)> on_reply_frame) override {
+    inner_->send_async(request, std::move(on_reply_frame));
+  }
+  void flush() override { inner_->flush(); }
   std::string name() const override { return inner_->name(); }
 
  private:
@@ -79,6 +84,7 @@ CallResult RetryingClient::call(Request request) {
   const double start = now_ms();
   const bool budgeted = policy_.deadline_budget_ms > 0.0;
   bool have_retryable_response = false;
+  double server_hint_ms = 0.0;  ///< retry-after from the last shed response
 
   for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
     double remaining = 0.0;
@@ -109,6 +115,7 @@ CallResult RetryingClient::call(Request request) {
       result.ok = true;
       if (!status_retryable(result.response.status)) return result;
       have_retryable_response = true;
+      server_hint_ms = static_cast<double>(result.response.retry_after_ms);
     } catch (const ServeError& e) {
       // Transport-level failure: the connection state is unknown; drop it
       // so the next attempt reconnects.
@@ -116,10 +123,23 @@ CallResult RetryingClient::call(Request request) {
       ++result.transport_errors;
       result.error = e.what();
       if (!have_retryable_response) result.ok = false;
+      server_hint_ms = 0.0;  // hints only come from parsed shed responses
     }
 
     if (attempt == policy_.max_attempts) break;
-    double backoff = next_backoff_ms();
+    double backoff;
+    if (server_hint_ms > 0.0) {
+      // An explicit server backpressure hint replaces local jitter — the
+      // server knows its queue better than our guess — clamped to the
+      // policy's bounds and still capped by the deadline budget below. It
+      // also seeds the decorrelated-jitter state so a follow-up shed
+      // without a hint grows from here.
+      backoff = std::clamp(server_hint_ms, policy_.base_backoff_ms,
+                           policy_.max_backoff_ms);
+      prev_backoff_ms_ = backoff;
+    } else {
+      backoff = next_backoff_ms();
+    }
     if (budgeted) {
       remaining = policy_.deadline_budget_ms - (now_ms() - start);
       if (remaining <= 0.0) break;

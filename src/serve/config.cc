@@ -1,0 +1,207 @@
+#include "serve/config.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace abp::serve {
+
+namespace {
+
+/// Parse "x,y;x,y;…" into points (query --points).
+std::vector<Vec2> parse_point_list(const std::string& text) {
+  std::vector<Vec2> points;
+  std::istringstream groups(text);
+  std::string group;
+  while (std::getline(groups, group, ';')) {
+    if (group.empty()) continue;
+    std::istringstream is(group);
+    double x, y;
+    char comma = '\0';
+    is >> x >> comma >> y;
+    ABP_CHECK(!is.fail() && comma == ',',
+              "bad --points entry (want x,y): " + group);
+    points.push_back({x, y});
+  }
+  return points;
+}
+
+std::size_t get_size(const Flags& flags, const std::string& key,
+                     std::size_t def) {
+  const int value = flags.get_int(key, static_cast<int>(def));
+  ABP_CHECK(value >= 0, "--" + key + " must be non-negative");
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::from_flags(const Flags& flags) {
+  ServeConfig config;
+  config.field_path = flags.get_string("field", "");
+  config.name = flags.get_string("name", "default");
+  config.noise = flags.get_double("noise", 0.0);
+  config.seed = flags.get_u64("seed", 1);
+
+  config.oneshot = flags.get_bool("oneshot", false);
+  config.in_path = flags.get_string("in", "");
+  config.out_path = flags.get_string("out", "");
+
+  config.workers = get_size(flags, "workers", 0);
+  config.batch = get_size(flags, "batch", 16);
+  config.max_queue = get_size(flags, "max-queue", 0);
+  config.max_inflight = get_size(flags, "max-inflight", 0);
+  config.retry_after_hint_ms =
+      static_cast<std::uint32_t>(get_size(flags, "retry-after-ms", 0));
+
+  const std::string transport = flags.get_string("transport", "threaded");
+  const std::optional<TransportKind> kind = transport_kind_from_name(transport);
+  ABP_CHECK(kind.has_value(),
+            "unknown --transport: " + transport + " (want threaded|epoll)");
+  config.transport = *kind;
+  const int port = flags.get_int("port", 0);
+  ABP_CHECK(port >= 0 && port <= 65535, "--port must be in [0, 65535]");
+  config.port = static_cast<std::uint16_t>(port);
+  config.event_shards = std::max<std::size_t>(
+      1, get_size(flags, "event-shards", 1));
+  config.read_timeout_s = flags.get_double("read-timeout-s", 30.0);
+  config.write_timeout_s = flags.get_double("write-timeout-s", 5.0);
+
+  config.validate();
+  return config;
+}
+
+void ServeConfig::validate() const {
+  ABP_CHECK(!field_path.empty(), "serve requires --field");
+  if (oneshot) {
+    ABP_CHECK(!in_path.empty(), "serve --oneshot requires --in");
+    ABP_CHECK(port == 0,
+              "--oneshot and --port are mutually exclusive");
+  } else {
+    ABP_CHECK(in_path.empty() && out_path.empty(),
+              "--in/--out only apply to --oneshot serving");
+  }
+  if (event_shards > 1) {
+    ABP_CHECK(transport == TransportKind::kEpoll,
+              "--event-shards > 1 requires --transport epoll");
+  }
+  ABP_CHECK(batch > 0, "--batch must be positive");
+  ABP_CHECK(read_timeout_s > 0.0 && write_timeout_s > 0.0,
+            "timeouts must be positive");
+}
+
+ServiceConfig ServeConfig::service_config() const {
+  ServiceConfig config;
+  config.noise = noise;
+  config.seed = seed;
+  return config;
+}
+
+Server::Options ServeConfig::server_options() const {
+  Server::Options options;
+  options.workers = oneshot ? 0 : workers;
+  options.max_batch = batch;
+  options.max_queue = max_queue;
+  options.retry_after_hint_ms = retry_after_hint_ms;
+  return options;
+}
+
+TransportOptions ServeConfig::transport_options() const {
+  TransportOptions options;
+  options.port = port;
+  options.read_timeout_s = read_timeout_s;
+  options.write_timeout_s = write_timeout_s;
+  options.max_inflight = max_inflight;
+  options.conn_workers = std::max<std::size_t>(workers, 2);
+  options.event_shards = event_shards;
+  return options;
+}
+
+QueryConfig QueryConfig::from_flags(const Flags& flags) {
+  QueryConfig config;
+  config.decode_path = flags.get_string("decode", "");
+  config.encode_path = flags.get_string("encode-to", "");
+  config.field_path = flags.get_string("field", "");
+  const std::string connect = flags.get_string("connect", "");
+
+  const int destinations = (config.decode_path.empty() ? 0 : 1) +
+                           (config.encode_path.empty() ? 0 : 1) +
+                           (config.field_path.empty() ? 0 : 1) +
+                           (connect.empty() ? 0 : 1);
+  ABP_CHECK(destinations == 1,
+            "query needs exactly one of --field, --connect, --encode-to, "
+            "--decode");
+
+  if (!config.decode_path.empty()) {
+    config.mode = Mode::kDecode;
+    return config;  // decode takes no request flags
+  }
+
+  const std::string type = flags.get_string("type", "localize");
+  const std::optional<Endpoint> endpoint = endpoint_from_name(type);
+  ABP_CHECK(endpoint.has_value(), "unknown --type: " + type);
+  config.request.endpoint = *endpoint;
+  config.request.seq = flags.get_u64("seq", 1);
+  config.request.field = flags.get_string("name", "default");
+  config.request.points = parse_point_list(flags.get_string("points", ""));
+  config.request.algorithm = flags.get_string("algorithm", "");
+  config.request.count =
+      static_cast<std::uint32_t>(flags.get_int("count", 1));
+  config.request.deadline_ms =
+      static_cast<std::uint32_t>(flags.get_int("deadline-ms", 0));
+
+  if (!config.encode_path.empty()) {
+    config.mode = Mode::kEncode;
+    config.append = flags.get_bool("append", false);
+    config.corrupt = flags.get_bool("corrupt", false);
+    return config;
+  }
+
+  if (!connect.empty()) {
+    config.mode = Mode::kConnect;
+    const auto colon = connect.rfind(':');
+    ABP_CHECK(colon != std::string::npos, "--connect wants HOST:PORT");
+    config.host = connect.substr(0, colon);
+    std::istringstream port_is(connect.substr(colon + 1));
+    int port = 0;
+    port_is >> port;
+    ABP_CHECK(!port_is.fail() && port > 0 && port <= 65535,
+              "bad --connect port");
+    config.port = static_cast<std::uint16_t>(port);
+    config.retry.max_attempts = get_size(flags, "retries", 4);
+    config.retry.base_backoff_ms = flags.get_double("backoff-ms", 25.0);
+    config.retry.deadline_budget_ms = flags.get_double("budget-ms", 0.0);
+    config.retry.seed = flags.get_u64("retry-seed", 1);
+    config.validate();
+    return config;
+  }
+
+  config.mode = Mode::kLocalField;
+  config.noise = flags.get_double("noise", 0.0);
+  config.seed = flags.get_u64("seed", 1);
+  config.batch = get_size(flags, "batch", 16);
+  config.validate();
+  return config;
+}
+
+void QueryConfig::validate() const {
+  switch (mode) {
+    case Mode::kDecode:
+      ABP_CHECK(!decode_path.empty(), "decode mode needs a path");
+      break;
+    case Mode::kEncode:
+      ABP_CHECK(!encode_path.empty(), "encode mode needs a path");
+      break;
+    case Mode::kConnect:
+      ABP_CHECK(!host.empty() && port != 0, "connect mode needs HOST:PORT");
+      ABP_CHECK(retry.max_attempts >= 1, "--retries must be at least 1");
+      break;
+    case Mode::kLocalField:
+      ABP_CHECK(!field_path.empty(), "local mode needs --field");
+      ABP_CHECK(batch > 0, "--batch must be positive");
+      break;
+  }
+}
+
+}  // namespace abp::serve

@@ -1,0 +1,198 @@
+#include "serve/connection.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace abp::serve {
+
+Connection::Connection(std::uint64_t id, Server& server, Limits limits,
+                       std::function<void()> wake)
+    : id_(id), server_(&server), limits_(limits), wake_(std::move(wake)) {
+  last_activity_ms_ = server_->now_ms();
+}
+
+void Connection::on_bytes(std::string_view bytes) {
+  decoder_.feed(bytes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_activity_ms_ = server_->now_ms();
+  }
+  while (std::optional<std::string> payload = decoder_.next()) {
+    bool shed = false;
+    std::uint64_t ticket = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shed = limits_.max_inflight != 0 && inflight_ >= limits_.max_inflight;
+      ticket = next_ticket_++;
+      ++inflight_;
+    }
+    auto reply = [self = shared_from_this(),
+                  ticket](std::string response_payload) {
+      self->complete(ticket, std::move(response_payload));
+    };
+    if (shed) {
+      server_->shed_overloaded(
+          std::move(*payload), std::move(reply),
+          "connection in-flight limit (" +
+              std::to_string(limits_.max_inflight) +
+              ") reached; retry with backoff");
+    } else {
+      server_->submit(std::move(*payload), std::move(reply));
+    }
+  }
+  if (decoder_.corrupt() && !corrupt_reported_) {
+    // Framing cannot resync: answer everything already accepted, then this
+    // final diagnostic (it takes the last ticket, so ordering holds), after
+    // which the transport flushes and hangs up.
+    corrupt_reported_ = true;
+    server_->service().metrics().record_bad_frame(decoder_.buffered());
+    Response response;
+    response.status = Status::kBadRequest;
+    response.message = decoder_.error();
+    std::uint64_t ticket = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ticket = next_ticket_++;
+      ++inflight_;
+    }
+    complete(ticket, format_response(response));
+  }
+}
+
+void Connection::complete(std::uint64_t ticket, std::string payload) {
+  bool need_wake = false;
+  std::function<void()> wake;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    last_activity_ms_ = server_->now_ms();
+    const bool was_empty = write_buf_.empty();
+    ready_.emplace(ticket, encode_frame(payload));
+    // Release the in-order prefix: pipelined clients match responses to
+    // requests positionally, so ticket order is the contract.
+    for (auto it = ready_.find(next_release_); it != ready_.end();
+         it = ready_.find(next_release_)) {
+      write_buf_ += it->second;
+      unacked_bytes_ += it->second.size();
+      ready_.erase(it);
+      ++next_release_;
+    }
+    if (!paused_ && unacked_bytes_ > limits_.write_high_watermark) {
+      paused_ = true;  // peer is not draining responses; stop reading
+    }
+    need_wake = was_empty && !write_buf_.empty();
+    if (need_wake) wake = wake_;  // copy under the lock; see disarm_wake()
+  }
+  if (need_wake && wake) wake();
+}
+
+void Connection::disarm_wake() {
+  std::lock_guard<std::mutex> lock(mu_);
+  wake_ = nullptr;
+}
+
+std::size_t Connection::fetch_writable(std::string& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = write_buf_.size();
+  if (n != 0) {
+    if (out.empty()) {
+      out = std::move(write_buf_);
+    } else {
+      out += write_buf_;
+    }
+    write_buf_.clear();
+  }
+  return n;
+}
+
+void Connection::wrote(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  unacked_bytes_ -= n;
+  last_activity_ms_ = server_->now_ms();
+  if (paused_ && unacked_bytes_ <= limits_.write_low_watermark) {
+    paused_ = false;
+  }
+}
+
+bool Connection::want_read() const {
+  if (decoder_.corrupt()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return !paused_;
+}
+
+bool Connection::has_writable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !write_buf_.empty();
+}
+
+bool Connection::drained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_ == 0 && ready_.empty() && write_buf_.empty() &&
+         unacked_bytes_ == 0;
+}
+
+std::size_t Connection::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+std::size_t Connection::outstanding_write_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unacked_bytes_;
+}
+
+double Connection::last_activity_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_activity_ms_;
+}
+
+IoResult read_available(int fd, Connection& connection) {
+  IoResult result;
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) {
+      result.peer_closed = true;
+      return result;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return result;
+      result.error = true;
+      return result;
+    }
+    result.bytes += static_cast<std::size_t>(n);
+    connection.on_bytes(std::string_view(buf, static_cast<std::size_t>(n)));
+    if (!connection.want_read()) return result;  // backpressure or corrupt
+  }
+}
+
+IoResult write_available(int fd, Connection& connection, std::string& outbox,
+                         std::size_t& offset) {
+  IoResult result;
+  for (;;) {
+    if (offset == outbox.size()) {
+      outbox.clear();
+      offset = 0;
+      if (connection.fetch_writable(outbox) == 0) return result;
+    }
+    const ssize_t n = ::send(fd, outbox.data() + offset,
+                             outbox.size() - offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        result.would_block = true;
+        return result;
+      }
+      result.error = true;
+      return result;
+    }
+    offset += static_cast<std::size_t>(n);
+    result.bytes += static_cast<std::size_t>(n);
+    connection.wrote(static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace abp::serve

@@ -1,0 +1,156 @@
+/// \file connection.h
+/// \brief Transport-agnostic per-connection state machine.
+///
+/// Both server transports — the legacy thread-per-connection path
+/// (`TcpServerTransport`) and the epoll event loop
+/// (`EpollServerTransport`) — drive the same `Connection` object; only the
+/// socket-readiness mechanism differs. The state machine owns everything
+/// that must be correct regardless of how bytes arrive:
+///
+///  * **Frame reassembly** — received chunks feed a `FrameDecoder`; every
+///    complete frame is submitted to the `Server`. Corrupt framing enqueues
+///    one final bad-request response (ordered after everything already
+///    submitted), after which the connection should be flushed and closed.
+///  * **Ordered replies** — each submitted frame takes a ticket; worker
+///    threads complete tickets in any order, and completed responses are
+///    released into the write buffer strictly in request order, so
+///    pipelined clients can match responses positionally.
+///  * **In-flight cap** — with `Limits::max_inflight > 0`, frames arriving
+///    while that many tickets are unanswered are shed through
+///    `Server::shed_overloaded` (centralized accounting), exactly like the
+///    pre-redesign per-burst cap but enforced against true concurrency.
+///  * **Write watermarks** — responses queued for (or handed to) the
+///    socket count against a high watermark; above it `want_read()` goes
+///    false so the transport stops reading from a peer that is not
+///    draining its responses ("backpressure"), and reading resumes once
+///    the backlog falls under the low watermark.
+///
+/// Thread safety: `on_bytes`, `fetch_writable` and `wrote` are called by
+/// the owning I/O thread only; reply completion arrives from any worker
+/// thread. The `wake` callback fires (outside the lock) whenever the write
+/// buffer transitions empty → non-empty, which is how worker-thread replies
+/// reach an event loop parked in `epoll_wait` (via `eventfd`) or a
+/// connection thread parked in `poll`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "serve/server.h"
+
+namespace abp::serve {
+
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  struct Limits {
+    /// Unanswered-request cap per connection; 0 = unbounded. Excess frames
+    /// are shed with the retryable `overloaded` status.
+    std::size_t max_inflight = 0;
+    /// Stop reading when unwritten response bytes exceed this.
+    std::size_t write_high_watermark = 1u << 20;
+    /// Resume reading when the backlog falls to or under this.
+    std::size_t write_low_watermark = 256u << 10;
+  };
+
+  /// `wake` may be empty; when set it is invoked (without the internal lock
+  /// held, possibly from a worker thread) whenever completed responses make
+  /// the write buffer non-empty.
+  ///
+  /// Connections are shared-owned: each submitted frame's reply callback
+  /// holds a `shared_ptr` back to the connection, so a request that is
+  /// still queued in the server when the socket dies completes into a
+  /// harmless orphan instead of a dangling pointer.
+  Connection(std::uint64_t id, Server& server, Limits limits,
+             std::function<void()> wake);
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Feed bytes received from the peer. Submits every complete frame (or
+  /// sheds it past the in-flight cap); on corrupt framing records the bad
+  /// frame and enqueues the final bad-request response.
+  void on_bytes(std::string_view bytes);
+
+  /// Move every in-order completed response byte into `out` (appended).
+  /// The bytes stay counted against the watermark until `wrote()`.
+  std::size_t fetch_writable(std::string& out);
+
+  /// Acknowledge `n` bytes as actually sent to the socket; may resume
+  /// reading (check `want_read()` after).
+  void wrote(std::size_t n);
+
+  /// False while the peer's response backlog is above the high watermark
+  /// or the stream is corrupt — the transport must stop reading.
+  bool want_read() const;
+
+  /// True when in-order completed responses are queued for fetching.
+  bool has_writable() const;
+
+  /// True once every accepted frame has been answered and every response
+  /// byte fetched *and* acknowledged via `wrote()` — safe to close.
+  bool drained() const;
+
+  /// Framing is unsyncable; flush remaining writes, then close.
+  bool corrupt() const { return decoder_.corrupt(); }
+
+  std::uint64_t id() const { return id_; }
+  std::size_t in_flight() const;
+  /// Response bytes not yet acknowledged by `wrote()` (watermark gauge).
+  std::size_t outstanding_write_bytes() const;
+  /// Server-clock reading of the last read/reply/write activity.
+  double last_activity_ms() const;
+
+  /// Drop the wake callback. Transports call this when tearing a
+  /// connection down: replies still queued in the server keep the
+  /// `Connection` alive (their callbacks hold a shared_ptr) and complete
+  /// harmlessly into its buffers, but must never touch transport state
+  /// that may already be gone.
+  void disarm_wake();
+
+ private:
+  void complete(std::uint64_t ticket, std::string payload);
+
+  const std::uint64_t id_;
+  Server* server_;
+  const Limits limits_;
+  std::function<void()> wake_;  ///< guarded by mu_; see disarm_wake()
+
+  // I/O-thread-only state.
+  FrameDecoder decoder_;
+  std::uint64_t next_ticket_ = 0;
+  bool corrupt_reported_ = false;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_release_ = 0;  ///< ticket the write buffer waits on
+  std::map<std::uint64_t, std::string> ready_;  ///< completed out of order
+  std::string write_buf_;
+  std::size_t unacked_bytes_ = 0;
+  std::size_t inflight_ = 0;
+  bool paused_ = false;
+  double last_activity_ms_ = 0.0;
+};
+
+/// Socket helpers shared by both transports (the fd must be non-blocking).
+struct IoResult {
+  std::size_t bytes = 0;    ///< bytes moved this call
+  bool peer_closed = false; ///< read side: orderly shutdown from the peer
+  bool would_block = false; ///< write side: unsent bytes remain (arm POLLOUT)
+  bool error = false;       ///< hard socket error; close the connection
+};
+
+/// Drain everything currently readable into `connection.on_bytes`.
+IoResult read_available(int fd, Connection& connection);
+
+/// Send queued responses: refills `outbox` from the connection when the
+/// `offset` cursor exhausts it, loops over partial sends, and acknowledges
+/// progress via `wrote()`. Returns with `would_block` when the socket
+/// buffer fills before the backlog is gone.
+IoResult write_available(int fd, Connection& connection, std::string& outbox,
+                         std::size_t& offset);
+
+}  // namespace abp::serve

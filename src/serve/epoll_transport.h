@@ -1,0 +1,107 @@
+/// \file epoll_transport.h
+/// \brief Event-loop TCP server transport (epoll, non-blocking sockets).
+///
+/// One or more (`event_shards`) epoll event loops own every socket: the
+/// listener accepts until EAGAIN on shard 0 and hands each accepted fd to a
+/// shard round-robin; the shard's loop thread is then the only thread that
+/// ever reads or writes that socket. Request execution stays in the
+/// `Server`'s worker pool — a worker completing a reply posts a flush task
+/// to the owning loop (via its `eventfd`), so responses leave with
+/// event-driven latency and without cross-thread socket races.
+///
+/// Per-connection behaviour (framing, ordered replies, in-flight shedding,
+/// write watermarks) is the shared `Connection` state machine; this file
+/// only maps it onto epoll readiness:
+///
+///  * EPOLLIN is armed while `want_read()` — it drops out under watermark
+///    backpressure or after corrupt framing, so a level-triggered loop
+///    does not spin on data it refuses to read.
+///  * EPOLLOUT is armed only after a send hit EAGAIN; completed replies on
+///    an idle socket are written directly from the flush task.
+///  * Idle and write-stall timeouts are checked in the loop tick against
+///    the server's injectable clock (deterministic under `ManualClock`).
+///
+/// Graceful `stop()`: close the listener, shut down the read side of every
+/// connection, and give each shard a drain budget (the write timeout) to
+/// finish answering what it already accepted; leftovers are force-closed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/connection.h"
+#include "serve/event_loop.h"
+#include "serve/server_transport.h"
+
+namespace abp::serve {
+
+class EpollServerTransport final : public ServerTransport {
+ public:
+  using Options = TransportOptions;
+
+  explicit EpollServerTransport(Server& server, Options options = {});
+  ~EpollServerTransport() override;
+
+  void start() override;
+  void stop() override;
+
+  std::uint16_t port() const override { return port_; }
+  const char* name() const override { return "epoll"; }
+  std::size_t open_connections() const override {
+    return open_conns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_accepted() const override {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::shared_ptr<Connection> state;
+    std::string outbox;           ///< bytes fetched but not yet sent
+    std::size_t outbox_offset = 0;
+    std::uint32_t armed = 0;      ///< current epoll interest mask
+    bool peer_closed = false;
+  };
+
+  /// All shard state except the atomics is touched only by the shard's
+  /// loop thread (or before the thread starts / after it joins). The loop
+  /// lives behind a shared_ptr so a reply wake racing transport teardown
+  /// holds it alive through `post()` (the task then simply never runs).
+  struct Shard {
+    std::shared_ptr<EventLoop> loop = std::make_shared<EventLoop>();
+    std::thread thread;
+    std::unordered_map<std::uint64_t, Conn> conns;
+    double drain_deadline_ms = -1.0;  ///< server clock; <0 = not stopping
+  };
+
+  void accept_ready();
+  void install(Shard& shard, int fd, std::uint64_t id);
+  void handle_io(Shard& shard, std::uint64_t id, std::uint32_t events);
+  void flush(Shard& shard, std::uint64_t id);
+  void update_interest(Shard& shard, Conn& conn);
+  void close_conn(Shard& shard, std::uint64_t id);
+  void tick(Shard& shard);
+
+  Server* server_;
+  const Options options_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t next_conn_id_ = 0;  ///< accept path (shard 0 thread) only
+
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> open_conns_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+};
+
+}  // namespace abp::serve

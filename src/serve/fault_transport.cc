@@ -141,6 +141,11 @@ std::string FaultTransport::roundtrip_frame(std::string frame) {
   throw ServeError("injected: unknown fault kind");  // unreachable
 }
 
+void FaultTransport::send_async(
+    const Request& request, std::function<void(std::string)> on_reply_frame) {
+  on_reply_frame(roundtrip_frame(encode_frame(format_request(request))));
+}
+
 Response FaultTransport::roundtrip(const Request& request) {
   const std::string reply_frame =
       roundtrip_frame(encode_frame(format_request(request)));

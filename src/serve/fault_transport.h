@@ -103,6 +103,13 @@ class FaultTransport final : public ClientTransport {
   /// Throws `ServeError` for injected connection-level faults, exactly as a
   /// real transport would.
   Response roundtrip(const Request& request) override;
+
+  /// Synchronous pipelining: the reply callback runs inside the call, after
+  /// the scripted fault is applied. Connection-level faults throw (like
+  /// `roundtrip`) and the callback never runs.
+  void send_async(const Request& request,
+                  std::function<void(std::string)> on_reply_frame) override;
+
   std::string name() const override { return "fault"; }
 
   /// Frame-level exchange applying the next scripted fault.

@@ -41,10 +41,22 @@ Response LoopbackTransport::roundtrip(const Request& request) {
 
 void LoopbackTransport::send_async(
     const Request& request, std::function<void(std::string)> on_reply_frame) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
   server_->submit(format_request(request),
-                  [cb = std::move(on_reply_frame)](std::string reply) {
+                  [this, cb = std::move(on_reply_frame)](std::string reply) {
                     cb(encode_frame(reply));
+                    std::lock_guard<std::mutex> lock(mu_);
+                    if (--outstanding_ == 0) cv_.notify_all();
                   });
+}
+
+void LoopbackTransport::flush() {
+  if (server_->options().workers == 0) server_->pump();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
 }  // namespace abp::serve

@@ -281,6 +281,11 @@ std::string format_response(const Response& response) {
     }
     out += '\n';
   }
+  if (response.retry_after_ms != 0) {
+    out += "retry-after ";
+    out += std::to_string(response.retry_after_ms);
+    out += '\n';
+  }
   for (const PointEstimate& e : response.estimates) {
     out += "estimate ";
     append_double(out, e.estimate.x);
@@ -362,6 +367,12 @@ std::optional<Response> parse_response(std::string_view payload,
         return std::nullopt;
       }
       response.positions.push_back(p);
+    } else if (tokens[0] == "retry-after" && tokens.size() == 2) {
+      // Zero is a valid "no hint"; non-numeric is malformed.
+      if (!parse_u32_token(tokens[1], &response.retry_after_ms)) {
+        fail(error, "malformed retry-after record: " + std::string(line));
+        return std::nullopt;
+      }
     } else if (tokens[0] == "beacon-id" && tokens.size() == 2) {
       std::uint32_t id = 0;
       if (!parse_u32_token(tokens[1], &id)) {

@@ -22,6 +22,7 @@
 ///
 ///     abp-response 1 <seq> <status>
 ///     message <text>           (single line; set when status != ok)
+///     retry-after <ms>         (optional; overloaded backpressure hint)
 ///     estimate <x> <y> <connected>
 ///     error <value>
 ///     position <x> <y>
@@ -116,6 +117,11 @@ struct Response {
   std::uint64_t seq = 0;
   Status status = Status::kOk;
   std::string message;                   ///< diagnostic when status != ok
+  /// Server-side backpressure hint on `overloaded` sheds: how long the
+  /// client should wait before retrying, in milliseconds. 0 = no hint.
+  /// `RetryingClient` honors it in place of jittered backoff, capped by
+  /// its own backoff ceiling and deadline budget.
+  std::uint32_t retry_after_ms = 0;
   std::vector<PointEstimate> estimates;  ///< localize
   std::vector<double> errors;            ///< error-at
   std::vector<Vec2> positions;           ///< propose / add-beacon echo

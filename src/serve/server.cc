@@ -11,11 +11,13 @@ namespace abp::serve {
 namespace {
 
 std::string rejection_payload(std::uint64_t seq, Status status,
-                              const std::string& message) {
+                              const std::string& message,
+                              std::uint32_t retry_after_ms = 0) {
   Response response;
   response.seq = seq;
   response.status = status;
   response.message = message;
+  if (status == Status::kOverloaded) response.retry_after_ms = retry_after_ms;
   return format_response(response);
 }
 
@@ -45,7 +47,8 @@ double Server::now_ms() const {
 void Server::reject(const Request& request, Status status,
                     const std::string& why, std::size_t bytes_in,
                     const std::function<void(std::string)>& reply) {
-  const std::string rejection = rejection_payload(request.seq, status, why);
+  const std::string rejection = rejection_payload(
+      request.seq, status, why, options_.retry_after_hint_ms);
   service_.metrics().record(request.endpoint, status, bytes_in,
                             rejection.size(), 0.0);
   service_.metrics().record_shed(status);

@@ -56,6 +56,11 @@ class Server {
     /// Queue-depth admission limit; 0 = unbounded. Submissions that would
     /// exceed it are answered `kOverloaded` without being enqueued.
     std::size_t max_queue = 0;
+    /// Backpressure hint attached to every `kOverloaded` shed as the
+    /// response's `retry-after` record (milliseconds); 0 = no hint.
+    /// `RetryingClient` sleeps the hinted duration instead of jittered
+    /// backoff, so a loaded server can spread its retry storm.
+    std::uint32_t retry_after_hint_ms = 0;
     /// Monotonic clock in milliseconds used for deadline accounting.
     /// Defaults to `std::chrono::steady_clock`; tests inject a manual
     /// clock for deterministic expiry.

@@ -1,0 +1,33 @@
+#include "serve/server_transport.h"
+
+#include "serve/epoll_transport.h"
+#include "serve/tcp_transport.h"
+
+namespace abp::serve {
+
+const char* transport_kind_name(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kThreaded: return "threaded";
+    case TransportKind::kEpoll: return "epoll";
+  }
+  return "unknown";
+}
+
+std::optional<TransportKind> transport_kind_from_name(std::string_view name) {
+  if (name == "threaded") return TransportKind::kThreaded;
+  if (name == "epoll") return TransportKind::kEpoll;
+  return std::nullopt;
+}
+
+std::unique_ptr<ServerTransport> make_server_transport(
+    TransportKind kind, Server& server, const TransportOptions& options) {
+  switch (kind) {
+    case TransportKind::kThreaded:
+      return std::make_unique<TcpServerTransport>(server, options);
+    case TransportKind::kEpoll:
+      return std::make_unique<EpollServerTransport>(server, options);
+  }
+  return nullptr;
+}
+
+}  // namespace abp::serve

@@ -1,0 +1,90 @@
+/// \file server_transport.h
+/// \brief Server-side transport interface of the localization query
+/// service.
+///
+/// A `ServerTransport` owns the listening socket and the lifecycle of every
+/// accepted connection, feeding complete frames into a `Server` and writing
+/// the (request-ordered) responses back. Two implementations speak the same
+/// wire protocol behind this interface:
+///
+///  * `TcpServerTransport` (tcp_transport.h) — the legacy thread-per-
+///    connection path: each accepted socket occupies one `ThreadPool`
+///    worker for its lifetime, so concurrency is capped at
+///    `conn_workers`.
+///  * `EpollServerTransport` (epoll_transport.h) — an event-loop path:
+///    one (or `event_shards`) epoll loop(s) own non-blocking sockets with
+///    per-connection state machines, lifting the concurrent-connection
+///    ceiling to the fd limit.
+///
+/// Both drive the shared `Connection` state machine (connection.h), so
+/// framing, reply ordering, in-flight caps and write watermarks behave
+/// identically; `abp serve --transport={threaded,epoll}` and the benches
+/// switch between them through `make_server_transport`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace abp::serve {
+
+class Server;
+
+enum class TransportKind {
+  kThreaded,  ///< thread-per-connection on a fixed pool
+  kEpoll,     ///< non-blocking event loop(s)
+};
+
+const char* transport_kind_name(TransportKind kind);
+std::optional<TransportKind> transport_kind_from_name(std::string_view name);
+
+/// One options struct for both transports; fields that do not apply to a
+/// given kind are ignored (`conn_workers` by epoll, `event_shards` by
+/// threaded).
+struct TransportOptions {
+  std::uint16_t port = 0;        ///< 0 = ephemeral (read back via port())
+  double read_timeout_s = 5.0;   ///< idle-connection timeout
+  double write_timeout_s = 5.0;  ///< max stall writing to a slow peer
+  /// Per-connection unanswered-request cap for pipelined clients;
+  /// 0 = unbounded. Excess frames are shed with retryable `overloaded`.
+  std::size_t max_inflight = 0;
+  std::size_t conn_workers = 4;  ///< threaded: pool size (= conn ceiling)
+  std::size_t event_shards = 1;  ///< epoll: independent event loops
+  /// Write-queue watermarks (bytes): reading from a peer pauses above the
+  /// high mark and resumes under the low mark.
+  std::size_t write_high_watermark = 1u << 20;
+  std::size_t write_low_watermark = 256u << 10;
+};
+
+class ServerTransport {
+ public:
+  virtual ~ServerTransport() = default;
+
+  /// Bind, listen on 127.0.0.1 and start serving. Throws `ServeError` on
+  /// socket failure.
+  virtual void start() = 0;
+
+  /// Graceful stop: stop accepting, let open connections finish writing
+  /// every response they accepted (bounded by the write timeout), close
+  /// everything. Idempotent.
+  virtual void stop() = 0;
+
+  /// Bound port (valid after start()).
+  virtual std::uint16_t port() const = 0;
+
+  virtual const char* name() const = 0;
+
+  /// Currently open connections. The chaos suite's fd/slot-leak probe:
+  /// must read 0 once every client is gone (and always after stop()).
+  virtual std::size_t open_connections() const = 0;
+
+  /// Total connections accepted since start().
+  virtual std::uint64_t connections_accepted() const = 0;
+};
+
+std::unique_ptr<ServerTransport> make_server_transport(
+    TransportKind kind, Server& server, const TransportOptions& options = {});
+
+}  // namespace abp::serve

@@ -4,16 +4,15 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <future>
 #include <memory>
 #include <utility>
-#include <vector>
 
 #include "common/assert.h"
 
@@ -21,7 +20,8 @@ namespace abp::serve {
 
 namespace {
 
-/// Poll interval: how often blocked reads re-check the stop flag.
+/// Poll interval: the latency bound on stop/timeout checks, not on replies
+/// (those signal the per-connection eventfd).
 constexpr int kPollMs = 50;
 
 [[noreturn]] void throw_errno(const std::string& what) {
@@ -29,10 +29,9 @@ constexpr int kPollMs = 50;
 }
 
 /// Write the whole buffer, looping over partial sends. `EINTR` restarts the
-/// send; `EAGAIN`/`EWOULDBLOCK` (a send timeout is armed on server-side
-/// sockets) polls for writability and counts against `budget_ms`, so a
-/// peer that stops reading ("slow loris") costs at most the write timeout
-/// instead of wedging the handler thread.
+/// send; `EAGAIN`/`EWOULDBLOCK` polls for writability and counts against
+/// `budget_ms`, so a peer that stops reading ("slow loris") costs at most
+/// the write timeout instead of wedging the caller.
 void send_all(int fd, std::string_view bytes, int budget_ms) {
   std::size_t sent = 0;
   int stalled_ms = 0;
@@ -58,6 +57,28 @@ void send_all(int fd, std::string_view bytes, int budget_ms) {
   }
 }
 
+/// Owns the per-connection wakeup eventfd. Reply wakes hold a weak_ptr to
+/// this holder: once the handler drops its reference, a late wake finds the
+/// weak_ptr expired instead of writing into a recycled fd number.
+struct EventFdHolder {
+  EventFdHolder() : fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {}
+  ~EventFdHolder() {
+    if (fd >= 0) ::close(fd);
+  }
+  void signal() const {
+    if (fd < 0) return;
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof one);
+  }
+  void drain() const {
+    if (fd < 0) return;
+    std::uint64_t count = 0;
+    while (::read(fd, &count, sizeof count) > 0) {
+    }
+  }
+  const int fd;
+};
+
 }  // namespace
 
 TcpServerTransport::TcpServerTransport(Server& server, Options options)
@@ -65,9 +86,15 @@ TcpServerTransport::TcpServerTransport(Server& server, Options options)
 
 TcpServerTransport::~TcpServerTransport() { stop(); }
 
+std::size_t TcpServerTransport::open_connections() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return conn_fds_.size();
+}
+
 void TcpServerTransport::start() {
   ABP_CHECK(listen_fd_ < 0, "transport already started");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) throw_errno("socket");
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -79,7 +106,7 @@ void TcpServerTransport::start() {
              sizeof addr) < 0) {
     throw_errno("bind");
   }
-  if (::listen(listen_fd_, 64) < 0) throw_errno("listen");
+  if (::listen(listen_fd_, SOMAXCONN) < 0) throw_errno("listen");
   socklen_t len = sizeof addr;
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
       0) {
@@ -94,114 +121,90 @@ void TcpServerTransport::accept_loop() {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollMs);
     if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-    // EINTR (and transient errors like ECONNABORTED) retry the accept
-    // rather than abandoning the listener.
-    if (fd < 0) continue;
-    // Arm a short send timeout so writes surface EAGAIN periodically and
-    // send_all() can enforce the write budget against slow readers.
-    timeval send_timeout{0, kPollMs * 1000};
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
-                 sizeof send_timeout);
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      if (stopping_.load()) {
-        ::close(fd);
-        continue;
+    // Drain the whole backlog per wakeup so connection storms are not
+    // throttled to one accept per poll tick.
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_CLOEXEC | SOCK_NONBLOCK);
+      // EINTR and transient errors (ECONNABORTED, ...) end the round; the
+      // next poll retries rather than abandoning the listener.
+      if (fd < 0) break;
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        if (stopping_.load()) {
+          ::close(fd);
+          continue;
+        }
+        conn_fds_.insert(fd);
       }
-      conn_fds_.insert(fd);
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      pool_.submit([this, fd] { handle_connection(fd); });
     }
-    pool_.submit([this, fd] { handle_connection(fd); });
   }
 }
 
 void TcpServerTransport::handle_connection(int fd) {
-  FrameDecoder decoder;
-  char buf[4096];
-  const int idle_budget_ms =
-      std::max(kPollMs, static_cast<int>(options_.read_timeout_s * 1e3));
-  const int write_budget_ms =
-      std::max(kPollMs, static_cast<int>(options_.write_timeout_s * 1e3));
-  int idle_ms = 0;
-  bool open = true;
-  while (open && !decoder.corrupt()) {
-    // Reads re-check the stop flag every kPollMs so stop() is prompt, while
-    // the per-connection idle timeout accumulates across short polls.
-    pollfd pfd{fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollMs);
-    if (stopping_.load()) break;
-    if (ready == 0) {
-      idle_ms += kPollMs;
-      if (idle_ms >= idle_budget_ms) break;  // read timeout: drop the client
-      continue;
-    }
-    if (ready < 0) {
-      if (errno == EINTR) continue;
+  Connection::Limits limits;
+  limits.max_inflight = options_.max_inflight;
+  limits.write_high_watermark = options_.write_high_watermark;
+  limits.write_low_watermark = options_.write_low_watermark;
+  const auto efd = std::make_shared<EventFdHolder>();
+  const auto state = std::make_shared<Connection>(
+      next_conn_id_.fetch_add(1), *server_, limits,
+      [weak = std::weak_ptr<EventFdHolder>(efd)] {
+        if (const std::shared_ptr<EventFdHolder> holder = weak.lock()) {
+          holder->signal();
+        }
+      });
+  const double read_budget_ms = options_.read_timeout_s * 1e3;
+  const double write_budget_ms = options_.write_timeout_s * 1e3;
+  std::string outbox;
+  std::size_t offset = 0;
+  bool peer_closed = false;
+  for (;;) {
+    // Exit once everything accepted has been answered and written — on
+    // peer close, corrupt framing, or graceful stop (stop() sends SHUT_RD,
+    // so reads hit EOF and only the reply drain remains).
+    if (state->drained() &&
+        (peer_closed || state->corrupt() || stopping_.load())) {
       break;
     }
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n == 0) break;  // peer closed
-    if (n < 0) {
-      // Interrupted reads are not connection errors — retry them.
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    const bool unsent = offset < outbox.size() || state->has_writable();
+    pollfd pfds[2] = {
+        {fd,
+         static_cast<short>(
+             ((!peer_closed && state->want_read()) ? POLLIN : 0) |
+             (unsent ? POLLOUT : 0)),
+         0},
+        {efd->fd, POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, kPollMs);
+    if (ready < 0 && errno != EINTR) break;
+    efd->drain();
+    if (!peer_closed && state->want_read()) {
+      const IoResult r = read_available(fd, *state);
+      if (r.error) break;
+      if (r.peer_closed) peer_closed = true;
+      // Manual-mode servers (workers == 0) have no worker threads; the
+      // connection handler executes whatever the read just queued.
+      if (r.bytes > 0 && server_->options().workers == 0) server_->pump();
+    }
+    const IoResult w = write_available(fd, *state, outbox, offset);
+    if (w.error) break;
+    // Timeouts on the injectable server clock: a stalled writer is cut at
+    // the write budget, an idle (fully drained) peer at the read budget.
+    const double idle_ms = server_->now_ms() - state->last_activity_ms();
+    const bool still_unsent = offset < outbox.size() || state->has_writable();
+    if (still_unsent ? idle_ms >= write_budget_ms
+                     : idle_ms >= read_budget_ms) {
       break;
     }
-    idle_ms = 0;
-    decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
-    // Drain the whole pipelined burst: every complete frame is submitted
-    // concurrently (so cross-connection batching sees them all) up to the
-    // per-connection in-flight cap; frames beyond the cap are shed with
-    // `overloaded` before touching the queue. Responses are then written
-    // back in request order.
-    std::vector<std::string> payloads;
-    while (std::optional<std::string> payload = decoder.next()) {
-      payloads.push_back(std::move(*payload));
-    }
-    if (payloads.empty()) continue;
-    const std::size_t cap =
-        options_.max_inflight == 0 ? payloads.size() : options_.max_inflight;
-    std::vector<std::future<std::string>> replies;
-    replies.reserve(payloads.size());
-    for (std::size_t i = 0; i < payloads.size(); ++i) {
-      auto promise = std::make_shared<std::promise<std::string>>();
-      replies.push_back(promise->get_future());
-      auto resolve = [promise](std::string reply) {
-        promise->set_value(std::move(reply));
-      };
-      if (i < cap) {
-        server_->submit(std::move(payloads[i]), std::move(resolve));
-      } else {
-        server_->shed_overloaded(
-            std::move(payloads[i]), std::move(resolve),
-            "connection in-flight limit (" +
-                std::to_string(options_.max_inflight) +
-                ") reached; retry with backoff");
-      }
-    }
-    if (server_->options().workers == 0) server_->pump();
-    for (std::future<std::string>& reply : replies) {
-      // Even after a write failure every future is consumed, so no reply
-      // callback is left resolving into a dead promise.
-      std::string payload = reply.get();
-      if (!open) continue;
-      try {
-        send_all(fd, encode_frame(std::move(payload)), write_budget_ms);
-      } catch (const ServeError&) {
-        open = false;
-      }
-    }
   }
-  if (decoder.corrupt()) {
-    // Framing cannot resync; tell the client why, then hang up.
-    server_->service().metrics().record_bad_frame(decoder.buffered());
-    Response response;
-    response.status = Status::kBadRequest;
-    response.message = decoder.error();
-    try {
-      send_all(fd, encode_frame(format_response(response)), write_budget_ms);
-    } catch (const ServeError&) {
-    }
-  }
+  // Late replies (requests still queued in the server) keep `state` alive
+  // through their callbacks and complete into it harmlessly; the disarm
+  // guarantees they no longer signal the (about to close) eventfd.
+  state->disarm_wake();
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conn_fds_.erase(fd);
@@ -302,12 +305,34 @@ bool TcpClientTransport::closed_by_peer() {
 }
 
 Response TcpClientTransport::roundtrip(const Request& request) {
+  ABP_CHECK(pending_.empty(), "roundtrip with pipelined sends outstanding");
   send_raw(encode_frame(format_request(request)));
   const std::string payload = read_payload();
   std::string error;
   const std::optional<Response> response = parse_response(payload, &error);
   if (!response) throw ServeError("bad response payload: " + error);
   return *response;
+}
+
+void TcpClientTransport::send_async(
+    const Request& request, std::function<void(std::string)> on_reply_frame) {
+  send_raw(encode_frame(format_request(request)));
+  pending_.push_back(std::move(on_reply_frame));
+}
+
+void TcpClientTransport::flush() {
+  while (!pending_.empty()) {
+    std::string payload;
+    try {
+      payload = read_payload();
+    } catch (...) {
+      pending_.clear();  // connection is dead; callbacks will never run
+      throw;
+    }
+    const std::function<void(std::string)> cb = std::move(pending_.front());
+    pending_.pop_front();
+    cb(encode_frame(payload));
+  }
 }
 
 }  // namespace abp::serve

@@ -1,69 +1,65 @@
 /// \file tcp_transport.h
-/// \brief POSIX TCP transport for the localization query service.
+/// \brief POSIX TCP transports for the localization query service.
 ///
-/// `TcpServerTransport` listens on a loopback/ANY address, accepts
-/// connections on a dedicated thread, and handles each connection on the
-/// shared `abp::ThreadPool`: frames are read with a per-connection idle
-/// timeout, submitted to the `Server` (which batches across connections),
-/// and the responses written back in request order. Pipelined clients may
-/// put up to `max_inflight` requests in flight per connection; frames
-/// beyond the cap are shed with the retryable `overloaded` status before
-/// they reach the queue. Graceful stop: the listener closes first (no new
-/// connections), open connections are woken and finish writing what they
-/// have accepted, then the pool drains.
+/// `TcpServerTransport` is the thread-per-connection implementation of the
+/// `ServerTransport` interface: a dedicated thread accepts connections and
+/// each accepted socket occupies one `abp::ThreadPool` worker for its
+/// lifetime, so concurrency is capped at `conn_workers`. Since the
+/// transport redesign it drives the same non-blocking `Connection` state
+/// machine as the epoll path (connection.h): framing, request-ordered
+/// replies, per-connection in-flight shedding and write-watermark
+/// backpressure are byte-identical across transports. Each handler parks
+/// in `poll()` on {socket, eventfd}; worker threads completing replies
+/// signal the eventfd, so response latency is wake-driven rather than
+/// quantized to the poll tick. Idle and write-stall timeouts read the
+/// server's injectable clock.
 ///
-/// Robust I/O: reads and accepts retry `EINTR` instead of dropping the
-/// connection, writes loop over partial sends and `EAGAIN` (a send timeout
-/// is armed on every accepted socket so a slow-loris reader cannot park a
-/// handler in `send()` forever), and `write_timeout_s` bounds the total
-/// stall any single peer can impose on the write path.
+/// Graceful stop: the listener closes first (no new connections), open
+/// connections get `SHUT_RD` and finish writing what they accepted, then
+/// the pool drains.
 ///
 /// `TcpClientTransport` is the matching blocking client used by `abp query
-/// --connect` and the smoke tests.
+/// --connect` and the smoke tests; `send_async`/`flush` pipeline multiple
+/// requests on the wire and match responses positionally.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "serve/connection.h"
+#include "serve/server_transport.h"
 #include "serve/transport.h"
 
 namespace abp::serve {
 
-class TcpServerTransport {
+class TcpServerTransport final : public ServerTransport {
  public:
-  struct Options {
-    std::uint16_t port = 0;        ///< 0 = ephemeral (read back via port())
-    double read_timeout_s = 5.0;   ///< idle read timeout per connection
-    double write_timeout_s = 5.0;  ///< max stall writing to a slow peer
-    std::size_t conn_workers = 4;  ///< thread-pool size for connections
-    /// Per-connection in-flight request cap for pipelined clients;
-    /// 0 = unbounded. Excess frames in a burst are shed `overloaded`.
-    std::size_t max_inflight = 0;
-  };
+  using Options = TransportOptions;
 
   explicit TcpServerTransport(Server& server)
       : TcpServerTransport(server, Options()) {}
   TcpServerTransport(Server& server, Options options);
-  ~TcpServerTransport();
+  ~TcpServerTransport() override;
 
   TcpServerTransport(const TcpServerTransport&) = delete;
   TcpServerTransport& operator=(const TcpServerTransport&) = delete;
 
-  /// Bind, listen on 127.0.0.1, start the accept thread. Throws ServeError
-  /// on socket failure.
-  void start();
+  void start() override;
+  void stop() override;
 
-  /// Graceful stop: stop accepting, wake idle connections, drain handlers.
-  /// Idempotent.
-  void stop();
-
-  /// Bound port (valid after start()).
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const override { return port_; }
+  const char* name() const override { return "threaded"; }
+  std::size_t open_connections() const override;
+  std::uint64_t connections_accepted() const override {
+    return accepted_.load(std::memory_order_relaxed);
+  }
 
  private:
   void accept_loop();
@@ -76,7 +72,9 @@ class TcpServerTransport {
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
   ThreadPool pool_;
-  std::mutex conn_mu_;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> next_conn_id_{0};
+  mutable std::mutex conn_mu_;
   std::set<int> conn_fds_;
 };
 
@@ -91,6 +89,19 @@ class TcpClientTransport final : public ClientTransport {
   TcpClientTransport& operator=(const TcpClientTransport&) = delete;
 
   Response roundtrip(const Request& request) override;
+
+  /// Pipelined send: the frame goes on the wire immediately, the reply
+  /// callback is queued and runs inside a later `flush()` (responses are
+  /// matched positionally — the server guarantees request order). Single
+  /// owning thread only.
+  void send_async(const Request& request,
+                  std::function<void(std::string)> on_reply_frame) override;
+
+  /// Read one response per outstanding `send_async` (in order) and run the
+  /// callbacks. Throws `ServeError` on timeout/close, with the remaining
+  /// callbacks dropped — after a flush failure the connection is dead.
+  void flush() override;
+
   std::string name() const override { return "tcp"; }
 
   /// Raw byte access for protocol-abuse tests.
@@ -104,6 +115,7 @@ class TcpClientTransport final : public ClientTransport {
   int fd_ = -1;
   double timeout_s_;
   FrameDecoder decoder_;
+  std::deque<std::function<void(std::string)>> pending_;
 };
 
 }  // namespace abp::serve

@@ -1,0 +1,456 @@
+/// Event-loop serving stack, bottom-up: the `EventLoop` primitive
+/// (posting, fd dispatch, stop-drain), the transport-agnostic `Connection`
+/// state machine (ordered release, in-flight shedding, corrupt framing,
+/// write watermarks, wake discipline), and the `EpollServerTransport` over
+/// real sockets (round trips, shard fan-out, idle timeouts, the
+/// open-connection gauge the leak probes rely on).
+#include "serve/event_loop.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/connection.h"
+#include "serve/fault_transport.h"
+#include "serve/server.h"
+#include "serve/server_transport.h"
+#include "serve/tcp_transport.h"
+
+namespace abp::serve {
+namespace {
+
+BeaconField make_field() {
+  BeaconField field(AABB({0, 0}, {60, 60}));
+  field.add({10, 10});
+  field.add({30, 10});
+  field.add({10, 30});
+  return field;
+}
+
+ServiceConfig test_config() {
+  ServiceConfig config;
+  config.lattice_step = 2.0;
+  return config;
+}
+
+Request localize_request(std::uint64_t seq) {
+  Request request;
+  request.seq = seq;
+  request.endpoint = Endpoint::kLocalize;
+  request.points = {{12, 12}};
+  return request;
+}
+
+std::string request_frame(std::uint64_t seq) {
+  return encode_frame(format_request(localize_request(seq)));
+}
+
+// ---- EventLoop primitive -----------------------------------------------
+
+TEST(EventLoop, PostedTasksRunOnTheLoopThreadInOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::thread::id task_thread;
+  std::thread runner([&loop] { loop.run({}, 50); });
+  loop.post([&order, &task_thread] {
+    order.push_back(1);
+    task_thread = std::this_thread::get_id();
+  });
+  loop.post([&order] { order.push_back(2); });
+  loop.post([&order, &loop] {
+    order.push_back(3);
+    loop.stop();
+  });
+  const std::thread::id loop_thread = runner.get_id();
+  runner.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(task_thread, loop_thread);
+}
+
+TEST(EventLoop, FdReadinessDispatchesTheRegisteredHandler) {
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC), 0);
+  EventLoop loop;
+  std::string received;
+  loop.add_fd(pipe_fds[0], EPOLLIN, [&](std::uint32_t) {
+    char buf[64];
+    const ssize_t n = ::read(pipe_fds[0], buf, sizeof buf);
+    if (n > 0) received.assign(buf, static_cast<std::size_t>(n));
+    loop.stop();
+  });
+  std::thread runner([&loop] { loop.run({}, 50); });
+  ASSERT_EQ(::write(pipe_fds[1], "ping", 4), 4);
+  runner.join();
+  EXPECT_EQ(received, "ping");
+  loop.remove_fd(pipe_fds[0]);
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
+}
+
+TEST(EventLoop, TasksPostedWhileStoppingAreDrainedNotDropped) {
+  // A task posted from within the final dispatch round (after stop() is
+  // already in flight) must still run — the epoll transport relies on this
+  // to avoid leaking connection hand-offs that race shutdown.
+  EventLoop loop;
+  std::atomic<bool> late_task_ran{false};
+  std::thread runner([&loop] { loop.run({}, 50); });
+  loop.post([&loop, &late_task_ran] {
+    loop.post([&late_task_ran] { late_task_ran = true; });
+    loop.stop();
+  });
+  runner.join();
+  EXPECT_TRUE(late_task_ran.load());
+}
+
+TEST(EventLoop, TickRunsWithoutFdActivity) {
+  EventLoop loop;
+  int ticks = 0;
+  loop.run(
+      [&] {
+        if (++ticks >= 3) loop.stop();
+      },
+      5);
+  EXPECT_GE(ticks, 3);
+}
+
+// ---- Connection state machine ------------------------------------------
+
+/// Manual-mode server on a manual clock so every completion is explicit.
+struct ConnectionRig {
+  ManualClock clock;
+  LocalizationService service{test_config()};
+  Server server;
+
+  ConnectionRig() : server(service, options(clock)) {
+    service.add_field("default", make_field());
+  }
+
+  static Server::Options options(ManualClock& clock) {
+    Server::Options options;
+    options.workers = 0;
+    options.max_batch = 8;
+    options.clock_ms = clock.fn();
+    return options;
+  }
+
+  std::shared_ptr<Connection> connect(Connection::Limits limits,
+                                      std::function<void()> wake = {}) {
+    return std::make_shared<Connection>(1, server, limits, std::move(wake));
+  }
+};
+
+std::vector<Response> decode_responses(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  std::vector<Response> responses;
+  while (const auto payload = decoder.next()) {
+    const auto response = parse_response(*payload);
+    EXPECT_TRUE(response.has_value());
+    if (response) responses.push_back(*response);
+  }
+  return responses;
+}
+
+TEST(Connection, ReleasesRepliesInTicketOrderAcrossOutOfOrderCompletion) {
+  ConnectionRig rig;
+  Connection::Limits limits;
+  limits.max_inflight = 1;
+  const auto conn = rig.connect(limits);
+
+  // Two frames in one chunk: the first takes ticket 0 and parks in the
+  // manual server's queue; the second exceeds the cap and is shed — its
+  // `overloaded` reply completes ticket 1 *immediately*, out of order.
+  conn->on_bytes(request_frame(1) + request_frame(2));
+  EXPECT_EQ(conn->in_flight(), 1u);
+  // Ticket 1 is done but ticket 0 is not: nothing may be released yet.
+  EXPECT_FALSE(conn->has_writable());
+  EXPECT_FALSE(conn->drained());
+
+  rig.server.pump();  // completes ticket 0
+  ASSERT_TRUE(conn->has_writable());
+  std::string out;
+  conn->fetch_writable(out);
+  const std::vector<Response> responses = decode_responses(out);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].seq, 1u);
+  EXPECT_EQ(responses[0].status, Status::kOk);
+  EXPECT_EQ(responses[1].seq, 2u);
+  EXPECT_EQ(responses[1].status, Status::kOverloaded);
+
+  // Shedding went through the server: the accounting identity holds.
+  EXPECT_EQ(rig.service.metrics().shed(Status::kOverloaded), 1u);
+  EXPECT_EQ(rig.service.metrics().submitted(),
+            rig.service.metrics().completed() +
+                rig.service.metrics().shed_total());
+
+  EXPECT_FALSE(conn->drained());  // bytes fetched but not yet acknowledged
+  conn->wrote(out.size());
+  EXPECT_TRUE(conn->drained());
+}
+
+TEST(Connection, CorruptFramingAnswersBadRequestAfterPendingReplies) {
+  ConnectionRig rig;
+  const auto conn = rig.connect({});
+
+  conn->on_bytes(request_frame(1));
+  conn->on_bytes("this is not a frame\n");
+  EXPECT_TRUE(conn->corrupt());
+  EXPECT_FALSE(conn->want_read());  // unsyncable: stop reading immediately
+
+  rig.server.pump();
+  std::string out;
+  conn->fetch_writable(out);
+  const std::vector<Response> responses = decode_responses(out);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].status, Status::kOk);  // ordered before the error
+  EXPECT_EQ(responses[1].status, Status::kBadRequest);
+  conn->wrote(out.size());
+  EXPECT_TRUE(conn->drained());
+}
+
+TEST(Connection, WriteWatermarksPauseAndResumeReading) {
+  ConnectionRig rig;
+  Connection::Limits limits;
+  limits.write_high_watermark = 1;  // any backlog pauses reading
+  limits.write_low_watermark = 0;   // resume only when fully acknowledged
+  const auto conn = rig.connect(limits);
+
+  conn->on_bytes(request_frame(1));
+  EXPECT_TRUE(conn->want_read());  // nothing written yet
+  rig.server.pump();
+  EXPECT_GT(conn->outstanding_write_bytes(), 1u);
+  EXPECT_FALSE(conn->want_read());  // above the high watermark
+
+  std::string out;
+  conn->fetch_writable(out);
+  // Fetching hands bytes to the transport but they still count against the
+  // watermark until the socket accepts them.
+  EXPECT_FALSE(conn->want_read());
+  conn->wrote(out.size() - 1);
+  EXPECT_FALSE(conn->want_read());  // one unacknowledged byte > low mark
+  conn->wrote(1);
+  EXPECT_TRUE(conn->want_read());
+  EXPECT_EQ(conn->outstanding_write_bytes(), 0u);
+}
+
+TEST(Connection, WakeFiresOnlyOnEmptyToNonEmptyTransition) {
+  ConnectionRig rig;
+  int wakes = 0;
+  const auto conn = rig.connect({}, [&wakes] { ++wakes; });
+
+  conn->on_bytes(request_frame(1) + request_frame(2));
+  EXPECT_EQ(wakes, 0);
+  rig.server.pump();
+  // Two replies landed back-to-back; only the first found the buffer empty.
+  EXPECT_EQ(wakes, 1);
+
+  std::string out;
+  conn->fetch_writable(out);
+  conn->wrote(out.size());
+  conn->on_bytes(request_frame(3));
+  rig.server.pump();
+  EXPECT_EQ(wakes, 2);
+}
+
+TEST(Connection, DisarmedWakeMakesLateCompletionsHarmless) {
+  ConnectionRig rig;
+  int wakes = 0;
+  auto conn = rig.connect({}, [&wakes] { ++wakes; });
+
+  conn->on_bytes(request_frame(1));
+  // The transport tears the connection down while the request is still
+  // queued in the server — exactly what happens when a socket dies first.
+  conn->disarm_wake();
+  const std::weak_ptr<Connection> probe = conn;
+  conn.reset();
+  EXPECT_FALSE(probe.expired());  // the queued reply callback keeps it alive
+
+  rig.server.pump();  // completes into the orphan: no wake, no crash
+  EXPECT_EQ(wakes, 0);
+  EXPECT_TRUE(probe.expired());  // the last reference died with the reply
+  EXPECT_EQ(rig.service.metrics().submitted(),
+            rig.service.metrics().completed() +
+                rig.service.metrics().shed_total());
+}
+
+// ---- EpollServerTransport over real sockets ----------------------------
+
+TEST(TransportKindTest, NamesRoundTrip) {
+  EXPECT_EQ(transport_kind_from_name("threaded"), TransportKind::kThreaded);
+  EXPECT_EQ(transport_kind_from_name("epoll"), TransportKind::kEpoll);
+  EXPECT_FALSE(transport_kind_from_name("iocp").has_value());
+  EXPECT_STREQ(transport_kind_name(TransportKind::kThreaded), "threaded");
+  EXPECT_STREQ(transport_kind_name(TransportKind::kEpoll), "epoll");
+}
+
+struct EpollFixture {
+  explicit EpollFixture(TransportOptions options = shard_options())
+      : service(test_config()), server(service, server_options()) {
+    service.add_field("default", make_field());
+    transport = make_server_transport(TransportKind::kEpoll, server, options);
+    transport->start();
+  }
+  ~EpollFixture() {
+    transport->stop();
+    server.shutdown();
+  }
+
+  static Server::Options server_options() {
+    Server::Options options;
+    options.workers = 2;
+    options.max_batch = 8;
+    return options;
+  }
+
+  static TransportOptions shard_options() {
+    TransportOptions options;
+    options.event_shards = 2;
+    return options;
+  }
+
+  LocalizationService service;
+  Server server;
+  std::unique_ptr<ServerTransport> transport;
+};
+
+TEST(EpollTransport, EphemeralPortRoundTrip) {
+  EpollFixture fixture;
+  ASSERT_NE(fixture.transport->port(), 0);
+  EXPECT_STREQ(fixture.transport->name(), "epoll");
+
+  TcpClientTransport client("127.0.0.1", fixture.transport->port());
+  const Response response = client.roundtrip(localize_request(7));
+  EXPECT_EQ(response.seq, 7u);
+  ASSERT_EQ(response.status, Status::kOk) << response.message;
+  ASSERT_EQ(response.estimates.size(), 1u);
+}
+
+TEST(EpollTransport, PipelinedRequestsFlushInOrder) {
+  EpollFixture fixture;
+  TcpClientTransport client("127.0.0.1", fixture.transport->port());
+  std::vector<std::uint64_t> seqs;
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    client.send_async(localize_request(seq), [&seqs](std::string frame) {
+      FrameDecoder decoder;
+      decoder.feed(frame);
+      const auto payload = decoder.next();
+      ASSERT_TRUE(payload.has_value());
+      const auto response = parse_response(*payload);
+      ASSERT_TRUE(response.has_value());
+      EXPECT_EQ(response->status, Status::kOk);
+      seqs.push_back(response->seq);
+    });
+  }
+  client.flush();
+  ASSERT_EQ(seqs.size(), 10u);
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    EXPECT_EQ(seqs[seq - 1], seq);
+  }
+}
+
+TEST(EpollTransport, ConcurrentConnectionsAcrossShards) {
+  EpollFixture fixture;
+  constexpr int kClients = 8;  // round-robins across both shards
+  constexpr int kPerClient = 5;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&fixture, &ok] {
+      TcpClientTransport client("127.0.0.1", fixture.transport->port());
+      for (int i = 0; i < kPerClient; ++i) {
+        const Response response =
+            client.roundtrip(localize_request(static_cast<std::uint64_t>(i)));
+        if (response.status == Status::kOk) ++ok;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+  EXPECT_EQ(fixture.transport->connections_accepted(),
+            static_cast<std::uint64_t>(kClients));
+}
+
+TEST(EpollTransport, MalformedFrameGetsBadRequestAndClose) {
+  EpollFixture fixture;
+  TcpClientTransport client("127.0.0.1", fixture.transport->port());
+  client.send_raw("garbage that is not a frame\n");
+  const auto response = parse_response(client.read_payload());
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, Status::kBadRequest);
+  EXPECT_TRUE(client.closed_by_peer());
+}
+
+TEST(EpollTransport, IdleConnectionTimesOut) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server server(service, EpollFixture::server_options());
+  TransportOptions options;
+  options.read_timeout_s = 0.2;
+  const auto transport =
+      make_server_transport(TransportKind::kEpoll, server, options);
+  transport->start();
+  {
+    TcpClientTransport client("127.0.0.1", transport->port());
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    bool closed = false;
+    while (std::chrono::steady_clock::now() < deadline && !closed) {
+      closed = client.closed_by_peer();
+      if (!closed) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_TRUE(closed);
+  }
+  transport->stop();
+  server.shutdown();
+}
+
+TEST(EpollTransport, OpenConnectionGaugeFallsToZeroWhenClientsLeave) {
+  EpollFixture fixture;
+  {
+    std::vector<std::unique_ptr<TcpClientTransport>> clients;
+    for (int c = 0; c < 3; ++c) {
+      clients.push_back(std::make_unique<TcpClientTransport>(
+          "127.0.0.1", fixture.transport->port()));
+      EXPECT_EQ(clients.back()->roundtrip(localize_request(1)).status,
+                Status::kOk);
+    }
+    EXPECT_EQ(fixture.transport->open_connections(), 3u);
+  }
+  // All client sockets closed: the gauge must reach zero without stop().
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fixture.transport->open_connections() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fixture.transport->open_connections(), 0u);
+  EXPECT_EQ(fixture.transport->connections_accepted(), 3u);
+}
+
+TEST(EpollTransport, StopIsIdempotentAndDisconnectsClients) {
+  EpollFixture fixture;
+  TcpClientTransport client("127.0.0.1", fixture.transport->port());
+  EXPECT_EQ(client.roundtrip(localize_request(1)).status, Status::kOk);
+  fixture.transport->stop();
+  fixture.transport->stop();
+  EXPECT_EQ(fixture.transport->open_connections(), 0u);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool closed = false;
+  while (std::chrono::steady_clock::now() < deadline && !closed) {
+    closed = client.closed_by_peer();
+    if (!closed) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(closed);
+}
+
+}  // namespace
+}  // namespace abp::serve

@@ -52,6 +52,26 @@ TEST(Protocol, ResponseRoundTripExact) {
   EXPECT_EQ(*copy, response);
 }
 
+TEST(Protocol, OverloadedResponseRoundTripsRetryAfterHint) {
+  Response response;
+  response.seq = 11;
+  response.status = Status::kOverloaded;
+  response.message = "queue full";
+  response.retry_after_ms = 250;
+  const auto copy = parse_response(format_response(response));
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(*copy, response);
+  EXPECT_EQ(copy->retry_after_ms, 250u);
+
+  // A zero hint is omitted from the wire and parses back to zero.
+  response.retry_after_ms = 0;
+  const std::string wire = format_response(response);
+  EXPECT_EQ(wire.find("retry-after"), std::string::npos);
+  const auto no_hint = parse_response(wire);
+  ASSERT_TRUE(no_hint.has_value());
+  EXPECT_EQ(no_hint->retry_after_ms, 0u);
+}
+
 TEST(Protocol, ErrorResponseCarriesMessage) {
   Response response;
   response.seq = 3;

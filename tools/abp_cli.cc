@@ -51,7 +51,9 @@
 #include "radio/noise_model.h"
 #include "robot/surveyor.h"
 #include "serve/client.h"
+#include "serve/config.h"
 #include "serve/server.h"
+#include "serve/server_transport.h"
 #include "serve/tcp_transport.h"
 #include "serve/transport.h"
 #include "terrain/heightmap.h"
@@ -74,7 +76,10 @@ int usage() {
          "[--stride K] [--seed S]\n"
          "  serve    --field FILE [--name N] [--noise X] [--seed S] "
          "[--workers W] [--batch B]\n"
-         "           [--max-queue Q] [--max-inflight I]\n"
+         "           [--max-queue Q] [--max-inflight I] "
+         "[--retry-after-ms H]\n"
+         "           [--transport threaded|epoll] [--event-shards E]\n"
+         "           [--read-timeout-s R] [--write-timeout-s W]\n"
          "           [--port P | --oneshot --in REQ [--out RESP]]\n"
          "  query    --type T [--points \"x,y;x,y\"] [--algorithm A] "
          "[--name N] [--count K]\n"
@@ -304,40 +309,6 @@ int cmd_sweep(const Flags& flags) {
 volatile std::sig_atomic_t g_stop_requested = 0;
 void handle_stop_signal(int) { g_stop_requested = 1; }
 
-/// Parse "x,y;x,y;…" into points (query --points).
-std::vector<Vec2> parse_point_list(const std::string& text) {
-  std::vector<Vec2> points;
-  std::istringstream groups(text);
-  std::string group;
-  while (std::getline(groups, group, ';')) {
-    if (group.empty()) continue;
-    std::istringstream is(group);
-    double x, y;
-    char comma = '\0';
-    is >> x >> comma >> y;
-    ABP_CHECK(!is.fail() && comma == ',',
-              "bad --points entry (want x,y): " + group);
-    points.push_back({x, y});
-  }
-  return points;
-}
-
-serve::Request request_from_flags(const Flags& flags) {
-  const std::string type = flags.get_string("type", "localize");
-  const auto endpoint = serve::endpoint_from_name(type);
-  ABP_CHECK(endpoint.has_value(), "unknown --type: " + type);
-  serve::Request request;
-  request.endpoint = *endpoint;
-  request.seq = flags.get_u64("seq", 1);
-  request.field = flags.get_string("name", "default");
-  request.points = parse_point_list(flags.get_string("points", ""));
-  request.algorithm = flags.get_string("algorithm", "");
-  request.count = static_cast<std::uint32_t>(flags.get_int("count", 1));
-  request.deadline_ms =
-      static_cast<std::uint32_t>(flags.get_int("deadline-ms", 0));
-  return request;
-}
-
 void print_response(const serve::Response& response) {
   std::cout << "seq " << response.seq << " status "
             << serve::status_name(response.status) << "\n";
@@ -360,13 +331,6 @@ void print_response(const serve::Response& response) {
     std::cout << "beacon-id " << id << "\n";
   }
   if (!response.text.empty()) std::cout << response.text;
-}
-
-serve::ServiceConfig service_config_from_flags(const Flags& flags) {
-  serve::ServiceConfig config;
-  config.noise = flags.get_double("noise", 0.0);
-  config.seed = flags.get_u64("seed", 1);
-  return config;
 }
 
 /// One-shot mode: feed every frame in `in` through the loopback transport,
@@ -402,61 +366,40 @@ std::size_t serve_oneshot(serve::Server& server, std::istream& in,
 }
 
 int cmd_serve(const Flags& flags) {
-  const std::string field_path = flags.get_string("field", "");
-  const std::string name = flags.get_string("name", "default");
-  const bool oneshot = flags.get_bool("oneshot", false);
-  const std::string in_path = flags.get_string("in", "");
-  const std::string out_path = flags.get_string("out", "");
-  const auto port =
-      static_cast<std::uint16_t>(flags.get_int("port", 0));
-  const auto workers = static_cast<std::size_t>(flags.get_int("workers", 0));
-  const auto batch = static_cast<std::size_t>(flags.get_int("batch", 16));
-  const auto max_queue =
-      static_cast<std::size_t>(flags.get_int("max-queue", 0));
-  const auto max_inflight =
-      static_cast<std::size_t>(flags.get_int("max-inflight", 0));
-  serve::ServiceConfig config = service_config_from_flags(flags);
+  const serve::ServeConfig config = serve::ServeConfig::from_flags(flags);
   flags.check_unused();
-  ABP_CHECK(!field_path.empty(), "serve requires --field");
 
-  serve::LocalizationService service(config);
-  service.add_field(name, load_field(field_path));
-  serve::Server::Options server_options;
-  server_options.workers = oneshot ? 0 : workers;
-  server_options.max_batch = batch;
-  server_options.max_queue = max_queue;
-  serve::Server server(service, server_options);
+  serve::LocalizationService service(config.service_config());
+  service.add_field(config.name, load_field(config.field_path));
+  serve::Server server(service, config.server_options());
 
-  if (oneshot) {
-    ABP_CHECK(!in_path.empty(), "serve --oneshot requires --in");
-    std::ifstream in(in_path, std::ios::binary);
-    ABP_CHECK(in.good(), "cannot open for reading: " + in_path);
+  if (config.oneshot) {
+    std::ifstream in(config.in_path, std::ios::binary);
+    ABP_CHECK(in.good(), "cannot open for reading: " + config.in_path);
     std::size_t served = 0;
-    if (out_path.empty()) {
+    if (config.out_path.empty()) {
       served = serve_oneshot(server, in, std::cout);
     } else {
-      std::ofstream out(out_path, std::ios::binary);
-      ABP_CHECK(out.good(), "cannot open for writing: " + out_path);
+      std::ofstream out(config.out_path, std::ios::binary);
+      ABP_CHECK(out.good(), "cannot open for writing: " + config.out_path);
       served = serve_oneshot(server, in, out);
     }
     server.shutdown();
-    std::cerr << "served " << served << " request(s) from " << in_path
+    std::cerr << "served " << served << " request(s) from " << config.in_path
               << "\n"
               << service.metrics().render_text();
     return 0;
   }
 
-  serve::TcpServerTransport::Options transport_options;
-  transport_options.port = port;
-  transport_options.read_timeout_s = 30.0;
-  transport_options.conn_workers = std::max<std::size_t>(workers, 2);
-  transport_options.max_inflight = max_inflight;
-  serve::TcpServerTransport transport(server, transport_options);
-  transport.start();
-  std::cout << "serving field '" << name << "' on 127.0.0.1:"
-            << transport.port() << " (workers " << workers << ", batch "
-            << batch << ", max-queue " << max_queue << ", max-inflight "
-            << max_inflight << "); Ctrl-C to stop\n";
+  const std::unique_ptr<serve::ServerTransport> transport =
+      serve::make_server_transport(config.transport, server,
+                                   config.transport_options());
+  transport->start();
+  std::cout << "serving field '" << config.name << "' on 127.0.0.1:"
+            << transport->port() << " (transport " << transport->name()
+            << ", workers " << config.workers << ", batch " << config.batch
+            << ", max-queue " << config.max_queue << ", max-inflight "
+            << config.max_inflight << "); Ctrl-C to stop\n";
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
   while (g_stop_requested == 0) {
@@ -464,110 +407,96 @@ int cmd_serve(const Flags& flags) {
     ::poll(&none, 0, 200);  // sleep, interruptible by signals
   }
   std::cout << "\nshutting down: draining in-flight requests\n";
-  transport.stop();
+  transport->stop();
   server.shutdown();
   std::cout << service.metrics().render_text();
   return 0;
 }
 
-int cmd_query(const Flags& flags) {
-  const std::string decode_path = flags.get_string("decode", "");
-  if (!decode_path.empty()) {
-    flags.check_unused();
-    std::ifstream in(decode_path, std::ios::binary);
-    ABP_CHECK(in.good(), "cannot open for reading: " + decode_path);
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    serve::FrameDecoder decoder;
-    decoder.feed(buffer.str());
-    std::size_t frames = 0;
-    while (const auto payload = decoder.next()) {
-      std::string error;
-      const auto response = serve::parse_response(*payload, &error);
-      ABP_CHECK(response.has_value(), "bad response payload: " + error);
-      print_response(*response);
-      ++frames;
-    }
-    ABP_CHECK(!decoder.corrupt(), "corrupt frame: " + decoder.error());
-    std::cout << "decoded " << frames << " response frame(s)\n";
-    return 0;
+int cmd_query_decode(const serve::QueryConfig& config) {
+  std::ifstream in(config.decode_path, std::ios::binary);
+  ABP_CHECK(in.good(), "cannot open for reading: " + config.decode_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  serve::FrameDecoder decoder;
+  decoder.feed(buffer.str());
+  std::size_t frames = 0;
+  while (const auto payload = decoder.next()) {
+    std::string error;
+    const auto response = serve::parse_response(*payload, &error);
+    ABP_CHECK(response.has_value(), "bad response payload: " + error);
+    print_response(*response);
+    ++frames;
   }
+  ABP_CHECK(!decoder.corrupt(), "corrupt frame: " + decoder.error());
+  std::cout << "decoded " << frames << " response frame(s)\n";
+  return 0;
+}
 
-  const serve::Request request = request_from_flags(flags);
-  const std::string encode_path = flags.get_string("encode-to", "");
-  if (!encode_path.empty()) {
-    const bool append = flags.get_bool("append", false);
-    const bool corrupt = flags.get_bool("corrupt", false);
-    flags.check_unused();
-    std::ofstream out(encode_path,
-                      std::ios::binary |
-                          (append ? std::ios::app : std::ios::trunc));
-    ABP_CHECK(out.good(), "cannot open for writing: " + encode_path);
-    std::string frame = serve::encode_frame(serve::format_request(request));
-    // --corrupt: deliberately break the magic for rejection tests.
-    if (corrupt) frame[0] = 'X';
-    out << frame;
-    std::cout << "wrote " << frame.size() << " byte frame to " << encode_path
-              << "\n";
-    return 0;
+int cmd_query_encode(const serve::QueryConfig& config) {
+  std::ofstream out(config.encode_path,
+                    std::ios::binary |
+                        (config.append ? std::ios::app : std::ios::trunc));
+  ABP_CHECK(out.good(), "cannot open for writing: " + config.encode_path);
+  std::string frame =
+      serve::encode_frame(serve::format_request(config.request));
+  // --corrupt: deliberately break the magic for rejection tests.
+  if (config.corrupt) frame[0] = 'X';
+  out << frame;
+  std::cout << "wrote " << frame.size() << " byte frame to "
+            << config.encode_path << "\n";
+  return 0;
+}
+
+int cmd_query_connect(const serve::QueryConfig& config) {
+  // Reconnect-per-attempt factory: overloaded/unavailable responses,
+  // resets and timeouts retry with decorrelated-jitter backoff (or the
+  // server's retry-after hint); terminal statuses print immediately.
+  serve::RetryingClient client(
+      [&config] {
+        return std::make_unique<serve::TcpClientTransport>(config.host,
+                                                           config.port);
+      },
+      config.retry);
+  const serve::CallResult result = client.call(config.request);
+  if (!result.ok) {
+    throw serve::ServeError(result.error + " (after " +
+                            std::to_string(result.attempts) +
+                            " attempt(s))");
   }
-
-  const std::string connect = flags.get_string("connect", "");
-  if (!connect.empty()) {
-    serve::RetryPolicy policy;
-    policy.max_attempts =
-        static_cast<std::size_t>(flags.get_int("retries", 4));
-    policy.base_backoff_ms = flags.get_double("backoff-ms", 25.0);
-    policy.deadline_budget_ms = flags.get_double("budget-ms", 0.0);
-    policy.seed = flags.get_u64("retry-seed", 1);
-    flags.check_unused();
-    const auto colon = connect.rfind(':');
-    ABP_CHECK(colon != std::string::npos, "--connect wants HOST:PORT");
-    const std::string host = connect.substr(0, colon);
-    std::istringstream port_is(connect.substr(colon + 1));
-    int port = 0;
-    port_is >> port;
-    ABP_CHECK(!port_is.fail() && port > 0 && port <= 65535,
-              "bad --connect port");
-    // Reconnect-per-attempt factory: overloaded/unavailable responses,
-    // resets and timeouts retry with decorrelated-jitter backoff; terminal
-    // statuses print immediately.
-    serve::RetryingClient client(
-        [host, port] {
-          return std::make_unique<serve::TcpClientTransport>(
-              host, static_cast<std::uint16_t>(port));
-        },
-        policy);
-    const serve::CallResult result = client.call(request);
-    if (!result.ok) {
-      throw serve::ServeError(result.error + " (after " +
-                              std::to_string(result.attempts) +
-                              " attempt(s))");
-    }
-    if (result.attempts > 1) {
-      std::cerr << "note: succeeded after " << result.attempts
-                << " attempts (" << TextTable::fmt(result.backoff_ms, 1)
-                << " ms backoff)\n";
-    }
-    print_response(result.response);
-    return 0;
+  if (result.attempts > 1) {
+    std::cerr << "note: succeeded after " << result.attempts << " attempts ("
+              << TextTable::fmt(result.backoff_ms, 1) << " ms backoff)\n";
   }
+  print_response(result.response);
+  return 0;
+}
 
-  const std::string field_path = flags.get_string("field", "");
-  serve::ServiceConfig config = service_config_from_flags(flags);
-  const auto batch = static_cast<std::size_t>(flags.get_int("batch", 16));
-  flags.check_unused();
-  ABP_CHECK(!field_path.empty(),
-            "query needs one of --field, --connect, --encode-to, --decode");
-  serve::LocalizationService service(config);
-  service.add_field(request.field, load_field(field_path));
+int cmd_query_local(const serve::QueryConfig& config) {
+  serve::ServiceConfig service_config;
+  service_config.noise = config.noise;
+  service_config.seed = config.seed;
+  serve::LocalizationService service(service_config);
+  service.add_field(config.request.field, load_field(config.field_path));
   serve::Server::Options server_options;
   server_options.workers = 0;
-  server_options.max_batch = batch;
+  server_options.max_batch = config.batch;
   serve::Server server(service, server_options);
   serve::LoopbackTransport loopback(server);
-  print_response(loopback.roundtrip(request));
+  print_response(loopback.roundtrip(config.request));
   return 0;
+}
+
+int cmd_query(const Flags& flags) {
+  const serve::QueryConfig config = serve::QueryConfig::from_flags(flags);
+  flags.check_unused();
+  switch (config.mode) {
+    case serve::QueryConfig::Mode::kDecode: return cmd_query_decode(config);
+    case serve::QueryConfig::Mode::kEncode: return cmd_query_encode(config);
+    case serve::QueryConfig::Mode::kConnect: return cmd_query_connect(config);
+    case serve::QueryConfig::Mode::kLocalField: return cmd_query_local(config);
+  }
+  return usage();  // unreachable
 }
 
 int run(int argc, char** argv) {
