@@ -1,0 +1,371 @@
+/// bench_cluster — routed serving: goodput/p99 vs backend count, and the
+/// kill-one-backend recovery curve.
+///
+/// Method: N in-process backends (threaded `Server`s behind loopback
+/// transports) sit behind the cluster router exactly as over TCP — same
+/// ring, pool, replicator, and wire codec; only the byte pipe is
+/// in-process. `--deployments` fields are registered and synced so the
+/// ring actually spreads load. Two sections:
+///
+///  1. Scaling sweep: closed-loop windowed load through the router for
+///     each backend count in `--sweep-backends`; reports goodput,
+///     client-observed p50/p99, and the shed/error count. The claim:
+///     goodput grows with backends because deployments shard across them,
+///     while the router adds one queue hop of latency.
+///
+///  2. Recovery curve: 3 backends, replication 2, continuous windowed
+///     load; mid-run the backend owning the most deployments is killed
+///     (its transport throws, like a crashed peer). Completions are
+///     bucketed over time, showing the dip while the breaker trips and
+///     failover warms, then the recovery to a 2-backend plateau. The
+///     router's invariant — every submission answered exactly once, with
+///     failures surfacing as retryable statuses, never silence — is
+///     asserted at the end.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/backend_pool.h"
+#include "cluster/replicator.h"
+#include "cluster/ring.h"
+#include "cluster/router.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "field/generators.h"
+#include "io/field_io.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+
+namespace abp::cluster {
+namespace {
+
+constexpr std::size_t kBeacons = 40;
+
+double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+BeaconField make_field(std::uint64_t seed) {
+  BeaconField field(AABB::square(100.0), 15.0);
+  Rng rng(seed);
+  scatter_uniform(field, kBeacons, rng);
+  return field;
+}
+
+serve::ServiceConfig bench_config() {
+  serve::ServiceConfig config;
+  config.lattice_step = 2.0;
+  return config;
+}
+
+/// A backend that can be killed mid-run: the wrapped loopback starts
+/// throwing like a crashed TCP peer the moment `dead` flips.
+class KillableTransport final : public serve::ClientTransport {
+ public:
+  KillableTransport(serve::Server& server, std::atomic<bool>& dead)
+      : inner_(server), dead_(&dead) {}
+
+  serve::Response roundtrip(const serve::Request& request) override {
+    check_alive();
+    return inner_.roundtrip(request);
+  }
+
+  void send_async(const serve::Request& request,
+                  std::function<void(std::string)> on_reply) override {
+    check_alive();
+    inner_.send_async(request, std::move(on_reply));
+  }
+
+  void flush() override {
+    check_alive();
+    inner_.flush();
+  }
+
+  std::string name() const override { return "killable-loopback"; }
+
+ private:
+  void check_alive() const {
+    if (dead_->load(std::memory_order_acquire)) {
+      throw serve::ServeError("backend killed");
+    }
+  }
+
+  serve::LoopbackTransport inner_;
+  std::atomic<bool>* dead_;
+};
+
+struct SimBackend {
+  std::unique_ptr<serve::LocalizationService> service;
+  std::unique_ptr<serve::Server> server;
+  std::atomic<bool> dead{false};
+};
+
+/// A full in-process cluster: N threaded backends behind the router.
+struct SimCluster {
+  SimCluster(std::size_t backends, std::size_t replication,
+             std::size_t deployments, std::size_t workers,
+             std::size_t max_batch) {
+    for (std::size_t i = 0; i < backends; ++i) {
+      names.push_back("b" + std::to_string(i));
+    }
+    for (const std::string& name : names) {
+      ring.add_node(name);
+      auto& backend = sims[name];
+      backend.service =
+          std::make_unique<serve::LocalizationService>(bench_config());
+      serve::Server::Options options;
+      options.workers = workers;
+      options.max_batch = max_batch;
+      backend.server =
+          std::make_unique<serve::Server>(*backend.service, options);
+    }
+    pool = std::make_unique<BackendPool>(
+        names, BackendPoolOptions{}, metrics, [this](const std::string& name) {
+          SimBackend& backend = sims.at(name);
+          return std::make_unique<KillableTransport>(*backend.server,
+                                                     backend.dead);
+        });
+    replicator =
+        std::make_unique<Replicator>(*pool, ring, replication, metrics);
+    pool->set_recovery_callback([this](const std::string& backend) {
+      replicator->sync_backend(backend);
+    });
+    router = std::make_unique<Router>(ring, *pool, *replicator, metrics);
+    pool->start();
+    for (std::size_t d = 0; d < deployments; ++d) {
+      std::ostringstream text;
+      write_field(text, make_field(1000 + d));
+      replicator->set_deployment("f" + std::to_string(d), text.str());
+    }
+    replicator->sync_all();
+  }
+
+  ~SimCluster() { pool->stop(); }
+
+  /// The backend owning the most deployments — the worst-case victim for
+  /// the kill experiment.
+  std::string busiest_backend() const {
+    std::map<std::string, std::size_t> owned;
+    for (const std::string& name : replicator->names()) {
+      for (const std::string& owner : replicator->owners(name)) {
+        ++owned[owner];
+      }
+    }
+    std::string busiest = names.front();
+    for (const auto& [name, count] : owned) {
+      if (count > owned[busiest]) busiest = name;
+    }
+    return busiest;
+  }
+
+  std::vector<std::string> names;
+  HashRing ring;
+  serve::RouterMetrics metrics;
+  std::map<std::string, SimBackend> sims;
+  std::unique_ptr<BackendPool> pool;
+  std::unique_ptr<Replicator> replicator;
+  std::unique_ptr<Router> router;
+};
+
+serve::Request localize_request(std::uint64_t seq, std::size_t deployments) {
+  serve::Request request;
+  request.seq = seq;
+  request.endpoint = serve::Endpoint::kLocalize;
+  request.field = "f" + std::to_string(seq % deployments);
+  const double t = static_cast<double>(seq % 257) / 257.0;
+  request.points = {{100.0 * t, 100.0 * (1.0 - t)}};
+  return request;
+}
+
+struct LoadResult {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t non_ok = 0;
+  double elapsed_s = 0.0;
+  Histogram latency_us = Histogram::latency_us();
+  std::vector<std::uint64_t> ok_buckets;  ///< completions per bucket_s bin
+};
+
+/// Closed-loop windowed load through the router. `on_window` runs between
+/// windows (the kill hook); `bucket_s` > 0 additionally bins completions
+/// over time for the recovery curve.
+LoadResult drive_load(SimCluster& cluster, std::size_t deployments,
+                      double duration_s, std::size_t window,
+                      double bucket_s = 0.0,
+                      const std::function<void(double)>& on_window = {}) {
+  LoadResult result;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t outstanding = 0;
+  std::uint64_t seq = 0;
+
+  const double start = steady_now_s();
+  while (steady_now_s() - start < duration_s) {
+    if (on_window) on_window(steady_now_s() - start);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      outstanding = window;
+    }
+    for (std::size_t i = 0; i < window; ++i) {
+      const double sent_at = steady_now_s();
+      ++result.sent;
+      cluster.router->submit(
+          serve::format_request(localize_request(seq++, deployments)),
+          [&, sent_at](std::string payload) {
+            const double now = steady_now_s();
+            const auto response = serve::parse_response(payload);
+            const bool ok =
+                response && response->status == serve::Status::kOk;
+            std::lock_guard<std::mutex> lock(mu);
+            result.latency_us.add((now - sent_at) * 1e6);
+            if (ok) {
+              ++result.ok;
+              if (bucket_s > 0.0) {
+                const auto bucket =
+                    static_cast<std::size_t>((now - start) / bucket_s);
+                if (result.ok_buckets.size() <= bucket) {
+                  result.ok_buckets.resize(bucket + 1, 0);
+                }
+                ++result.ok_buckets[bucket];
+              }
+            } else {
+              ++result.non_ok;
+            }
+            if (--outstanding == 0) cv.notify_one();
+          });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outstanding == 0; });
+  }
+  result.elapsed_s = steady_now_s() - start;
+  return result;
+}
+
+std::vector<std::size_t> parse_count_list(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(static_cast<std::size_t>(std::stoul(item)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace abp::cluster
+
+int main(int argc, char** argv) {
+  using namespace abp::cluster;
+  const abp::Flags flags(argc, argv);
+  const std::vector<std::size_t> sweep =
+      parse_count_list(flags.get_string("sweep-backends", "1,2,4"));
+  const auto replication =
+      static_cast<std::size_t>(flags.get_int("replication", 2));
+  const auto deployments =
+      static_cast<std::size_t>(flags.get_int("deployments", 8));
+  const auto workers = static_cast<std::size_t>(flags.get_int("workers", 2));
+  const auto max_batch = static_cast<std::size_t>(flags.get_int("batch", 16));
+  const auto window = static_cast<std::size_t>(flags.get_int("window", 64));
+  const double sweep_s = flags.get_double("sweep-s", 1.0);
+  const double recover_s = flags.get_double("recover-s", 2.0);
+  const double bucket_ms = flags.get_double("bucket-ms", 100.0);
+  flags.check_unused();
+
+  std::cout << "=== Cluster routing: goodput vs backend count ===\n"
+            << "replication=" << replication << " deployments=" << deployments
+            << " workers/backend=" << workers << " window=" << window
+            << " sweep-s=" << sweep_s << "\n\n";
+
+  abp::TextTable table({"backends", "goodput q/s", "p50 ms", "p99 ms",
+                        "non-ok", "forwarded"});
+  for (const std::size_t backends : sweep) {
+    SimCluster cluster(backends, std::min(replication, backends), deployments,
+                       workers, max_batch);
+    const LoadResult r = drive_load(cluster, deployments, sweep_s, window);
+    table.add_row({std::to_string(backends),
+                   std::to_string(static_cast<std::uint64_t>(
+                       static_cast<double>(r.ok) / r.elapsed_s)),
+                   abp::TextTable::fmt(r.latency_us.p50() / 1e3, 2),
+                   abp::TextTable::fmt(r.latency_us.p99() / 1e3, 2),
+                   std::to_string(r.non_ok),
+                   std::to_string(cluster.metrics.forwarded_total())});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: deployments shard across backends, so routed"
+               " goodput scales with the backend count until the router's"
+               " forwarding loop saturates.\n";
+
+  // ---- kill-one-backend recovery curve ---------------------------------
+  const std::size_t kRecoverBackends = 3;
+  SimCluster cluster(kRecoverBackends, std::min<std::size_t>(2, replication),
+                     deployments, workers, max_batch);
+  const std::string victim = cluster.busiest_backend();
+  const double kill_at_s = recover_s / 3.0;
+  std::cout << "\n=== Recovery: kill '" << victim << "' (busiest of "
+            << kRecoverBackends << ") at t=" << abp::TextTable::fmt(kill_at_s, 2)
+            << "s ===\n\n";
+
+  bool killed = false;
+  const LoadResult r = drive_load(
+      cluster, deployments, recover_s, window, bucket_ms / 1e3,
+      [&](double t_s) {
+        if (!killed && t_s >= kill_at_s) {
+          cluster.sims.at(victim).dead.store(true, std::memory_order_release);
+          killed = true;
+        }
+      });
+
+  abp::TextTable curve({"t ms", "ok/bucket"});
+  for (std::size_t i = 0; i < r.ok_buckets.size(); ++i) {
+    const double t_ms = static_cast<double>(i) * bucket_ms;
+    curve.add_row({abp::TextTable::fmt(t_ms, 0) +
+                       (t_ms <= kill_at_s * 1e3 &&
+                                kill_at_s * 1e3 < t_ms + bucket_ms
+                            ? " <- kill"
+                            : ""),
+                   std::to_string(r.ok_buckets[i])});
+  }
+  curve.print(std::cout);
+
+  // Exactly-once accounting: every submission came back, and the survivors'
+  // ledgers reconcile.
+  bool healthy = true;
+  if (r.sent != r.ok + r.non_ok) {
+    healthy = false;
+    std::cout << "LOST REPLIES: sent " << r.sent << " != ok " << r.ok
+              << " + non-ok " << r.non_ok << "\n";
+  }
+  for (const auto& [name, sim] : cluster.sims) {
+    const abp::serve::ServiceMetrics& m = sim.service->metrics();
+    if (m.submitted() != m.completed() + m.shed_total()) {
+      healthy = false;
+      std::cout << "RECONCILIATION FAILURE: backend " << name << ": submitted "
+                << m.submitted() << " != completed " << m.completed()
+                << " + shed " << m.shed_total() << "\n";
+    }
+  }
+  const auto snapshot = cluster.metrics.backend_snapshot(victim);
+  std::cout << "\nanswered " << r.ok << " ok + " << r.non_ok
+            << " non-ok of " << r.sent << " sent; victim saw "
+            << snapshot.transport_failures << " transport failure(s), "
+            << "marked down " << snapshot.marked_down << "x\n"
+            << "Reading: the dip at the kill is the breaker tripping and"
+               " idempotent retries landing on the surviving replica; the"
+               " curve then holds at the 2-backend plateau without lost or"
+               " duplicated replies.\n";
+  return healthy ? 0 : 1;
+}

@@ -24,12 +24,20 @@
 /// gauge (must be 0 after stop) — the same invariants the chaos suite
 /// asserts, here checked at scale. The process fd limit is raised to the
 /// hard limit up front; sweep points that still do not fit are skipped
-/// with a note, never silently clamped.
+/// with a note, never silently clamped. Each sweep cell also samples the
+/// process's open-fd count (`/proc/self/fd`) throughout the run and
+/// reports the high-water mark, so the claim "epoll really held N
+/// concurrent sockets" is auditable from the numbers (and from the
+/// machine-readable dump written by `--json PATH`) instead of taken on
+/// faith from the connection count requested.
+#include <dirent.h>
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -225,6 +233,58 @@ std::size_t raise_fd_limit() {
   return static_cast<std::size_t>(lim.rlim_cur);
 }
 
+/// Number of open file descriptors right now, counted from /proc/self/fd.
+/// (The directory handle itself is open during the count; subtract it.)
+std::size_t count_open_fds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (!dir) return 0;
+  std::size_t count = 0;
+  while (const dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  ::closedir(dir);
+  return count > 0 ? count - 1 : 0;
+}
+
+/// Samples the process fd count on a background thread for the lifetime of
+/// the object and keeps the high-water mark. A sampled (not event-driven)
+/// maximum can only *under*-report, so a high-water ≥ the connection count
+/// is honest evidence the sockets were really concurrently open.
+class FdHighWaterSampler {
+ public:
+  FdHighWaterSampler()
+      : high_water_(count_open_fds()), sampler_([this] {
+          while (!stop_.load(std::memory_order_acquire)) {
+            const std::size_t now = count_open_fds();
+            std::size_t seen = high_water_.load(std::memory_order_relaxed);
+            while (now > seen &&
+                   !high_water_.compare_exchange_weak(seen, now)) {
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          }
+        }) {}
+
+  ~FdHighWaterSampler() {
+    if (sampler_.joinable()) stop_and_join();
+  }
+
+  /// Final high-water mark; stops sampling.
+  std::size_t finish() {
+    stop_and_join();
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void stop_and_join() {
+    stop_.store(true, std::memory_order_release);
+    sampler_.join();
+  }
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> high_water_;
+  std::thread sampler_;
+};
+
 std::vector<std::size_t> parse_conn_list(const std::string& text) {
   std::vector<std::size_t> out;
   std::istringstream is(text);
@@ -247,6 +307,7 @@ struct ScaleResult {
   std::uint64_t shed = 0;
   bool reconciled = false;
   std::size_t open_after_stop = 0;
+  std::size_t fd_high_water = 0;  ///< process-wide open-fd peak for the cell
 };
 
 struct WorkerStats {
@@ -354,6 +415,7 @@ ScaleResult run_conn_scaling(TransportKind kind, std::size_t conns,
   const std::unique_ptr<ServerTransport> transport =
       make_server_transport(kind, server, transport_options);
   transport->start();
+  FdHighWaterSampler fd_sampler;
 
   const std::size_t threads_n = std::min<std::size_t>(8, conns);
   StartGate gate;
@@ -380,6 +442,8 @@ ScaleResult run_conn_scaling(TransportKind kind, std::size_t conns,
 
   ScaleResult result;
   result.elapsed_s = steady_now_s() - start;
+  // Read the peak before teardown closes the sockets.
+  result.fd_high_water = fd_sampler.finish();
   transport->stop();
   server.shutdown();
   for (const WorkerStats& s : stats) {
@@ -420,6 +484,7 @@ int main(int argc, char** argv) {
   // transport only up to this many connections (the epoll rows keep going).
   const auto threaded_cap = static_cast<std::size_t>(
       flags.get_int("threaded-conn-cap", 64));
+  const std::string json_path = flags.get_string("json", "");
   flags.check_unused();
 
   std::cout << "=== Overload: goodput and tail latency vs admission control"
@@ -472,8 +537,17 @@ int main(int argc, char** argv) {
   double epoll_last_goodput = 0.0;  ///< at the largest epoll conn count run
   std::size_t epoll_last_conns = 0;
   abp::TextTable scale_table({"transport", "conns", "goodput q/s", "p50 ms",
-                              "p99 ms", "dead", "submitted", "completed",
-                              "shed", "reconciled"});
+                              "p99 ms", "dead", "fd hw", "submitted",
+                              "completed", "shed", "reconciled"});
+  struct SweepRow {
+    TransportKind kind;
+    std::size_t conns;
+    double goodput;
+    double p50_ms;
+    double p99_ms;
+    ScaleResult result;
+  };
+  std::vector<SweepRow> sweep_rows;
   for (const TransportKind kind :
        {TransportKind::kThreaded, TransportKind::kEpoll}) {
     for (const std::size_t conns : sweep) {
@@ -504,9 +578,11 @@ int main(int argc, char** argv) {
            std::to_string(static_cast<std::uint64_t>(goodput)),
            abp::TextTable::fmt(r.latency_us.p50() / 1e3, 2),
            abp::TextTable::fmt(r.latency_us.p99() / 1e3, 2),
-           std::to_string(r.dead_conns), std::to_string(r.submitted),
-           std::to_string(r.completed), std::to_string(r.shed),
-           r.reconciled ? "yes" : "NO"});
+           std::to_string(r.dead_conns), std::to_string(r.fd_high_water),
+           std::to_string(r.submitted), std::to_string(r.completed),
+           std::to_string(r.shed), r.reconciled ? "yes" : "NO"});
+      sweep_rows.push_back({kind, conns, goodput, r.latency_us.p50() / 1e3,
+                            r.latency_us.p99() / 1e3, r});
       if (!r.reconciled) {
         healthy = false;
         std::cout << "RECONCILIATION FAILURE: " << transport_kind_name(kind)
@@ -523,6 +599,30 @@ int main(int argc, char** argv) {
     }
   }
   scale_table.print(std::cout);
+  if (!json_path.empty()) {
+    // Machine-readable sweep dump: one object per cell, fd high-water
+    // included so "epoll held N concurrent sockets" is checkable by a
+    // script (fd_high_water must be >= conns for an honest cell).
+    std::ofstream json(json_path);
+    json << "[\n";
+    for (std::size_t i = 0; i < sweep_rows.size(); ++i) {
+      const SweepRow& row = sweep_rows[i];
+      const ScaleResult& r = row.result;
+      json << "  {\"transport\": \"" << transport_kind_name(row.kind)
+           << "\", \"conns\": " << row.conns
+           << ", \"goodput_qps\": " << static_cast<std::uint64_t>(row.goodput)
+           << ", \"p50_ms\": " << row.p50_ms << ", \"p99_ms\": " << row.p99_ms
+           << ", \"dead_conns\": " << r.dead_conns
+           << ", \"fd_high_water\": " << r.fd_high_water
+           << ", \"submitted\": " << r.submitted
+           << ", \"completed\": " << r.completed << ", \"shed\": " << r.shed
+           << ", \"reconciled\": " << (r.reconciled ? "true" : "false")
+           << ", \"open_after_stop\": " << r.open_after_stop << "}"
+           << (i + 1 < sweep_rows.size() ? "," : "") << "\n";
+    }
+    json << "]\n";
+    std::cout << "\nwrote sweep JSON to " << json_path << "\n";
+  }
   std::cout << "\nReading: the threaded transport's goodput is capped by its"
                " connection pool, while the epoll rows hold goodput as"
                " connections grow past the pool size — the event loop"

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Cluster smoke: a router fronting 2 real `abp serve` backends over
+# loopback TCP. Asserts (1) a routed query is byte-identical to the same
+# query against a direct single server, (2) after SIGKILLing one backend
+# the router fails the query over to the survivor and the response is
+# STILL byte-identical, (3) router stats are served locally.
+#
+# Usage: scripts/cluster_smoke.sh   (BUILD=<dir> to override build dir)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD=${BUILD:-build}
+ABP="$BUILD/tools/abp"
+WORK=$(mktemp -d)
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+QUERY_ARGS=(--type localize --points "10,10;50,50;80,20" --seq 1)
+
+# The announce line is flushed as soon as the transport binds; poll for it.
+port_of() {
+  local log=$1 port
+  for _ in $(seq 1 100); do
+    port=$(sed -nE 's/.*on 127\.0\.0\.1:([0-9]+).*/\1/p' "$log" | head -1)
+    if [ -n "$port" ]; then echo "$port"; return 0; fi
+    sleep 0.1
+  done
+  echo "FAIL: no announced port in $log" >&2
+  cat "$log" >&2
+  return 1
+}
+
+echo "== generate field =="
+"$ABP" generate --beacons 30 --out "$WORK/field.txt" --seed 5 >/dev/null
+
+echo "== start 2 backends + 1 direct reference server =="
+"$ABP" serve --field "$WORK/field.txt" --port 0 >"$WORK/b1.log" 2>&1 &
+B1_PID=$!
+"$ABP" serve --field "$WORK/field.txt" --port 0 >"$WORK/b2.log" 2>&1 &
+"$ABP" serve --field "$WORK/field.txt" --port 0 >"$WORK/direct.log" 2>&1 &
+B1_PORT=$(port_of "$WORK/b1.log")
+B2_PORT=$(port_of "$WORK/b2.log")
+DIRECT_PORT=$(port_of "$WORK/direct.log")
+
+echo "== start router (backends :$B1_PORT :$B2_PORT, replication 2) =="
+"$ABP" route --field "$WORK/field.txt" \
+  --backend "127.0.0.1:$B1_PORT" --backend "127.0.0.1:$B2_PORT" \
+  --replication 2 --port 0 >"$WORK/router.log" 2>&1 &
+ROUTER_PORT=$(port_of "$WORK/router.log")
+
+echo "== query: direct vs routed must be byte-identical =="
+"$ABP" query "${QUERY_ARGS[@]}" --connect "127.0.0.1:$DIRECT_PORT" \
+  >"$WORK/direct.out"
+"$ABP" query "${QUERY_ARGS[@]}" --connect "127.0.0.1:$ROUTER_PORT" \
+  >"$WORK/routed1.out"
+diff "$WORK/direct.out" "$WORK/routed1.out" || {
+  echo "FAIL: routed response differs from direct response" >&2; exit 1; }
+
+echo "== kill backend 1 (pid $B1_PID), query again =="
+kill -KILL "$B1_PID"
+"$ABP" query "${QUERY_ARGS[@]}" --connect "127.0.0.1:$ROUTER_PORT" \
+  >"$WORK/routed2.out"
+diff "$WORK/direct.out" "$WORK/routed2.out" || {
+  echo "FAIL: post-kill routed response differs from direct response" >&2
+  exit 1; }
+
+echo "== router stats are answered locally =="
+"$ABP" query --type stats --seq 2 --connect "127.0.0.1:$ROUTER_PORT" \
+  >"$WORK/stats.out"
+grep -q "abp-route-stats" "$WORK/stats.out" || {
+  echo "FAIL: router stats missing abp-route-stats body" >&2
+  cat "$WORK/stats.out" >&2
+  exit 1; }
+
+echo "PASS: routed == direct before and after backend kill"

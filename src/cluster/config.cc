@@ -1,0 +1,109 @@
+#include "cluster/config.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/assert.h"
+
+namespace abp::cluster {
+
+namespace {
+
+std::size_t get_size(const Flags& flags, const std::string& key,
+                     std::size_t def) {
+  const int value = flags.get_int(key, static_cast<int>(def));
+  ABP_CHECK(value >= 0, "--" + key + " must be non-negative");
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+RouterConfig RouterConfig::from_flags(const Flags& flags) {
+  RouterConfig config;
+  config.backends = flags.get_strings("backend");
+  config.replication = std::max<std::size_t>(
+      1, get_size(flags, "replication", 1));
+  config.heartbeat_ms = flags.get_double("heartbeat-ms", 1000.0);
+  config.failure_threshold = std::max<std::size_t>(
+      1, get_size(flags, "failure-threshold", 3));
+  config.connect_timeout_s = flags.get_double("connect-timeout-s", 2.0);
+
+  config.field_path = flags.get_string("field", "");
+  config.name = flags.get_string("name", "default");
+
+  const std::string transport = flags.get_string("transport", "threaded");
+  const std::optional<serve::TransportKind> kind =
+      serve::transport_kind_from_name(transport);
+  ABP_CHECK(kind.has_value(),
+            "unknown --transport: " + transport + " (want threaded|epoll)");
+  config.transport = *kind;
+  const int port = flags.get_int("port", 0);
+  ABP_CHECK(port >= 0 && port <= 65535, "--port must be in [0, 65535]");
+  config.port = static_cast<std::uint16_t>(port);
+  config.event_shards =
+      std::max<std::size_t>(1, get_size(flags, "event-shards", 1));
+  config.max_inflight = get_size(flags, "max-inflight", 0);
+  config.retry_after_hint_ms =
+      static_cast<std::uint32_t>(get_size(flags, "retry-after-ms", 50));
+  config.read_timeout_s = flags.get_double("read-timeout-s", 30.0);
+  config.write_timeout_s = flags.get_double("write-timeout-s", 5.0);
+
+  config.validate();
+  return config;
+}
+
+void RouterConfig::validate() const {
+  ABP_CHECK(!backends.empty(),
+            "route requires at least one --backend host:port");
+  std::set<std::string> unique;
+  for (const std::string& backend : backends) {
+    try {
+      parse_backend_address(backend);
+    } catch (const serve::ServeError& e) {
+      ABP_CHECK(false, std::string("--backend: ") + e.what());
+    }
+    ABP_CHECK(unique.insert(backend).second,
+              "duplicate --backend " + backend);
+  }
+  ABP_CHECK(!field_path.empty(), "route requires --field");
+  ABP_CHECK(replication >= 1, "--replication must be at least 1");
+  ABP_CHECK(replication <= backends.size(),
+            "--replication exceeds the backend count");
+  ABP_CHECK(heartbeat_ms > 0.0, "--heartbeat-ms must be positive");
+  ABP_CHECK(failure_threshold >= 1,
+            "--failure-threshold must be at least 1");
+  ABP_CHECK(connect_timeout_s > 0.0, "--connect-timeout-s must be positive");
+  if (event_shards > 1) {
+    ABP_CHECK(transport == serve::TransportKind::kEpoll,
+              "--event-shards > 1 requires --transport epoll");
+  }
+  ABP_CHECK(read_timeout_s > 0.0 && write_timeout_s > 0.0,
+            "timeouts must be positive");
+}
+
+BackendPoolOptions RouterConfig::pool_options() const {
+  BackendPoolOptions options;
+  options.failure_threshold = failure_threshold;
+  options.probe_interval_ms = heartbeat_ms;
+  options.connect_timeout_s = connect_timeout_s;
+  return options;
+}
+
+Router::Options RouterConfig::router_options() const {
+  Router::Options options;
+  options.retry_after_hint_ms = retry_after_hint_ms;
+  return options;
+}
+
+serve::TransportOptions RouterConfig::transport_options() const {
+  serve::TransportOptions options;
+  options.port = port;
+  options.read_timeout_s = read_timeout_s;
+  options.write_timeout_s = write_timeout_s;
+  options.max_inflight = max_inflight;
+  options.conn_workers = 2;
+  options.event_shards = event_shards;
+  return options;
+}
+
+}  // namespace abp::cluster

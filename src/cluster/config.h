@@ -1,0 +1,59 @@
+/// \file config.h
+/// \brief Validated configuration for `abp route`.
+///
+/// Same shape as `serve::ServeConfig`: one parse-and-validate path
+/// (`from_flags`) so every invalid flag combination is rejected with one
+/// diagnostic style before any socket is opened, plus projections onto the
+/// engine option types (`BackendPoolOptions`, `Router::Options`,
+/// `TransportOptions`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/backend_pool.h"
+#include "cluster/router.h"
+#include "common/flags.h"
+#include "serve/server_transport.h"
+
+namespace abp::cluster {
+
+struct RouterConfig {
+  /// Backends, repeated `--backend host:port` (order-insensitive: the ring
+  /// sorts placement by hash, not by flag order).
+  std::vector<std::string> backends;
+  /// Owners per deployment (clamped to the backend count by the ring).
+  std::size_t replication = 1;
+  /// Heartbeat probe cadence.
+  double heartbeat_ms = 1000.0;
+  /// Consecutive failures that trip a backend's breaker.
+  std::size_t failure_threshold = 3;
+  double connect_timeout_s = 2.0;
+
+  /// The single deployment this router seeds (mirrors `abp serve`).
+  std::string field_path;
+  std::string name = "default";
+
+  /// Client-facing transport (same surface as `abp serve`).
+  serve::TransportKind transport = serve::TransportKind::kThreaded;
+  std::uint16_t port = 0;
+  std::size_t event_shards = 1;
+  std::size_t max_inflight = 0;
+  std::uint32_t retry_after_hint_ms = 50;
+  double read_timeout_s = 30.0;
+  double write_timeout_s = 5.0;
+
+  /// Parses and validates; throws `CheckFailure` with a flag-level
+  /// diagnostic on any invalid value or combination.
+  static RouterConfig from_flags(const Flags& flags);
+
+  /// Re-check invariants on a directly constructed config.
+  void validate() const;
+
+  BackendPoolOptions pool_options() const;
+  Router::Options router_options() const;
+  serve::TransportOptions transport_options() const;
+};
+
+}  // namespace abp::cluster

@@ -1,0 +1,140 @@
+#include "cluster/replicator.h"
+
+#include <condition_variable>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace abp::cluster {
+
+Replicator::Replicator(BackendPool& pool, const HashRing& ring,
+                       std::size_t replication,
+                       serve::RouterMetrics& metrics)
+    : pool_(&pool),
+      ring_(&ring),
+      replication_(replication ? replication : 1),
+      metrics_(&metrics) {}
+
+std::uint64_t Replicator::set_deployment(const std::string& name,
+                                         std::string field_text) {
+  ABP_CHECK(serve::valid_field_name(name),
+            "bad deployment name: '" + name + "'");
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot& snapshot = deployments_[name];
+  snapshot.field_text = std::move(field_text);
+  ++snapshot.version;
+  return snapshot.version;
+}
+
+std::uint64_t Replicator::version(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = deployments_.find(name);
+  return it == deployments_.end() ? 0 : it->second.version;
+}
+
+std::vector<std::string> Replicator::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(deployments_.size());
+  for (const auto& [name, unused] : deployments_) out.push_back(name);
+  return out;
+}
+
+std::string Replicator::list_text() const {
+  std::string out;
+  for (const std::string& name : names()) {
+    out += name;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> Replicator::owners(const std::string& name) const {
+  return ring_->owners(name, replication_);
+}
+
+serve::Request Replicator::install_request(const std::string& name) const {
+  serve::Request request;
+  request.endpoint = serve::Endpoint::kSnapshot;
+  request.field = name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = deployments_.find(name);
+    ABP_CHECK(it != deployments_.end(), "unknown deployment: " + name);
+    request.text = it->second.field_text;
+    request.version = it->second.version;
+  }
+  return request;
+}
+
+std::size_t Replicator::sync_all() {
+  // Counting latch: every accepted enqueue must come back (reply or
+  // failure) before startup proceeds, so the first forwarded query never
+  // races its own deployment's install.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t outstanding = 0;
+    std::size_t ok = 0;
+  };
+  auto latch = std::make_shared<Latch>();
+  for (const std::string& name : names()) {
+    for (const std::string& backend : owners(name)) {
+      BackendPool::Forward forward;
+      forward.request = install_request(name);
+      forward.on_reply = [this, latch, backend](std::string payload) {
+        const auto response = serve::parse_response(payload);
+        const bool ok =
+            response && response->status == serve::Status::kOk;
+        if (ok) metrics_->record_install(backend);
+        std::lock_guard<std::mutex> lock(latch->mu);
+        if (ok) ++latch->ok;
+        --latch->outstanding;
+        latch->cv.notify_all();
+      };
+      forward.on_failure = [latch] {
+        std::lock_guard<std::mutex> lock(latch->mu);
+        --latch->outstanding;
+        latch->cv.notify_all();
+      };
+      {
+        std::lock_guard<std::mutex> lock(latch->mu);
+        ++latch->outstanding;
+      }
+      if (!pool_->enqueue(backend, std::move(forward))) {
+        std::lock_guard<std::mutex> lock(latch->mu);
+        --latch->outstanding;
+      }
+    }
+  }
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&latch] { return latch->outstanding == 0; });
+  return latch->ok;
+}
+
+void Replicator::sync_backend(const std::string& backend) {
+  for (const std::string& name : names()) {
+    bool owned = false;
+    for (const std::string& owner : owners(name)) {
+      if (owner == backend) {
+        owned = true;
+        break;
+      }
+    }
+    if (!owned) continue;
+    BackendPool::Forward forward;
+    forward.request = install_request(name);
+    forward.on_reply = [this, backend](std::string payload) {
+      const auto response = serve::parse_response(payload);
+      if (response && response->status == serve::Status::kOk) {
+        metrics_->record_install(backend);
+      }
+    };
+    // Best-effort: a failed resync install leaves the backend stale, and
+    // the per-query version fence catches that on the next forward.
+    forward.on_failure = [] {};
+    pool_->enqueue(backend, std::move(forward));
+  }
+}
+
+}  // namespace abp::cluster

@@ -1,0 +1,86 @@
+/// \file replicator.h
+/// \brief Deployment snapshot replication for the cluster router.
+///
+/// The router is the source of truth for which deployments exist and what
+/// field each one serves. Backends are cattle: they boot empty (or with a
+/// placeholder field) and receive their state as versioned snapshot
+/// installs over the ordinary wire protocol — a `snapshot` request whose
+/// `text` block carries the serialized field and whose `version` record
+/// stamps the deployment. Versioning closes the staleness window:
+///
+///  * Every forwarded query is stamped with the router's version for its
+///    deployment.
+///  * A backend whose deployment is at a different version answers
+///    `version-mismatch` (retryable) instead of silently serving stale
+///    beacons.
+///  * The router repairs the mismatch by enqueueing a fresh install ahead
+///    of the retried query on the same backend FIFO — ordering, not
+///    locking, guarantees install-before-retry.
+///
+/// `sync_all()` pushes every deployment to all its ring owners and blocks
+/// until each install is acknowledged or failed (startup barrier).
+/// `sync_backend()` is the async recovery path: when the pool's breaker
+/// closes on a recovered backend, the deployments that backend owns are
+/// re-enqueued without blocking the prober.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/backend_pool.h"
+#include "cluster/ring.h"
+
+namespace abp::cluster {
+
+class Replicator {
+ public:
+  /// `replication` is the owner count per deployment (clamped to ring size).
+  Replicator(BackendPool& pool, const HashRing& ring, std::size_t replication,
+             serve::RouterMetrics& metrics);
+
+  /// Register (or replace) a deployment's field snapshot; bumps the version
+  /// and returns it. Does not push — call `sync_all`/`sync_backend`.
+  std::uint64_t set_deployment(const std::string& name,
+                               std::string field_text);
+
+  /// Current version for `name`; 0 when unknown.
+  std::uint64_t version(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+  /// One name per line (the router serves `list-fields` locally from this).
+  std::string list_text() const;
+
+  /// Owners of `name` under this replicator's replication factor.
+  std::vector<std::string> owners(const std::string& name) const;
+
+  /// Push every deployment to all its owners; blocks until each install is
+  /// acknowledged or failed. Returns the number of successful installs.
+  std::size_t sync_all();
+
+  /// Async resync of every deployment `backend` owns (breaker-recovery
+  /// path; runs on a pool worker thread, must not block).
+  void sync_backend(const std::string& backend);
+
+  /// Build the install request for `name` at its current version (also
+  /// used by the router's mismatch-repair path).
+  serve::Request install_request(const std::string& name) const;
+
+ private:
+  struct Snapshot {
+    std::string field_text;
+    std::uint64_t version = 0;
+  };
+
+  BackendPool* pool_;
+  const HashRing* ring_;
+  std::size_t replication_;
+  serve::RouterMetrics* metrics_;
+  mutable std::mutex mu_;
+  std::map<std::string, Snapshot> deployments_;  ///< guarded by mu_
+};
+
+}  // namespace abp::cluster

@@ -1,0 +1,64 @@
+#include "cluster/ring.h"
+
+#include "rng/hash.h"
+
+namespace abp::cluster {
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes ? vnodes : 1) {}
+
+std::uint64_t HashRing::hash_key(std::string_view key) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  for (const unsigned char c : key) h = stable_hash64(h, c);
+  return h;
+}
+
+void HashRing::add_node(const std::string& node) {
+  if (!nodes_.insert(node).second) return;
+  const std::uint64_t base = hash_key(node);
+  for (std::size_t i = 0; i < vnodes_; ++i) {
+    // Collisions between virtual points are vanishingly rare but would
+    // silently drop a point via operator[]; emplace keeps the first owner
+    // deterministically (ties broken by insertion order = sorted adds).
+    ring_.emplace(stable_hash64(base, static_cast<std::uint64_t>(i)), node);
+  }
+}
+
+void HashRing::remove_node(const std::string& node) {
+  if (nodes_.erase(node) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == node ? ring_.erase(it) : std::next(it);
+  }
+}
+
+bool HashRing::contains(const std::string& node) const {
+  return nodes_.count(node) != 0;
+}
+
+std::vector<std::string> HashRing::nodes() const {
+  return {nodes_.begin(), nodes_.end()};
+}
+
+std::vector<std::string> HashRing::owners(std::string_view key,
+                                          std::size_t replicas) const {
+  std::vector<std::string> result;
+  if (ring_.empty() || replicas == 0) return result;
+  const std::size_t want = std::min(replicas, nodes_.size());
+  result.reserve(want);
+  auto it = ring_.lower_bound(hash_key(key));
+  // Clockwise walk, wrapping at the end, skipping backends already chosen.
+  for (std::size_t steps = 0; steps < ring_.size() && result.size() < want;
+       ++steps, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    bool seen = false;
+    for (const std::string& chosen : result) {
+      if (chosen == it->second) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) result.push_back(it->second);
+  }
+  return result;
+}
+
+}  // namespace abp::cluster

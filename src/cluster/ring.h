@@ -1,0 +1,56 @@
+/// \file ring.h
+/// \brief Consistent-hash routing table for the cluster router.
+///
+/// Deployments are assigned to backends by consistent hashing: each backend
+/// contributes `vnodes` virtual points on a 64-bit ring (stable hashes of
+/// `backend#i`), and a deployment name owns the first `replicas` *distinct*
+/// backends clockwise from its own hash. Properties the router relies on:
+///
+///  * **Stability** — adding or removing one backend remaps only the keys
+///    whose owner arcs touch that backend (~1/N of the space), so a cluster
+///    resize does not re-shuffle every deployment.
+///  * **Determinism** — placement is a pure function of the backend set and
+///    the deployment name (`stable_hash64`, no RNG), so a restarted router
+///    computes the identical table and tests can assert exact ownership.
+///  * **Replica spread** — the clockwise walk skips virtual points of
+///    backends already chosen, so `owners()` returns `replicas` distinct
+///    backends whenever the ring has that many.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abp::cluster {
+
+class HashRing {
+ public:
+  /// `vnodes` virtual points per backend; more points smooth the load
+  /// split at the cost of a larger table (lookup stays O(log(N·vnodes))).
+  explicit HashRing(std::size_t vnodes = 64);
+
+  void add_node(const std::string& node);
+  void remove_node(const std::string& node);
+  bool contains(const std::string& node) const;
+  std::size_t node_count() const { return nodes_.size(); }
+  std::vector<std::string> nodes() const;
+
+  /// The first `replicas` distinct nodes clockwise from `key`'s hash, in
+  /// preference order (fewer if the ring holds fewer nodes; empty on an
+  /// empty ring).
+  std::vector<std::string> owners(std::string_view key,
+                                  std::size_t replicas) const;
+
+  /// Stable 64-bit digest used for both keys and virtual points.
+  static std::uint64_t hash_key(std::string_view key);
+
+ private:
+  std::size_t vnodes_;
+  std::map<std::uint64_t, std::string> ring_;  ///< point → backend
+  std::set<std::string> nodes_;
+};
+
+}  // namespace abp::cluster

@@ -1,0 +1,245 @@
+#include "cluster/router.h"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+namespace abp::cluster {
+
+namespace {
+
+double steady_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string rejection_payload(std::uint64_t seq, serve::Status status,
+                              const std::string& message,
+                              std::uint32_t retry_after_ms = 0) {
+  serve::Response response;
+  response.seq = seq;
+  response.status = status;
+  response.message = message;
+  response.retry_after_ms = retry_after_ms;
+  return serve::format_response(response);
+}
+
+}  // namespace
+
+Router::Router(const HashRing& ring, BackendPool& pool,
+               Replicator& replicator, serve::RouterMetrics& metrics,
+               Options options)
+    : ring_(&ring),
+      pool_(&pool),
+      replicator_(&replicator),
+      metrics_(&metrics),
+      options_(std::move(options)) {}
+
+double Router::now_ms() const {
+  return options_.clock_ms ? options_.clock_ms() : steady_now_ms();
+}
+
+void Router::record_bad_frame(std::size_t bytes_in) {
+  (void)bytes_in;
+  metrics_->record_received();
+  metrics_->record_local();
+}
+
+void Router::answer_local(std::uint64_t seq, std::string text,
+                          const std::function<void(std::string)>& reply) {
+  metrics_->record_local();
+  serve::Response response;
+  response.seq = seq;
+  response.status = serve::Status::kOk;
+  response.text = std::move(text);
+  reply(serve::format_response_capped(response));
+}
+
+void Router::submit(std::string payload,
+                    std::function<void(std::string)> reply) {
+  metrics_->record_received();
+  std::string parse_error;
+  std::optional<serve::Request> request =
+      serve::parse_request(payload, &parse_error);
+  if (!request) {
+    metrics_->record_local();
+    reply(rejection_payload(0, serve::Status::kBadRequest, parse_error));
+    return;
+  }
+  switch (request->endpoint) {
+    case serve::Endpoint::kStats:
+      answer_local(request->seq, metrics_->render_text(), reply);
+      return;
+    case serve::Endpoint::kListFields:
+      answer_local(request->seq, replicator_->list_text(), reply);
+      return;
+    default:
+      break;
+  }
+  if (request->endpoint == serve::Endpoint::kSnapshot &&
+      !request->text.empty()) {
+    // Snapshot *installs* are router-internal: accepting one from a client
+    // would mutate a single backend behind the replicator's back and
+    // desynchronize the version registry. (Snapshot *fetches* route
+    // normally.)
+    metrics_->record_local();
+    reply(rejection_payload(request->seq, serve::Status::kBadRequest,
+                            "snapshot installs are managed by the router"));
+    return;
+  }
+  const std::uint64_t version = replicator_->version(request->field);
+  if (version == 0) {
+    metrics_->record_local();
+    reply(rejection_payload(request->seq, serve::Status::kNotFound,
+                            "unknown deployment '" + request->field + "'"));
+    return;
+  }
+  auto state = std::make_shared<CallState>();
+  state->request = std::move(*request);
+  state->request.version = version;
+  state->owners = replicator_->owners(state->request.field);
+  state->reply = std::move(reply);
+  route(std::move(state), /*is_retry=*/false);
+}
+
+void Router::shed_overloaded(std::string payload,
+                             std::function<void(std::string)> reply,
+                             const std::string& why) {
+  metrics_->record_received();
+  metrics_->record_local();
+  std::string parse_error;
+  const std::optional<serve::Request> request =
+      serve::parse_request(payload, &parse_error);
+  if (!request) {
+    reply(rejection_payload(0, serve::Status::kBadRequest, parse_error));
+    return;
+  }
+  reply(rejection_payload(request->seq, serve::Status::kOverloaded, why,
+                          options_.retry_after_hint_ms));
+}
+
+void Router::route(std::shared_ptr<CallState> state, bool is_retry) {
+  while (state->next_owner < state->owners.size()) {
+    const std::string backend = state->owners[state->next_owner];
+    BackendPool::Forward forward;
+    forward.request = state->request;
+    forward.on_reply = [this, state, backend](std::string payload) {
+      handle_reply(state, backend, std::move(payload));
+    };
+    forward.on_failure = [this, state, backend] {
+      handle_failure(state, backend);
+    };
+    if (pool_->enqueue(backend, std::move(forward))) {
+      metrics_->record_forward(backend);
+      if (is_retry) metrics_->record_retry(backend);
+      return;
+    }
+    // Breaker refused — the request never left the router, so moving on is
+    // safe even for non-idempotent endpoints.
+    ++state->next_owner;
+  }
+  metrics_->record_unrouted();
+  finish_unavailable(state, "no live replica for deployment '" +
+                                state->request.field + "'");
+}
+
+void Router::handle_failure(const std::shared_ptr<CallState>& state,
+                            const std::string& backend) {
+  // The transport died with the request possibly executed. Idempotent
+  // endpoints fail over; add-beacon must not risk double execution.
+  if (serve::endpoint_idempotent(state->request.endpoint) &&
+      state->next_owner + 1 < state->owners.size()) {
+    ++state->next_owner;
+    route(state, /*is_retry=*/true);
+    return;
+  }
+  finish_unavailable(state, "backend '" + backend +
+                                "' failed before replying; retry");
+}
+
+void Router::handle_reply(const std::shared_ptr<CallState>& state,
+                          const std::string& backend, std::string payload) {
+  std::optional<serve::Response> response = serve::parse_response(payload);
+  if (!response) {
+    handle_failure(state, backend);
+    return;
+  }
+  switch (response->status) {
+    case serve::Status::kVersionMismatch: {
+      metrics_->record_version_mismatch(backend);
+      if (state->repaired) {
+        // Repair already spent: hand the (retryable) status to the client
+        // rather than loop.
+        metrics_->record_result(backend, response->status);
+        deliver(state, backend, std::move(*response));
+        return;
+      }
+      state->repaired = true;
+      // Install-then-retry on the same backend FIFO: per-backend ordering
+      // guarantees the fresh snapshot lands before the retried request.
+      BackendPool::Forward install;
+      install.request = replicator_->install_request(state->request.field);
+      install.on_reply = [this, backend](std::string install_payload) {
+        const auto ack = serve::parse_response(install_payload);
+        if (ack && ack->status == serve::Status::kOk) {
+          metrics_->record_install(backend);
+        }
+      };
+      install.on_failure = [] {};
+      if (!pool_->enqueue(backend, std::move(install))) {
+        handle_failure(state, backend);
+        return;
+      }
+      BackendPool::Forward retry;
+      retry.request = state->request;
+      retry.on_reply = [this, state, backend](std::string retry_payload) {
+        handle_reply(state, backend, std::move(retry_payload));
+      };
+      retry.on_failure = [this, state, backend] {
+        handle_failure(state, backend);
+      };
+      if (!pool_->enqueue(backend, std::move(retry))) {
+        handle_failure(state, backend);
+        return;
+      }
+      metrics_->record_forward(backend);
+      return;
+    }
+    case serve::Status::kUnavailable:
+      // The backend is draining or shutting down — same recovery as a
+      // transport failure.
+      metrics_->record_result(backend, response->status);
+      if (serve::endpoint_idempotent(state->request.endpoint) &&
+          state->next_owner + 1 < state->owners.size()) {
+        ++state->next_owner;
+        route(state, /*is_retry=*/true);
+        return;
+      }
+      deliver(state, backend, std::move(*response));
+      return;
+    default:
+      metrics_->record_result(backend, response->status);
+      deliver(state, backend, std::move(*response));
+      return;
+  }
+}
+
+void Router::deliver(const std::shared_ptr<CallState>& state,
+                     const std::string& backend,
+                     serve::Response response) {
+  (void)backend;
+  // Strip the router↔backend version record so a routed response is
+  // byte-identical to a direct single-server one.
+  response.version = 0;
+  state->reply(serve::format_response_capped(response));
+}
+
+void Router::finish_unavailable(const std::shared_ptr<CallState>& state,
+                                const std::string& why) {
+  state->reply(rejection_payload(state->request.seq,
+                                 serve::Status::kUnavailable, why,
+                                 options_.retry_after_hint_ms));
+}
+
+}  // namespace abp::cluster

@@ -1,0 +1,108 @@
+/// \file router.h
+/// \brief Cluster request router: a `FrameSink` that forwards instead of
+/// executing.
+///
+/// The router terminates client connections with the exact same transport
+/// machinery as a single server — `make_server_transport` accepts any
+/// `FrameSink`, and `Router` is one — so `abp query` speaks to a cluster
+/// without knowing it. Per submitted payload:
+///
+///  * `stats` and `list-fields` are answered locally (router metrics, the
+///    replicator's deployment registry).
+///  * Everything else is routed by deployment name: the consistent-hash
+///    ring yields the replica preference order, the request is stamped with
+///    the router's snapshot version, and it is forwarded to the first
+///    replica whose breaker admits it.
+///
+/// Retry semantics, in order of what can go wrong:
+///
+///  * **Breaker refuses** (backend marked down): the next replica is tried
+///    — the request never left the router, so this is always safe. No live
+///    replica ⇒ retryable `unavailable` with a retry-after hint.
+///  * **Transport dies mid-request**: the request may or may not have
+///    executed. Idempotent endpoints (everything but `add-beacon`) fail
+///    over to the next replica; `add-beacon` is answered `unavailable` and
+///    the client decides.
+///  * **Backend answers `version-mismatch`** (stale snapshot): the router
+///    enqueues a fresh install followed by the original request on the
+///    same backend FIFO — per-backend ordering guarantees the install
+///    lands first. One repair per request; a second mismatch is forwarded
+///    to the client as the retryable status it is.
+///  * **Backend answers `unavailable`** (backend shutting down): treated
+///    like a transport failure — fail over if idempotent.
+///
+/// `overloaded` and `deadline-exceeded` pass through untouched: the backend
+/// answered authoritatively and the client's retry policy owns backoff.
+/// Responses are re-encoded with the version record stripped, which makes
+/// a routed response byte-identical to a direct single-server one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cluster/backend_pool.h"
+#include "cluster/replicator.h"
+#include "cluster/ring.h"
+#include "serve/frame_sink.h"
+#include "serve/metrics.h"
+
+namespace abp::cluster {
+
+struct RouterOptions {
+  /// Retry-after hint attached to router-side sheds (`unavailable`).
+  std::uint32_t retry_after_hint_ms = 50;
+  /// Injectable monotonic clock (milliseconds); defaults to steady_clock.
+  std::function<double()> clock_ms;
+};
+
+class Router final : public serve::FrameSink {
+ public:
+  using Options = RouterOptions;
+
+  /// The ring must not change while the router serves (placement is
+  /// startup-static in this PR).
+  Router(const HashRing& ring, BackendPool& pool, Replicator& replicator,
+         serve::RouterMetrics& metrics, Options options = {});
+
+  void submit(std::string payload,
+              std::function<void(std::string)> reply) override;
+  void shed_overloaded(std::string payload,
+                       std::function<void(std::string)> reply,
+                       const std::string& why) override;
+  void record_bad_frame(std::size_t bytes_in) override;
+  double now_ms() const override;
+
+ private:
+  /// Per-request routing state, owned by the callback chain. Exactly one
+  /// reply reaches the client: the chain either delivers a backend
+  /// response or finishes with a router-side shed.
+  struct CallState {
+    serve::Request request;
+    std::vector<std::string> owners;  ///< replica preference order
+    std::size_t next_owner = 0;       ///< index of the attempt in flight
+    bool repaired = false;            ///< one version-mismatch repair spent
+    std::function<void(std::string)> reply;
+  };
+
+  void route(std::shared_ptr<CallState> state, bool is_retry);
+  void handle_reply(const std::shared_ptr<CallState>& state,
+                    const std::string& backend, std::string payload);
+  void handle_failure(const std::shared_ptr<CallState>& state,
+                      const std::string& backend);
+  void deliver(const std::shared_ptr<CallState>& state,
+               const std::string& backend, serve::Response response);
+  void finish_unavailable(const std::shared_ptr<CallState>& state,
+                          const std::string& why);
+  void answer_local(std::uint64_t seq, std::string text,
+                    const std::function<void(std::string)>& reply);
+
+  const HashRing* ring_;
+  BackendPool* pool_;
+  Replicator* replicator_;
+  serve::RouterMetrics* metrics_;
+  Options options_;
+};
+
+}  // namespace abp::cluster

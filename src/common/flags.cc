@@ -26,7 +26,8 @@ Flags::Flags(int argc, const char* const* argv) {
       value = argv[++i];
     }
     ABP_CHECK(!key.empty(), "empty flag name");
-    values_[key] = value;
+    occurrences_[key].push_back(value);
+    values_[key] = std::move(value);
   }
 }
 
@@ -42,6 +43,13 @@ bool Flags::has(const std::string& key) const { return raw(key).has_value(); }
 std::string Flags::get_string(const std::string& key, std::string def) const {
   const auto v = raw(key);
   return v ? *v : def;
+}
+
+std::vector<std::string> Flags::get_strings(const std::string& key) const {
+  const auto it = occurrences_.find(key);
+  if (it == occurrences_.end()) return {};
+  used_.insert(key);
+  return it->second;
 }
 
 int Flags::get_int(const std::string& key, int def) const {

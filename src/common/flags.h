@@ -27,6 +27,9 @@ class Flags {
   bool has(const std::string& key) const;
 
   std::string get_string(const std::string& key, std::string def) const;
+  /// Every value supplied for a repeated `--key` in command-line order;
+  /// empty if the flag is absent. (The scalar getters see the last one.)
+  std::vector<std::string> get_strings(const std::string& key) const;
   int get_int(const std::string& key, int def) const;
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;
@@ -43,7 +46,8 @@ class Flags {
   std::optional<std::string> raw(const std::string& key) const;
 
   std::string program_;
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> values_;  ///< last occurrence per key
+  std::map<std::string, std::vector<std::string>> occurrences_;
   std::vector<std::string> positional_;
   mutable std::set<std::string> used_;
 };

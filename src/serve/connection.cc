@@ -1,23 +1,24 @@
 #include "serve/connection.h"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 
 #include <cerrno>
 #include <utility>
 
 namespace abp::serve {
 
-Connection::Connection(std::uint64_t id, Server& server, Limits limits,
+Connection::Connection(std::uint64_t id, FrameSink& sink, Limits limits,
                        std::function<void()> wake)
-    : id_(id), server_(&server), limits_(limits), wake_(std::move(wake)) {
-  last_activity_ms_ = server_->now_ms();
+    : id_(id), sink_(&sink), limits_(limits), wake_(std::move(wake)) {
+  last_activity_ms_ = sink_->now_ms();
 }
 
 void Connection::on_bytes(std::string_view bytes) {
   decoder_.feed(bytes);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    last_activity_ms_ = server_->now_ms();
+    last_activity_ms_ = sink_->now_ms();
   }
   while (std::optional<std::string> payload = decoder_.next()) {
     bool shed = false;
@@ -33,13 +34,13 @@ void Connection::on_bytes(std::string_view bytes) {
       self->complete(ticket, std::move(response_payload));
     };
     if (shed) {
-      server_->shed_overloaded(
+      sink_->shed_overloaded(
           std::move(*payload), std::move(reply),
           "connection in-flight limit (" +
               std::to_string(limits_.max_inflight) +
               ") reached; retry with backoff");
     } else {
-      server_->submit(std::move(*payload), std::move(reply));
+      sink_->submit(std::move(*payload), std::move(reply));
     }
   }
   if (decoder_.corrupt() && !corrupt_reported_) {
@@ -47,7 +48,7 @@ void Connection::on_bytes(std::string_view bytes) {
     // final diagnostic (it takes the last ticket, so ordering holds), after
     // which the transport flushes and hangs up.
     corrupt_reported_ = true;
-    server_->service().metrics().record_bad_frame(decoder_.buffered());
+    sink_->record_bad_frame(decoder_.buffered());
     Response response;
     response.status = Status::kBadRequest;
     response.message = decoder_.error();
@@ -67,22 +68,24 @@ void Connection::complete(std::uint64_t ticket, std::string payload) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     --inflight_;
-    last_activity_ms_ = server_->now_ms();
-    const bool was_empty = write_buf_.empty();
+    last_activity_ms_ = sink_->now_ms();
+    const bool was_empty = write_queue_.empty();
     ready_.emplace(ticket, encode_frame(payload));
     // Release the in-order prefix: pipelined clients match responses to
-    // requests positionally, so ticket order is the contract.
+    // requests positionally, so ticket order is the contract. Each frame
+    // stays its own buffer all the way to writev.
     for (auto it = ready_.find(next_release_); it != ready_.end();
          it = ready_.find(next_release_)) {
-      write_buf_ += it->second;
+      write_queue_bytes_ += it->second.size();
       unacked_bytes_ += it->second.size();
+      write_queue_.push_back(std::move(it->second));
       ready_.erase(it);
       ++next_release_;
     }
     if (!paused_ && unacked_bytes_ > limits_.write_high_watermark) {
       paused_ = true;  // peer is not draining responses; stop reading
     }
-    need_wake = was_empty && !write_buf_.empty();
+    need_wake = was_empty && !write_queue_.empty();
     if (need_wake) wake = wake_;  // copy under the lock; see disarm_wake()
   }
   if (need_wake && wake) wake();
@@ -93,24 +96,30 @@ void Connection::disarm_wake() {
   wake_ = nullptr;
 }
 
+std::size_t Connection::fetch_writable(std::deque<std::string>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = write_queue_bytes_;
+  while (!write_queue_.empty()) {
+    out.push_back(std::move(write_queue_.front()));
+    write_queue_.pop_front();
+  }
+  write_queue_bytes_ = 0;
+  return n;
+}
+
 std::size_t Connection::fetch_writable(std::string& out) {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::size_t n = write_buf_.size();
-  if (n != 0) {
-    if (out.empty()) {
-      out = std::move(write_buf_);
-    } else {
-      out += write_buf_;
-    }
-    write_buf_.clear();
-  }
+  const std::size_t n = write_queue_bytes_;
+  for (std::string& frame : write_queue_) out += frame;
+  write_queue_.clear();
+  write_queue_bytes_ = 0;
   return n;
 }
 
 void Connection::wrote(std::size_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   unacked_bytes_ -= n;
-  last_activity_ms_ = server_->now_ms();
+  last_activity_ms_ = sink_->now_ms();
   if (paused_ && unacked_bytes_ <= limits_.write_low_watermark) {
     paused_ = false;
   }
@@ -124,12 +133,12 @@ bool Connection::want_read() const {
 
 bool Connection::has_writable() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return !write_buf_.empty();
+  return !write_queue_.empty();
 }
 
 bool Connection::drained() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return inflight_ == 0 && ready_.empty() && write_buf_.empty() &&
+  return inflight_ == 0 && ready_.empty() && write_queue_.empty() &&
          unacked_bytes_ == 0;
 }
 
@@ -146,6 +155,20 @@ std::size_t Connection::outstanding_write_bytes() const {
 double Connection::last_activity_ms() const {
   std::lock_guard<std::mutex> lock(mu_);
   return last_activity_ms_;
+}
+
+void Outbox::consume(std::size_t n) {
+  while (n != 0) {
+    std::string& front = frames.front();
+    const std::size_t left = front.size() - offset;
+    if (n < left) {
+      offset += n;
+      return;
+    }
+    n -= left;
+    offset = 0;
+    frames.pop_front();
+  }
 }
 
 IoResult read_available(int fd, Connection& connection) {
@@ -169,17 +192,28 @@ IoResult read_available(int fd, Connection& connection) {
   }
 }
 
-IoResult write_available(int fd, Connection& connection, std::string& outbox,
-                         std::size_t& offset) {
+IoResult write_available(int fd, Connection& connection, Outbox& outbox) {
+  // One iovec per queued response frame, gathered into a single writev per
+  // loop iteration — zero-copy from completion buffer to socket.
+  constexpr std::size_t kMaxIov = 64;
   IoResult result;
   for (;;) {
-    if (offset == outbox.size()) {
-      outbox.clear();
-      offset = 0;
-      if (connection.fetch_writable(outbox) == 0) return result;
+    if (outbox.empty() && connection.fetch_writable(outbox.frames) == 0) {
+      return result;
     }
-    const ssize_t n = ::send(fd, outbox.data() + offset,
-                             outbox.size() - offset, MSG_NOSIGNAL);
+    struct iovec iov[kMaxIov];
+    std::size_t niov = 0;
+    for (const std::string& frame : outbox.frames) {
+      if (niov == kMaxIov) break;
+      const std::size_t skip = niov == 0 ? outbox.offset : 0;
+      iov[niov].iov_base = const_cast<char*>(frame.data() + skip);
+      iov[niov].iov_len = frame.size() - skip;
+      ++niov;
+    }
+    struct msghdr msg = {};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -189,7 +223,7 @@ IoResult write_available(int fd, Connection& connection, std::string& outbox,
       result.error = true;
       return result;
     }
-    offset += static_cast<std::size_t>(n);
+    outbox.consume(static_cast<std::size_t>(n));
     result.bytes += static_cast<std::size_t>(n);
     connection.wrote(static_cast<std::size_t>(n));
   }

@@ -8,32 +8,39 @@
 /// that must be correct regardless of how bytes arrive:
 ///
 ///  * **Frame reassembly** — received chunks feed a `FrameDecoder`; every
-///    complete frame is submitted to the `Server`. Corrupt framing enqueues
-///    one final bad-request response (ordered after everything already
-///    submitted), after which the connection should be flushed and closed.
+///    complete frame is submitted to the `FrameSink` (a local `Server` or
+///    the cluster `Router`). Corrupt framing enqueues one final bad-request
+///    response (ordered after everything already submitted), after which
+///    the connection should be flushed and closed.
 ///  * **Ordered replies** — each submitted frame takes a ticket; worker
 ///    threads complete tickets in any order, and completed responses are
-///    released into the write buffer strictly in request order, so
+///    released into the write queue strictly in request order, so
 ///    pipelined clients can match responses positionally.
 ///  * **In-flight cap** — with `Limits::max_inflight > 0`, frames arriving
 ///    while that many tickets are unanswered are shed through
-///    `Server::shed_overloaded` (centralized accounting), exactly like the
-///    pre-redesign per-burst cap but enforced against true concurrency.
+///    `FrameSink::shed_overloaded` (centralized accounting), exactly like
+///    the pre-redesign per-burst cap but enforced against true concurrency.
 ///  * **Write watermarks** — responses queued for (or handed to) the
 ///    socket count against a high watermark; above it `want_read()` goes
 ///    false so the transport stops reading from a peer that is not
 ///    draining its responses ("backpressure"), and reading resumes once
 ///    the backlog falls under the low watermark.
 ///
+/// Completed responses are kept as one buffer per frame end-to-end (the
+/// ready map, the in-order write queue, the transport's `Outbox`) and leave
+/// through `writev`, so a burst of pipelined replies is never coalesced
+/// into a fresh allocation just to cross the socket boundary.
+///
 /// Thread safety: `on_bytes`, `fetch_writable` and `wrote` are called by
 /// the owning I/O thread only; reply completion arrives from any worker
 /// thread. The `wake` callback fires (outside the lock) whenever the write
-/// buffer transitions empty → non-empty, which is how worker-thread replies
+/// queue transitions empty → non-empty, which is how worker-thread replies
 /// reach an event loop parked in `epoll_wait` (via `eventfd`) or a
 /// connection thread parked in `poll`.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -41,7 +48,8 @@
 #include <string>
 #include <string_view>
 
-#include "serve/server.h"
+#include "serve/frame_sink.h"
+#include "serve/protocol.h"
 
 namespace abp::serve {
 
@@ -59,13 +67,13 @@ class Connection : public std::enable_shared_from_this<Connection> {
 
   /// `wake` may be empty; when set it is invoked (without the internal lock
   /// held, possibly from a worker thread) whenever completed responses make
-  /// the write buffer non-empty.
+  /// the write queue non-empty.
   ///
   /// Connections are shared-owned: each submitted frame's reply callback
   /// holds a `shared_ptr` back to the connection, so a request that is
-  /// still queued in the server when the socket dies completes into a
+  /// still queued in the sink when the socket dies completes into a
   /// harmless orphan instead of a dangling pointer.
-  Connection(std::uint64_t id, Server& server, Limits limits,
+  Connection(std::uint64_t id, FrameSink& sink, Limits limits,
              std::function<void()> wake);
 
   Connection(const Connection&) = delete;
@@ -76,8 +84,13 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// frame and enqueues the final bad-request response.
   void on_bytes(std::string_view bytes);
 
-  /// Move every in-order completed response byte into `out` (appended).
-  /// The bytes stay counted against the watermark until `wrote()`.
+  /// Move every in-order completed response frame into `out` (appended as
+  /// separate per-frame buffers — no coalescing). The bytes stay counted
+  /// against the watermark until `wrote()`. Returns bytes moved.
+  std::size_t fetch_writable(std::deque<std::string>& out);
+
+  /// Coalescing variant for callers without a vectored write path (tests,
+  /// raw inspection).
   std::size_t fetch_writable(std::string& out);
 
   /// Acknowledge `n` bytes as actually sent to the socket; may resume
@@ -102,11 +115,11 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::size_t in_flight() const;
   /// Response bytes not yet acknowledged by `wrote()` (watermark gauge).
   std::size_t outstanding_write_bytes() const;
-  /// Server-clock reading of the last read/reply/write activity.
+  /// Sink-clock reading of the last read/reply/write activity.
   double last_activity_ms() const;
 
   /// Drop the wake callback. Transports call this when tearing a
-  /// connection down: replies still queued in the server keep the
+  /// connection down: replies still queued in the sink keep the
   /// `Connection` alive (their callbacks hold a shared_ptr) and complete
   /// harmlessly into its buffers, but must never touch transport state
   /// that may already be gone.
@@ -116,7 +129,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void complete(std::uint64_t ticket, std::string payload);
 
   const std::uint64_t id_;
-  Server* server_;
+  FrameSink* sink_;
   const Limits limits_;
   std::function<void()> wake_;  ///< guarded by mu_; see disarm_wake()
 
@@ -126,13 +139,27 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool corrupt_reported_ = false;
 
   mutable std::mutex mu_;
-  std::uint64_t next_release_ = 0;  ///< ticket the write buffer waits on
+  std::uint64_t next_release_ = 0;  ///< ticket the write queue waits on
   std::map<std::uint64_t, std::string> ready_;  ///< completed out of order
-  std::string write_buf_;
+  std::deque<std::string> write_queue_;  ///< in-order frames, one buffer each
+  std::size_t write_queue_bytes_ = 0;
   std::size_t unacked_bytes_ = 0;
   std::size_t inflight_ = 0;
   bool paused_ = false;
   double last_activity_ms_ = 0.0;
+};
+
+/// Response frames fetched from a connection but not yet fully sent. The
+/// frames stay as separate buffers so the transport can hand the whole
+/// backlog to one `writev` call; `offset` is the send cursor within the
+/// front frame.
+struct Outbox {
+  std::deque<std::string> frames;
+  std::size_t offset = 0;  ///< bytes of frames.front() already sent
+
+  bool empty() const { return frames.empty(); }
+  /// Drop `n` sent bytes from the front (n may span several frames).
+  void consume(std::size_t n);
 };
 
 /// Socket helpers shared by both transports (the fd must be non-blocking).
@@ -146,11 +173,11 @@ struct IoResult {
 /// Drain everything currently readable into `connection.on_bytes`.
 IoResult read_available(int fd, Connection& connection);
 
-/// Send queued responses: refills `outbox` from the connection when the
-/// `offset` cursor exhausts it, loops over partial sends, and acknowledges
+/// Send queued responses with vectored writes: refills `outbox` from the
+/// connection when it runs dry, gathers the queued frames into one
+/// `writev` per loop iteration (no coalescing copy), and acknowledges
 /// progress via `wrote()`. Returns with `would_block` when the socket
 /// buffer fills before the backlog is gone.
-IoResult write_available(int fd, Connection& connection, std::string& outbox,
-                         std::size_t& offset);
+IoResult write_available(int fd, Connection& connection, Outbox& outbox);
 
 }  // namespace abp::serve

@@ -30,8 +30,8 @@ constexpr int kTickMs = 20;
 
 }  // namespace
 
-EpollServerTransport::EpollServerTransport(Server& server, Options options)
-    : server_(&server), options_(options) {}
+EpollServerTransport::EpollServerTransport(FrameSink& sink, Options options)
+    : sink_(&sink), options_(options) {}
 
 EpollServerTransport::~EpollServerTransport() { stop(); }
 
@@ -120,7 +120,7 @@ void EpollServerTransport::install(Shard& shard, int fd, std::uint64_t id) {
   Conn conn;
   conn.fd = fd;
   conn.state = std::make_shared<Connection>(
-      id, *server_, limits, [this, weak_loop, &shard, id] {
+      id, *sink_, limits, [this, weak_loop, &shard, id] {
         if (std::shared_ptr<EventLoop> loop = weak_loop.lock()) {
           loop->post([this, &shard, id] { flush(shard, id); });
         }
@@ -145,9 +145,9 @@ void EpollServerTransport::handle_io(Shard& shard, std::uint64_t id,
         return;
       }
       if (r.peer_closed) conn.peer_closed = true;
-      // Manual-mode servers (workers == 0) have no worker threads; the
-      // I/O thread executes whatever the read just queued.
-      if (r.bytes > 0 && server_->options().workers == 0) server_->pump();
+      // Sinks that execute on the caller's thread (a manual-mode server)
+      // drain whatever the read just queued.
+      if (r.bytes > 0) sink_->pump_ready();
     } else if (events & (EPOLLERR | EPOLLHUP)) {
       conn.peer_closed = true;
     }
@@ -159,8 +159,7 @@ void EpollServerTransport::flush(Shard& shard, std::uint64_t id) {
   const auto it = shard.conns.find(id);
   if (it == shard.conns.end()) return;  // stale wake after close
   Conn& conn = it->second;
-  const IoResult w =
-      write_available(conn.fd, *conn.state, conn.outbox, conn.outbox_offset);
+  const IoResult w = write_available(conn.fd, *conn.state, conn.outbox);
   if (w.error) {
     close_conn(shard, id);
     return;
@@ -180,7 +179,7 @@ void EpollServerTransport::update_interest(Shard& shard, Conn& conn) {
   }
   // EPOLLOUT only while bytes are actually stuck: a level-triggered loop
   // armed for OUT on an idle writable socket would spin.
-  if (conn.outbox_offset < conn.outbox.size() || conn.state->has_writable()) {
+  if (!conn.outbox.empty() || conn.state->has_writable()) {
     desired |= EPOLLOUT;
   }
   if (desired != conn.armed) {
@@ -201,7 +200,7 @@ void EpollServerTransport::close_conn(Shard& shard, std::uint64_t id) {
 }
 
 void EpollServerTransport::tick(Shard& shard) {
-  const double now = server_->now_ms();
+  const double now = sink_->now_ms();
   const double read_budget_ms = options_.read_timeout_s * 1e3;
   const double write_budget_ms = options_.write_timeout_s * 1e3;
   std::vector<std::uint64_t> to_close;
@@ -214,8 +213,7 @@ void EpollServerTransport::tick(Shard& shard) {
       to_close.push_back(id);
       continue;
     }
-    const bool unsent = conn.outbox_offset < conn.outbox.size() ||
-                        conn.state->has_writable();
+    const bool unsent = !conn.outbox.empty() || conn.state->has_writable();
     const double idle_ms = now - conn.state->last_activity_ms();
     if (unsent ? idle_ms >= write_budget_ms : idle_ms >= read_budget_ms) {
       to_close.push_back(id);
@@ -240,7 +238,7 @@ void EpollServerTransport::stop() {
   for (std::unique_ptr<Shard>& shard : shards_) {
     Shard* s = shard.get();
     s->loop->post([this, s] {
-      s->drain_deadline_ms = server_->now_ms() + options_.write_timeout_s * 1e3;
+      s->drain_deadline_ms = sink_->now_ms() + options_.write_timeout_s * 1e3;
       std::vector<std::uint64_t> ids;
       ids.reserve(s->conns.size());
       for (auto& [id, conn] : s->conns) {

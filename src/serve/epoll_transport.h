@@ -45,7 +45,7 @@ class EpollServerTransport final : public ServerTransport {
  public:
   using Options = TransportOptions;
 
-  explicit EpollServerTransport(Server& server, Options options = {});
+  explicit EpollServerTransport(FrameSink& sink, Options options = {});
   ~EpollServerTransport() override;
 
   void start() override;
@@ -64,9 +64,8 @@ class EpollServerTransport final : public ServerTransport {
   struct Conn {
     int fd = -1;
     std::shared_ptr<Connection> state;
-    std::string outbox;           ///< bytes fetched but not yet sent
-    std::size_t outbox_offset = 0;
-    std::uint32_t armed = 0;      ///< current epoll interest mask
+    Outbox outbox;            ///< frames fetched but not yet fully sent
+    std::uint32_t armed = 0;  ///< current epoll interest mask
     bool peer_closed = false;
   };
 
@@ -89,7 +88,7 @@ class EpollServerTransport final : public ServerTransport {
   void close_conn(Shard& shard, std::uint64_t id);
   void tick(Shard& shard);
 
-  Server* server_;
+  FrameSink* sink_;
   const Options options_;
 
   int listen_fd_ = -1;

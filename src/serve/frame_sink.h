@@ -1,0 +1,57 @@
+/// \file frame_sink.h
+/// \brief The frame-consumer interface behind every server transport.
+///
+/// PR 4 put one `Connection` state machine behind both server transports;
+/// this splits the other side of that seam. A `FrameSink` is whatever
+/// consumes complete request frames and answers them through a callback:
+///
+///  * `Server` (server.h) — parses, batches and executes requests against a
+///    local `LocalizationService`; what `abp serve` fronts.
+///  * `cluster::Router` (cluster/router.h) — forwards frames to backend
+///    replicas chosen by consistent hashing; what `abp route` fronts.
+///
+/// Transports and connections only ever talk to this interface, so the
+/// entire socket layer (threaded and epoll, framing, ordered replies,
+/// in-flight caps, watermarks, timeouts) is reused verbatim by the cluster
+/// routing tier.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace abp::serve {
+
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+
+  /// Consume one request frame payload. `reply` must be invoked exactly
+  /// once with the encoded response payload — possibly immediately, on the
+  /// calling thread, or later from any other thread.
+  virtual void submit(std::string payload,
+                      std::function<void(std::string)> reply) = 0;
+
+  /// Transport-level admission rejection: answer `payload`'s request with
+  /// the retryable `overloaded` status (diagnosed with `why`) without
+  /// consuming it, keeping shed accounting centralized in the sink. Used by
+  /// connections enforcing per-connection in-flight limits.
+  virtual void shed_overloaded(std::string payload,
+                               std::function<void(std::string)> reply,
+                               const std::string& why) = 0;
+
+  /// Record an input that never became a request (corrupt framing).
+  virtual void record_bad_frame(std::size_t bytes_in) = 0;
+
+  /// Monotonic milliseconds on the sink's (injectable) clock; transports
+  /// use it for idle/write-stall timeouts so fault-injection tests stay
+  /// deterministic.
+  virtual double now_ms() const = 0;
+
+  /// Called by transports after feeding bytes that may have queued work.
+  /// Sinks that execute on the caller's thread (a manual-mode `Server`)
+  /// drain their queue here; asynchronous sinks ignore it.
+  virtual void pump_ready() {}
+};
+
+}  // namespace abp::serve

@@ -168,4 +168,127 @@ std::string ServiceMetrics::render_text() const {
   return os.str();
 }
 
+RouterMetrics::RouterMetrics() = default;
+
+void RouterMetrics::add_backend(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  backends_.try_emplace(backend);
+}
+
+void RouterMetrics::record_received() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++received_;
+}
+
+void RouterMetrics::record_local() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++local_;
+}
+
+void RouterMetrics::record_forward(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++backends_[backend].forwarded;
+}
+
+void RouterMetrics::record_result(const std::string& backend, Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BackendSnapshot& b = backends_[backend];
+  if (status == Status::kOk) {
+    ++b.ok;
+  } else {
+    ++b.errors;
+  }
+}
+
+void RouterMetrics::record_transport_failure(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++backends_[backend].transport_failures;
+}
+
+void RouterMetrics::record_retry(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++backends_[backend].retries;
+}
+
+void RouterMetrics::record_version_mismatch(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++backends_[backend].version_mismatches;
+}
+
+void RouterMetrics::record_install(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++backends_[backend].installs;
+}
+
+void RouterMetrics::record_probe(const std::string& backend, bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BackendSnapshot& b = backends_[backend];
+  ++b.probes;
+  if (!ok) ++b.probe_failures;
+}
+
+void RouterMetrics::record_marked_down(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++backends_[backend].marked_down;
+}
+
+void RouterMetrics::record_recovered(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++backends_[backend].recovered;
+}
+
+void RouterMetrics::record_unrouted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++unrouted_;
+}
+
+BackendSnapshot RouterMetrics::backend_snapshot(
+    const std::string& backend) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = backends_.find(backend);
+  return it == backends_.end() ? BackendSnapshot{} : it->second;
+}
+
+std::uint64_t RouterMetrics::received() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return received_;
+}
+
+std::uint64_t RouterMetrics::forwarded_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [name, b] : backends_) total += b.forwarded;
+  return total;
+}
+
+std::uint64_t RouterMetrics::unrouted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unrouted_;
+}
+
+void RouterMetrics::render(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "abp-route-stats 1\n";
+  std::uint64_t forwarded_total = 0;
+  for (const auto& [name, b] : backends_) {
+    forwarded_total += b.forwarded;
+    out << "backend " << name << " forwarded " << b.forwarded << " ok "
+        << b.ok << " errors " << b.errors << " transport-failures "
+        << b.transport_failures << " retries " << b.retries
+        << " version-mismatches " << b.version_mismatches << " installs "
+        << b.installs << " probes " << b.probes << " probe-failures "
+        << b.probe_failures << " marked-down " << b.marked_down
+        << " recovered " << b.recovered << '\n';
+  }
+  out << "router received " << received_ << " local " << local_
+      << " forwarded " << forwarded_total << " unrouted " << unrouted_
+      << '\n';
+}
+
+std::string RouterMetrics::render_text() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
 }  // namespace abp::serve

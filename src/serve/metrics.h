@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <iterator>
+#include <map>
 #include <mutex>
 #include <string>
 
@@ -105,6 +106,70 @@ class ServiceMetrics {
   std::uint64_t shed_overloaded_ = 0;
   std::uint64_t shed_unavailable_ = 0;
   std::uint64_t shed_deadline_ = 0;
+};
+
+/// Point-in-time copy of one backend's routing/health counters.
+struct BackendSnapshot {
+  std::uint64_t forwarded = 0;  ///< requests sent (first attempts + retries)
+  std::uint64_t ok = 0;         ///< responses with status == ok
+  std::uint64_t errors = 0;     ///< responses with status != ok
+  std::uint64_t transport_failures = 0;  ///< send/flush/connect failures
+  std::uint64_t retries = 0;    ///< re-sends to another replica
+  std::uint64_t version_mismatches = 0;  ///< stale-snapshot rejections
+  std::uint64_t installs = 0;   ///< snapshot installs shipped
+  std::uint64_t probes = 0;     ///< heartbeat probes sent
+  std::uint64_t probe_failures = 0;
+  std::uint64_t marked_down = 0;  ///< health transitions into `open`
+  std::uint64_t recovered = 0;    ///< health transitions back to `closed`
+};
+
+/// Observability for the cluster router (`abp route`): per-backend
+/// forwarding and health counters, rendered as the router's `stats`
+/// endpoint body:
+///
+///     abp-route-stats 1
+///     backend 127.0.0.1:7001 forwarded 42 ok 40 errors 2 ... recovered 1
+///     ...
+///     router received 50 local 3 forwarded 42 unrouted 5
+///
+/// `unrouted` counts requests answered `unavailable` because every replica
+/// of the target deployment was down.
+class RouterMetrics {
+ public:
+  RouterMetrics();
+
+  /// Register a backend so it renders (with zero counters) before traffic.
+  void add_backend(const std::string& backend);
+
+  void record_received();
+  /// Request answered by the router itself (stats / list-fields).
+  void record_local();
+  void record_forward(const std::string& backend);
+  void record_result(const std::string& backend, Status status);
+  void record_transport_failure(const std::string& backend);
+  void record_retry(const std::string& backend);
+  void record_version_mismatch(const std::string& backend);
+  void record_install(const std::string& backend);
+  void record_probe(const std::string& backend, bool ok);
+  void record_marked_down(const std::string& backend);
+  void record_recovered(const std::string& backend);
+  /// Request shed `unavailable` because no live replica remained.
+  void record_unrouted();
+
+  BackendSnapshot backend_snapshot(const std::string& backend) const;
+  std::uint64_t received() const;
+  std::uint64_t forwarded_total() const;
+  std::uint64_t unrouted() const;
+
+  void render(std::ostream& out) const;
+  std::string render_text() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, BackendSnapshot> backends_;
+  std::uint64_t received_ = 0;
+  std::uint64_t local_ = 0;
+  std::uint64_t unrouted_ = 0;
 };
 
 }  // namespace abp::serve

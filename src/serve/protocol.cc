@@ -127,6 +127,10 @@ const char* endpoint_name(Endpoint endpoint) {
   return "unknown";
 }
 
+bool endpoint_idempotent(Endpoint endpoint) {
+  return endpoint != Endpoint::kAddBeacon;
+}
+
 std::optional<Endpoint> endpoint_from_name(std::string_view name) {
   for (const Endpoint endpoint : kAllEndpoints) {
     if (name == endpoint_name(endpoint)) return endpoint;
@@ -143,6 +147,7 @@ const char* status_name(Status status) {
     case Status::kInternal: return "internal";
     case Status::kOverloaded: return "overloaded";
     case Status::kDeadlineExceeded: return "deadline-exceeded";
+    case Status::kVersionMismatch: return "version-mismatch";
   }
   return "unknown";
 }
@@ -151,7 +156,7 @@ std::optional<Status> status_from_name(std::string_view name) {
   for (const Status status :
        {Status::kOk, Status::kBadRequest, Status::kNotFound,
         Status::kUnavailable, Status::kInternal, Status::kOverloaded,
-        Status::kDeadlineExceeded}) {
+        Status::kDeadlineExceeded, Status::kVersionMismatch}) {
     if (name == status_name(status)) return status;
   }
   return std::nullopt;
@@ -159,7 +164,8 @@ std::optional<Status> status_from_name(std::string_view name) {
 
 bool status_retryable(Status status) {
   return status == Status::kOverloaded || status == Status::kUnavailable ||
-         status == Status::kDeadlineExceeded;
+         status == Status::kDeadlineExceeded ||
+         status == Status::kVersionMismatch;
 }
 
 bool valid_field_name(std::string_view name) {
@@ -205,6 +211,12 @@ std::string format_request(const Request& request) {
     out += std::to_string(request.deadline_ms);
     out += '\n';
   }
+  if (request.version != 0) {
+    out += "version ";
+    out += std::to_string(request.version);
+    out += '\n';
+  }
+  if (!request.text.empty()) append_text_block(out, request.text);
   return out;
 }
 
@@ -258,6 +270,19 @@ std::optional<Request> parse_request(std::string_view payload,
         fail(error, "malformed deadline record: " + std::string(line));
         return std::nullopt;
       }
+    } else if (tokens[0] == "version" && tokens.size() == 2) {
+      // Zero is a valid "unversioned"; non-numeric is malformed.
+      if (!parse_u64_token(tokens[1], &request.version)) {
+        fail(error, "malformed version record: " + std::string(line));
+        return std::nullopt;
+      }
+    } else if (tokens[0] == "text" && tokens.size() == 2) {
+      std::uint64_t n = 0;
+      if (!parse_u64_token(tokens[1], &n) || n > kMaxFramePayload ||
+          !cursor.raw_block(static_cast<std::size_t>(n), &request.text)) {
+        fail(error, "malformed text block");
+        return std::nullopt;
+      }
     } else {
       fail(error, "unexpected request record: " + std::string(line));
       return std::nullopt;
@@ -284,6 +309,11 @@ std::string format_response(const Response& response) {
   if (response.retry_after_ms != 0) {
     out += "retry-after ";
     out += std::to_string(response.retry_after_ms);
+    out += '\n';
+  }
+  if (response.version != 0) {
+    out += "version ";
+    out += std::to_string(response.version);
     out += '\n';
   }
   for (const PointEstimate& e : response.estimates) {
@@ -371,6 +401,11 @@ std::optional<Response> parse_response(std::string_view payload,
       // Zero is a valid "no hint"; non-numeric is malformed.
       if (!parse_u32_token(tokens[1], &response.retry_after_ms)) {
         fail(error, "malformed retry-after record: " + std::string(line));
+        return std::nullopt;
+      }
+    } else if (tokens[0] == "version" && tokens.size() == 2) {
+      if (!parse_u64_token(tokens[1], &response.version)) {
+        fail(error, "malformed version record: " + std::string(line));
         return std::nullopt;
       }
     } else if (tokens[0] == "beacon-id" && tokens.size() == 2) {

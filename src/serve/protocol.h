@@ -19,15 +19,26 @@
 ///     algorithm <name>         (propose)
 ///     count <k>                (propose)
 ///     deadline <ms>            (optional; 0 or absent = no deadline)
+///     version <v>              (optional; expected deployment version)
+///     text <bytes>\n<raw bytes>\n   (snapshot install body, length-prefixed)
 ///
 ///     abp-response 1 <seq> <status>
 ///     message <text>           (single line; set when status != ok)
 ///     retry-after <ms>         (optional; overloaded backpressure hint)
+///     version <v>              (optional; deployment version served)
 ///     estimate <x> <y> <connected>
 ///     error <value>
 ///     position <x> <y>
 ///     beacon-id <id>
 ///     text <bytes>\n<raw bytes>\n   (snapshot / stats body, length-prefixed)
+///
+/// The `version` and request-side `text` records were added for cluster
+/// routing (cluster/): the router stamps each forwarded request with the
+/// deployment version it replicated, a backend running an older snapshot
+/// answers `version-mismatch` (retryable) instead of computing on stale
+/// data, and snapshot requests carrying a `text` body *install* that field
+/// on the backend. Both records are omitted when zero/empty, so
+/// single-server traffic is byte-identical to the pre-cluster protocol.
 ///
 /// Doubles are written with 17 significant digits so positions and errors
 /// survive the wire bit-exactly.
@@ -76,6 +87,7 @@ enum class Status {
   kInternal,          ///< handler failure
   kOverloaded,        ///< admission control shed the request; retryable
   kDeadlineExceeded,  ///< request deadline passed before execution
+  kVersionMismatch,   ///< deployment version differs from the request's
 };
 
 /// True for statuses a client may safely retry: the request was shed before
@@ -83,6 +95,13 @@ enum class Status {
 /// statuses (`bad-request`, `not-found`, `internal`) will fail identically
 /// on every retry and must not be re-sent.
 bool status_retryable(Status status);
+
+/// True for endpoints a router may safely re-send to another replica after
+/// a transport failure mid-call (the first attempt may or may not have
+/// executed). Everything except `add-beacon` is a pure read or an
+/// idempotent install; `add-beacon` deploys a new beacon per execution, so
+/// a blind retry could double-deploy.
+bool endpoint_idempotent(Endpoint endpoint);
 
 const char* endpoint_name(Endpoint endpoint);
 std::optional<Endpoint> endpoint_from_name(std::string_view name);
@@ -101,6 +120,14 @@ struct Request {
   /// deadline. A request still queued when its deadline passes is shed with
   /// `Status::kDeadlineExceeded` instead of being computed.
   std::uint32_t deadline_ms = 0;
+  /// Expected deployment version (cluster routing); 0 = unversioned. A
+  /// backend whose deployment carries a different non-zero version answers
+  /// `kVersionMismatch` instead of serving stale data.
+  std::uint64_t version = 0;
+  /// Snapshot-install body: a non-empty `text` on a snapshot request asks
+  /// the server to *install* this serialized field (at `version`) rather
+  /// than return its current one. Empty for every other use.
+  std::string text;
 
   bool operator==(const Request&) const = default;
 };
@@ -122,6 +149,9 @@ struct Response {
   /// `RetryingClient` honors it in place of jittered backoff, capped by
   /// its own backoff ceiling and deadline budget.
   std::uint32_t retry_after_ms = 0;
+  /// Version of the deployment that served the request (cluster routing);
+  /// 0 = unversioned deployment (record omitted on the wire).
+  std::uint64_t version = 0;
   std::vector<PointEstimate> estimates;  ///< localize
   std::vector<double> errors;            ///< error-at
   std::vector<Vec2> positions;           ///< propose / add-beacon echo

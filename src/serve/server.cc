@@ -91,6 +91,14 @@ void Server::submit(std::string payload,
   reject(*request, shed_status, shed_why, bytes_in, reply);
 }
 
+void Server::record_bad_frame(std::size_t bytes_in) {
+  service_.metrics().record_bad_frame(bytes_in);
+}
+
+void Server::pump_ready() {
+  if (options_.workers == 0) pump();
+}
+
 void Server::shed_overloaded(std::string payload,
                              std::function<void(std::string)> reply,
                              const std::string& why) {

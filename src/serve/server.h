@@ -44,11 +44,12 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "serve/frame_sink.h"
 #include "serve/service.h"
 
 namespace abp::serve {
 
-class Server {
+class Server : public FrameSink {
  public:
   struct Options {
     std::size_t workers = 0;    ///< 0 = manual mode (drain via pump())
@@ -69,7 +70,7 @@ class Server {
 
   explicit Server(LocalizationService& service) : Server(service, Options()) {}
   Server(LocalizationService& service, Options options);
-  ~Server();
+  ~Server() override;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -78,7 +79,8 @@ class Server {
   /// encoded response payload — immediately (unparseable input or
   /// shutdown rejection), from `pump()` in manual mode, or from a worker
   /// thread in threaded mode.
-  void submit(std::string payload, std::function<void(std::string)> reply);
+  void submit(std::string payload,
+              std::function<void(std::string)> reply) override;
 
   /// Transport-level admission rejection: answer `payload`'s request with
   /// the retryable `kOverloaded` status (diagnosed with `why`) without
@@ -86,12 +88,18 @@ class Server {
   /// transports enforcing per-connection in-flight limits.
   void shed_overloaded(std::string payload,
                        std::function<void(std::string)> reply,
-                       const std::string& why);
+                       const std::string& why) override;
+
+  void record_bad_frame(std::size_t bytes_in) override;
 
   /// Manual mode: drain the queue on the calling thread, batching as it
   /// goes. No-op when the queue is empty. Must not be called in threaded
   /// mode.
   void pump();
+
+  /// FrameSink hook: manual-mode servers (workers == 0) drain the queue on
+  /// the transport's I/O thread; threaded servers ignore it.
+  void pump_ready() override;
 
   /// Reject new requests, drain everything already accepted, stop workers.
   /// Idempotent.

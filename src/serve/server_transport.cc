@@ -20,12 +20,12 @@ std::optional<TransportKind> transport_kind_from_name(std::string_view name) {
 }
 
 std::unique_ptr<ServerTransport> make_server_transport(
-    TransportKind kind, Server& server, const TransportOptions& options) {
+    TransportKind kind, FrameSink& sink, const TransportOptions& options) {
   switch (kind) {
     case TransportKind::kThreaded:
-      return std::make_unique<TcpServerTransport>(server, options);
+      return std::make_unique<TcpServerTransport>(sink, options);
     case TransportKind::kEpoll:
-      return std::make_unique<EpollServerTransport>(server, options);
+      return std::make_unique<EpollServerTransport>(sink, options);
   }
   return nullptr;
 }

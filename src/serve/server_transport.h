@@ -3,8 +3,9 @@
 /// service.
 ///
 /// A `ServerTransport` owns the listening socket and the lifecycle of every
-/// accepted connection, feeding complete frames into a `Server` and writing
-/// the (request-ordered) responses back. Two implementations speak the same
+/// accepted connection, feeding complete frames into a `FrameSink` — a
+/// local `Server` or the cluster `Router` — and writing the
+/// (request-ordered) responses back. Two implementations speak the same
 /// wire protocol behind this interface:
 ///
 ///  * `TcpServerTransport` (tcp_transport.h) — the legacy thread-per-
@@ -30,7 +31,7 @@
 
 namespace abp::serve {
 
-class Server;
+class FrameSink;
 
 enum class TransportKind {
   kThreaded,  ///< thread-per-connection on a fixed pool
@@ -85,6 +86,6 @@ class ServerTransport {
 };
 
 std::unique_ptr<ServerTransport> make_server_transport(
-    TransportKind kind, Server& server, const TransportOptions& options = {});
+    TransportKind kind, FrameSink& sink, const TransportOptions& options = {});
 
 }  // namespace abp::serve

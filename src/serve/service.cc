@@ -71,6 +71,8 @@ struct LocalizationService::Deployment {
   Lattice2D lattice;
   ErrorMap map;
   Rng rng;
+  /// Replication version (guarded by `mu`); 0 = unversioned.
+  std::uint64_t version = 0;
 };
 
 LocalizationService::LocalizationService(ServiceConfig config)
@@ -79,12 +81,21 @@ LocalizationService::LocalizationService(ServiceConfig config)
 LocalizationService::~LocalizationService() = default;
 
 void LocalizationService::add_field(const std::string& name,
-                                    BeaconField field) {
+                                    BeaconField field, std::uint64_t version) {
   ABP_CHECK(valid_field_name(name), "invalid deployment name: " + name);
   auto deployment = std::make_unique<Deployment>(
       std::move(field), config_, derive_seed(config_.seed, name_seed(name)));
+  deployment->version = version;
   std::lock_guard<std::mutex> lock(mu_);
   deployments_[name] = std::move(deployment);
+}
+
+std::uint64_t LocalizationService::field_version(
+    const std::string& name) const {
+  Deployment* deployment = find_deployment(name);
+  if (deployment == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(deployment->mu);
+  return deployment->version;
 }
 
 std::vector<std::string> LocalizationService::field_names() const {
@@ -122,6 +133,9 @@ Response LocalizationService::handle(const Request& request) {
     default:
       break;
   }
+  if (request.endpoint == Endpoint::kSnapshot && !request.text.empty()) {
+    return install_snapshot(request);
+  }
   Deployment* deployment = find_deployment(request.field);
   if (deployment == nullptr) {
     return error_response(request, Status::kNotFound,
@@ -141,6 +155,18 @@ Response LocalizationService::handle_locked(Deployment& deployment,
   if (request.points.size() > kMaxPointsPerRequest) {
     return error_response(request, Status::kBadRequest,
                           "too many points in one request");
+  }
+  // Version fencing (cluster routing): a request stamped with an expected
+  // version must not be served from a different snapshot. The mismatch is
+  // retryable — the router re-syncs the deployment and re-sends.
+  if (request.version != 0 && request.version != deployment.version) {
+    Response mismatch = error_response(
+        request, Status::kVersionMismatch,
+        "deployment '" + request.field + "' is at version " +
+            std::to_string(deployment.version) + ", request expects " +
+            std::to_string(request.version));
+    mismatch.version = deployment.version;
+    return mismatch;
   }
   Response response;
   response.seq = request.seq;
@@ -212,6 +238,7 @@ Response LocalizationService::handle_locked(Deployment& deployment,
         std::ostringstream os;
         write_field(os, deployment.field);
         response.text = os.str();
+        response.version = deployment.version;
         break;
       }
       case Endpoint::kStats:
@@ -223,6 +250,58 @@ Response LocalizationService::handle_locked(Deployment& deployment,
   } catch (const CheckFailure& e) {
     return error_response(request, Status::kInternal, e.what());
   }
+  return response;
+}
+
+Response LocalizationService::install_snapshot(const Request& request) {
+  // Parse outside any lock; a malformed body must not wedge serving.
+  std::optional<BeaconField> parsed;
+  try {
+    std::istringstream is(request.text);
+    parsed = read_field(is);
+  } catch (const CheckFailure& e) {
+    return error_response(request, Status::kBadRequest,
+                          std::string("snapshot install rejected: ") +
+                              e.what());
+  }
+  const std::uint64_t seed =
+      derive_seed(config_.seed, name_seed(request.field));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = deployments_.find(request.field);
+    if (it == deployments_.end()) {
+      auto created =
+          std::make_unique<Deployment>(std::move(*parsed), config_, seed);
+      created->version = request.version;
+      deployments_.emplace(request.field, std::move(created));
+      Response response;
+      response.seq = request.seq;
+      response.version = request.version;
+      return response;
+    }
+  }
+  // Existing deployment: rebuild its state in place under its own lock, so
+  // concurrent requests holding the Deployment pointer stay valid (the map
+  // entry is never replaced once created).
+  Deployment& deployment = *find_deployment(request.field);
+  std::lock_guard<std::mutex> lock(deployment.mu);
+  try {
+    deployment.field = std::move(*parsed);
+    deployment.model = PerBeaconNoiseModel(config_.nominal_range,
+                                           config_.noise,
+                                           derive_seed(seed, 2));
+    deployment.lattice = Lattice2D(deployment.field.bounds(),
+                                   config_.lattice_step);
+    deployment.map = ErrorMap(deployment.lattice);
+    deployment.rng = Rng(derive_seed(seed, 9));
+    deployment.map.compute(deployment.field, deployment.model);
+    deployment.version = request.version;
+  } catch (const CheckFailure& e) {
+    return error_response(request, Status::kInternal, e.what());
+  }
+  Response response;
+  response.seq = request.seq;
+  response.version = request.version;
   return response;
 }
 

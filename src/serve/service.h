@@ -46,10 +46,17 @@ class LocalizationService {
   LocalizationService& operator=(const LocalizationService&) = delete;
 
   /// Install (or replace) a deployment under `name`. Computes the initial
-  /// error map — O(lattice · beacons-in-range) once per install.
-  void add_field(const std::string& name, BeaconField field);
+  /// error map — O(lattice · beacons-in-range) once per install. `version`
+  /// tags the deployment for cluster replication; 0 (the default) means
+  /// unversioned — version records never appear on the wire and requests
+  /// are never version-checked.
+  void add_field(const std::string& name, BeaconField field,
+                 std::uint64_t version = 0);
 
   std::vector<std::string> field_names() const;
+
+  /// Current version of a deployment; 0 if unknown or unversioned.
+  std::uint64_t field_version(const std::string& name) const;
 
   /// Handle one request; never throws on untrusted request content.
   Response handle(const Request& request);
@@ -75,6 +82,8 @@ class LocalizationService {
   Deployment* find_deployment(const std::string& name) const;
   Response handle_field_request(Deployment& deployment, const Request& request);
   Response handle_locked(Deployment& deployment, const Request& request);
+  /// Snapshot request carrying a field body: install it (replica sync).
+  Response install_snapshot(const Request& request);
 
   ServiceConfig config_;
   ServiceMetrics metrics_;

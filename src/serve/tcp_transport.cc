@@ -81,8 +81,8 @@ struct EventFdHolder {
 
 }  // namespace
 
-TcpServerTransport::TcpServerTransport(Server& server, Options options)
-    : server_(&server), options_(options), pool_(options.conn_workers) {}
+TcpServerTransport::TcpServerTransport(FrameSink& sink, Options options)
+    : sink_(&sink), options_(options), pool_(options.conn_workers) {}
 
 TcpServerTransport::~TcpServerTransport() { stop(); }
 
@@ -152,7 +152,7 @@ void TcpServerTransport::handle_connection(int fd) {
   limits.write_low_watermark = options_.write_low_watermark;
   const auto efd = std::make_shared<EventFdHolder>();
   const auto state = std::make_shared<Connection>(
-      next_conn_id_.fetch_add(1), *server_, limits,
+      next_conn_id_.fetch_add(1), *sink_, limits,
       [weak = std::weak_ptr<EventFdHolder>(efd)] {
         if (const std::shared_ptr<EventFdHolder> holder = weak.lock()) {
           holder->signal();
@@ -160,8 +160,7 @@ void TcpServerTransport::handle_connection(int fd) {
       });
   const double read_budget_ms = options_.read_timeout_s * 1e3;
   const double write_budget_ms = options_.write_timeout_s * 1e3;
-  std::string outbox;
-  std::size_t offset = 0;
+  Outbox outbox;
   bool peer_closed = false;
   for (;;) {
     // Exit once everything accepted has been answered and written — on
@@ -171,7 +170,7 @@ void TcpServerTransport::handle_connection(int fd) {
         (peer_closed || state->corrupt() || stopping_.load())) {
       break;
     }
-    const bool unsent = offset < outbox.size() || state->has_writable();
+    const bool unsent = !outbox.empty() || state->has_writable();
     pollfd pfds[2] = {
         {fd,
          static_cast<short>(
@@ -186,16 +185,16 @@ void TcpServerTransport::handle_connection(int fd) {
       const IoResult r = read_available(fd, *state);
       if (r.error) break;
       if (r.peer_closed) peer_closed = true;
-      // Manual-mode servers (workers == 0) have no worker threads; the
-      // connection handler executes whatever the read just queued.
-      if (r.bytes > 0 && server_->options().workers == 0) server_->pump();
+      // Sinks that execute on the caller's thread (a manual-mode server)
+      // drain whatever the read just queued.
+      if (r.bytes > 0) sink_->pump_ready();
     }
-    const IoResult w = write_available(fd, *state, outbox, offset);
+    const IoResult w = write_available(fd, *state, outbox);
     if (w.error) break;
-    // Timeouts on the injectable server clock: a stalled writer is cut at
+    // Timeouts on the injectable sink clock: a stalled writer is cut at
     // the write budget, an idle (fully drained) peer at the read budget.
-    const double idle_ms = server_->now_ms() - state->last_activity_ms();
-    const bool still_unsent = offset < outbox.size() || state->has_writable();
+    const double idle_ms = sink_->now_ms() - state->last_activity_ms();
+    const bool still_unsent = !outbox.empty() || state->has_writable();
     if (still_unsent ? idle_ms >= write_budget_ms
                      : idle_ms >= read_budget_ms) {
       break;

@@ -43,9 +43,9 @@ class TcpServerTransport final : public ServerTransport {
  public:
   using Options = TransportOptions;
 
-  explicit TcpServerTransport(Server& server)
-      : TcpServerTransport(server, Options()) {}
-  TcpServerTransport(Server& server, Options options);
+  explicit TcpServerTransport(FrameSink& sink)
+      : TcpServerTransport(sink, Options()) {}
+  TcpServerTransport(FrameSink& sink, Options options);
   ~TcpServerTransport() override;
 
   TcpServerTransport(const TcpServerTransport&) = delete;
@@ -65,7 +65,7 @@ class TcpServerTransport final : public ServerTransport {
   void accept_loop();
   void handle_connection(int fd);
 
-  Server* server_;
+  FrameSink* sink_;
   Options options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

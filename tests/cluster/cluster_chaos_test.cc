@@ -1,0 +1,304 @@
+/// \file cluster_chaos_test.cc
+/// \brief Fault-injection suite for the cluster router (label: chaos).
+///
+/// Three real backends (service + manual server) sit behind
+/// `FaultTransport` connections, so every fault the single-server chaos
+/// suite can inject — crashed connections, lost responses, corrupt frames,
+/// stalls expiring deadlines — now happens *between the router and its
+/// backends*. The invariants under test:
+///
+///  * every routed request is answered exactly once (no lost, no
+///    duplicated replies), whatever the wire does;
+///  * each backend's admission identity holds after drain:
+///    submitted == completed + shed;
+///  * a backend crash mid-pipelined-batch fails over idempotent requests
+///    to a surviving replica and the client sees clean `ok` responses;
+///  * a stale backend is repaired in-band (install-then-retry) without the
+///    client ever seeing `version-mismatch`.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "cluster/backend_pool.h"
+#include "cluster/replicator.h"
+#include "cluster/ring.h"
+#include "cluster/router.h"
+#include "io/field_io.h"
+#include "serve/fault_transport.h"
+#include "cluster_harness.h"
+
+namespace abp::cluster {
+namespace {
+
+std::string field_text() {
+  std::ostringstream out;
+  write_field(out, harness_field());
+  return out.str();
+}
+
+serve::Request localize_request(std::uint64_t seq) {
+  serve::Request request;
+  request.seq = seq;
+  request.endpoint = serve::Endpoint::kLocalize;
+  request.field = "default";
+  request.points = {{12, 12}, {50, 50}};
+  return request;
+}
+
+/// A cluster whose backend connections are `FaultTransport`s. `scripts`
+/// decides the fault script per (backend, connect attempt) — reconnects
+/// after a transport failure get a fresh script.
+struct FaultCluster {
+  using ScriptFn = std::function<serve::FaultTransport::Options(
+      const std::string& backend, int connect_index)>;
+
+  FaultCluster(std::vector<std::string> names, std::size_t replication,
+               ScriptFn scripts, serve::ManualClock* clock = nullptr,
+               BackendPoolOptions pool_options = {})
+      : backend_names(names) {
+    for (const std::string& name : names) {
+      ring.add_node(name);
+      auto& backend = backends[name];
+      backend.service = std::make_unique<serve::LocalizationService>(
+          harness_service_config());
+      serve::Server::Options server_options;
+      if (clock) server_options.clock_ms = clock->fn();
+      backend.server = std::make_unique<serve::Server>(*backend.service,
+                                                       server_options);
+    }
+    pool = std::make_unique<BackendPool>(
+        names, std::move(pool_options), metrics,
+        [this, scripts](const std::string& name) {
+          Backend& backend = backends.at(name);
+          const int index = backend.connects++;
+          return std::make_unique<serve::FaultTransport>(
+              *backend.server, scripts(name, index));
+        });
+    replicator = std::make_unique<Replicator>(*pool, ring, replication,
+                                              metrics);
+    pool->set_recovery_callback([this](const std::string& backend) {
+      replicator->sync_backend(backend);
+    });
+    router = std::make_unique<Router>(ring, *pool, *replicator, metrics);
+    pool->start();
+    replicator->set_deployment("default", field_text());
+  }
+
+  ~FaultCluster() { pool->stop(); }
+
+  std::string call(const serve::Request& request) {
+    auto done = std::make_shared<std::promise<std::string>>();
+    auto future = done->get_future();
+    router->submit(serve::format_request(request),
+                   [done](std::string payload) {
+                     done->set_value(std::move(payload));
+                   });
+    return future.get();
+  }
+
+  struct Backend {
+    std::unique_ptr<serve::LocalizationService> service;
+    std::unique_ptr<serve::Server> server;
+    int connects = 0;
+  };
+
+  std::vector<std::string> backend_names;
+  HashRing ring;
+  serve::RouterMetrics metrics;
+  std::map<std::string, Backend> backends;
+  std::unique_ptr<BackendPool> pool;
+  std::unique_ptr<Replicator> replicator;
+  std::unique_ptr<Router> router;
+};
+
+serve::FaultTransport::Options clean_script() { return {}; }
+
+/// The backend the ring picks first for "default" — the one a fault script
+/// must target to be guaranteed to fire.
+std::string primary_owner(const std::vector<std::string>& names) {
+  HashRing probe;
+  for (const std::string& name : names) probe.add_node(name);
+  return probe.owners("default", 1)[0];
+}
+
+/// Per-backend admission identity: submitted == completed + shed.
+void expect_backends_reconcile(FaultCluster& cluster) {
+  for (const auto& [name, backend] : cluster.backends) {
+    const serve::ServiceMetrics& m = backend.service->metrics();
+    EXPECT_EQ(m.submitted(), m.completed() + m.shed_total())
+        << "backend " << name << " lost a request";
+  }
+}
+
+TEST(ClusterChaos, BackendCrashMidBatchLosesNothing) {
+  // The primary owner's first connection dies with kResetAfterSend on its
+  // 4th exchange: the backend *executes* that request but the response is
+  // lost, and every later request in the pipelined batch is aborted. All
+  // requests are idempotent, so the router must fail them over and the
+  // client must see only clean `ok` responses, exactly one per request.
+  const std::string primary = primary_owner({"b1", "b2", "b3"});
+  FaultCluster cluster(
+      {"b1", "b2", "b3"}, /*replication=*/2,
+      [primary](const std::string& backend, int connect_index) {
+        serve::FaultTransport::Options options;
+        if (backend == primary && connect_index == 0) {
+          options.script = serve::FaultScript(
+              {{serve::FaultKind::kNone},
+               {serve::FaultKind::kNone},
+               {serve::FaultKind::kNone},
+               {serve::FaultKind::kResetAfterSend}},
+              /*cycle=*/false);
+        }
+        return options;
+      });
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+
+  constexpr std::uint64_t kRequests = 12;
+  std::map<std::uint64_t, int> replies;
+  std::map<std::uint64_t, serve::Status> statuses;
+  for (std::uint64_t seq = 1; seq <= kRequests; ++seq) {
+    const auto response =
+        serve::parse_response(cluster.call(localize_request(seq)));
+    ASSERT_TRUE(response.has_value());
+    replies[response->seq]++;
+    statuses[response->seq] = response->status;
+  }
+  for (std::uint64_t seq = 1; seq <= kRequests; ++seq) {
+    EXPECT_EQ(replies[seq], 1) << "seq " << seq;
+    EXPECT_EQ(statuses[seq], serve::Status::kOk) << "seq " << seq;
+  }
+  expect_backends_reconcile(cluster);
+}
+
+TEST(ClusterChaos, PipelinedBurstThroughCrashReconciles) {
+  // Same crash, but the requests are submitted concurrently so they ride
+  // one pipelined batch into the crashing connection.
+  FaultCluster cluster(
+      {"b1", "b2", "b3"}, /*replication=*/2,
+      [](const std::string& backend, int connect_index) {
+        serve::FaultTransport::Options options;
+        if (backend != "b2" && connect_index == 0) {
+          options.script = serve::FaultScript(
+              {{serve::FaultKind::kNone},
+               {serve::FaultKind::kNone},
+               {serve::FaultKind::kResetAfterSend}},
+              /*cycle=*/false);
+        }
+        return options;
+      });
+  cluster.replicator->sync_all();
+
+  constexpr std::uint64_t kRequests = 16;
+  std::mutex mu;
+  std::map<std::uint64_t, int> replies;
+  std::map<std::uint64_t, serve::Status> statuses;
+  auto all_done = std::make_shared<std::promise<void>>();
+  std::size_t outstanding = kRequests;
+  for (std::uint64_t seq = 1; seq <= kRequests; ++seq) {
+    cluster.router->submit(
+        serve::format_request(localize_request(seq)),
+        [&, all_done](std::string payload) {
+          const auto response = serve::parse_response(payload);
+          std::lock_guard<std::mutex> lock(mu);
+          if (response) {
+            replies[response->seq]++;
+            statuses[response->seq] = response->status;
+          }
+          if (--outstanding == 0) all_done->set_value();
+        });
+  }
+  all_done->get_future().get();
+
+  for (std::uint64_t seq = 1; seq <= kRequests; ++seq) {
+    EXPECT_EQ(replies[seq], 1) << "seq " << seq;
+    // Every reply is terminal-clean: either served, or an honest retryable
+    // shed — never silence, never a duplicate.
+    EXPECT_TRUE(statuses[seq] == serve::Status::kOk ||
+                serve::status_retryable(statuses[seq]))
+        << "seq " << seq << ": "
+        << serve::status_name(statuses[seq]);
+  }
+  expect_backends_reconcile(cluster);
+}
+
+TEST(ClusterChaos, SlowBackendExpiresDeadlinesNotTheCluster) {
+  // One backend stalls 100 virtual ms before executing; the request's
+  // deadline is 40 ms. The backend itself sheds deadline-exceeded and the
+  // router passes that through untouched — a slow replica must not turn
+  // into a hung client or a silent retry storm.
+  serve::ManualClock clock;
+  FaultCluster cluster(
+      {"b1"}, /*replication=*/1,
+      [&clock](const std::string&, int) {
+        serve::FaultTransport::Options options;
+        options.script = serve::FaultScript(
+            {{serve::FaultKind::kNone},  // the snapshot install
+             {serve::FaultKind::kStallBeforeExecute, 100.0}},
+            /*cycle=*/false);
+        options.clock = &clock;  // virtual stall — no real sleeping
+        return options;
+      },
+      &clock);
+  cluster.replicator->sync_all();
+
+  serve::Request request = localize_request(1);
+  request.deadline_ms = 40;
+  const auto response = serve::parse_response(cluster.call(request));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, serve::Status::kDeadlineExceeded);
+  EXPECT_TRUE(serve::status_retryable(response->status));
+  expect_backends_reconcile(cluster);
+}
+
+TEST(ClusterChaos, CorruptResponseFrameFailsOver) {
+  // The primary's response frame arrives with one flipped bit. The pool
+  // cannot decode it, fails the forward, and the router retries the
+  // request on the healthy replica.
+  const std::string primary = primary_owner({"b1", "b2"});
+  FaultCluster cluster(
+      {"b1", "b2"}, /*replication=*/2,
+      [primary](const std::string& backend, int connect_index) {
+        serve::FaultTransport::Options options;
+        if (backend == primary && connect_index == 0) {
+          options.script = serve::FaultScript(
+              {{serve::FaultKind::kNone},  // install
+               {serve::FaultKind::kCorruptResponse}},
+              /*cycle=*/false);
+        }
+        return options;
+      });
+  cluster.replicator->sync_all();
+
+  const auto response =
+      serve::parse_response(cluster.call(localize_request(1)));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, serve::Status::kOk);
+  expect_backends_reconcile(cluster);
+}
+
+TEST(ClusterChaos, StaleSnapshotRepairedInBand) {
+  // The backend holds version 1 while the registry moves to version 2. The
+  // first forwarded query answers version-mismatch; the router must ship
+  // the fresh snapshot and retry on the same FIFO so the client sees a
+  // clean `ok` — never the mismatch.
+  FaultCluster cluster({"b1", "b2"}, /*replication=*/2,
+                       [](const std::string&, int) { return clean_script(); });
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+  cluster.replicator->set_deployment("default", field_text());
+
+  const auto response =
+      serve::parse_response(cluster.call(localize_request(1)));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, serve::Status::kOk);
+
+  std::uint64_t mismatches = 0;
+  for (const std::string& name : cluster.backend_names) {
+    mismatches += cluster.metrics.backend_snapshot(name).version_mismatches;
+  }
+  EXPECT_EQ(mismatches, 1u);
+  expect_backends_reconcile(cluster);
+}
+
+}  // namespace
+}  // namespace abp::cluster

@@ -1,0 +1,107 @@
+#include "cluster/replicator.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/field_io.h"
+#include "cluster_harness.h"
+
+namespace abp::cluster {
+namespace {
+
+std::string field_text() {
+  std::ostringstream out;
+  write_field(out, harness_field());
+  return out.str();
+}
+
+TEST(Replicator, VersionsStartAtOneAndBump) {
+  ClusterSim cluster({"b1"});
+  EXPECT_EQ(cluster.replicator->version("f"), 0u);
+  EXPECT_EQ(cluster.replicator->set_deployment("f", field_text()), 1u);
+  EXPECT_EQ(cluster.replicator->version("f"), 1u);
+  EXPECT_EQ(cluster.replicator->set_deployment("f", field_text()), 2u);
+  EXPECT_EQ(cluster.replicator->version("f"), 2u);
+}
+
+TEST(Replicator, InstallRequestCarriesSnapshotAndVersion) {
+  ClusterSim cluster({"b1"});
+  cluster.replicator->set_deployment("f", field_text());
+  const serve::Request install = cluster.replicator->install_request("f");
+  EXPECT_EQ(install.endpoint, serve::Endpoint::kSnapshot);
+  EXPECT_EQ(install.field, "f");
+  EXPECT_EQ(install.version, 1u);
+  EXPECT_EQ(install.text, field_text());
+}
+
+TEST(Replicator, SyncAllInstallsOnEveryOwner) {
+  ClusterSim cluster({"b1", "b2", "b3"}, /*replication=*/2);
+  cluster.replicator->set_deployment("f", field_text());
+  const std::vector<std::string> owners = cluster.replicator->owners("f");
+  ASSERT_EQ(owners.size(), 2u);
+  EXPECT_EQ(cluster.replicator->sync_all(), 2u);
+  for (const std::string& owner : owners) {
+    EXPECT_EQ(cluster.sim(owner).service.field_version("f"), 1u)
+        << owner;
+    EXPECT_EQ(cluster.metrics.backend_snapshot(owner).installs, 1u);
+  }
+  // Non-owners never saw the deployment.
+  for (const std::string& name : cluster.backend_names) {
+    bool owner = false;
+    for (const std::string& o : owners) owner = owner || o == name;
+    if (!owner) {
+      EXPECT_EQ(cluster.sim(name).service.field_version("f"), 0u) << name;
+    }
+  }
+}
+
+TEST(Replicator, SyncAllCountsOnlySuccessfulInstalls) {
+  ClusterSim cluster({"b1", "b2"}, /*replication=*/2);
+  cluster.replicator->set_deployment("f", field_text());
+  const std::vector<std::string> owners = cluster.replicator->owners("f");
+  cluster.sim(owners[0]).dead = true;
+  EXPECT_EQ(cluster.replicator->sync_all(), 1u);
+  EXPECT_EQ(cluster.sim(owners[1]).service.field_version("f"), 1u);
+}
+
+TEST(Replicator, SyncBackendPushesOnlyOwnedDeployments) {
+  ClusterSim cluster({"b1", "b2", "b3"}, /*replication=*/1);
+  // Register enough deployments that (with high probability over the fixed
+  // hash) every backend owns at least one; then resync a single backend.
+  std::vector<std::string> names;
+  for (int i = 0; i < 9; ++i) names.push_back("f" + std::to_string(i));
+  for (const std::string& name : names) {
+    cluster.replicator->set_deployment(name, field_text());
+  }
+  const std::string target = cluster.backend_names[0];
+  cluster.replicator->sync_backend(target);
+  // Wait for every owned deployment to land.
+  std::vector<std::string> owned;
+  for (const std::string& name : names) {
+    if (cluster.replicator->owners(name)[0] == target) owned.push_back(name);
+  }
+  ASSERT_FALSE(owned.empty());
+  ASSERT_TRUE(wait_until([&] {
+    for (const std::string& name : owned) {
+      if (cluster.sim(target).service.field_version(name) != 1u) return false;
+    }
+    return true;
+  }));
+  // Deployments owned elsewhere were not pushed to `target`.
+  for (const std::string& name : names) {
+    if (cluster.replicator->owners(name)[0] != target) {
+      EXPECT_EQ(cluster.sim(target).service.field_version(name), 0u) << name;
+    }
+  }
+}
+
+TEST(Replicator, ListTextEnumeratesDeployments) {
+  ClusterSim cluster({"b1"});
+  cluster.replicator->set_deployment("alpha", field_text());
+  cluster.replicator->set_deployment("beta", field_text());
+  EXPECT_EQ(cluster.replicator->list_text(), "alpha\nbeta\n");
+}
+
+}  // namespace
+}  // namespace abp::cluster

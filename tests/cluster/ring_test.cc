@@ -1,0 +1,94 @@
+#include "cluster/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace abp::cluster {
+namespace {
+
+TEST(HashRing, OwnersAreDeterministicAndDistinct) {
+  HashRing ring;
+  ring.add_node("a");
+  ring.add_node("b");
+  ring.add_node("c");
+  const std::vector<std::string> first = ring.owners("deploy", 2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_NE(first[0], first[1]);
+  // Pure function of (node set, key): identical on every call and on a
+  // freshly built ring.
+  EXPECT_EQ(ring.owners("deploy", 2), first);
+  HashRing rebuilt;
+  rebuilt.add_node("c");
+  rebuilt.add_node("a");
+  rebuilt.add_node("b");
+  EXPECT_EQ(rebuilt.owners("deploy", 2), first);
+}
+
+TEST(HashRing, ReplicasClampToNodeCount) {
+  HashRing ring;
+  ring.add_node("a");
+  ring.add_node("b");
+  const std::vector<std::string> owners = ring.owners("key", 5);
+  EXPECT_EQ(owners.size(), 2u);
+  EXPECT_TRUE(ring.owners("key", 0).empty());
+}
+
+TEST(HashRing, EmptyRingYieldsNoOwners) {
+  const HashRing ring;
+  EXPECT_TRUE(ring.owners("key", 1).empty());
+  EXPECT_EQ(ring.node_count(), 0u);
+}
+
+TEST(HashRing, ContainsAndRemove) {
+  HashRing ring;
+  ring.add_node("a");
+  ring.add_node("b");
+  EXPECT_TRUE(ring.contains("a"));
+  ring.remove_node("a");
+  EXPECT_FALSE(ring.contains("a"));
+  EXPECT_EQ(ring.node_count(), 1u);
+  // Every key now lands on the sole survivor.
+  EXPECT_EQ(ring.owners("anything", 1), std::vector<std::string>{"b"});
+}
+
+TEST(HashRing, RemovalOnlyRemapsKeysOwnedByTheRemovedNode) {
+  HashRing ring;
+  for (const char* node : {"a", "b", "c", "d"}) ring.add_node(node);
+  std::map<std::string, std::string> before;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    before[key] = ring.owners(key, 1)[0];
+  }
+  ring.remove_node("c");
+  for (const auto& [key, owner] : before) {
+    if (owner == "c") continue;  // only these may move
+    EXPECT_EQ(ring.owners(key, 1)[0], owner) << key;
+  }
+}
+
+TEST(HashRing, VirtualNodesSpreadLoad) {
+  HashRing ring(64);
+  ring.add_node("a");
+  ring.add_node("b");
+  ring.add_node("c");
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 300; ++i) {
+    counts[ring.owners("key-" + std::to_string(i), 1)[0]]++;
+  }
+  // Each backend owns a nontrivial share; exact split is hash-dependent.
+  for (const char* node : {"a", "b", "c"}) {
+    EXPECT_GT(counts[node], 30) << node;
+  }
+}
+
+TEST(HashRing, DuplicateAddIsIdempotent) {
+  HashRing ring;
+  ring.add_node("a");
+  ring.add_node("a");
+  EXPECT_EQ(ring.node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace abp::cluster

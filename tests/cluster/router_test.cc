@@ -1,0 +1,222 @@
+#include "cluster/router.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/field_io.h"
+#include "cluster_harness.h"
+
+namespace abp::cluster {
+namespace {
+
+std::string field_text() {
+  std::ostringstream out;
+  write_field(out, harness_field());
+  return out.str();
+}
+
+serve::Request localize_request(std::uint64_t seq = 1,
+                                const std::string& field = "default") {
+  serve::Request request;
+  request.seq = seq;
+  request.endpoint = serve::Endpoint::kLocalize;
+  request.field = field;
+  request.points = {{12, 12}, {50, 50}, {20, 15}};
+  return request;
+}
+
+/// The same request answered by a standalone unversioned single server —
+/// the byte-level reference a routed response must match.
+std::string direct_call(const serve::Request& request) {
+  serve::LocalizationService service(harness_service_config());
+  service.add_field("default", harness_field());
+  serve::Server server(service);
+  std::string out;
+  server.submit(serve::format_request(request),
+                [&out](std::string payload) { out = std::move(payload); });
+  server.pump();
+  return out;
+}
+
+TEST(Router, StatsAnsweredLocally) {
+  ClusterSim cluster({"b1"});
+  serve::Request request;
+  request.seq = 5;
+  request.endpoint = serve::Endpoint::kStats;
+  const auto response = serve::parse_response(cluster.call(request));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->seq, 5u);
+  EXPECT_EQ(response->status, serve::Status::kOk);
+  EXPECT_EQ(response->text.rfind("abp-route-stats 1\n", 0), 0u);
+  EXPECT_EQ(cluster.metrics.forwarded_total(), 0u);
+}
+
+TEST(Router, ListFieldsAnsweredLocally) {
+  ClusterSim cluster({"b1"});
+  cluster.replicator->set_deployment("alpha", field_text());
+  serve::Request request;
+  request.seq = 2;
+  request.endpoint = serve::Endpoint::kListFields;
+  const auto response = serve::parse_response(cluster.call(request));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, serve::Status::kOk);
+  EXPECT_EQ(response->text, "alpha\n");
+}
+
+TEST(Router, UnknownDeploymentIsNotFound) {
+  ClusterSim cluster({"b1"});
+  const auto response =
+      serve::parse_response(cluster.call(localize_request(1, "ghost")));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, serve::Status::kNotFound);
+  EXPECT_EQ(cluster.metrics.forwarded_total(), 0u);
+}
+
+TEST(Router, RoutedResponseIsByteIdenticalToDirect) {
+  ClusterSim cluster({"b1", "b2", "b3"}, /*replication=*/2);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+
+  const serve::Request localize = localize_request(42);
+  EXPECT_EQ(cluster.call(localize), direct_call(localize));
+
+  serve::Request error_at = localize_request(43);
+  error_at.endpoint = serve::Endpoint::kErrorAt;
+  EXPECT_EQ(cluster.call(error_at), direct_call(error_at));
+}
+
+TEST(Router, ClientSnapshotInstallIsRejected) {
+  ClusterSim cluster({"b1"});
+  cluster.replicator->set_deployment("default", field_text());
+  cluster.replicator->sync_all();
+  serve::Request install;
+  install.seq = 9;
+  install.endpoint = serve::Endpoint::kSnapshot;
+  install.field = "default";
+  install.text = field_text();
+  const auto response = serve::parse_response(cluster.call(install));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, serve::Status::kBadRequest);
+  // A plain snapshot *fetch* routes normally.
+  serve::Request fetch;
+  fetch.seq = 10;
+  fetch.endpoint = serve::Endpoint::kSnapshot;
+  fetch.field = "default";
+  const auto fetched = serve::parse_response(cluster.call(fetch));
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->status, serve::Status::kOk);
+  EXPECT_EQ(fetched->text, field_text());
+  EXPECT_EQ(fetched->version, 0u) << "version record must be stripped";
+}
+
+TEST(Router, FailsOverToSurvivingReplica) {
+  ClusterSim cluster({"b1", "b2", "b3"}, /*replication=*/2);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+  const std::vector<std::string> owners =
+      cluster.replicator->owners("default");
+  cluster.sim(owners[0]).dead = true;
+
+  const serve::Request request = localize_request(7);
+  EXPECT_EQ(cluster.call(request), direct_call(request));
+  EXPECT_GE(cluster.metrics.backend_snapshot(owners[1]).retries, 1u);
+  EXPECT_GE(cluster.metrics.backend_snapshot(owners[0]).transport_failures,
+            1u);
+}
+
+TEST(Router, AddBeaconIsNotRetriedAcrossReplicas) {
+  ClusterSim cluster({"b1", "b2"}, /*replication=*/2);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+  const std::vector<std::string> owners =
+      cluster.replicator->owners("default");
+  cluster.sim(owners[0]).dead = true;
+
+  serve::Request add;
+  add.seq = 3;
+  add.endpoint = serve::Endpoint::kAddBeacon;
+  add.field = "default";
+  add.points = {{20, 20}};
+  const auto response = serve::parse_response(cluster.call(add));
+  ASSERT_TRUE(response.has_value());
+  // The transport died after the request may have executed: a
+  // non-idempotent endpoint must not be replayed on another replica.
+  EXPECT_EQ(response->status, serve::Status::kUnavailable);
+  EXPECT_NE(response->retry_after_ms, 0u);
+  EXPECT_EQ(cluster.metrics.backend_snapshot(owners[1]).retries, 0u);
+  EXPECT_EQ(cluster.metrics.backend_snapshot(owners[1]).forwarded, 0u)
+      << "the add-beacon must not have been replayed on the replica";
+}
+
+TEST(Router, AllReplicasDownIsRetryableUnavailable) {
+  BackendPoolOptions options;
+  options.failure_threshold = 1;
+  ClusterSim cluster({"b1"}, 1, options);
+  cluster.replicator->set_deployment("default", field_text());
+  cluster.replicator->sync_all();
+  cluster.sim("b1").dead = true;
+
+  // First call hits the live-looking backend, fails, and has no replica
+  // left to try.
+  const auto first = serve::parse_response(cluster.call(localize_request(1)));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->status, serve::Status::kUnavailable);
+  EXPECT_NE(first->retry_after_ms, 0u);
+  EXPECT_TRUE(serve::status_retryable(first->status));
+
+  // The failure tripped the breaker (threshold 1): the next call is refused
+  // at enqueue and answered unrouted.
+  ASSERT_TRUE(wait_until(
+      [&] { return cluster.pool->health("b1") == BackendHealth::kOpen; }));
+  const auto second =
+      serve::parse_response(cluster.call(localize_request(2)));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->status, serve::Status::kUnavailable);
+  EXPECT_EQ(cluster.metrics.unrouted(), 1u);
+}
+
+TEST(Router, StaleBackendIsRepairedViaInstallThenRetry) {
+  ClusterSim cluster({"b1"}, 1);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 1u);
+  ASSERT_EQ(cluster.sim("b1").service.field_version("default"), 1u);
+
+  // Bump the registry without pushing: the backend is now stale.
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->version("default"), 2u);
+
+  const serve::Request request = localize_request(11);
+  EXPECT_EQ(cluster.call(request), direct_call(request));
+  EXPECT_EQ(cluster.sim("b1").service.field_version("default"), 2u)
+      << "the mismatch repair must install the fresh snapshot";
+  EXPECT_EQ(cluster.metrics.backend_snapshot("b1").version_mismatches, 1u);
+  EXPECT_EQ(cluster.metrics.backend_snapshot("b1").installs, 2u);
+}
+
+TEST(Router, UnparseablePayloadIsBadRequest) {
+  ClusterSim cluster({"b1"});
+  std::string out;
+  cluster.router->submit("definitely not a request\n",
+                         [&out](std::string payload) { out = payload; });
+  const auto response = serve::parse_response(out);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, serve::Status::kBadRequest);
+}
+
+TEST(Router, ShedOverloadedCarriesHint) {
+  ClusterSim cluster({"b1"});
+  std::string out;
+  cluster.router->shed_overloaded(
+      serve::format_request(localize_request(4)),
+      [&out](std::string payload) { out = payload; }, "router full");
+  const auto response = serve::parse_response(out);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->seq, 4u);
+  EXPECT_EQ(response->status, serve::Status::kOverloaded);
+  EXPECT_EQ(response->message, "router full");
+  EXPECT_NE(response->retry_after_ms, 0u);
+}
+
+}  // namespace
+}  // namespace abp::cluster

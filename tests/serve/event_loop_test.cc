@@ -281,6 +281,41 @@ TEST(Connection, DisarmedWakeMakesLateCompletionsHarmless) {
                 rig.service.metrics().shed_total());
 }
 
+TEST(Connection, TeardownWithReplyParkedBehindUnreleasedTicketIsOrphaned) {
+  // The ordered-release orphan path: ticket 1 has already completed into
+  // the ready map (parked behind unanswered ticket 0) when the transport
+  // tears the connection down. The parked reply must not pin the
+  // connection forever, and ticket 0's late completion must release both
+  // tickets into the orphan without touching freed transport state.
+  ConnectionRig rig;
+  int wakes = 0;
+  Connection::Limits limits;
+  limits.max_inflight = 1;
+  auto conn = rig.connect(limits, [&wakes] { ++wakes; });
+
+  // Frame 1 takes ticket 0 and parks in the manual server; frame 2 exceeds
+  // the in-flight cap and its `overloaded` reply completes ticket 1
+  // immediately — out of order, so it waits in the ready map.
+  conn->on_bytes(request_frame(1) + request_frame(2));
+  EXPECT_EQ(conn->in_flight(), 1u);
+  EXPECT_FALSE(conn->has_writable());
+
+  // Socket dies now: one ticket done-but-unreleased, one still queued.
+  conn->disarm_wake();
+  const std::weak_ptr<Connection> probe = conn;
+  conn.reset();
+  EXPECT_FALSE(probe.expired())
+      << "ticket 0's queued reply callback must keep the orphan alive";
+
+  rig.server.pump();  // ticket 0 completes, releasing both into the orphan
+  EXPECT_EQ(wakes, 0);
+  EXPECT_TRUE(probe.expired())
+      << "releasing the parked ticket must not leak the connection";
+  EXPECT_EQ(rig.service.metrics().submitted(),
+            rig.service.metrics().completed() +
+                rig.service.metrics().shed_total());
+}
+
 // ---- EpollServerTransport over real sockets ----------------------------
 
 TEST(TransportKindTest, NamesRoundTrip) {

@@ -174,9 +174,86 @@ TEST(Protocol, DeadlineRoundTrips) {
   EXPECT_EQ(*copy, request);
 }
 
+TEST(Protocol, VersionRecordRoundTripsBothDirections) {
+  Request request = full_request();
+  request.version = 9;
+  const auto request_copy = parse_request(format_request(request));
+  ASSERT_TRUE(request_copy.has_value());
+  EXPECT_EQ(request_copy->version, 9u);
+  EXPECT_EQ(*request_copy, request);
+
+  Response response;
+  response.seq = 5;
+  response.status = Status::kVersionMismatch;
+  response.message = "backend has v1, request wants v2";
+  response.version = 1;
+  const auto response_copy = parse_response(format_response(response));
+  ASSERT_TRUE(response_copy.has_value());
+  EXPECT_EQ(response_copy->version, 1u);
+  EXPECT_EQ(*response_copy, response);
+}
+
+TEST(Protocol, VersionZeroIsOmittedForPreClusterByteIdentity) {
+  // Unversioned traffic must format exactly as before the cluster work:
+  // a routed response with the version stripped is byte-identical to a
+  // direct single-server response.
+  const Request request = full_request();
+  EXPECT_EQ(format_request(request).find("version"), std::string::npos);
+  Response response;
+  response.seq = 1;
+  response.status = Status::kOk;
+  EXPECT_EQ(format_response(response).find("version"), std::string::npos);
+  // Explicit `version 0` parses as unversioned.
+  EXPECT_EQ(parse_request("abp-request 1 1 stats\nversion 0\n")->version, 0u);
+}
+
+TEST(Protocol, MalformedVersionRecordIsRejected) {
+  const std::string head = "abp-request 1 1 localize\npoint 1 2\n";
+  std::string error;
+  EXPECT_FALSE(parse_request(head + "version two\n", &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos);
+  EXPECT_FALSE(parse_request(head + "version\n").has_value());
+  EXPECT_FALSE(
+      parse_response("abp-response 1 1 ok\nversion -3\n").has_value());
+}
+
+TEST(Protocol, RequestTextBlockRoundTripsRawBytes) {
+  // Snapshot installs carry the field file verbatim — including newlines
+  // and lines that look like protocol records.
+  Request request;
+  request.seq = 6;
+  request.endpoint = Endpoint::kSnapshot;
+  request.field = "default";
+  request.version = 2;
+  request.text = "abp-field 1\nbounds 0 0 10 10\npoint 1 2\n";
+  const auto copy = parse_request(format_request(request));
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(copy->text, request.text);
+  EXPECT_EQ(*copy, request);
+  // Empty text emits no record at all.
+  request.text.clear();
+  EXPECT_EQ(format_request(request).find("text"), std::string::npos);
+}
+
+TEST(Protocol, RequestTextBlockLengthIsValidated) {
+  const std::string head = "abp-request 1 1 snapshot\nfield f\n";
+  std::string error;
+  EXPECT_FALSE(parse_request(head + "text 9999\nshort\n", &error).has_value());
+  EXPECT_NE(error.find("text"), std::string::npos);
+  EXPECT_FALSE(parse_request(head + "text -1\nx\n").has_value());
+  EXPECT_FALSE(parse_request(head + "text\n").has_value());
+}
+
+TEST(Protocol, AddBeaconIsTheOnlyNonIdempotentEndpoint) {
+  for (const Endpoint endpoint : kAllEndpoints) {
+    EXPECT_EQ(endpoint_idempotent(endpoint), endpoint != Endpoint::kAddBeacon)
+        << endpoint_name(endpoint);
+  }
+}
+
 TEST(Protocol, ResilienceStatusesRoundTrip) {
-  for (const Status status :
-       {Status::kOverloaded, Status::kDeadlineExceeded}) {
+  for (const Status status : {Status::kOverloaded, Status::kDeadlineExceeded,
+                              Status::kVersionMismatch}) {
     EXPECT_TRUE(status_retryable(status));
     EXPECT_EQ(status_from_name(status_name(status)), status);
     Response response;

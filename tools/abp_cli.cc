@@ -16,6 +16,9 @@
 ///   abp serve    --field field.txt [--name default] [--noise X]
 ///                [--port P | --oneshot --in req.bin [--out resp.bin]]
 ///                [--workers N] [--batch B]
+///   abp route    --field field.txt --backend H:P [--backend H:P ...]
+///                [--replication R] [--heartbeat-ms H] [--port P]
+///                [--transport threaded|epoll]
 ///   abp query    --type localize|error-at|propose|add-beacon|snapshot|
 ///                stats|list-fields [--points "x,y;x,y"] [--algorithm A]
 ///                [--name default] [--count K]
@@ -50,6 +53,11 @@
 #include "placement/random_placement.h"
 #include "radio/noise_model.h"
 #include "robot/surveyor.h"
+#include "cluster/backend_pool.h"
+#include "cluster/config.h"
+#include "cluster/replicator.h"
+#include "cluster/ring.h"
+#include "cluster/router.h"
 #include "serve/client.h"
 #include "serve/config.h"
 #include "serve/server.h"
@@ -81,6 +89,14 @@ int usage() {
          "           [--transport threaded|epoll] [--event-shards E]\n"
          "           [--read-timeout-s R] [--write-timeout-s W]\n"
          "           [--port P | --oneshot --in REQ [--out RESP]]\n"
+         "  route    --field FILE --backend HOST:PORT [--backend ...] "
+         "[--name N]\n"
+         "           [--replication R] [--heartbeat-ms H] "
+         "[--failure-threshold F]\n"
+         "           [--transport threaded|epoll] [--event-shards E] "
+         "[--port P]\n"
+         "           [--max-inflight I] [--retry-after-ms H] "
+         "[--connect-timeout-s C]\n"
          "  query    --type T [--points \"x,y;x,y\"] [--algorithm A] "
          "[--name N] [--count K]\n"
          "           [--deadline-ms D] [--retries R] [--budget-ms B]\n"
@@ -399,7 +415,8 @@ int cmd_serve(const Flags& flags) {
             << transport->port() << " (transport " << transport->name()
             << ", workers " << config.workers << ", batch " << config.batch
             << ", max-queue " << config.max_queue << ", max-inflight "
-            << config.max_inflight << "); Ctrl-C to stop\n";
+            << config.max_inflight << "); Ctrl-C to stop\n"
+            << std::flush;  // scripts parse the port from a redirected log
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
   while (g_stop_requested == 0) {
@@ -410,6 +427,58 @@ int cmd_serve(const Flags& flags) {
   transport->stop();
   server.shutdown();
   std::cout << service.metrics().render_text();
+  return 0;
+}
+
+int cmd_route(const Flags& flags) {
+  const cluster::RouterConfig config = cluster::RouterConfig::from_flags(flags);
+  flags.check_unused();
+
+  // Canonicalize the field through the text codec so the routed snapshot is
+  // byte-identical to what `abp serve --field` would load.
+  const BeaconField field = load_field(config.field_path);
+  std::ostringstream field_text;
+  write_field(field_text, field);
+
+  serve::RouterMetrics metrics;
+  cluster::HashRing ring;
+  for (const std::string& backend : config.backends) ring.add_node(backend);
+  cluster::BackendPool pool(config.backends, config.pool_options(), metrics);
+  cluster::Replicator replicator(pool, ring, config.replication, metrics);
+  pool.set_recovery_callback(
+      [&replicator](const std::string& backend) {
+        replicator.sync_backend(backend);
+      });
+  cluster::Router router(ring, pool, replicator, metrics,
+                         config.router_options());
+
+  pool.start();
+  replicator.set_deployment(config.name, field_text.str());
+  const std::size_t installs = replicator.sync_all();
+  std::cout << "synced deployment '" << config.name << "' to " << installs
+            << "/" << replicator.owners(config.name).size()
+            << " replica(s)\n";
+
+  const std::unique_ptr<serve::ServerTransport> transport =
+      serve::make_server_transport(config.transport, router,
+                                   config.transport_options());
+  transport->start();
+  std::cout << "routing deployment '" << config.name << "' on 127.0.0.1:"
+            << transport->port() << " (transport " << transport->name()
+            << ", backends " << config.backends.size() << ", replication "
+            << config.replication << "); Ctrl-C to stop\n"
+            << std::flush;  // scripts parse the port from a redirected log
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_requested == 0) {
+    pollfd none{-1, 0, 0};
+    ::poll(&none, 0, 200);  // sleep, interruptible by signals
+    pool.tick();  // probe cadence is gated inside tick()
+  }
+  std::cout << "\nshutting down: draining in-flight forwards\n";
+  transport->stop();
+  pool.stop();
+  std::cout << metrics.render_text();
   return 0;
 }
 
@@ -510,6 +579,7 @@ int run(int argc, char** argv) {
   if (command == "schedule") return cmd_schedule(flags);
   if (command == "sweep") return cmd_sweep(flags);
   if (command == "serve") return cmd_serve(flags);
+  if (command == "route") return cmd_route(flags);
   if (command == "query") return cmd_query(flags);
   std::cerr << "unknown command: " << command << "\n";
   return usage();
