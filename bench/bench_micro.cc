@@ -120,6 +120,41 @@ void BM_MeanIfAdded(benchmark::State& state) {
 }
 BENCHMARK(BM_MeanIfAdded);
 
+void BM_SurveyBatch(benchmark::State& state) {
+  // The fused batch kernel on its own: 120 beacons, Noise=0.3, varying
+  // batch size, one arm per benchmark instance (0=scalar, 1=generic,
+  // 2=avx2). Throughput counter is points per second.
+  const auto backend = static_cast<SurveyBackend>(state.range(0));
+  const auto batch_size = static_cast<std::size_t>(state.range(1));
+  if (backend == SurveyBackend::kAvx2 && !SurveyKernel::avx2_supported()) {
+    state.SkipWithError("AVX2 not available");
+    return;
+  }
+  World world(120, 0.3);
+  const SurveyKernel kernel(world.field, world.model);
+  SurveyBatch batch;
+  batch.reserve(batch_size);
+  // Row-major lattice prefix: the spatially coherent batches every real
+  // caller (error map sweeps, survey tours, serve requests) produces.
+  world.lattice.for_each([&](std::size_t flat, Vec2 p) {
+    if (flat < batch_size) batch.push(p);
+  });
+  for (auto _ : state) {
+    kernel.evaluate(batch, backend);
+    benchmark::DoNotOptimize(batch.sum_x.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+  switch (backend) {
+    case SurveyBackend::kScalar: state.SetLabel("scalar"); break;
+    case SurveyBackend::kGeneric: state.SetLabel("generic"); break;
+    case SurveyBackend::kAvx2: state.SetLabel("avx2"); break;
+  }
+}
+BENCHMARK(BM_SurveyBatch)
+    ->ArgsProduct({{0, 1, 2}, {64, 1024, 10201}});
+
 void BM_ConnectivityQuery(benchmark::State& state) {
   const double noise = static_cast<double>(state.range(0)) / 10.0;
   World world(120, noise);

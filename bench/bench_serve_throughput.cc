@@ -105,6 +105,51 @@ BENCHMARK(BM_ServeThroughput)
     ->Args({64, 4})
     ->UseRealTime();
 
+/// Point throughput for multi-point requests: the kLocalize handler
+/// resolves a whole request in one fused survey-kernel call, so
+/// points-per-second should rise with points-per-request far past what the
+/// per-request codec allows. `items_processed` is points, not requests.
+void BM_ServePointThroughput(benchmark::State& state) {
+  const auto points = static_cast<std::size_t>(state.range(0));
+
+  LocalizationService service(bench_config());
+  service.add_field("default", make_field());
+  Server::Options options;
+  options.workers = 0;
+  options.max_batch = 8;
+  Server server(service, options);
+  LoopbackTransport loopback(server);
+  ClientTransport& transport = loopback;
+
+  constexpr std::size_t kRequests = 64;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      Request request;
+      request.seq = seq++;
+      request.endpoint = Endpoint::kLocalize;
+      request.points.reserve(points);
+      // A coherent probe track across the terrain, like a survey tour.
+      const double y = 100.0 * static_cast<double>(i) / kRequests;
+      for (std::size_t k = 0; k < points; ++k) {
+        request.points.push_back(
+            {100.0 * static_cast<double>(k) / static_cast<double>(points), y});
+      }
+      transport.send_async(request, [](std::string) {});
+    }
+    transport.flush();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRequests * points));
+}
+
+BENCHMARK(BM_ServePointThroughput)
+    ->ArgNames({"points"})
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->UseRealTime();
+
 /// Real-TCP scaling: `conns` pipelined client connections, window 4 each,
 /// against the threaded (arg 0) or epoll (arg 1) server transport. Goodput
 /// per iteration is conns × 4 requests, all flushed through the

@@ -1,47 +1,21 @@
 #include "loc/connectivity.h"
 
-#include <algorithm>
-
 namespace abp {
 
 std::vector<Beacon> connected_beacons(const BeaconField& field,
                                       const PropagationModel& model,
                                       Vec2 point) {
-  std::vector<Beacon> out;
-  field.query_disk(point, model.max_range(), [&](const Beacon& b) {
-    if (model.connected(b, point)) out.push_back(b);
-  });
-  std::sort(out.begin(), out.end(),
-            [](const Beacon& a, const Beacon& b) { return a.id < b.id; });
-  return out;
+  return SurveyKernel(field, model).connected_list(point);
 }
 
 std::size_t connected_count(const BeaconField& field,
                             const PropagationModel& model, Vec2 point) {
-  std::size_t n = 0;
-  field.query_disk(point, model.max_range(), [&](const Beacon& b) {
-    if (model.connected(b, point)) ++n;
-  });
-  return n;
+  return SurveyKernel(field, model).evaluate_point(point).count;
 }
 
 ConnectedSum connected_sum(const BeaconField& field,
                            const PropagationModel& model, Vec2 point) {
-  // Reused scratch buffer: this sits in the innermost loop of every error
-  // map computation; per-call allocation would dominate.
-  thread_local std::vector<std::pair<BeaconId, Vec2>> scratch;
-  scratch.clear();
-  field.query_disk(point, model.max_range(), [&](const Beacon& b) {
-    if (model.connected(b, point)) scratch.emplace_back(b.id, b.pos);
-  });
-  std::sort(scratch.begin(), scratch.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  ConnectedSum out;
-  for (const auto& [id, pos] : scratch) {
-    out.sum += pos;
-    ++out.count;
-  }
-  return out;
+  return SurveyKernel(field, model).evaluate_point(point);
 }
 
 }  // namespace abp

@@ -5,11 +5,18 @@
 /// whose messages arrive above the CMthresh reception threshold. In the
 /// analytic model that reduces to the propagation predicate; the DES
 /// substrate (`src/des/`) validates the reduction packet-by-packet.
+///
+/// These free functions are the cold-path convenience API: each call
+/// snapshots the field into a one-shot `SurveyKernel`. Hot loops (error
+/// maps, serving, placement search) hold a kernel and batch instead —
+/// results are bit-identical either way (same ascending-id accumulation,
+/// same predicate arithmetic).
 #pragma once
 
 #include <vector>
 
 #include "field/beacon_field.h"
+#include "loc/survey_kernel.h"
 #include "radio/propagation.h"
 
 namespace abp {
@@ -20,19 +27,12 @@ std::vector<Beacon> connected_beacons(const BeaconField& field,
                                       const PropagationModel& model,
                                       Vec2 point);
 
-/// Number of connected beacons at `point` (no allocation).
+/// Number of connected beacons at `point`.
 std::size_t connected_count(const BeaconField& field,
                             const PropagationModel& model, Vec2 point);
 
-/// Position sum and count of the connected set, accumulated in ascending
-/// beacon-id order. The canonical order makes the floating-point sum — and
-/// therefore every centroid estimate and error map — independent of spatial
-/// index iteration order, so incremental updates are bit-identical to full
-/// recomputation.
-struct ConnectedSum {
-  Vec2 sum;
-  std::size_t count = 0;
-};
+/// Position sum and count of the connected set (`ConnectedSum` lives in
+/// loc/survey_kernel.h with the batch API).
 ConnectedSum connected_sum(const BeaconField& field,
                            const PropagationModel& model, Vec2 point);
 

@@ -39,14 +39,19 @@ CoverageStats analyze_coverage(const BeaconField& field,
   CoverageStats stats;
   stats.covered_fraction.assign(k_max, 0.0);
 
-  // k-coverage over the lattice.
+  // k-coverage over the lattice: one batched kernel pass for the counts.
+  const SurveyKernel kernel(field, model);
+  SurveyBatch batch;
+  batch.reserve(lattice.size());
+  lattice.for_each([&](std::size_t, Vec2 p) { batch.push(p); });
+  kernel.evaluate(batch);
   std::vector<std::size_t> hits(k_max, 0);
-  lattice.for_each([&](std::size_t, Vec2 p) {
-    const std::size_t n = connected_count(field, model, p);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::size_t n = batch.counts[i];
     for (std::size_t k = 1; k <= k_max; ++k) {
       if (n >= k) ++hits[k - 1];
     }
-  });
+  }
   for (std::size_t k = 0; k < k_max; ++k) {
     stats.covered_fraction[k] =
         static_cast<double>(hits[k]) / static_cast<double>(lattice.size());

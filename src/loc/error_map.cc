@@ -3,24 +3,25 @@
 #include <limits>
 
 #include "common/assert.h"
-#include "loc/connectivity.h"
 
 namespace abp {
+
+namespace {
+
+/// Centroid estimate + distance-to-truth epilogue shared by every sweep:
+/// same expression the scalar localizer evaluates per point.
+double estimate_error(const ConnectedSum& cs, Vec2 fallback, Vec2 p) {
+  const Vec2 est =
+      cs.count == 0 ? fallback : cs.sum / static_cast<double>(cs.count);
+  return distance(est, p);
+}
+
+}  // namespace
 
 ErrorMap::ErrorMap(const Lattice2D& lattice)
     : lattice_(lattice),
       err_(lattice.nx(), lattice.ny(), 0.0),
       conn_(lattice.nx(), lattice.ny(), 0) {}
-
-double ErrorMap::point_error(const BeaconField& field,
-                             const PropagationModel& model, Vec2 p,
-                             std::size_t* count_out) const {
-  const ConnectedSum cs = connected_sum(field, model, p);
-  if (count_out) *count_out = cs.count;
-  const Vec2 est = cs.count == 0 ? field.active_centroid()
-                                 : cs.sum / static_cast<double>(cs.count);
-  return distance(est, p);
-}
 
 void ErrorMap::set_value(std::size_t flat, double v) {
   sum_ += v - err_[flat];
@@ -29,12 +30,23 @@ void ErrorMap::set_value(std::size_t flat, double v) {
 
 void ErrorMap::compute(const BeaconField& field,
                        const PropagationModel& model) {
+  compute(field, SurveyKernel(field, model));
+}
+
+void ErrorMap::compute(const BeaconField& field, const SurveyKernel& kernel) {
+  scratch_.clear();
+  scratch_.reserve(lattice_.size());
+  lattice_.for_each([&](std::size_t, Vec2 p) { scratch_.push(p); });
+  kernel.evaluate(scratch_);
+
+  const Vec2 centroid = field.active_centroid();
   sum_ = 0.0;
+  std::size_t i = 0;
   lattice_.for_each([&](std::size_t flat, Vec2 p) {
-    std::size_t n = 0;
-    const double e = point_error(field, model, p, &n);
+    const ConnectedSum cs = scratch_.result(i++);
+    const double e = estimate_error(cs, centroid, p);
     err_[flat] = e;
-    conn_[flat] = static_cast<std::uint16_t>(n);
+    conn_[flat] = static_cast<std::uint16_t>(cs.count);
     sum_ += e;
   });
 }
@@ -42,20 +54,33 @@ void ErrorMap::compute(const BeaconField& field,
 void ErrorMap::apply_addition(const BeaconField& field,
                               const PropagationModel& model,
                               const Beacon& beacon) {
+  apply_addition(field, SurveyKernel(field, model), beacon);
+}
+
+void ErrorMap::apply_addition(const BeaconField& field,
+                              const SurveyKernel& kernel,
+                              const Beacon& beacon) {
   ABP_DCHECK(field.get(beacon.id).has_value(),
              "beacon must already be in the field");
-  // 1. Points within reach of the new beacon: full recompute.
+  const Vec2 centroid = field.active_centroid();
+  const double reach = kernel.model().max_range();
+  const double reach2 = reach * reach;
+
+  // 1. Points within reach of the new beacon: full recompute, batched.
+  scratch_.clear();
+  lattice_.for_each_in_disk(beacon.pos, reach,
+                            [&](std::size_t, Vec2 p) { scratch_.push(p); });
+  kernel.evaluate(scratch_);
+  std::size_t i = 0;
   lattice_.for_each_in_disk(
-      beacon.pos, model.max_range(), [&](std::size_t flat, Vec2 p) {
-        std::size_t n = 0;
-        set_value(flat, point_error(field, model, p, &n));
-        conn_[flat] = static_cast<std::uint16_t>(n);
+      beacon.pos, reach, [&](std::size_t flat, Vec2 p) {
+        const ConnectedSum cs = scratch_.result(i++);
+        set_value(flat, estimate_error(cs, centroid, p));
+        conn_[flat] = static_cast<std::uint16_t>(cs.count);
       });
+
   // 2. Still-uncovered points elsewhere: fallback estimate moved with the
   // field centroid; no connectivity can have changed for them.
-  const Vec2 centroid = field.active_centroid();
-  const double reach = model.max_range();
-  const double reach2 = reach * reach;
   lattice_.for_each([&](std::size_t flat, Vec2 p) {
     if (conn_[flat] != 0) return;
     if (distance_sq(p, beacon.pos) <= reach2) return;  // handled above
@@ -65,15 +90,27 @@ void ErrorMap::apply_addition(const BeaconField& field,
 
 void ErrorMap::apply_removal(const BeaconField& field,
                              const PropagationModel& model, Vec2 removed_pos) {
-  lattice_.for_each_in_disk(
-      removed_pos, model.max_range(), [&](std::size_t flat, Vec2 p) {
-        std::size_t n = 0;
-        set_value(flat, point_error(field, model, p, &n));
-        conn_[flat] = static_cast<std::uint16_t>(n);
-      });
+  apply_removal(field, SurveyKernel(field, model), removed_pos);
+}
+
+void ErrorMap::apply_removal(const BeaconField& field,
+                             const SurveyKernel& kernel, Vec2 removed_pos) {
   const Vec2 centroid = field.active_centroid();
-  const double reach = model.max_range();
+  const double reach = kernel.model().max_range();
   const double reach2 = reach * reach;
+
+  scratch_.clear();
+  lattice_.for_each_in_disk(removed_pos, reach,
+                            [&](std::size_t, Vec2 p) { scratch_.push(p); });
+  kernel.evaluate(scratch_);
+  std::size_t i = 0;
+  lattice_.for_each_in_disk(
+      removed_pos, reach, [&](std::size_t flat, Vec2 p) {
+        const ConnectedSum cs = scratch_.result(i++);
+        set_value(flat, estimate_error(cs, centroid, p));
+        conn_[flat] = static_cast<std::uint16_t>(cs.count);
+      });
+
   lattice_.for_each([&](std::size_t flat, Vec2 p) {
     if (conn_[flat] != 0) return;
     if (distance_sq(p, removed_pos) <= reach2) return;
@@ -83,9 +120,14 @@ void ErrorMap::apply_removal(const BeaconField& field,
 
 double ErrorMap::mean_if_added(const BeaconField& field,
                                const PropagationModel& model, Vec2 pos) const {
+  return mean_if_added(field, SurveyKernel(field, model), pos);
+}
+
+double ErrorMap::mean_if_added(const BeaconField& field,
+                               const SurveyKernel& kernel, Vec2 pos) const {
   // Hypothetical beacon: id is irrelevant to propagation (noise draws are
-  // keyed by position), so any placeholder works.
-  const Beacon hypothetical{std::numeric_limits<BeaconId>::max(), pos, true};
+  // keyed by position), so the kernel precomputes its constants once.
+  const SurveyKernel::Hypothetical hyp = kernel.make_hypothetical(pos);
   const std::size_t active_n = field.active_count();
   const Vec2 new_centroid =
       active_n + 1 == 0
@@ -94,22 +136,25 @@ double ErrorMap::mean_if_added(const BeaconField& field,
                 static_cast<double>(active_n + 1);
 
   double delta = 0.0;
-  const double reach = model.max_range();
+  const double reach = kernel.model().max_range();
   const double reach2 = reach * reach;
 
   // Points the new beacon might reach: recompute with the extra candidate.
-  // The candidate is summed last, matching the canonical id order of
-  // `connected_sum` once the beacon is actually added (new ids are always
-  // the highest in the field), so the prediction is bit-exact.
+  // The candidate is summed last, matching the canonical id order of the
+  // kernel once the beacon is actually added (new ids are always the
+  // highest in the field), so the prediction is bit-exact.
+  scratch_.clear();
+  lattice_.for_each_in_disk(pos, reach,
+                            [&](std::size_t, Vec2 p) { scratch_.push(p); });
+  kernel.evaluate(scratch_);
+  std::size_t i = 0;
   lattice_.for_each_in_disk(pos, reach, [&](std::size_t flat, Vec2 p) {
-    ConnectedSum cs = connected_sum(field, model, p);
-    if (model.connected(hypothetical, p)) {
+    ConnectedSum cs = scratch_.result(i++);
+    if (kernel.hypothetical_connected(hyp, p)) {
       cs.sum += pos;
       ++cs.count;
     }
-    const Vec2 est = cs.count == 0 ? new_centroid
-                                   : cs.sum / static_cast<double>(cs.count);
-    delta += distance(est, p) - err_[flat];
+    delta += estimate_error(cs, new_centroid, p) - err_[flat];
   });
 
   // Uncovered points out of reach: fallback moves to the new centroid.

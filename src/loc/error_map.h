@@ -13,10 +13,19 @@
 ///    localizer.h), which shifts when the field changes — those points are
 ///    updated in O(#uncovered) without any connectivity queries.
 ///
-/// The result is bit-identical to a full recomputation (enforced by
+/// All lattice sweeps evaluate through the batched `SurveyKernel`
+/// (survey_kernel.h): points are gathered into a `SurveyBatch` and resolved
+/// in one fused kernel call, then the scalar epilogue (centroid fallback,
+/// distance-to-truth) runs per point. The result is bit-identical to the
+/// historical per-point path and to a full recomputation (enforced by
 /// property tests) at a fraction of the cost. A hypothetical-addition query
 /// (`mean_if_added`) supports the greedy-oracle placement baseline without
 /// mutating anything.
+///
+/// Each method has two forms: the `(field, model)` form snapshots a one-shot
+/// kernel, and the `(field, kernel)` form takes a caller-held kernel so hot
+/// loops (placement search, serving) amortize the snapshot. The kernel must
+/// be a snapshot of `field`'s current revision.
 #pragma once
 
 #include <span>
@@ -25,6 +34,7 @@
 #include "field/beacon_field.h"
 #include "geom/grid2d.h"
 #include "geom/lattice.h"
+#include "loc/survey_kernel.h"
 #include "radio/propagation.h"
 
 namespace abp {
@@ -38,19 +48,26 @@ class ErrorMap {
   /// Full recomputation of LE (and connectivity counts) at every lattice
   /// point for the current field state.
   void compute(const BeaconField& field, const PropagationModel& model);
+  void compute(const BeaconField& field, const SurveyKernel& kernel);
 
   /// Exact update after `beacon` has just been added to `field`.
   void apply_addition(const BeaconField& field, const PropagationModel& model,
+                      const Beacon& beacon);
+  void apply_addition(const BeaconField& field, const SurveyKernel& kernel,
                       const Beacon& beacon);
 
   /// Exact update after a beacon at `removed_pos` has just been removed
   /// from (or deactivated in) `field`.
   void apply_removal(const BeaconField& field, const PropagationModel& model,
                      Vec2 removed_pos);
+  void apply_removal(const BeaconField& field, const SurveyKernel& kernel,
+                     Vec2 removed_pos);
 
   /// Mean LE the map would have if a beacon were added at `pos` — computed
   /// without mutating the field or this map (greedy-oracle primitive).
   double mean_if_added(const BeaconField& field, const PropagationModel& model,
+                       Vec2 pos) const;
+  double mean_if_added(const BeaconField& field, const SurveyKernel& kernel,
                        Vec2 pos) const;
 
   /// LE value at a flat lattice index.
@@ -71,14 +88,16 @@ class ErrorMap {
   double uncovered_fraction() const;
 
  private:
-  double point_error(const BeaconField& field, const PropagationModel& model,
-                     Vec2 p, std::size_t* count_out) const;
   void set_value(std::size_t flat, double v);
 
   Lattice2D lattice_;
   Grid2D<double> err_;
   Grid2D<std::uint16_t> conn_;
   double sum_ = 0.0;
+  /// Reused point buffer for the batched sweeps. Makes concurrent calls on
+  /// one ErrorMap (even const ones) a data race — match the map's existing
+  /// single-writer discipline.
+  mutable SurveyBatch scratch_;
 };
 
 }  // namespace abp

@@ -1,11 +1,16 @@
 #include "loc/localizer.h"
 
-#include "loc/connectivity.h"
-
 namespace abp {
 
+const SurveyKernel& CentroidLocalizer::kernel() const {
+  if (!kernel_ || kernel_->revision() != field_->revision()) {
+    kernel_.emplace(*field_, *model_);
+  }
+  return *kernel_;
+}
+
 LocalizationResult CentroidLocalizer::localize(Vec2 point) const {
-  const ConnectedSum cs = connected_sum(*field_, *model_, point);
+  const ConnectedSum cs = kernel().evaluate_point(point);
   if (cs.count == 0) {
     return {field_->active_centroid(), 0};
   }

@@ -12,7 +12,10 @@
 /// interpretation table in DESIGN.md.
 #pragma once
 
+#include <optional>
+
 #include "field/beacon_field.h"
+#include "loc/survey_kernel.h"
 #include "radio/propagation.h"
 
 namespace abp {
@@ -23,6 +26,12 @@ struct LocalizationResult {
   std::size_t connected = 0;  ///< number of beacons heard
 };
 
+/// Live view over a field: observes every mutation. Internally the
+/// localizer memoizes a `SurveyKernel` snapshot and rebuilds it whenever
+/// `BeaconField::revision()` moves, so repeated queries against an
+/// unchanged field pay the snapshot cost once. The cache makes the
+/// localizer single-threaded per instance (like the field it watches);
+/// concurrent readers each hold their own localizer or kernel.
 class CentroidLocalizer {
  public:
   CentroidLocalizer(const BeaconField& field, const PropagationModel& model)
@@ -36,12 +45,18 @@ class CentroidLocalizer {
     return distance(localize(point).estimate, point);
   }
 
+  /// The memoized batch kernel for the field's current revision. Callers
+  /// with many points per field state should evaluate `SurveyBatch`es
+  /// against this instead of looping `localize`.
+  const SurveyKernel& kernel() const;
+
   const BeaconField& field() const { return *field_; }
   const PropagationModel& model() const { return *model_; }
 
  private:
   const BeaconField* field_;
   const PropagationModel* model_;
+  mutable std::optional<SurveyKernel> kernel_;
 };
 
 }  // namespace abp

@@ -36,8 +36,11 @@ LocusAnalysis analyze_loci(const BeaconField& field,
   };
   std::unordered_map<std::uint64_t, Accum> groups;
 
+  // One field snapshot for the whole sweep; the per-point connected set is
+  // already ascending-id, so signatures are stable.
+  const SurveyKernel kernel(field, model);
   lattice.for_each([&](std::size_t, Vec2 p) {
-    const auto connected = connected_beacons(field, model, p);
+    const auto connected = kernel.connected_list(p);
     // Order-independent (ids already sorted) signature of the set.
     std::uint64_t sig = 0x517CC1B727220A95ULL;
     for (const Beacon& b : connected) {

@@ -1,0 +1,365 @@
+#include "loc/survey_kernel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "loc/survey_kernel_detail.h"
+#include "radio/noise_model.h"
+#include "rng/hash.h"
+
+namespace abp {
+
+using survey_detail::FastView;
+using survey_detail::kChunk;
+using survey_detail::kLanes;
+using survey_detail::kPadSentinel;
+using survey_detail::kReachSlack;
+
+namespace {
+
+/// The generic arm: same chunked shape as the AVX2 arm, plain C++ (the
+/// compiler vectorizes the distance test where profitable; correctness
+/// never depends on it).
+void eval_chunk_generic(const FastView& m, const std::uint32_t* cand,
+                        std::size_t ncand, const double* px, const double* py,
+                        const std::uint64_t* pxq, const std::uint64_t* pyq,
+                        std::size_t npad, double* sx, double* sy,
+                        std::uint64_t* cnt) {
+  for (std::size_t k = 0; k < ncand; ++k) {
+    const std::uint32_t b = cand[k];
+    const double bx = m.bx[b];
+    const double by = m.by[b];
+    for (std::size_t i = 0; i < npad; ++i) {
+      const double dx = bx - px[i];
+      const double dy = by - py[i];
+      const double d2 = dx * dx + dy * dy;
+      bool conn = d2 <= m.in2;
+      if (!conn && m.band && d2 <= m.out2) {
+        conn = survey_detail::band_connected(m, b, d2, pxq[i], pyq[i]);
+      }
+      if (conn) {
+        sx[i] += bx;
+        sy[i] += by;
+        ++cnt[i];
+      }
+    }
+  }
+}
+
+std::uint64_t quantize_word(double v) {
+  return static_cast<std::uint64_t>(quantize_cm(v));
+}
+
+}  // namespace
+
+SurveyKernel::SurveyKernel(const BeaconField& field,
+                           const PropagationModel& model)
+    : soa_(BeaconSoA::snapshot(field)), model_(&model) {
+  if (const auto* noisy = dynamic_cast<const PerBeaconNoiseModel*>(&model)) {
+    FastPath f;
+    f.range = noisy->nominal_range();
+    const double noise = noisy->noise_max();
+    // Same products the scalar predicate computes per call, evaluated once.
+    const double cin = f.range * (1.0 - noise);
+    const double cout = f.range * (1.0 + noise);
+    f.in2 = cin * cin;
+    f.out2 = cout * cout;
+    f.band = noise > 0.0;
+    if (f.band) {
+      f.nf.reserve(soa_.size());
+      f.prefix.reserve(soa_.size());
+      for (std::size_t i = 0; i < soa_.size(); ++i) {
+        const Beacon b = soa_.beacon(i);
+        f.nf.push_back(noisy->noise_factor(b));
+        f.prefix.push_back(noisy->u_draw_prefix(b));
+      }
+    }
+    fast_ = std::move(f);
+  } else if (const auto* ideal = dynamic_cast<const IdealDiskModel*>(&model)) {
+    FastPath f;
+    f.range = ideal->nominal_range();
+    f.in2 = f.out2 = f.range * f.range;
+    f.band = false;
+    fast_ = std::move(f);
+  }
+}
+
+bool SurveyKernel::avx2_supported() {
+#if defined(ABP_HAVE_AVX2_KERNEL)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SurveyBackend SurveyKernel::default_backend() {
+  if (const char* env = std::getenv("ABP_SURVEY_BACKEND")) {
+    if (std::strcmp(env, "scalar") == 0) return SurveyBackend::kScalar;
+    if (std::strcmp(env, "generic") == 0) return SurveyBackend::kGeneric;
+    if (std::strcmp(env, "avx2") == 0) return SurveyBackend::kAvx2;
+  }
+  return avx2_supported() ? SurveyBackend::kAvx2 : SurveyBackend::kGeneric;
+}
+
+void SurveyKernel::evaluate(SurveyBatch& batch) const {
+  evaluate(batch, default_backend());
+}
+
+void SurveyKernel::evaluate(SurveyBatch& batch, SurveyBackend backend) const {
+  if (!fast_) {
+    evaluate_fallback(batch);
+    return;
+  }
+  switch (backend) {
+    case SurveyBackend::kScalar:
+      evaluate_scalar(batch);
+      break;
+    case SurveyBackend::kGeneric:
+      evaluate_chunked(batch, /*use_avx2=*/false);
+      break;
+    case SurveyBackend::kAvx2:
+      // Degrades to the generic arm when AVX2 is compiled out/unsupported.
+      evaluate_chunked(batch, avx2_supported());
+      break;
+  }
+}
+
+ConnectedSum SurveyKernel::point_fast(Vec2 p) const {
+  const FastPath& f = *fast_;
+  FastView m{soa_.xs.data(), soa_.ys.data(),  f.nf.data(), f.prefix.data(),
+             f.range,        f.in2,           f.out2,      f.band};
+  std::uint64_t pxq = 0;
+  std::uint64_t pyq = 0;
+  if (f.band) {
+    pxq = quantize_word(p.x);
+    pyq = quantize_word(p.y);
+  }
+  ConnectedSum out;
+  for (std::size_t b = 0; b < soa_.size(); ++b) {
+    const double dx = m.bx[b] - p.x;
+    const double dy = m.by[b] - p.y;
+    const double d2 = dx * dx + dy * dy;
+    bool conn = d2 <= m.in2;
+    if (!conn && m.band && d2 <= m.out2) {
+      conn = survey_detail::band_connected(m, b, d2, pxq, pyq);
+    }
+    if (conn) {
+      out.sum += Vec2{m.bx[b], m.by[b]};
+      ++out.count;
+    }
+  }
+  return out;
+}
+
+ConnectedSum SurveyKernel::point_fallback(Vec2 p) const {
+  // Same cull the spatial index performed (distance <= max_range), then the
+  // model's own predicate — beacons beyond max_range can never connect by
+  // the PropagationModel contract.
+  const double r = model_->max_range();
+  const double r2 = r * r;
+  ConnectedSum out;
+  for (std::size_t b = 0; b < soa_.size(); ++b) {
+    const double dx = soa_.xs[b] - p.x;
+    const double dy = soa_.ys[b] - p.y;
+    const double d2 = dx * dx + dy * dy;
+    if (d2 > r2) continue;
+    if (model_->connected(soa_.beacon(b), p)) {
+      out.sum += Vec2{soa_.xs[b], soa_.ys[b]};
+      ++out.count;
+    }
+  }
+  return out;
+}
+
+ConnectedSum SurveyKernel::evaluate_point(Vec2 p) const {
+  return fast_ ? point_fast(p) : point_fallback(p);
+}
+
+std::vector<Beacon> SurveyKernel::connected_list(Vec2 p) const {
+  std::vector<Beacon> out;
+  std::uint64_t pxq = 0;
+  std::uint64_t pyq = 0;
+  const bool band = fast_ && fast_->band;
+  if (band) {
+    pxq = quantize_word(p.x);
+    pyq = quantize_word(p.y);
+  }
+  const double r = model_->max_range();
+  const double r2 = r * r;
+  for (std::size_t b = 0; b < soa_.size(); ++b) {
+    const double dx = soa_.xs[b] - p.x;
+    const double dy = soa_.ys[b] - p.y;
+    const double d2 = dx * dx + dy * dy;
+    bool conn;
+    if (fast_) {
+      conn = d2 <= fast_->in2;
+      if (!conn && band && d2 <= fast_->out2) {
+        FastView m{soa_.xs.data(), soa_.ys.data(),
+                   fast_->nf.data(), fast_->prefix.data(),
+                   fast_->range,     fast_->in2,
+                   fast_->out2,      fast_->band};
+        conn = survey_detail::band_connected(m, b, d2, pxq, pyq);
+      }
+    } else {
+      conn = d2 <= r2 && model_->connected(soa_.beacon(b), p);
+    }
+    if (conn) out.push_back(soa_.beacon(b));
+  }
+  return out;
+}
+
+SurveyKernel::Hypothetical SurveyKernel::make_hypothetical(Vec2 pos) const {
+  Hypothetical h;
+  h.pos = pos;
+  if (fast_ && fast_->band) {
+    const auto* noisy = dynamic_cast<const PerBeaconNoiseModel*>(model_);
+    const Beacon hb{std::numeric_limits<BeaconId>::max(), pos, true};
+    h.nf = noisy->noise_factor(hb);
+    h.prefix = noisy->u_draw_prefix(hb);
+  }
+  return h;
+}
+
+bool SurveyKernel::hypothetical_connected(const Hypothetical& h,
+                                          Vec2 p) const {
+  if (!fast_) {
+    const Beacon hb{std::numeric_limits<BeaconId>::max(), h.pos, true};
+    return model_->connected(hb, p);
+  }
+  const double dx = h.pos.x - p.x;
+  const double dy = h.pos.y - p.y;
+  const double d2 = dx * dx + dy * dy;
+  if (d2 <= fast_->in2) return true;
+  if (!fast_->band || d2 > fast_->out2) return false;
+  const double u = survey_detail::resume_u_draw(h.prefix, quantize_word(p.x),
+                                                quantize_word(p.y));
+  const double r = fast_->range * (1.0 + u * h.nf);
+  return d2 <= r * r;
+}
+
+void SurveyKernel::evaluate_scalar(SurveyBatch& batch) const {
+  const std::size_t n = batch.size();
+  batch.sum_x.assign(n, 0.0);
+  batch.sum_y.assign(n, 0.0);
+  batch.counts.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ConnectedSum cs = point_fast(batch.point(i));
+    batch.sum_x[i] = cs.sum.x;
+    batch.sum_y[i] = cs.sum.y;
+    batch.counts[i] = static_cast<std::uint32_t>(cs.count);
+  }
+}
+
+void SurveyKernel::evaluate_fallback(SurveyBatch& batch) const {
+  const std::size_t n = batch.size();
+  batch.sum_x.assign(n, 0.0);
+  batch.sum_y.assign(n, 0.0);
+  batch.counts.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ConnectedSum cs = point_fallback(batch.point(i));
+    batch.sum_x[i] = cs.sum.x;
+    batch.sum_y[i] = cs.sum.y;
+    batch.counts[i] = static_cast<std::uint32_t>(cs.count);
+  }
+}
+
+void SurveyKernel::evaluate_chunked(SurveyBatch& batch, bool use_avx2) const {
+  const std::size_t n = batch.size();
+  batch.sum_x.assign(n, 0.0);
+  batch.sum_y.assign(n, 0.0);
+  batch.counts.assign(n, 0);
+  if (n == 0 || soa_.empty()) return;
+
+  const FastPath& f = *fast_;
+  const FastView view{soa_.xs.data(), soa_.ys.data(),
+                      f.nf.data(),    f.prefix.data(),
+                      f.range,        f.in2,
+                      f.out2,         f.band};
+  const double reach = model_->max_range() + kReachSlack;
+
+  std::vector<std::uint32_t> cand;
+  cand.reserve(soa_.size());
+
+  alignas(32) double px[kChunk];
+  alignas(32) double py[kChunk];
+  alignas(32) double sx[kChunk];
+  alignas(32) double sy[kChunk];
+  alignas(32) std::uint64_t pxq[kChunk];
+  alignas(32) std::uint64_t pyq[kChunk];
+  alignas(32) std::uint64_t cnt[kChunk];
+
+  for (std::size_t start = 0; start < n; start += kChunk) {
+    const std::size_t m = std::min(kChunk, n - start);
+    const std::size_t npad = (m + kLanes - 1) / kLanes * kLanes;
+
+    double minx = std::numeric_limits<double>::infinity();
+    double maxx = -minx;
+    double miny = minx;
+    double maxy = -minx;
+    for (std::size_t i = 0; i < m; ++i) {
+      px[i] = batch.xs[start + i];
+      py[i] = batch.ys[start + i];
+      minx = std::min(minx, px[i]);
+      maxx = std::max(maxx, px[i]);
+      miny = std::min(miny, py[i]);
+      maxy = std::max(maxy, py[i]);
+    }
+    for (std::size_t i = m; i < npad; ++i) {
+      px[i] = kPadSentinel;
+      py[i] = kPadSentinel;
+      pxq[i] = 0;
+      pyq[i] = 0;
+    }
+    if (f.band) {
+      for (std::size_t i = 0; i < m; ++i) {
+        pxq[i] = quantize_word(px[i]);
+        pyq[i] = quantize_word(py[i]);
+      }
+    }
+
+    // Chunk-level disk query: beacons outside the padded bounding box
+    // cannot connect to any point of the chunk (reach includes slack so
+    // rounding can never drop a reachable beacon). Ascending id survives
+    // because the SoA is walked front to back.
+    cand.clear();
+    const double lox = minx - reach;
+    const double hix = maxx + reach;
+    const double loy = miny - reach;
+    const double hiy = maxy + reach;
+    for (std::size_t b = 0; b < soa_.size(); ++b) {
+      if (soa_.xs[b] >= lox && soa_.xs[b] <= hix && soa_.ys[b] >= loy &&
+          soa_.ys[b] <= hiy) {
+        cand.push_back(static_cast<std::uint32_t>(b));
+      }
+    }
+
+    for (std::size_t i = 0; i < npad; ++i) {
+      sx[i] = 0.0;
+      sy[i] = 0.0;
+      cnt[i] = 0;
+    }
+
+#if defined(ABP_HAVE_AVX2_KERNEL)
+    if (use_avx2) {
+      survey_detail::eval_chunk_avx2(view, cand.data(), cand.size(), px, py,
+                                     pxq, pyq, npad, sx, sy, cnt);
+    } else
+#else
+    (void)use_avx2;
+#endif
+    {
+      eval_chunk_generic(view, cand.data(), cand.size(), px, py, pxq, pyq,
+                         npad, sx, sy, cnt);
+    }
+
+    for (std::size_t i = 0; i < m; ++i) {
+      batch.sum_x[start + i] = sx[i];
+      batch.sum_y[start + i] = sy[i];
+      batch.counts[start + i] = static_cast<std::uint32_t>(cnt[i]);
+    }
+  }
+}
+
+}  // namespace abp

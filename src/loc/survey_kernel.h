@@ -1,0 +1,149 @@
+/// \file survey_kernel.h
+/// \brief Batched point-evaluation kernel: the compute core of every survey.
+///
+/// The O(PT) lattice survey — per-point centroid-of-connected-beacons under
+/// the (noisy) disk model — sits under every `serve/` query, every
+/// `ErrorMap` recompute, and every placement decision. This header makes
+/// the *batch* the unit of optimization: callers fill a `SurveyBatch`
+/// (structure-of-arrays point coordinates), and one `SurveyKernel::evaluate`
+/// call fuses the disk query, the noisy-disk connectivity test, and the
+/// centroid accumulation over a SoA snapshot of the field (`BeaconSoA`).
+///
+/// Three arms implement the same contract and are selected at runtime:
+///  * `kScalar`  — the reference loop, one point at a time (test oracle);
+///  * `kGeneric` — chunked loop with per-chunk beacon prefilter, plain C++;
+///  * `kAvx2`    — the chunked loop in AVX2 intrinsics (4 points/lane).
+///
+/// Determinism contract (the reason the arms can be property-tested for
+/// bit-equality): every arm visits beacons in ascending id order and
+/// accumulates each point's position sum in that order with plain IEEE
+/// mul/add (no FMA contraction — the AVX2 arm is compiled with `-mavx2`
+/// only), and the noisy-disk draws reuse `stable_hash64` exactly, with the
+/// four beacon-constant words pre-absorbed per beacon (rng/hash.h). Results
+/// are therefore bit-identical across arms, and bit-identical to the
+/// historical scalar `connected_sum`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "field/beacon_soa.h"
+#include "geom/vec2.h"
+#include "radio/propagation.h"
+
+namespace abp {
+
+/// Position sum and count of the connected set, accumulated in ascending
+/// beacon-id order. The canonical order makes the floating-point sum — and
+/// therefore every centroid estimate and error map — independent of spatial
+/// index iteration order, so incremental updates are bit-identical to full
+/// recomputation.
+struct ConnectedSum {
+  Vec2 sum;
+  std::size_t count = 0;
+};
+
+/// A batch of survey points in structure-of-arrays form. Inputs are the
+/// point coordinates; after `SurveyKernel::evaluate`, `sum_x/sum_y/counts`
+/// hold each point's `ConnectedSum`. Reusable: `clear()` keeps capacity.
+struct SurveyBatch {
+  std::vector<double> xs, ys;           ///< inputs
+  std::vector<double> sum_x, sum_y;     ///< outputs (position sums)
+  std::vector<std::uint32_t> counts;    ///< outputs (connected counts)
+
+  std::size_t size() const { return xs.size(); }
+  bool empty() const { return xs.empty(); }
+
+  void clear() {
+    xs.clear();
+    ys.clear();
+  }
+  void reserve(std::size_t n) {
+    xs.reserve(n);
+    ys.reserve(n);
+  }
+  void push(Vec2 p) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+
+  Vec2 point(std::size_t i) const { return {xs[i], ys[i]}; }
+  ConnectedSum result(std::size_t i) const {
+    return {{sum_x[i], sum_y[i]}, counts[i]};
+  }
+};
+
+/// Which kernel arm evaluates a batch.
+enum class SurveyBackend { kScalar, kGeneric, kAvx2 };
+
+/// Immutable evaluator binding a `BeaconSoA` snapshot to a propagation
+/// model. For `PerBeaconNoiseModel`/`IdealDiskModel` the connectivity test
+/// runs on precomputed per-beacon constants (noise factor, memoized hash
+/// prefix, certain-in/out radii); any other model falls back to the
+/// virtual `PropagationModel::connected` per (point, beacon) — still
+/// batched, still ascending-id, still bit-identical to the scalar API.
+///
+/// The kernel snapshots the field at construction; it does not observe
+/// later mutations (use `BeaconField::revision()` to detect staleness).
+class SurveyKernel {
+ public:
+  SurveyKernel(const BeaconField& field, const PropagationModel& model);
+
+  /// Evaluate every point in `batch` with the default backend.
+  void evaluate(SurveyBatch& batch) const;
+  /// Evaluate with an explicit arm (property tests / CI pin both arms).
+  void evaluate(SurveyBatch& batch, SurveyBackend backend) const;
+
+  /// Single-point evaluation (scalar arm, no allocation).
+  ConnectedSum evaluate_point(Vec2 p) const;
+
+  /// Connected beacons at `p`, ascending id (batched `connected_beacons`).
+  std::vector<Beacon> connected_list(Vec2 p) const;
+
+  /// Hypothetical extra beacon at a position (greedy-oracle primitive):
+  /// same predicate a real beacon at `pos` would have — noise draws key on
+  /// position, never id — with the per-beacon constants precomputed once.
+  struct Hypothetical {
+    Vec2 pos;
+    double nf = 0.0;             // noise factor (fast path)
+    std::uint64_t prefix = 0;    // u-draw hash prefix (fast path)
+  };
+  Hypothetical make_hypothetical(Vec2 pos) const;
+  bool hypothetical_connected(const Hypothetical& h, Vec2 p) const;
+
+  const BeaconSoA& soa() const { return soa_; }
+  const PropagationModel& model() const { return *model_; }
+  /// Field revision the snapshot was taken at.
+  std::uint64_t revision() const { return soa_.revision; }
+  /// True when the model hit the precomputed (non-virtual) fast path.
+  bool fast_path() const { return fast_.has_value(); }
+
+  /// Is the AVX2 arm compiled in and supported by this CPU?
+  static bool avx2_supported();
+  /// Runtime dispatch: `ABP_SURVEY_BACKEND=scalar|generic|avx2` overrides;
+  /// otherwise AVX2 when available, else the generic arm.
+  static SurveyBackend default_backend();
+
+ private:
+  struct FastPath {
+    double range = 0.0;  // nominal R
+    double in2 = 0.0;    // squared certain-in radius
+    double out2 = 0.0;   // squared certain-out radius
+    bool band = false;   // noise > 0: uncertainty band needs hash draws
+    std::vector<double> nf;              // per-beacon noise factor
+    std::vector<std::uint64_t> prefix;   // per-beacon u-draw hash prefix
+  };
+
+  void evaluate_scalar(SurveyBatch& batch) const;
+  void evaluate_chunked(SurveyBatch& batch, bool use_avx2) const;
+  void evaluate_fallback(SurveyBatch& batch) const;
+  ConnectedSum point_fast(Vec2 p) const;
+  ConnectedSum point_fallback(Vec2 p) const;
+
+  BeaconSoA soa_;
+  const PropagationModel* model_;
+  std::optional<FastPath> fast_;
+};
+
+}  // namespace abp

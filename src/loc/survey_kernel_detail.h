@@ -1,0 +1,84 @@
+/// \file survey_kernel_detail.h
+/// \brief Internals shared by the survey-kernel arms. Not a public header:
+/// included only by survey_kernel.cc and survey_kernel_avx2.cc.
+///
+/// Everything here has internal linkage (`static`) on purpose: the AVX2
+/// translation unit is compiled with `-mavx2`, and letting one of its
+/// inline helpers win COMDAT folding would leak VEX-encoded code into the
+/// generic arms, crashing pre-AVX2 machines. Each TU gets its own copy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rng/hash.h"
+
+namespace abp::survey_detail {
+
+/// Points per chunk: one beacon prefilter per chunk, padded to kLanes.
+inline constexpr std::size_t kChunk = 32;
+/// Doubles per AVX2 vector.
+inline constexpr std::size_t kLanes = 4;
+/// Padding coordinate for tail lanes: far enough that no beacon can ever
+/// connect (d2 ~ 1e60 rejects in the certain-out test), finite so the
+/// arithmetic stays NaN-free.
+inline constexpr double kPadSentinel = 1.0e30;
+/// Slack added to the prefilter reach so floating-point rounding of the
+/// chunk bounding box can never exclude a beacon that the exact predicate
+/// would accept (rounding error is ~1e-13 m at terrain scale; the slack is
+/// seven orders of magnitude larger and still negligible for culling).
+inline constexpr double kReachSlack = 1.0e-6;
+
+/// Per-chunk view of the fast-path model constants and beacon SoA.
+struct FastView {
+  const double* bx = nullptr;           ///< beacon x, ascending id
+  const double* by = nullptr;           ///< beacon y, ascending id
+  const double* nf = nullptr;           ///< per-beacon noise factor
+  const std::uint64_t* prefix = nullptr;///< per-beacon u-draw hash prefix
+  double range = 0.0;                   ///< nominal R
+  double in2 = 0.0;                     ///< squared certain-in radius
+  double out2 = 0.0;                    ///< squared certain-out radius
+  bool band = false;                    ///< noise > 0
+};
+
+/// Resume the u-draw hash from a beacon's memoized 4-word prefix with the
+/// two quantized point words (rounds 5 and 6 of the 6-word hash) — equal to
+/// PerBeaconNoiseModel::u_draw bit-for-bit by the sponge identity in
+/// rng/hash.h.
+[[gnu::always_inline]] static inline double resume_u_draw(
+    std::uint64_t prefix, std::uint64_t pxq, std::uint64_t pyq) {
+  std::uint64_t s = stable_hash64_absorb(prefix, pxq, 5);
+  s = stable_hash64_absorb(s, pyq, 6);
+  return hash_to_symmetric(stable_hash64_finalize(s, 6));
+}
+
+/// Uncertainty-band connectivity test for beacon index `b`: identical op
+/// sequence to PerBeaconNoiseModel::effective_range + the d2 <= r*r check.
+[[gnu::always_inline]] static inline bool band_connected(
+    const FastView& m, std::size_t b, double d2, std::uint64_t pxq,
+    std::uint64_t pyq) {
+  const double u = resume_u_draw(m.prefix[b], pxq, pyq);
+  const double r = m.range * (1.0 + u * m.nf[b]);
+  return d2 <= r * r;
+}
+
+/// Signature of a chunk evaluator arm: accumulate every candidate beacon
+/// (indices into the SoA, ascending) into `npad` padded point lanes.
+/// sx/sy/cnt are the chunk-local accumulators, zeroed by the driver.
+using EvalChunkFn = void (*)(const FastView& m, const std::uint32_t* cand,
+                             std::size_t ncand, const double* px,
+                             const double* py, const std::uint64_t* pxq,
+                             const std::uint64_t* pyq, std::size_t npad,
+                             double* sx, double* sy, std::uint64_t* cnt);
+
+#if defined(ABP_HAVE_AVX2_KERNEL)
+/// The AVX2 arm (survey_kernel_avx2.cc, compiled with -mavx2). Only call
+/// when __builtin_cpu_supports("avx2").
+void eval_chunk_avx2(const FastView& m, const std::uint32_t* cand,
+                     std::size_t ncand, const double* px, const double* py,
+                     const std::uint64_t* pxq, const std::uint64_t* pyq,
+                     std::size_t npad, double* sx, double* sy,
+                     std::uint64_t* cnt);
+#endif
+
+}  // namespace abp::survey_detail

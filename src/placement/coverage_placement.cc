@@ -18,10 +18,17 @@ Vec2 CoveragePlacement::propose(const PlacementContext& ctx, Rng&) const {
   ABP_CHECK(ctx.nominal_range > 0.0, "coverage placement requires R");
   const Lattice2D& lattice = ctx.survey->lattice();
 
-  // Precompute which lattice points are currently uncovered.
+  // Precompute which lattice points are currently uncovered: one batched
+  // kernel pass instead of a per-point field snapshot.
+  const SurveyKernel kernel(*ctx.field, *ctx.model);
+  SurveyBatch batch;
+  batch.reserve(lattice.size());
+  lattice.for_each([&](std::size_t, Vec2 p) { batch.push(p); });
+  kernel.evaluate(batch);
   std::vector<std::uint8_t> uncovered(lattice.size(), 0);
-  lattice.for_each([&](std::size_t flat, Vec2 p) {
-    uncovered[flat] = connected_count(*ctx.field, *ctx.model, p) == 0;
+  std::size_t idx = 0;
+  lattice.for_each([&](std::size_t flat, Vec2) {
+    uncovered[flat] = batch.counts[idx++] == 0;
   });
 
   std::size_t best_gain = 0;

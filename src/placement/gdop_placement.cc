@@ -16,12 +16,15 @@ Vec2 GdopPlacement::propose(const PlacementContext& ctx, Rng&) const {
   ABP_CHECK(ctx.survey != nullptr, "GDOP placement requires the lattice");
   const Lattice2D& lattice = ctx.survey->lattice();
 
+  // One snapshot for the whole candidate sweep.
+  const SurveyKernel kernel(*ctx.field, *ctx.model);
+
   double worst = -1.0;
   Vec2 worst_pos = lattice.point(0);
   for (std::size_t j = 0; j < lattice.ny(); j += stride_) {
     for (std::size_t i = 0; i < lattice.nx(); i += stride_) {
       const Vec2 p = lattice.point(i, j);
-      const auto beacons = connected_beacons(*ctx.field, *ctx.model, p);
+      const auto beacons = kernel.connected_list(p);
       const double g = gdop(p, beacons);
       if (g > worst) {
         worst = g;

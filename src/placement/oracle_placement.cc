@@ -1,6 +1,7 @@
 #include "placement/oracle_placement.h"
 
 #include "common/assert.h"
+#include "loc/survey_kernel.h"
 
 namespace abp {
 
@@ -15,13 +16,17 @@ Vec2 OraclePlacement::propose(const PlacementContext& ctx, Rng&) const {
   const ErrorMap& truth = *ctx.truth;
   const Lattice2D& lattice = truth.lattice();
 
+  // One snapshot scores every candidate: the field does not change during
+  // the search, so the kernel (and its per-beacon precomputation) is shared
+  // across all mean_if_added sweeps.
+  const SurveyKernel kernel(*ctx.field, *ctx.model);
+
   double best_mean = std::numeric_limits<double>::infinity();
   Vec2 best_pos = lattice.point(0);
   for (std::size_t j = 0; j < lattice.ny(); j += stride_) {
     for (std::size_t i = 0; i < lattice.nx(); i += stride_) {
       const Vec2 candidate = lattice.point(i, j);
-      const double after =
-          truth.mean_if_added(*ctx.field, *ctx.model, candidate);
+      const double after = truth.mean_if_added(*ctx.field, kernel, candidate);
       if (after < best_mean) {
         best_mean = after;
         best_pos = candidate;

@@ -28,14 +28,26 @@ double PerBeaconNoiseModel::noise_factor(const Beacon& beacon) const {
   return noise_max_ * hash_to_unit(h);
 }
 
+std::uint64_t PerBeaconNoiseModel::u_draw_prefix(const Beacon& beacon) const {
+  std::uint64_t s = kStableHashInit;
+  s = stable_hash64_absorb(s, seed_, 1);
+  s = stable_hash64_absorb(s, kTagUDraw, 2);
+  s = stable_hash64_absorb(
+      s, static_cast<std::uint64_t>(quantize_cm(beacon.pos.x)), 3);
+  s = stable_hash64_absorb(
+      s, static_cast<std::uint64_t>(quantize_cm(beacon.pos.y)), 4);
+  return s;
+}
+
 double PerBeaconNoiseModel::u_draw(const Beacon& beacon, Vec2 point) const {
-  const std::uint64_t h = stable_hash64(
-      seed_, kTagUDraw,
-      static_cast<std::uint64_t>(quantize_cm(beacon.pos.x)),
-      static_cast<std::uint64_t>(quantize_cm(beacon.pos.y)),
-      static_cast<std::uint64_t>(quantize_cm(point.x)),
-      static_cast<std::uint64_t>(quantize_cm(point.y)));
-  return hash_to_symmetric(h);
+  // Prefix + resume is the same 6-word stable_hash64 as always, with the
+  // beacon words absorbed first (see the sponge identity in rng/hash.h).
+  std::uint64_t s = u_draw_prefix(beacon);
+  s = stable_hash64_absorb(
+      s, static_cast<std::uint64_t>(quantize_cm(point.x)), 5);
+  s = stable_hash64_absorb(
+      s, static_cast<std::uint64_t>(quantize_cm(point.y)), 6);
+  return hash_to_symmetric(stable_hash64_finalize(s, 6));
 }
 
 double PerBeaconNoiseModel::effective_range(const Beacon& beacon,

@@ -43,6 +43,14 @@ class PerBeaconNoiseModel final : public PropagationModel {
   /// The per-(point,beacon) draw u ∈ [-1, 1).
   double u_draw(const Beacon& beacon, Vec2 point) const;
 
+  /// Memoized state of the u-draw hash after absorbing its four
+  /// beacon-constant words (seed, tag, quantized beacon x/y). Resuming with
+  /// the quantized point words at rounds 5 and 6 and finalizing at 6
+  /// (rng/hash.h) reproduces `u_draw` bit-for-bit; the survey kernel
+  /// precomputes this per beacon so the per-(point,beacon) cost drops from
+  /// six absorbed words to two.
+  std::uint64_t u_draw_prefix(const Beacon& beacon) const;
+
  private:
   double range_;
   double noise_max_;

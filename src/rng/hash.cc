@@ -5,21 +5,13 @@
 namespace abp {
 
 std::uint64_t stable_hash64(std::span<const std::uint64_t> words) {
-  std::uint64_t state = 0x9AE16A3B2F90404FULL;  // arbitrary odd constant
+  std::uint64_t state = kStableHashInit;
   std::uint64_t round = 0;
   for (std::uint64_t w : words) {
-    state = splitmix64_mix(state ^ splitmix64_mix(w + (++round) * 0xC2B2AE3D27D4EB4FULL));
+    state = stable_hash64_absorb(state, w, ++round);
   }
   // Final avalanche so short inputs are well mixed.
-  return splitmix64_mix(state ^ (round * 0x165667B19E3779F9ULL));
-}
-
-double hash_to_unit(std::uint64_t h) {
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
-
-double hash_to_symmetric(std::uint64_t h) {
-  return 2.0 * hash_to_unit(h) - 1.0;
+  return stable_hash64_finalize(state, round);
 }
 
 std::int64_t quantize_cm(double meters) {

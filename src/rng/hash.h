@@ -17,6 +17,28 @@
 
 namespace abp {
 
+/// The sponge underneath `stable_hash64`, exposed so hot loops can memoize
+/// a prefix of the input words: absorb words one at a time (rounds are
+/// 1-based and must count every word absorbed so far), then finalize with
+/// the total round count. `stable_hash64(a, b, c)` is by construction
+/// identical to absorbing a, b, c at rounds 1, 2, 3 and finalizing at 3 —
+/// which is what lets the survey kernel pre-absorb the per-beacon words of
+/// the noise hash once and replay only the per-point suffix, bit-exactly.
+inline constexpr std::uint64_t kStableHashInit = 0x9AE16A3B2F90404FULL;
+inline constexpr std::uint64_t kStableHashRound = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr std::uint64_t kStableHashFinal = 0x165667B19E3779F9ULL;
+
+constexpr std::uint64_t stable_hash64_absorb(std::uint64_t state,
+                                             std::uint64_t word,
+                                             std::uint64_t round) {
+  return splitmix64_mix(state ^ splitmix64_mix(word + round * kStableHashRound));
+}
+
+constexpr std::uint64_t stable_hash64_finalize(std::uint64_t state,
+                                               std::uint64_t rounds) {
+  return splitmix64_mix(state ^ (rounds * kStableHashFinal));
+}
+
 /// Mix an arbitrary list of 64-bit words into one hash value.
 std::uint64_t stable_hash64(std::span<const std::uint64_t> words);
 
@@ -28,10 +50,14 @@ std::uint64_t stable_hash64(Words... words) {
 }
 
 /// Map a hash value to a uniform double in [0, 1).
-double hash_to_unit(std::uint64_t h);
+constexpr double hash_to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
 
 /// Map a hash value to a uniform double in [-1, 1).
-double hash_to_symmetric(std::uint64_t h);
+constexpr double hash_to_symmetric(std::uint64_t h) {
+  return 2.0 * hash_to_unit(h) - 1.0;
+}
 
 /// Quantize a coordinate (meters) to an integer key at 1 cm resolution.
 /// Two coordinates that differ by less than 5 mm map to the same key, which

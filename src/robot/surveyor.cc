@@ -2,21 +2,21 @@
 
 #include <algorithm>
 
-#include "loc/localizer.h"
-
 namespace abp {
 
 Surveyor::Surveyor(const BeaconField& field, const PropagationModel& model,
                    SurveyorConfig config)
-    : field_(&field), model_(&model), config_(config) {}
+    : field_(&field),
+      model_(&model),
+      localizer_(field, model),
+      config_(config) {}
 
 double Surveyor::measure_point(const Lattice2D& lattice, std::size_t flat,
                                Rng& rng) const {
-  const CentroidLocalizer localizer(*field_, *model_);
   const Vec2 true_pos = lattice.point(flat);
   // The agent's radio observes connectivity at its *true* position; the
   // GPS fix only affects where it believes it is.
-  const Vec2 estimate = localizer.localize(true_pos).estimate;
+  const Vec2 estimate = localizer_.localize(true_pos).estimate;
   const Vec2 fix = config_.gps.fix(true_pos, rng);
   double reading = distance(estimate, fix);
   if (config_.measurement_noise > 0.0) {

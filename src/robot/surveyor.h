@@ -13,6 +13,7 @@
 #pragma once
 
 #include "field/beacon_field.h"
+#include "loc/localizer.h"
 #include "loc/survey_data.h"
 #include "radio/propagation.h"
 #include "robot/gps.h"
@@ -50,6 +51,10 @@ class Surveyor {
  private:
   const BeaconField* field_;
   const PropagationModel* model_;
+  /// Lives as long as the surveyor so the field snapshot inside its kernel
+  /// is reused across measurements (rebuilt only when the field mutates
+  /// between calls — e.g. the adaptive explorer deploying mid-tour).
+  CentroidLocalizer localizer_;
   SurveyorConfig config_;
 };
 

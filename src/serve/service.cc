@@ -61,8 +61,9 @@ struct LocalizationService::Deployment {
         model(config.nominal_range, config.noise, derive_seed(seed, 2)),
         lattice(field.bounds(), config.lattice_step),
         map(lattice),
-        rng(derive_seed(seed, 9)) {
-    map.compute(field, model);
+        rng(derive_seed(seed, 9)),
+        localizer(field, model) {
+    map.compute(field, localizer.kernel());
   }
 
   std::mutex mu;
@@ -71,6 +72,11 @@ struct LocalizationService::Deployment {
   Lattice2D lattice;
   ErrorMap map;
   Rng rng;
+  /// Revision-cached survey kernel over `field`/`model` (guarded by `mu`
+  /// like everything else). `install_snapshot` rebuilds field and model in
+  /// place, so the pointers stay valid and the field's fresh revision
+  /// invalidates the cached snapshot automatically.
+  CentroidLocalizer localizer;
   /// Replication version (guarded by `mu`); 0 = unversioned.
   std::uint64_t version = 0;
 };
@@ -173,20 +179,39 @@ Response LocalizationService::handle_locked(Deployment& deployment,
   try {
     switch (request.endpoint) {
       case Endpoint::kLocalize: {
-        const CentroidLocalizer localizer(deployment.field, deployment.model);
+        // The whole request resolves in one batched kernel call against the
+        // deployment's cached field snapshot.
+        const SurveyKernel& kernel = deployment.localizer.kernel();
+        SurveyBatch batch;
+        batch.reserve(request.points.size());
+        for (const Vec2 p : request.points) batch.push(p);
+        kernel.evaluate(batch);
+        const Vec2 fallback = deployment.field.active_centroid();
         response.estimates.reserve(request.points.size());
-        for (const Vec2 p : request.points) {
-          const LocalizationResult r = localizer.localize(p);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const ConnectedSum cs = batch.result(i);
+          const Vec2 est = cs.count == 0
+                               ? fallback
+                               : cs.sum / static_cast<double>(cs.count);
           response.estimates.push_back(
-              {r.estimate, static_cast<std::uint32_t>(r.connected)});
+              {est, static_cast<std::uint32_t>(cs.count)});
         }
         break;
       }
       case Endpoint::kErrorAt: {
-        const CentroidLocalizer localizer(deployment.field, deployment.model);
+        const SurveyKernel& kernel = deployment.localizer.kernel();
+        SurveyBatch batch;
+        batch.reserve(request.points.size());
+        for (const Vec2 p : request.points) batch.push(p);
+        kernel.evaluate(batch);
+        const Vec2 fallback = deployment.field.active_centroid();
         response.errors.reserve(request.points.size());
-        for (const Vec2 p : request.points) {
-          response.errors.push_back(localizer.error(p));
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const ConnectedSum cs = batch.result(i);
+          const Vec2 est = cs.count == 0
+                               ? fallback
+                               : cs.sum / static_cast<double>(cs.count);
+          response.errors.push_back(distance(est, batch.point(i)));
         }
         break;
       }
@@ -227,7 +252,8 @@ Response LocalizationService::handle_locked(Deployment& deployment,
         for (const Vec2 p : request.points) {
           const Vec2 pos = deployment.field.bounds().clamp(p);
           const BeaconId id = deployment.field.add(pos);
-          deployment.map.apply_addition(deployment.field, deployment.model,
+          deployment.map.apply_addition(deployment.field,
+                                        deployment.localizer.kernel(),
                                         *deployment.field.get(id));
           response.positions.push_back(pos);
           response.beacon_ids.push_back(id);
@@ -294,7 +320,7 @@ Response LocalizationService::install_snapshot(const Request& request) {
                                    config_.lattice_step);
     deployment.map = ErrorMap(deployment.lattice);
     deployment.rng = Rng(derive_seed(seed, 9));
-    deployment.map.compute(deployment.field, deployment.model);
+    deployment.map.compute(deployment.field, deployment.localizer.kernel());
     deployment.version = request.version;
   } catch (const CheckFailure& e) {
     return error_response(request, Status::kInternal, e.what());
