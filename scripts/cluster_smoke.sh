@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Cluster smoke: a router fronting 2 real `abp serve` backends over
 # loopback TCP. Asserts (1) a routed query is byte-identical to the same
-# query against a direct single server, (2) after SIGKILLing one backend
-# the router fails the query over to the survivor and the response is
-# STILL byte-identical, (3) router stats are served locally.
+# query against a direct single server, (2) a routed `add-beacon` write is
+# quorum-acked and readable through the router, (3) after SIGKILLing one
+# backend the router fails reads over to the survivor — both the pristine
+# query and the read-your-write stay byte-identical, (4) writes keep
+# acking after the kill (--write-quorum 1) and the version probe counts
+# them, (5) router stats are served locally.
 #
 # Usage: scripts/cluster_smoke.sh   (BUILD=<dir> to override build dir)
 set -euo pipefail
@@ -49,7 +52,7 @@ DIRECT_PORT=$(port_of "$WORK/direct.log")
 echo "== start router (backends :$B1_PORT :$B2_PORT, replication 2) =="
 "$ABP" route --field "$WORK/field.txt" \
   --backend "127.0.0.1:$B1_PORT" --backend "127.0.0.1:$B2_PORT" \
-  --replication 2 --port 0 >"$WORK/router.log" 2>&1 &
+  --replication 2 --write-quorum 1 --port 0 >"$WORK/router.log" 2>&1 &
 ROUTER_PORT=$(port_of "$WORK/router.log")
 
 echo "== query: direct vs routed must be byte-identical =="
@@ -60,12 +63,55 @@ echo "== query: direct vs routed must be byte-identical =="
 diff "$WORK/direct.out" "$WORK/routed1.out" || {
   echo "FAIL: routed response differs from direct response" >&2; exit 1; }
 
+echo "== write: routed add-beacon replicates to both backends =="
+"$ABP" query --type add-beacon --points "42,17" --seq 3 \
+  --connect "127.0.0.1:$ROUTER_PORT" >"$WORK/write1.out"
+grep -q "status ok" "$WORK/write1.out" || {
+  echo "FAIL: routed add-beacon not acked" >&2
+  cat "$WORK/write1.out" >&2
+  exit 1; }
+grep -q "beacon-id" "$WORK/write1.out" || {
+  echo "FAIL: add-beacon ack missing beacon-id" >&2
+  cat "$WORK/write1.out" >&2
+  exit 1; }
+
+echo "== read-your-write through the router =="
+"$ABP" query --type localize --points "42,17" --seq 4 \
+  --connect "127.0.0.1:$ROUTER_PORT" >"$WORK/read1.out"
+grep -q "status ok" "$WORK/read1.out" || {
+  echo "FAIL: fenced read after write not ok" >&2
+  cat "$WORK/read1.out" >&2
+  exit 1; }
+
 echo "== kill backend 1 (pid $B1_PID), query again =="
 kill -KILL "$B1_PID"
 "$ABP" query "${QUERY_ARGS[@]}" --connect "127.0.0.1:$ROUTER_PORT" \
   >"$WORK/routed2.out"
 diff "$WORK/direct.out" "$WORK/routed2.out" || {
   echo "FAIL: post-kill routed response differs from direct response" >&2
+  exit 1; }
+
+echo "== the write survives the failover byte-identically =="
+"$ABP" query --type localize --points "42,17" --seq 4 \
+  --connect "127.0.0.1:$ROUTER_PORT" >"$WORK/read2.out"
+diff "$WORK/read1.out" "$WORK/read2.out" || {
+  echo "FAIL: post-kill read-your-write differs from pre-kill read" >&2
+  exit 1; }
+
+echo "== writes keep acking on the survivor (write-quorum 1) =="
+"$ABP" query --type add-beacon --points "17,42" --seq 5 \
+  --connect "127.0.0.1:$ROUTER_PORT" >"$WORK/write2.out"
+grep -q "status ok" "$WORK/write2.out" || {
+  echo "FAIL: post-kill add-beacon not acked at quorum 1" >&2
+  cat "$WORK/write2.out" >&2
+  exit 1; }
+
+echo "== version probe counts install + 2 writes =="
+"$ABP" query --type version --seq 6 --connect "127.0.0.1:$ROUTER_PORT" \
+  >"$WORK/version.out"
+grep -q "^version 3$" "$WORK/version.out" || {
+  echo "FAIL: version probe should answer 3 (install + 2 mutations)" >&2
+  cat "$WORK/version.out" >&2
   exit 1; }
 
 echo "== router stats are answered locally =="
@@ -76,4 +122,4 @@ grep -q "abp-route-stats" "$WORK/stats.out" || {
   cat "$WORK/stats.out" >&2
   exit 1; }
 
-echo "PASS: routed == direct before and after backend kill"
+echo "PASS: routed == direct, writes quorum-acked and readable across a kill"

@@ -23,6 +23,9 @@ RouterConfig RouterConfig::from_flags(const Flags& flags) {
   config.backends = flags.get_strings("backend");
   config.replication = std::max<std::size_t>(
       1, get_size(flags, "replication", 1));
+  config.write_quorum = get_size(flags, "write-quorum", 0);
+  config.log_retain = std::max<std::size_t>(
+      1, get_size(flags, "log-retain", 64));
   config.heartbeat_ms = flags.get_double("heartbeat-ms", 1000.0);
   config.failure_threshold = std::max<std::size_t>(
       1, get_size(flags, "failure-threshold", 3));
@@ -69,6 +72,9 @@ void RouterConfig::validate() const {
   ABP_CHECK(replication >= 1, "--replication must be at least 1");
   ABP_CHECK(replication <= backends.size(),
             "--replication exceeds the backend count");
+  ABP_CHECK(write_quorum <= replication,
+            "--write-quorum exceeds --replication");
+  ABP_CHECK(log_retain >= 1, "--log-retain must be at least 1");
   ABP_CHECK(heartbeat_ms > 0.0, "--heartbeat-ms must be positive");
   ABP_CHECK(failure_threshold >= 1,
             "--failure-threshold must be at least 1");
@@ -92,6 +98,7 @@ BackendPoolOptions RouterConfig::pool_options() const {
 Router::Options RouterConfig::router_options() const {
   Router::Options options;
   options.retry_after_hint_ms = retry_after_hint_ms;
+  options.write_quorum = write_quorum;
   return options;
 }
 

@@ -25,6 +25,12 @@ struct RouterConfig {
   std::vector<std::string> backends;
   /// Owners per deployment (clamped to the backend count by the ring).
   std::size_t replication = 1;
+  /// Owner acks required before a write is acknowledged to the client;
+  /// 0 = majority of owners.
+  std::size_t write_quorum = 0;
+  /// Mutation-log entries retained per deployment (the replay window on
+  /// circuit-breaker recovery; lag beyond it takes a full snapshot resync).
+  std::size_t log_retain = 64;
   /// Heartbeat probe cadence.
   double heartbeat_ms = 1000.0;
   /// Consecutive failures that trip a backend's breaker.

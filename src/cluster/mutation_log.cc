@@ -1,0 +1,130 @@
+#include "cluster/mutation_log.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/assert.h"
+#include "io/field_io.h"
+#include "serve/protocol.h"
+
+namespace abp::cluster {
+
+MutationLog::MutationLog(std::size_t retain)
+    : retain_(retain ? retain : 1) {}
+
+std::uint64_t MutationLog::install(const std::string& name,
+                                   std::string field_text) {
+  ABP_CHECK(serve::valid_field_name(name),
+            "bad deployment name: '" + name + "'");
+  // Parse outside the lock; a bad snapshot must not wedge the log.
+  std::istringstream is(field_text);
+  BeaconField field = read_field(is);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = deployments_.find(name);
+  if (it == deployments_.end()) {
+    it = deployments_
+             .emplace(name, std::make_unique<Deployment>(std::move(field)))
+             .first;
+  } else {
+    it->second->field = std::move(field);
+  }
+  Deployment& deployment = *it->second;
+  deployment.text = std::move(field_text);
+  deployment.text_dirty = false;
+  deployment.entries.clear();
+  ++deployment.version;
+  // A fresh install is fully replicated by sync before reads are fenced on
+  // it, so the read fence starts at the install version.
+  deployment.last_acked = deployment.version;
+  return deployment.version;
+}
+
+MutationLog::AppendResult MutationLog::append(
+    const std::string& name, const std::vector<Vec2>& points) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = deployments_.find(name);
+  ABP_CHECK(it != deployments_.end(), "unknown deployment: " + name);
+  Deployment& deployment = *it->second;
+  AppendResult result;
+  Entry entry;
+  for (const Vec2 p : points) {
+    // Same clamp + sequential id allocation a replica's own apply performs.
+    const Vec2 pos = deployment.field.bounds().clamp(p);
+    const BeaconId id = deployment.field.add(pos);
+    result.positions.push_back(pos);
+    result.beacon_ids.push_back(id);
+    entry.points.push_back(pos);
+  }
+  deployment.text_dirty = true;
+  entry.version = ++deployment.version;
+  result.version = deployment.version;
+  deployment.entries.push_back(std::move(entry));
+  while (deployment.entries.size() > retain_) {
+    deployment.entries.pop_front();
+  }
+  return result;
+}
+
+std::uint64_t MutationLog::version(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = deployments_.find(name);
+  return it == deployments_.end() ? 0 : it->second->version;
+}
+
+std::uint64_t MutationLog::last_acked(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = deployments_.find(name);
+  return it == deployments_.end() ? 0 : it->second->last_acked;
+}
+
+void MutationLog::record_acked(const std::string& name,
+                               std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = deployments_.find(name);
+  if (it == deployments_.end()) return;
+  if (version > it->second->last_acked) it->second->last_acked = version;
+}
+
+MutationLog::Snapshot MutationLog::snapshot(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = deployments_.find(name);
+  ABP_CHECK(it != deployments_.end(), "unknown deployment: " + name);
+  Deployment& deployment = *it->second;
+  if (deployment.text_dirty) {
+    std::ostringstream os;
+    write_field(os, deployment.field);
+    deployment.text = os.str();
+    deployment.text_dirty = false;
+  }
+  return {deployment.text, deployment.version};
+}
+
+std::optional<std::vector<MutationLog::Entry>> MutationLog::suffix(
+    const std::string& name, std::uint64_t have_version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = deployments_.find(name);
+  if (it == deployments_.end()) return std::nullopt;
+  const Deployment& deployment = *it->second;
+  std::vector<Entry> out;
+  if (have_version >= deployment.version) return out;  // current (or ahead)
+  // Replay is possible only if every version in (have_version, version] is
+  // retained — the oldest retained entry must be have_version + 1 or older.
+  if (deployment.entries.empty() ||
+      deployment.entries.front().version > have_version + 1) {
+    return std::nullopt;
+  }
+  for (const Entry& entry : deployment.entries) {
+    if (entry.version > have_version) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<std::string> MutationLog::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(deployments_.size());
+  for (const auto& [name, unused] : deployments_) out.push_back(name);
+  return out;
+}
+
+}  // namespace abp::cluster

@@ -1,0 +1,133 @@
+/// \file mutation_log.h
+/// \brief Per-deployment, version-fenced write-ahead log of mutations.
+///
+/// The router is the source of truth for every deployment's beacon set; the
+/// mutation log is where that truth lives once writes flow. Each deployment
+/// holds the authoritative parsed field, a monotonically increasing version,
+/// and a bounded window of recent mutation entries:
+///
+///  * `install` resets a deployment to a full snapshot (operator load or
+///    replace) at a fresh version and clears its log — a snapshot subsumes
+///    every entry before it.
+///  * `append` is the write path: clamp the new beacon positions against the
+///    field bounds, apply them to the authoritative field (allocating the
+///    same ids any replica will allocate), bump the version, and retain the
+///    entry for replay. The returned positions/ids are exactly what a
+///    backend applying the same mutation produces, which is what lets the
+///    router synthesize the client's `add-beacon` response locally and keep
+///    it byte-identical to a direct server's.
+///  * `suffix` answers the replay-vs-resync decision on circuit-breaker
+///    recovery: a replica behind by at most the retained window replays the
+///    missing `mutate` entries in order; one behind the window (or holding
+///    nothing) takes a full snapshot install and truncates its lag in one
+///    round trip.
+///  * `record_acked` tracks the highest quorum-acknowledged version per
+///    deployment — the router's read fence (read-your-writes: reads are
+///    stamped with the last *acked* version, never an in-flight one).
+///
+/// All methods are thread-safe under one internal mutex; the apply path is
+/// deterministic (clamp + sequential id allocation over a canonically
+/// serialized field), so every replica that processes the same prefix of
+/// the log holds a byte-identical snapshot.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "field/beacon_field.h"
+#include "geom/vec2.h"
+
+namespace abp::cluster {
+
+class MutationLog {
+ public:
+  /// Default retained-entry window per deployment (replay horizon).
+  static constexpr std::size_t kDefaultRetain = 64;
+
+  /// One logged mutation: the version it establishes and the (clamped)
+  /// beacon positions it deploys.
+  struct Entry {
+    std::uint64_t version = 0;
+    std::vector<Vec2> points;
+  };
+
+  /// Deterministic result of applying one mutation to the authoritative
+  /// field — mirrors what every replica's own apply produces.
+  struct AppendResult {
+    std::uint64_t version = 0;
+    std::vector<Vec2> positions;
+    std::vector<std::uint32_t> beacon_ids;
+  };
+
+  explicit MutationLog(std::size_t retain = kDefaultRetain);
+
+  /// Install (or replace) a deployment from a serialized field snapshot at
+  /// the next version; clears any retained entries (the snapshot subsumes
+  /// them) and fences reads at the new version. Returns the version.
+  /// Throws `CheckFailure` on an unparseable snapshot (operator input).
+  std::uint64_t install(const std::string& name, std::string field_text);
+
+  /// Append one mutation: clamp `points`, apply them to the authoritative
+  /// field, bump the version, retain the entry. The deployment must exist.
+  AppendResult append(const std::string& name,
+                      const std::vector<Vec2>& points);
+
+  /// Current version of `name`; 0 when unknown.
+  std::uint64_t version(const std::string& name) const;
+
+  /// Highest quorum-acked version of `name`; 0 when unknown. Equals the
+  /// install version until the first write is acked.
+  std::uint64_t last_acked(const std::string& name) const;
+
+  /// Record a quorum acknowledgement; monotonic (stale acks are ignored).
+  void record_acked(const std::string& name, std::uint64_t version);
+
+  /// Serialized field + the version it represents, read atomically (an
+  /// install built from a torn text/version pair would stamp a snapshot
+  /// with the wrong version and silently diverge a replica).
+  struct Snapshot {
+    std::string text;
+    std::uint64_t version = 0;
+  };
+
+  /// Canonical serialized snapshot of the authoritative field at the
+  /// current version (re-serialized lazily after appends).
+  Snapshot snapshot(const std::string& name) const;
+
+  /// Entries a replica at `have_version` is missing, oldest first; an empty
+  /// vector when it is current (or ahead). nullopt when the gap reaches
+  /// behind the retained window or the deployment is unknown — the caller
+  /// must fall back to a full snapshot install.
+  std::optional<std::vector<Entry>> suffix(const std::string& name,
+                                           std::uint64_t have_version) const;
+
+  std::vector<std::string> names() const;
+
+  std::size_t retain() const { return retain_; }
+
+ private:
+  struct Deployment {
+    explicit Deployment(BeaconField f) : field(std::move(f)) {}
+
+    BeaconField field;          ///< authoritative beacon set
+    std::string text;           ///< serialized cache (valid iff !text_dirty)
+    bool text_dirty = false;
+    std::uint64_t version = 0;
+    std::uint64_t last_acked = 0;
+    std::deque<Entry> entries;  ///< retained window, ascending version
+  };
+
+  const std::size_t retain_;
+  mutable std::mutex mu_;
+  /// unique_ptr keeps Deployment addresses stable across map rehash-free
+  /// inserts and lets the non-default-constructible field live in a node.
+  std::map<std::string, std::unique_ptr<Deployment>> deployments_;
+};
+
+}  // namespace abp::cluster

@@ -1,6 +1,7 @@
 #include "cluster/replicator.h"
 
 #include <condition_variable>
+#include <memory>
 #include <utility>
 
 #include "common/assert.h"
@@ -9,36 +10,27 @@ namespace abp::cluster {
 
 Replicator::Replicator(BackendPool& pool, const HashRing& ring,
                        std::size_t replication,
-                       serve::RouterMetrics& metrics)
+                       serve::RouterMetrics& metrics, std::size_t log_retain)
     : pool_(&pool),
       ring_(&ring),
       replication_(replication ? replication : 1),
-      metrics_(&metrics) {}
+      metrics_(&metrics),
+      log_(log_retain) {}
 
 std::uint64_t Replicator::set_deployment(const std::string& name,
                                          std::string field_text) {
-  ABP_CHECK(serve::valid_field_name(name),
-            "bad deployment name: '" + name + "'");
-  std::lock_guard<std::mutex> lock(mu_);
-  Snapshot& snapshot = deployments_[name];
-  snapshot.field_text = std::move(field_text);
-  ++snapshot.version;
-  return snapshot.version;
+  return log_.install(name, std::move(field_text));
 }
 
 std::uint64_t Replicator::version(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = deployments_.find(name);
-  return it == deployments_.end() ? 0 : it->second.version;
+  return log_.version(name);
 }
 
-std::vector<std::string> Replicator::names() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::string> out;
-  out.reserve(deployments_.size());
-  for (const auto& [name, unused] : deployments_) out.push_back(name);
-  return out;
+std::uint64_t Replicator::read_version(const std::string& name) const {
+  return log_.last_acked(name);
 }
+
+std::vector<std::string> Replicator::names() const { return log_.names(); }
 
 std::string Replicator::list_text() const {
   std::string out;
@@ -54,16 +46,22 @@ std::vector<std::string> Replicator::owners(const std::string& name) const {
 }
 
 serve::Request Replicator::install_request(const std::string& name) const {
+  MutationLog::Snapshot snapshot = log_.snapshot(name);
   serve::Request request;
   request.endpoint = serve::Endpoint::kSnapshot;
   request.field = name;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = deployments_.find(name);
-    ABP_CHECK(it != deployments_.end(), "unknown deployment: " + name);
-    request.text = it->second.field_text;
-    request.version = it->second.version;
-  }
+  request.text = std::move(snapshot.text);
+  request.version = snapshot.version;
+  return request;
+}
+
+serve::Request Replicator::mutate_request(
+    const std::string& name, const MutationLog::Entry& entry) const {
+  serve::Request request;
+  request.endpoint = serve::Endpoint::kMutate;
+  request.field = name;
+  request.points = entry.points;
+  request.version = entry.version;
   return request;
 }
 
@@ -122,19 +120,67 @@ void Replicator::sync_backend(const std::string& backend) {
       }
     }
     if (!owned) continue;
-    BackendPool::Forward forward;
-    forward.request = install_request(name);
-    forward.on_reply = [this, backend](std::string payload) {
+    // Probe the backend's version first: the replay-vs-resync decision
+    // needs to know how far behind it actually is. The probe reply runs on
+    // a pool worker and enqueues the repair on the same backend FIFO.
+    BackendPool::Forward probe;
+    probe.request.endpoint = serve::Endpoint::kVersion;
+    probe.request.field = name;
+    probe.on_reply = [this, backend, name](std::string payload) {
       const auto response = serve::parse_response(payload);
-      if (response && response->status == serve::Status::kOk) {
-        metrics_->record_install(backend);
+      if (!response || response->status != serve::Status::kOk) {
+        // Unparseable or errored probe: fall back to a full install.
+        repair_backend(backend, name, 0);
+        return;
       }
+      repair_backend(backend, name, response->version);
     };
-    // Best-effort: a failed resync install leaves the backend stale, and
-    // the per-query version fence catches that on the next forward.
-    forward.on_failure = [] {};
-    pool_->enqueue(backend, std::move(forward));
+    // Best-effort: a failed probe leaves the backend stale, and the
+    // per-query version fence catches that on the next forward.
+    probe.on_failure = [] {};
+    pool_->enqueue(backend, std::move(probe));
   }
+}
+
+void Replicator::repair_backend(const std::string& backend,
+                                const std::string& name,
+                                std::uint64_t have_version) {
+  const auto entries = log_.suffix(name, have_version);
+  if (entries && entries->empty()) return;  // already current
+  if (entries) {
+    // Replay the missing suffix in order on the backend's FIFO. A reply
+    // that is neither ok nor an idempotent skip means the backend raced a
+    // newer install or lost more state than the probe showed; the fence on
+    // live traffic repairs that case.
+    for (const MutationLog::Entry& entry : *entries) {
+      BackendPool::Forward forward;
+      forward.request = mutate_request(name, entry);
+      forward.on_reply = [this, backend](std::string payload) {
+        const auto response = serve::parse_response(payload);
+        if (response && response->status == serve::Status::kOk) {
+          metrics_->record_mutation_ack(backend);
+          metrics_->record_replay(backend);
+        }
+      };
+      forward.on_failure = [] {};
+      if (pool_->enqueue(backend, std::move(forward))) {
+        metrics_->record_mutation(backend);
+      }
+    }
+    return;
+  }
+  // Behind the retained window (or the probe failed): full snapshot
+  // install truncates the lag in one round trip.
+  BackendPool::Forward forward;
+  forward.request = install_request(name);
+  forward.on_reply = [this, backend](std::string payload) {
+    const auto response = serve::parse_response(payload);
+    if (response && response->status == serve::Status::kOk) {
+      metrics_->record_install(backend);
+    }
+  };
+  forward.on_failure = [] {};
+  pool_->enqueue(backend, std::move(forward));
 }
 
 }  // namespace abp::cluster

@@ -1,18 +1,18 @@
 /// \file replicator.h
-/// \brief Deployment snapshot replication for the cluster router.
+/// \brief Deployment state replication for the cluster router.
 ///
 /// The router is the source of truth for which deployments exist and what
-/// field each one serves. Backends are cattle: they boot empty (or with a
-/// placeholder field) and receive their state as versioned snapshot
-/// installs over the ordinary wire protocol — a `snapshot` request whose
-/// `text` block carries the serialized field and whose `version` record
-/// stamps the deployment. Versioning closes the staleness window:
+/// field each one serves; that truth lives in the `MutationLog` this
+/// replicator owns. Backends are cattle: they boot empty and receive their
+/// state over the ordinary wire protocol, either as versioned snapshot
+/// installs (a `snapshot` request whose `text` block carries the serialized
+/// field and whose `version` record stamps the deployment) or as replayed
+/// `mutate` entries. Versioning closes the staleness window:
 ///
-///  * Every forwarded query is stamped with the router's version for its
-///    deployment.
-///  * A backend whose deployment is at a different version answers
-///    `version-mismatch` (retryable) instead of silently serving stale
-///    beacons.
+///  * Every forwarded query is stamped with the last *acked* version for
+///    its deployment (read-your-writes).
+///  * A backend whose deployment is older answers `version-mismatch`
+///    (retryable) instead of silently serving stale beacons.
 ///  * The router repairs the mismatch by enqueueing a fresh install ahead
 ///    of the retried query on the same backend FIFO — ordering, not
 ///    locking, guarantees install-before-retry.
@@ -20,26 +20,30 @@
 /// `sync_all()` pushes every deployment to all its ring owners and blocks
 /// until each install is acknowledged or failed (startup barrier).
 /// `sync_backend()` is the async recovery path: when the pool's breaker
-/// closes on a recovered backend, the deployments that backend owns are
-/// re-enqueued without blocking the prober.
+/// closes on a recovered backend, each owned deployment is probed with a
+/// cheap `version` request and then either *replayed* (the missing `mutate`
+/// suffix, in order, when the lag fits the log's retained window) or
+/// *resynced* (full snapshot install) — all enqueued on the backend's FIFO
+/// from the probe reply, never blocking the prober.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/backend_pool.h"
+#include "cluster/mutation_log.h"
 #include "cluster/ring.h"
 
 namespace abp::cluster {
 
 class Replicator {
  public:
-  /// `replication` is the owner count per deployment (clamped to ring size).
+  /// `replication` is the owner count per deployment (clamped to ring
+  /// size); `log_retain` bounds the per-deployment replay window.
   Replicator(BackendPool& pool, const HashRing& ring, std::size_t replication,
-             serve::RouterMetrics& metrics);
+             serve::RouterMetrics& metrics,
+             std::size_t log_retain = MutationLog::kDefaultRetain);
 
   /// Register (or replace) a deployment's field snapshot; bumps the version
   /// and returns it. Does not push — call `sync_all`/`sync_backend`.
@@ -48,6 +52,11 @@ class Replicator {
 
   /// Current version for `name`; 0 when unknown.
   std::uint64_t version(const std::string& name) const;
+
+  /// Version reads should be fenced at: the last quorum-acked write (or the
+  /// install version before any write). Never an in-flight version, so a
+  /// fenced read always has a replica able to serve it.
+  std::uint64_t read_version(const std::string& name) const;
 
   std::vector<std::string> names() const;
 
@@ -62,25 +71,35 @@ class Replicator {
   std::size_t sync_all();
 
   /// Async resync of every deployment `backend` owns (breaker-recovery
-  /// path; runs on a pool worker thread, must not block).
+  /// path; runs on a pool worker thread, must not block): probe the
+  /// backend's version, then replay the mutate suffix or install a full
+  /// snapshot.
   void sync_backend(const std::string& backend);
 
   /// Build the install request for `name` at its current version (also
   /// used by the router's mismatch-repair path).
   serve::Request install_request(const std::string& name) const;
 
+  /// Build the `mutate` request for one logged entry of `name`.
+  serve::Request mutate_request(const std::string& name,
+                                const MutationLog::Entry& entry) const;
+
+  /// The write-ahead log backing this replicator (the router's write path
+  /// appends to it and fences reads on its acked versions).
+  MutationLog& log() { return log_; }
+  const MutationLog& log() const { return log_; }
+
  private:
-  struct Snapshot {
-    std::string field_text;
-    std::uint64_t version = 0;
-  };
+  /// Enqueue the replay-or-resync decision for one (backend, deployment)
+  /// pair given the version the backend reported.
+  void repair_backend(const std::string& backend, const std::string& name,
+                      std::uint64_t have_version);
 
   BackendPool* pool_;
   const HashRing* ring_;
   std::size_t replication_;
   serve::RouterMetrics* metrics_;
-  mutable std::mutex mu_;
-  std::map<std::string, Snapshot> deployments_;  ///< guarded by mu_
+  MutationLog log_;
 };
 
 }  // namespace abp::cluster

@@ -1,5 +1,6 @@
 #include "cluster/router.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <utility>
@@ -88,16 +89,30 @@ void Router::submit(std::string payload,
                             "snapshot installs are managed by the router"));
     return;
   }
-  const std::uint64_t version = replicator_->version(request->field);
-  if (version == 0) {
+  if (request->endpoint == serve::Endpoint::kMutate) {
+    // Mutations are minted by the router's own log; accepting one from a
+    // client would fork a replica's version history.
+    metrics_->record_local();
+    reply(rejection_payload(request->seq, serve::Status::kBadRequest,
+                            "mutations are managed by the router"));
+    return;
+  }
+  if (replicator_->version(request->field) == 0) {
     metrics_->record_local();
     reply(rejection_payload(request->seq, serve::Status::kNotFound,
                             "unknown deployment '" + request->field + "'"));
     return;
   }
+  if (request->endpoint == serve::Endpoint::kAddBeacon) {
+    route_write(std::move(*request), std::move(reply));
+    return;
+  }
   auto state = std::make_shared<CallState>();
   state->request = std::move(*request);
-  state->request.version = version;
+  // Fence reads at the last quorum-acked write, never an in-flight one:
+  // read-your-writes for everything the client has seen acknowledged, with
+  // a quorum of replicas guaranteed able to serve it.
+  state->request.version = replicator_->read_version(state->request.field);
   state->owners = replicator_->owners(state->request.field);
   state->reply = std::move(reply);
   route(std::move(state), /*is_retry=*/false);
@@ -230,8 +245,11 @@ void Router::deliver(const std::shared_ptr<CallState>& state,
                      serve::Response response) {
   (void)backend;
   // Strip the router↔backend version record so a routed response is
-  // byte-identical to a direct single-server one.
-  response.version = 0;
+  // byte-identical to a direct single-server one. `version` requests are
+  // the exception: the version record *is* their answer.
+  if (state->request.endpoint != serve::Endpoint::kVersion) {
+    response.version = 0;
+  }
   state->reply(serve::format_response_capped(response));
 }
 
@@ -240,6 +258,185 @@ void Router::finish_unavailable(const std::shared_ptr<CallState>& state,
   state->reply(rejection_payload(state->request.seq,
                                  serve::Status::kUnavailable, why,
                                  options_.retry_after_hint_ms));
+}
+
+void Router::route_write(serve::Request request,
+                         std::function<void(std::string)> reply) {
+  // Validate exactly as a backend would *before* touching the log: a write
+  // any replica would reject must never be appended.
+  if (request.points.empty()) {
+    reply(rejection_payload(request.seq, serve::Status::kBadRequest,
+                            "add-beacon needs at least one point"));
+    return;
+  }
+  if (request.points.size() > serve::kMaxPointsPerRequest) {
+    reply(rejection_payload(request.seq, serve::Status::kBadRequest,
+                            "too many points in one request"));
+    return;
+  }
+  const std::vector<std::string> owners =
+      replicator_->owners(request.field);
+  const std::size_t majority = owners.size() / 2 + 1;
+  const std::size_t quorum =
+      options_.write_quorum == 0
+          ? majority
+          : std::min(options_.write_quorum, owners.size());
+  // Feasibility check before the append: if fewer owners are live than the
+  // quorum needs, shed now — the log stays untouched, so the client's
+  // retry cannot duplicate anything. (Races with breaker transitions fall
+  // through to the post-append quorum accounting below.)
+  std::size_t live = 0;
+  for (const std::string& backend : owners) {
+    if (pool_->health(backend) != BackendHealth::kOpen) ++live;
+  }
+  if (live < quorum) {
+    metrics_->record_unrouted();
+    reply(rejection_payload(
+        request.seq, serve::Status::kUnavailable,
+        "write quorum of " + std::to_string(quorum) + " unreachable for '" +
+            request.field + "' (" + std::to_string(live) + " live owners)",
+        options_.retry_after_hint_ms));
+    return;
+  }
+  auto state = std::make_shared<WriteState>();
+  state->quorum = quorum;
+  state->targets = owners.size();
+  state->reply = std::move(reply);
+  // Append + fan-out under one lock so concurrent writes enter every
+  // backend FIFO in version order.
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const MutationLog::AppendResult applied =
+      replicator_->log().append(request.field, request.points);
+  metrics_->record_write();
+  // The client's response is synthesized from the deterministic apply —
+  // the same clamp + id allocation every replica performs — so it is
+  // byte-identical to what a direct single server with this history
+  // would have answered.
+  serve::Response ok;
+  ok.seq = request.seq;
+  ok.positions = applied.positions;
+  ok.beacon_ids = applied.beacon_ids;
+  state->ok_payload = serve::format_response_capped(ok);
+  state->mutate.endpoint = serve::Endpoint::kMutate;
+  state->mutate.seq = request.seq;
+  state->mutate.field = request.field;
+  state->mutate.points = applied.positions;
+  state->mutate.version = applied.version;
+  for (const std::string& backend : owners) {
+    send_mutation(state, backend);
+  }
+}
+
+void Router::send_mutation(const std::shared_ptr<WriteState>& state,
+                           const std::string& backend) {
+  BackendPool::Forward forward;
+  forward.request = state->mutate;
+  forward.on_reply = [this, state, backend](std::string payload) {
+    handle_mutation_reply(state, backend, std::move(payload));
+  };
+  forward.on_failure = [this, state, backend] {
+    write_failure(state, backend);
+  };
+  if (pool_->enqueue(backend, std::move(forward))) {
+    metrics_->record_mutation(backend);
+  } else {
+    write_failure(state, backend);
+  }
+}
+
+void Router::handle_mutation_reply(const std::shared_ptr<WriteState>& state,
+                                   const std::string& backend,
+                                   std::string payload) {
+  const std::optional<serve::Response> response =
+      serve::parse_response(payload);
+  if (!response) {
+    write_failure(state, backend);
+    return;
+  }
+  if (response->status == serve::Status::kOk) {
+    write_ack(state, backend);
+    return;
+  }
+  if (response->status == serve::Status::kVersionMismatch) {
+    metrics_->record_version_mismatch(backend);
+    bool first_repair = false;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      first_repair = state->repaired.insert(backend).second;
+    }
+    if (first_repair) {
+      // Install-then-retry on the same backend FIFO: the snapshot (at the
+      // log's *current* version, ≥ this mutation's) lands first, then the
+      // retried mutation collects an idempotent ack.
+      BackendPool::Forward install;
+      install.request = replicator_->install_request(state->mutate.field);
+      install.on_reply = [this, backend](std::string install_payload) {
+        const auto ack = serve::parse_response(install_payload);
+        if (ack && ack->status == serve::Status::kOk) {
+          metrics_->record_install(backend);
+        }
+      };
+      install.on_failure = [] {};
+      if (pool_->enqueue(backend, std::move(install))) {
+        send_mutation(state, backend);
+        return;
+      }
+    }
+    write_failure(state, backend);
+    return;
+  }
+  write_failure(state, backend);
+}
+
+void Router::write_ack(const std::shared_ptr<WriteState>& state,
+                       const std::string& backend) {
+  metrics_->record_mutation_ack(backend);
+  bool reached_quorum = false;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    ++state->acks;
+    if (state->acks == state->quorum) {
+      reached_quorum = true;
+      if (!state->replied) {
+        state->replied = true;
+        fire = true;
+      }
+    }
+  }
+  if (reached_quorum) {
+    // Advance the read fence even on a late quorum (after an `unavailable`
+    // reply): the write is now served by a quorum either way.
+    replicator_->log().record_acked(state->mutate.field,
+                                    state->mutate.version);
+    metrics_->record_write_ack();
+  }
+  if (fire) state->reply(state->ok_payload);
+}
+
+void Router::write_failure(const std::shared_ptr<WriteState>& state,
+                           const std::string& backend) {
+  (void)backend;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    ++state->failures;
+    // Quorum impossible: even if every still-outstanding owner acks, the
+    // ack count cannot reach the quorum.
+    if (!state->replied &&
+        state->targets - state->failures < state->quorum) {
+      state->replied = true;
+      fire = true;
+    }
+  }
+  if (fire) {
+    metrics_->record_write_quorum_failure();
+    state->reply(rejection_payload(
+        state->mutate.seq, serve::Status::kUnavailable,
+        "write quorum lost for deployment '" + state->mutate.field +
+            "'; the mutation is logged and will converge to the replicas",
+        options_.retry_after_hint_ms));
+  }
 }
 
 }  // namespace abp::cluster

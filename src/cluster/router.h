@@ -35,12 +35,30 @@
 /// answered authoritatively and the client's retry policy owns backoff.
 /// Responses are re-encoded with the version record stripped, which makes
 /// a routed response byte-identical to a direct single-server one.
+///
+/// **Writes** (`add-beacon`) take a different path: the router is the
+/// deterministic primary for every deployment it fronts. The write is
+/// validated exactly as a backend would, appended to the replicator's
+/// mutation log (assigning the next per-deployment version and the same
+/// clamped positions/beacon ids every replica will compute), fanned out to
+/// all ring owners as version-fenced `mutate` requests, and acknowledged to
+/// the client — with a response synthesized from the deterministic apply,
+/// byte-identical to a direct server's — only once a quorum of owners has
+/// acked. A replica answering `version-mismatch` gets the install-then-retry
+/// repair (once per replica per write); a quorum that becomes impossible is
+/// answered retryable `unavailable` (the write stays logged and converges to
+/// the replicas — see DESIGN.md §10 for the retry caveat). Reads are fenced
+/// at the last *acked* version, giving read-your-writes without ever
+/// fencing on an in-flight write.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "cluster/backend_pool.h"
 #include "cluster/replicator.h"
@@ -53,6 +71,10 @@ namespace abp::cluster {
 struct RouterOptions {
   /// Retry-after hint attached to router-side sheds (`unavailable`).
   std::uint32_t retry_after_hint_ms = 50;
+  /// Owner acks required before a write is acknowledged to the client;
+  /// 0 = majority of the deployment's owners (floor(R/2)+1). Clamped to
+  /// the owner count.
+  std::size_t write_quorum = 0;
   /// Injectable monotonic clock (milliseconds); defaults to steady_clock.
   std::function<double()> clock_ms;
 };
@@ -86,6 +108,22 @@ class Router final : public serve::FrameSink {
     std::function<void(std::string)> reply;
   };
 
+  /// Per-write replication state, owned by the mutation callback chain.
+  /// Exactly one reply reaches the client: the synthesized ok once `quorum`
+  /// owners acked, or a retryable `unavailable` once quorum is impossible.
+  struct WriteState {
+    std::mutex mu;
+    serve::Request mutate;           ///< the fanned-out mutation
+    std::size_t quorum = 0;
+    std::size_t targets = 0;         ///< owners the mutation was aimed at
+    std::size_t acks = 0;            ///< guarded by mu
+    std::size_t failures = 0;        ///< guarded by mu
+    bool replied = false;            ///< guarded by mu
+    std::set<std::string> repaired;  ///< one repair per backend; guarded by mu
+    std::string ok_payload;          ///< synthesized client response
+    std::function<void(std::string)> reply;
+  };
+
   void route(std::shared_ptr<CallState> state, bool is_retry);
   void handle_reply(const std::shared_ptr<CallState>& state,
                     const std::string& backend, std::string payload);
@@ -98,11 +136,28 @@ class Router final : public serve::FrameSink {
   void answer_local(std::uint64_t seq, std::string text,
                     const std::function<void(std::string)>& reply);
 
+  /// Write path: append to the mutation log, fan the mutation out to all
+  /// owners, ack the client on quorum.
+  void route_write(serve::Request request,
+                   std::function<void(std::string)> reply);
+  void send_mutation(const std::shared_ptr<WriteState>& state,
+                     const std::string& backend);
+  void handle_mutation_reply(const std::shared_ptr<WriteState>& state,
+                             const std::string& backend, std::string payload);
+  void write_ack(const std::shared_ptr<WriteState>& state,
+                 const std::string& backend);
+  void write_failure(const std::shared_ptr<WriteState>& state,
+                     const std::string& backend);
+
   const HashRing* ring_;
   BackendPool* pool_;
   Replicator* replicator_;
   serve::RouterMetrics* metrics_;
   Options options_;
+  /// Serializes append + fan-out so mutations enter every backend FIFO in
+  /// version order (the backends' fences would self-heal a reorder, but
+  /// in-order delivery keeps the common path repair-free).
+  std::mutex write_mu_;
 };
 
 }  // namespace abp::cluster

@@ -220,6 +220,21 @@ void RouterMetrics::record_install(const std::string& backend) {
   ++backends_[backend].installs;
 }
 
+void RouterMetrics::record_mutation(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++backends_[backend].mutations;
+}
+
+void RouterMetrics::record_mutation_ack(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++backends_[backend].mutation_acks;
+}
+
+void RouterMetrics::record_replay(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++backends_[backend].replays;
+}
+
 void RouterMetrics::record_probe(const std::string& backend, bool ok) {
   std::lock_guard<std::mutex> lock(mu_);
   BackendSnapshot& b = backends_[backend];
@@ -240,6 +255,21 @@ void RouterMetrics::record_recovered(const std::string& backend) {
 void RouterMetrics::record_unrouted() {
   std::lock_guard<std::mutex> lock(mu_);
   ++unrouted_;
+}
+
+void RouterMetrics::record_write() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++writes_;
+}
+
+void RouterMetrics::record_write_ack() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++write_acks_;
+}
+
+void RouterMetrics::record_write_quorum_failure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++write_quorum_failures_;
 }
 
 BackendSnapshot RouterMetrics::backend_snapshot(
@@ -266,6 +296,21 @@ std::uint64_t RouterMetrics::unrouted() const {
   return unrouted_;
 }
 
+std::uint64_t RouterMetrics::writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+std::uint64_t RouterMetrics::write_acks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_acks_;
+}
+
+std::uint64_t RouterMetrics::write_quorum_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_quorum_failures_;
+}
+
 void RouterMetrics::render(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
   out << "abp-route-stats 1\n";
@@ -276,13 +321,17 @@ void RouterMetrics::render(std::ostream& out) const {
         << b.ok << " errors " << b.errors << " transport-failures "
         << b.transport_failures << " retries " << b.retries
         << " version-mismatches " << b.version_mismatches << " installs "
-        << b.installs << " probes " << b.probes << " probe-failures "
-        << b.probe_failures << " marked-down " << b.marked_down
-        << " recovered " << b.recovered << '\n';
+        << b.installs << " mutations " << b.mutations << " mutation-acks "
+        << b.mutation_acks << " replays " << b.replays << " probes "
+        << b.probes << " probe-failures " << b.probe_failures
+        << " marked-down " << b.marked_down << " recovered " << b.recovered
+        << '\n';
   }
   out << "router received " << received_ << " local " << local_
       << " forwarded " << forwarded_total << " unrouted " << unrouted_
       << '\n';
+  out << "writes submitted " << writes_ << " acked " << write_acks_
+      << " quorum-failures " << write_quorum_failures_ << '\n';
 }
 
 std::string RouterMetrics::render_text() const {

@@ -117,6 +117,9 @@ struct BackendSnapshot {
   std::uint64_t retries = 0;    ///< re-sends to another replica
   std::uint64_t version_mismatches = 0;  ///< stale-snapshot rejections
   std::uint64_t installs = 0;   ///< snapshot installs shipped
+  std::uint64_t mutations = 0;  ///< mutate requests shipped (writes + replay)
+  std::uint64_t mutation_acks = 0;  ///< mutate requests acknowledged
+  std::uint64_t replays = 0;    ///< log entries replayed on recovery
   std::uint64_t probes = 0;     ///< heartbeat probes sent
   std::uint64_t probe_failures = 0;
   std::uint64_t marked_down = 0;  ///< health transitions into `open`
@@ -150,16 +153,29 @@ class RouterMetrics {
   void record_retry(const std::string& backend);
   void record_version_mismatch(const std::string& backend);
   void record_install(const std::string& backend);
+  void record_mutation(const std::string& backend);
+  void record_mutation_ack(const std::string& backend);
+  void record_replay(const std::string& backend);
   void record_probe(const std::string& backend, bool ok);
   void record_marked_down(const std::string& backend);
   void record_recovered(const std::string& backend);
   /// Request shed `unavailable` because no live replica remained.
   void record_unrouted();
+  /// Write-path accounting: one `record_write` per client `add-beacon`
+  /// accepted into the log, then exactly one of `record_write_ack`
+  /// (quorum reached) or `record_write_quorum_failure` (quorum impossible;
+  /// the write stays logged and is answered retryable `unavailable`).
+  void record_write();
+  void record_write_ack();
+  void record_write_quorum_failure();
 
   BackendSnapshot backend_snapshot(const std::string& backend) const;
   std::uint64_t received() const;
   std::uint64_t forwarded_total() const;
   std::uint64_t unrouted() const;
+  std::uint64_t writes() const;
+  std::uint64_t write_acks() const;
+  std::uint64_t write_quorum_failures() const;
 
   void render(std::ostream& out) const;
   std::string render_text() const;
@@ -170,6 +186,9 @@ class RouterMetrics {
   std::uint64_t received_ = 0;
   std::uint64_t local_ = 0;
   std::uint64_t unrouted_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t write_acks_ = 0;
+  std::uint64_t write_quorum_failures_ = 0;
 };
 
 }  // namespace abp::serve

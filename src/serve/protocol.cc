@@ -123,11 +123,16 @@ const char* endpoint_name(Endpoint endpoint) {
     case Endpoint::kSnapshot: return "snapshot";
     case Endpoint::kStats: return "stats";
     case Endpoint::kListFields: return "list-fields";
+    case Endpoint::kMutate: return "mutate";
+    case Endpoint::kVersion: return "version";
   }
   return "unknown";
 }
 
 bool endpoint_idempotent(Endpoint endpoint) {
+  // `mutate` is idempotent by construction: it names the exact version it
+  // establishes, and a replica at or past that version acks without
+  // re-applying.
   return endpoint != Endpoint::kAddBeacon;
 }
 
@@ -316,6 +321,11 @@ std::string format_response(const Response& response) {
     out += std::to_string(response.version);
     out += '\n';
   }
+  if (response.mutation_ack != 0) {
+    out += "mutation-ack ";
+    out += std::to_string(response.mutation_ack);
+    out += '\n';
+  }
   for (const PointEstimate& e : response.estimates) {
     out += "estimate ";
     append_double(out, e.estimate.x);
@@ -406,6 +416,11 @@ std::optional<Response> parse_response(std::string_view payload,
     } else if (tokens[0] == "version" && tokens.size() == 2) {
       if (!parse_u64_token(tokens[1], &response.version)) {
         fail(error, "malformed version record: " + std::string(line));
+        return std::nullopt;
+      }
+    } else if (tokens[0] == "mutation-ack" && tokens.size() == 2) {
+      if (!parse_u64_token(tokens[1], &response.mutation_ack)) {
+        fail(error, "malformed mutation-ack record: " + std::string(line));
         return std::nullopt;
       }
     } else if (tokens[0] == "beacon-id" && tokens.size() == 2) {

@@ -26,6 +26,7 @@
 ///     message <text>           (single line; set when status != ok)
 ///     retry-after <ms>         (optional; overloaded backpressure hint)
 ///     version <v>              (optional; deployment version served)
+///     mutation-ack <v>         (mutate responses: version now held)
 ///     estimate <x> <y> <connected>
 ///     error <value>
 ///     position <x> <y>
@@ -37,8 +38,16 @@
 /// deployment version it replicated, a backend running an older snapshot
 /// answers `version-mismatch` (retryable) instead of computing on stale
 /// data, and snapshot requests carrying a `text` body *install* that field
-/// on the backend. Both records are omitted when zero/empty, so
-/// single-server traffic is byte-identical to the pre-cluster protocol.
+/// on the backend. The `mutate` endpoint and `mutation-ack` response
+/// record extend that machinery to writes: a mutate request carries the
+/// points of one logged `add-beacon` plus the exact version it
+/// establishes, a replica at version-1 applies it, a replica already at or
+/// past that version acks idempotently, and a lagging replica answers
+/// `version-mismatch` for the install-then-retry repair path. `version`
+/// requests probe a deployment's current version without the snapshot
+/// body (the replicator's replay-vs-resync decision). All cluster records
+/// are omitted when zero/empty, so single-server traffic is byte-identical
+/// to the pre-cluster protocol.
 ///
 /// Doubles are written with 17 significant digits so positions and errors
 /// survive the wire bit-exactly.
@@ -71,13 +80,15 @@ enum class Endpoint {
   kSnapshot,   ///< serialized field (abp-field text format)
   kStats,      ///< service metrics dump
   kListFields, ///< names of loaded deployments
+  kMutate,     ///< replicated write: apply one logged mutation at a version
+  kVersion,    ///< cheap deployment-version probe (no snapshot body)
 };
 
 /// All endpoints, for iteration (metrics tables, fuzzing).
 inline constexpr Endpoint kAllEndpoints[] = {
     Endpoint::kLocalize,  Endpoint::kErrorAt,  Endpoint::kPropose,
     Endpoint::kAddBeacon, Endpoint::kSnapshot, Endpoint::kStats,
-    Endpoint::kListFields};
+    Endpoint::kListFields, Endpoint::kMutate,  Endpoint::kVersion};
 
 enum class Status {
   kOk,
@@ -98,9 +109,11 @@ bool status_retryable(Status status);
 
 /// True for endpoints a router may safely re-send to another replica after
 /// a transport failure mid-call (the first attempt may or may not have
-/// executed). Everything except `add-beacon` is a pure read or an
-/// idempotent install; `add-beacon` deploys a new beacon per execution, so
-/// a blind retry could double-deploy.
+/// executed). Everything except `add-beacon` is a pure read, an idempotent
+/// install, or a version-fenced mutation; `add-beacon` deploys a new beacon
+/// per execution, so a blind retry could double-deploy. `mutate` carries
+/// the exact version it establishes, so a re-send is detected and acked
+/// idempotently by any replica already at (or past) that version.
 bool endpoint_idempotent(Endpoint endpoint);
 
 const char* endpoint_name(Endpoint endpoint);
@@ -152,6 +165,13 @@ struct Response {
   /// Version of the deployment that served the request (cluster routing);
   /// 0 = unversioned deployment (record omitted on the wire).
   std::uint64_t version = 0;
+  /// Mutation acknowledgement (`mutate` responses only): the deployment
+  /// version the replica holds after processing the mutation — equal to the
+  /// request's version when the mutation applied, larger when the replica
+  /// had already absorbed it via a later snapshot or replay (idempotent
+  /// skip). 0 = not a mutation ack (record omitted on the wire, keeping
+  /// pre-cluster responses byte-identical).
+  std::uint64_t mutation_ack = 0;
   std::vector<PointEstimate> estimates;  ///< localize
   std::vector<double> errors;            ///< error-at
   std::vector<Vec2> positions;           ///< propose / add-beacon echo
@@ -180,6 +200,11 @@ std::optional<Response> parse_response(std::string_view payload,
 /// Frames larger than this are rejected by the decoder (memory safety
 /// against hostile length prefixes).
 inline constexpr std::size_t kMaxFramePayload = 4u << 20;
+
+/// Requests carrying more points than this are rejected with `bad-request`.
+/// Shared by servers and the cluster router so a write the router accepts
+/// into its mutation log is never one a replica would refuse.
+inline constexpr std::size_t kMaxPointsPerRequest = 65536;
 
 /// Wrap a payload in a length-prefixed frame. The cap applies on the write
 /// side too: a payload larger than `kMaxFramePayload` throws `ServeError`

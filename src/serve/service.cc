@@ -42,7 +42,6 @@ const PlacementAlgorithm* algorithm_by_name(const std::string& name) {
   return nullptr;
 }
 
-constexpr std::size_t kMaxPointsPerRequest = 65536;
 constexpr std::uint32_t kMaxProposalsPerRequest = 64;
 
 /// Stable 64-bit digest of a deployment name, so each named field gets an
@@ -143,7 +142,29 @@ Response LocalizationService::handle(const Request& request) {
     return install_snapshot(request);
   }
   Deployment* deployment = find_deployment(request.field);
+  if (request.endpoint == Endpoint::kVersion) {
+    // Cheap replication probe: answer the deployment's current version
+    // without the snapshot body. Unknown deployments answer `ok` with the
+    // version record omitted (real versions start at 1), so the replicator
+    // can distinguish "never installed" from "lagging" in one round trip.
+    Response response;
+    response.seq = request.seq;
+    if (deployment != nullptr) {
+      std::lock_guard<std::mutex> lock(deployment->mu);
+      response.version = deployment->version;
+    }
+    return response;
+  }
   if (deployment == nullptr) {
+    if (request.endpoint == Endpoint::kMutate) {
+      // A mutation for a deployment this replica has never seen: answer the
+      // retryable mismatch (at version 0) so the sender's install-then-retry
+      // repair path ships a full snapshot first.
+      Response mismatch = error_response(
+          request, Status::kVersionMismatch,
+          "mutate for unknown field: " + request.field);
+      return mismatch;
+    }
     return error_response(request, Status::kNotFound,
                           "unknown field: " + request.field);
   }
@@ -162,10 +183,18 @@ Response LocalizationService::handle_locked(Deployment& deployment,
     return error_response(request, Status::kBadRequest,
                           "too many points in one request");
   }
+  // Version-fenced mutation: handled before the read fence because a mutate
+  // carries the version it *establishes*, not the version it expects.
+  if (request.endpoint == Endpoint::kMutate) {
+    return apply_mutation_locked(deployment, request);
+  }
   // Version fencing (cluster routing): a request stamped with an expected
-  // version must not be served from a different snapshot. The mismatch is
-  // retryable — the router re-syncs the deployment and re-sends.
-  if (request.version != 0 && request.version != deployment.version) {
+  // version must not be served from an *older* snapshot. The fence is
+  // one-sided — a replica that is ahead of the fence has absorbed every
+  // write the fence guarantees, so it serves the read; only a lagging
+  // replica answers the retryable mismatch (the router re-syncs the
+  // deployment and re-sends).
+  if (request.version != 0 && deployment.version < request.version) {
     Response mismatch = error_response(
         request, Status::kVersionMismatch,
         "deployment '" + request.field + "' is at version " +
@@ -269,13 +298,66 @@ Response LocalizationService::handle_locked(Deployment& deployment,
       }
       case Endpoint::kStats:
       case Endpoint::kListFields:
-        // Handled before deployment lookup; unreachable here.
+      case Endpoint::kVersion:
+      case Endpoint::kMutate:
+        // Handled before deployment lookup / before the fence; unreachable.
         return error_response(request, Status::kInternal,
                               "endpoint misrouted to a deployment");
     }
   } catch (const CheckFailure& e) {
     return error_response(request, Status::kInternal, e.what());
   }
+  return response;
+}
+
+Response LocalizationService::apply_mutation_locked(Deployment& deployment,
+                                                    const Request& request) {
+  if (request.version == 0) {
+    return error_response(request, Status::kBadRequest,
+                          "mutate requires the version it establishes");
+  }
+  if (request.points.empty()) {
+    return error_response(request, Status::kBadRequest,
+                          "mutate needs at least one point");
+  }
+  Response response;
+  response.seq = request.seq;
+  if (deployment.version >= request.version) {
+    // Already absorbed — via this very mutation on a prior delivery, a later
+    // one, or a snapshot that included it. Ack idempotently at the version
+    // actually held; re-applying would double-deploy the beacons.
+    response.version = deployment.version;
+    response.mutation_ack = deployment.version;
+    return response;
+  }
+  if (deployment.version + 1 != request.version) {
+    // Lagging: this replica is missing at least one earlier mutation. The
+    // retryable mismatch (carrying the held version) routes the sender into
+    // the install-then-retry / replay repair path.
+    Response mismatch = error_response(
+        request, Status::kVersionMismatch,
+        "deployment '" + request.field + "' is at version " +
+            std::to_string(deployment.version) + ", mutation establishes " +
+            std::to_string(request.version));
+    mismatch.version = deployment.version;
+    return mismatch;
+  }
+  try {
+    for (const Vec2 p : request.points) {
+      const Vec2 pos = deployment.field.bounds().clamp(p);
+      const BeaconId id = deployment.field.add(pos);
+      deployment.map.apply_addition(deployment.field,
+                                    deployment.localizer.kernel(),
+                                    *deployment.field.get(id));
+      response.positions.push_back(pos);
+      response.beacon_ids.push_back(id);
+    }
+  } catch (const CheckFailure& e) {
+    return error_response(request, Status::kInternal, e.what());
+  }
+  deployment.version = request.version;
+  response.version = request.version;
+  response.mutation_ack = request.version;
   return response;
 }
 

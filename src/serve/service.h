@@ -82,6 +82,10 @@ class LocalizationService {
   Deployment* find_deployment(const std::string& name) const;
   Response handle_field_request(Deployment& deployment, const Request& request);
   Response handle_locked(Deployment& deployment, const Request& request);
+  /// Version-fenced `mutate`: apply (at exactly version-1), ack idempotently
+  /// (at or past the version), or answer the retryable mismatch (lagging).
+  Response apply_mutation_locked(Deployment& deployment,
+                                 const Request& request);
   /// Snapshot request carrying a field body: install it (replica sync).
   Response install_snapshot(const Request& request);
 

@@ -55,7 +55,8 @@ struct FaultCluster {
 
   FaultCluster(std::vector<std::string> names, std::size_t replication,
                ScriptFn scripts, serve::ManualClock* clock = nullptr,
-               BackendPoolOptions pool_options = {})
+               BackendPoolOptions pool_options = {},
+               std::size_t log_retain = MutationLog::kDefaultRetain)
       : backend_names(names) {
     for (const std::string& name : names) {
       ring.add_node(name);
@@ -76,7 +77,7 @@ struct FaultCluster {
               *backend.server, scripts(name, index));
         });
     replicator = std::make_unique<Replicator>(*pool, ring, replication,
-                                              metrics);
+                                              metrics, log_retain);
     pool->set_recovery_callback([this](const std::string& backend) {
       replicator->sync_backend(backend);
     });
@@ -274,6 +275,188 @@ TEST(ClusterChaos, CorruptResponseFrameFailsOver) {
       serve::parse_response(cluster.call(localize_request(1)));
   ASSERT_TRUE(response.has_value());
   EXPECT_EQ(response->status, serve::Status::kOk);
+  expect_backends_reconcile(cluster);
+}
+
+serve::Request add_beacon_request(std::uint64_t seq, Vec2 point) {
+  serve::Request request;
+  request.seq = seq;
+  request.endpoint = serve::Endpoint::kAddBeacon;
+  request.field = "default";
+  request.points = {point};
+  return request;
+}
+
+serve::Request snapshot_fetch(std::uint64_t seq = 99) {
+  serve::Request fetch;
+  fetch.seq = seq;
+  fetch.endpoint = serve::Endpoint::kSnapshot;
+  fetch.field = "default";
+  return fetch;
+}
+
+/// Block until every forward queued on `backend` has resolved: a sentinel
+/// rides the FIFO behind them. Needed before healing a partition — a burst
+/// mutation still queued at heal time would land on the clean reconnect,
+/// answer `version-mismatch`, and be repaired via install, masking the
+/// replay path under test.
+void drain_backend_fifo(FaultCluster& cluster, const std::string& backend) {
+  auto drained = std::make_shared<std::promise<void>>();
+  BackendPool::Forward sentinel;
+  sentinel.request.endpoint = serve::Endpoint::kStats;
+  sentinel.on_reply = [drained](std::string) { drained->set_value(); };
+  sentinel.on_failure = [drained] { drained->set_value(); };
+  if (cluster.pool->enqueue(backend, std::move(sentinel))) {
+    drained->get_future().get();
+  }
+  // enqueue() refusing means the breaker is open — the queue was already
+  // failed fast when it tripped.
+}
+
+TEST(ClusterChaos, OwnerKilledMidWriteBurstKeepsQuorumThenReplays) {
+  // All three backends own the deployment (majority quorum 2-of-3). The
+  // ring's first owner dies partway through a burst of add-beacon writes —
+  // its connection resets *before* the mutation executes — and stays
+  // partitioned until after the burst. Every write must still ack (two
+  // owners form the quorum), and on recovery the victim must catch up by
+  // *replaying the log suffix*, not a full snapshot resync, ending
+  // byte-identical to its peers.
+  const std::string victim = primary_owner({"b1", "b2", "b3"});
+  serve::ManualClock clock;
+  std::atomic<bool> partitioned{true};
+  BackendPoolOptions pool_options;
+  pool_options.clock_ms = clock.fn();
+  FaultCluster cluster(
+      {"b1", "b2", "b3"}, /*replication=*/3,
+      [victim, &partitioned](const std::string& backend, int connect_index) {
+        serve::FaultTransport::Options options;
+        if (backend != victim || !partitioned.load()) return options;
+        if (connect_index == 0) {
+          // Survive the install and the first write, then drop mid-burst.
+          options.script = serve::FaultScript(
+              {{serve::FaultKind::kNone},
+               {serve::FaultKind::kNone},
+               {serve::FaultKind::kResetBeforeSend}},
+              /*cycle=*/false);
+        } else {
+          options.script = serve::FaultScript(
+              {{serve::FaultKind::kResetBeforeSend}}, /*cycle=*/true);
+        }
+        return options;
+      },
+      /*clock=*/nullptr, std::move(pool_options));
+  ASSERT_EQ(cluster.replicator->sync_all(), 3u);
+
+  constexpr std::uint64_t kWrites = 5;
+  for (std::uint64_t i = 0; i < kWrites; ++i) {
+    const auto response = serve::parse_response(
+        cluster.call(add_beacon_request(i + 1, {double(i + 1), 2})));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, serve::Status::kOk) << "write " << i + 1;
+  }
+  EXPECT_EQ(cluster.metrics.write_acks(), kWrites);
+  EXPECT_EQ(cluster.replicator->read_version("default"), 1 + kWrites);
+
+  // Heal the partition. Drive the heartbeat until the breaker sits closed
+  // (pipelined batches coalesce failures, so the burst may or may not have
+  // tripped it), then run the resync the recovery callback would run.
+  drain_backend_fifo(cluster, victim);
+  partitioned = false;
+  ASSERT_TRUE(wait_until([&] {
+    clock.advance(2000);
+    cluster.pool->tick();
+    return cluster.pool->health(victim) == BackendHealth::kClosed;
+  }));
+  cluster.replicator->sync_backend(victim);
+  ASSERT_TRUE(wait_until([&] {
+    return cluster.backends.at(victim).service->field_version("default") ==
+           1 + kWrites;
+  })) << "victim stuck at v"
+      << cluster.backends.at(victim).service->field_version("default")
+      << " installs " << cluster.metrics.backend_snapshot(victim).installs
+      << " replays " << cluster.metrics.backend_snapshot(victim).replays;
+  EXPECT_EQ(cluster.metrics.backend_snapshot(victim).installs, 1u)
+      << "recovery must replay, not resync";
+  EXPECT_GE(cluster.metrics.backend_snapshot(victim).replays, kWrites - 1);
+
+  // Every owner's snapshot endpoint answers byte-identically, and a routed
+  // read reflects every acked write.
+  const std::string authority =
+      cluster.replicator->log().snapshot("default").text;
+  for (const std::string& name : cluster.backend_names) {
+    EXPECT_EQ(cluster.backends.at(name).service->handle(snapshot_fetch()).text,
+              authority)
+        << name;
+  }
+  const auto routed = serve::parse_response(cluster.call(snapshot_fetch()));
+  ASSERT_TRUE(routed.has_value());
+  EXPECT_EQ(routed->status, serve::Status::kOk);
+  EXPECT_EQ(routed->text, authority);
+  expect_backends_reconcile(cluster);
+}
+
+TEST(ClusterChaos, PartitionBeyondRetainedWindowFallsBackToResync) {
+  // Same partition, but the log retains only the last two entries: by the
+  // time the victim heals it is too far behind to replay, so recovery must
+  // fall back to a full snapshot install — and still converge to
+  // byte-identical state.
+  const std::string victim = primary_owner({"b1", "b2", "b3"});
+  serve::ManualClock clock;
+  std::atomic<bool> partitioned{true};
+  BackendPoolOptions pool_options;
+  pool_options.clock_ms = clock.fn();
+  FaultCluster cluster(
+      {"b1", "b2", "b3"}, /*replication=*/3,
+      [victim, &partitioned](const std::string& backend, int connect_index) {
+        serve::FaultTransport::Options options;
+        if (backend != victim || !partitioned.load()) return options;
+        if (connect_index == 0) {
+          options.script = serve::FaultScript(
+              {{serve::FaultKind::kNone},
+               {serve::FaultKind::kResetBeforeSend}},
+              /*cycle=*/false);
+        } else {
+          options.script = serve::FaultScript(
+              {{serve::FaultKind::kResetBeforeSend}}, /*cycle=*/true);
+        }
+        return options;
+      },
+      /*clock=*/nullptr, std::move(pool_options), /*log_retain=*/2);
+  ASSERT_EQ(cluster.replicator->sync_all(), 3u);
+
+  constexpr std::uint64_t kWrites = 5;
+  for (std::uint64_t i = 0; i < kWrites; ++i) {
+    const auto response = serve::parse_response(
+        cluster.call(add_beacon_request(i + 1, {double(i + 1), 3})));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, serve::Status::kOk) << "write " << i + 1;
+  }
+  ASSERT_FALSE(cluster.replicator->log().suffix("default", 1).has_value())
+      << "the victim's position must be outside the retained window";
+
+  drain_backend_fifo(cluster, victim);
+  partitioned = false;
+  ASSERT_TRUE(wait_until([&] {
+    clock.advance(2000);
+    cluster.pool->tick();
+    return cluster.pool->health(victim) == BackendHealth::kClosed;
+  }));
+  cluster.replicator->sync_backend(victim);
+  ASSERT_TRUE(wait_until([&] {
+    return cluster.backends.at(victim).service->field_version("default") ==
+           1 + kWrites;
+  }));
+  EXPECT_GE(cluster.metrics.backend_snapshot(victim).installs, 2u)
+      << "beyond the window recovery is a full resync";
+  EXPECT_EQ(cluster.metrics.backend_snapshot(victim).replays, 0u);
+
+  const std::string authority =
+      cluster.replicator->log().snapshot("default").text;
+  for (const std::string& name : cluster.backend_names) {
+    EXPECT_EQ(cluster.backends.at(name).service->handle(snapshot_fetch()).text,
+              authority)
+        << name;
+  }
   expect_backends_reconcile(cluster);
 }
 

@@ -90,7 +90,9 @@ struct BackendSim {
 struct ClusterSim {
   explicit ClusterSim(std::vector<std::string> names,
                       std::size_t replication = 1,
-                      BackendPoolOptions pool_options = {})
+                      BackendPoolOptions pool_options = {},
+                      RouterOptions router_options = {},
+                      std::size_t log_retain = MutationLog::kDefaultRetain)
       : backend_names(names), ring() {
     for (const std::string& name : names) {
       ring.add_node(name);
@@ -102,12 +104,13 @@ struct ClusterSim {
           BackendSim& sim = *sims.at(backend);
           return std::make_unique<SwitchableTransport>(sim.server, sim.dead);
         });
-    replicator =
-        std::make_unique<Replicator>(*pool, ring, replication, metrics);
+    replicator = std::make_unique<Replicator>(*pool, ring, replication,
+                                              metrics, log_retain);
     pool->set_recovery_callback([this](const std::string& backend) {
       replicator->sync_backend(backend);
     });
-    router = std::make_unique<Router>(ring, *pool, *replicator, metrics);
+    router = std::make_unique<Router>(ring, *pool, *replicator, metrics,
+                                      std::move(router_options));
     pool->start();
   }
 

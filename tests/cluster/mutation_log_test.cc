@@ -1,0 +1,133 @@
+#include "cluster/mutation_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.h"
+#include "io/field_io.h"
+#include "cluster_harness.h"
+
+namespace abp::cluster {
+namespace {
+
+std::string field_text() {
+  std::ostringstream out;
+  write_field(out, harness_field());
+  return out.str();
+}
+
+TEST(MutationLog, InstallAssignsMonotonicVersionsAndAcks) {
+  MutationLog log;
+  EXPECT_EQ(log.version("default"), 0u);
+  EXPECT_EQ(log.last_acked("default"), 0u);
+  EXPECT_EQ(log.install("default", field_text()), 1u);
+  EXPECT_EQ(log.version("default"), 1u);
+  EXPECT_EQ(log.last_acked("default"), 1u)
+      << "reads fence at the install version before any write";
+  EXPECT_EQ(log.install("default", field_text()), 2u);
+  EXPECT_EQ(log.version("default"), 2u);
+  EXPECT_EQ(log.names(), std::vector<std::string>{"default"});
+}
+
+TEST(MutationLog, InstallKeepsTheSnapshotTextVerbatim) {
+  MutationLog log;
+  log.install("default", field_text());
+  const MutationLog::Snapshot snapshot = log.snapshot("default");
+  EXPECT_EQ(snapshot.text, field_text());
+  EXPECT_EQ(snapshot.version, 1u);
+}
+
+TEST(MutationLog, AppendClampsAppliesAndAllocatesSequentialIds) {
+  MutationLog log;
+  log.install("default", field_text());
+  // harness_field() has 4 beacons (ids 0..3); the next id is 4.
+  const MutationLog::AppendResult applied =
+      log.append("default", {{20, 20}, {99, -5}});
+  EXPECT_EQ(applied.version, 2u);
+  ASSERT_EQ(applied.positions.size(), 2u);
+  ASSERT_EQ(applied.beacon_ids.size(), 2u);
+  EXPECT_EQ(applied.positions[0], Vec2(20, 20));
+  EXPECT_EQ(applied.positions[1], Vec2(60, 0)) << "out-of-bounds clamps";
+  EXPECT_EQ(applied.beacon_ids[0], 4u);
+  EXPECT_EQ(applied.beacon_ids[1], 5u);
+  EXPECT_EQ(log.version("default"), 2u);
+  EXPECT_EQ(log.last_acked("default"), 1u)
+      << "append must not advance the read fence before quorum ack";
+}
+
+TEST(MutationLog, SnapshotTextMatchesAnEquallyMutatedField) {
+  MutationLog log;
+  log.install("default", field_text());
+  log.append("default", {{20, 20}});
+  log.append("default", {{5, 50}});
+
+  BeaconField expected = harness_field();
+  expected.add({20, 20});
+  expected.add({5, 50});
+  std::ostringstream out;
+  write_field(out, expected);
+  EXPECT_EQ(log.snapshot("default").text, out.str())
+      << "the log's apply must be byte-identical to a replica's";
+  EXPECT_EQ(log.snapshot("default").version, 3u);
+}
+
+TEST(MutationLog, SuffixAnswersReplayVsResync) {
+  MutationLog log(/*retain=*/4);
+  log.install("default", field_text());          // v1
+  for (int i = 0; i < 6; ++i) {
+    log.append("default", {{double(i + 1), 1}});  // v2..v7, retains v4..v7
+  }
+  // Current (and ahead): nothing to replay.
+  ASSERT_TRUE(log.suffix("default", 7).has_value());
+  EXPECT_TRUE(log.suffix("default", 7)->empty());
+  EXPECT_TRUE(log.suffix("default", 9)->empty());
+  // Within the window: the exact missing entries, oldest first.
+  const auto replay = log.suffix("default", 4);
+  ASSERT_TRUE(replay.has_value());
+  ASSERT_EQ(replay->size(), 3u);
+  EXPECT_EQ((*replay)[0].version, 5u);
+  EXPECT_EQ((*replay)[2].version, 7u);
+  EXPECT_EQ((*replay)[0].points, std::vector<Vec2>({{4, 1}}));
+  // Exactly at the window edge (oldest retained is v4 = have+1).
+  ASSERT_TRUE(log.suffix("default", 3).has_value());
+  EXPECT_EQ(log.suffix("default", 3)->size(), 4u);
+  // Behind the window: full resync required.
+  EXPECT_FALSE(log.suffix("default", 2).has_value());
+  EXPECT_FALSE(log.suffix("default", 0).has_value());
+  // Unknown deployment: resync (which will fail upstream, but never replay).
+  EXPECT_FALSE(log.suffix("ghost", 0).has_value());
+}
+
+TEST(MutationLog, InstallSubsumesRetainedEntries) {
+  MutationLog log;
+  log.install("default", field_text());  // v1
+  log.append("default", {{20, 20}});     // v2
+  log.install("default", field_text());  // v3, clears the log
+  // A replica at v2 can no longer replay — the entries are gone.
+  EXPECT_FALSE(log.suffix("default", 2).has_value());
+  ASSERT_TRUE(log.suffix("default", 3).has_value());
+  EXPECT_TRUE(log.suffix("default", 3)->empty());
+}
+
+TEST(MutationLog, RecordAckedIsMonotonic) {
+  MutationLog log;
+  log.install("default", field_text());  // v1, acked 1
+  log.append("default", {{20, 20}});     // v2
+  log.append("default", {{21, 21}});     // v3
+  log.record_acked("default", 3);
+  EXPECT_EQ(log.last_acked("default"), 3u);
+  log.record_acked("default", 2);  // stale ack arrives late
+  EXPECT_EQ(log.last_acked("default"), 3u);
+  log.record_acked("ghost", 9);  // unknown deployment is a no-op
+  EXPECT_EQ(log.last_acked("ghost"), 0u);
+}
+
+TEST(MutationLog, AppendToUnknownDeploymentThrows) {
+  MutationLog log;
+  EXPECT_THROW(log.append("ghost", {{1, 1}}), CheckFailure);
+  EXPECT_THROW(log.snapshot("ghost"), CheckFailure);
+}
+
+}  // namespace
+}  // namespace abp::cluster

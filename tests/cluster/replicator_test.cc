@@ -96,6 +96,70 @@ TEST(Replicator, SyncBackendPushesOnlyOwnedDeployments) {
   }
 }
 
+TEST(Replicator, MutateRequestCarriesEntryPointsAndVersion) {
+  ClusterSim cluster({"b1"});
+  MutationLog::Entry entry;
+  entry.version = 7;
+  entry.points = {{20, 20}, {5, 50}};
+  const serve::Request mutate = cluster.replicator->mutate_request("f", entry);
+  EXPECT_EQ(mutate.endpoint, serve::Endpoint::kMutate);
+  EXPECT_EQ(mutate.field, "f");
+  EXPECT_EQ(mutate.version, 7u);
+  EXPECT_EQ(mutate.points, entry.points);
+}
+
+TEST(Replicator, ReadVersionTracksAcksNotAppends) {
+  ClusterSim cluster({"b1"});
+  cluster.replicator->set_deployment("f", field_text());
+  EXPECT_EQ(cluster.replicator->read_version("f"), 1u);
+  cluster.replicator->log().append("f", {{20, 20}});
+  EXPECT_EQ(cluster.replicator->version("f"), 2u);
+  EXPECT_EQ(cluster.replicator->read_version("f"), 1u)
+      << "an unacked write must not fence reads";
+  cluster.replicator->log().record_acked("f", 2);
+  EXPECT_EQ(cluster.replicator->read_version("f"), 2u);
+}
+
+TEST(Replicator, SyncBackendReplaysSuffixWhenRetained) {
+  ClusterSim cluster({"b1"}, /*replication=*/1);
+  cluster.replicator->set_deployment("f", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 1u);
+  // Two writes land in the log while the backend (hypothetically
+  // partitioned) misses them.
+  cluster.replicator->log().append("f", {{20, 20}});
+  cluster.replicator->log().append("f", {{5, 50}});
+  ASSERT_EQ(cluster.sim("b1").service.field_version("f"), 1u);
+
+  cluster.replicator->sync_backend("b1");
+  ASSERT_TRUE(wait_until(
+      [&] { return cluster.sim("b1").service.field_version("f") == 3u; }));
+  // Replayed, not resynced: the install count stays at the startup sync.
+  EXPECT_EQ(cluster.metrics.backend_snapshot("b1").installs, 1u);
+  EXPECT_EQ(cluster.metrics.backend_snapshot("b1").replays, 2u);
+  // The replayed replica is byte-identical to the log's authority.
+  serve::Request fetch;
+  fetch.endpoint = serve::Endpoint::kSnapshot;
+  fetch.field = "f";
+  serve::Response snapshot = cluster.sim("b1").service.handle(fetch);
+  EXPECT_EQ(snapshot.text, cluster.replicator->log().snapshot("f").text);
+}
+
+TEST(Replicator, SyncBackendResyncsBeyondTheRetainedWindow) {
+  ClusterSim cluster({"b1"}, /*replication=*/1, {}, {}, /*log_retain=*/1);
+  cluster.replicator->set_deployment("f", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 1u);
+  cluster.replicator->log().append("f", {{20, 20}});  // v2 (evicted)
+  cluster.replicator->log().append("f", {{5, 50}});   // v3 (retained)
+  ASSERT_FALSE(cluster.replicator->log().suffix("f", 1).has_value());
+
+  cluster.replicator->sync_backend("b1");
+  ASSERT_TRUE(wait_until(
+      [&] { return cluster.sim("b1").service.field_version("f") == 3u; }));
+  // Resynced with a full snapshot: a second install, no replays.
+  EXPECT_EQ(cluster.metrics.backend_snapshot("b1").installs, 2u);
+  EXPECT_EQ(cluster.metrics.backend_snapshot("b1").replays, 0u);
+}
+
 TEST(Replicator, ListTextEnumeratesDeployments) {
   ClusterSim cluster({"b1"});
   cluster.replicator->set_deployment("alpha", field_text());

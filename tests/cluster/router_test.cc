@@ -120,12 +120,28 @@ TEST(Router, FailsOverToSurvivingReplica) {
 
   const serve::Request request = localize_request(7);
   EXPECT_EQ(cluster.call(request), direct_call(request));
-  EXPECT_GE(cluster.metrics.backend_snapshot(owners[1]).retries, 1u);
-  EXPECT_GE(cluster.metrics.backend_snapshot(owners[0]).transport_failures,
-            1u);
+  // Forward/retry counters are recorded after the FIFO handoff, so the
+  // reply (which unblocks call()) can land a hair before them.
+  EXPECT_TRUE(wait_until([&] {
+    return cluster.metrics.backend_snapshot(owners[1]).retries >= 1 &&
+           cluster.metrics.backend_snapshot(owners[0]).transport_failures >= 1;
+  }));
 }
 
-TEST(Router, AddBeaconIsNotRetriedAcrossReplicas) {
+serve::Request add_beacon_request(std::uint64_t seq,
+                                  std::vector<Vec2> points = {{20, 20}}) {
+  serve::Request add;
+  add.seq = seq;
+  add.endpoint = serve::Endpoint::kAddBeacon;
+  add.field = "default";
+  add.points = std::move(points);
+  return add;
+}
+
+TEST(Router, AddBeaconQuorumLostIsRetryableUnavailable) {
+  // Both owners are needed for the majority quorum (2 of 2); one dies with
+  // the mutation in flight. The client gets an honest retryable shed and
+  // the write stays in the log for the survivors to converge on.
   ClusterSim cluster({"b1", "b2"}, /*replication=*/2);
   cluster.replicator->set_deployment("default", field_text());
   ASSERT_EQ(cluster.replicator->sync_all(), 2u);
@@ -133,20 +149,157 @@ TEST(Router, AddBeaconIsNotRetriedAcrossReplicas) {
       cluster.replicator->owners("default");
   cluster.sim(owners[0]).dead = true;
 
-  serve::Request add;
-  add.seq = 3;
-  add.endpoint = serve::Endpoint::kAddBeacon;
-  add.field = "default";
-  add.points = {{20, 20}};
-  const auto response = serve::parse_response(cluster.call(add));
+  const auto response =
+      serve::parse_response(cluster.call(add_beacon_request(3)));
   ASSERT_TRUE(response.has_value());
-  // The transport died after the request may have executed: a
-  // non-idempotent endpoint must not be replayed on another replica.
   EXPECT_EQ(response->status, serve::Status::kUnavailable);
   EXPECT_NE(response->retry_after_ms, 0u);
-  EXPECT_EQ(cluster.metrics.backend_snapshot(owners[1]).retries, 0u);
-  EXPECT_EQ(cluster.metrics.backend_snapshot(owners[1]).forwarded, 0u)
-      << "the add-beacon must not have been replayed on the replica";
+  EXPECT_EQ(cluster.metrics.write_quorum_failures(), 1u);
+  EXPECT_EQ(cluster.metrics.write_acks(), 0u);
+  // The write was logged (version advanced) but must not fence reads.
+  EXPECT_EQ(cluster.replicator->version("default"), 2u);
+  EXPECT_EQ(cluster.replicator->read_version("default"), 1u);
+  // The survivor still absorbed the mutation — convergence, not loss.
+  ASSERT_TRUE(wait_until([&] {
+    return cluster.sim(owners[1]).service.field_version("default") == 2u;
+  }));
+}
+
+TEST(Router, AddBeaconReplicatesToAllOwnersAndMatchesDirect) {
+  ClusterSim cluster({"b1", "b2", "b3"}, /*replication=*/2);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+  const std::vector<std::string> owners =
+      cluster.replicator->owners("default");
+
+  // The routed write is acknowledged with a response synthesized from the
+  // log's deterministic apply — byte-identical to a direct server's.
+  const serve::Request add = add_beacon_request(3, {{20, 20}, {99, -5}});
+  EXPECT_EQ(cluster.call(add), direct_call(add));
+  EXPECT_EQ(cluster.metrics.write_acks(), 1u);
+  EXPECT_EQ(cluster.replicator->read_version("default"), 2u);
+
+  // Every ring owner converges to a byte-identical snapshot.
+  const std::string authority =
+      cluster.replicator->log().snapshot("default").text;
+  ASSERT_TRUE(wait_until([&] {
+    for (const std::string& owner : owners) {
+      if (cluster.sim(owner).service.field_version("default") != 2u) {
+        return false;
+      }
+    }
+    return true;
+  }));
+  serve::Request fetch;
+  fetch.endpoint = serve::Endpoint::kSnapshot;
+  fetch.field = "default";
+  for (const std::string& owner : owners) {
+    EXPECT_EQ(cluster.sim(owner).service.handle(fetch).text, authority)
+        << owner;
+    EXPECT_GE(cluster.metrics.backend_snapshot(owner).mutation_acks, 1u)
+        << owner;
+  }
+}
+
+TEST(Router, WriteThenReadIsReadYourWrites) {
+  ClusterSim cluster({"b1", "b2"}, /*replication=*/2);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+
+  const auto write =
+      serve::parse_response(cluster.call(add_beacon_request(1, {{20, 20}})));
+  ASSERT_TRUE(write.has_value());
+  ASSERT_EQ(write->status, serve::Status::kOk);
+
+  // A routed snapshot fetch right after the ack must include the beacon:
+  // reads are fenced at the acked version, so no stale replica can answer.
+  serve::Request fetch;
+  fetch.seq = 2;
+  fetch.endpoint = serve::Endpoint::kSnapshot;
+  fetch.field = "default";
+  const auto fetched = serve::parse_response(cluster.call(fetch));
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->status, serve::Status::kOk);
+  EXPECT_EQ(fetched->text, cluster.replicator->log().snapshot("default").text);
+}
+
+TEST(Router, WriteQuorumOneAcksWithADeadReplica) {
+  RouterOptions options;
+  options.write_quorum = 1;
+  ClusterSim cluster({"b1", "b2"}, /*replication=*/2, {}, options);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+  const std::vector<std::string> owners =
+      cluster.replicator->owners("default");
+  cluster.sim(owners[1]).dead = true;
+
+  const serve::Request add = add_beacon_request(5);
+  EXPECT_EQ(cluster.call(add), direct_call(add));
+  EXPECT_EQ(cluster.metrics.write_acks(), 1u);
+  EXPECT_EQ(cluster.replicator->read_version("default"), 2u);
+}
+
+TEST(Router, WriteShedBeforeAppendWhenQuorumInfeasible) {
+  BackendPoolOptions pool_options;
+  pool_options.failure_threshold = 1;
+  ClusterSim cluster({"b1"}, /*replication=*/1, pool_options);
+  cluster.replicator->set_deployment("default", field_text());
+  cluster.replicator->sync_all();
+  cluster.sim("b1").dead = true;
+  // Trip the breaker so the owner is known-down before the write arrives.
+  (void)cluster.call(localize_request(1));
+  ASSERT_TRUE(wait_until(
+      [&] { return cluster.pool->health("b1") == BackendHealth::kOpen; }));
+
+  const auto response =
+      serve::parse_response(cluster.call(add_beacon_request(2)));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, serve::Status::kUnavailable);
+  EXPECT_NE(response->retry_after_ms, 0u);
+  // Shed before the append: the log is untouched, so this client retry
+  // cannot duplicate anything.
+  EXPECT_EQ(cluster.replicator->version("default"), 1u);
+  EXPECT_EQ(cluster.metrics.writes(), 0u);
+}
+
+TEST(Router, ClientMutateIsRejected) {
+  ClusterSim cluster({"b1"});
+  cluster.replicator->set_deployment("default", field_text());
+  cluster.replicator->sync_all();
+  serve::Request mutate;
+  mutate.seq = 8;
+  mutate.endpoint = serve::Endpoint::kMutate;
+  mutate.field = "default";
+  mutate.points = {{20, 20}};
+  mutate.version = 2;
+  const auto response = serve::parse_response(cluster.call(mutate));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, serve::Status::kBadRequest);
+  EXPECT_EQ(cluster.metrics.forwarded_total(), 0u);
+}
+
+TEST(Router, EmptyAddBeaconMatchesDirectRejection) {
+  ClusterSim cluster({"b1"});
+  cluster.replicator->set_deployment("default", field_text());
+  cluster.replicator->sync_all();
+  const serve::Request add = add_beacon_request(4, {});
+  EXPECT_EQ(cluster.call(add), direct_call(add));
+  EXPECT_EQ(cluster.metrics.writes(), 0u) << "rejected before the append";
+}
+
+TEST(Router, VersionProbeRoutesAndKeepsTheVersionRecord) {
+  ClusterSim cluster({"b1"});
+  cluster.replicator->set_deployment("default", field_text());
+  cluster.replicator->sync_all();
+  serve::Request probe;
+  probe.seq = 6;
+  probe.endpoint = serve::Endpoint::kVersion;
+  probe.field = "default";
+  const auto response = serve::parse_response(cluster.call(probe));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, serve::Status::kOk);
+  EXPECT_EQ(response->version, 1u)
+      << "version probes keep the version record — it is the answer";
 }
 
 TEST(Router, AllReplicasDownIsRetryableUnavailable) {

@@ -318,6 +318,34 @@ TEST(Chaos, ClientNeverRetriesTerminalStatuses) {
   rig.expect_reconciled("terminal status");
 }
 
+TEST(Chaos, ClientRetriesVersionMismatch) {
+  // Regression guard: `version-mismatch` is retryable. In the cluster the
+  // router repairs a stale replica in-band and retries, so a client that
+  // treated the status as terminal would surface transient staleness as a
+  // hard error. This rig never repairs, so the client must spend its full
+  // attempt budget before reporting the mismatch.
+  ManualRig rig;
+  LoopbackTransport loopback(rig.server);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 5.0;
+  RetryingClient client([&loopback] { return borrow_transport(loopback); },
+                        policy);
+  client.set_clock(rig.clock.fn());
+  client.set_sleeper([&rig](double ms) { rig.clock.advance(ms); });
+
+  ASSERT_TRUE(status_retryable(Status::kVersionMismatch));
+  Request stale = localize_request(21);
+  stale.field = "default";
+  stale.version = 2;  // the rig's deployment is unversioned: forever behind
+  const CallResult result = client.call(stale);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.response.status, Status::kVersionMismatch);
+  EXPECT_EQ(result.attempts, 3u) << "version-mismatch must be retried";
+  EXPECT_GT(result.backoff_ms, 0.0);
+  rig.expect_reconciled("version-mismatch retries");
+}
+
 TEST(Chaos, ClientDeadlineBudgetBoundsTheWholeCall) {
   ManualRig rig;
   FaultTransport::Options fault_options;

@@ -217,6 +217,91 @@ TEST(Protocol, MalformedVersionRecordIsRejected) {
       parse_response("abp-response 1 1 ok\nversion -3\n").has_value());
 }
 
+Request full_mutate_request() {
+  Request request;
+  request.seq = 12;
+  request.endpoint = Endpoint::kMutate;
+  request.field = "default";
+  request.version = 4;
+  request.points = {{20, 20}, {0.1234567890123456, -99.9}};
+  return request;
+}
+
+TEST(Protocol, MutateRequestRoundTrips) {
+  const Request request = full_mutate_request();
+  std::string error;
+  const auto copy = parse_request(format_request(request), &error);
+  ASSERT_TRUE(copy.has_value()) << error;
+  EXPECT_EQ(*copy, request);
+  EXPECT_EQ(copy->version, 4u);
+}
+
+TEST(Protocol, MutationAckRecordRoundTrips) {
+  Response response;
+  response.seq = 13;
+  response.status = Status::kOk;
+  response.positions = {{20, 20}};
+  response.beacon_ids = {4};
+  response.mutation_ack = 4;
+  const auto copy = parse_response(format_response(response));
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(copy->mutation_ack, 4u);
+  EXPECT_EQ(*copy, response);
+}
+
+TEST(Protocol, MutationAckZeroIsOmittedForPreClusterByteIdentity) {
+  // Every response that predates the mutation log has mutation_ack == 0,
+  // so the record must vanish from the wire — a routed add-beacon response
+  // stays byte-identical to a pre-cluster single server's.
+  Response response;
+  response.seq = 1;
+  response.status = Status::kOk;
+  response.positions = {{20, 20}};
+  response.beacon_ids = {4};
+  EXPECT_EQ(format_response(response).find("mutation-ack"),
+            std::string::npos);
+  // Explicit `mutation-ack 0` parses as absent.
+  EXPECT_EQ(
+      parse_response("abp-response 1 1 ok\nmutation-ack 0\n")->mutation_ack,
+      0u);
+}
+
+TEST(Protocol, MalformedMutationAckRecordIsRejected) {
+  const std::string head = "abp-response 1 1 ok\n";
+  std::string error;
+  EXPECT_FALSE(
+      parse_response(head + "mutation-ack four\n", &error).has_value());
+  EXPECT_NE(error.find("mutation-ack"), std::string::npos);
+  EXPECT_FALSE(parse_response(head + "mutation-ack\n").has_value());
+  EXPECT_FALSE(parse_response(head + "mutation-ack -2\n").has_value());
+}
+
+TEST(Protocol, TruncatedMutateFrameDoesNotDecode) {
+  // A mutate frame cut mid-points must neither decode nor corrupt the
+  // stream: the decoder just waits for the rest of the payload.
+  const std::string frame = encode_frame(format_request(full_mutate_request()));
+  FrameDecoder decoder;
+  decoder.feed(frame.substr(0, frame.size() / 2));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.corrupt());
+  decoder.feed(frame.substr(frame.size() / 2));
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*parse_request(*payload), full_mutate_request());
+}
+
+TEST(Protocol, MaxPointsMutateAlwaysFitsTheFrameCap) {
+  // The per-request point cap is sized so a full mutate — worst-case
+  // 17-significant-digit coordinates included — still frames: replication
+  // can never be wedged by an accepted write that cannot be shipped.
+  Request request = full_mutate_request();
+  request.points.assign(kMaxPointsPerRequest,
+                        {-2.2250738585072014e-308, -1.7976931348623157e+308});
+  const std::string payload = format_request(request);
+  EXPECT_LE(payload.size(), kMaxFramePayload);
+  EXPECT_NO_THROW(encode_frame(payload));
+}
+
 TEST(Protocol, RequestTextBlockRoundTripsRawBytes) {
   // Snapshot installs carry the field file verbatim — including newlines
   // and lines that look like protocol records.

@@ -174,9 +174,11 @@ TEST(Server, ThreadedModeServesConcurrentClients) {
   }
   for (std::thread& t : clients) t.join();
   EXPECT_EQ(ok.load(), kClients * kPerClient);
+  // served_ is bumped after the batch's replies go out, so read it only
+  // after shutdown's drain barrier.
+  server.shutdown();
   EXPECT_EQ(server.requests_served(),
             static_cast<std::uint64_t>(kClients * kPerClient));
-  server.shutdown();
 }
 
 TEST(Server, ShutdownDrainsAcceptedThenRejectsNew) {

@@ -257,6 +257,124 @@ TEST(Service, HandleBatchMixedFieldsFallsBackCorrectly) {
   EXPECT_NE(out[2].text.find("second"), std::string::npos);
 }
 
+std::string field_file_text() {
+  std::ostringstream out;
+  write_field(out, make_field());
+  return out.str();
+}
+
+Request install_request(std::uint64_t version) {
+  Request install;
+  install.seq = 1;
+  install.endpoint = Endpoint::kSnapshot;
+  install.field = "default";
+  install.text = field_file_text();
+  install.version = version;
+  return install;
+}
+
+Request mutate_request(std::uint64_t version, std::vector<Vec2> points) {
+  Request mutate;
+  mutate.seq = 2;
+  mutate.endpoint = Endpoint::kMutate;
+  mutate.field = "default";
+  mutate.version = version;
+  mutate.points = std::move(points);
+  return mutate;
+}
+
+TEST(Service, MutateAppliesInVersionOrder) {
+  LocalizationService service(test_config());
+  ASSERT_EQ(service.handle(install_request(1)).status, Status::kOk);
+  const Response applied = service.handle(mutate_request(2, {{20, 20}}));
+  ASSERT_EQ(applied.status, Status::kOk) << applied.message;
+  EXPECT_EQ(applied.mutation_ack, 2u);
+  EXPECT_EQ(applied.version, 2u);
+  ASSERT_EQ(applied.positions.size(), 1u);
+  EXPECT_EQ(applied.positions[0], Vec2(20, 20));
+  ASSERT_EQ(applied.beacon_ids.size(), 1u);
+  EXPECT_EQ(applied.beacon_ids[0], 4u) << "ids continue the snapshot's";
+  EXPECT_EQ(service.field_version("default"), 2u);
+}
+
+TEST(Service, MutateAtOrBelowHeldVersionAcksWithoutReapplying) {
+  LocalizationService service(test_config());
+  service.handle(install_request(1));
+  service.handle(mutate_request(2, {{20, 20}}));
+  // The same mutation delivered again (lost ack, replay overlap): ack at
+  // the held version, no double-deployed beacon.
+  const Response replay = service.handle(mutate_request(2, {{20, 20}}));
+  ASSERT_EQ(replay.status, Status::kOk);
+  EXPECT_EQ(replay.mutation_ack, 2u);
+  EXPECT_TRUE(replay.beacon_ids.empty());
+  Request snapshot;
+  snapshot.endpoint = Endpoint::kSnapshot;
+  snapshot.field = "default";
+  std::istringstream in(service.handle(snapshot).text);
+  EXPECT_EQ(read_field(in).size(), make_field().size() + 1);
+}
+
+TEST(Service, MutateWithAGapIsVersionMismatch) {
+  LocalizationService service(test_config());
+  service.handle(install_request(1));
+  // Version 3 would skip version 2: the replica is lagging and must be
+  // repaired (replay or install), never apply out of order.
+  const Response gapped = service.handle(mutate_request(3, {{20, 20}}));
+  EXPECT_EQ(gapped.status, Status::kVersionMismatch);
+  EXPECT_EQ(gapped.version, 1u) << "the mismatch carries the held version";
+  EXPECT_EQ(service.field_version("default"), 1u);
+}
+
+TEST(Service, MutateValidation) {
+  LocalizationService service(test_config());
+  service.handle(install_request(1));
+  EXPECT_EQ(service.handle(mutate_request(0, {{20, 20}})).status,
+            Status::kBadRequest)
+      << "a mutate must carry the version it establishes";
+  EXPECT_EQ(service.handle(mutate_request(2, {})).status,
+            Status::kBadRequest);
+  // Unknown deployment: retryable mismatch (at version 0) so the sender's
+  // install-then-retry repair path self-heals.
+  Request unknown = mutate_request(2, {{20, 20}});
+  unknown.field = "ghost";
+  EXPECT_EQ(service.handle(unknown).status, Status::kVersionMismatch);
+}
+
+TEST(Service, VersionProbeAnswersHeldVersion) {
+  LocalizationService service(test_config());
+  Request probe;
+  probe.endpoint = Endpoint::kVersion;
+  probe.field = "default";
+  // Unknown deployment probes ok at version 0 — real versions start at 1.
+  Response answer = service.handle(probe);
+  ASSERT_EQ(answer.status, Status::kOk);
+  EXPECT_EQ(answer.version, 0u);
+  service.handle(install_request(1));
+  service.handle(mutate_request(2, {{20, 20}}));
+  answer = service.handle(probe);
+  ASSERT_EQ(answer.status, Status::kOk);
+  EXPECT_EQ(answer.version, 2u);
+}
+
+TEST(Service, ReadFenceIsOneSided) {
+  LocalizationService service(test_config());
+  service.handle(install_request(1));
+  service.handle(mutate_request(2, {{20, 20}}));
+  Request read = point_request(Endpoint::kLocalize, {{12, 12}});
+  read.field = "default";
+  // A replica *ahead* of the fence has absorbed every write the fence
+  // guarantees: it serves.
+  read.version = 1;
+  EXPECT_EQ(service.handle(read).status, Status::kOk);
+  read.version = 2;
+  EXPECT_EQ(service.handle(read).status, Status::kOk);
+  // Only a *lagging* replica answers the retryable mismatch.
+  read.version = 3;
+  const Response lagging = service.handle(read);
+  EXPECT_EQ(lagging.status, Status::kVersionMismatch);
+  EXPECT_EQ(lagging.version, 2u);
+}
+
 TEST(Service, TooManyProposalsIsBadRequest) {
   LocalizationService service(test_config());
   service.add_field("default", make_field());

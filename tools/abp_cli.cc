@@ -17,7 +17,8 @@
 ///                [--port P | --oneshot --in req.bin [--out resp.bin]]
 ///                [--workers N] [--batch B]
 ///   abp route    --field field.txt --backend H:P [--backend H:P ...]
-///                [--replication R] [--heartbeat-ms H] [--port P]
+///                [--replication R] [--write-quorum Q] [--log-retain L]
+///                [--heartbeat-ms H] [--port P]
 ///                [--transport threaded|epoll]
 ///   abp query    --type localize|error-at|propose|add-beacon|snapshot|
 ///                stats|list-fields [--points "x,y;x,y"] [--algorithm A]
@@ -91,8 +92,8 @@ int usage() {
          "           [--port P | --oneshot --in REQ [--out RESP]]\n"
          "  route    --field FILE --backend HOST:PORT [--backend ...] "
          "[--name N]\n"
-         "           [--replication R] [--heartbeat-ms H] "
-         "[--failure-threshold F]\n"
+         "           [--replication R] [--write-quorum Q] [--log-retain L]\n"
+         "           [--heartbeat-ms H] [--failure-threshold F]\n"
          "           [--transport threaded|epoll] [--event-shards E] "
          "[--port P]\n"
          "           [--max-inflight I] [--retry-after-ms H] "
@@ -346,6 +347,12 @@ void print_response(const serve::Response& response) {
   for (const std::uint32_t id : response.beacon_ids) {
     std::cout << "beacon-id " << id << "\n";
   }
+  if (response.version != 0) {
+    std::cout << "version " << response.version << "\n";
+  }
+  if (response.mutation_ack != 0) {
+    std::cout << "mutation-ack " << response.mutation_ack << "\n";
+  }
   if (!response.text.empty()) std::cout << response.text;
 }
 
@@ -444,7 +451,8 @@ int cmd_route(const Flags& flags) {
   cluster::HashRing ring;
   for (const std::string& backend : config.backends) ring.add_node(backend);
   cluster::BackendPool pool(config.backends, config.pool_options(), metrics);
-  cluster::Replicator replicator(pool, ring, config.replication, metrics);
+  cluster::Replicator replicator(pool, ring, config.replication, metrics,
+                                 config.log_retain);
   pool.set_recovery_callback(
       [&replicator](const std::string& backend) {
         replicator.sync_backend(backend);
