@@ -35,6 +35,15 @@
 ///     re-shipping snapshots. The curve shows the dip and the catch-up;
 ///     the victim's install/replay counters prove the replay path ran.
 ///
+///  5. Retry storm: `--storm-clients` retrying clients each push
+///     `--storm-writes` add-beacons through a seeded duplicate/reset fault
+///     schedule (`make_retry_storm_script`) between client and router, with
+///     request-id dedup on vs off. Reports the delivery amplification, the
+///     duplicate-suppression rate, and per-logical-write p99. The claim:
+///     with dedup on, however many times the storm re-delivers a write, at
+///     most one append lands per logical write; with dedup off every
+///     re-delivery appends a phantom beacon.
+///
 /// `--json PATH` writes every section machine-readable for CI trending.
 #include <algorithm>
 #include <atomic>
@@ -45,6 +54,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -59,6 +69,9 @@
 #include "common/table.h"
 #include "field/generators.h"
 #include "io/field_io.h"
+#include "serve/client.h"
+#include "serve/fault_transport.h"
+#include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/transport.h"
 
@@ -133,7 +146,8 @@ struct SimCluster {
   SimCluster(std::size_t backends, std::size_t replication,
              std::size_t deployments, std::size_t workers,
              std::size_t max_batch, double probe_interval_ms = 1000.0,
-             std::size_t log_retain = MutationLog::kDefaultRetain) {
+             std::size_t log_retain = MutationLog::kDefaultRetain,
+             RouterOptions router_options = {}) {
     for (std::size_t i = 0; i < backends; ++i) {
       names.push_back("b" + std::to_string(i));
     }
@@ -161,7 +175,8 @@ struct SimCluster {
     pool->set_recovery_callback([this](const std::string& backend) {
       replicator->sync_backend(backend);
     });
-    router = std::make_unique<Router>(ring, *pool, *replicator, metrics);
+    router = std::make_unique<Router>(ring, *pool, *replicator, metrics,
+                                      router_options);
     pool->start();
     for (std::size_t d = 0; d < deployments; ++d) {
       std::ostringstream text;
@@ -329,6 +344,10 @@ int main(int argc, char** argv) {
   const double probe_ms = flags.get_double("probe-ms", 100.0);
   const auto log_retain =
       static_cast<std::size_t>(flags.get_int("log-retain", 8192));
+  const auto storm_clients =
+      static_cast<std::size_t>(flags.get_int("storm-clients", 4));
+  const auto storm_writes =
+      static_cast<std::size_t>(flags.get_int("storm-writes", 48));
   const std::string json_path = flags.get_string("json", "");
   flags.check_unused();
 
@@ -341,8 +360,11 @@ int main(int argc, char** argv) {
           " ok-per-bucket curve around a backend kill; write_mix = 1-in-"
        << write_every
        << " add-beacon through the replicated mutation log; replay_recovery"
-          " = write mix with kill+revive, victim catches up by log replay."
-          " replication="
+          " = write mix with kill+revive, victim catches up by log replay;"
+          " retry_storm = seeded duplicate/reset schedule between client and"
+          " router, request-id dedup on vs off (storm-clients="
+       << storm_clients << " storm-writes=" << storm_writes
+       << " per client). replication="
        << replication << " deployments=" << deployments << " workers="
        << workers << " window=" << window << " log-retain=" << log_retain
        << " probe-ms=" << probe_ms << "\",\n";
@@ -614,7 +636,122 @@ int main(int argc, char** argv) {
          << ", \"converged\": " << (converged ? "true" : "false")
          << ", \"ok_buckets\": ";
     json_buckets(json, r.ok_buckets);
-    json << "}\n";
+    json << "},\n";
+  }
+
+  // ---- retry storm: duplicate suppression, dedup on vs off -------------
+  {
+    namespace serve = abp::serve;
+    std::cout << "\n=== Retry storm: " << storm_clients << " clients x "
+              << storm_writes << " writes through a seeded duplicate/reset"
+              << " schedule, request-id dedup on vs off ===\n\n";
+    abp::TextTable storm({"dedup", "logical", "ok", "deliveries", "appends",
+                          "dup-suppressed", "phantom", "p50 ms", "p99 ms"});
+    json << "  \"retry_storm\": [\n";
+    for (int pass = 0; pass < 2; ++pass) {
+      const bool dedup = pass == 0;
+      RouterOptions router_options;
+      router_options.dedup = dedup;
+      SimCluster cluster(3, 3, deployments, workers, max_batch, probe_ms,
+                         log_retain, router_options);
+      std::map<std::string, std::uint64_t> base_versions;
+      for (const std::string& name : cluster.replicator->names()) {
+        base_versions[name] = cluster.replicator->version(name);
+      }
+
+      std::atomic<std::uint64_t> deliveries{0};
+      std::atomic<std::uint64_t> ok_calls{0};
+      std::mutex mu;
+      abp::Histogram call_us = abp::Histogram::latency_us();
+      std::vector<std::thread> clients;
+      for (std::size_t c = 0; c < storm_clients; ++c) {
+        clients.emplace_back([&, c] {
+          // Each client owns a transport whose faulted side is the frame
+          // pipe to the router — duplicates re-deliver the same write
+          // frame, resets force the client to retry with the same id.
+          auto exchange = [&](std::string frame) {
+            serve::FrameDecoder decoder;
+            decoder.feed(frame);
+            std::optional<std::string> payload = decoder.next();
+            ++deliveries;
+            auto done = std::make_shared<std::promise<std::string>>();
+            cluster.router->submit(std::move(*payload),
+                                   [done](std::string reply) {
+                                     done->set_value(std::move(reply));
+                                   });
+            return serve::encode_frame(done->get_future().get());
+          };
+          serve::FaultTransport::Options fault_options;
+          fault_options.script = serve::make_retry_storm_script(
+              256, 0xBEEF + 31 * c + static_cast<std::uint64_t>(pass));
+          serve::FaultTransport transport(exchange, fault_options);
+          serve::RetryPolicy policy;
+          policy.max_attempts = 12;
+          policy.base_backoff_ms = 0.1;
+          policy.max_backoff_ms = 0.5;
+          serve::RetryingClient client(
+              [&transport] { return serve::borrow_transport(transport); },
+              policy);
+          client.set_sleeper([](double) {});
+          std::vector<double> latencies;
+          latencies.reserve(storm_writes);
+          for (std::size_t i = 0; i < storm_writes; ++i) {
+            const std::uint64_t seq = c * storm_writes + i;
+            const double sent_at = steady_now_s();
+            const serve::CallResult result =
+                client.call(add_beacon_request(seq, deployments));
+            latencies.push_back((steady_now_s() - sent_at) * 1e6);
+            if (result.ok && result.response.status == serve::Status::kOk) {
+              ++ok_calls;
+            }
+          }
+          std::lock_guard<std::mutex> lock(mu);
+          for (double us : latencies) call_us.add(us);
+        });
+      }
+      for (std::thread& t : clients) t.join();
+
+      std::uint64_t appends = 0;
+      for (const std::string& name : cluster.replicator->names()) {
+        appends += cluster.replicator->version(name) - base_versions[name];
+      }
+      const std::uint64_t logical = storm_clients * storm_writes;
+      const std::uint64_t suppressed = cluster.metrics.write_dedup_hits();
+      const std::uint64_t phantom = appends > ok_calls ? appends - ok_calls
+                                                       : 0;
+      storm.add_row({dedup ? "on" : "off", std::to_string(logical),
+                     std::to_string(ok_calls.load()),
+                     std::to_string(deliveries.load()),
+                     std::to_string(appends), std::to_string(suppressed),
+                     std::to_string(phantom),
+                     abp::TextTable::fmt(call_us.p50() / 1e3, 2),
+                     abp::TextTable::fmt(call_us.p99() / 1e3, 2)});
+      if (dedup && appends > logical) {
+        healthy = false;
+        std::cout << "EXACTLY-ONCE FAILURE: dedup on, " << appends
+                  << " appends for " << logical << " logical writes\n";
+      }
+      if (dedup && suppressed == 0) {
+        healthy = false;
+        std::cout << "STORM TOO CALM: no duplicate was ever suppressed\n";
+      }
+      json << "    {\"dedup\": " << (dedup ? "true" : "false")
+           << ", \"logical_writes\": " << logical
+           << ", \"ok\": " << ok_calls.load()
+           << ", \"deliveries\": " << deliveries.load()
+           << ", \"appends\": " << appends
+           << ", \"dup_suppressed\": " << suppressed
+           << ", \"phantom_appends\": " << phantom
+           << ", \"p50_ms\": " << call_us.p50() / 1e3
+           << ", \"p99_ms\": " << call_us.p99() / 1e3 << "}"
+           << (pass == 0 ? "," : "") << "\n";
+    }
+    json << "  ]\n";
+    storm.print(std::cout);
+    std::cout << "\nReading: the storm re-delivers and re-tries the same"
+                 " logical writes; with dedup on the index answers every"
+                 " duplicate from the original ack (phantom = 0), with dedup"
+                 " off each re-delivery appends a phantom beacon.\n";
   }
 
   json << "}\n";

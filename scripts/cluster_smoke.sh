@@ -6,7 +6,10 @@
 # backend the router fails reads over to the survivor — both the pristine
 # query and the read-your-write stay byte-identical, (4) writes keep
 # acking after the kill (--write-quorum 1) and the version probe counts
-# them, (5) router stats are served locally.
+# them, (5) router stats are served locally, (6) a forced retry — the same
+# command re-sent with `--request-id`/`--attempt` as if the first ack was
+# lost in the degraded cluster — is answered with byte-identical ack bytes
+# and moves the version by exactly one.
 #
 # Usage: scripts/cluster_smoke.sh   (BUILD=<dir> to override build dir)
 set -euo pipefail
@@ -114,6 +117,32 @@ grep -q "^version 3$" "$WORK/version.out" || {
   cat "$WORK/version.out" >&2
   exit 1; }
 
+echo "== forced retry: resent request id dedups to the original ack =="
+# The cluster is degraded (b1 dead, quorum 1) — exactly when a client's ack
+# is most likely to get lost and retried. Write with an explicit request id,
+# then re-send the identical command as attempt 1: the router must answer
+# the retry from the dedup index with the *original* ack bytes, not append a
+# second beacon.
+"$ABP" query --type add-beacon --points "33,33" --seq 7 --request-id 777 \
+  --connect "127.0.0.1:$ROUTER_PORT" >"$WORK/write3.out"
+grep -q "status ok" "$WORK/write3.out" || {
+  echo "FAIL: id-carrying add-beacon not acked" >&2
+  cat "$WORK/write3.out" >&2
+  exit 1; }
+"$ABP" query --type add-beacon --points "33,33" --seq 7 --request-id 777 \
+  --attempt 1 --connect "127.0.0.1:$ROUTER_PORT" >"$WORK/write3_retry.out"
+diff "$WORK/write3.out" "$WORK/write3_retry.out" || {
+  echo "FAIL: retried write's ack differs from the original ack" >&2
+  exit 1; }
+
+echo "== version probe: the two deliveries appended exactly once =="
+"$ABP" query --type version --seq 8 --connect "127.0.0.1:$ROUTER_PORT" \
+  >"$WORK/version2.out"
+grep -q "^version 4$" "$WORK/version2.out" || {
+  echo "FAIL: version should be exactly 4 (one append for two deliveries)" >&2
+  cat "$WORK/version2.out" >&2
+  exit 1; }
+
 echo "== router stats are answered locally =="
 "$ABP" query --type stats --seq 2 --connect "127.0.0.1:$ROUTER_PORT" \
   >"$WORK/stats.out"
@@ -122,4 +151,5 @@ grep -q "abp-route-stats" "$WORK/stats.out" || {
   cat "$WORK/stats.out" >&2
   exit 1; }
 
-echo "PASS: routed == direct, writes quorum-acked and readable across a kill"
+echo "PASS: routed == direct, writes quorum-acked, readable, and" \
+  "exactly-once across a kill and a forced retry"

@@ -26,6 +26,7 @@ RouterConfig RouterConfig::from_flags(const Flags& flags) {
   config.write_quorum = get_size(flags, "write-quorum", 0);
   config.log_retain = std::max<std::size_t>(
       1, get_size(flags, "log-retain", 64));
+  config.dedup = flags.get_bool("dedup", true);
   config.heartbeat_ms = flags.get_double("heartbeat-ms", 1000.0);
   config.failure_threshold = std::max<std::size_t>(
       1, get_size(flags, "failure-threshold", 3));
@@ -99,6 +100,7 @@ Router::Options RouterConfig::router_options() const {
   Router::Options options;
   options.retry_after_hint_ms = retry_after_hint_ms;
   options.write_quorum = write_quorum;
+  options.dedup = dedup;
   return options;
 }
 

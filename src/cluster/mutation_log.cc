@@ -32,6 +32,12 @@ std::uint64_t MutationLog::install(const std::string& name,
   deployment.text = std::move(field_text);
   deployment.text_dirty = false;
   deployment.entries.clear();
+  if (!deployment.dedup.empty()) {
+    // Re-install over an id-bearing history: those ids are gone for good,
+    // so unknown-id retries are ambiguous from here on.
+    deployment.dedup.clear();
+    deployment.dedup_complete = false;
+  }
   ++deployment.version;
   // A fresh install is fully replicated by sync before reads are fenced on
   // it, so the read fence starts at the install version.
@@ -39,8 +45,9 @@ std::uint64_t MutationLog::install(const std::string& name,
   return deployment.version;
 }
 
-MutationLog::AppendResult MutationLog::append(
-    const std::string& name, const std::vector<Vec2>& points) {
+MutationLog::AppendResult MutationLog::append(const std::string& name,
+                                              const std::vector<Vec2>& points,
+                                              std::uint64_t request_id) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = deployments_.find(name);
   ABP_CHECK(it != deployments_.end(), "unknown deployment: " + name);
@@ -54,15 +61,58 @@ MutationLog::AppendResult MutationLog::append(
     result.positions.push_back(pos);
     result.beacon_ids.push_back(id);
     entry.points.push_back(pos);
+    entry.beacon_ids.push_back(id);
   }
   deployment.text_dirty = true;
   entry.version = ++deployment.version;
+  entry.request_id = request_id;
   result.version = deployment.version;
+  if (request_id != 0) {
+    const bool inserted =
+        deployment.dedup.emplace(request_id, entry.version).second;
+    ABP_CHECK(inserted, "request id appended twice to deployment '" + name +
+                            "' — callers must dedup_lookup first");
+  }
   deployment.entries.push_back(std::move(entry));
   while (deployment.entries.size() > retain_) {
+    const Entry& evicted = deployment.entries.front();
+    if (evicted.request_id != 0) {
+      deployment.dedup.erase(evicted.request_id);
+      deployment.dedup_complete = false;
+    }
     deployment.entries.pop_front();
   }
   return result;
+}
+
+std::optional<MutationLog::DedupHit> MutationLog::dedup_lookup(
+    const std::string& name, std::uint64_t request_id) const {
+  if (request_id == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = deployments_.find(name);
+  if (it == deployments_.end()) return std::nullopt;
+  const Deployment& deployment = *it->second;
+  const auto hit = deployment.dedup.find(request_id);
+  if (hit == deployment.dedup.end()) return std::nullopt;
+  // Retained entries hold contiguous versions, so the mapped version
+  // addresses its entry directly.
+  const std::uint64_t front = deployment.entries.front().version;
+  const Entry& entry =
+      deployment.entries[static_cast<std::size_t>(hit->second - front)];
+  DedupHit result;
+  result.version = entry.version;
+  result.positions = entry.points;
+  result.beacon_ids = entry.beacon_ids;
+  result.acked = entry.version <= deployment.last_acked;
+  return result;
+}
+
+bool MutationLog::dedup_complete(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = deployments_.find(name);
+  // An unknown deployment has no id history at all, which is (vacuously)
+  // complete.
+  return it == deployments_.end() || it->second->dedup_complete;
 }
 
 std::uint64_t MutationLog::version(const std::string& name) const {

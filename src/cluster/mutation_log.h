@@ -24,6 +24,16 @@
 ///  * `record_acked` tracks the highest quorum-acknowledged version per
 ///    deployment — the router's read fence (read-your-writes: reads are
 ///    stamped with the last *acked* version, never an in-flight one).
+///  * `dedup_lookup` is the exactly-once index: entries appended with a
+///    client request id are findable by that id for as long as they stay in
+///    the retained window, yielding the version they were assigned plus the
+///    positions/ids needed to re-synthesize the original ack. The index is
+///    derived state — it lives and dies with the retained entries, so
+///    rebuilding the log (replaying the same appends) rebuilds the same
+///    index. `dedup_complete` reports whether any id-bearing entry has ever
+///    been evicted: while true, an unknown id is *provably* fresh; once
+///    false, an unknown id on a retry is ambiguous and callers must answer
+///    `dedup-expired` instead of re-appending.
 ///
 /// All methods are thread-safe under one internal mutex; the apply path is
 /// deterministic (clamp + sequential id allocation over a canonically
@@ -50,11 +60,14 @@ class MutationLog {
   /// Default retained-entry window per deployment (replay horizon).
   static constexpr std::size_t kDefaultRetain = 64;
 
-  /// One logged mutation: the version it establishes and the (clamped)
-  /// beacon positions it deploys.
+  /// One logged mutation: the version it establishes, the (clamped) beacon
+  /// positions it deploys, the beacon ids the deterministic apply allocated
+  /// for them, and the client request id that wrote it (0 = id-free).
   struct Entry {
     std::uint64_t version = 0;
     std::vector<Vec2> points;
+    std::vector<std::uint32_t> beacon_ids;
+    std::uint64_t request_id = 0;
   };
 
   /// Deterministic result of applying one mutation to the authoritative
@@ -75,8 +88,33 @@ class MutationLog {
 
   /// Append one mutation: clamp `points`, apply them to the authoritative
   /// field, bump the version, retain the entry. The deployment must exist.
-  AppendResult append(const std::string& name,
-                      const std::vector<Vec2>& points);
+  /// A non-zero `request_id` is persisted with the entry and indexed for
+  /// `dedup_lookup`; appending an id already in the index is a caller bug
+  /// (the caller must look it up first, under its own write serialization).
+  AppendResult append(const std::string& name, const std::vector<Vec2>& points,
+                      std::uint64_t request_id = 0);
+
+  /// One retained, id-bearing entry resolved by client request id — enough
+  /// to answer the duplicate with the original ack (`positions`/`beacon_ids`
+  /// are exactly what the first append returned) and to decide whether that
+  /// ack was ever quorum-confirmed (`acked`).
+  struct DedupHit {
+    std::uint64_t version = 0;
+    std::vector<Vec2> positions;
+    std::vector<std::uint32_t> beacon_ids;
+    bool acked = false;  ///< version <= last_acked at lookup time
+  };
+
+  /// Find the retained entry written under `request_id`; nullopt when the
+  /// id is unknown — either never appended, or evicted with the window
+  /// (disambiguate via `dedup_complete`).
+  std::optional<DedupHit> dedup_lookup(const std::string& name,
+                                       std::uint64_t request_id) const;
+
+  /// True while no id-bearing entry has ever left the retained window (or
+  /// been cleared by a re-install), i.e. the dedup index still covers the
+  /// deployment's entire id history and an unknown id is provably fresh.
+  bool dedup_complete(const std::string& name) const;
 
   /// Current version of `name`; 0 when unknown.
   std::uint64_t version(const std::string& name) const;
@@ -121,6 +159,11 @@ class MutationLog {
     std::uint64_t version = 0;
     std::uint64_t last_acked = 0;
     std::deque<Entry> entries;  ///< retained window, ascending version
+    /// request id → version, covering exactly the id-bearing retained
+    /// entries (entries are contiguous by version, so the entry for a
+    /// mapped version is at `entries[version - entries.front().version]`).
+    std::map<std::uint64_t, std::uint64_t> dedup;
+    bool dedup_complete = true;  ///< no id-bearing entry ever evicted
   };
 
   const std::size_t retain_;

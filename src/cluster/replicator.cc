@@ -62,6 +62,9 @@ serve::Request Replicator::mutate_request(
   request.field = name;
   request.points = entry.points;
   request.version = entry.version;
+  // Replays carry the write's request id, so a recovering replica rebuilds
+  // the same dedup state the live fan-out gave its peers.
+  request.request_id = entry.request_id;
   return request;
 }
 

@@ -281,14 +281,82 @@ void Router::route_write(serve::Request request,
       options_.write_quorum == 0
           ? majority
           : std::min(options_.write_quorum, owners.size());
-  // Feasibility check before the append: if fewer owners are live than the
-  // quorum needs, shed now — the log stays untouched, so the client's
-  // retry cannot duplicate anything. (Races with breaker transitions fall
-  // through to the post-append quorum accounting below.)
   std::size_t live = 0;
   for (const std::string& backend : owners) {
     if (pool_->health(backend) != BackendHealth::kOpen) ++live;
   }
+  const std::uint64_t request_id =
+      options_.dedup ? request.request_id : 0;
+  // Dedup lookup, append and fan-out share one lock: two concurrent
+  // deliveries of the same id must serialize into "one appends, the other
+  // hits the index", and concurrent writes must enter every backend FIFO
+  // in version order.
+  std::lock_guard<std::mutex> lock(write_mu_);
+  MutationLog& log = replicator_->log();
+  if (request_id != 0) {
+    if (const std::optional<MutationLog::DedupHit> hit =
+            log.dedup_lookup(request.field, request_id)) {
+      // Duplicate delivery of a write already in the log. Re-synthesize
+      // the *original* ack (same deterministic positions/ids; the client
+      // holds seq constant across retries, so the bytes match the first
+      // synthesis too).
+      metrics_->record_write_dedup_hit();
+      serve::Response ok;
+      ok.seq = request.seq;
+      ok.positions = hit->positions;
+      ok.beacon_ids = hit->beacon_ids;
+      std::string ok_payload = serve::format_response_capped(ok);
+      if (hit->acked) {
+        reply(ok_payload);
+        return;
+      }
+      // The first fan-out lost its quorum after the append: the retry's
+      // job is to finish that write, not to mint a new one. Re-fan the
+      // logged entry out (same version — replicas that took it already ack
+      // idempotently) and answer the original ack at quorum.
+      if (live < quorum) {
+        metrics_->record_unrouted();
+        reply(rejection_payload(
+            request.seq, serve::Status::kUnavailable,
+            "write quorum of " + std::to_string(quorum) +
+                " unreachable for '" + request.field + "' (" +
+                std::to_string(live) + " live owners)",
+            options_.retry_after_hint_ms));
+        return;
+      }
+      auto state = std::make_shared<WriteState>();
+      state->quorum = quorum;
+      state->targets = owners.size();
+      state->reply = std::move(reply);
+      state->ok_payload = std::move(ok_payload);
+      state->mutate.endpoint = serve::Endpoint::kMutate;
+      state->mutate.seq = request.seq;
+      state->mutate.field = request.field;
+      state->mutate.points = hit->positions;
+      state->mutate.version = hit->version;
+      state->mutate.request_id = request_id;
+      for (const std::string& backend : owners) {
+        send_mutation(state, backend);
+      }
+      return;
+    }
+    if (request.attempt > 0 && !log.dedup_complete(request.field)) {
+      // A *retry* whose id is unknown after the index has evicted entries:
+      // the first delivery may have appended and aged out, so appending
+      // again risks the duplicate this whole path exists to prevent.
+      // Terminal by design — see DESIGN.md §11.
+      metrics_->record_write_dedup_expired();
+      reply(rejection_payload(
+          request.seq, serve::Status::kDedupExpired,
+          "request id unknown and the dedup window for '" + request.field +
+              "' has rolled over; verify the write and mint a fresh id"));
+      return;
+    }
+  }
+  // Feasibility check before the append: if fewer owners are live than the
+  // quorum needs, shed now — the log stays untouched, so the client's
+  // retry cannot duplicate anything. (Races with breaker transitions fall
+  // through to the post-append quorum accounting below.)
   if (live < quorum) {
     metrics_->record_unrouted();
     reply(rejection_payload(
@@ -302,11 +370,8 @@ void Router::route_write(serve::Request request,
   state->quorum = quorum;
   state->targets = owners.size();
   state->reply = std::move(reply);
-  // Append + fan-out under one lock so concurrent writes enter every
-  // backend FIFO in version order.
-  std::lock_guard<std::mutex> lock(write_mu_);
   const MutationLog::AppendResult applied =
-      replicator_->log().append(request.field, request.points);
+      log.append(request.field, request.points, request_id);
   metrics_->record_write();
   // The client's response is synthesized from the deterministic apply —
   // the same clamp + id allocation every replica performs — so it is
@@ -322,6 +387,7 @@ void Router::route_write(serve::Request request,
   state->mutate.field = request.field;
   state->mutate.points = applied.positions;
   state->mutate.version = applied.version;
+  state->mutate.request_id = request_id;
   for (const std::string& backend : owners) {
     send_mutation(state, backend);
   }

@@ -47,9 +47,18 @@
 /// acked. A replica answering `version-mismatch` gets the install-then-retry
 /// repair (once per replica per write); a quorum that becomes impossible is
 /// answered retryable `unavailable` (the write stays logged and converges to
-/// the replicas — see DESIGN.md §10 for the retry caveat). Reads are fenced
-/// at the last *acked* version, giving read-your-writes without ever
-/// fencing on an in-flight write.
+/// the replicas). Reads are fenced at the last *acked* version, giving
+/// read-your-writes without ever fencing on an in-flight write.
+///
+/// **Exactly-once writes** (DESIGN.md §11): a write carrying a `request-id`
+/// is checked against the mutation log's dedup index before anything is
+/// appended. A hit on an already-acked entry answers the original ack
+/// immediately; a hit on an entry whose quorum was lost re-fans the *logged*
+/// entry out (same version, same points — replicas ack idempotently) and
+/// answers the original ack at quorum, so the client's retry completes the
+/// first write instead of minting a second one. An unknown id on a retry
+/// (attempt > 0) after the index has evicted anything is answered terminal
+/// `dedup-expired` — never silently re-appended.
 #pragma once
 
 #include <cstdint>
@@ -75,6 +84,10 @@ struct RouterOptions {
   /// 0 = majority of the deployment's owners (floor(R/2)+1). Clamped to
   /// the owner count.
   std::size_t write_quorum = 0;
+  /// Request-id deduplication on the write path. Off, ids are ignored and
+  /// every delivery appends — only for benchmarking the suppression win;
+  /// production routers keep it on.
+  bool dedup = true;
   /// Injectable monotonic clock (milliseconds); defaults to steady_clock.
   std::function<double()> clock_ms;
 };

@@ -1,12 +1,16 @@
 #include "serve/client.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
+#include <random>
 #include <thread>
 #include <utility>
 
 #include "common/assert.h"
+#include "rng/hash.h"
 
 namespace abp::serve {
 
@@ -60,6 +64,33 @@ void RetryingClient::set_clock(std::function<double()> clock_ms) {
   clock_ms_ = std::move(clock_ms);
 }
 
+void RetryingClient::set_request_id_source(
+    std::function<std::uint64_t()> source) {
+  request_id_source_ = std::move(source);
+}
+
+std::uint64_t RetryingClient::mint_request_id() {
+  if (request_id_source_) {
+    const std::uint64_t id = request_id_source_();
+    ABP_CHECK(id != 0, "request-id source must never return 0");
+    return id;
+  }
+  // Ids must be unique across processes that never coordinate — two CLI
+  // invocations with identical flags must not collide, so (unlike every
+  // other stream in the repo) this one is seeded from real entropy, mixed
+  // with a process-local counter through the stable hash.
+  static const std::uint64_t process_entropy = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t id = 0;
+  do {
+    id = stable_hash64(process_entropy, counter.fetch_add(1) + 1);
+  } while (id == 0);
+  return id;
+}
+
 double RetryingClient::now_ms() const {
   return clock_ms_ ? clock_ms_() : steady_now_ms();
 }
@@ -86,7 +117,25 @@ CallResult RetryingClient::call(Request request) {
   bool have_retryable_response = false;
   double server_hint_ms = 0.0;  ///< retry-after from the last shed response
 
+  // One logical write = one request id, minted before the first attempt and
+  // never rotated afterwards — rotation would turn a retry after a lost ack
+  // into a brand-new write and double-deploy the beacon.
+  if (request.endpoint == Endpoint::kAddBeacon && request.request_id == 0) {
+    request.request_id = mint_request_id();
+  }
+  // A caller-supplied attempt means earlier deliveries happened outside
+  // this call (e.g. `abp query --attempt N` resending); count up from it.
+  const std::uint64_t base_attempt = request.attempt;
+
   for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (request.request_id != 0) {
+      // 0-based delivery counter, saturating: the server only needs to
+      // distinguish "first delivery" from "retry".
+      const std::uint64_t delivery = base_attempt + (attempt - 1);
+      request.attempt = delivery < std::numeric_limits<std::uint32_t>::max()
+                            ? static_cast<std::uint32_t>(delivery)
+                            : std::numeric_limits<std::uint32_t>::max();
+    }
     double remaining = 0.0;
     if (budgeted) {
       remaining = policy_.deadline_budget_ms - (now_ms() - start);

@@ -18,6 +18,11 @@
 ///    (attempts + backoff). The remaining budget is propagated as each
 ///    attempt's request `deadline_ms`, so the server never works on an
 ///    attempt the client has already given up on.
+///  * **Exactly-once writes** — an `add-beacon` call mints one `request-id`
+///    for the whole logical write (unless the caller supplied its own) and
+///    holds it constant across every retry; only the attempt counter moves.
+///    Servers dedup on the id, so a retry after a lost ack collects the
+///    original acknowledgement instead of deploying a second beacon.
 ///
 /// The clock and sleeper are injectable: fault-injection tests drive the
 /// loop on a manual clock with zero real sleeping.
@@ -64,18 +69,25 @@ class RetryingClient {
   RetryingClient(TransportFactory factory, RetryPolicy policy = {});
 
   /// Run the retry loop for one request. Never throws on transport
-  /// failure — failures land in `CallResult::error`.
+  /// failure — failures land in `CallResult::error`. An `add-beacon`
+  /// request with `request_id == 0` gets a fresh id minted for the whole
+  /// call; a non-zero id is taken as the caller's logical-write identity
+  /// and preserved. Either way the id never changes between attempts and
+  /// `attempt` counts the deliveries (0-based, saturating).
   CallResult call(Request request);
 
   /// Test hooks: replace real sleeping / steady_clock with virtual time.
   void set_sleeper(std::function<void(double ms)> sleeper);
   void set_clock(std::function<double()> clock_ms);
+  /// Test hook: deterministic request-id minting (must never return 0).
+  void set_request_id_source(std::function<std::uint64_t()> source);
 
   const RetryPolicy& policy() const { return policy_; }
 
  private:
   double next_backoff_ms();
   double now_ms() const;
+  std::uint64_t mint_request_id();
 
   TransportFactory factory_;
   RetryPolicy policy_;
@@ -84,6 +96,7 @@ class RetryingClient {
   double prev_backoff_ms_ = 0.0;
   std::function<void(double)> sleeper_;
   std::function<double()> clock_ms_;
+  std::function<std::uint64_t()> request_id_source_;
 };
 
 /// Non-owning adapter so an externally owned transport (loopback, fault

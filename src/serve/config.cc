@@ -43,6 +43,7 @@ ServeConfig ServeConfig::from_flags(const Flags& flags) {
   config.name = flags.get_string("name", "default");
   config.noise = flags.get_double("noise", 0.0);
   config.seed = flags.get_u64("seed", 1);
+  config.dedup_window = get_size(flags, "dedup-window", 64);
 
   config.oneshot = flags.get_bool("oneshot", false);
   config.in_path = flags.get_string("in", "");
@@ -95,6 +96,7 @@ ServiceConfig ServeConfig::service_config() const {
   ServiceConfig config;
   config.noise = noise;
   config.seed = seed;
+  config.dedup_window = dedup_window;
   return config;
 }
 
@@ -150,6 +152,14 @@ QueryConfig QueryConfig::from_flags(const Flags& flags) {
       static_cast<std::uint32_t>(flags.get_int("count", 1));
   config.request.deadline_ms =
       static_cast<std::uint32_t>(flags.get_int("deadline-ms", 0));
+  // Exactly-once writes: resending the same command with the same
+  // --request-id (and a bumped --attempt) collects the original ack
+  // instead of appending a second beacon.
+  config.request.request_id = flags.get_u64("request-id", 0);
+  config.request.attempt =
+      static_cast<std::uint32_t>(get_size(flags, "attempt", 0));
+  ABP_CHECK(config.request.attempt == 0 || config.request.request_id != 0,
+            "--attempt requires --request-id");
 
   if (!config.encode_path.empty()) {
     config.mode = Mode::kEncode;

@@ -31,6 +31,9 @@ struct ServeConfig {
   std::string name = "default";
   double noise = 0.0;
   std::uint64_t seed = 1;
+  /// Request ids remembered per deployment for exactly-once `add-beacon`
+  /// (`--dedup-window`; 0 disables server-side dedup).
+  std::size_t dedup_window = 64;
 
   // One-shot mode (stdin/file frames through the loopback; no sockets).
   bool oneshot = false;

@@ -20,8 +20,31 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kCorruptResponse: return "corrupt-response";
     case FaultKind::kStallBeforeExecute: return "stall-before-execute";
     case FaultKind::kSlowLorisRequest: return "slow-loris-request";
+    case FaultKind::kDuplicateRequest: return "duplicate-request";
   }
   return "unknown";
+}
+
+FaultScript make_retry_storm_script(std::size_t steps, std::uint64_t seed,
+                                    bool cycle) {
+  Rng rng(derive_seed(seed, 0x570F));
+  std::vector<FaultStep> mix;
+  mix.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const std::uint64_t roll = rng.below(100);
+    FaultStep step;
+    if (roll < 40) {
+      step.kind = FaultKind::kNone;
+    } else if (roll < 65) {
+      step.kind = FaultKind::kDuplicateRequest;
+    } else if (roll < 85) {
+      step.kind = FaultKind::kResetBeforeSend;
+    } else {
+      step.kind = FaultKind::kResetAfterSend;
+    }
+    mix.push_back(step);
+  }
+  return FaultScript(std::move(mix), cycle);
 }
 
 FaultStep FaultScript::next() {
@@ -136,6 +159,14 @@ std::string FaultTransport::roundtrip_frame(std::string frame) {
       // connection holds a slot, then the connection dies.
       stall(step.stall_ms);
       throw ServeError("injected: slow-loris connection reset");
+    }
+    case FaultKind::kDuplicateRequest: {
+      // A retransmit the sender never asked for: the same frame reaches the
+      // peer twice and the first reply comes back. The peer's dedup layer
+      // decides whether the second delivery re-executes.
+      std::string first = deliver(frame, 0.0);
+      deliver(std::move(frame), 0.0);
+      return first;
     }
   }
   throw ServeError("injected: unknown fault kind");  // unreachable

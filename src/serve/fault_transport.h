@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,7 @@ enum class FaultKind {
   kCorruptResponse,   ///< one seeded bit of the response frame flips
   kStallBeforeExecute,///< request queues, then `stall_ms` pass before drain
   kSlowLorisRequest,  ///< partial delivery + stall holding the slot, then reset
+  kDuplicateRequest,  ///< the frame is delivered twice; first reply returned
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -60,7 +62,12 @@ inline constexpr FaultKind kAllFaultKinds[] = {
     FaultKind::kResetAfterSend,    FaultKind::kTruncateRequest,
     FaultKind::kCorruptRequest,    FaultKind::kTruncateResponse,
     FaultKind::kCorruptResponse,   FaultKind::kStallBeforeExecute,
-    FaultKind::kSlowLorisRequest};
+    FaultKind::kSlowLorisRequest,  FaultKind::kDuplicateRequest};
+
+static_assert(std::size(kAllFaultKinds) ==
+                  static_cast<std::size_t>(FaultKind::kDuplicateRequest) + 1,
+              "every FaultKind enumerator must appear in kAllFaultKinds; "
+              "keep kDuplicateRequest the last enumerator or update this");
 
 struct FaultStep {
   FaultKind kind = FaultKind::kNone;
@@ -84,6 +91,13 @@ class FaultScript {
   std::size_t next_ = 0;
   std::size_t consumed_ = 0;
 };
+
+/// Seeded duplicate-heavy fault mix for retry-storm drills: mostly clean
+/// exchanges salted with duplicate deliveries and resets on both sides of
+/// the send, the faults a write path must survive exactly-once. The same
+/// (steps, seed) always yields the same script.
+FaultScript make_retry_storm_script(std::size_t steps, std::uint64_t seed,
+                                    bool cycle = true);
 
 class FaultTransport final : public ClientTransport {
  public:

@@ -272,6 +272,16 @@ void RouterMetrics::record_write_quorum_failure() {
   ++write_quorum_failures_;
 }
 
+void RouterMetrics::record_write_dedup_hit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++write_dedup_hits_;
+}
+
+void RouterMetrics::record_write_dedup_expired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++write_dedup_expired_;
+}
+
 BackendSnapshot RouterMetrics::backend_snapshot(
     const std::string& backend) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -311,6 +321,16 @@ std::uint64_t RouterMetrics::write_quorum_failures() const {
   return write_quorum_failures_;
 }
 
+std::uint64_t RouterMetrics::write_dedup_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_dedup_hits_;
+}
+
+std::uint64_t RouterMetrics::write_dedup_expired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_dedup_expired_;
+}
+
 void RouterMetrics::render(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
   out << "abp-route-stats 1\n";
@@ -331,7 +351,9 @@ void RouterMetrics::render(std::ostream& out) const {
       << " forwarded " << forwarded_total << " unrouted " << unrouted_
       << '\n';
   out << "writes submitted " << writes_ << " acked " << write_acks_
-      << " quorum-failures " << write_quorum_failures_ << '\n';
+      << " quorum-failures " << write_quorum_failures_ << " dedup-hits "
+      << write_dedup_hits_ << " dedup-expired " << write_dedup_expired_
+      << '\n';
 }
 
 std::string RouterMetrics::render_text() const {

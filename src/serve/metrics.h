@@ -165,9 +165,19 @@ class RouterMetrics {
   /// accepted into the log, then exactly one of `record_write_ack`
   /// (quorum reached) or `record_write_quorum_failure` (quorum impossible;
   /// the write stays logged and is answered retryable `unavailable`).
+  /// A retried write whose id hits the dedup index records a `dedup_hit`
+  /// instead of a new `write`; if the original quorum was lost, the retry's
+  /// re-fan-out can still record a `write_ack` — so over a run with retries,
+  /// `write_acks` may exceed `writes - quorum_failures`.
   void record_write();
   void record_write_ack();
   void record_write_quorum_failure();
+  /// Duplicate delivery suppressed: answered from the dedup index without
+  /// a new log append.
+  void record_write_dedup_hit();
+  /// Retry whose id rolled out of the dedup window: answered terminal
+  /// `dedup-expired`, never silently re-appended.
+  void record_write_dedup_expired();
 
   BackendSnapshot backend_snapshot(const std::string& backend) const;
   std::uint64_t received() const;
@@ -176,6 +186,8 @@ class RouterMetrics {
   std::uint64_t writes() const;
   std::uint64_t write_acks() const;
   std::uint64_t write_quorum_failures() const;
+  std::uint64_t write_dedup_hits() const;
+  std::uint64_t write_dedup_expired() const;
 
   void render(std::ostream& out) const;
   std::string render_text() const;
@@ -189,6 +201,8 @@ class RouterMetrics {
   std::uint64_t writes_ = 0;
   std::uint64_t write_acks_ = 0;
   std::uint64_t write_quorum_failures_ = 0;
+  std::uint64_t write_dedup_hits_ = 0;
+  std::uint64_t write_dedup_expired_ = 0;
 };
 
 }  // namespace abp::serve

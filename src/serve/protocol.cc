@@ -153,6 +153,7 @@ const char* status_name(Status status) {
     case Status::kOverloaded: return "overloaded";
     case Status::kDeadlineExceeded: return "deadline-exceeded";
     case Status::kVersionMismatch: return "version-mismatch";
+    case Status::kDedupExpired: return "dedup-expired";
   }
   return "unknown";
 }
@@ -161,13 +162,17 @@ std::optional<Status> status_from_name(std::string_view name) {
   for (const Status status :
        {Status::kOk, Status::kBadRequest, Status::kNotFound,
         Status::kUnavailable, Status::kInternal, Status::kOverloaded,
-        Status::kDeadlineExceeded, Status::kVersionMismatch}) {
+        Status::kDeadlineExceeded, Status::kVersionMismatch,
+        Status::kDedupExpired}) {
     if (name == status_name(status)) return status;
   }
   return std::nullopt;
 }
 
 bool status_retryable(Status status) {
+  // `dedup-expired` is deliberately terminal: it only answers retries, so
+  // re-sending the same id can never change the outcome — looping on it
+  // would burn the whole backoff budget for nothing.
   return status == Status::kOverloaded || status == Status::kUnavailable ||
          status == Status::kDeadlineExceeded ||
          status == Status::kVersionMismatch;
@@ -219,6 +224,13 @@ std::string format_request(const Request& request) {
   if (request.version != 0) {
     out += "version ";
     out += std::to_string(request.version);
+    out += '\n';
+  }
+  if (request.request_id != 0) {
+    out += "request-id ";
+    out += std::to_string(request.request_id);
+    out += ' ';
+    out += std::to_string(request.attempt);
     out += '\n';
   }
   if (!request.text.empty()) append_text_block(out, request.text);
@@ -279,6 +291,17 @@ std::optional<Request> parse_request(std::string_view payload,
       // Zero is a valid "unversioned"; non-numeric is malformed.
       if (!parse_u64_token(tokens[1], &request.version)) {
         fail(error, "malformed version record: " + std::string(line));
+        return std::nullopt;
+      }
+    } else if (tokens[0] == "request-id") {
+      // Canonical form is `request-id <id> <attempt>` with id != 0 (zero
+      // ids never appear on the wire — the record is simply omitted), so a
+      // truncated or zero-id record is malformed, not "absent".
+      if (tokens.size() != 3 ||
+          !parse_u64_token(tokens[1], &request.request_id) ||
+          request.request_id == 0 ||
+          !parse_u32_token(tokens[2], &request.attempt)) {
+        fail(error, "malformed request-id record: " + std::string(line));
         return std::nullopt;
       }
     } else if (tokens[0] == "text" && tokens.size() == 2) {

@@ -20,6 +20,7 @@
 ///     count <k>                (propose)
 ///     deadline <ms>            (optional; 0 or absent = no deadline)
 ///     version <v>              (optional; expected deployment version)
+///     request-id <id> <attempt>  (optional; exactly-once write identity)
 ///     text <bytes>\n<raw bytes>\n   (snapshot install body, length-prefixed)
 ///
 ///     abp-response 1 <seq> <status>
@@ -48,6 +49,15 @@
 /// body (the replicator's replay-vs-resync decision). All cluster records
 /// are omitted when zero/empty, so single-server traffic is byte-identical
 /// to the pre-cluster protocol.
+///
+/// The `request-id` record makes writes exactly-once: a client mints one
+/// 64-bit id per *logical* `add-beacon` (never per attempt) and counts the
+/// delivery attempts alongside it. Servers and the cluster router keep a
+/// bounded dedup index of applied ids; a redelivered id is answered with
+/// the original ack instead of deploying a second beacon, and a *retry*
+/// (attempt > 0) whose id has aged out of the index is answered
+/// `dedup-expired` rather than silently re-appended. The record is omitted
+/// when the id is zero, so id-free traffic stays byte-identical.
 ///
 /// Doubles are written with 17 significant digits so positions and errors
 /// survive the wire bit-exactly.
@@ -99,12 +109,19 @@ enum class Status {
   kOverloaded,        ///< admission control shed the request; retryable
   kDeadlineExceeded,  ///< request deadline passed before execution
   kVersionMismatch,   ///< deployment version differs from the request's
+  /// A write *retry* (request-id with attempt > 0) arrived after its id
+  /// aged out of the server's dedup window, so the original outcome can no
+  /// longer be proven. Definitive for that id: re-sending it yields the
+  /// same answer, and the server will never silently re-append. The caller
+  /// must verify the write (e.g. a `version`/`snapshot` read) and mint a
+  /// fresh id if another beacon is really wanted.
+  kDedupExpired,
 };
 
 /// True for statuses a client may safely retry: the request was shed before
 /// (or instead of) execution, so a later attempt can succeed. Terminal
-/// statuses (`bad-request`, `not-found`, `internal`) will fail identically
-/// on every retry and must not be re-sent.
+/// statuses (`bad-request`, `not-found`, `internal`, `dedup-expired`) will
+/// fail identically on every retry and must not be re-sent.
 bool status_retryable(Status status);
 
 /// True for endpoints a router may safely re-send to another replica after
@@ -137,6 +154,17 @@ struct Request {
   /// backend whose deployment carries a different non-zero version answers
   /// `kVersionMismatch` instead of serving stale data.
   std::uint64_t version = 0;
+  /// Exactly-once write identity: a client-generated 64-bit id minted once
+  /// per logical `add-beacon` and held constant across every retry of it.
+  /// 0 = id-free (the record is omitted on the wire, keeping pre-existing
+  /// traffic byte-identical). On `mutate`, carries the id of the logged
+  /// write so replicas reconstruct the same dedup state on replay.
+  std::uint64_t request_id = 0;
+  /// Delivery attempt counter for `request_id`, 0-based: 0 on the first
+  /// send, incremented by the client on each retry (saturating). A server
+  /// uses it to tell a first delivery (append if unseen) from a retry
+  /// (unseen id ⇒ possibly expired ⇒ `dedup-expired`, never re-append).
+  std::uint32_t attempt = 0;
   /// Snapshot-install body: a non-empty `text` on a snapshot request asks
   /// the server to *install* this serialized field (at `version`) rather
   /// than return its current one. Empty for every other use.

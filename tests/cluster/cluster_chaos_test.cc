@@ -17,15 +17,22 @@
 ///    client ever seeing `version-mismatch`.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
 #include <map>
+#include <memory>
+#include <optional>
 #include <sstream>
+#include <vector>
 
 #include "cluster/backend_pool.h"
 #include "cluster/replicator.h"
 #include "cluster/ring.h"
 #include "cluster/router.h"
 #include "io/field_io.h"
+#include "serve/client.h"
 #include "serve/fault_transport.h"
+#include "serve/protocol.h"
 #include "cluster_harness.h"
 
 namespace abp::cluster {
@@ -455,6 +462,255 @@ TEST(ClusterChaos, PartitionBeyondRetainedWindowFallsBackToResync) {
   for (const std::string& name : cluster.backend_names) {
     EXPECT_EQ(cluster.backends.at(name).service->handle(snapshot_fetch()).text,
               authority)
+        << name;
+  }
+  expect_backends_reconcile(cluster);
+}
+
+/// `RetryingClient` transport that speaks to the router's frame sink —
+/// the client-side of `abp query --connect` pointed at `abp route`,
+/// without sockets. Keeps the last reply payload for byte-level asserts.
+class RouterTransport final : public serve::ClientTransport {
+ public:
+  explicit RouterTransport(Router& router) : router_(&router) {}
+
+  serve::Response roundtrip(const serve::Request& request) override {
+    auto done = std::make_shared<std::promise<std::string>>();
+    auto future = done->get_future();
+    router_->submit(serve::format_request(request),
+                    [done](std::string payload) {
+                      done->set_value(std::move(payload));
+                    });
+    last_payload = future.get();
+    const std::optional<serve::Response> response =
+        serve::parse_response(last_payload);
+    if (!response) throw serve::ServeError("unparseable router reply");
+    return *response;
+  }
+  void send_async(const serve::Request& request,
+                  std::function<void(std::string)> on_reply_frame) override {
+    router_->submit(serve::format_request(request),
+                    [on_reply_frame](std::string payload) {
+                      on_reply_frame(serve::encode_frame(std::move(payload)));
+                    });
+  }
+  std::string name() const override { return "router"; }
+
+  std::string last_payload;
+
+ private:
+  Router* router_;
+};
+
+/// Reference bytes: the same request sequence against a standalone direct
+/// server; returns the last reply payload.
+std::string direct_payload(const std::vector<serve::Request>& requests) {
+  serve::LocalizationService service(harness_service_config());
+  service.add_field("default", harness_field());
+  serve::Server server(service);
+  std::string out;
+  for (const serve::Request& request : requests) {
+    server.submit(serve::format_request(request),
+                  [&out](std::string payload) { out = std::move(payload); });
+    server.pump();
+  }
+  return out;
+}
+
+TEST(ClusterChaos, PostAppendQuorumLossThenSameIdRetryAppliesOnce) {
+  // The exactly-once acceptance drill. Majority quorum is 2-of-3; two
+  // owners die *after* the write is appended but before their mutations
+  // execute, so the client is answered retryable `unavailable` with the
+  // write stranded in the log at an unacked version. The partition heals
+  // during the client's backoff, and the retry — same request id — must
+  // *finish* the stranded write: exactly one beacon lands, the client
+  // collects the original ack bytes, and every replica converges
+  // byte-identically.
+  const std::string survivor = primary_owner({"b1", "b2", "b3"});
+  serve::ManualClock clock;
+  std::atomic<bool> partitioned{true};
+  BackendPoolOptions pool_options;
+  pool_options.clock_ms = clock.fn();  // heartbeats only when advanced
+  FaultCluster cluster(
+      {"b1", "b2", "b3"}, /*replication=*/3,
+      [survivor, &partitioned](const std::string& backend, int connect_index) {
+        serve::FaultTransport::Options options;
+        if (backend == survivor || !partitioned.load()) return options;
+        if (connect_index == 0) {
+          // Survive the install, then die on the fanned-out mutation.
+          options.script = serve::FaultScript(
+              {{serve::FaultKind::kNone},
+               {serve::FaultKind::kResetBeforeSend}},
+              /*cycle=*/false);
+        } else {
+          options.script = serve::FaultScript(
+              {{serve::FaultKind::kResetBeforeSend}}, /*cycle=*/true);
+        }
+        return options;
+      },
+      /*clock=*/nullptr, std::move(pool_options));
+  ASSERT_EQ(cluster.replicator->sync_all(), 3u);
+
+  RouterTransport transport(*cluster.router);
+  serve::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff_ms = 5.0;
+  serve::RetryingClient client(
+      [&transport] { return serve::borrow_transport(transport); }, policy);
+  // The backoff between attempts is where the partition heals.
+  client.set_sleeper([&partitioned](double) { partitioned = false; });
+  client.set_request_id_source([] { return 0xE0E0ull; });
+
+  serve::Request add = add_beacon_request(7, {20, 20});
+  const serve::CallResult result = client.call(add);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.response.status, serve::Status::kOk);
+  EXPECT_EQ(result.attempts, 2u)
+      << "attempt 1 lost quorum, attempt 2 completed the stranded write";
+
+  // Exactly one beacon: one append, one acked version, and the ack the
+  // client kept is byte-identical to a direct single server's.
+  EXPECT_EQ(cluster.replicator->version("default"), 2u);
+  EXPECT_EQ(cluster.replicator->read_version("default"), 2u);
+  EXPECT_EQ(cluster.metrics.writes(), 1u);
+  EXPECT_EQ(cluster.metrics.write_quorum_failures(), 1u);
+  EXPECT_EQ(cluster.metrics.write_dedup_hits(), 1u);
+  EXPECT_EQ(cluster.metrics.write_acks(), 1u);
+  serve::Request reference = add;
+  reference.request_id = 0xE0E0ull;
+  reference.attempt = 1;  // what the successful retry carried
+  EXPECT_EQ(transport.last_payload, direct_payload({reference}));
+
+  // Every owner converges to a byte-identical snapshot (the slowest ack
+  // may still be in flight when the quorum reply fires).
+  ASSERT_TRUE(wait_until([&] {
+    for (const std::string& name : cluster.backend_names) {
+      if (cluster.backends.at(name).service->field_version("default") != 2u) {
+        return false;
+      }
+    }
+    return true;
+  }));
+  const std::string authority =
+      cluster.replicator->log().snapshot("default").text;
+  for (const std::string& name : cluster.backend_names) {
+    EXPECT_EQ(cluster.backends.at(name).service->handle(snapshot_fetch()).text,
+              authority)
+        << name;
+  }
+  expect_backends_reconcile(cluster);
+}
+
+TEST(ClusterChaos, DuplicateDeliveredRoutedWriteIsSuppressed) {
+  // The network duplicates the client's write frame in front of the
+  // router: both deliveries are answered with the same bytes and only one
+  // beacon is appended.
+  FaultCluster cluster({"b1"}, /*replication=*/1,
+                       [](const std::string&, int) { return clean_script(); });
+  ASSERT_EQ(cluster.replicator->sync_all(), 1u);
+
+  std::vector<std::string> payloads;
+  auto exchange = [&cluster, &payloads](std::string frame) {
+    serve::FrameDecoder decoder;
+    decoder.feed(frame);
+    std::optional<std::string> payload = decoder.next();
+    EXPECT_TRUE(payload.has_value());
+    auto done = std::make_shared<std::promise<std::string>>();
+    cluster.router->submit(std::move(*payload), [done](std::string reply) {
+      done->set_value(std::move(reply));
+    });
+    std::string reply = done->get_future().get();
+    payloads.push_back(reply);
+    return serve::encode_frame(std::move(reply));
+  };
+  serve::FaultTransport::Options fault_options;
+  fault_options.script =
+      serve::FaultScript({{serve::FaultKind::kDuplicateRequest}});
+  serve::FaultTransport transport(exchange, fault_options);
+
+  serve::Request add = add_beacon_request(1, {20, 20});
+  add.request_id = 0xFEEDull;
+  const serve::Response response = transport.roundtrip(add);
+  ASSERT_EQ(response.status, serve::Status::kOk) << response.message;
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0], payloads[1]) << "the duplicate collects the "
+                                         "original ack byte-for-byte";
+  EXPECT_EQ(payloads[0], direct_payload({add}));
+  EXPECT_EQ(cluster.replicator->version("default"), 2u);
+  EXPECT_EQ(cluster.metrics.writes(), 1u);
+  EXPECT_EQ(cluster.metrics.write_dedup_hits(), 1u);
+  expect_backends_reconcile(cluster);
+}
+
+TEST(ClusterChaos, RetryStormAppliesEachLogicalWriteOnce) {
+  // Eight logical writes ride a seeded duplicate/reset storm between the
+  // client and the router. However many times each frame is delivered or
+  // retried, every logical write must land exactly once and the cluster
+  // must end byte-identical to a direct server that applied each write
+  // once, in order.
+  FaultCluster cluster({"b1", "b2", "b3"}, /*replication=*/3,
+                       [](const std::string&, int) { return clean_script(); });
+  ASSERT_EQ(cluster.replicator->sync_all(), 3u);
+
+  auto exchange = [&cluster](std::string frame) {
+    serve::FrameDecoder decoder;
+    decoder.feed(frame);
+    std::optional<std::string> payload = decoder.next();
+    EXPECT_TRUE(payload.has_value());
+    auto done = std::make_shared<std::promise<std::string>>();
+    cluster.router->submit(std::move(*payload), [done](std::string reply) {
+      done->set_value(std::move(reply));
+    });
+    return serve::encode_frame(done->get_future().get());
+  };
+  serve::FaultTransport::Options fault_options;
+  fault_options.script = serve::make_retry_storm_script(64, 0x5708);
+  serve::FaultTransport transport(exchange, fault_options);
+
+  serve::RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.base_backoff_ms = 0.1;
+  policy.max_backoff_ms = 0.5;
+  serve::RetryingClient client(
+      [&transport] { return serve::borrow_transport(transport); }, policy);
+  client.set_sleeper([](double) {});
+
+  constexpr std::uint64_t kWrites = 8;
+  std::vector<serve::Request> reference;
+  for (std::uint64_t i = 1; i <= kWrites; ++i) {
+    const serve::Request add = add_beacon_request(i, {double(i), 5});
+    const serve::CallResult result = client.call(add);
+    ASSERT_TRUE(result.ok) << "write " << i << ": " << result.error;
+    ASSERT_EQ(result.response.status, serve::Status::kOk)
+        << "write " << i << ": " << result.response.message;
+    reference.push_back(add);
+  }
+  EXPECT_GT(transport.faults_injected(), 0u) << "the storm must storm";
+
+  // Exactly one append per logical write, regardless of delivery count.
+  EXPECT_EQ(cluster.replicator->version("default"), 1 + kWrites);
+  EXPECT_EQ(cluster.metrics.writes(), kWrites);
+  EXPECT_GT(cluster.metrics.write_dedup_hits(), 0u)
+      << "duplicates/retries must be answered from the index, not applied";
+
+  // Byte-identical to a direct server that saw each write exactly once.
+  serve::LocalizationService direct(harness_service_config());
+  direct.add_field("default", harness_field());
+  for (const serve::Request& request : reference) direct.handle(request);
+  const std::string expected = direct.handle(snapshot_fetch()).text;
+  EXPECT_EQ(cluster.replicator->log().snapshot("default").text, expected);
+  ASSERT_TRUE(wait_until([&] {
+    for (const std::string& name : cluster.backend_names) {
+      if (cluster.backends.at(name).service->field_version("default") !=
+          1 + kWrites) {
+        return false;
+      }
+    }
+    return true;
+  }));
+  for (const std::string& name : cluster.backend_names) {
+    EXPECT_EQ(cluster.backends.at(name).service->handle(snapshot_fetch()).text,
+              expected)
         << name;
   }
   expect_backends_reconcile(cluster);

@@ -129,5 +129,68 @@ TEST(MutationLog, AppendToUnknownDeploymentThrows) {
   EXPECT_THROW(log.snapshot("ghost"), CheckFailure);
 }
 
+TEST(MutationLog, DedupLookupAnswersTheLoggedWrite) {
+  MutationLog log;
+  log.install("default", field_text());                       // v1
+  const auto applied = log.append("default", {{20, 20}}, 77);  // v2
+  // Unacked until quorum: the hit carries the logged apply so a retry can
+  // re-fan it out instead of appending a second beacon.
+  const auto hit = log.dedup_lookup("default", 77);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->version, 2u);
+  EXPECT_EQ(hit->positions, applied.positions);
+  EXPECT_EQ(hit->beacon_ids, applied.beacon_ids);
+  EXPECT_FALSE(hit->acked);
+  log.record_acked("default", 2);
+  EXPECT_TRUE(log.dedup_lookup("default", 77)->acked);
+  // Unknown id / deployment: miss, and the index is still complete.
+  EXPECT_FALSE(log.dedup_lookup("default", 78).has_value());
+  EXPECT_FALSE(log.dedup_lookup("ghost", 77).has_value());
+  EXPECT_TRUE(log.dedup_complete("default"));
+  EXPECT_TRUE(log.dedup_complete("ghost")) << "vacuously complete";
+}
+
+TEST(MutationLog, IdFreeAppendsStayOutOfTheDedupIndex) {
+  MutationLog log;
+  log.install("default", field_text());
+  log.append("default", {{20, 20}});  // id 0 = pre-dedup client
+  EXPECT_FALSE(log.dedup_lookup("default", 0).has_value());
+  EXPECT_TRUE(log.dedup_complete("default"));
+}
+
+TEST(MutationLog, EvictionFlipsDedupCompleteForever) {
+  MutationLog log(/*retain=*/2);
+  log.install("default", field_text());       // v1
+  log.append("default", {{1, 1}}, 101);       // v2
+  log.append("default", {{2, 1}}, 102);       // v3
+  EXPECT_TRUE(log.dedup_complete("default"));
+  log.append("default", {{3, 1}}, 103);       // v4 evicts v2 (and id 101)
+  EXPECT_FALSE(log.dedup_lookup("default", 101).has_value());
+  ASSERT_TRUE(log.dedup_lookup("default", 102).has_value());
+  EXPECT_FALSE(log.dedup_complete("default"))
+      << "once anything is evicted, an unknown retry id is ambiguous";
+  // The evicted-window entries that remain still resolve correctly.
+  EXPECT_EQ(log.dedup_lookup("default", 103)->version, 4u);
+}
+
+TEST(MutationLog, ReinstallClearsDedupHistory) {
+  MutationLog log;
+  log.install("default", field_text());   // v1
+  log.append("default", {{1, 1}}, 55);    // v2
+  log.install("default", field_text());   // v3, clears entries + index
+  EXPECT_FALSE(log.dedup_lookup("default", 55).has_value());
+  EXPECT_FALSE(log.dedup_complete("default"))
+      << "the discarded history may have held ids";
+}
+
+TEST(MutationLog, AppendingTheSameIdTwiceIsACallerBug) {
+  MutationLog log;
+  log.install("default", field_text());
+  log.append("default", {{1, 1}}, 42);
+  // The router must dedup-lookup before appending; reaching append with a
+  // live id means that check was skipped.
+  EXPECT_THROW(log.append("default", {{2, 2}}, 42), CheckFailure);
+}
+
 }  // namespace
 }  // namespace abp::cluster

@@ -262,6 +262,92 @@ TEST(Router, WriteShedBeforeAppendWhenQuorumInfeasible) {
   EXPECT_EQ(cluster.metrics.writes(), 0u);
 }
 
+TEST(Router, DuplicateWriteAnswersTheOriginalAck) {
+  ClusterSim cluster({"b1", "b2", "b3"}, /*replication=*/2);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+
+  serve::Request add = add_beacon_request(3, {{20, 20}, {99, -5}});
+  add.request_id = 7001;
+  const std::string first = cluster.call(add);
+  ASSERT_EQ(serve::parse_response(first)->status, serve::Status::kOk);
+  EXPECT_EQ(cluster.replicator->version("default"), 2u);
+
+  // The duplicate delivery (a retry after a lost ack, or a transport-level
+  // retransmit) collects the original ack byte-for-byte — no new version.
+  add.attempt = 1;
+  EXPECT_EQ(cluster.call(add), first);
+  EXPECT_EQ(cluster.replicator->version("default"), 2u);
+  EXPECT_EQ(cluster.metrics.writes(), 1u) << "one logical write, one append";
+  EXPECT_EQ(cluster.metrics.write_dedup_hits(), 1u);
+  // Even a same-attempt duplicate (network-level duplication) is caught.
+  add.attempt = 0;
+  EXPECT_EQ(cluster.call(add), first);
+  EXPECT_EQ(cluster.metrics.write_dedup_hits(), 2u);
+}
+
+TEST(Router, RetryBeyondTheDedupWindowIsDedupExpired) {
+  ClusterSim cluster({"b1"}, /*replication=*/1, {}, {}, /*log_retain=*/2);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 1u);
+
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    serve::Request add = add_beacon_request(id, {{double(id), 1}});
+    add.request_id = 9000 + id;
+    ASSERT_EQ(serve::parse_response(cluster.call(add))->status,
+              serve::Status::kOk);
+  }
+  // Id 9001 rolled out of the 2-entry window; its retry is provably
+  // unanswerable and must be refused, never silently re-appended.
+  serve::Request stale = add_beacon_request(9, {{1, 1}});
+  stale.request_id = 9001;
+  stale.attempt = 1;
+  const auto response = serve::parse_response(cluster.call(stale));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, serve::Status::kDedupExpired);
+  EXPECT_FALSE(serve::status_retryable(response->status));
+  EXPECT_EQ(cluster.replicator->version("default"), 4u) << "no re-append";
+  EXPECT_EQ(cluster.metrics.write_dedup_expired(), 1u);
+}
+
+TEST(Router, UnknownIdRetryAppendsWhileHistoryIsComplete) {
+  // attempt > 0 with an unknown id is only ambiguous once something has
+  // been evicted. With the full id history intact the miss proves the
+  // first delivery never arrived, so the write must be accepted.
+  ClusterSim cluster({"b1"});
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 1u);
+
+  serve::Request add = add_beacon_request(2, {{20, 20}});
+  add.request_id = 31337;
+  add.attempt = 4;  // the first four deliveries all died in transit
+  const auto response = serve::parse_response(cluster.call(add));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, serve::Status::kOk);
+  EXPECT_EQ(cluster.replicator->version("default"), 2u);
+  EXPECT_EQ(cluster.metrics.write_dedup_expired(), 0u);
+}
+
+TEST(Router, DedupDisabledAppendsEveryDelivery) {
+  RouterOptions options;
+  options.dedup = false;
+  ClusterSim cluster({"b1"}, /*replication=*/1, {}, options);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 1u);
+
+  serve::Request add = add_beacon_request(3, {{20, 20}});
+  add.request_id = 4242;
+  ASSERT_EQ(serve::parse_response(cluster.call(add))->status,
+            serve::Status::kOk);
+  add.attempt = 1;
+  ASSERT_EQ(serve::parse_response(cluster.call(add))->status,
+            serve::Status::kOk);
+  // Benchmarking mode: ids are ignored, both deliveries append.
+  EXPECT_EQ(cluster.replicator->version("default"), 3u);
+  EXPECT_EQ(cluster.metrics.writes(), 2u);
+  EXPECT_EQ(cluster.metrics.write_dedup_hits(), 0u);
+}
+
 TEST(Router, ClientMutateIsRejected) {
   ClusterSim cluster({"b1"});
   cluster.replicator->set_deployment("default", field_text());

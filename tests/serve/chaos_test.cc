@@ -20,10 +20,13 @@
 #include <filesystem>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "io/field_io.h"
 #include "serve/client.h"
 #include "serve/fault_transport.h"
 #include "serve/server.h"
@@ -465,6 +468,171 @@ TEST(Chaos, ClientHonorsServerRetryAfterHint) {
   // Exactly the hint — any jitter from the local schedule would land in
   // [5, 15) for a first retry, never precisely 40.
   EXPECT_DOUBLE_EQ(result.backoff_ms, 40.0);
+}
+
+// ---- exactly-once writes under duplication and retry -------------------
+
+TEST(Chaos, FaultKindTableIsComplete) {
+  // Compile-time: the static_assert in fault_transport.h pins the table
+  // size to the enumerator count. Runtime: order and names must agree too,
+  // so a new kind spliced into the middle cannot silently shift the table.
+  std::size_t index = 0;
+  for (const FaultKind kind : kAllFaultKinds) {
+    EXPECT_EQ(static_cast<std::size_t>(kind), index)
+        << "kAllFaultKinds order drifted from the enum at index " << index;
+    EXPECT_STRNE(fault_kind_name(kind), "unknown")
+        << "enumerator " << index << " has no name";
+    ++index;
+  }
+}
+
+TEST(Chaos, RetryStormScriptIsSeededAndDuplicateHeavy) {
+  auto draw = [](std::size_t steps, std::uint64_t seed) {
+    FaultScript script = make_retry_storm_script(steps, seed, /*cycle=*/false);
+    std::vector<FaultKind> kinds;
+    for (std::size_t i = 0; i < steps; ++i) kinds.push_back(script.next().kind);
+    return kinds;
+  };
+  const auto a = draw(64, 7);
+  EXPECT_EQ(a, draw(64, 7)) << "same (steps, seed) must replay identically";
+  EXPECT_NE(a, draw(64, 8));
+  // The mix must actually exercise the dedup layer: duplicates and both
+  // reset flavours all present in a modest draw.
+  std::size_t duplicates = 0, resets = 0;
+  for (const FaultKind kind : a) {
+    duplicates += kind == FaultKind::kDuplicateRequest;
+    resets += kind == FaultKind::kResetBeforeSend ||
+              kind == FaultKind::kResetAfterSend;
+  }
+  EXPECT_GT(duplicates, 0u);
+  EXPECT_GT(resets, 0u);
+}
+
+Request add_beacon(std::uint64_t seq) {
+  Request add;
+  add.seq = seq;
+  add.endpoint = Endpoint::kAddBeacon;
+  add.field = "default";
+  add.points = {{50, 50}};
+  return add;
+}
+
+std::size_t beacon_count(LocalizationService& service) {
+  Request snapshot;
+  snapshot.endpoint = Endpoint::kSnapshot;
+  snapshot.field = "default";
+  std::istringstream in(service.handle(snapshot).text);
+  return read_field(in).size();
+}
+
+TEST(Chaos, DuplicateDeliveredWriteIsSuppressed) {
+  // The network retransmits the add-beacon frame: the server sees it twice,
+  // answers both, and deploys exactly one beacon — the duplicate collects
+  // the original ack.
+  ManualRig rig;
+  FaultTransport::Options fault_options;
+  fault_options.script = FaultScript({{FaultKind::kDuplicateRequest, 0.0}});
+  fault_options.clock = &rig.clock;
+  FaultTransport transport(rig.server, fault_options);
+
+  Request add = add_beacon(1);
+  add.request_id = 0xD1CEull;
+  const Response response = transport.roundtrip(add);
+  ASSERT_EQ(response.status, Status::kOk) << response.message;
+  ASSERT_EQ(response.beacon_ids.size(), 1u);
+  EXPECT_EQ(beacon_count(rig.service), make_field().size() + 1);
+  // Without an id the duplicate really does append twice — that is the
+  // pre-dedup behaviour id-free clients keep.
+  Request bare = add_beacon(2);
+  ASSERT_EQ(transport.roundtrip(bare).status, Status::kOk);
+  EXPECT_EQ(beacon_count(rig.service), make_field().size() + 3);
+  rig.expect_reconciled("duplicate-request");
+}
+
+TEST(Chaos, ClientNeverRotatesTheRequestIdAcrossRetries) {
+  // Regression: minting a fresh id per *attempt* (instead of per logical
+  // write) would turn every retry after a lost ack into a double deploy.
+  // Capture what actually reaches the server, fault the first two attempts.
+  ManualRig rig;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> seen;
+  auto exchange = [&rig, &seen](std::string frame) {
+    FrameDecoder decoder;
+    decoder.feed(frame);
+    std::optional<std::string> payload = decoder.next();
+    EXPECT_TRUE(payload.has_value());
+    const std::optional<Request> request = parse_request(*payload);
+    EXPECT_TRUE(request.has_value());
+    seen.emplace_back(request->request_id, request->attempt);
+    std::string out;
+    rig.server.submit(std::move(*payload),
+                      [&out](std::string reply) { out = std::move(reply); });
+    rig.server.pump();
+    return encode_frame(out);
+  };
+  FaultTransport::Options fault_options;
+  fault_options.script = FaultScript({{FaultKind::kResetAfterSend, 0.0},
+                                      {FaultKind::kResetBeforeSend, 0.0},
+                                      {FaultKind::kNone, 0.0}});
+  fault_options.clock = &rig.clock;
+  FaultTransport transport(exchange, fault_options);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff_ms = 5.0;
+  RetryingClient client = make_client(transport, rig.clock, policy);
+  client.set_request_id_source([] { return 0xABCDull; });
+
+  const CallResult result = client.call(add_beacon(1));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.response.status, Status::kOk);
+  EXPECT_EQ(result.attempts, 3u);
+  // Attempt 1 executed (ack lost), attempt 2 never reached the wire,
+  // attempt 3 collected the original ack via server-side dedup.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, 0xABCDull);
+  EXPECT_EQ(seen[1].first, 0xABCDull) << "the id must never rotate";
+  EXPECT_EQ(seen[0].second, 0u);
+  EXPECT_EQ(seen[1].second, 2u) << "the attempt counter marks the retry";
+  EXPECT_EQ(beacon_count(rig.service), make_field().size() + 1)
+      << "exactly one beacon across the whole retried call";
+}
+
+TEST(Chaos, ClientMintsOneIdPerLogicalWrite) {
+  ManualRig rig;
+  std::vector<std::uint64_t> ids;
+  auto exchange = [&rig, &ids](std::string frame) {
+    FrameDecoder decoder;
+    decoder.feed(frame);
+    std::optional<std::string> payload = decoder.next();
+    const std::optional<Request> request = parse_request(*payload);
+    ids.push_back(request->request_id);
+    std::string out;
+    rig.server.submit(std::move(*payload),
+                      [&out](std::string reply) { out = std::move(reply); });
+    rig.server.pump();
+    return encode_frame(out);
+  };
+  FaultTransport::Options fault_options;  // no faults
+  fault_options.clock = &rig.clock;
+  FaultTransport transport(exchange, fault_options);
+  RetryingClient client(
+      [&transport] { return borrow_transport(transport); }, RetryPolicy{});
+
+  // Two logical writes: distinct nonzero minted ids.
+  ASSERT_TRUE(client.call(add_beacon(1)).ok);
+  ASSERT_TRUE(client.call(add_beacon(2)).ok);
+  // A caller-supplied id is preserved verbatim; reads are never stamped.
+  Request supplied = add_beacon(3);
+  supplied.request_id = 424242;
+  ASSERT_TRUE(client.call(supplied).ok);
+  Request read = localize_request(4);
+  read.field = "default";
+  ASSERT_TRUE(client.call(read).ok);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_NE(ids[0], 0u);
+  EXPECT_NE(ids[1], 0u);
+  EXPECT_NE(ids[0], ids[1]);
+  EXPECT_EQ(ids[2], 424242u);
+  EXPECT_EQ(ids[3], 0u);
 }
 
 // ---- faults over a real socket pair, both server transports ------------

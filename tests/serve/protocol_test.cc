@@ -276,6 +276,65 @@ TEST(Protocol, MalformedMutationAckRecordIsRejected) {
   EXPECT_FALSE(parse_response(head + "mutation-ack -2\n").has_value());
 }
 
+TEST(Protocol, RequestIdRecordRoundTrips) {
+  Request request = full_request();
+  request.endpoint = Endpoint::kAddBeacon;
+  request.request_id = 0xDEADBEEFCAFED00Dull;
+  request.attempt = 3;
+  std::string error;
+  const auto copy = parse_request(format_request(request), &error);
+  ASSERT_TRUE(copy.has_value()) << error;
+  EXPECT_EQ(copy->request_id, 0xDEADBEEFCAFED00Dull);
+  EXPECT_EQ(copy->attempt, 3u);
+  EXPECT_EQ(*copy, request);
+}
+
+TEST(Protocol, RequestIdZeroIsOmittedForPreClusterByteIdentity) {
+  // Id-free traffic must format exactly as before the dedup work — clients
+  // that never send ids keep producing byte-identical frames.
+  Request request = full_request();
+  request.endpoint = Endpoint::kAddBeacon;
+  EXPECT_EQ(format_request(request).find("request-id"), std::string::npos);
+  // attempt without an id never reaches the wire either.
+  request.attempt = 5;
+  EXPECT_EQ(format_request(request).find("request-id"), std::string::npos);
+}
+
+TEST(Protocol, MalformedRequestIdRecordIsRejected) {
+  const std::string head = "abp-request 1 1 add-beacon\npoint 1 2\n";
+  std::string error;
+  // Truncated: the canonical record carries both id and attempt.
+  EXPECT_FALSE(parse_request(head + "request-id 7\n", &error).has_value());
+  EXPECT_NE(error.find("request-id"), std::string::npos);
+  EXPECT_FALSE(parse_request(head + "request-id\n").has_value());
+  // Zero ids never appear on the wire (the record is omitted instead).
+  EXPECT_FALSE(parse_request(head + "request-id 0 1\n").has_value());
+  // Non-numeric id or attempt.
+  EXPECT_FALSE(parse_request(head + "request-id seven 0\n").has_value());
+  EXPECT_FALSE(parse_request(head + "request-id 7 two\n").has_value());
+  // Attempt counter past u32 range is malformed, not silently wrapped.
+  EXPECT_FALSE(
+      parse_request(head + "request-id 7 4294967296\n").has_value());
+  // The saturation value itself is still in range.
+  const auto copy = parse_request(head + "request-id 7 4294967295\n");
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(copy->attempt, 4294967295u);
+}
+
+TEST(Protocol, DedupExpiredStatusRoundTripsAndIsTerminal) {
+  Response response;
+  response.seq = 3;
+  response.status = Status::kDedupExpired;
+  response.message = "request id unknown and the dedup window rolled over";
+  const auto copy = parse_response(format_response(response));
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(copy->status, Status::kDedupExpired);
+  EXPECT_EQ(*copy, response);
+  // Retrying the same id can never change the answer: the client must
+  // verify the write and mint a fresh id instead of looping.
+  EXPECT_FALSE(status_retryable(Status::kDedupExpired));
+}
+
 TEST(Protocol, TruncatedMutateFrameDoesNotDecode) {
   // A mutate frame cut mid-points must neither decode nor corrupt the
   // stream: the decoder just waits for the rest of the payload.

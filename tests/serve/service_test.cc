@@ -375,6 +375,90 @@ TEST(Service, ReadFenceIsOneSided) {
   EXPECT_EQ(lagging.version, 2u);
 }
 
+TEST(Service, AddBeaconDuplicateIdCollectsTheOriginalAck) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Request add = point_request(Endpoint::kAddBeacon, {{55, 5}});
+  add.field = "default";
+  add.request_id = 77;
+  const Response first = service.handle(add);
+  ASSERT_EQ(first.status, Status::kOk);
+  // The duplicate delivery re-collects the original ack — same positions,
+  // same beacon ids, and above all no second beacon.
+  add.attempt = 1;
+  const Response replay = service.handle(add);
+  ASSERT_EQ(replay.status, Status::kOk);
+  EXPECT_EQ(replay.positions, first.positions);
+  EXPECT_EQ(replay.beacon_ids, first.beacon_ids);
+  Request snapshot;
+  snapshot.endpoint = Endpoint::kSnapshot;
+  snapshot.field = "default";
+  std::istringstream in(service.handle(snapshot).text);
+  EXPECT_EQ(read_field(in).size(), make_field().size() + 1);
+}
+
+TEST(Service, AddBeaconRetryBeyondTheWindowIsDedupExpired) {
+  ServiceConfig config = test_config();
+  config.dedup_window = 2;
+  LocalizationService service(config);
+  service.add_field("default", make_field());
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    Request add = point_request(Endpoint::kAddBeacon, {{double(id), 1}});
+    add.field = "default";
+    add.request_id = id;
+    ASSERT_EQ(service.handle(add).status, Status::kOk);
+  }
+  // Id 1 was evicted from the 2-entry window: the retry is unanswerable
+  // and must be refused, never silently re-applied.
+  Request stale = point_request(Endpoint::kAddBeacon, {{1, 1}});
+  stale.field = "default";
+  stale.request_id = 1;
+  stale.attempt = 1;
+  EXPECT_EQ(service.handle(stale).status, Status::kDedupExpired);
+  // A *first* delivery of a fresh id is never ambiguous: it still applies.
+  Request fresh = point_request(Endpoint::kAddBeacon, {{4, 1}});
+  fresh.field = "default";
+  fresh.request_id = 4;
+  EXPECT_EQ(service.handle(fresh).status, Status::kOk);
+}
+
+TEST(Service, MutateRecordsTheRequestIdForReplayedDedup) {
+  // A replica rebuilt from the mutation log must hold the same dedup state
+  // as a replica that saw the live write: the mutate carries the id.
+  LocalizationService service(test_config());
+  service.handle(install_request(1));
+  Request mutate = mutate_request(2, {{20, 20}});
+  mutate.request_id = 55;
+  ASSERT_EQ(service.handle(mutate).status, Status::kOk);
+  // A client retry landing on this replica directly finds the id.
+  Request retry = point_request(Endpoint::kAddBeacon, {{20, 20}});
+  retry.field = "default";
+  retry.request_id = 55;
+  retry.attempt = 1;
+  const Response deduped = service.handle(retry);
+  ASSERT_EQ(deduped.status, Status::kOk);
+  EXPECT_EQ(deduped.beacon_ids, std::vector<std::uint32_t>{4u});
+  EXPECT_EQ(service.field_version("default"), 2u) << "no second apply";
+  // The idempotent re-delivery of the same mutate doesn't re-record.
+  ASSERT_EQ(service.handle(mutate).status, Status::kOk);
+  EXPECT_EQ(service.field_version("default"), 2u);
+}
+
+TEST(Service, SnapshotInstallResetsDedupHistory) {
+  LocalizationService service(test_config());
+  service.handle(install_request(1));
+  Request add = point_request(Endpoint::kAddBeacon, {{20, 20}});
+  add.field = "default";
+  add.request_id = 66;
+  ASSERT_EQ(service.handle(add).status, Status::kOk);
+  // A later snapshot install (resync) folds the write into the field text
+  // and discards the id history — the retry is now ambiguous.
+  ASSERT_EQ(service.handle(install_request(3)).status, Status::kOk);
+  Request retry = add;
+  retry.attempt = 1;
+  EXPECT_EQ(service.handle(retry).status, Status::kDedupExpired);
+}
+
 TEST(Service, TooManyProposalsIsBadRequest) {
   LocalizationService service(test_config());
   service.add_field("default", make_field());

@@ -18,11 +18,12 @@
 ///                [--workers N] [--batch B]
 ///   abp route    --field field.txt --backend H:P [--backend H:P ...]
 ///                [--replication R] [--write-quorum Q] [--log-retain L]
-///                [--heartbeat-ms H] [--port P]
+///                [--dedup 0|1] [--heartbeat-ms H] [--port P]
 ///                [--transport threaded|epoll]
 ///   abp query    --type localize|error-at|propose|add-beacon|snapshot|
 ///                stats|list-fields [--points "x,y;x,y"] [--algorithm A]
 ///                [--name default] [--count K]
+///                [--request-id ID [--attempt N]]
 ///                (--field FILE | --connect HOST:PORT |
 ///                 --encode-to FILE [--append] | --decode FILE)
 ///
@@ -86,13 +87,14 @@ int usage() {
          "  serve    --field FILE [--name N] [--noise X] [--seed S] "
          "[--workers W] [--batch B]\n"
          "           [--max-queue Q] [--max-inflight I] "
-         "[--retry-after-ms H]\n"
+         "[--retry-after-ms H] [--dedup-window D]\n"
          "           [--transport threaded|epoll] [--event-shards E]\n"
          "           [--read-timeout-s R] [--write-timeout-s W]\n"
          "           [--port P | --oneshot --in REQ [--out RESP]]\n"
          "  route    --field FILE --backend HOST:PORT [--backend ...] "
          "[--name N]\n"
-         "           [--replication R] [--write-quorum Q] [--log-retain L]\n"
+         "           [--replication R] [--write-quorum Q] [--log-retain L] "
+         "[--dedup 0|1]\n"
          "           [--heartbeat-ms H] [--failure-threshold F]\n"
          "           [--transport threaded|epoll] [--event-shards E] "
          "[--port P]\n"
@@ -100,7 +102,8 @@ int usage() {
          "[--connect-timeout-s C]\n"
          "  query    --type T [--points \"x,y;x,y\"] [--algorithm A] "
          "[--name N] [--count K]\n"
-         "           [--deadline-ms D] [--retries R] [--budget-ms B]\n"
+         "           [--deadline-ms D] [--retries R] [--budget-ms B] "
+         "[--request-id ID [--attempt N]]\n"
          "           (--field FILE | --connect HOST:PORT | "
          "--encode-to FILE [--append] | --decode FILE)\n";
   return 2;
