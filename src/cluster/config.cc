@@ -1,39 +1,35 @@
 #include "cluster/config.h"
 
-#include <algorithm>
 #include <set>
 
 #include "common/assert.h"
 
 namespace abp::cluster {
 
-namespace {
-
-std::size_t get_size(const Flags& flags, const std::string& key,
-                     std::size_t def) {
-  const int value = flags.get_int(key, static_cast<int>(def));
-  ABP_CHECK(value >= 0, "--" + key + " must be non-negative");
-  return static_cast<std::size_t>(value);
-}
-
-}  // namespace
-
 RouterConfig RouterConfig::from_flags(const Flags& flags) {
   RouterConfig config;
-  config.backends = flags.get_strings("backend");
-  config.replication = std::max<std::size_t>(
-      1, get_size(flags, "replication", 1));
-  config.write_quorum = get_size(flags, "write-quorum", 0);
-  config.log_retain = std::max<std::size_t>(
-      1, get_size(flags, "log-retain", 64));
-  config.dedup = flags.get_bool("dedup", true);
-  config.heartbeat_ms = flags.get_double("heartbeat-ms", 1000.0);
-  config.failure_threshold = std::max<std::size_t>(
-      1, get_size(flags, "failure-threshold", 3));
-  config.connect_timeout_s = flags.get_double("connect-timeout-s", 2.0);
-
-  config.field_path = flags.get_string("field", "");
-  config.name = flags.get_string("name", "default");
+  FlagTable()
+      .text_list("backend", &config.backends)
+      .size_at_least("replication", 1, &config.replication)
+      .size("write-quorum", &config.write_quorum)
+      .size_at_least("log-retain", 1, &config.log_retain)
+      .boolean("dedup", &config.dedup)
+      .boolean("cache", &config.cache)
+      .size_at_least("cache-entries", 1, &config.cache_entries)
+      .number("quota-rps", &config.quota_rps)
+      .number("quota-burst", &config.quota_burst)
+      .number("heartbeat-ms", &config.heartbeat_ms)
+      .size_at_least("failure-threshold", 1, &config.failure_threshold)
+      .number("connect-timeout-s", &config.connect_timeout_s)
+      .text("field", &config.field_path)
+      .text("name", &config.name)
+      .port("port", &config.port)
+      .size_at_least("event-shards", 1, &config.event_shards)
+      .size("max-inflight", &config.max_inflight)
+      .u32("retry-after-ms", &config.retry_after_hint_ms)
+      .number("read-timeout-s", &config.read_timeout_s)
+      .number("write-timeout-s", &config.write_timeout_s)
+      .parse(flags);
 
   const std::string transport = flags.get_string("transport", "threaded");
   const std::optional<serve::TransportKind> kind =
@@ -41,16 +37,6 @@ RouterConfig RouterConfig::from_flags(const Flags& flags) {
   ABP_CHECK(kind.has_value(),
             "unknown --transport: " + transport + " (want threaded|epoll)");
   config.transport = *kind;
-  const int port = flags.get_int("port", 0);
-  ABP_CHECK(port >= 0 && port <= 65535, "--port must be in [0, 65535]");
-  config.port = static_cast<std::uint16_t>(port);
-  config.event_shards =
-      std::max<std::size_t>(1, get_size(flags, "event-shards", 1));
-  config.max_inflight = get_size(flags, "max-inflight", 0);
-  config.retry_after_hint_ms =
-      static_cast<std::uint32_t>(get_size(flags, "retry-after-ms", 50));
-  config.read_timeout_s = flags.get_double("read-timeout-s", 30.0);
-  config.write_timeout_s = flags.get_double("write-timeout-s", 5.0);
 
   config.validate();
   return config;
@@ -86,6 +72,11 @@ void RouterConfig::validate() const {
   }
   ABP_CHECK(read_timeout_s > 0.0 && write_timeout_s > 0.0,
             "timeouts must be positive");
+  ABP_CHECK(cache_entries >= 1, "--cache-entries must be at least 1");
+  ABP_CHECK(quota_rps >= 0.0 && quota_burst >= 0.0,
+            "quota values must be non-negative");
+  ABP_CHECK(quota_burst == 0.0 || quota_rps > 0.0,
+            "--quota-burst requires --quota-rps > 0");
 }
 
 BackendPoolOptions RouterConfig::pool_options() const {
@@ -101,6 +92,9 @@ Router::Options RouterConfig::router_options() const {
   options.retry_after_hint_ms = retry_after_hint_ms;
   options.write_quorum = write_quorum;
   options.dedup = dedup;
+  options.cache_entries = cache ? cache_entries : 0;
+  options.quota.rps = quota_rps;
+  options.quota.burst = quota_burst;
   return options;
 }
 

@@ -36,6 +36,14 @@ struct RouterConfig {
   /// Request-id deduplication on the write path (`--dedup 0` disables —
   /// benchmarking only; every delivery then appends).
   bool dedup = true;
+  /// Version-fenced response cache for cacheable read endpoints
+  /// (`--cache 0` disables; `--cache-entries` bounds the LRU).
+  bool cache = true;
+  std::size_t cache_entries = 1024;
+  /// Per-principal token-bucket quotas (`--quota-rps`/`--quota-burst`);
+  /// 0 rps = quotas off, 0 burst = defaults to rps.
+  double quota_rps = 0.0;
+  double quota_burst = 0.0;
   /// Heartbeat probe cadence.
   double heartbeat_ms = 1000.0;
   /// Consecutive failures that trip a backend's breaker.

@@ -1,0 +1,70 @@
+#include "cluster/deployment_filter.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "common/assert.h"
+#include "rng/hash.h"
+
+namespace abp::cluster {
+
+namespace {
+
+/// Two independent 64-bit digests of `name` for double hashing: the bytes
+/// are packed little-endian into words and absorbed after a salt, so equal
+/// names always digest equally and the pair (h1, h2) is platform-stable.
+std::pair<std::uint64_t, std::uint64_t> digest(std::string_view name) {
+  std::vector<std::uint64_t> words;
+  words.reserve(2 + name.size() / 8);
+  words.push_back(0xABD0'F11Dull);  // domain separation from other hash uses
+  words.push_back(name.size());
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    word |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(name[i]))
+            << (8 * (i % 8));
+    if (i % 8 == 7) {
+      words.push_back(word);
+      word = 0;
+    }
+  }
+  if (name.size() % 8 != 0) words.push_back(word);
+  const std::uint64_t h1 = stable_hash64(
+      std::span<const std::uint64_t>(words.data(), words.size()));
+  words[0] = 0xABD0'F22Dull;
+  const std::uint64_t h2 = stable_hash64(
+      std::span<const std::uint64_t>(words.data(), words.size()));
+  return {h1, h2 | 1};  // odd step so every probe sequence covers all bits
+}
+
+}  // namespace
+
+void DeploymentFilter::rebuild(const std::vector<std::string>& names,
+                               Params params) {
+  ABP_CHECK(params.bits_per_name >= 1, "filter needs at least 1 bit/name");
+  ABP_CHECK(params.hashes >= 1, "filter needs at least 1 hash");
+  name_count_ = names.size();
+  hash_count_ = params.hashes;
+  bit_count_ = std::max<std::size_t>(64, names.size() * params.bits_per_name);
+  words_.assign((bit_count_ + 63) / 64, 0);
+  for (const std::string& name : names) {
+    const auto [h1, h2] = digest(name);
+    for (std::size_t i = 0; i < hash_count_; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+      words_[bit / 64] |= 1ull << (bit % 64);
+    }
+  }
+}
+
+bool DeploymentFilter::may_contain(std::string_view name) const {
+  if (bit_count_ == 0) return false;  // never rebuilt: empty set
+  const auto [h1, h2] = digest(name);
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    if ((words_[bit / 64] & (1ull << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace abp::cluster

@@ -1,0 +1,62 @@
+/// \file deployment_filter.h
+/// \brief Compact membership filter over deployment names (DESIGN.md §12).
+///
+/// A router fronting many backends sees a long tail of requests naming
+/// deployments that do not exist (typos, decommissioned fields, probing).
+/// Before this filter every one of them cost the authoritative registry
+/// lookup; the filter answers "definitely not deployed" from a few bits
+/// per name so the router can reject unknown deployments locally.
+///
+/// Standard bloom-filter contract: `may_contain` is *one-sided* — false
+/// means the name was not in the set the filter was last rebuilt from
+/// (answer `not-found` locally); true may be a false positive, so the
+/// caller always falls through to the authoritative check. The router's
+/// correctness therefore never depends on the filter; only the fast path
+/// does. Rebuilt from the full name set on every deployment change
+/// (`Replicator::set_deployment`) — names are few and rebuilds are cheap,
+/// which buys the simplest possible no-deletion design.
+///
+/// Hashing is `stable_hash64` double-hashing (h1 + i*h2), so filter
+/// behavior — including which names false-positive — is deterministic
+/// across runs and platforms; tests exploit that to pin the
+/// false-positive-falls-through path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abp::cluster {
+
+struct DeploymentFilterParams {
+  std::size_t bits_per_name = 10;  ///< ~1% false positives at 4 hashes
+  std::size_t hashes = 4;
+};
+
+class DeploymentFilter {
+ public:
+  using Params = DeploymentFilterParams;
+
+  /// Empty filter: `may_contain` is false for every name.
+  DeploymentFilter() = default;
+
+  /// Rebuild from the complete current name set. Not thread-safe; callers
+  /// publish a freshly built filter behind their own lock.
+  void rebuild(const std::vector<std::string>& names, Params params = {});
+
+  /// False ⇒ `name` was definitely absent at the last rebuild. True ⇒
+  /// probably present — the caller must still consult the registry.
+  bool may_contain(std::string_view name) const;
+
+  std::size_t bit_count() const { return bit_count_; }
+  std::size_t name_count() const { return name_count_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bit_count_ = 0;
+  std::size_t hash_count_ = 0;
+  std::size_t name_count_ = 0;
+};
+
+}  // namespace abp::cluster

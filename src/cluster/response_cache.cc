@@ -1,0 +1,87 @@
+#include "cluster/response_cache.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace abp::cluster {
+
+ResponseCache::ResponseCache(std::size_t max_entries)
+    : max_entries_(max_entries) {
+  ABP_CHECK(max_entries_ >= 1, "response cache needs at least one entry");
+}
+
+std::string ResponseCache::key_for(const serve::Request& request) {
+  serve::Request canonical = request;
+  canonical.seq = 0;
+  canonical.principal = 0;
+  canonical.deadline_ms = 0;
+  canonical.version = 0;
+  canonical.request_id = 0;
+  canonical.attempt = 0;
+  return serve::format_request(canonical);
+}
+
+std::optional<serve::Response> ResponseCache::lookup(
+    const std::string& deployment, std::uint64_t version,
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  if (it->second.deployment != deployment || it->second.version != version) {
+    // Stale (the deployment moved on) or a cross-deployment key collision
+    // (impossible — the key embeds the field name — but cheap to defend).
+    erase_locked(it);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return it->second.response;
+}
+
+void ResponseCache::insert(const std::string& deployment,
+                           std::uint64_t version, const std::string& key,
+                           serve::Response response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) erase_locked(it);
+  while (entries_.size() >= max_entries_) {
+    erase_locked(entries_.find(lru_.back()));
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.deployment = deployment;
+  entry.version = version;
+  entry.response = std::move(response);
+  entry.lru = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  by_deployment_[deployment].insert(key);
+}
+
+std::size_t ResponseCache::invalidate(const std::string& deployment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_deployment_.find(deployment);
+  if (it == by_deployment_.end()) return 0;
+  const std::size_t dropped = it->second.size();
+  for (const std::string& key : it->second) {
+    const auto entry = entries_.find(key);
+    lru_.erase(entry->second.lru);
+    entries_.erase(entry);
+  }
+  by_deployment_.erase(it);
+  return dropped;
+}
+
+std::size_t ResponseCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void ResponseCache::erase_locked(std::map<std::string, Entry>::iterator it) {
+  auto deployment = by_deployment_.find(it->second.deployment);
+  deployment->second.erase(it->first);
+  if (deployment->second.empty()) by_deployment_.erase(deployment);
+  lru_.erase(it->second.lru);
+  entries_.erase(it);
+}
+
+}  // namespace abp::cluster

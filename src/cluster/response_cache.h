@@ -1,0 +1,87 @@
+/// \file response_cache.h
+/// \brief Version-fenced LRU cache of routed read responses (DESIGN.md §12).
+///
+/// The router serves a repeat of the same cacheable request (see
+/// `EndpointTraits::cacheable`) from memory instead of a backend round-trip
+/// — but only while the deployment's version is unchanged. Every entry is
+/// pinned to the deployment version the response was computed at; a lookup
+/// fenced at a different version treats the entry as stale and drops it,
+/// and a quorum-acked write invalidates the whole deployment's entries
+/// *before* the write ack is released, so a client that observes its own
+/// ack can never read a pre-write cached response (read-your-writes).
+///
+/// Keys are the canonical request bytes: `key_for` re-serializes the
+/// request with every per-delivery record zeroed (seq, principal, deadline,
+/// version, request-id/attempt), so two tenants asking the same question
+/// share one entry and a retry hits the same key as its first attempt.
+/// Values are parsed `Response` objects (version already stripped by the
+/// router's delivery path); the router re-stamps the requester's seq before
+/// formatting, which keeps cached responses byte-identical to uncached and
+/// direct-backend ones.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace abp::cluster {
+
+class ResponseCache {
+ public:
+  /// `max_entries` bounds the cache; at capacity the least-recently-used
+  /// entry is evicted. Must be >= 1 (a disabled cache is a null pointer at
+  /// the router, not a zero-capacity cache).
+  explicit ResponseCache(std::size_t max_entries);
+
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// Canonical cache key: the request's wire bytes with seq, principal,
+  /// deadline, version and request-id/attempt zeroed. Deterministic —
+  /// equal logical questions yield equal keys.
+  static std::string key_for(const serve::Request& request);
+
+  /// The cached response for (`deployment`, `key`) iff it was stored at
+  /// exactly `version`; a version mismatch erases the stale entry and
+  /// misses. A hit refreshes LRU order.
+  std::optional<serve::Response> lookup(const std::string& deployment,
+                                        std::uint64_t version,
+                                        const std::string& key);
+
+  /// Store `response` for (`deployment`, `key`) at `version`, evicting the
+  /// LRU entry at capacity. An existing entry for the key is replaced.
+  void insert(const std::string& deployment, std::uint64_t version,
+              const std::string& key, serve::Response response);
+
+  /// Atomically drop every entry of `deployment`; returns how many were
+  /// dropped. Called between quorum ack and client-ack release.
+  std::size_t invalidate(const std::string& deployment);
+
+  std::size_t size() const;
+  std::size_t max_entries() const { return max_entries_; }
+
+ private:
+  struct Entry {
+    std::string deployment;
+    std::uint64_t version = 0;
+    serve::Response response;
+    std::list<std::string>::iterator lru;  ///< position in lru_ (front = hot)
+  };
+
+  /// Caller holds mu_. Removes `it` from every index.
+  void erase_locked(std::map<std::string, Entry>::iterator it);
+
+  const std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;  ///< keys, most recently used first
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, std::set<std::string>> by_deployment_;
+};
+
+}  // namespace abp::cluster

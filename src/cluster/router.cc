@@ -35,7 +35,14 @@ Router::Router(const HashRing& ring, BackendPool& pool,
       pool_(&pool),
       replicator_(&replicator),
       metrics_(&metrics),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  if (options_.cache_entries > 0) {
+    cache_ = std::make_unique<ResponseCache>(options_.cache_entries);
+  }
+  if (options_.quota.enabled()) {
+    quotas_ = std::make_unique<serve::PrincipalQuotas>(options_.quota);
+  }
+}
 
 double Router::now_ms() const {
   return options_.clock_ms ? options_.clock_ms() : steady_now_ms();
@@ -59,24 +66,35 @@ void Router::answer_local(std::uint64_t seq, std::string text,
 
 void Router::submit(std::string payload,
                     std::function<void(std::string)> reply) {
-  metrics_->record_received();
   std::string parse_error;
   std::optional<serve::Request> request =
       serve::parse_request(payload, &parse_error);
   if (!request) {
+    metrics_->record_received();
     metrics_->record_local();
     reply(rejection_payload(0, serve::Status::kBadRequest, parse_error));
     return;
   }
-  switch (request->endpoint) {
-    case serve::Endpoint::kStats:
-      answer_local(request->seq, metrics_->render_text(), reply);
-      return;
-    case serve::Endpoint::kListFields:
-      answer_local(request->seq, replicator_->list_text(), reply);
-      return;
-    default:
-      break;
+  metrics_->record_received(request->principal);
+  const serve::EndpointTraits& traits = endpoint_traits(request->endpoint);
+  if (traits.router_local) {
+    // Quota-exempt: operators can always introspect a loaded router.
+    switch (request->endpoint) {
+      case serve::Endpoint::kStats:
+        answer_local(request->seq, metrics_->render_text(), reply);
+        return;
+      default:
+        answer_local(request->seq, replicator_->list_text(), reply);
+        return;
+    }
+  }
+  if (traits.internal_only) {
+    // Mutations are minted by the router's own log; accepting one from a
+    // client would fork a replica's version history.
+    metrics_->record_local();
+    reply(rejection_payload(request->seq, serve::Status::kBadRequest,
+                            "mutations are managed by the router"));
+    return;
   }
   if (request->endpoint == serve::Endpoint::kSnapshot &&
       !request->text.empty()) {
@@ -89,12 +107,28 @@ void Router::submit(std::string payload,
                             "snapshot installs are managed by the router"));
     return;
   }
-  if (request->endpoint == serve::Endpoint::kMutate) {
-    // Mutations are minted by the router's own log; accepting one from a
-    // client would fork a replica's version history.
+  if (quotas_) {
+    const serve::PrincipalQuotas::Decision decision =
+        quotas_->admit(request->principal, now_ms());
+    if (!decision.admitted) {
+      metrics_->record_quota_shed(request->principal);
+      metrics_->record_local();
+      reply(rejection_payload(
+          request->seq, serve::Status::kOverloaded,
+          "quota exceeded for principal " +
+              std::to_string(request->principal) + "; retry with backoff",
+          decision.retry_after_ms));
+      return;
+    }
+  }
+  if (!replicator_->possibly_deployed(request->field)) {
+    // The membership filter proved the name absent — answer locally, no
+    // registry lookup. (A false positive falls through to the
+    // authoritative check below and earns the identical answer.)
+    metrics_->record_filter_reject();
     metrics_->record_local();
-    reply(rejection_payload(request->seq, serve::Status::kBadRequest,
-                            "mutations are managed by the router"));
+    reply(rejection_payload(request->seq, serve::Status::kNotFound,
+                            "unknown deployment '" + request->field + "'"));
     return;
   }
   if (replicator_->version(request->field) == 0) {
@@ -103,7 +137,7 @@ void Router::submit(std::string payload,
                             "unknown deployment '" + request->field + "'"));
     return;
   }
-  if (request->endpoint == serve::Endpoint::kAddBeacon) {
+  if (traits.mutating) {
     route_write(std::move(*request), std::move(reply));
     return;
   }
@@ -113,6 +147,22 @@ void Router::submit(std::string payload,
   // read-your-writes for everything the client has seen acknowledged, with
   // a quorum of replicas guaranteed able to serve it.
   state->request.version = replicator_->read_version(state->request.field);
+  if (cache_ && traits.cacheable) {
+    state->cache_key = ResponseCache::key_for(state->request);
+    state->cache_version = state->request.version;
+    if (std::optional<serve::Response> hit = cache_->lookup(
+            state->request.field, state->cache_version, state->cache_key)) {
+      // Cached responses store seq 0; re-stamp the requester's seq so the
+      // bytes match an uncached forward of this exact request.
+      metrics_->record_cache_hit();
+      metrics_->record_local();
+      hit->seq = state->request.seq;
+      reply(serve::format_response_capped(*hit));
+      return;
+    }
+    metrics_->record_cache_miss();
+    state->cache_store = true;
+  }
   state->owners = replicator_->owners(state->request.field);
   state->reply = std::move(reply);
   route(std::move(state), /*is_retry=*/false);
@@ -163,7 +213,7 @@ void Router::handle_failure(const std::shared_ptr<CallState>& state,
                             const std::string& backend) {
   // The transport died with the request possibly executed. Idempotent
   // endpoints fail over; add-beacon must not risk double execution.
-  if (serve::endpoint_idempotent(state->request.endpoint) &&
+  if (serve::endpoint_traits(state->request.endpoint).idempotent &&
       state->next_owner + 1 < state->owners.size()) {
     ++state->next_owner;
     route(state, /*is_retry=*/true);
@@ -225,7 +275,7 @@ void Router::handle_reply(const std::shared_ptr<CallState>& state,
       // The backend is draining or shutting down — same recovery as a
       // transport failure.
       metrics_->record_result(backend, response->status);
-      if (serve::endpoint_idempotent(state->request.endpoint) &&
+      if (serve::endpoint_traits(state->request.endpoint).idempotent &&
           state->next_owner + 1 < state->owners.size()) {
         ++state->next_owner;
         route(state, /*is_retry=*/true);
@@ -249,6 +299,18 @@ void Router::deliver(const std::shared_ptr<CallState>& state,
   // the exception: the version record *is* their answer.
   if (state->request.endpoint != serve::Endpoint::kVersion) {
     response.version = 0;
+  }
+  if (cache_ && state->cache_store &&
+      response.status == serve::Status::kOk) {
+    // Store post-strip with seq 0 so any requester's hit re-stamps its own
+    // seq and the bytes match an uncached forward. A stale store racing a
+    // concurrent invalidation is benign: the entry is pinned to the fence
+    // version this read ran at, and a later lookup fenced at the bumped
+    // version treats it as a miss and drops it.
+    serve::Response cached = response;
+    cached.seq = 0;
+    cache_->insert(state->request.field, state->cache_version,
+                   state->cache_key, std::move(cached));
   }
   state->reply(serve::format_response_capped(response));
 }
@@ -475,6 +537,14 @@ void Router::write_ack(const std::shared_ptr<WriteState>& state,
     // reply): the write is now served by a quorum either way.
     replicator_->log().record_acked(state->mutate.field,
                                     state->mutate.version);
+    if (cache_) {
+      // Invalidate *between* fence advance and ack release: once the
+      // client observes this ack, no pre-write cached response can be
+      // served for the deployment (read-your-writes; the chaos suite pins
+      // this ordering).
+      metrics_->record_cache_invalidation(
+          cache_->invalidate(state->mutate.field));
+    }
     metrics_->record_write_ack();
   }
   if (fire) state->reply(state->ok_payload);

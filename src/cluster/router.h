@@ -7,8 +7,22 @@
 /// `FrameSink`, and `Router` is one — so `abp query` speaks to a cluster
 /// without knowing it. Per submitted payload:
 ///
-///  * `stats` and `list-fields` are answered locally (router metrics, the
-///    replicator's deployment registry).
+///  * Router-local endpoints (`EndpointTraits::router_local`: stats,
+///    list-fields) are answered locally (router metrics, the replicator's
+///    deployment registry) — quota-exempt, so a loaded router stays
+///    introspectable.
+///  * With quotas on, every other request first spends a token from its
+///    principal's bucket; an empty bucket sheds retryable `overloaded`
+///    with a `retry-after` hint from that principal's own refill deficit.
+///  * Requests naming a deployment the membership filter proves absent are
+///    answered `not-found` locally (`Replicator::possibly_deployed`); a
+///    filter false positive falls through to the authoritative registry
+///    and gets the identical answer, one lookup slower.
+///  * Cacheable endpoints (`EndpointTraits::cacheable`) consult the
+///    version-fenced response cache: a hit at the current read fence is
+///    answered from memory, byte-identical to the forwarded response it
+///    was stored from; a quorum-acked write invalidates the deployment's
+///    entries *before* the write ack fires (read-your-writes).
 ///  * Everything else is routed by deployment name: the consistent-hash
 ///    ring yields the replica preference order, the request is stamped with
 ///    the router's snapshot version, and it is forwarded to the first
@@ -71,9 +85,11 @@
 
 #include "cluster/backend_pool.h"
 #include "cluster/replicator.h"
+#include "cluster/response_cache.h"
 #include "cluster/ring.h"
 #include "serve/frame_sink.h"
 #include "serve/metrics.h"
+#include "serve/quota.h"
 
 namespace abp::cluster {
 
@@ -88,6 +104,14 @@ struct RouterOptions {
   /// every delivery appends — only for benchmarking the suppression win;
   /// production routers keep it on.
   bool dedup = true;
+  /// Version-fenced response cache capacity for cacheable read endpoints
+  /// (`--cache-entries`); 0 disables the cache (`--cache 0`).
+  std::size_t cache_entries = 1024;
+  /// Per-principal token-bucket quotas (`--quota-rps`/`--quota-burst`);
+  /// `quota.rps == 0` disables enforcement. Router-local endpoints
+  /// (stats / list-fields) are exempt so operators can always introspect
+  /// a loaded router.
+  serve::QuotaOptions quota;
   /// Injectable monotonic clock (milliseconds); defaults to steady_clock.
   std::function<double()> clock_ms;
 };
@@ -118,6 +142,12 @@ class Router final : public serve::FrameSink {
     std::vector<std::string> owners;  ///< replica preference order
     std::size_t next_owner = 0;       ///< index of the attempt in flight
     bool repaired = false;            ///< one version-mismatch repair spent
+    /// Response-cache bookkeeping (cacheable endpoints that missed):
+    /// `deliver` stores the backend's ok response under `cache_key` at the
+    /// version the read was fenced at.
+    bool cache_store = false;
+    std::string cache_key;
+    std::uint64_t cache_version = 0;
     std::function<void(std::string)> reply;
   };
 
@@ -167,6 +197,8 @@ class Router final : public serve::FrameSink {
   Replicator* replicator_;
   serve::RouterMetrics* metrics_;
   Options options_;
+  std::unique_ptr<ResponseCache> cache_;          ///< null when disabled
+  std::unique_ptr<serve::PrincipalQuotas> quotas_;  ///< null when off
   /// Serializes append + fan-out so mutations enter every backend FIFO in
   /// version order (the backends' fences would self-heal a reorder, but
   /// in-order delivery keeps the common path repair-free).

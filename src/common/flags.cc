@@ -1,7 +1,9 @@
 #include "common/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
 #include "common/assert.h"
 
@@ -113,6 +115,80 @@ void Flags::check_unused() const {
   for (const auto& [key, value] : values_) {
     ABP_CHECK(used_.count(key) != 0, "unknown flag --" + key);
   }
+}
+
+FlagTable& FlagTable::text(const std::string& key, std::string* out) {
+  bindings_.push_back([key, out](const Flags& flags) {
+    *out = flags.get_string(key, *out);
+  });
+  return *this;
+}
+
+FlagTable& FlagTable::text_list(const std::string& key,
+                                std::vector<std::string>* out) {
+  bindings_.push_back([key, out](const Flags& flags) {
+    std::vector<std::string> values = flags.get_strings(key);
+    if (!values.empty()) *out = std::move(values);
+  });
+  return *this;
+}
+
+FlagTable& FlagTable::boolean(const std::string& key, bool* out) {
+  bindings_.push_back([key, out](const Flags& flags) {
+    *out = flags.get_bool(key, *out);
+  });
+  return *this;
+}
+
+FlagTable& FlagTable::number(const std::string& key, double* out) {
+  bindings_.push_back([key, out](const Flags& flags) {
+    *out = flags.get_double(key, *out);
+  });
+  return *this;
+}
+
+FlagTable& FlagTable::size(const std::string& key, std::size_t* out) {
+  return size_at_least(key, 0, out);
+}
+
+FlagTable& FlagTable::size_at_least(const std::string& key, std::size_t min,
+                                    std::size_t* out) {
+  bindings_.push_back([key, min, out](const Flags& flags) {
+    const int value = flags.get_int(key, static_cast<int>(*out));
+    ABP_CHECK(value >= 0, "--" + key + " must be non-negative");
+    *out = std::max(min, static_cast<std::size_t>(value));
+  });
+  return *this;
+}
+
+FlagTable& FlagTable::u32(const std::string& key, std::uint32_t* out) {
+  bindings_.push_back([key, out](const Flags& flags) {
+    const std::uint64_t value = flags.get_u64(key, *out);
+    ABP_CHECK(value <= 0xFFFFFFFFull, "--" + key + " exceeds 32 bits");
+    *out = static_cast<std::uint32_t>(value);
+  });
+  return *this;
+}
+
+FlagTable& FlagTable::u64(const std::string& key, std::uint64_t* out) {
+  bindings_.push_back([key, out](const Flags& flags) {
+    *out = flags.get_u64(key, *out);
+  });
+  return *this;
+}
+
+FlagTable& FlagTable::port(const std::string& key, std::uint16_t* out) {
+  bindings_.push_back([key, out](const Flags& flags) {
+    const int value = flags.get_int(key, *out);
+    ABP_CHECK(value >= 0 && value <= 65535,
+              "--" + key + " must be in [0, 65535]");
+    *out = static_cast<std::uint16_t>(value);
+  });
+  return *this;
+}
+
+void FlagTable::parse(const Flags& flags) const {
+  for (const auto& binding : bindings_) binding(flags);
 }
 
 }  // namespace abp

@@ -11,6 +11,8 @@
 ///     flags.check_unused();  // typo protection
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -50,6 +52,48 @@ class Flags {
   std::map<std::string, std::vector<std::string>> occurrences_;
   std::vector<std::string> positional_;
   mutable std::set<std::string> used_;
+};
+
+/// Declarative flag binding for config structs: describe each flag's key,
+/// destination field and validation once, then `parse()` the whole table in
+/// one pass. The field's current value is the default, so a config struct's
+/// member initializers stay the single source of defaults:
+///
+///     ServeConfig config;
+///     FlagTable()
+///         .text("field", &config.field_path)
+///         .size("workers", &config.workers)
+///         .number("quota-rps", &config.quota_rps)
+///         .parse(flags);
+///
+/// Replaces the per-config `get_size`-style helpers `ServeConfig`,
+/// `QueryConfig` and `RouterConfig` each duplicated; validation beyond
+/// per-flag shape (cross-flag invariants) stays in each config's
+/// `validate()`. All diagnostics throw `CheckFailure` naming the flag.
+class FlagTable {
+ public:
+  FlagTable& text(const std::string& key, std::string* out);
+  /// Every occurrence of a repeated `--key`, in command-line order (absent
+  /// flag leaves `*out` untouched).
+  FlagTable& text_list(const std::string& key, std::vector<std::string>* out);
+  FlagTable& boolean(const std::string& key, bool* out);
+  FlagTable& number(const std::string& key, double* out);
+  /// Non-negative integer.
+  FlagTable& size(const std::string& key, std::size_t* out);
+  /// Non-negative integer, clamped below at `min`.
+  FlagTable& size_at_least(const std::string& key, std::size_t min,
+                           std::size_t* out);
+  FlagTable& u32(const std::string& key, std::uint32_t* out);
+  FlagTable& u64(const std::string& key, std::uint64_t* out);
+  /// TCP port in [0, 65535].
+  FlagTable& port(const std::string& key, std::uint16_t* out);
+
+  /// Read every bound flag from `flags`; throws `CheckFailure` with a
+  /// flag-level diagnostic on the first malformed value.
+  void parse(const Flags& flags) const;
+
+ private:
+  std::vector<std::function<void(const Flags&)>> bindings_;
 };
 
 }  // namespace abp

@@ -1,0 +1,60 @@
+#include "common/metrics_snapshot.h"
+
+#include <cstdio>
+
+namespace abp {
+
+void MetricsSnapshot::set_count(std::string name, std::uint64_t value) {
+  entries_.emplace_back(std::move(name), static_cast<double>(value));
+  integral_.push_back(true);
+}
+
+void MetricsSnapshot::set_gauge(std::string name, double value) {
+  entries_.emplace_back(std::move(name), value);
+  integral_.push_back(false);
+}
+
+std::uint64_t MetricsSnapshot::count(std::string_view name,
+                                     std::uint64_t def) const {
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i].first == name) {
+      return static_cast<std::uint64_t>(entries_[i].second);
+    }
+  }
+  return def;
+}
+
+double MetricsSnapshot::value(std::string_view name, double def) const {
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i].first == name) return entries_[i].second;
+  }
+  return def;
+}
+
+bool MetricsSnapshot::has(std::string_view name) const {
+  for (const auto& [key, value] : entries_) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+std::string MetricsSnapshot::render_text() const {
+  std::string out = schema_;
+  out += '\n';
+  char buf[64];
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out += entries_[i].first;
+    out += ' ';
+    if (integral_[i]) {
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(entries_[i].second));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.1f", entries_[i].second);
+    }
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace abp

@@ -28,46 +28,37 @@ std::vector<Vec2> parse_point_list(const std::string& text) {
   return points;
 }
 
-std::size_t get_size(const Flags& flags, const std::string& key,
-                     std::size_t def) {
-  const int value = flags.get_int(key, static_cast<int>(def));
-  ABP_CHECK(value >= 0, "--" + key + " must be non-negative");
-  return static_cast<std::size_t>(value);
-}
-
 }  // namespace
 
 ServeConfig ServeConfig::from_flags(const Flags& flags) {
   ServeConfig config;
-  config.field_path = flags.get_string("field", "");
-  config.name = flags.get_string("name", "default");
-  config.noise = flags.get_double("noise", 0.0);
-  config.seed = flags.get_u64("seed", 1);
-  config.dedup_window = get_size(flags, "dedup-window", 64);
-
-  config.oneshot = flags.get_bool("oneshot", false);
-  config.in_path = flags.get_string("in", "");
-  config.out_path = flags.get_string("out", "");
-
-  config.workers = get_size(flags, "workers", 0);
-  config.batch = get_size(flags, "batch", 16);
-  config.max_queue = get_size(flags, "max-queue", 0);
-  config.max_inflight = get_size(flags, "max-inflight", 0);
-  config.retry_after_hint_ms =
-      static_cast<std::uint32_t>(get_size(flags, "retry-after-ms", 0));
+  FlagTable()
+      .text("field", &config.field_path)
+      .text("name", &config.name)
+      .number("noise", &config.noise)
+      .u64("seed", &config.seed)
+      .size("dedup-window", &config.dedup_window)
+      .boolean("oneshot", &config.oneshot)
+      .text("in", &config.in_path)
+      .text("out", &config.out_path)
+      .size("workers", &config.workers)
+      .size("batch", &config.batch)
+      .size("max-queue", &config.max_queue)
+      .size("max-inflight", &config.max_inflight)
+      .u32("retry-after-ms", &config.retry_after_hint_ms)
+      .port("port", &config.port)
+      .size_at_least("event-shards", 1, &config.event_shards)
+      .number("read-timeout-s", &config.read_timeout_s)
+      .number("write-timeout-s", &config.write_timeout_s)
+      .number("quota-rps", &config.quota_rps)
+      .number("quota-burst", &config.quota_burst)
+      .parse(flags);
 
   const std::string transport = flags.get_string("transport", "threaded");
   const std::optional<TransportKind> kind = transport_kind_from_name(transport);
   ABP_CHECK(kind.has_value(),
             "unknown --transport: " + transport + " (want threaded|epoll)");
   config.transport = *kind;
-  const int port = flags.get_int("port", 0);
-  ABP_CHECK(port >= 0 && port <= 65535, "--port must be in [0, 65535]");
-  config.port = static_cast<std::uint16_t>(port);
-  config.event_shards = std::max<std::size_t>(
-      1, get_size(flags, "event-shards", 1));
-  config.read_timeout_s = flags.get_double("read-timeout-s", 30.0);
-  config.write_timeout_s = flags.get_double("write-timeout-s", 5.0);
 
   config.validate();
   return config;
@@ -90,6 +81,10 @@ void ServeConfig::validate() const {
   ABP_CHECK(batch > 0, "--batch must be positive");
   ABP_CHECK(read_timeout_s > 0.0 && write_timeout_s > 0.0,
             "timeouts must be positive");
+  ABP_CHECK(quota_rps >= 0.0 && quota_burst >= 0.0,
+            "quota values must be non-negative");
+  ABP_CHECK(quota_burst == 0.0 || quota_rps > 0.0,
+            "--quota-burst requires --quota-rps > 0");
 }
 
 ServiceConfig ServeConfig::service_config() const {
@@ -106,6 +101,8 @@ Server::Options ServeConfig::server_options() const {
   options.max_batch = batch;
   options.max_queue = max_queue;
   options.retry_after_hint_ms = retry_after_hint_ms;
+  options.quota.rps = quota_rps;
+  options.quota.burst = quota_burst;
   return options;
 }
 
@@ -144,27 +141,33 @@ QueryConfig QueryConfig::from_flags(const Flags& flags) {
   const std::optional<Endpoint> endpoint = endpoint_from_name(type);
   ABP_CHECK(endpoint.has_value(), "unknown --type: " + type);
   config.request.endpoint = *endpoint;
-  config.request.seq = flags.get_u64("seq", 1);
-  config.request.field = flags.get_string("name", "default");
-  config.request.points = parse_point_list(flags.get_string("points", ""));
-  config.request.algorithm = flags.get_string("algorithm", "");
-  config.request.count =
-      static_cast<std::uint32_t>(flags.get_int("count", 1));
-  config.request.deadline_ms =
-      static_cast<std::uint32_t>(flags.get_int("deadline-ms", 0));
-  // Exactly-once writes: resending the same command with the same
-  // --request-id (and a bumped --attempt) collects the original ack
-  // instead of appending a second beacon.
-  config.request.request_id = flags.get_u64("request-id", 0);
-  config.request.attempt =
-      static_cast<std::uint32_t>(get_size(flags, "attempt", 0));
+  config.request.seq = 1;
+  std::string points_text;
+  // `--principal` mints the request's multi-tenant identity (0 = anonymous,
+  // record omitted on the wire). Exactly-once writes: resending the same
+  // command with the same --request-id (and a bumped --attempt) collects
+  // the original ack instead of appending a second beacon.
+  FlagTable()
+      .u64("seq", &config.request.seq)
+      .text("name", &config.request.field)
+      .text("points", &points_text)
+      .text("algorithm", &config.request.algorithm)
+      .u32("count", &config.request.count)
+      .u32("deadline-ms", &config.request.deadline_ms)
+      .u64("principal", &config.request.principal)
+      .u64("request-id", &config.request.request_id)
+      .u32("attempt", &config.request.attempt)
+      .parse(flags);
+  config.request.points = parse_point_list(points_text);
   ABP_CHECK(config.request.attempt == 0 || config.request.request_id != 0,
             "--attempt requires --request-id");
 
   if (!config.encode_path.empty()) {
     config.mode = Mode::kEncode;
-    config.append = flags.get_bool("append", false);
-    config.corrupt = flags.get_bool("corrupt", false);
+    FlagTable()
+        .boolean("append", &config.append)
+        .boolean("corrupt", &config.corrupt)
+        .parse(flags);
     return config;
   }
 
@@ -179,18 +182,24 @@ QueryConfig QueryConfig::from_flags(const Flags& flags) {
     ABP_CHECK(!port_is.fail() && port > 0 && port <= 65535,
               "bad --connect port");
     config.port = static_cast<std::uint16_t>(port);
-    config.retry.max_attempts = get_size(flags, "retries", 4);
-    config.retry.base_backoff_ms = flags.get_double("backoff-ms", 25.0);
-    config.retry.deadline_budget_ms = flags.get_double("budget-ms", 0.0);
-    config.retry.seed = flags.get_u64("retry-seed", 1);
+    config.retry.max_attempts = 4;
+    config.retry.base_backoff_ms = 25.0;  // CLI default, above the struct's
+    FlagTable()
+        .size("retries", &config.retry.max_attempts)
+        .number("backoff-ms", &config.retry.base_backoff_ms)
+        .number("budget-ms", &config.retry.deadline_budget_ms)
+        .u64("retry-seed", &config.retry.seed)
+        .parse(flags);
     config.validate();
     return config;
   }
 
   config.mode = Mode::kLocalField;
-  config.noise = flags.get_double("noise", 0.0);
-  config.seed = flags.get_u64("seed", 1);
-  config.batch = get_size(flags, "batch", 16);
+  FlagTable()
+      .number("noise", &config.noise)
+      .u64("seed", &config.seed)
+      .size("batch", &config.batch)
+      .parse(flags);
   config.validate();
   return config;
 }

@@ -12,7 +12,10 @@
 /// Flag names predating the consolidation keep working unchanged; the
 /// transport redesign adds `--transport={threaded,epoll}`,
 /// `--event-shards N`, `--retry-after-ms H` and explicit
-/// `--read-timeout-s`/`--write-timeout-s`.
+/// `--read-timeout-s`/`--write-timeout-s`. Parsing is declarative — each
+/// config binds its flags once through `abp::FlagTable` (common/flags.h),
+/// so per-flag shape validation and diagnostics are shared across `serve`,
+/// `query` and `route` instead of re-implemented per config.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +49,11 @@ struct ServeConfig {
   std::size_t max_queue = 0;
   std::size_t max_inflight = 0;
   std::uint32_t retry_after_hint_ms = 0;
+
+  // Multi-tenant admission (`--quota-rps`/`--quota-burst`): per-principal
+  // token buckets; 0 rps = quotas off, 0 burst = defaults to rps.
+  double quota_rps = 0.0;
+  double quota_burst = 0.0;
 
   // Network transport.
   TransportKind transport = TransportKind::kThreaded;

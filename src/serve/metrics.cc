@@ -1,8 +1,6 @@
 #include "serve/metrics.h"
 
-#include <cstdio>
 #include <ostream>
-#include <sstream>
 
 namespace abp::serve {
 
@@ -13,12 +11,6 @@ std::size_t endpoint_slot(Endpoint endpoint) {
     if (kAllEndpoints[i] == endpoint) return i;
   }
   return 0;
-}
-
-std::string fmt_us(double us) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.1f", us);
-  return buf;
 }
 
 }  // namespace
@@ -49,9 +41,10 @@ void ServiceMetrics::record_batch(std::size_t coalesced) {
   coalesced_ += coalesced;
 }
 
-void ServiceMetrics::record_submitted() {
+void ServiceMetrics::record_submitted(std::uint64_t principal) {
   std::lock_guard<std::mutex> lock(mu_);
   ++submitted_;
+  ++principals_[principal].first;
 }
 
 void ServiceMetrics::record_completed(std::size_t n) {
@@ -67,6 +60,13 @@ void ServiceMetrics::record_shed(Status cause) {
     case Status::kDeadlineExceeded: ++shed_deadline_; break;
     default: ++shed_unavailable_; break;  // unreachable by contract
   }
+}
+
+void ServiceMetrics::record_quota_shed(std::uint64_t principal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++shed_overloaded_;  // quota sheds answer `overloaded`
+  ++shed_quota_;
+  ++principals_[principal].second;
 }
 
 EndpointSnapshot ServiceMetrics::endpoint_snapshot(Endpoint endpoint) const {
@@ -138,34 +138,69 @@ std::uint64_t ServiceMetrics::shed_total() const {
   return shed_overloaded_ + shed_unavailable_ + shed_deadline_;
 }
 
-void ServiceMetrics::render(std::ostream& out) const {
+std::uint64_t ServiceMetrics::quota_sheds() const {
   std::lock_guard<std::mutex> lock(mu_);
-  out << "abp-serve-stats 1\n";
+  return shed_quota_;
+}
+
+std::uint64_t ServiceMetrics::principal_submitted(
+    std::uint64_t principal) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = principals_.find(principal);
+  return it == principals_.end() ? 0 : it->second.first;
+}
+
+std::uint64_t ServiceMetrics::principal_quota_sheds(
+    std::uint64_t principal) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = principals_.find(principal);
+  return it == principals_.end() ? 0 : it->second.second;
+}
+
+MetricsSnapshot ServiceMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap("abp-serve-stats 1");
   std::uint64_t total_requests = 0;
   std::uint64_t total_errors = 0;
   for (std::size_t i = 0; i < kEndpointCount; ++i) {
     const PerEndpoint& pe = per_endpoint_[i];
     total_requests += pe.requests;
     total_errors += pe.errors;
-    out << "endpoint " << endpoint_name(kAllEndpoints[i]) << " requests "
-        << pe.requests << " errors " << pe.errors << " bytes-in "
-        << pe.bytes_in << " bytes-out " << pe.bytes_out << " p50us "
-        << fmt_us(pe.latency_us.p50()) << " p95us "
-        << fmt_us(pe.latency_us.p95()) << " p99us "
-        << fmt_us(pe.latency_us.p99()) << '\n';
+    const std::string prefix =
+        std::string("endpoint.") + endpoint_name(kAllEndpoints[i]) + '.';
+    snap.set_count(prefix + "requests", pe.requests);
+    snap.set_count(prefix + "errors", pe.errors);
+    snap.set_count(prefix + "bytes-in", pe.bytes_in);
+    snap.set_count(prefix + "bytes-out", pe.bytes_out);
+    snap.set_gauge(prefix + "p50us", pe.latency_us.p50());
+    snap.set_gauge(prefix + "p95us", pe.latency_us.p95());
+    snap.set_gauge(prefix + "p99us", pe.latency_us.p99());
   }
-  out << "total requests " << total_requests << " errors " << total_errors
-      << " bad-frames " << bad_frames_ << " batches " << batches_
-      << " coalesced " << coalesced_ << '\n';
-  out << "admission submitted " << submitted_ << " completed " << completed_
-      << " shed-overloaded " << shed_overloaded_ << " shed-unavailable "
-      << shed_unavailable_ << " shed-deadline " << shed_deadline_ << '\n';
+  snap.set_count("total.requests", total_requests);
+  snap.set_count("total.errors", total_errors);
+  snap.set_count("total.bad-frames", bad_frames_);
+  snap.set_count("total.batches", batches_);
+  snap.set_count("total.coalesced", coalesced_);
+  snap.set_count("admission.submitted", submitted_);
+  snap.set_count("admission.completed", completed_);
+  snap.set_count("admission.shed-overloaded", shed_overloaded_);
+  snap.set_count("admission.shed-unavailable", shed_unavailable_);
+  snap.set_count("admission.shed-deadline", shed_deadline_);
+  snap.set_count("admission.shed-quota", shed_quota_);
+  for (const auto& [id, counts] : principals_) {
+    const std::string prefix = "principal." + std::to_string(id) + '.';
+    snap.set_count(prefix + "submitted", counts.first);
+    snap.set_count(prefix + "shed-quota", counts.second);
+  }
+  return snap;
+}
+
+void ServiceMetrics::render(std::ostream& out) const {
+  out << snapshot().render_text();
 }
 
 std::string ServiceMetrics::render_text() const {
-  std::ostringstream os;
-  render(os);
-  return os.str();
+  return snapshot().render_text();
 }
 
 RouterMetrics::RouterMetrics() = default;
@@ -175,9 +210,10 @@ void RouterMetrics::add_backend(const std::string& backend) {
   backends_.try_emplace(backend);
 }
 
-void RouterMetrics::record_received() {
+void RouterMetrics::record_received(std::uint64_t principal) {
   std::lock_guard<std::mutex> lock(mu_);
   ++received_;
+  ++principals_[principal].first;
 }
 
 void RouterMetrics::record_local() {
@@ -282,6 +318,33 @@ void RouterMetrics::record_write_dedup_expired() {
   ++write_dedup_expired_;
 }
 
+void RouterMetrics::record_cache_hit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++cache_hits_;
+}
+
+void RouterMetrics::record_cache_miss() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++cache_misses_;
+}
+
+void RouterMetrics::record_cache_invalidation(std::size_t entries_dropped) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++cache_invalidations_;
+  cache_entries_invalidated_ += entries_dropped;
+}
+
+void RouterMetrics::record_filter_reject() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++filter_rejects_;
+}
+
+void RouterMetrics::record_quota_shed(std::uint64_t principal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++quota_sheds_;
+  ++principals_[principal].second;
+}
+
 BackendSnapshot RouterMetrics::backend_snapshot(
     const std::string& backend) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -331,35 +394,101 @@ std::uint64_t RouterMetrics::write_dedup_expired() const {
   return write_dedup_expired_;
 }
 
-void RouterMetrics::render(std::ostream& out) const {
+std::uint64_t RouterMetrics::cache_hits() const {
   std::lock_guard<std::mutex> lock(mu_);
-  out << "abp-route-stats 1\n";
+  return cache_hits_;
+}
+
+std::uint64_t RouterMetrics::cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_misses_;
+}
+
+std::uint64_t RouterMetrics::cache_invalidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_invalidations_;
+}
+
+std::uint64_t RouterMetrics::cache_entries_invalidated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_entries_invalidated_;
+}
+
+std::uint64_t RouterMetrics::filter_rejects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return filter_rejects_;
+}
+
+std::uint64_t RouterMetrics::quota_sheds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quota_sheds_;
+}
+
+std::uint64_t RouterMetrics::principal_received(
+    std::uint64_t principal) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = principals_.find(principal);
+  return it == principals_.end() ? 0 : it->second.first;
+}
+
+std::uint64_t RouterMetrics::principal_quota_sheds(
+    std::uint64_t principal) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = principals_.find(principal);
+  return it == principals_.end() ? 0 : it->second.second;
+}
+
+MetricsSnapshot RouterMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap("abp-route-stats 1");
   std::uint64_t forwarded_total = 0;
   for (const auto& [name, b] : backends_) {
     forwarded_total += b.forwarded;
-    out << "backend " << name << " forwarded " << b.forwarded << " ok "
-        << b.ok << " errors " << b.errors << " transport-failures "
-        << b.transport_failures << " retries " << b.retries
-        << " version-mismatches " << b.version_mismatches << " installs "
-        << b.installs << " mutations " << b.mutations << " mutation-acks "
-        << b.mutation_acks << " replays " << b.replays << " probes "
-        << b.probes << " probe-failures " << b.probe_failures
-        << " marked-down " << b.marked_down << " recovered " << b.recovered
-        << '\n';
+    const std::string prefix = "backend." + name + '.';
+    snap.set_count(prefix + "forwarded", b.forwarded);
+    snap.set_count(prefix + "ok", b.ok);
+    snap.set_count(prefix + "errors", b.errors);
+    snap.set_count(prefix + "transport-failures", b.transport_failures);
+    snap.set_count(prefix + "retries", b.retries);
+    snap.set_count(prefix + "version-mismatches", b.version_mismatches);
+    snap.set_count(prefix + "installs", b.installs);
+    snap.set_count(prefix + "mutations", b.mutations);
+    snap.set_count(prefix + "mutation-acks", b.mutation_acks);
+    snap.set_count(prefix + "replays", b.replays);
+    snap.set_count(prefix + "probes", b.probes);
+    snap.set_count(prefix + "probe-failures", b.probe_failures);
+    snap.set_count(prefix + "marked-down", b.marked_down);
+    snap.set_count(prefix + "recovered", b.recovered);
   }
-  out << "router received " << received_ << " local " << local_
-      << " forwarded " << forwarded_total << " unrouted " << unrouted_
-      << '\n';
-  out << "writes submitted " << writes_ << " acked " << write_acks_
-      << " quorum-failures " << write_quorum_failures_ << " dedup-hits "
-      << write_dedup_hits_ << " dedup-expired " << write_dedup_expired_
-      << '\n';
+  snap.set_count("router.received", received_);
+  snap.set_count("router.local", local_);
+  snap.set_count("router.forwarded", forwarded_total);
+  snap.set_count("router.unrouted", unrouted_);
+  snap.set_count("router.filter-rejects", filter_rejects_);
+  snap.set_count("writes.submitted", writes_);
+  snap.set_count("writes.acked", write_acks_);
+  snap.set_count("writes.quorum-failures", write_quorum_failures_);
+  snap.set_count("writes.dedup-hits", write_dedup_hits_);
+  snap.set_count("writes.dedup-expired", write_dedup_expired_);
+  snap.set_count("cache.hits", cache_hits_);
+  snap.set_count("cache.misses", cache_misses_);
+  snap.set_count("cache.invalidations", cache_invalidations_);
+  snap.set_count("cache.entries-invalidated", cache_entries_invalidated_);
+  snap.set_count("quota.sheds", quota_sheds_);
+  for (const auto& [id, counts] : principals_) {
+    const std::string prefix = "principal." + std::to_string(id) + '.';
+    snap.set_count(prefix + "received", counts.first);
+    snap.set_count(prefix + "shed-quota", counts.second);
+  }
+  return snap;
+}
+
+void RouterMetrics::render(std::ostream& out) const {
+  out << snapshot().render_text();
 }
 
 std::string RouterMetrics::render_text() const {
-  std::ostringstream os;
-  render(os);
-  return os.str();
+  return snapshot().render_text();
 }
 
 }  // namespace abp::serve

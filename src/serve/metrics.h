@@ -5,20 +5,23 @@
 /// histogram (`abp::Histogram`), aggregated under one lock — contention is
 /// negligible next to a localization pass, and a single lock keeps snapshots
 /// consistent. The `stats` endpoint and the shutdown dump both render the
-/// same line-oriented text:
+/// shared `MetricsSnapshot` text format (schema line + `name value` lines):
 ///
 ///     abp-serve-stats 1
-///     endpoint localize requests 128 errors 0 bytes-in 5120
-///         bytes-out 9216 p50us 14.2 p95us 41.7 p99us 55.0   (one line)
+///     endpoint.localize.requests 128
+///     endpoint.localize.p99us 55.0
 ///     ...
-///     total requests 130 errors 1 bad-frames 1 batches 17 coalesced 96
-///     admission submitted 130 completed 120 shed-overloaded 6
-///         shed-unavailable 2 shed-deadline 2                (one line)
+///     admission.submitted 130
+///     admission.shed-overloaded 6
+///     principal.7.submitted 64
 ///
-/// The admission line is the drain-aware reconciliation the chaos suite
-/// asserts: after every accepted request has been answered,
+/// The admission counters carry the drain-aware reconciliation the chaos
+/// suite asserts: after every accepted request has been answered,
 /// `submitted == completed + shed-overloaded + shed-unavailable +
 /// shed-deadline` — no request is ever dropped without an accounted reply.
+/// Per-principal counters (submitted / quota sheds) ride the same snapshot;
+/// quota sheds also count toward `shed-overloaded`, so the reconciliation
+/// is unchanged by quota enforcement.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +31,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/metrics_snapshot.h"
 #include "common/stats.h"
 #include "serve/protocol.h"
 
@@ -61,13 +65,17 @@ class ServiceMetrics {
   void record_batch(std::size_t coalesced);
 
   /// Admission accounting. Every parse-ok submission is recorded once via
-  /// `record_submitted`, then exactly once more as either completed
-  /// (handler executed, any status) or shed (rejected or expired before
-  /// execution, by cause).
-  void record_submitted();
+  /// `record_submitted` (attributed to its principal), then exactly once
+  /// more as either completed (handler executed, any status) or shed
+  /// (rejected or expired before execution, by cause).
+  void record_submitted(std::uint64_t principal = 0);
   void record_completed(std::size_t n = 1);
   /// `cause` must be kOverloaded, kUnavailable or kDeadlineExceeded.
   void record_shed(Status cause);
+  /// Per-principal quota shed: the bucket for `principal` was empty. Also
+  /// counts as a `kOverloaded` shed (the caller answers `overloaded`), so
+  /// the admission reconciliation is unchanged.
+  void record_quota_shed(std::uint64_t principal);
 
   EndpointSnapshot endpoint_snapshot(Endpoint endpoint) const;
   std::uint64_t total_requests() const;
@@ -79,8 +87,15 @@ class ServiceMetrics {
   std::uint64_t completed() const;
   std::uint64_t shed(Status cause) const;
   std::uint64_t shed_total() const;
+  std::uint64_t quota_sheds() const;
+  std::uint64_t principal_submitted(std::uint64_t principal) const;
+  std::uint64_t principal_quota_sheds(std::uint64_t principal) const;
 
-  /// Render the stats text (the `stats` endpoint body / shutdown dump).
+  /// Uniform snapshot of every counter (schema `abp-serve-stats 1`).
+  MetricsSnapshot snapshot() const;
+
+  /// Render the stats text (the `stats` endpoint body / shutdown dump) —
+  /// `snapshot().render_text()`.
   void render(std::ostream& out) const;
   std::string render_text() const;
 
@@ -106,6 +121,10 @@ class ServiceMetrics {
   std::uint64_t shed_overloaded_ = 0;
   std::uint64_t shed_unavailable_ = 0;
   std::uint64_t shed_deadline_ = 0;
+  std::uint64_t shed_quota_ = 0;
+  /// principal id -> {submitted, quota sheds}; anonymous traffic is id 0.
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+      principals_;
 };
 
 /// Point-in-time copy of one backend's routing/health counters.
@@ -127,16 +146,19 @@ struct BackendSnapshot {
 };
 
 /// Observability for the cluster router (`abp route`): per-backend
-/// forwarding and health counters, rendered as the router's `stats`
-/// endpoint body:
+/// forwarding and health counters plus cache, filter and per-principal
+/// accounting, rendered as the router's `stats` endpoint body in the
+/// shared `MetricsSnapshot` format:
 ///
 ///     abp-route-stats 1
-///     backend 127.0.0.1:7001 forwarded 42 ok 40 errors 2 ... recovered 1
+///     backend.127.0.0.1:7001.forwarded 42
 ///     ...
-///     router received 50 local 3 forwarded 42 unrouted 5
+///     router.received 50
+///     cache.hits 12
+///     principal.7.submitted 20
 ///
-/// `unrouted` counts requests answered `unavailable` because every replica
-/// of the target deployment was down.
+/// `router.unrouted` counts requests answered `unavailable` because every
+/// replica of the target deployment was down.
 class RouterMetrics {
  public:
   RouterMetrics();
@@ -144,8 +166,9 @@ class RouterMetrics {
   /// Register a backend so it renders (with zero counters) before traffic.
   void add_backend(const std::string& backend);
 
-  void record_received();
-  /// Request answered by the router itself (stats / list-fields).
+  void record_received(std::uint64_t principal = 0);
+  /// Request answered by the router itself (stats / list-fields /
+  /// cache hits / filter rejects).
   void record_local();
   void record_forward(const std::string& backend);
   void record_result(const std::string& backend, Status status);
@@ -178,6 +201,18 @@ class RouterMetrics {
   /// Retry whose id rolled out of the dedup window: answered terminal
   /// `dedup-expired`, never silently re-appended.
   void record_write_dedup_expired();
+  /// Response-cache accounting for cacheable read endpoints: a hit is
+  /// answered locally without touching a backend; an invalidation drops
+  /// every entry of one deployment when a quorum-acked write bumps its
+  /// version.
+  void record_cache_hit();
+  void record_cache_miss();
+  void record_cache_invalidation(std::size_t entries_dropped);
+  /// Unknown-deployment request answered locally because the membership
+  /// filter proved the name is not deployed (no backend round-trip).
+  void record_filter_reject();
+  /// Per-principal quota shed: the bucket for `principal` was empty.
+  void record_quota_shed(std::uint64_t principal);
 
   BackendSnapshot backend_snapshot(const std::string& backend) const;
   std::uint64_t received() const;
@@ -188,6 +223,17 @@ class RouterMetrics {
   std::uint64_t write_quorum_failures() const;
   std::uint64_t write_dedup_hits() const;
   std::uint64_t write_dedup_expired() const;
+  std::uint64_t cache_hits() const;
+  std::uint64_t cache_misses() const;
+  std::uint64_t cache_invalidations() const;
+  std::uint64_t cache_entries_invalidated() const;
+  std::uint64_t filter_rejects() const;
+  std::uint64_t quota_sheds() const;
+  std::uint64_t principal_received(std::uint64_t principal) const;
+  std::uint64_t principal_quota_sheds(std::uint64_t principal) const;
+
+  /// Uniform snapshot of every counter (schema `abp-route-stats 1`).
+  MetricsSnapshot snapshot() const;
 
   void render(std::ostream& out) const;
   std::string render_text() const;
@@ -203,6 +249,15 @@ class RouterMetrics {
   std::uint64_t write_quorum_failures_ = 0;
   std::uint64_t write_dedup_hits_ = 0;
   std::uint64_t write_dedup_expired_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_invalidations_ = 0;
+  std::uint64_t cache_entries_invalidated_ = 0;
+  std::uint64_t filter_rejects_ = 0;
+  std::uint64_t quota_sheds_ = 0;
+  /// principal id -> {received, quota sheds}; anonymous traffic is id 0.
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+      principals_;
 };
 
 }  // namespace abp::serve

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 
 namespace abp::serve {
 
@@ -129,11 +130,47 @@ const char* endpoint_name(Endpoint endpoint) {
   return "unknown";
 }
 
-bool endpoint_idempotent(Endpoint endpoint) {
-  // `mutate` is idempotent by construction: it names the exact version it
-  // establishes, and a replica at or past that version acks without
-  // re-applying.
-  return endpoint != Endpoint::kAddBeacon;
+namespace {
+
+// One row per endpoint, in `kAllEndpoints` order (the static_asserts below
+// pin that, so a lookup is a direct index). `mutate` is idempotent by
+// construction: it names the exact version it establishes, and a replica at
+// or past that version acks without re-applying. `propose` is read-only but
+// consumes deployment RNG state, so it must not be cached.
+constexpr EndpointTraits kEndpointTraitsTable[] = {
+    // endpoint               idem   cache  mutat  intern local  batch
+    {Endpoint::kLocalize,     true,  true,  false, false, false, true},
+    {Endpoint::kErrorAt,      true,  true,  false, false, false, true},
+    {Endpoint::kPropose,      true,  false, false, false, false, false},
+    {Endpoint::kAddBeacon,    false, false, true,  false, false, false},
+    {Endpoint::kSnapshot,     true,  false, false, false, false, false},
+    {Endpoint::kStats,        true,  false, false, false, true,  false},
+    {Endpoint::kListFields,   true,  false, false, false, true,  false},
+    {Endpoint::kMutate,       true,  false, true,  true,  false, false},
+    {Endpoint::kVersion,      true,  false, false, false, false, false},
+};
+
+static_assert(std::size(kEndpointTraitsTable) == std::size(kAllEndpoints),
+              "every endpoint needs a traits row");
+
+constexpr bool traits_rows_match_endpoint_order() {
+  for (std::size_t i = 0; i < std::size(kAllEndpoints); ++i) {
+    if (kEndpointTraitsTable[i].endpoint != kAllEndpoints[i]) return false;
+  }
+  return true;
+}
+
+static_assert(traits_rows_match_endpoint_order(),
+              "traits rows must follow kAllEndpoints order");
+
+}  // namespace
+
+const EndpointTraits& endpoint_traits(Endpoint endpoint) {
+  const auto index = static_cast<std::size_t>(endpoint);
+  if (index < std::size(kEndpointTraitsTable)) {
+    return kEndpointTraitsTable[index];
+  }
+  return kEndpointTraitsTable[0];  // unreachable for valid enum values
 }
 
 std::optional<Endpoint> endpoint_from_name(std::string_view name) {
@@ -221,6 +258,11 @@ std::string format_request(const Request& request) {
     out += std::to_string(request.deadline_ms);
     out += '\n';
   }
+  if (request.principal != 0) {
+    out += "principal ";
+    out += std::to_string(request.principal);
+    out += '\n';
+  }
   if (request.version != 0) {
     out += "version ";
     out += std::to_string(request.version);
@@ -285,6 +327,15 @@ std::optional<Request> parse_request(std::string_view payload,
       // Zero is a valid "no deadline"; negative or non-numeric is malformed.
       if (!parse_u32_token(tokens[1], &request.deadline_ms)) {
         fail(error, "malformed deadline record: " + std::string(line));
+        return std::nullopt;
+      }
+    } else if (tokens[0] == "principal") {
+      // Canonical form carries a non-zero id (anonymous requests omit the
+      // record entirely), so a truncated or zero-id record is malformed.
+      if (tokens.size() != 2 ||
+          !parse_u64_token(tokens[1], &request.principal) ||
+          request.principal == 0) {
+        fail(error, "malformed principal record: " + std::string(line));
         return std::nullopt;
       }
     } else if (tokens[0] == "version" && tokens.size() == 2) {

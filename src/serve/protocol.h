@@ -19,6 +19,7 @@
 ///     algorithm <name>         (propose)
 ///     count <k>                (propose)
 ///     deadline <ms>            (optional; 0 or absent = no deadline)
+///     principal <id>           (optional; multi-tenant identity for quotas)
 ///     version <v>              (optional; expected deployment version)
 ///     request-id <id> <attempt>  (optional; exactly-once write identity)
 ///     text <bytes>\n<raw bytes>\n   (snapshot install body, length-prefixed)
@@ -124,14 +125,44 @@ enum class Status {
 /// fail identically on every retry and must not be re-sent.
 bool status_retryable(Status status);
 
-/// True for endpoints a router may safely re-send to another replica after
-/// a transport failure mid-call (the first attempt may or may not have
-/// executed). Everything except `add-beacon` is a pure read, an idempotent
-/// install, or a version-fenced mutation; `add-beacon` deploys a new beacon
-/// per execution, so a blind retry could double-deploy. `mutate` carries
-/// the exact version it establishes, so a re-send is detected and acked
-/// idempotently by any replica already at (or past) that version.
-bool endpoint_idempotent(Endpoint endpoint);
+/// Per-endpoint policy, consulted by every layer that must decide how an
+/// endpoint behaves without enumerating endpoints itself: router failover
+/// (`idempotent`), the router response cache (`cacheable`), quota/metrics
+/// accounting (`mutating`), client-origin rejection (`internal_only`),
+/// router-local answering (`router_local`) and server-side request
+/// coalescing (`batchable`). One row per endpoint — adding an endpoint
+/// means adding one row here, not hunting call sites.
+struct EndpointTraits {
+  Endpoint endpoint = Endpoint::kLocalize;
+  /// Safe for a router to re-send to another replica after a transport
+  /// failure mid-call (the first attempt may or may not have executed).
+  /// `add-beacon` deploys a new beacon per execution, so a blind retry
+  /// could double-deploy; `mutate` carries the exact version it
+  /// establishes, so a re-send is detected and acked idempotently by any
+  /// replica already at (or past) that version.
+  bool idempotent = true;
+  /// Read-only and deterministic given the deployment version: a router
+  /// may serve a repeat of the same request bytes from a version-fenced
+  /// response cache. `propose` is read-only but draws from the
+  /// deployment's RNG (successive calls differ by design), and `snapshot`
+  /// bodies are too large to keep per-request — neither caches.
+  bool cacheable = false;
+  /// Changes the deployment's beacon set (and therefore its version).
+  bool mutating = false;
+  /// Minted by cluster infrastructure only; a router rejects it from
+  /// clients (accepting one would fork a replica's version history).
+  bool internal_only = false;
+  /// Answered by the router itself (metrics, deployment registry) instead
+  /// of being forwarded to a backend. Exempt from per-principal quotas so
+  /// operators can always introspect a loaded router.
+  bool router_local = false;
+  /// Eligible for cross-request batching: point queries against the same
+  /// deployment coalesce into one pass over the spatial index.
+  bool batchable = false;
+};
+
+/// The traits row for `endpoint` (total: every endpoint has one).
+const EndpointTraits& endpoint_traits(Endpoint endpoint);
 
 const char* endpoint_name(Endpoint endpoint);
 std::optional<Endpoint> endpoint_from_name(std::string_view name);
@@ -150,6 +181,12 @@ struct Request {
   /// deadline. A request still queued when its deadline passes is shed with
   /// `Status::kDeadlineExceeded` instead of being computed.
   std::uint32_t deadline_ms = 0;
+  /// Multi-tenant identity: the principal (tenant) this request acts for,
+  /// minted by the client. 0 = anonymous — the record is omitted on the
+  /// wire, so principal-free traffic stays byte-identical to the
+  /// pre-identity protocol. Routers and servers account per-principal
+  /// token-bucket quotas and weighted-fair dequeue against it.
+  std::uint64_t principal = 0;
   /// Expected deployment version (cluster routing); 0 = unversioned. A
   /// backend whose deployment carries a different non-zero version answers
   /// `kVersionMismatch` instead of serving stale data.

@@ -32,6 +32,9 @@ double steady_now_ms() {
 Server::Server(LocalizationService& service, Options options)
     : service_(service), options_(options) {
   ABP_CHECK(options_.max_batch >= 1, "max_batch must be at least 1");
+  if (options_.quota.enabled()) {
+    quotas_ = std::make_unique<PrincipalQuotas>(options_.quota);
+  }
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -46,9 +49,11 @@ double Server::now_ms() const {
 
 void Server::reject(const Request& request, Status status,
                     const std::string& why, std::size_t bytes_in,
-                    const std::function<void(std::string)>& reply) {
+                    const std::function<void(std::string)>& reply,
+                    std::uint32_t retry_after_ms) {
   const std::string rejection = rejection_payload(
-      request.seq, status, why, options_.retry_after_hint_ms);
+      request.seq, status, why,
+      retry_after_ms != 0 ? retry_after_ms : options_.retry_after_hint_ms);
   service_.metrics().record(request.endpoint, status, bytes_in,
                             rejection.size(), 0.0);
   service_.metrics().record_shed(status);
@@ -65,7 +70,26 @@ void Server::submit(std::string payload,
     reply(rejection_payload(0, Status::kBadRequest, parse_error));
     return;
   }
-  service_.metrics().record_submitted();
+  service_.metrics().record_submitted(request->principal);
+  if (quotas_) {
+    const PrincipalQuotas::Decision decision =
+        quotas_->admit(request->principal, now_ms());
+    if (!decision.admitted) {
+      // Quota shed: retryable `overloaded` with a hint from this
+      // principal's own bucket deficit. Counts toward shed-overloaded via
+      // record_quota_shed, so admission reconciliation is unchanged.
+      const std::string rejection = rejection_payload(
+          request->seq, Status::kOverloaded,
+          "quota exceeded for principal " +
+              std::to_string(request->principal) + "; retry with backoff",
+          decision.retry_after_ms);
+      service_.metrics().record(request->endpoint, Status::kOverloaded,
+                                bytes_in, rejection.size(), 0.0);
+      service_.metrics().record_quota_shed(request->principal);
+      reply(rejection);
+      return;
+    }
+  }
   Status shed_status = Status::kUnavailable;
   std::string shed_why = "shutting down";
   {
@@ -110,25 +134,42 @@ void Server::shed_overloaded(std::string payload,
     reply(rejection_payload(0, Status::kBadRequest, parse_error));
     return;
   }
-  service_.metrics().record_submitted();
+  service_.metrics().record_submitted(request->principal);
   reject(*request, Status::kOverloaded, why, bytes_in, reply);
 }
 
 std::vector<Server::Pending> Server::take_batch_locked() {
   std::vector<Pending> batch;
   if (queue_.empty()) return batch;
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
-  if (!LocalizationService::batchable(batch.front().request.endpoint)) {
+  // Fair rotation across principals: seed with the oldest request of the
+  // smallest principal id strictly greater than the last one served,
+  // wrapping to the smallest queued id. One queued principal → the front
+  // of the queue every time, i.e. plain FIFO.
+  auto next = queue_.end();   // oldest request of smallest id > cursor
+  auto wrap = queue_.begin(); // oldest request of smallest id overall
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const std::uint64_t id = it->request.principal;
+    if (id > last_principal_ &&
+        (next == queue_.end() || id < next->request.principal)) {
+      next = it;
+    }
+    if (id < wrap->request.principal) wrap = it;
+  }
+  const auto seed = next != queue_.end() ? next : wrap;
+  last_principal_ = seed->request.principal;
+  batch.push_back(std::move(*seed));
+  queue_.erase(seed);
+  if (!endpoint_traits(batch.front().request.endpoint).batchable) {
     return batch;
   }
   // Coalesce further point queries against the same deployment from
-  // anywhere in the queue; non-matching requests keep their positions.
+  // anywhere in the queue — across principals, so fairness never costs
+  // batching throughput; non-matching requests keep their positions.
   // (Copy the key: growing `batch` invalidates references into it.)
   const std::string field = batch.front().request.field;
   for (auto it = queue_.begin();
        it != queue_.end() && batch.size() < options_.max_batch;) {
-    if (LocalizationService::batchable(it->request.endpoint) &&
+    if (endpoint_traits(it->request.endpoint).batchable &&
         it->request.field == field) {
       batch.push_back(std::move(*it));
       it = queue_.erase(it);

@@ -21,6 +21,15 @@
 ///    retryable `Status::kOverloaded` instead of being enqueued; transports
 ///    enforcing per-connection in-flight caps shed through
 ///    `shed_overloaded()` so the accounting stays centralized.
+///  * Per-principal quotas — with `Options::quota` enabled, each request
+///    spends a token from its principal's bucket (`serve/quota.h`) before
+///    entering the queue; an empty bucket sheds `kOverloaded` with a
+///    `retry-after` hint from that principal's own refill deficit, so a
+///    noisy tenant throttles itself without touching anyone else's budget.
+///  * Fair dequeue — when requests from multiple principals are queued,
+///    `take_batch_locked` rotates a cursor across principals instead of
+///    serving strict FIFO, so one tenant's burst cannot monopolize the
+///    batch pipeline. With a single principal this reduces to FIFO.
 ///  * Deadlines — a request carrying `deadline_ms` that is still queued
 ///    when its budget expires is shed with `Status::kDeadlineExceeded` at
 ///    drain time, before any handler work. Time comes from
@@ -38,6 +47,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -45,6 +55,7 @@
 
 #include "common/stopwatch.h"
 #include "serve/frame_sink.h"
+#include "serve/quota.h"
 #include "serve/service.h"
 
 namespace abp::serve {
@@ -66,6 +77,9 @@ class Server : public FrameSink {
     /// Defaults to `std::chrono::steady_clock`; tests inject a manual
     /// clock for deterministic expiry.
     std::function<double()> clock_ms;
+    /// Per-principal token-bucket admission (`--quota-rps`/`--quota-burst`);
+    /// `quota.rps == 0` disables enforcement.
+    QuotaOptions quota;
   };
 
   explicit Server(LocalizationService& service) : Server(service, Options()) {}
@@ -129,20 +143,26 @@ class Server : public FrameSink {
     double arrival_ms = 0.0;  ///< clock reading at admission
   };
 
-  /// Pop the next batch off the queue (caller holds `mu_`): the front
-  /// request plus, if it is a point query, up to `max_batch - 1` more
-  /// point queries against the same deployment from anywhere in the queue.
+  /// Pop the next batch off the queue (caller holds `mu_`): the seed is the
+  /// oldest request of the principal after `last_principal_` in cyclic id
+  /// order (fair rotation; plain FIFO when only one principal is queued),
+  /// plus, if it is a point query, up to `max_batch - 1` more point queries
+  /// against the same deployment from anywhere in the queue.
   std::vector<Pending> take_batch_locked();
   void run_batch(std::vector<Pending> batch);
   void worker_loop();
   /// Answer a parsed request with a shed status (never enqueued) and
-  /// record both endpoint and admission metrics.
+  /// record both endpoint and admission metrics. `retry_after_ms` overrides
+  /// the configured hint when non-zero (quota sheds carry the principal's
+  /// own refill deficit).
   void reject(const Request& request, Status status, const std::string& why,
               std::size_t bytes_in,
-              const std::function<void(std::string)>& reply);
+              const std::function<void(std::string)>& reply,
+              std::uint32_t retry_after_ms = 0);
 
   LocalizationService& service_;
   Options options_;
+  std::unique_ptr<PrincipalQuotas> quotas_;  ///< null when quotas are off
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;
@@ -154,6 +174,9 @@ class Server : public FrameSink {
   std::vector<std::thread> workers_;
   std::uint64_t batches_ = 0;
   std::uint64_t served_ = 0;
+  /// Fair-dequeue cursor: id of the principal served last; the next batch
+  /// seeds from the smallest queued principal id strictly greater (cyclic).
+  std::uint64_t last_principal_ = 0;
 };
 
 }  // namespace abp::serve

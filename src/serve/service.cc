@@ -501,7 +501,7 @@ std::vector<Response> LocalizationService::handle_batch(
   // lock once, resolve every point in a single pass.
   bool coalescable = !requests.empty();
   for (const Request& request : requests) {
-    if (!batchable(request.endpoint) ||
+    if (!endpoint_traits(request.endpoint).batchable ||
         request.field != requests.front().field) {
       coalescable = false;
       break;

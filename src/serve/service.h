@@ -76,11 +76,6 @@ class LocalizationService {
   ServiceMetrics& metrics() { return metrics_; }
   const ServiceConfig& config() const { return config_; }
 
-  /// True for endpoints eligible for cross-request batching.
-  static bool batchable(Endpoint endpoint) {
-    return endpoint == Endpoint::kLocalize || endpoint == Endpoint::kErrorAt;
-  }
-
  private:
   struct Deployment;
 

@@ -716,6 +716,79 @@ TEST(ClusterChaos, RetryStormAppliesEachLogicalWriteOnce) {
   expect_backends_reconcile(cluster);
 }
 
+TEST(ClusterChaos, ReadInsideTheWriteAckNeverSeesStaleCache) {
+  // Read-your-writes through the response cache: a read issued from
+  // *inside* the write-ack callback is the earliest moment a client can
+  // legally observe its own write. The router invalidates the deployment's
+  // cache entries before releasing the ack (and every lookup is fenced at
+  // the acked version), so that read must reflect the write — byte-
+  // identical to a direct single server that applied the same mutations.
+  // If invalidation (or the fence bump) ran after the ack fired, the
+  // cached pre-write response would still be live when the callback runs
+  // and the bytes would diverge.
+  ClusterSim cluster({"b1", "b2"}, /*replication=*/2);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+
+  serve::LocalizationService direct_service(harness_service_config());
+  direct_service.add_field("default", harness_field());
+  serve::Server direct_server(direct_service);
+  auto direct = [&](const serve::Request& request) {
+    std::string out;
+    direct_server.submit(serve::format_request(request),
+                         [&out](std::string p) { out = std::move(p); });
+    direct_server.pump();
+    return out;
+  };
+
+  constexpr int kRounds = 20;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::uint64_t base = 100 * static_cast<std::uint64_t>(round + 1);
+    const serve::Request read = localize_request(base);
+    // Prime the cache at the current version; also a byte-identity check.
+    EXPECT_EQ(cluster.call(read), direct(read)) << "round " << round;
+
+    // Each round's beacon lands near the queried points, so a stale cached
+    // answer is guaranteed to differ from the post-write one.
+    serve::Request add;
+    add.seq = base + 1;
+    add.endpoint = serve::Endpoint::kAddBeacon;
+    add.field = "default";
+    add.points = {{12.0 + round, 13.0}};
+    serve::Request reread = read;
+    reread.seq = base + 2;
+
+    auto read_done = std::make_shared<std::promise<std::string>>();
+    auto read_future = read_done->get_future();
+    auto write_done = std::make_shared<std::promise<void>>();
+    std::string ack_payload;
+    cluster.router->submit(
+        serve::format_request(add),
+        [&, read_done, write_done](std::string payload) {
+          ack_payload = std::move(payload);
+          // Fire the read while still inside the ack callback — anything
+          // the write path deferred past the ack release provably has not
+          // run yet.
+          cluster.router->submit(serve::format_request(reread),
+                                 [read_done](std::string p) {
+                                   read_done->set_value(std::move(p));
+                                 });
+          write_done->set_value();
+        });
+    write_done->get_future().get();
+    ASSERT_EQ(serve::parse_response(ack_payload)->status, serve::Status::kOk);
+    EXPECT_EQ(ack_payload, direct(add)) << "round " << round;
+    EXPECT_EQ(read_future.get(), direct(reread)) << "round " << round;
+  }
+
+  EXPECT_EQ(cluster.metrics.cache_invalidations(),
+            static_cast<std::uint64_t>(kRounds));
+  // Every cacheable read is accounted as exactly one hit or miss — the
+  // ack-released rereads can never be stale hits, because their fence moved.
+  EXPECT_EQ(cluster.metrics.cache_hits() + cluster.metrics.cache_misses(),
+            2u * kRounds);
+}
+
 TEST(ClusterChaos, StaleSnapshotRepairedInBand) {
   // The backend holds version 1 while the registry moves to version 2. The
   // first forwarded query answers version-mismatch; the router must ship

@@ -1,0 +1,100 @@
+/// `DeploymentFilter`: one-sided membership over deployment names. The
+/// false-positive tests lean on the filter being fully deterministic
+/// (`stable_hash64` double hashing) — a name that false-positives today
+/// false-positives on every platform, which is what lets the router suite
+/// pin the FP-falls-through path.
+#include "cluster/deployment_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace abp::cluster {
+namespace {
+
+std::vector<std::string> make_names(int n) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) names.push_back("field-" + std::to_string(i));
+  return names;
+}
+
+TEST(DeploymentFilter, EmptyFilterContainsNothing) {
+  const DeploymentFilter filter;
+  EXPECT_FALSE(filter.may_contain("anything"));
+  EXPECT_EQ(filter.bit_count(), 0u);
+
+  // Rebuilding from an empty set keeps the nothing-deployed answer.
+  DeploymentFilter rebuilt;
+  rebuilt.rebuild({});
+  EXPECT_FALSE(rebuilt.may_contain("anything"));
+}
+
+TEST(DeploymentFilter, NoFalseNegativesEver) {
+  // The one-sided contract: every inserted name answers true. Exercise a
+  // range of set sizes so word-boundary bit positions are covered.
+  for (const int n : {1, 7, 64, 200}) {
+    DeploymentFilter filter;
+    const auto names = make_names(n);
+    filter.rebuild(names);
+    EXPECT_EQ(filter.name_count(), static_cast<std::size_t>(n));
+    for (const std::string& name : names) {
+      EXPECT_TRUE(filter.may_contain(name)) << name << " of " << n;
+    }
+  }
+}
+
+TEST(DeploymentFilter, RebuildReplacesTheOldSet) {
+  DeploymentFilter filter;
+  filter.rebuild({"alpha", "beta"});
+  EXPECT_TRUE(filter.may_contain("alpha"));
+  filter.rebuild({"gamma"});
+  EXPECT_TRUE(filter.may_contain("gamma"));
+  EXPECT_FALSE(filter.may_contain("alpha")) << "stale bits must not survive";
+}
+
+TEST(DeploymentFilter, AbsentNamesAreMostlyRejected) {
+  // Default sizing targets ~1% false positives; allow generous slack so the
+  // assertion pins the order of magnitude, not the exact constant.
+  DeploymentFilter filter;
+  filter.rebuild(make_names(100));
+  int false_positives = 0;
+  constexpr int kProbes = 2000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (filter.may_contain("absent-" + std::to_string(i))) ++false_positives;
+  }
+  EXPECT_LT(false_positives, kProbes / 20) << "FP rate far above design point";
+}
+
+TEST(DeploymentFilter, FalsePositivesAreDeterministic) {
+  // Brute-force a name the filter cannot rule out. With 40 names at the
+  // default 10 bits/name the per-probe FP rate is a few percent, so a few
+  // thousand candidates always surface one; determinism means the same
+  // candidate false-positives on a freshly built identical filter.
+  const auto names = make_names(40);
+  DeploymentFilter filter;
+  filter.rebuild(names);
+  std::string fp;
+  for (int i = 0; i < 200000 && fp.empty(); ++i) {
+    const std::string candidate = "ghost-" + std::to_string(i);
+    if (filter.may_contain(candidate)) fp = candidate;
+  }
+  ASSERT_FALSE(fp.empty()) << "no false positive in 200k candidates";
+
+  DeploymentFilter twin;
+  twin.rebuild(names);
+  EXPECT_TRUE(twin.may_contain(fp));
+}
+
+TEST(DeploymentFilter, BitCountScalesWithNamesAndFloorsAtOneWord) {
+  DeploymentFilter small;
+  small.rebuild({"only"});
+  EXPECT_EQ(small.bit_count(), 64u) << "one-word floor";
+  DeploymentFilter big;
+  big.rebuild(make_names(100));
+  EXPECT_EQ(big.bit_count(), 1000u);
+}
+
+}  // namespace
+}  // namespace abp::cluster

@@ -1,0 +1,121 @@
+/// `ResponseCache`: canonical keying, version fencing, LRU eviction and
+/// per-deployment invalidation — the pieces the router composes into its
+/// read fast path (DESIGN.md §12).
+#include "cluster/response_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace abp::cluster {
+namespace {
+
+serve::Request localize(const std::string& field, double x = 12.0) {
+  serve::Request request;
+  request.seq = 1;
+  request.endpoint = serve::Endpoint::kLocalize;
+  request.field = field;
+  request.points = {{x, 12.0}};
+  return request;
+}
+
+serve::Response ok_response(const std::string& message) {
+  serve::Response response;
+  response.status = serve::Status::kOk;
+  response.message = message;
+  return response;
+}
+
+TEST(ResponseCache, KeyIgnoresEveryPerDeliveryRecord) {
+  // Two tenants retrying the same logical question at different times must
+  // share one entry: seq, principal, deadline, version and request-id /
+  // attempt are all delivery envelope, not question.
+  serve::Request a = localize("default");
+  serve::Request b = localize("default");
+  b.seq = 999;
+  b.principal = 42;
+  b.deadline_ms = 250;
+  b.version = 7;
+  b.request_id = 1234;
+  b.attempt = 3;
+  EXPECT_EQ(ResponseCache::key_for(a), ResponseCache::key_for(b));
+
+  // The question itself still distinguishes keys.
+  EXPECT_NE(ResponseCache::key_for(localize("default", 12.0)),
+            ResponseCache::key_for(localize("default", 13.0)));
+  EXPECT_NE(ResponseCache::key_for(localize("alpha")),
+            ResponseCache::key_for(localize("beta")));
+}
+
+TEST(ResponseCache, HitRequiresTheExactVersion) {
+  ResponseCache cache(8);
+  const std::string key = ResponseCache::key_for(localize("default"));
+  cache.insert("default", 3, key, ok_response("v3"));
+  ASSERT_EQ(cache.size(), 1u);
+
+  const auto hit = cache.lookup("default", 3, key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->message, "v3");
+
+  // A lookup fenced at any other version is a miss AND drops the stale
+  // entry — it can never be served again.
+  EXPECT_FALSE(cache.lookup("default", 4, key).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup("default", 3, key).has_value());
+}
+
+TEST(ResponseCache, InsertReplacesAnExistingKey) {
+  ResponseCache cache(8);
+  const std::string key = ResponseCache::key_for(localize("default"));
+  cache.insert("default", 1, key, ok_response("old"));
+  cache.insert("default", 2, key, ok_response("new"));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.lookup("default", 2, key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->message, "new");
+}
+
+TEST(ResponseCache, EvictsLeastRecentlyUsedAtCapacity) {
+  ResponseCache cache(2);
+  const std::string k1 = ResponseCache::key_for(localize("default", 1.0));
+  const std::string k2 = ResponseCache::key_for(localize("default", 2.0));
+  const std::string k3 = ResponseCache::key_for(localize("default", 3.0));
+  cache.insert("default", 1, k1, ok_response("one"));
+  cache.insert("default", 1, k2, ok_response("two"));
+  // Touch k1 so k2 becomes the LRU entry, then overflow.
+  ASSERT_TRUE(cache.lookup("default", 1, k1).has_value());
+  cache.insert("default", 1, k3, ok_response("three"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup("default", 1, k1).has_value());
+  EXPECT_FALSE(cache.lookup("default", 1, k2).has_value());
+  EXPECT_TRUE(cache.lookup("default", 1, k3).has_value());
+}
+
+TEST(ResponseCache, InvalidateDropsOnlyThatDeployment) {
+  ResponseCache cache(8);
+  const std::string ka = ResponseCache::key_for(localize("alpha", 1.0));
+  const std::string kb = ResponseCache::key_for(localize("alpha", 2.0));
+  const std::string kc = ResponseCache::key_for(localize("beta"));
+  cache.insert("alpha", 1, ka, ok_response("a"));
+  cache.insert("alpha", 1, kb, ok_response("b"));
+  cache.insert("beta", 1, kc, ok_response("c"));
+
+  EXPECT_EQ(cache.invalidate("alpha"), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.lookup("alpha", 1, ka).has_value());
+  EXPECT_FALSE(cache.lookup("alpha", 1, kb).has_value());
+  EXPECT_TRUE(cache.lookup("beta", 1, kc).has_value());
+  // Idempotent on an already-empty deployment.
+  EXPECT_EQ(cache.invalidate("alpha"), 0u);
+}
+
+TEST(ResponseCache, MissOnUnknownKeyOrDeployment) {
+  ResponseCache cache(4);
+  const std::string key = ResponseCache::key_for(localize("default"));
+  EXPECT_FALSE(cache.lookup("default", 1, key).has_value());
+  cache.insert("default", 1, key, ok_response("x"));
+  EXPECT_FALSE(cache.lookup("other", 1, key).has_value());
+}
+
+}  // namespace
+}  // namespace abp::cluster

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "cluster/deployment_filter.h"
 #include "io/field_io.h"
 #include "cluster_harness.h"
 
@@ -71,6 +74,9 @@ TEST(Router, UnknownDeploymentIsNotFound) {
   ASSERT_TRUE(response.has_value());
   EXPECT_EQ(response->status, serve::Status::kNotFound);
   EXPECT_EQ(cluster.metrics.forwarded_total(), 0u);
+  // The membership filter proved the name absent — answered locally,
+  // without even the registry lookup.
+  EXPECT_EQ(cluster.metrics.filter_rejects(), 1u);
 }
 
 TEST(Router, RoutedResponseIsByteIdenticalToDirect) {
@@ -455,6 +461,212 @@ TEST(Router, ShedOverloadedCarriesHint) {
   EXPECT_EQ(response->status, serve::Status::kOverloaded);
   EXPECT_EQ(response->message, "router full");
   EXPECT_NE(response->retry_after_ms, 0u);
+}
+
+TEST(Router, CachedReadIsByteIdenticalToUncachedAndDirect) {
+  ClusterSim cluster({"b1", "b2"}, /*replication=*/2);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+
+  // First read misses, forwards, and seeds the cache; it must already be
+  // byte-identical to a direct single-server answer.
+  const serve::Request first = localize_request(42);
+  const std::string uncached = cluster.call(first);
+  EXPECT_EQ(uncached, direct_call(first));
+  EXPECT_EQ(cluster.metrics.cache_misses(), 1u);
+  EXPECT_EQ(cluster.metrics.cache_hits(), 0u);
+  ASSERT_TRUE(wait_until([&] { return cluster.metrics.forwarded_total() == 1u; }));
+
+  // The repeat is served from memory — same bytes, no backend round-trip.
+  EXPECT_EQ(cluster.call(first), uncached);
+  EXPECT_EQ(cluster.metrics.cache_hits(), 1u);
+  EXPECT_EQ(cluster.metrics.forwarded_total(), 1u);
+
+  // A different tenant retrying under a different seq shares the entry; the
+  // hit is re-stamped with the requester's seq and still matches a direct
+  // server answering that exact request.
+  serve::Request second = localize_request(43);
+  second.principal = 5;
+  const std::string restamped = cluster.call(second);
+  EXPECT_EQ(cluster.metrics.cache_hits(), 2u);
+  EXPECT_EQ(cluster.metrics.forwarded_total(), 1u);
+  serve::Request reference = localize_request(43);
+  EXPECT_EQ(restamped, direct_call(reference));
+}
+
+TEST(Router, QuorumAckedWriteInvalidatesTheDeploymentsCache) {
+  ClusterSim cluster({"b1", "b2"}, /*replication=*/2);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+
+  // Seed the cache at version 1.
+  const serve::Request read = localize_request(1);
+  (void)cluster.call(read);
+  ASSERT_EQ(cluster.metrics.cache_misses(), 1u);
+
+  // The acked write must have dropped the deployment's entries — the
+  // invalidation lands before the ack fires, so by the time call() returns
+  // the counters are visible.
+  ASSERT_EQ(serve::parse_response(cluster.call(add_beacon_request(2)))->status,
+            serve::Status::kOk);
+  EXPECT_EQ(cluster.metrics.cache_invalidations(), 1u);
+  EXPECT_EQ(cluster.metrics.cache_entries_invalidated(), 1u);
+
+  // The next read misses (no stale hit) and reflects the new beacon:
+  // byte-identical to a direct server that applied the same write.
+  serve::Request reread = localize_request(3);
+  const std::string routed = cluster.call(reread);
+  EXPECT_EQ(cluster.metrics.cache_hits(), 0u);
+  EXPECT_EQ(cluster.metrics.cache_misses(), 2u);
+
+  serve::LocalizationService service(harness_service_config());
+  service.add_field("default", harness_field());
+  serve::Server server(service);
+  std::string direct;
+  server.submit(serve::format_request(add_beacon_request(2)),
+                [&](std::string payload) { direct = std::move(payload); });
+  server.pump();
+  server.submit(serve::format_request(reread),
+                [&](std::string payload) { direct = std::move(payload); });
+  server.pump();
+  EXPECT_EQ(routed, direct);
+}
+
+TEST(Router, CacheDisabledForwardsEveryRead) {
+  RouterOptions options;
+  options.cache_entries = 0;  // --cache 0
+  ClusterSim cluster({"b1"}, /*replication=*/1, {}, options);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 1u);
+
+  const serve::Request request = localize_request(7);
+  const std::string first = cluster.call(request);
+  EXPECT_EQ(cluster.call(request), first) << "bytes must not depend on cache";
+  EXPECT_EQ(first, direct_call(request));
+  EXPECT_EQ(cluster.metrics.cache_hits(), 0u);
+  EXPECT_EQ(cluster.metrics.cache_misses(), 0u);
+  ASSERT_TRUE(
+      wait_until([&] { return cluster.metrics.forwarded_total() == 2u; }));
+}
+
+TEST(Router, FilterFalsePositiveFallsThroughToTheRegistry) {
+  ClusterSim cluster({"b1"});
+  std::vector<std::string> names;
+  for (int i = 0; i < 40; ++i) {
+    names.push_back("field-" + std::to_string(i));
+    cluster.replicator->set_deployment(names.back(), field_text());
+  }
+
+  // Rebuild the same filter the replicator published and brute-force a
+  // name it cannot rule out (deterministic hashing — see
+  // deployment_filter_test). That name is *not* deployed, so the router
+  // must fall through to the registry and answer the identical not-found.
+  DeploymentFilter filter;
+  filter.rebuild(names);
+  std::string fp, definite;
+  for (int i = 0; i < 200000 && (fp.empty() || definite.empty()); ++i) {
+    const std::string candidate = "ghost-" + std::to_string(i);
+    if (filter.may_contain(candidate)) {
+      if (fp.empty()) fp = candidate;
+    } else if (definite.empty()) {
+      definite = candidate;
+    }
+  }
+  ASSERT_FALSE(fp.empty());
+  ASSERT_FALSE(definite.empty());
+  ASSERT_TRUE(cluster.replicator->possibly_deployed(fp));
+  ASSERT_FALSE(cluster.replicator->possibly_deployed(definite));
+
+  const auto through =
+      serve::parse_response(cluster.call(localize_request(1, fp)));
+  ASSERT_TRUE(through.has_value());
+  EXPECT_EQ(through->status, serve::Status::kNotFound);
+  EXPECT_EQ(through->message, "unknown deployment '" + fp + "'");
+  EXPECT_EQ(cluster.metrics.filter_rejects(), 0u)
+      << "a false positive is not a filter reject — the registry answered";
+
+  const auto rejected =
+      serve::parse_response(cluster.call(localize_request(2, definite)));
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->status, serve::Status::kNotFound);
+  EXPECT_EQ(rejected->message, "unknown deployment '" + definite + "'");
+  EXPECT_EQ(cluster.metrics.filter_rejects(), 1u);
+  EXPECT_EQ(cluster.metrics.forwarded_total(), 0u);
+}
+
+TEST(Router, QuotaShedsNoisyPrincipalAndKeepsStatsReachable) {
+  RouterOptions options;
+  options.quota.rps = 2.0;  // one token every 500 ms
+  options.quota.burst = 2.0;
+  double now = 0.0;
+  options.clock_ms = [&now] { return now; };
+  ClusterSim cluster({"b1"}, /*replication=*/1, {}, options);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 1u);
+
+  serve::Request request = localize_request(1);
+  request.principal = 7;
+  ASSERT_EQ(serve::parse_response(cluster.call(request))->status,
+            serve::Status::kOk);
+  request.seq = 2;
+  request.points = {{50, 50}};
+  ASSERT_EQ(serve::parse_response(cluster.call(request))->status,
+            serve::Status::kOk);
+  request.seq = 3;
+  const auto shed = serve::parse_response(cluster.call(request));
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->status, serve::Status::kOverloaded);
+  EXPECT_TRUE(serve::status_retryable(shed->status));
+  EXPECT_EQ(shed->retry_after_ms, 500u);
+  EXPECT_NE(shed->message.find("principal 7"), std::string::npos);
+
+  // Another tenant's bucket is untouched.
+  serve::Request other = localize_request(4);
+  other.principal = 8;
+  EXPECT_EQ(serve::parse_response(cluster.call(other))->status,
+            serve::Status::kOk);
+
+  // Router-local introspection is quota-exempt: a drained bucket can still
+  // read stats.
+  serve::Request stats;
+  stats.seq = 5;
+  stats.endpoint = serve::Endpoint::kStats;
+  stats.principal = 7;
+  EXPECT_EQ(serve::parse_response(cluster.call(stats))->status,
+            serve::Status::kOk);
+
+  EXPECT_EQ(cluster.metrics.quota_sheds(), 1u);
+  EXPECT_EQ(cluster.metrics.principal_quota_sheds(7), 1u);
+  EXPECT_EQ(cluster.metrics.principal_received(7), 4u);
+  EXPECT_EQ(cluster.metrics.principal_quota_sheds(8), 0u);
+
+  // Following the hint on the injected clock is admitted again.
+  now += shed->retry_after_ms;
+  request.seq = 6;
+  EXPECT_EQ(serve::parse_response(cluster.call(request))->status,
+            serve::Status::kOk);
+}
+
+TEST(Router, SnapshotExposesCacheFilterAndPrincipalCounters) {
+  ClusterSim cluster({"b1"});
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 1u);
+
+  serve::Request request = localize_request(1);
+  request.principal = 9;
+  (void)cluster.call(request);
+  (void)cluster.call(request);                      // cache hit
+  (void)cluster.call(localize_request(3, "ghost")); // filter reject
+
+  const MetricsSnapshot snap = cluster.metrics.snapshot();
+  EXPECT_EQ(snap.schema(), "abp-route-stats 1");
+  EXPECT_EQ(snap.count("cache.hits"), 1u);
+  EXPECT_EQ(snap.count("cache.misses"), 1u);
+  EXPECT_EQ(snap.count("router.filter-rejects"), 1u);
+  EXPECT_EQ(snap.count("principal.9.received"), 2u);
+  EXPECT_EQ(snap.count("router.received"), 3u);
+  EXPECT_TRUE(snap.has("backend.b1.forwarded"));
+  EXPECT_EQ(cluster.metrics.render_text(), snap.render_text());
 }
 
 }  // namespace

@@ -83,5 +83,82 @@ TEST(Flags, NegativeNumberAsValue) {
   EXPECT_DOUBLE_EQ(f.get_double("offset", 0.0), -3.5);
 }
 
+TEST(FlagTable, BindsEveryTypeAndKeepsDefaultsWhenAbsent) {
+  std::string name = "default-name";
+  std::vector<std::string> backends;
+  bool dedup = true;
+  double rps = 0.0;
+  std::size_t entries = 1024;
+  std::uint32_t hint = 50;
+  std::uint64_t seed = 7;
+  std::uint16_t port = 0;
+  const auto f = make({"--name", "alpha", "--backend", "h1:1", "--backend",
+                       "h2:2", "--dedup=false", "--quota-rps", "2.5",
+                       "--cache-entries", "64", "--retry-after-ms", "40",
+                       "--seed", "99", "--port", "8080"});
+  FlagTable()
+      .text("name", &name)
+      .text_list("backend", &backends)
+      .boolean("dedup", &dedup)
+      .number("quota-rps", &rps)
+      .size("cache-entries", &entries)
+      .u32("retry-after-ms", &hint)
+      .u64("seed", &seed)
+      .port("port", &port)
+      .parse(f);
+  EXPECT_EQ(name, "alpha");
+  EXPECT_EQ(backends, (std::vector<std::string>{"h1:1", "h2:2"}));
+  EXPECT_FALSE(dedup);
+  EXPECT_DOUBLE_EQ(rps, 2.5);
+  EXPECT_EQ(entries, 64u);
+  EXPECT_EQ(hint, 40u);
+  EXPECT_EQ(seed, 99u);
+  EXPECT_EQ(port, 8080);
+
+  // Absent flags leave every field at its member-initializer default.
+  std::size_t untouched = 16;
+  FlagTable().size("workers", &untouched).parse(make({}));
+  EXPECT_EQ(untouched, 16u);
+}
+
+TEST(FlagTable, SizeAtLeastClampsBelowTheFloor) {
+  std::size_t shards = 1;
+  FlagTable().size_at_least("event-shards", 1, &shards).parse(
+      make({"--event-shards", "0"}));
+  EXPECT_EQ(shards, 1u) << "values below the floor clamp, not throw";
+  FlagTable().size_at_least("event-shards", 1, &shards).parse(
+      make({"--event-shards", "8"}));
+  EXPECT_EQ(shards, 8u);
+}
+
+TEST(FlagTable, DiagnosticsNameTheFlag) {
+  std::size_t n = 0;
+  EXPECT_THROW(
+      FlagTable().size("workers", &n).parse(make({"--workers", "-3"})),
+      CheckFailure);
+  std::uint32_t u = 0;
+  // A u32 flag refuses values past 32 bits instead of silently truncating.
+  EXPECT_THROW(
+      FlagTable().u32("retry-after-ms", &u).parse(
+          make({"--retry-after-ms", "4294967296"})),
+      CheckFailure);
+  std::uint16_t p = 0;
+  EXPECT_THROW(FlagTable().port("port", &p).parse(make({"--port", "70000"})),
+               CheckFailure);
+  double d = 0.0;
+  EXPECT_THROW(
+      FlagTable().number("noise", &d).parse(make({"--noise", "loud"})),
+      CheckFailure);
+}
+
+TEST(FlagTable, ParsePlaysWellWithCheckUnused) {
+  // A table parse marks its flags as read, so the standard typo check
+  // still catches stragglers.
+  const auto f = make({"--name", "x", "--tpyo", "1"});
+  std::string name;
+  FlagTable().text("name", &name).parse(f);
+  EXPECT_THROW(f.check_unused(), CheckFailure);
+}
+
 }  // namespace
 }  // namespace abp

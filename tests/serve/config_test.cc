@@ -108,6 +108,38 @@ TEST(ServeConfig, EpollWithMultipleShardsValidates) {
   EXPECT_EQ(config.event_shards, 8u);
 }
 
+TEST(ServeConfig, QuotaFlagsProjectOntoServerOptions) {
+  const ServeConfig config = serve_from(
+      {"--field", "f", "--quota-rps", "5", "--quota-burst", "20"});
+  EXPECT_DOUBLE_EQ(config.quota_rps, 5.0);
+  EXPECT_DOUBLE_EQ(config.quota_burst, 20.0);
+  const Server::Options server = config.server_options();
+  EXPECT_TRUE(server.quota.enabled());
+  EXPECT_DOUBLE_EQ(server.quota.rps, 5.0);
+  EXPECT_DOUBLE_EQ(server.quota.capacity(), 20.0);
+  // Quotas default off.
+  EXPECT_FALSE(serve_from({"--field", "f"}).server_options().quota.enabled());
+}
+
+TEST(ServeConfig, RejectsDegenerateQuotaValues) {
+  EXPECT_THROW(serve_from({"--field", "f", "--quota-rps", "-1"}),
+               CheckFailure);
+  // Burst without a rate is meaningless — there is nothing to refill.
+  EXPECT_THROW(serve_from({"--field", "f", "--quota-burst", "10"}),
+               CheckFailure);
+}
+
+TEST(QueryConfig, PrincipalFlagStampsTheRequest) {
+  const QueryConfig config = query_from(
+      {"--field", "f", "--points", "1,2", "--principal", "42"});
+  EXPECT_EQ(config.request.principal, 42u);
+  // Default stays anonymous: the wire record is omitted entirely.
+  const QueryConfig anon = query_from({"--field", "f", "--points", "1,2"});
+  EXPECT_EQ(anon.request.principal, 0u);
+  EXPECT_EQ(format_request(anon.request).find("principal"),
+            std::string::npos);
+}
+
 TEST(QueryConfig, RequiresExactlyOneDestination) {
   EXPECT_THROW(query_from({}), CheckFailure);
   EXPECT_THROW(query_from({"--field", "f", "--connect", "localhost:9000"}),

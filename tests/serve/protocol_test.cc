@@ -321,6 +321,36 @@ TEST(Protocol, MalformedRequestIdRecordIsRejected) {
   EXPECT_EQ(copy->attempt, 4294967295u);
 }
 
+TEST(Protocol, PrincipalRecordRoundTrips) {
+  Request request = full_request();
+  request.principal = 0x5EED5EED5EED5EEDull;
+  std::string error;
+  const auto copy = parse_request(format_request(request), &error);
+  ASSERT_TRUE(copy.has_value()) << error;
+  EXPECT_EQ(copy->principal, 0x5EED5EED5EED5EEDull);
+  EXPECT_EQ(*copy, request);
+}
+
+TEST(Protocol, PrincipalZeroIsOmittedForPreTenancyByteIdentity) {
+  // Anonymous traffic must format exactly as before the multi-tenant work —
+  // clients that never send a principal keep producing byte-identical
+  // frames, which also keeps the router cache key stable across them.
+  Request request = full_request();
+  EXPECT_EQ(request.principal, 0u);
+  EXPECT_EQ(format_request(request).find("principal"), std::string::npos);
+}
+
+TEST(Protocol, MalformedPrincipalRecordIsRejected) {
+  const std::string head = "abp-request 1 1 localize\npoint 1 2\n";
+  std::string error;
+  EXPECT_FALSE(parse_request(head + "principal\n", &error).has_value());
+  EXPECT_NE(error.find("malformed principal record"), std::string::npos);
+  // Zero ids never appear on the wire (the record is omitted instead).
+  EXPECT_FALSE(parse_request(head + "principal 0\n").has_value());
+  EXPECT_FALSE(parse_request(head + "principal seven\n").has_value());
+  EXPECT_FALSE(parse_request(head + "principal 7 8\n").has_value());
+}
+
 TEST(Protocol, DedupExpiredStatusRoundTripsAndIsTerminal) {
   Response response;
   response.seq = 3;
@@ -388,10 +418,42 @@ TEST(Protocol, RequestTextBlockLengthIsValidated) {
   EXPECT_FALSE(parse_request(head + "text\n").has_value());
 }
 
+TEST(Protocol, EndpointTraitsCoverEveryEndpoint) {
+  for (const Endpoint endpoint : kAllEndpoints) {
+    EXPECT_EQ(endpoint_traits(endpoint).endpoint, endpoint)
+        << endpoint_name(endpoint);
+  }
+}
+
 TEST(Protocol, AddBeaconIsTheOnlyNonIdempotentEndpoint) {
   for (const Endpoint endpoint : kAllEndpoints) {
-    EXPECT_EQ(endpoint_idempotent(endpoint), endpoint != Endpoint::kAddBeacon)
+    EXPECT_EQ(endpoint_traits(endpoint).idempotent,
+              endpoint != Endpoint::kAddBeacon)
         << endpoint_name(endpoint);
+  }
+}
+
+TEST(Protocol, EndpointTraitsEncodeLayerPolicy) {
+  // Cacheable ⊂ idempotent and read-only: exactly the deterministic point
+  // queries. Mutating: the write path pair. Internal-only: replication
+  // machinery a router must refuse from clients. Batchable == cacheable
+  // here by coincidence of both being the point queries, asserted
+  // separately so a future divergence is a conscious choice.
+  for (const Endpoint endpoint : kAllEndpoints) {
+    const EndpointTraits& traits = endpoint_traits(endpoint);
+    const bool point_query = endpoint == Endpoint::kLocalize ||
+                             endpoint == Endpoint::kErrorAt;
+    EXPECT_EQ(traits.cacheable, point_query) << endpoint_name(endpoint);
+    EXPECT_EQ(traits.batchable, point_query) << endpoint_name(endpoint);
+    EXPECT_EQ(traits.mutating, endpoint == Endpoint::kAddBeacon ||
+                                   endpoint == Endpoint::kMutate)
+        << endpoint_name(endpoint);
+    EXPECT_EQ(traits.internal_only, endpoint == Endpoint::kMutate)
+        << endpoint_name(endpoint);
+    EXPECT_EQ(traits.router_local, endpoint == Endpoint::kStats ||
+                                       endpoint == Endpoint::kListFields)
+        << endpoint_name(endpoint);
+    if (traits.cacheable) EXPECT_TRUE(traits.idempotent);
   }
 }
 

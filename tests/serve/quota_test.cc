@@ -1,0 +1,108 @@
+/// `PrincipalQuotas`: token-bucket admission on an injected clock. Every
+/// test drives `admit` with explicit timestamps — no sleeping, no real
+/// clock — so refill arithmetic and retry-after hints are pinned exactly.
+#include "serve/quota.h"
+
+#include <gtest/gtest.h>
+
+namespace abp::serve {
+namespace {
+
+QuotaOptions options(double rps, double burst = 0.0) {
+  QuotaOptions o;
+  o.rps = rps;
+  o.burst = burst;
+  return o;
+}
+
+TEST(Quota, DisabledWhenRpsIsZero) {
+  EXPECT_FALSE(QuotaOptions().enabled());
+  EXPECT_TRUE(options(5.0).enabled());
+}
+
+TEST(Quota, CapacityDefaultsToOneSecondBurst) {
+  EXPECT_DOUBLE_EQ(options(10.0).capacity(), 10.0);
+  EXPECT_DOUBLE_EQ(options(10.0, 25.0).capacity(), 25.0);
+}
+
+TEST(Quota, FirstBucketStartsFullAndDrainsToShed) {
+  // capacity 3: a new principal gets exactly its burst, then sheds.
+  PrincipalQuotas quotas(options(1.0, 3.0));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(quotas.admit(7, 1000.0).admitted) << i;
+  }
+  const auto shed = quotas.admit(7, 1000.0);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_GT(shed.retry_after_ms, 0u) << "a shed must carry a moving hint";
+}
+
+TEST(Quota, RefillOnInjectedClock) {
+  // 10 rps, burst 1: one token per 100 ms. Drain at t=0, then watch the
+  // bucket refill as the manual clock advances.
+  PrincipalQuotas quotas(options(10.0, 1.0));
+  EXPECT_TRUE(quotas.admit(1, 0.0).admitted);
+  EXPECT_FALSE(quotas.admit(1, 0.0).admitted);
+  // Half a token at +50 ms: still shed, hint covers the remaining deficit.
+  const auto midway = quotas.admit(1, 50.0);
+  EXPECT_FALSE(midway.admitted);
+  EXPECT_LE(midway.retry_after_ms, 100u);
+  // A whole token at +150 ms: admitted again, and the spend re-empties the
+  // bucket so the next request sheds.
+  EXPECT_TRUE(quotas.admit(1, 150.0).admitted);
+  EXPECT_FALSE(quotas.admit(1, 150.0).admitted);
+}
+
+TEST(Quota, RetryAfterMatchesTheBucketDeficit) {
+  // 2 rps: a whole token takes 500 ms. Freshly drained at t=0, the hint
+  // must say ~500 ms — the principal's own deficit, not a global constant.
+  PrincipalQuotas quotas(options(2.0, 1.0));
+  EXPECT_TRUE(quotas.admit(3, 0.0).admitted);
+  const auto shed = quotas.admit(3, 0.0);
+  ASSERT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.retry_after_ms, 500u);
+  // Following the hint lands exactly on a refilled token.
+  EXPECT_TRUE(quotas.admit(3, double(shed.retry_after_ms)).admitted);
+}
+
+TEST(Quota, BucketsAreIndependentPerPrincipal) {
+  // A noisy principal drains itself; a quiet one is untouched.
+  PrincipalQuotas quotas(options(1.0, 2.0));
+  EXPECT_TRUE(quotas.admit(1, 0.0).admitted);
+  EXPECT_TRUE(quotas.admit(1, 0.0).admitted);
+  EXPECT_FALSE(quotas.admit(1, 0.0).admitted);
+  EXPECT_TRUE(quotas.admit(2, 0.0).admitted);
+  EXPECT_EQ(quotas.principals(), 2u);
+}
+
+TEST(Quota, AnonymousTrafficSharesOneBucket) {
+  // Principal 0 is "no identity": all anonymous clients drain the same
+  // bucket, so identity is what buys an isolated budget.
+  PrincipalQuotas quotas(options(1.0, 2.0));
+  EXPECT_TRUE(quotas.admit(0, 0.0).admitted);
+  EXPECT_TRUE(quotas.admit(0, 0.0).admitted);
+  EXPECT_FALSE(quotas.admit(0, 0.0).admitted);
+  EXPECT_EQ(quotas.principals(), 1u);
+}
+
+TEST(Quota, RefillClampsAtCapacity) {
+  // A long-idle bucket refills to capacity, never beyond: after a huge gap
+  // exactly `burst` admissions pass.
+  PrincipalQuotas quotas(options(100.0, 2.0));
+  EXPECT_TRUE(quotas.admit(9, 0.0).admitted);
+  EXPECT_TRUE(quotas.admit(9, 1e9).admitted);
+  EXPECT_TRUE(quotas.admit(9, 1e9).admitted);
+  EXPECT_FALSE(quotas.admit(9, 1e9).admitted);
+}
+
+TEST(Quota, RetryAfterIsNeverZeroOnAShed) {
+  // Even a microscopic deficit rounds up to 1 ms — a zero hint would tell
+  // the client to hammer.
+  PrincipalQuotas quotas(options(10000.0, 1.0));
+  EXPECT_TRUE(quotas.admit(5, 0.0).admitted);
+  const auto shed = quotas.admit(5, 0.0);
+  ASSERT_FALSE(shed.admitted);
+  EXPECT_GE(shed.retry_after_ms, 1u);
+}
+
+}  // namespace
+}  // namespace abp::serve

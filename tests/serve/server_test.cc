@@ -263,6 +263,163 @@ TEST(Server, MetricsRecordLatencyAndBytes) {
   EXPECT_GE(snap.p99_us, snap.p50_us);
 }
 
+TEST(Server, QuotaShedsCarryThePrincipalsOwnRetryAfter) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server::Options options;
+  options.quota.rps = 2.0;  // one token every 500 ms
+  options.quota.burst = 2.0;
+  double now = 0.0;
+  options.clock_ms = [&now] { return now; };
+  Server server(service, options);
+
+  Request request = localize_request(1, {12, 12});
+  request.principal = 7;
+  std::vector<Response> responses;
+  auto reply = [&](std::string payload) {
+    const auto response = parse_response(payload);
+    ASSERT_TRUE(response.has_value());
+    responses.push_back(*response);
+  };
+  // Burst capacity 2: two admitted, the third shed without being enqueued.
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    request.seq = seq;
+    server.submit(format_request(request), reply);
+  }
+  ASSERT_EQ(responses.size(), 1u) << "quota shed answers immediately";
+  EXPECT_EQ(responses[0].seq, 3u);
+  EXPECT_EQ(responses[0].status, Status::kOverloaded);
+  EXPECT_TRUE(status_retryable(responses[0].status));
+  EXPECT_NE(responses[0].message.find("principal 7"), std::string::npos);
+  EXPECT_EQ(responses[0].retry_after_ms, 500u)
+      << "hint is this bucket's refill deficit, not a configured constant";
+
+  // Following the hint on the injected clock is admitted again.
+  now += responses[0].retry_after_ms;
+  request.seq = 4;
+  server.submit(format_request(request), reply);
+  server.pump();
+  ASSERT_EQ(responses.size(), 4u);
+
+  // Accounting: quota sheds ride the overloaded cause, reconciliation
+  // holds, and the per-principal counters attribute the noise to tenant 7.
+  const ServiceMetrics& metrics = service.metrics();
+  EXPECT_EQ(metrics.submitted(), 4u);
+  EXPECT_EQ(metrics.completed(), 3u);
+  EXPECT_EQ(metrics.shed(Status::kOverloaded), 1u);
+  EXPECT_EQ(metrics.quota_sheds(), 1u);
+  EXPECT_EQ(metrics.principal_submitted(7), 4u);
+  EXPECT_EQ(metrics.principal_quota_sheds(7), 1u);
+}
+
+TEST(Server, QuotaIsolatesPrincipalsFromANoisyNeighbor) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server::Options options;
+  options.quota.rps = 1.0;
+  options.quota.burst = 2.0;
+  double now = 0.0;
+  options.clock_ms = [&now] { return now; };
+  Server server(service, options);
+
+  std::atomic<int> shed{0};
+  auto count_sheds = [&](std::string payload) {
+    const auto response = parse_response(payload);
+    if (response && response->status == Status::kOverloaded) ++shed;
+  };
+  // Principal 1 floods far past its burst.
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    Request request = localize_request(seq, {12, 12});
+    request.principal = 1;
+    server.submit(format_request(request), count_sheds);
+  }
+  EXPECT_EQ(shed.load(), 8);
+  // Principal 2's first requests still land in its own full bucket.
+  for (std::uint64_t seq = 21; seq <= 22; ++seq) {
+    Request request = localize_request(seq, {12, 12});
+    request.principal = 2;
+    server.submit(format_request(request), count_sheds);
+  }
+  server.pump();
+  EXPECT_EQ(shed.load(), 8) << "the quiet tenant must not be shed";
+  EXPECT_EQ(service.metrics().principal_quota_sheds(1), 8u);
+  EXPECT_EQ(service.metrics().principal_quota_sheds(2), 0u);
+}
+
+TEST(Server, FairDequeueAlternatesAcrossQueuedPrincipals) {
+  LocalizationService service(test_config());
+  service.add_field("alpha", make_field());
+  service.add_field("beta", make_field());
+  Server::Options options;
+  options.max_batch = 1;  // one request per batch: reply order == dequeue order
+  Server server(service, options);
+
+  std::vector<std::uint64_t> order;
+  auto record = [&](std::string payload) {
+    const auto response = parse_response(payload);
+    ASSERT_TRUE(response.has_value());
+    order.push_back(response->seq);
+  };
+  // Tenant 1 floods four requests before tenant 2's two arrive. Distinct
+  // fields keep the check independent of same-deployment coalescing.
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    Request request = localize_request(seq, {12, 12});
+    request.field = "alpha";
+    request.principal = 1;
+    server.submit(format_request(request), record);
+  }
+  for (std::uint64_t seq = 11; seq <= 12; ++seq) {
+    Request request = localize_request(seq, {12, 12});
+    request.field = "beta";
+    request.principal = 2;
+    server.submit(format_request(request), record);
+  }
+  server.pump();
+  // Strict FIFO would serve 1,2,3,4 before tenant 2 gets a turn; the
+  // rotation interleaves until tenant 2's queue drains, then falls back to
+  // FIFO over the remainder.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 11, 2, 12, 3, 4}));
+}
+
+TEST(Server, SinglePrincipalFairDequeueReducesToFifo) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server::Options options;
+  options.max_batch = 1;
+  Server server(service, options);
+
+  std::vector<std::uint64_t> order;
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    server.submit(format_request(localize_request(seq, {12, 12})),
+                  [&](std::string payload) {
+                    order.push_back(parse_response(payload)->seq);
+                  });
+  }
+  server.pump();
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Server, SnapshotExposesAdmissionAndPrincipalCounters) {
+  LocalizationService service(test_config());
+  service.add_field("default", make_field());
+  Server server(service);
+
+  Request request = localize_request(1, {12, 12});
+  request.principal = 9;
+  server.submit(format_request(request), [](std::string) {});
+  server.pump();
+
+  const MetricsSnapshot snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.schema(), "abp-serve-stats 1");
+  EXPECT_EQ(snap.count("admission.submitted"), 1u);
+  EXPECT_EQ(snap.count("admission.completed"), 1u);
+  EXPECT_EQ(snap.count("admission.shed-quota"), 0u);
+  EXPECT_EQ(snap.count("principal.9.submitted"), 1u);
+  EXPECT_EQ(snap.count("endpoint.localize.requests"), 1u);
+  // The rendered stats body is exactly the snapshot's text form.
+  EXPECT_EQ(service.metrics().render_text(), snap.render_text());
+}
+
 TEST(Server, LoopbackFrameExchangeRejectsCorruptFrames) {
   LocalizationService service(test_config());
   service.add_field("default", make_field());

@@ -18,11 +18,13 @@
 ///                [--workers N] [--batch B]
 ///   abp route    --field field.txt --backend H:P [--backend H:P ...]
 ///                [--replication R] [--write-quorum Q] [--log-retain L]
-///                [--dedup 0|1] [--heartbeat-ms H] [--port P]
+///                [--dedup 0|1] [--cache 0|1] [--cache-entries C]
+///                [--quota-rps R [--quota-burst B]]
+///                [--heartbeat-ms H] [--port P]
 ///                [--transport threaded|epoll]
 ///   abp query    --type localize|error-at|propose|add-beacon|snapshot|
 ///                stats|list-fields [--points "x,y;x,y"] [--algorithm A]
-///                [--name default] [--count K]
+///                [--name default] [--count K] [--principal ID]
 ///                [--request-id ID [--attempt N]]
 ///                (--field FILE | --connect HOST:PORT |
 ///                 --encode-to FILE [--append] | --decode FILE)
@@ -88,6 +90,7 @@ int usage() {
          "[--workers W] [--batch B]\n"
          "           [--max-queue Q] [--max-inflight I] "
          "[--retry-after-ms H] [--dedup-window D]\n"
+         "           [--quota-rps R [--quota-burst B]]\n"
          "           [--transport threaded|epoll] [--event-shards E]\n"
          "           [--read-timeout-s R] [--write-timeout-s W]\n"
          "           [--port P | --oneshot --in REQ [--out RESP]]\n"
@@ -95,6 +98,8 @@ int usage() {
          "[--name N]\n"
          "           [--replication R] [--write-quorum Q] [--log-retain L] "
          "[--dedup 0|1]\n"
+         "           [--cache 0|1] [--cache-entries C] "
+         "[--quota-rps R [--quota-burst B]]\n"
          "           [--heartbeat-ms H] [--failure-threshold F]\n"
          "           [--transport threaded|epoll] [--event-shards E] "
          "[--port P]\n"
@@ -102,8 +107,8 @@ int usage() {
          "[--connect-timeout-s C]\n"
          "  query    --type T [--points \"x,y;x,y\"] [--algorithm A] "
          "[--name N] [--count K]\n"
-         "           [--deadline-ms D] [--retries R] [--budget-ms B] "
-         "[--request-id ID [--attempt N]]\n"
+         "           [--principal ID] [--deadline-ms D] [--retries R] "
+         "[--budget-ms B] [--request-id ID [--attempt N]]\n"
          "           (--field FILE | --connect HOST:PORT | "
          "--encode-to FILE [--append] | --decode FILE)\n";
   return 2;
