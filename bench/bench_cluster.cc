@@ -35,7 +35,14 @@
 ///     re-shipping snapshots. The curve shows the dip and the catch-up;
 ///     the victim's install/replay counters prove the replay path ran.
 ///
-///  5. Multi-tenant zipfian reads: a noisy tenant (principal 1) floods a
+///  5. Autoscale curve: 2 backends under a steady zipfian read + write
+///     mix; mid-run a third backend is added through the membership admin
+///     plane (snapshot handoff, fenced epoch flip) and later drained back
+///     out. Goodput per bucket shows the cost of each transition; the
+///     section asserts zero non-retryable client failures, the expected
+///     epoch count, and post-transition byte-identity against the log.
+///
+///  6. Multi-tenant zipfian reads: a noisy tenant (principal 1) floods a
 ///     zipf-popular hot-key set while an innocent tenant (principal 2)
 ///     sends a steady trickle of the same distribution, under three
 ///     configs — cache on, cache off, and cache+quota. The router clock is
@@ -44,7 +51,7 @@
 ///     own bucket while the innocent tenant's p99 is measured clean.
 ///     Reports per-tenant p50/p99/sheds and the cache hit rate.
 ///
-///  6. Retry storm: `--storm-clients` retrying clients each push
+///  7. Retry storm: `--storm-clients` retrying clients each push
 ///     `--storm-writes` add-beacons through a seeded duplicate/reset fault
 ///     schedule (`make_retry_storm_script`) between client and router, with
 ///     request-id dedup on vs off. Reports the delivery amplification, the
@@ -72,6 +79,7 @@
 #include <vector>
 
 #include "cluster/backend_pool.h"
+#include "cluster/membership.h"
 #include "cluster/replicator.h"
 #include "cluster/ring.h"
 #include "cluster/router.h"
@@ -159,21 +167,13 @@ struct SimCluster {
              std::size_t deployments, std::size_t workers,
              std::size_t max_batch, double probe_interval_ms = 1000.0,
              std::size_t log_retain = MutationLog::kDefaultRetain,
-             RouterOptions router_options = {}) {
+             RouterOptions router_options = {})
+      : workers_(workers), max_batch_(max_batch) {
     for (std::size_t i = 0; i < backends; ++i) {
       names.push_back("b" + std::to_string(i));
     }
-    for (const std::string& name : names) {
-      ring.add_node(name);
-      auto& backend = sims[name];
-      backend.service =
-          std::make_unique<serve::LocalizationService>(bench_config());
-      serve::Server::Options options;
-      options.workers = workers;
-      options.max_batch = max_batch;
-      backend.server =
-          std::make_unique<serve::Server>(*backend.service, options);
-    }
+    for (const std::string& name : names) add_sim(name);
+    membership = std::make_unique<MembershipTable>(names);
     BackendPoolOptions pool_options;
     pool_options.probe_interval_ms = probe_interval_ms;
     pool = std::make_unique<BackendPool>(
@@ -182,13 +182,13 @@ struct SimCluster {
           return std::make_unique<KillableTransport>(*backend.server,
                                                      backend.dead);
         });
-    replicator = std::make_unique<Replicator>(*pool, ring, replication,
+    replicator = std::make_unique<Replicator>(*pool, *membership, replication,
                                               metrics, log_retain);
     pool->set_recovery_callback([this](const std::string& backend) {
       replicator->sync_backend(backend);
     });
-    router = std::make_unique<Router>(ring, *pool, *replicator, metrics,
-                                      router_options);
+    router = std::make_unique<Router>(*membership, *pool, *replicator,
+                                      metrics, router_options);
     pool->start();
     for (std::size_t d = 0; d < deployments; ++d) {
       std::ostringstream text;
@@ -199,6 +199,38 @@ struct SimCluster {
   }
 
   ~SimCluster() { pool->stop(); }
+
+  /// Spin up a backend sim so the pool's transport factory can reach it —
+  /// must precede `admin("add", name)`.
+  SimBackend& add_sim(const std::string& name) {
+    auto& backend = sims[name];
+    backend.service =
+        std::make_unique<serve::LocalizationService>(bench_config());
+    serve::Server::Options options;
+    options.workers = workers_;
+    options.max_batch = max_batch_;
+    backend.server =
+        std::make_unique<serve::Server>(*backend.service, options);
+    return backend;
+  }
+
+  /// Drive the membership admin plane over the wire (same payload shape as
+  /// `abp route-admin`); blocks until the transition completes.
+  serve::Response admin(const std::string& verb,
+                        const std::string& backend = "") {
+    serve::Request request;
+    request.endpoint = serve::Endpoint::kAdmin;
+    request.algorithm = verb;
+    if (!backend.empty()) request.text = backend + "\n";
+    auto done = std::make_shared<std::promise<std::string>>();
+    auto future = done->get_future();
+    router->submit(serve::format_request(request),
+                   [done](std::string payload) {
+                     done->set_value(std::move(payload));
+                   });
+    const auto response = serve::parse_response(future.get());
+    return response ? *response : serve::Response{};
+  }
 
   /// The backend owning the most deployments — the worst-case victim for
   /// the kill experiment.
@@ -217,12 +249,16 @@ struct SimCluster {
   }
 
   std::vector<std::string> names;
-  HashRing ring;
+  std::unique_ptr<MembershipTable> membership;
   serve::RouterMetrics metrics;
   std::map<std::string, SimBackend> sims;
   std::unique_ptr<BackendPool> pool;
   std::unique_ptr<Replicator> replicator;
   std::unique_ptr<Router> router;
+
+ private:
+  std::size_t workers_;
+  std::size_t max_batch_;
 };
 
 serve::Request localize_request(std::uint64_t seq, std::size_t deployments) {
@@ -256,6 +292,9 @@ struct LoadResult {
   std::uint64_t sent = 0;
   std::uint64_t ok = 0;
   std::uint64_t non_ok = 0;
+  /// Of `non_ok`, replies whose status was terminal (not retryable) — the
+  /// autoscale section requires this to stay zero through transitions.
+  std::uint64_t non_retryable = 0;
   double elapsed_s = 0.0;
   Histogram latency_us = Histogram::latency_us();
   std::vector<std::uint64_t> ok_buckets;  ///< completions per bucket_s bin
@@ -310,6 +349,9 @@ LoadResult drive_load(
               }
             } else {
               ++result.non_ok;
+              if (!response || !serve::status_retryable(response->status)) {
+                ++result.non_retryable;
+              }
             }
             if (--outstanding == 0) cv.notify_one();
           });
@@ -350,6 +392,7 @@ int main(int argc, char** argv) {
   const auto window = static_cast<std::size_t>(flags.get_int("window", 64));
   const double sweep_s = flags.get_double("sweep-s", 1.0);
   const double recover_s = flags.get_double("recover-s", 2.0);
+  const double autoscale_s = flags.get_double("autoscale-s", 3.0);
   const double bucket_ms = flags.get_double("bucket-ms", 100.0);
   const auto write_every =
       static_cast<std::size_t>(flags.get_int("write-every", 10));
@@ -376,6 +419,7 @@ int main(int argc, char** argv) {
        << write_every
        << " add-beacon through the replicated mutation log; replay_recovery"
           " = write mix with kill+revive, victim catches up by log replay;"
+          " autoscale = membership add then drain mid-run under zipf load;"
           " retry_storm = seeded duplicate/reset schedule between client and"
           " router, request-id dedup on vs off (storm-clients="
        << storm_clients << " storm-writes=" << storm_writes
@@ -650,6 +694,167 @@ int main(int argc, char** argv) {
          << ", \"quorum_failures\": " << cluster.metrics.write_quorum_failures()
          << ", \"victim_replays\": " << snapshot.replays
          << ", \"victim_installs\": " << snapshot.installs
+         << ", \"converged\": " << (converged ? "true" : "false")
+         << ", \"ok_buckets\": ";
+    json_buckets(json, r.ok_buckets);
+    json << "},\n";
+  }
+
+  // ---- autoscale: live scale-up then drain under steady zipfian load ---
+  {
+    namespace serve = abp::serve;
+    constexpr std::size_t kHotKeys = 64;
+    const std::string joiner = "b2";
+    SimCluster cluster(2, 2, deployments, workers, max_batch, probe_ms,
+                       log_retain);
+    const double add_at_s = autoscale_s / 3.0;
+    const double drain_at_s = 2.0 * autoscale_s / 3.0;
+    std::cout << "\n=== Autoscale: add '" << joiner << "' at t="
+              << abp::TextTable::fmt(add_at_s, 2) << "s, drain it at t="
+              << abp::TextTable::fmt(drain_at_s, 2)
+              << "s (zipf reads + 1-in-" << write_every
+              << " writes) ===\n\n";
+
+    // Zipf CDF over read ranks; repeats of a rank are byte-identical.
+    std::vector<double> cdf(kHotKeys);
+    double mass = 0.0;
+    for (std::size_t r = 0; r < kHotKeys; ++r) {
+      mass += 1.0 / std::pow(static_cast<double>(r + 1), zipf_s);
+      cdf[r] = mass;
+    }
+    for (double& c : cdf) c /= mass;
+    abp::Rng zipf_rng(0xA5CA1E);  // only touched from the driver loop
+    const auto zipf_read = [&](std::uint64_t seq) {
+      const auto rank = static_cast<std::size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), zipf_rng.uniform01()) -
+          cdf.begin());
+      serve::Request request;
+      request.seq = seq;
+      request.endpoint = serve::Endpoint::kLocalize;
+      request.field = "f" + std::to_string(rank % deployments);
+      const double t = static_cast<double>(rank) / kHotKeys;
+      request.points = {{100.0 * t, 100.0 * (1.0 - t)}};
+      return request;
+    };
+
+    // The admin verbs block until the handoff/drain completes, so they run
+    // on their own threads — the load loop keeps submitting throughout.
+    std::atomic<bool> add_ok{false};
+    std::atomic<bool> drain_ok{false};
+    std::thread add_thread, drain_thread;
+    bool added = false;
+    bool drained = false;
+    const LoadResult r = drive_load(
+        cluster, deployments, autoscale_s, window, bucket_ms / 1e3,
+        [&](double t_s) {
+          if (!added && t_s >= add_at_s) {
+            cluster.add_sim(joiner);
+            add_thread = std::thread([&] {
+              const serve::Response response = cluster.admin("add", joiner);
+              add_ok = response.status == serve::Status::kOk;
+            });
+            added = true;
+          }
+          if (!drained && t_s >= drain_at_s) {
+            if (add_thread.joinable()) add_thread.join();
+            drain_thread = std::thread([&] {
+              const serve::Response response = cluster.admin("drain", joiner);
+              drain_ok = response.status == serve::Status::kOk;
+            });
+            drained = true;
+          }
+          cluster.pool->tick();
+        },
+        [&](std::uint64_t seq) {
+          return seq % write_every == 0 ? add_beacon_request(seq, deployments)
+                                        : zipf_read(seq);
+        });
+    if (add_thread.joinable()) add_thread.join();
+    if (drain_thread.joinable()) drain_thread.join();
+
+    print_curve(r, add_at_s, drain_at_s);  // marks: kill = add, revive = drain
+    check_load(cluster, r, "autoscale");
+    if (!add_ok || !drain_ok) {
+      healthy = false;
+      std::cout << "MEMBERSHIP TRANSITION FAILED: add "
+                << (add_ok ? "ok" : "FAILED") << ", drain "
+                << (drain_ok ? "ok" : "FAILED") << "\n";
+    }
+    if (r.non_retryable != 0) {
+      healthy = false;
+      std::cout << "NON-RETRYABLE CLIENT FAILURES during autoscale: "
+                << r.non_retryable << "\n";
+    }
+    // Start epoch 1, +1 when the joiner activates, +1 when it drains.
+    if (cluster.membership->epoch() != 3) {
+      healthy = false;
+      std::cout << "EPOCH MISMATCH: expected 3, got "
+                << cluster.membership->epoch() << "\n";
+    }
+    // Convergence + byte-identity: every surviving owner ends at the log's
+    // version with the log's exact snapshot bytes.
+    const double drain_deadline = steady_now_s() + 2.0;
+    bool converged = false;
+    while (!converged && steady_now_s() < drain_deadline) {
+      cluster.pool->tick();
+      converged = true;
+      for (const std::string& name : cluster.replicator->names()) {
+        for (const std::string& owner : cluster.replicator->owners(name)) {
+          if (cluster.sims.at(owner).service->field_version(name) !=
+              cluster.replicator->version(name)) {
+            converged = false;
+          }
+        }
+      }
+      if (!converged) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    if (!converged) {
+      healthy = false;
+      std::cout << "CONVERGENCE FAILURE after autoscale\n";
+    } else {
+      for (const std::string& name : cluster.replicator->names()) {
+        serve::Request fetch;
+        fetch.endpoint = serve::Endpoint::kSnapshot;
+        fetch.field = name;
+        const std::string log_text =
+            cluster.replicator->log().snapshot(name).text;
+        for (const std::string& owner : cluster.replicator->owners(name)) {
+          if (cluster.sims.at(owner).service->handle(fetch).text != log_text) {
+            healthy = false;
+            std::cout << "BYTE-IDENTITY FAILURE: '" << owner
+                      << "' snapshot of '" << name
+                      << "' differs from the log authority\n";
+          }
+        }
+      }
+    }
+    const auto goodput = static_cast<std::uint64_t>(
+        static_cast<double>(r.ok) / r.elapsed_s);
+    std::cout << "\ngoodput " << goodput << " q/s p50 "
+              << abp::TextTable::fmt(r.latency_us.p50() / 1e3, 2) << " ms p99 "
+              << abp::TextTable::fmt(r.latency_us.p99() / 1e3, 2)
+              << " ms; non-ok " << r.non_ok << " (non-retryable "
+              << r.non_retryable << "); epoch "
+              << cluster.membership->epoch() << ", handoff snapshots "
+              << cluster.metrics.handoff_snapshots() << ", replays "
+              << cluster.metrics.handoff_replays() << "\n"
+              << "Reading: the joiner absorbs its transfer set before the"
+                 " fenced epoch flip, so goodput holds through scale-up; the"
+                 " drain stops new routing first and hands ranges back, so"
+                 " the 3->2 step costs a remap, never an acked write.\n";
+    json << "  \"autoscale\": {\"bucket_ms\": " << bucket_ms
+         << ", \"add_at_ms\": " << add_at_s * 1e3
+         << ", \"drain_at_ms\": " << drain_at_s * 1e3
+         << ", \"goodput_qps\": " << goodput
+         << ", \"p50_ms\": " << r.latency_us.p50() / 1e3
+         << ", \"p99_ms\": " << r.latency_us.p99() / 1e3
+         << ", \"non_ok\": " << r.non_ok
+         << ", \"non_retryable\": " << r.non_retryable
+         << ", \"epoch\": " << cluster.membership->epoch()
+         << ", \"handoff_snapshots\": " << cluster.metrics.handoff_snapshots()
+         << ", \"handoff_replays\": " << cluster.metrics.handoff_replays()
          << ", \"converged\": " << (converged ? "true" : "false")
          << ", \"ok_buckets\": ";
     json_buckets(json, r.ok_buckets);

@@ -86,6 +86,69 @@ grep -q "status ok" "$WORK/read1.out" || {
   cat "$WORK/read1.out" >&2
   exit 1; }
 
+echo "== scale up: start backend 3 and route-admin add it =="
+"$ABP" serve --field "$WORK/field.txt" --port 0 >"$WORK/b3.log" 2>&1 &
+B3_PORT=$(port_of "$WORK/b3.log")
+"$ABP" route-admin add --backend "127.0.0.1:$B3_PORT" \
+  --connect "127.0.0.1:$ROUTER_PORT" >"$WORK/admin_add.out"
+grep -q "status ok" "$WORK/admin_add.out" || {
+  echo "FAIL: route-admin add not acked" >&2
+  cat "$WORK/admin_add.out" >&2
+  exit 1; }
+grep -q "added 127.0.0.1:$B3_PORT" "$WORK/admin_add.out" || {
+  echo "FAIL: add ack missing the joined backend" >&2
+  cat "$WORK/admin_add.out" >&2
+  exit 1; }
+grep -q "^epoch 2$" "$WORK/admin_add.out" || {
+  echo "FAIL: scale-up should land at epoch 2" >&2
+  cat "$WORK/admin_add.out" >&2
+  exit 1; }
+
+echo "== membership status shows 3 active members =="
+"$ABP" route-admin status --connect "127.0.0.1:$ROUTER_PORT" \
+  >"$WORK/admin_status.out"
+[ "$(grep -c " active " "$WORK/admin_status.out")" -eq 3 ] || {
+  echo "FAIL: status should list 3 active members" >&2
+  cat "$WORK/admin_status.out" >&2
+  exit 1; }
+
+echo "== routed query on the 3-node ring stays byte-identical =="
+"$ABP" query "${QUERY_ARGS[@]}" --connect "127.0.0.1:$ROUTER_PORT" \
+  >"$WORK/routed_grown.out"
+diff "$WORK/direct.out" "$WORK/routed_grown.out" || {
+  echo "FAIL: post-scale-up routed response differs from direct" >&2
+  exit 1; }
+
+echo "== scale down: route-admin drain backend 3 =="
+"$ABP" route-admin drain --backend "127.0.0.1:$B3_PORT" \
+  --connect "127.0.0.1:$ROUTER_PORT" >"$WORK/admin_drain.out"
+grep -q "status ok" "$WORK/admin_drain.out" || {
+  echo "FAIL: route-admin drain not acked" >&2
+  cat "$WORK/admin_drain.out" >&2
+  exit 1; }
+grep -q "drained 127.0.0.1:$B3_PORT" "$WORK/admin_drain.out" || {
+  echo "FAIL: drain ack missing the drained backend" >&2
+  cat "$WORK/admin_drain.out" >&2
+  exit 1; }
+grep -q "^epoch 3$" "$WORK/admin_drain.out" || {
+  echo "FAIL: drain should land at epoch 3" >&2
+  cat "$WORK/admin_drain.out" >&2
+  exit 1; }
+
+echo "== routed query after the full cycle stays byte-identical =="
+"$ABP" query "${QUERY_ARGS[@]}" --connect "127.0.0.1:$ROUTER_PORT" \
+  >"$WORK/routed_shrunk.out"
+diff "$WORK/direct.out" "$WORK/routed_shrunk.out" || {
+  echo "FAIL: post-drain routed response differs from direct" >&2
+  exit 1; }
+
+echo "== read-your-write survives the membership cycle =="
+"$ABP" query --type localize --points "42,17" --seq 4 \
+  --connect "127.0.0.1:$ROUTER_PORT" >"$WORK/read_cycled.out"
+diff "$WORK/read1.out" "$WORK/read_cycled.out" || {
+  echo "FAIL: read-your-write changed across add+drain" >&2
+  exit 1; }
+
 echo "== kill backend 1 (pid $B1_PID), query again =="
 kill -KILL "$B1_PID"
 "$ABP" query "${QUERY_ARGS[@]}" --connect "127.0.0.1:$ROUTER_PORT" \
@@ -150,6 +213,14 @@ grep -q "abp-route-stats" "$WORK/stats.out" || {
   echo "FAIL: router stats missing abp-route-stats body" >&2
   cat "$WORK/stats.out" >&2
   exit 1; }
+grep -q "membership.epoch 3" "$WORK/stats.out" || {
+  echo "FAIL: stats should report membership.epoch 3 after add+drain" >&2
+  cat "$WORK/stats.out" >&2
+  exit 1; }
+grep -q "handoff.snapshots" "$WORK/stats.out" || {
+  echo "FAIL: stats missing handoff counters" >&2
+  cat "$WORK/stats.out" >&2
+  exit 1; }
 
-echo "PASS: routed == direct, writes quorum-acked, readable, and" \
-  "exactly-once across a kill and a forced retry"
+echo "PASS: routed == direct, writes quorum-acked, readable, exactly-once" \
+  "across a kill and a forced retry, and elastic through add+drain"

@@ -92,9 +92,10 @@ void BackendPool::set_recovery_callback(
 }
 
 void BackendPool::start() {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  std::lock_guard<std::mutex> state(state_mu_);
   if (started_) return;
   started_ = true;
+  std::lock_guard<std::mutex> map(map_mu_);
   for (auto& [name, backend] : backends_) {
     Backend* b = backend.get();
     b->worker = std::thread([this, b] { worker_loop(*b); });
@@ -107,24 +108,88 @@ void BackendPool::stop() {
     if (!started_ || stopping()) return;
     stopping_.store(true, std::memory_order_release);
   }
-  for (auto& [name, backend] : backends_) {
+  // Collect under map_mu_, join without it: a worker's final batch may run
+  // callbacks that re-enter enqueue() (which takes map_mu_), so holding the
+  // map lock across the joins would deadlock. remove_backend() refuses once
+  // stopping_ is set, so the pointers stay valid through the joins.
+  std::vector<Backend*> live;
+  {
+    std::lock_guard<std::mutex> map(map_mu_);
+    live.reserve(backends_.size());
+    for (auto& [name, backend] : backends_) live.push_back(backend.get());
+  }
+  for (Backend* backend : live) {
     {
       std::lock_guard<std::mutex> lock(backend->mu);
     }
     backend->cv.notify_all();
   }
-  for (auto& [name, backend] : backends_) {
+  for (Backend* backend : live) {
     if (backend->worker.joinable()) backend->worker.join();
   }
 }
 
+bool BackendPool::add_backend(const std::string& backend) {
+  std::lock_guard<std::mutex> state(state_mu_);
+  std::lock_guard<std::mutex> map(map_mu_);
+  if (stopping() || backends_.count(backend) != 0) return false;
+  metrics_->add_backend(backend);
+  auto b = std::make_unique<Backend>();
+  b->name = backend;
+  Backend* raw = b.get();
+  backends_.emplace(backend, std::move(b));
+  if (started_) {
+    raw->worker = std::thread([this, raw] { worker_loop(*raw); });
+  }
+  return true;
+}
+
+bool BackendPool::remove_backend(const std::string& backend) {
+  std::unique_ptr<Backend> victim;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    std::lock_guard<std::mutex> map(map_mu_);
+    // Once a stop() is in flight it owns every worker join; racing it with
+    // a removal would double-join. Shutdown supersedes membership anyway.
+    if (stopping()) return false;
+    const auto it = backends_.find(backend);
+    if (it == backends_.end()) return false;
+    victim = std::move(it->second);
+    backends_.erase(it);
+  }
+  // Out of the map, no new work can arrive; tell the worker to finish its
+  // in-flight batch and exit, then fail whatever it left queued.
+  {
+    std::lock_guard<std::mutex> lock(victim->mu);
+    victim->retiring = true;
+  }
+  victim->cv.notify_all();
+  if (victim->worker.joinable()) victim->worker.join();
+  {
+    std::unique_lock<std::mutex> lock(victim->mu);
+    drain_queue(*victim, lock);
+  }
+  return true;
+}
+
+bool BackendPool::queue_idle(const std::string& backend) const {
+  std::lock_guard<std::mutex> map(map_mu_);
+  const auto it = backends_.find(backend);
+  if (it == backends_.end()) return true;
+  std::lock_guard<std::mutex> lock(it->second->mu);
+  return it->second->queue.empty() && !it->second->busy;
+}
+
 bool BackendPool::enqueue(const std::string& backend, Forward forward) {
+  std::lock_guard<std::mutex> map(map_mu_);
   const auto it = backends_.find(backend);
   if (it == backends_.end()) return false;
   Backend& b = *it->second;
   {
     std::lock_guard<std::mutex> lock(b.mu);
-    if (stopping() || b.health == BackendHealth::kOpen) return false;
+    if (stopping() || b.retiring || b.health == BackendHealth::kOpen) {
+      return false;
+    }
     b.queue.push_back(std::move(forward));
   }
   b.cv.notify_one();
@@ -133,6 +198,7 @@ bool BackendPool::enqueue(const std::string& backend, Forward forward) {
 
 void BackendPool::tick() {
   const double now = now_ms();
+  std::lock_guard<std::mutex> map(map_mu_);
   for (auto& [name, backend] : backends_) {
     Backend& b = *backend;
     bool notify = false;
@@ -154,13 +220,17 @@ void BackendPool::tick() {
 }
 
 BackendHealth BackendPool::health(const std::string& backend) const {
+  std::lock_guard<std::mutex> map(map_mu_);
   const auto it = backends_.find(backend);
-  ABP_CHECK(it != backends_.end(), "unknown backend: " + backend);
+  // A removed backend and a down backend answer the same question the same
+  // way: nothing routes here.
+  if (it == backends_.end()) return BackendHealth::kOpen;
   std::lock_guard<std::mutex> lock(it->second->mu);
   return it->second->health;
 }
 
 std::vector<std::string> BackendPool::backends() const {
+  std::lock_guard<std::mutex> map(map_mu_);
   std::vector<std::string> names;
   names.reserve(backends_.size());
   for (const auto& [name, unused] : backends_) names.push_back(name);
@@ -174,9 +244,10 @@ void BackendPool::worker_loop(Backend& backend) {
     {
       std::unique_lock<std::mutex> lock(backend.mu);
       backend.cv.wait(lock, [this, &backend] {
-        return stopping() || !backend.queue.empty() || backend.probe_pending;
+        return stopping() || backend.retiring || !backend.queue.empty() ||
+               backend.probe_pending;
       });
-      if (stopping()) {
+      if (stopping() || backend.retiring) {
         drain_queue(backend, lock);
         return;
       }
@@ -186,9 +257,14 @@ void BackendPool::worker_loop(Backend& backend) {
         batch.push_back(std::move(backend.queue.front()));
         backend.queue.pop_front();
       }
+      backend.busy = probe || !batch.empty();
     }
     if (probe) run_probe(backend);
     if (!batch.empty()) run_batch(backend, std::move(batch));
+    {
+      std::lock_guard<std::mutex> lock(backend.mu);
+      backend.busy = false;
+    }
   }
 }
 

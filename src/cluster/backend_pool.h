@@ -105,6 +105,22 @@ class BackendPool {
   /// Fail everything still queued, join the workers. Idempotent.
   void stop();
 
+  /// Live membership: register a new backend (healthy until proven
+  /// otherwise; a worker is spawned immediately if the pool is started).
+  /// Returns false if the name is already pooled or the pool is stopping.
+  bool add_backend(const std::string& backend);
+
+  /// Live membership: unregister `backend`. New enqueues stop immediately,
+  /// the worker finishes its in-flight batch and is joined, and anything
+  /// still queued is failed via its callbacks. Returns false if unknown.
+  bool remove_backend(const std::string& backend);
+
+  /// True when `backend`'s FIFO is empty *and* its worker is between
+  /// batches — the drain path polls this before removing a backend so
+  /// in-flight work completes rather than being failed. Unknown backends
+  /// are trivially idle.
+  bool queue_idle(const std::string& backend) const;
+
   /// Queue work on `backend`'s FIFO. Returns false — without consuming the
   /// callbacks — when the backend is unknown, marked down (`open`), or the
   /// pool is stopping; the caller picks another replica or sheds.
@@ -114,6 +130,8 @@ class BackendPool {
   /// (per the injectable clock). Non-blocking — probes ride the workers.
   void tick();
 
+  /// A backend removed (or never added) reads as `open` — to every caller,
+  /// "not pooled" and "down" both mean "do not route here".
   BackendHealth health(const std::string& backend) const;
   std::vector<std::string> backends() const;
   double now_ms() const;
@@ -125,6 +143,8 @@ class BackendPool {
     std::condition_variable cv;
     std::deque<Forward> queue;       ///< guarded by mu
     bool probe_pending = false;      ///< guarded by mu
+    bool retiring = false;           ///< guarded by mu; worker exits
+    bool busy = false;               ///< guarded by mu; batch in flight
     BackendHealth health = BackendHealth::kClosed;  ///< guarded by mu
     std::size_t consecutive_failures = 0;           ///< guarded by mu
     double last_probe_ms = 0.0;      ///< guarded by mu
@@ -149,7 +169,11 @@ class BackendPool {
   serve::RouterMetrics* metrics_;
   TransportFactory factory_;
   std::function<void(const std::string&)> recovery_;
+  /// Map structure guarded by map_mu_ (live membership mutates it);
+  /// `Backend` contents stay guarded by their own per-backend mu. Lock
+  /// order: state_mu_ → map_mu_ → backend.mu. Workers never take map_mu_.
   std::map<std::string, std::unique_ptr<Backend>> backends_;
+  mutable std::mutex map_mu_;  ///< guards the backends_ map structure
   std::mutex state_mu_;        ///< guards started_
   bool started_ = false;       ///< guarded by state_mu_
   /// Atomic (not state_mu_-guarded): worker condition-variable predicates

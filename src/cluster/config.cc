@@ -18,6 +18,8 @@ RouterConfig RouterConfig::from_flags(const Flags& flags) {
       .size_at_least("cache-entries", 1, &config.cache_entries)
       .number("quota-rps", &config.quota_rps)
       .number("quota-burst", &config.quota_burst)
+      .boolean("admin", &config.admin)
+      .number("drain-timeout-ms", &config.drain_timeout_ms)
       .number("heartbeat-ms", &config.heartbeat_ms)
       .size_at_least("failure-threshold", 1, &config.failure_threshold)
       .number("connect-timeout-s", &config.connect_timeout_s)
@@ -77,6 +79,7 @@ void RouterConfig::validate() const {
             "quota values must be non-negative");
   ABP_CHECK(quota_burst == 0.0 || quota_rps > 0.0,
             "--quota-burst requires --quota-rps > 0");
+  ABP_CHECK(drain_timeout_ms > 0.0, "--drain-timeout-ms must be positive");
 }
 
 BackendPoolOptions RouterConfig::pool_options() const {
@@ -95,6 +98,8 @@ Router::Options RouterConfig::router_options() const {
   options.cache_entries = cache ? cache_entries : 0;
   options.quota.rps = quota_rps;
   options.quota.burst = quota_burst;
+  options.admin = admin;
+  options.drain_timeout_ms = drain_timeout_ms;
   return options;
 }
 

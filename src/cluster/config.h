@@ -44,6 +44,11 @@ struct RouterConfig {
   /// 0 rps = quotas off, 0 burst = defaults to rps.
   double quota_rps = 0.0;
   double quota_burst = 0.0;
+  /// Membership admin plane (`--admin 0` rejects the `admin` endpoint on
+  /// routers that must stay immutable).
+  bool admin = true;
+  /// Upper bound on a drain's wait for the victim's FIFO to empty.
+  double drain_timeout_ms = 5000.0;
   /// Heartbeat probe cadence.
   double heartbeat_ms = 1000.0;
   /// Consecutive failures that trip a backend's breaker.

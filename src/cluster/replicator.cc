@@ -8,11 +8,11 @@
 
 namespace abp::cluster {
 
-Replicator::Replicator(BackendPool& pool, const HashRing& ring,
+Replicator::Replicator(BackendPool& pool, const MembershipTable& membership,
                        std::size_t replication,
                        serve::RouterMetrics& metrics, std::size_t log_retain)
     : pool_(&pool),
-      ring_(&ring),
+      membership_(&membership),
       replication_(replication ? replication : 1),
       metrics_(&metrics),
       log_(log_retain) {}
@@ -61,7 +61,7 @@ std::string Replicator::list_text() const {
 }
 
 std::vector<std::string> Replicator::owners(const std::string& name) const {
-  return ring_->owners(name, replication_);
+  return membership_->view()->ring.owners(name, replication_);
 }
 
 serve::Request Replicator::install_request(const std::string& name) const {

@@ -35,6 +35,7 @@
 
 #include "cluster/backend_pool.h"
 #include "cluster/deployment_filter.h"
+#include "cluster/membership.h"
 #include "cluster/mutation_log.h"
 #include "cluster/ring.h"
 
@@ -43,9 +44,11 @@ namespace abp::cluster {
 class Replicator {
  public:
   /// `replication` is the owner count per deployment (clamped to ring
-  /// size); `log_retain` bounds the per-deployment replay window.
-  Replicator(BackendPool& pool, const HashRing& ring, std::size_t replication,
-             serve::RouterMetrics& metrics,
+  /// size); `log_retain` bounds the per-deployment replay window. Placement
+  /// follows `membership`'s *published view*, so owner sets track live
+  /// epoch flips without any replicator-side locking.
+  Replicator(BackendPool& pool, const MembershipTable& membership,
+             std::size_t replication, serve::RouterMetrics& metrics,
              std::size_t log_retain = MutationLog::kDefaultRetain);
 
   /// Register (or replace) a deployment's field snapshot; bumps the version
@@ -72,8 +75,13 @@ class Replicator {
   /// One name per line (the router serves `list-fields` locally from this).
   std::string list_text() const;
 
-  /// Owners of `name` under this replicator's replication factor.
+  /// Owners of `name` under this replicator's replication factor, per the
+  /// membership table's current view.
   std::vector<std::string> owners(const std::string& name) const;
+
+  /// The configured owner count per deployment (the ring clamps it when
+  /// fewer backends are active).
+  std::size_t replication() const { return replication_; }
 
   /// Push every deployment to all its owners; blocks until each install is
   /// acknowledged or failed. Returns the number of successful installs.
@@ -105,7 +113,7 @@ class Replicator {
                       std::uint64_t have_version);
 
   BackendPool* pool_;
-  const HashRing* ring_;
+  const MembershipTable* membership_;
   std::size_t replication_;
   serve::RouterMetrics* metrics_;
   MutationLog log_;

@@ -17,16 +17,34 @@ void HashRing::add_node(const std::string& node) {
   const std::uint64_t base = hash_key(node);
   for (std::size_t i = 0; i < vnodes_; ++i) {
     // Collisions between virtual points are vanishingly rare but would
-    // silently drop a point via operator[]; emplace keeps the first owner
-    // deterministically (ties broken by insertion order = sorted adds).
-    ring_.emplace(stable_hash64(base, static_cast<std::uint64_t>(i)), node);
+    // silently drop a point via operator[]. Ties go to the
+    // lexicographically smaller name — a rule independent of insertion
+    // order, so the ring is a pure function of the node *set* (live
+    // membership changes add nodes in arbitrary order).
+    auto [it, inserted] =
+        ring_.emplace(stable_hash64(base, static_cast<std::uint64_t>(i)),
+                      node);
+    if (!inserted && node < it->second) it->second = node;
   }
 }
 
 void HashRing::remove_node(const std::string& node) {
   if (nodes_.erase(node) == 0) return;
-  for (auto it = ring_.begin(); it != ring_.end();) {
-    it = it->second == node ? ring_.erase(it) : std::next(it);
+  // Rebuild rather than erase: if `node` won a collision point, the losing
+  // node's virtual point must resurface, which a point-erase would drop.
+  rebuild();
+}
+
+void HashRing::rebuild() {
+  ring_.clear();
+  for (const std::string& node : nodes_) {
+    const std::uint64_t base = hash_key(node);
+    for (std::size_t i = 0; i < vnodes_; ++i) {
+      auto [it, inserted] =
+          ring_.emplace(stable_hash64(base, static_cast<std::uint64_t>(i)),
+                        node);
+      if (!inserted && node < it->second) it->second = node;
+    }
   }
 }
 
@@ -59,6 +77,31 @@ std::vector<std::string> HashRing::owners(std::string_view key,
     if (!seen) result.push_back(it->second);
   }
   return result;
+}
+
+bool HashRing::Transfer::gained_by(const std::string& node) const {
+  const auto in = [&node](const std::vector<std::string>& owners) {
+    for (const std::string& owner : owners) {
+      if (owner == node) return true;
+    }
+    return false;
+  };
+  return in(new_owners) && !in(old_owners);
+}
+
+std::vector<HashRing::Transfer> HashRing::transfer_set(
+    const HashRing& from, const HashRing& to,
+    const std::vector<std::string>& keys, std::size_t replicas) {
+  std::vector<Transfer> transfers;
+  for (const std::string& key : keys) {
+    Transfer transfer;
+    transfer.old_owners = from.owners(key, replicas);
+    transfer.new_owners = to.owners(key, replicas);
+    if (transfer.old_owners == transfer.new_owners) continue;
+    transfer.key = key;
+    transfers.push_back(std::move(transfer));
+  }
+  return transfers;
 }
 
 }  // namespace abp::cluster

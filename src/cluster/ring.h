@@ -47,7 +47,30 @@ class HashRing {
   /// Stable 64-bit digest used for both keys and virtual points.
   static std::uint64_t hash_key(std::string_view key);
 
+  /// One key whose owner set differs between two rings. Owner lists are in
+  /// preference order, exactly as `owners()` returns them.
+  struct Transfer {
+    std::string key;
+    std::vector<std::string> old_owners;
+    std::vector<std::string> new_owners;
+
+    /// True if `node` owns the key in the new ring but not the old one —
+    /// i.e. the key's state must be shipped to `node` before the new ring
+    /// goes live.
+    bool gained_by(const std::string& node) const;
+  };
+
+  /// The deterministic remap diff between two rings: every key (in input
+  /// order) whose owner list under `replicas` differs between `from` and
+  /// `to`. Pure function of its inputs — a restarted controller computes
+  /// the identical transfer set, so handoff plans are reproducible.
+  static std::vector<Transfer> transfer_set(
+      const HashRing& from, const HashRing& to,
+      const std::vector<std::string>& keys, std::size_t replicas);
+
  private:
+  void rebuild();
+
   std::size_t vnodes_;
   std::map<std::uint64_t, std::string> ring_;  ///< point → backend
   std::set<std::string> nodes_;

@@ -28,10 +28,10 @@ std::string rejection_payload(std::uint64_t seq, serve::Status status,
 
 }  // namespace
 
-Router::Router(const HashRing& ring, BackendPool& pool,
+Router::Router(MembershipTable& membership, BackendPool& pool,
                Replicator& replicator, serve::RouterMetrics& metrics,
                Options options)
-    : ring_(&ring),
+    : membership_(&membership),
       pool_(&pool),
       replicator_(&replicator),
       metrics_(&metrics),
@@ -42,6 +42,25 @@ Router::Router(const HashRing& ring, BackendPool& pool,
   if (options_.quota.enabled()) {
     quotas_ = std::make_unique<serve::PrincipalQuotas>(options_.quota);
   }
+  MembershipController::Options admin_options;
+  admin_options.handoff_rounds = options_.handoff_rounds;
+  admin_options.drain_timeout_ms = options_.drain_timeout_ms;
+  admin_options.clock_ms = options_.clock_ms;
+  admin_ = std::make_unique<MembershipController>(
+      *membership_, *pool_, *replicator_, *metrics_,
+      std::move(admin_options));
+  // Ring flips run inside the write mutex: a write reads its membership
+  // view under the same lock, so the owner set, quorum and fan-out of
+  // every write belong to exactly one epoch.
+  admin_->set_write_fence([this](const std::function<void()>& fn) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    fn();
+  });
+  admin_->set_invalidate([this](const std::string& deployment) {
+    if (cache_) {
+      metrics_->record_cache_invalidation(cache_->invalidate(deployment));
+    }
+  });
 }
 
 double Router::now_ms() const {
@@ -82,6 +101,9 @@ void Router::submit(std::string payload,
     switch (request->endpoint) {
       case serve::Endpoint::kStats:
         answer_local(request->seq, metrics_->render_text(), reply);
+        return;
+      case serve::Endpoint::kAdmin:
+        handle_admin(*request, reply);
         return;
       default:
         answer_local(request->seq, replicator_->list_text(), reply);
@@ -166,6 +188,44 @@ void Router::submit(std::string payload,
   state->owners = replicator_->owners(state->request.field);
   state->reply = std::move(reply);
   route(std::move(state), /*is_retry=*/false);
+}
+
+void Router::handle_admin(const serve::Request& request,
+                          const std::function<void(std::string)>& reply) {
+  metrics_->record_local();
+  if (!options_.admin) {
+    reply(rejection_payload(request.seq, serve::Status::kBadRequest,
+                            "admin endpoint disabled on this router"));
+    return;
+  }
+  std::string backend = request.text;
+  while (!backend.empty() &&
+         (backend.back() == '\n' || backend.back() == '\r' ||
+          backend.back() == ' ')) {
+    backend.pop_back();
+  }
+  AdminResult result;
+  if (request.algorithm == "status") {
+    result = admin_->status();
+  } else if (request.algorithm == "add") {
+    result = admin_->add(backend);
+  } else if (request.algorithm == "drain") {
+    result = admin_->drain(backend);
+  } else {
+    reply(rejection_payload(request.seq, serve::Status::kBadRequest,
+                            "admin verb must be add|drain|status (got '" +
+                                request.algorithm + "')"));
+    return;
+  }
+  if (!result.ok) {
+    reply(rejection_payload(request.seq, result.status, result.message));
+    return;
+  }
+  serve::Response response;
+  response.seq = request.seq;
+  response.status = serve::Status::kOk;
+  response.text = std::move(result.text);
+  reply(serve::format_response_capped(response));
 }
 
 void Router::shed_overloaded(std::string payload,
@@ -336,8 +396,20 @@ void Router::route_write(serve::Request request,
                             "too many points in one request"));
     return;
   }
+  const std::uint64_t request_id =
+      options_.dedup ? request.request_id : 0;
+  // Dedup lookup, append and fan-out share one lock: two concurrent
+  // deliveries of the same id must serialize into "one appends, the other
+  // hits the index", and concurrent writes must enter every backend FIFO
+  // in version order.
+  std::lock_guard<std::mutex> lock(write_mu_);
+  // One membership view per write, read under the same mutex the admin
+  // plane's ring flips hold: the owner set, quorum and fan-out all belong
+  // to a single epoch, and a write admitted against the old epoch has
+  // fully entered the backend FIFOs before the flip can proceed.
+  const std::shared_ptr<const MembershipView> view = membership_->view();
   const std::vector<std::string> owners =
-      replicator_->owners(request.field);
+      view->ring.owners(request.field, replicator_->replication());
   const std::size_t majority = owners.size() / 2 + 1;
   const std::size_t quorum =
       options_.write_quorum == 0
@@ -347,13 +419,6 @@ void Router::route_write(serve::Request request,
   for (const std::string& backend : owners) {
     if (pool_->health(backend) != BackendHealth::kOpen) ++live;
   }
-  const std::uint64_t request_id =
-      options_.dedup ? request.request_id : 0;
-  // Dedup lookup, append and fan-out share one lock: two concurrent
-  // deliveries of the same id must serialize into "one appends, the other
-  // hits the index", and concurrent writes must enter every backend FIFO
-  // in version order.
-  std::lock_guard<std::mutex> lock(write_mu_);
   MutationLog& log = replicator_->log();
   if (request_id != 0) {
     if (const std::optional<MutationLog::DedupHit> hit =

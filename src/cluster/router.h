@@ -84,6 +84,7 @@
 #include <vector>
 
 #include "cluster/backend_pool.h"
+#include "cluster/membership.h"
 #include "cluster/replicator.h"
 #include "cluster/response_cache.h"
 #include "cluster/ring.h"
@@ -114,16 +115,30 @@ struct RouterOptions {
   serve::QuotaOptions quota;
   /// Injectable monotonic clock (milliseconds); defaults to steady_clock.
   std::function<double()> clock_ms;
+  /// Membership admin plane (`abp route-admin`): `--admin 0` rejects the
+  /// `admin` endpoint outright on routers that must stay immutable.
+  bool admin = true;
+  /// Suffix catch-up rounds a joiner gets before the fenced activation.
+  std::size_t handoff_rounds = 4;
+  /// Upper bound on the drain path's wait for a victim's FIFO to empty.
+  double drain_timeout_ms = 5000.0;
 };
 
 class Router final : public serve::FrameSink {
  public:
   using Options = RouterOptions;
 
-  /// The ring must not change while the router serves (placement is
-  /// startup-static in this PR).
-  Router(const HashRing& ring, BackendPool& pool, Replicator& replicator,
-         serve::RouterMetrics& metrics, Options options = {});
+  /// Placement follows `membership`'s published view, which the router's
+  /// own admin plane may flip while serving — the write path reads one
+  /// view per write under `write_mu_`, and membership flips run inside
+  /// that same mutex, so every write belongs to exactly one ring epoch.
+  Router(MembershipTable& membership, BackendPool& pool,
+         Replicator& replicator, serve::RouterMetrics& metrics,
+         Options options = {});
+
+  /// The membership controller behind the `admin` endpoint (tests and the
+  /// CLI may drive it directly).
+  MembershipController& membership_controller() { return *admin_; }
 
   void submit(std::string payload,
               std::function<void(std::string)> reply) override;
@@ -179,6 +194,12 @@ class Router final : public serve::FrameSink {
   void answer_local(std::uint64_t seq, std::string text,
                     const std::function<void(std::string)>& reply);
 
+  /// Membership admin plane: verb in `algorithm`, backend address in the
+  /// text block. Runs synchronously on the submit thread so the response
+  /// reports the completed (or rolled-back) transition.
+  void handle_admin(const serve::Request& request,
+                    const std::function<void(std::string)>& reply);
+
   /// Write path: append to the mutation log, fan the mutation out to all
   /// owners, ack the client on quorum.
   void route_write(serve::Request request,
@@ -192,13 +213,15 @@ class Router final : public serve::FrameSink {
   void write_failure(const std::shared_ptr<WriteState>& state,
                      const std::string& backend);
 
-  const HashRing* ring_;
+  MembershipTable* membership_;
   BackendPool* pool_;
   Replicator* replicator_;
   serve::RouterMetrics* metrics_;
   Options options_;
   std::unique_ptr<ResponseCache> cache_;          ///< null when disabled
   std::unique_ptr<serve::PrincipalQuotas> quotas_;  ///< null when off
+  /// The admin plane, fenced on write_mu_ for its ring flips.
+  std::unique_ptr<MembershipController> admin_;
   /// Serializes append + fan-out so mutations enter every backend FIFO in
   /// version order (the backends' fences would self-heal a reorder, but
   /// in-order delivery keeps the common path repair-free).

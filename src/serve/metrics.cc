@@ -345,6 +345,56 @@ void RouterMetrics::record_quota_shed(std::uint64_t principal) {
   ++principals_[principal].second;
 }
 
+void RouterMetrics::set_membership(std::uint64_t epoch, std::uint64_t active,
+                                   std::uint64_t joining,
+                                   std::uint64_t draining) {
+  std::lock_guard<std::mutex> lock(mu_);
+  membership_epoch_ = epoch;
+  membership_active_ = active;
+  membership_joining_ = joining;
+  membership_draining_ = draining;
+}
+
+void RouterMetrics::record_handoff_snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++handoff_snapshots_;
+}
+
+void RouterMetrics::record_handoff_replay() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++handoff_replays_;
+}
+
+std::uint64_t RouterMetrics::membership_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return membership_epoch_;
+}
+
+std::uint64_t RouterMetrics::membership_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return membership_active_;
+}
+
+std::uint64_t RouterMetrics::membership_joining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return membership_joining_;
+}
+
+std::uint64_t RouterMetrics::membership_draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return membership_draining_;
+}
+
+std::uint64_t RouterMetrics::handoff_snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return handoff_snapshots_;
+}
+
+std::uint64_t RouterMetrics::handoff_replays() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return handoff_replays_;
+}
+
 BackendSnapshot RouterMetrics::backend_snapshot(
     const std::string& backend) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -475,6 +525,12 @@ MetricsSnapshot RouterMetrics::snapshot() const {
   snap.set_count("cache.invalidations", cache_invalidations_);
   snap.set_count("cache.entries-invalidated", cache_entries_invalidated_);
   snap.set_count("quota.sheds", quota_sheds_);
+  snap.set_count("membership.epoch", membership_epoch_);
+  snap.set_count("membership.active", membership_active_);
+  snap.set_count("membership.joining", membership_joining_);
+  snap.set_count("membership.draining", membership_draining_);
+  snap.set_count("handoff.snapshots", handoff_snapshots_);
+  snap.set_count("handoff.replays", handoff_replays_);
   for (const auto& [id, counts] : principals_) {
     const std::string prefix = "principal." + std::to_string(id) + '.';
     snap.set_count(prefix + "received", counts.first);

@@ -213,6 +213,17 @@ class RouterMetrics {
   void record_filter_reject();
   /// Per-principal quota shed: the bucket for `principal` was empty.
   void record_quota_shed(std::uint64_t principal);
+  /// Membership control plane: the current ring epoch and per-state member
+  /// counts — gauges, replaced whole on every transition so the stats
+  /// output always reflects the live table.
+  void set_membership(std::uint64_t epoch, std::uint64_t active,
+                      std::uint64_t joining, std::uint64_t draining);
+  /// Handoff shipments to a joining (or ownership-gaining) backend: one
+  /// `handoff_snapshot` per blocking full-state install, one
+  /// `handoff_replay` per mutation-log suffix replayed to close the gap
+  /// that opened while the snapshot shipped.
+  void record_handoff_snapshot();
+  void record_handoff_replay();
 
   BackendSnapshot backend_snapshot(const std::string& backend) const;
   std::uint64_t received() const;
@@ -231,6 +242,12 @@ class RouterMetrics {
   std::uint64_t quota_sheds() const;
   std::uint64_t principal_received(std::uint64_t principal) const;
   std::uint64_t principal_quota_sheds(std::uint64_t principal) const;
+  std::uint64_t membership_epoch() const;
+  std::uint64_t membership_active() const;
+  std::uint64_t membership_joining() const;
+  std::uint64_t membership_draining() const;
+  std::uint64_t handoff_snapshots() const;
+  std::uint64_t handoff_replays() const;
 
   /// Uniform snapshot of every counter (schema `abp-route-stats 1`).
   MetricsSnapshot snapshot() const;
@@ -255,6 +272,12 @@ class RouterMetrics {
   std::uint64_t cache_entries_invalidated_ = 0;
   std::uint64_t filter_rejects_ = 0;
   std::uint64_t quota_sheds_ = 0;
+  std::uint64_t membership_epoch_ = 0;
+  std::uint64_t membership_active_ = 0;
+  std::uint64_t membership_joining_ = 0;
+  std::uint64_t membership_draining_ = 0;
+  std::uint64_t handoff_snapshots_ = 0;
+  std::uint64_t handoff_replays_ = 0;
   /// principal id -> {received, quota sheds}; anonymous traffic is id 0.
   std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
       principals_;

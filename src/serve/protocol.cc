@@ -126,6 +126,7 @@ const char* endpoint_name(Endpoint endpoint) {
     case Endpoint::kListFields: return "list-fields";
     case Endpoint::kMutate: return "mutate";
     case Endpoint::kVersion: return "version";
+    case Endpoint::kAdmin: return "admin";
   }
   return "unknown";
 }
@@ -148,6 +149,11 @@ constexpr EndpointTraits kEndpointTraitsTable[] = {
     {Endpoint::kListFields,   true,  false, false, false, true,  false},
     {Endpoint::kMutate,       true,  false, true,  true,  false, false},
     {Endpoint::kVersion,      true,  false, false, false, false, false},
+    // admin is answered by the router's own membership controller
+    // (router_local) and never accepted by a backend (internal_only); it is
+    // deliberately non-idempotent — a blind re-send of `add` must fail
+    // loudly rather than double-run a handoff — and never cacheable.
+    {Endpoint::kAdmin,        false, false, false, true,  true,  false},
 };
 
 static_assert(std::size(kEndpointTraitsTable) == std::size(kAllEndpoints),

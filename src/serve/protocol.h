@@ -93,13 +93,15 @@ enum class Endpoint {
   kListFields, ///< names of loaded deployments
   kMutate,     ///< replicated write: apply one logged mutation at a version
   kVersion,    ///< cheap deployment-version probe (no snapshot body)
+  kAdmin,      ///< membership control plane (add/drain/status); router-only
 };
 
 /// All endpoints, for iteration (metrics tables, fuzzing).
 inline constexpr Endpoint kAllEndpoints[] = {
     Endpoint::kLocalize,  Endpoint::kErrorAt,  Endpoint::kPropose,
     Endpoint::kAddBeacon, Endpoint::kSnapshot, Endpoint::kStats,
-    Endpoint::kListFields, Endpoint::kMutate,  Endpoint::kVersion};
+    Endpoint::kListFields, Endpoint::kMutate,  Endpoint::kVersion,
+    Endpoint::kAdmin};
 
 enum class Status {
   kOk,

@@ -155,6 +155,12 @@ Response LocalizationService::handle(const Request& request) {
     default:
       break;
   }
+  if (request.endpoint == Endpoint::kAdmin) {
+    // Membership is a router concern; a direct server has no table to
+    // mutate. Terminal bad-request, never retryable.
+    return error_response(request, Status::kBadRequest,
+                          "admin is a router-only endpoint");
+  }
   if (request.endpoint == Endpoint::kSnapshot && !request.text.empty()) {
     return install_snapshot(request);
   }

@@ -17,6 +17,7 @@
 ///    client ever seeing `version-mismatch`.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <future>
 #include <map>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "cluster/backend_pool.h"
+#include "cluster/membership.h"
 #include "cluster/replicator.h"
 #include "cluster/ring.h"
 #include "cluster/router.h"
@@ -64,9 +66,8 @@ struct FaultCluster {
                ScriptFn scripts, serve::ManualClock* clock = nullptr,
                BackendPoolOptions pool_options = {},
                std::size_t log_retain = MutationLog::kDefaultRetain)
-      : backend_names(names) {
+      : backend_names(names), membership(names) {
     for (const std::string& name : names) {
-      ring.add_node(name);
       auto& backend = backends[name];
       backend.service = std::make_unique<serve::LocalizationService>(
           harness_service_config());
@@ -83,12 +84,12 @@ struct FaultCluster {
           return std::make_unique<serve::FaultTransport>(
               *backend.server, scripts(name, index));
         });
-    replicator = std::make_unique<Replicator>(*pool, ring, replication,
+    replicator = std::make_unique<Replicator>(*pool, membership, replication,
                                               metrics, log_retain);
     pool->set_recovery_callback([this](const std::string& backend) {
       replicator->sync_backend(backend);
     });
-    router = std::make_unique<Router>(ring, *pool, *replicator, metrics);
+    router = std::make_unique<Router>(membership, *pool, *replicator, metrics);
     pool->start();
     replicator->set_deployment("default", field_text());
   }
@@ -112,7 +113,7 @@ struct FaultCluster {
   };
 
   std::vector<std::string> backend_names;
-  HashRing ring;
+  MembershipTable membership;
   serve::RouterMetrics metrics;
   std::map<std::string, Backend> backends;
   std::unique_ptr<BackendPool> pool;
@@ -787,6 +788,196 @@ TEST(ClusterChaos, ReadInsideTheWriteAckNeverSeesStaleCache) {
   // ack-released rereads can never be stale hits, because their fence moved.
   EXPECT_EQ(cluster.metrics.cache_hits() + cluster.metrics.cache_misses(),
             2u * kRounds);
+}
+
+TEST(ClusterChaos, JoinerKilledMidHandoffRollsBackThenReaddSucceeds) {
+  // The joiner dies while the controller is shipping it snapshots (phase 1
+  // of the handoff). The add must fail retryable, roll the table AND the
+  // pool back to exactly the pre-add state — no half-joined member, no
+  // epoch bump, no stray pool entry — and a later re-add of the revived
+  // backend must succeed from scratch.
+  ClusterSim cluster({"b1", "b2"}, /*replication=*/3);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+
+  BackendSim& joiner = cluster.add_sim("b3");
+  joiner.dead = true;  // the very first snapshot install hits a dead peer
+
+  const serve::Response response = cluster.admin("add", "b3");
+  EXPECT_EQ(response.status, serve::Status::kUnavailable);
+  EXPECT_NE(response.message.find("join rolled back"), std::string::npos);
+  EXPECT_EQ(cluster.membership.epoch(), 1u) << "failed join must not flip";
+  EXPECT_EQ(cluster.membership.view()->members.count("b3"), 0u);
+  EXPECT_FALSE(cluster.membership.view()->ring.contains("b3"));
+  EXPECT_EQ(cluster.pool->health("b3"), BackendHealth::kOpen)
+      << "rollback must evict the joiner from the pool";
+
+  // The cluster it left behind still serves cleanly.
+  const auto read = serve::parse_response(cluster.call(localize_request(1)));
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->status, serve::Status::kOk);
+
+  // Revive and retry: the transfer plan is recomputed from scratch, so the
+  // second attempt owes nothing to the failed first.
+  joiner.dead = false;
+  const serve::Response retry = cluster.admin("add", "b3");
+  ASSERT_EQ(retry.status, serve::Status::kOk) << retry.message;
+  EXPECT_EQ(cluster.membership.epoch(), 2u);
+  EXPECT_TRUE(cluster.membership.view()->ring.contains("b3"));
+  EXPECT_EQ(cluster.sim("b3").service.field_version("default"),
+            cluster.replicator->version("default"));
+}
+
+TEST(ClusterChaos, CrashedBackendCanStillBeDrained) {
+  // Decommissioning a dead node: the victim crashes, then the operator
+  // drains it. Handoff snapshots go to the *gaining* owners (all alive), a
+  // dead peer's FIFO fails fast rather than stalling the queue-idle wait,
+  // and the drain completes — the control plane must never require a
+  // crashed backend's cooperation to remove it.
+  ClusterSim cluster({"b1", "b2", "b3"}, /*replication=*/2);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+
+  const std::string victim = cluster.replicator->owners("default")[0];
+  cluster.sim(victim).dead = true;
+
+  const serve::Response response = cluster.admin("drain", victim);
+  ASSERT_EQ(response.status, serve::Status::kOk) << response.message;
+  EXPECT_EQ(cluster.membership.epoch(), 2u);
+  EXPECT_EQ(cluster.membership.view()->members.count(victim), 0u);
+
+  // The survivors own the deployment at the current version and serve both
+  // planes.
+  const auto owners = cluster.replicator->owners("default");
+  EXPECT_EQ(std::find(owners.begin(), owners.end(), victim), owners.end());
+  for (const std::string& owner : owners) {
+    EXPECT_EQ(cluster.sim(owner).service.field_version("default"),
+              cluster.replicator->version("default"))
+        << owner;
+  }
+  const auto read = serve::parse_response(cluster.call(localize_request(1)));
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->status, serve::Status::kOk);
+  const auto write =
+      serve::parse_response(cluster.call(add_beacon_request(2, {31, 7})));
+  ASSERT_TRUE(write.has_value());
+  EXPECT_EQ(write->status, serve::Status::kOk);
+}
+
+TEST(ClusterChaos, ScaleUpThenDrainUnderLoadIsExactlyOnce) {
+  // The acceptance drill: a 2-node cluster scales to 3 and back to 2 while
+  // a writer and a reader hammer it continuously. Requirements:
+  //  * zero non-retryable client failures across both transitions;
+  //  * zero lost or duplicated acked writes — the log's version advances
+  //    exactly once per logical write, however many retries delivery took;
+  //  * after both flips every owner replica is byte-identical to a
+  //    never-resized direct server that applied the same writes in order.
+  ClusterSim cluster({"b1", "b2"}, /*replication=*/2);
+  cluster.replicator->set_deployment("default", field_text());
+  ASSERT_EQ(cluster.replicator->sync_all(), 2u);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> acked{0};
+  std::atomic<std::uint64_t> non_retryable{0};
+  std::vector<Vec2> applied;  // writer-local until join; then the reference
+
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; !stop.load(); ++i) {
+      const Vec2 point{1.0 + double(i % 50), 2.0 + double(i / 50 % 50)};
+      serve::Request request = add_beacon_request(i, point);
+      request.request_id = 0xACE00000ull + i;  // stable across retries
+      bool landed = false;
+      for (int attempt = 0; attempt < 50; ++attempt) {
+        const auto response =
+            serve::parse_response(cluster.call(request));
+        if (response && response->status == serve::Status::kOk) {
+          landed = true;
+          break;
+        }
+        if (!response || !serve::status_retryable(response->status)) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (!landed) {
+        ++non_retryable;
+        continue;
+      }
+      applied.push_back(point);
+      ++acked;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::thread reader([&] {
+    for (std::uint64_t i = 1; !stop.load(); ++i) {
+      const auto response =
+          serve::parse_response(cluster.call(localize_request(5000 + i)));
+      if (!response || (response->status != serve::Status::kOk &&
+                        !serve::status_retryable(response->status))) {
+        ++non_retryable;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // Scale up once writes are demonstrably in flight.
+  ASSERT_TRUE(wait_until([&] { return acked.load() >= 5; }));
+  cluster.add_sim("b3");
+  const serve::Response grow = cluster.admin("add", "b3");
+  ASSERT_EQ(grow.status, serve::Status::kOk) << grow.message;
+  EXPECT_EQ(cluster.membership.epoch(), 2u);
+
+  // Let load run on the 3-node cluster, then drain the deployment's
+  // primary owner — guaranteed handoff under live writes.
+  const std::uint64_t at_grow = acked.load();
+  ASSERT_TRUE(wait_until([&] { return acked.load() >= at_grow + 5; }));
+  const std::string victim = cluster.replicator->owners("default")[0];
+  const serve::Response shrink = cluster.admin("drain", victim);
+  ASSERT_EQ(shrink.status, serve::Status::kOk) << shrink.message;
+  EXPECT_EQ(cluster.membership.epoch(), 3u);
+
+  // A few post-drain writes prove the shrunk cluster still acks.
+  const std::uint64_t at_drain = acked.load();
+  ASSERT_TRUE(wait_until([&] { return acked.load() >= at_drain + 5; }));
+  stop = true;
+  writer.join();
+  reader.join();
+
+  EXPECT_EQ(non_retryable.load(), 0u);
+  // Exactly-once: one log append per acked write, no extras from retries.
+  EXPECT_EQ(cluster.replicator->version("default"), 1 + applied.size());
+  EXPECT_EQ(cluster.metrics.writes(), applied.size());
+
+  // Byte-identity against a never-resized reference server that applied
+  // the same acked writes in the same (single-writer) order.
+  serve::LocalizationService reference(harness_service_config());
+  reference.add_field("default", harness_field());
+  for (std::size_t i = 0; i < applied.size(); ++i) {
+    serve::Request add = add_beacon_request(i + 1, applied[i]);
+    ASSERT_EQ(reference.handle(add).status, serve::Status::kOk);
+  }
+  const std::string expected = reference.handle(snapshot_fetch()).text;
+  EXPECT_EQ(cluster.replicator->log().snapshot("default").text, expected);
+  const auto owners = cluster.replicator->owners("default");
+  ASSERT_FALSE(owners.empty());
+  ASSERT_TRUE(wait_until([&] {
+    for (const std::string& owner : owners) {
+      if (cluster.sim(owner).service.field_version("default") !=
+          1 + applied.size()) {
+        return false;
+      }
+    }
+    return true;
+  }));
+  for (const std::string& owner : owners) {
+    EXPECT_EQ(cluster.sim(owner).service.handle(snapshot_fetch()).text,
+              expected)
+        << owner;
+  }
+  // A routed read after it all settles answers from the resized cluster
+  // with the reference bytes.
+  const auto routed = serve::parse_response(cluster.call(snapshot_fetch()));
+  ASSERT_TRUE(routed.has_value());
+  EXPECT_EQ(routed->status, serve::Status::kOk);
+  EXPECT_EQ(routed->text, expected);
 }
 
 TEST(ClusterChaos, StaleSnapshotRepairedInBand) {

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "cluster/backend_pool.h"
+#include "cluster/membership.h"
+#include "common/assert.h"
 #include "cluster/replicator.h"
 #include "cluster/ring.h"
 #include "cluster/router.h"
@@ -86,16 +88,15 @@ struct BackendSim {
   std::atomic<bool> dead{false};
 };
 
-/// N backends plus ring/pool/replicator/router wired like `abp route`.
+/// N backends plus membership/pool/replicator/router wired like `abp route`.
 struct ClusterSim {
   explicit ClusterSim(std::vector<std::string> names,
                       std::size_t replication = 1,
                       BackendPoolOptions pool_options = {},
                       RouterOptions router_options = {},
                       std::size_t log_retain = MutationLog::kDefaultRetain)
-      : backend_names(names), ring() {
+      : backend_names(names), membership(names) {
     for (const std::string& name : names) {
-      ring.add_node(name);
       sims.emplace(name, std::make_unique<BackendSim>());
     }
     pool = std::make_unique<BackendPool>(
@@ -104,13 +105,13 @@ struct ClusterSim {
           BackendSim& sim = *sims.at(backend);
           return std::make_unique<SwitchableTransport>(sim.server, sim.dead);
         });
-    replicator = std::make_unique<Replicator>(*pool, ring, replication,
+    replicator = std::make_unique<Replicator>(*pool, membership, replication,
                                               metrics, log_retain);
     pool->set_recovery_callback([this](const std::string& backend) {
       replicator->sync_backend(backend);
     });
-    router = std::make_unique<Router>(ring, *pool, *replicator, metrics,
-                                      std::move(router_options));
+    router = std::make_unique<Router>(membership, *pool, *replicator,
+                                      metrics, std::move(router_options));
     pool->start();
   }
 
@@ -127,10 +128,32 @@ struct ClusterSim {
     return future.get();
   }
 
+  /// Register a backend sim so the pool's transport factory can reach it.
+  /// Must run before `admin("add", name)` — the joining backend's first
+  /// snapshot install creates the transport.
+  BackendSim& add_sim(const std::string& name) {
+    auto [it, inserted] = sims.emplace(name, std::make_unique<BackendSim>());
+    (void)inserted;
+    return *it->second;
+  }
+
+  /// Drive the membership admin plane over the wire (the same payload the
+  /// `abp route-admin` CLI sends), returning the parsed response.
+  serve::Response admin(const std::string& verb,
+                        const std::string& backend = "") {
+    serve::Request request;
+    request.endpoint = serve::Endpoint::kAdmin;
+    request.algorithm = verb;
+    if (!backend.empty()) request.text = backend + "\n";
+    const auto response = serve::parse_response(call(request));
+    ABP_CHECK(response.has_value(), "unparseable admin response");
+    return *response;
+  }
+
   BackendSim& sim(const std::string& name) { return *sims.at(name); }
 
   std::vector<std::string> backend_names;
-  HashRing ring;
+  MembershipTable membership;
   serve::RouterMetrics metrics;
   std::map<std::string, std::unique_ptr<BackendSim>> sims;
   std::unique_ptr<BackendPool> pool;

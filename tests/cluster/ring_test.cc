@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -88,6 +89,130 @@ TEST(HashRing, DuplicateAddIsIdempotent) {
   ring.add_node("a");
   ring.add_node("a");
   EXPECT_EQ(ring.node_count(), 1u);
+}
+
+TEST(HashRing, InsertionOrderNeverChangesPlacement) {
+  // Vnode-point collisions are resolved by name, not by who inserted
+  // first: any permutation of adds — including interleaved removes and
+  // re-adds — must yield the identical owner table. This is what makes a
+  // live membership plane safe: the ring a joiner computes equals the ring
+  // the router computed, whatever order their histories ran in.
+  const std::vector<std::string> nodes = {"b0", "b1", "b2", "b3"};
+  std::vector<std::string> order = nodes;
+  std::map<std::string, std::vector<std::string>> reference;
+  {
+    HashRing ring;
+    for (const std::string& node : nodes) ring.add_node(node);
+    for (int i = 0; i < 100; ++i) {
+      const std::string key = "key-" + std::to_string(i);
+      reference[key] = ring.owners(key, 2);
+    }
+  }
+  int permutations = 0;
+  std::sort(order.begin(), order.end());
+  do {
+    HashRing ring;
+    for (const std::string& node : order) ring.add_node(node);
+    for (const auto& [key, owners] : reference) {
+      ASSERT_EQ(ring.owners(key, 2), owners)
+          << key << " under permutation " << permutations;
+    }
+    ++permutations;
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_EQ(permutations, 24);
+}
+
+TEST(HashRing, RemoveThenReaddRestoresTheExactTable) {
+  // A point-erase on remove would permanently drop a collision loser's
+  // vnode; the rebuild-on-remove keeps remove/re-add a true inverse.
+  HashRing ring;
+  for (const char* node : {"a", "b", "c"}) ring.add_node(node);
+  std::map<std::string, std::vector<std::string>> before;
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    before[key] = ring.owners(key, 2);
+  }
+  ring.remove_node("b");
+  ring.add_node("b");
+  for (const auto& [key, owners] : before) {
+    EXPECT_EQ(ring.owners(key, 2), owners) << key;
+  }
+}
+
+std::vector<std::string> test_keys(int n) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < n; ++i) keys.push_back("key-" + std::to_string(i));
+  return keys;
+}
+
+TEST(HashRing, TransferSetIsTheExactRemapDiff) {
+  HashRing before;
+  for (const char* node : {"a", "b", "c"}) before.add_node(node);
+  HashRing after = before;
+  after.add_node("d");
+  const std::vector<std::string> keys = test_keys(200);
+
+  const std::vector<HashRing::Transfer> transfers =
+      HashRing::transfer_set(before, after, keys, 2);
+  EXPECT_FALSE(transfers.empty()) << "a 3->4 resize must remap something";
+  std::set<std::string> moved;
+  for (const HashRing::Transfer& t : transfers) {
+    moved.insert(t.key);
+    EXPECT_EQ(t.old_owners, before.owners(t.key, 2)) << t.key;
+    EXPECT_EQ(t.new_owners, after.owners(t.key, 2)) << t.key;
+    EXPECT_NE(t.old_owners, t.new_owners) << t.key;
+    // Adding a node only ever *gains* ownership for that node.
+    EXPECT_TRUE(t.gained_by("d")) << t.key;
+    EXPECT_FALSE(t.gained_by("a") && t.old_owners != t.new_owners &&
+                 std::find(t.old_owners.begin(), t.old_owners.end(), "a") !=
+                     t.old_owners.end())
+        << t.key << ": a node cannot gain a key it already owned";
+  }
+  // Completeness: every key not in the set owns identically in both rings.
+  for (const std::string& key : keys) {
+    if (moved.count(key)) continue;
+    EXPECT_EQ(before.owners(key, 2), after.owners(key, 2)) << key;
+  }
+}
+
+TEST(HashRing, TransferSetIsDeterministicAndOrderPreserving) {
+  HashRing before;
+  for (const char* node : {"a", "b", "c", "d"}) before.add_node(node);
+  HashRing after = before;
+  after.remove_node("c");
+  const std::vector<std::string> keys = test_keys(200);
+
+  const auto first = HashRing::transfer_set(before, after, keys, 2);
+  const auto second = HashRing::transfer_set(before, after, keys, 2);
+  ASSERT_EQ(first.size(), second.size());
+  std::size_t last_index = 0;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].key, second[i].key);
+    EXPECT_EQ(first[i].old_owners, second[i].old_owners);
+    EXPECT_EQ(first[i].new_owners, second[i].new_owners);
+    // Input order preserved: keys appear in the order given.
+    const auto index = static_cast<std::size_t>(
+        std::find(keys.begin(), keys.end(), first[i].key) - keys.begin());
+    EXPECT_GE(index, last_index);
+    last_index = index;
+  }
+  // Draining `c` means every transfer lost `c` and gained someone else.
+  for (const auto& t : first) {
+    EXPECT_TRUE(std::find(t.old_owners.begin(), t.old_owners.end(), "c") !=
+                t.old_owners.end())
+        << t.key << ": only keys c owned may move on its removal";
+    EXPECT_TRUE(std::find(t.new_owners.begin(), t.new_owners.end(), "c") ==
+                t.new_owners.end())
+        << t.key;
+  }
+}
+
+TEST(HashRing, TransferSetBetweenIdenticalRingsIsEmpty) {
+  HashRing ring;
+  ring.add_node("a");
+  ring.add_node("b");
+  EXPECT_TRUE(
+      HashRing::transfer_set(ring, ring, test_keys(50), 2).empty());
 }
 
 }  // namespace

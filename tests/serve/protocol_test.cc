@@ -425,20 +425,28 @@ TEST(Protocol, EndpointTraitsCoverEveryEndpoint) {
   }
 }
 
-TEST(Protocol, AddBeaconIsTheOnlyNonIdempotentEndpoint) {
+TEST(Protocol, OnlyWritesAndAdminAreNonIdempotent) {
+  // add-beacon mints a new beacon per delivery; admin verbs transition the
+  // membership state machine, so a blind re-delivery could add or drain
+  // twice. Everything else may be retried freely.
   for (const Endpoint endpoint : kAllEndpoints) {
     EXPECT_EQ(endpoint_traits(endpoint).idempotent,
-              endpoint != Endpoint::kAddBeacon)
+              endpoint != Endpoint::kAddBeacon &&
+                  endpoint != Endpoint::kAdmin)
         << endpoint_name(endpoint);
   }
 }
 
 TEST(Protocol, EndpointTraitsEncodeLayerPolicy) {
   // Cacheable ⊂ idempotent and read-only: exactly the deterministic point
-  // queries. Mutating: the write path pair. Internal-only: replication
-  // machinery a router must refuse from clients. Batchable == cacheable
-  // here by coincidence of both being the point queries, asserted
-  // separately so a future divergence is a conscious choice.
+  // queries. Mutating: the write path pair (admin mutates *membership*, not
+  // deployment state, so it is deliberately not `mutating`). Internal-only:
+  // replication machinery plus the membership plane — never client-facing.
+  // Router-local: answered by the router itself; admin is both router-local
+  // and internal-only, so the router answers it and a direct backend
+  // rejects it. Batchable == cacheable here by coincidence of both being
+  // the point queries, asserted separately so a future divergence is a
+  // conscious choice.
   for (const Endpoint endpoint : kAllEndpoints) {
     const EndpointTraits& traits = endpoint_traits(endpoint);
     const bool point_query = endpoint == Endpoint::kLocalize ||
@@ -448,12 +456,16 @@ TEST(Protocol, EndpointTraitsEncodeLayerPolicy) {
     EXPECT_EQ(traits.mutating, endpoint == Endpoint::kAddBeacon ||
                                    endpoint == Endpoint::kMutate)
         << endpoint_name(endpoint);
-    EXPECT_EQ(traits.internal_only, endpoint == Endpoint::kMutate)
+    EXPECT_EQ(traits.internal_only, endpoint == Endpoint::kMutate ||
+                                        endpoint == Endpoint::kAdmin)
         << endpoint_name(endpoint);
     EXPECT_EQ(traits.router_local, endpoint == Endpoint::kStats ||
-                                       endpoint == Endpoint::kListFields)
+                                       endpoint == Endpoint::kListFields ||
+                                       endpoint == Endpoint::kAdmin)
         << endpoint_name(endpoint);
-    if (traits.cacheable) EXPECT_TRUE(traits.idempotent);
+    if (traits.cacheable) {
+      EXPECT_TRUE(traits.idempotent) << endpoint_name(endpoint);
+    }
   }
 }
 

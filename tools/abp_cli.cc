@@ -22,6 +22,7 @@
 ///                [--quota-rps R [--quota-burst B]]
 ///                [--heartbeat-ms H] [--port P]
 ///                [--transport threaded|epoll]
+///   abp route-admin add|drain|status --connect H:P [--backend H:P]
 ///   abp query    --type localize|error-at|propose|add-beacon|snapshot|
 ///                stats|list-fields [--points "x,y;x,y"] [--algorithm A]
 ///                [--name default] [--count K] [--principal ID]
@@ -59,6 +60,7 @@
 #include "robot/surveyor.h"
 #include "cluster/backend_pool.h"
 #include "cluster/config.h"
+#include "cluster/membership.h"
 #include "cluster/replicator.h"
 #include "cluster/ring.h"
 #include "cluster/router.h"
@@ -105,6 +107,9 @@ int usage() {
          "[--port P]\n"
          "           [--max-inflight I] [--retry-after-ms H] "
          "[--connect-timeout-s C]\n"
+         "           [--admin 0|1] [--drain-timeout-ms D]\n"
+         "  route-admin add|drain|status --connect HOST:PORT "
+         "[--backend HOST:PORT] [--timeout-s T]\n"
          "  query    --type T [--points \"x,y;x,y\"] [--algorithm A] "
          "[--name N] [--count K]\n"
          "           [--principal ID] [--deadline-ms D] [--retries R] "
@@ -456,16 +461,15 @@ int cmd_route(const Flags& flags) {
   write_field(field_text, field);
 
   serve::RouterMetrics metrics;
-  cluster::HashRing ring;
-  for (const std::string& backend : config.backends) ring.add_node(backend);
+  cluster::MembershipTable membership(config.backends);
   cluster::BackendPool pool(config.backends, config.pool_options(), metrics);
-  cluster::Replicator replicator(pool, ring, config.replication, metrics,
-                                 config.log_retain);
+  cluster::Replicator replicator(pool, membership, config.replication,
+                                 metrics, config.log_retain);
   pool.set_recovery_callback(
       [&replicator](const std::string& backend) {
         replicator.sync_backend(backend);
       });
-  cluster::Router router(ring, pool, replicator, metrics,
+  cluster::Router router(membership, pool, replicator, metrics,
                          config.router_options());
 
   pool.start();
@@ -496,6 +500,49 @@ int cmd_route(const Flags& flags) {
   pool.stop();
   std::cout << metrics.render_text();
   return 0;
+}
+
+int cmd_route_admin(const Flags& flags) {
+  // Verb-first shape: `abp route-admin add --connect H:P --backend H2:P2`.
+  const std::vector<std::string>& positional = flags.positional();
+  ABP_CHECK(positional.size() == 1,
+            "route-admin wants exactly one verb: add|drain|status");
+  const std::string& verb = positional.front();
+  ABP_CHECK(verb == "add" || verb == "drain" || verb == "status",
+            "route-admin verb must be add|drain|status (got '" + verb + "')");
+  const std::string connect = flags.get_string("connect", "");
+  const std::string backend = flags.get_string("backend", "");
+  // Handoffs ship snapshots and wait for drains, so the default response
+  // wait is generous compared to query's.
+  const double timeout_s = flags.get_double("timeout-s", 60.0);
+  flags.check_unused();
+  ABP_CHECK(!connect.empty(), "route-admin requires --connect HOST:PORT");
+  if (verb == "status") {
+    ABP_CHECK(backend.empty(), "route-admin status takes no --backend");
+  } else {
+    ABP_CHECK(!backend.empty(),
+              "route-admin " + verb + " requires --backend HOST:PORT");
+    cluster::parse_backend_address(backend);  // reject bad shapes client-side
+  }
+
+  const auto colon = connect.rfind(':');
+  ABP_CHECK(colon != std::string::npos, "--connect wants HOST:PORT");
+  const std::string host = connect.substr(0, colon);
+  std::istringstream port_is(connect.substr(colon + 1));
+  std::uint16_t port = 0;
+  port_is >> port;
+  ABP_CHECK(!port_is.fail() && port_is.eof() && port != 0,
+            "bad --connect port");
+
+  serve::Request request;
+  request.endpoint = serve::Endpoint::kAdmin;
+  request.algorithm = verb;  // the verb rides the free-form algorithm record
+  if (!backend.empty()) request.text = backend + "\n";
+
+  serve::TcpClientTransport transport(host, port, timeout_s);
+  const serve::Response response = transport.roundtrip(request);
+  print_response(response);
+  return response.status == serve::Status::kOk ? 0 : 1;
 }
 
 int cmd_query_decode(const serve::QueryConfig& config) {
@@ -596,6 +643,7 @@ int run(int argc, char** argv) {
   if (command == "sweep") return cmd_sweep(flags);
   if (command == "serve") return cmd_serve(flags);
   if (command == "route") return cmd_route(flags);
+  if (command == "route-admin") return cmd_route_admin(flags);
   if (command == "query") return cmd_query(flags);
   std::cerr << "unknown command: " << command << "\n";
   return usage();
